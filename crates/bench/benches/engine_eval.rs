@@ -1,0 +1,57 @@
+//! Substrate timing: CQ¬ satisfaction over worlds (the inner loop of
+//! brute force and sampling).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqshap_db::World;
+use cqshap_engine::{satisfies_compiled, CompiledQuery};
+use cqshap_workloads::queries;
+use cqshap_workloads::university::UniversityConfig;
+
+fn bench_satisfaction(c: &mut Criterion) {
+    let q1 = queries::q1();
+    let mut group = c.benchmark_group("engine/satisfies");
+    for students in [16usize, 64, 256] {
+        let db = UniversityConfig {
+            students,
+            courses: (students / 2).max(2),
+            declare_exogenous: false,
+            seed: 21,
+            ..Default::default()
+        }
+        .generate();
+        let compiled = CompiledQuery::compile(&db, &q1);
+        let full = World::full(&db);
+        let empty = World::empty(&db);
+        group.bench_with_input(BenchmarkId::new("full_world", students), &db, |b, db| {
+            b.iter(|| satisfies_compiled(db, &full, &compiled))
+        });
+        group.bench_with_input(BenchmarkId::new("empty_world", students), &db, |b, db| {
+            b.iter(|| satisfies_compiled(db, &empty, &compiled))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let db = UniversityConfig { students: 64, seed: 21, ..Default::default() }.generate();
+    let q2 = queries::q2();
+    c.benchmark_group("engine/compile").bench_function("q2", |b| {
+        b.iter(|| CompiledQuery::compile(&db, &q2))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_satisfaction, bench_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E5 timing: the Theorem 5.1 construction and its closed-form value.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqshap_core::gap::{build_gap_family, expected_gap_value, section_5_1_example};
+use cqshap_query::parse_cq;
+
+fn bench_expected_value(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap/expected_value");
+    for n in [32usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| expected_gap_value(n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_section_5_1_database(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap/section_5_1_database");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| section_5_1_example(n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generic_construction(c: &mut Criterion) {
+    let q = parse_cq("q() :- R(x), S(x, y), !R(y)").unwrap();
+    let mut group = c.benchmark_group("gap/generic_family");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| build_gap_family(&q, n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_expected_value, bench_section_5_1_database, bench_generic_construction
+}
+criterion_main!(benches);

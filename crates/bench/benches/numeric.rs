@@ -1,0 +1,68 @@
+//! Substrate timing: the exact arithmetic under every Shapley value.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqshap_numeric::{factorial, BigRational, BigUint, FactorialTable, RationalMatrix};
+
+fn bench_factorials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric/factorial_table");
+    for n in [100usize, 400, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| FactorialTable::new(n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bigint_ops(c: &mut Criterion) {
+    let a = factorial(300); // ≈ 2500 bits
+    let b_ = factorial(200);
+    let mut group = c.benchmark_group("numeric/bigint");
+    group.bench_function("mul_300!_200!", |b| b.iter(|| &a * &b_));
+    group.bench_function("div_rem_300!_200!", |b| b.iter(|| a.div_rem(&b_)));
+    group.bench_function("gcd_300!_200!", |b| b.iter(|| a.gcd(&b_)));
+    group.bench_function("to_string_300!", |b| b.iter(|| a.to_string()));
+    group.finish();
+}
+
+fn bench_rational_sum(c: &mut Criterion) {
+    // The Shapley reduction sums m weighted terms; model that shape.
+    let table = FactorialTable::new(120);
+    c.benchmark_group("numeric/rational").bench_function("shapley_weight_sum_m120", |b| {
+        b.iter(|| {
+            let mut acc = BigRational::zero();
+            for k in 0..120 {
+                acc += &table.shapley_weight(120, k);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_linear_solve(c: &mut Criterion) {
+    // A Lemma B.3-shaped system (factorial coefficients), N = 8.
+    let n = 8usize;
+    let a = RationalMatrix::from_fn(n + 1, n + 1, |r, k| {
+        BigRational::from(factorial(k) * factorial(n - k + r + 1))
+    });
+    let rhs: Vec<BigRational> =
+        (0..=n).map(|i| BigRational::from(BigUint::from_u64(i as u64 + 1))).collect();
+    c.benchmark_group("numeric/linalg").bench_function("solve_9x9_factorial", |b| {
+        b.iter(|| a.solve(&rhs).unwrap())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_factorials, bench_bigint_ops, bench_rational_sum, bench_linear_solve
+}
+criterion_main!(benches);

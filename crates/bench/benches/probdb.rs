@@ -1,0 +1,57 @@
+//! E12 timing: lifted probabilistic inference (Section 4.3 /
+//! Theorem 4.10).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqshap_probdb::ProbDatabase;
+use cqshap_workloads::academic::{citations_query, AcademicConfig};
+use cqshap_workloads::queries;
+use cqshap_workloads::university::UniversityConfig;
+
+fn bench_lifted_hierarchical(c: &mut Criterion) {
+    let q1 = queries::q1();
+    let mut group = c.benchmark_group("probdb/lifted_hierarchical");
+    for students in [16usize, 64, 256] {
+        let db = UniversityConfig {
+            students,
+            courses: (students / 2).max(2),
+            declare_exogenous: false,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        let pdb = ProbDatabase::new(db, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(students), &pdb, |b, pdb| {
+            b.iter(|| pdb.query_probability(&q1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem_4_10(c: &mut Criterion) {
+    let q = citations_query();
+    let mut group = c.benchmark_group("probdb/rewrite_then_lift");
+    for authors in [8usize, 32, 64] {
+        let db = AcademicConfig { authors, seed: 3, ..Default::default() }.generate();
+        let pdb = ProbDatabase::new(db, 0.35);
+        group.bench_with_input(BenchmarkId::from_parameter(authors), &pdb, |b, pdb| {
+            b.iter(|| pdb.query_probability_with_rewriting(&q, 10_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lifted_hierarchical, bench_theorem_4_10
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E7/E9/E10 timing: the executable hardness reductions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqshap_gadgets::reduction_rst::{brute_force_oracle, recover_is_count};
+use cqshap_gadgets::{prop55, prop58};
+use cqshap_workloads::{formulas, graphs};
+
+fn bench_lemma_b3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/lemma_b3_recover_is");
+    group.sample_size(10);
+    for (l, r) in [(2usize, 2usize), (3, 2), (3, 3)] {
+        let g = graphs::random_bipartite(l, r, 0.5, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{l}x{r}")),
+            &g,
+            |b, g| b.iter(|| recover_is_count(g, &brute_force_oracle).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_instance_construction(c: &mut Criterion) {
+    let f224 = formulas::random_224(8, 16, 3);
+    let f3 = formulas::random_3sat(8, 24, 3);
+    let mut group = c.benchmark_group("reductions/instance_build");
+    group.bench_function("prop55", |b| {
+        b.iter(|| prop55::build_relevance_instance(&f224).unwrap())
+    });
+    group.bench_function("prop58", |b| {
+        b.iter(|| prop58::build_relevance_instance(&f3).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dpll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/dpll");
+    for vars in [8usize, 12, 16] {
+        let f = formulas::random_3sat(vars, vars * 4, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &f, |b, f| {
+            b.iter(|| f.is_satisfiable())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lemma_b3, bench_instance_construction, bench_dpll
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E8 timing: the polynomial relevance algorithms (Proposition 5.7).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqshap_core::relevance::{is_negatively_relevant, is_positively_relevant};
+use cqshap_core::AnyQuery;
+use cqshap_workloads::queries;
+use cqshap_workloads::university::UniversityConfig;
+
+fn bench_relevance(c: &mut Criterion) {
+    let q1 = queries::q1();
+    let mut group = c.benchmark_group("relevance/is_relevant_all_facts");
+    for students in [8usize, 32, 128] {
+        let db = UniversityConfig {
+            students,
+            courses: (students / 2).max(2),
+            declare_exogenous: false,
+            seed: 13,
+            ..Default::default()
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(students), &db, |b, db| {
+            b.iter(|| {
+                let mut relevant = 0usize;
+                for &f in db.endo_facts() {
+                    if is_positively_relevant(db, AnyQuery::Cq(&q1), f).unwrap()
+                        || is_negatively_relevant(db, AnyQuery::Cq(&q1), f).unwrap()
+                    {
+                        relevant += 1;
+                    }
+                }
+                relevant
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_relevance
+}
+criterion_main!(benches);

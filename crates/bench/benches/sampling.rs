@@ -1,0 +1,62 @@
+//! E6 timing: the additive Monte-Carlo sampler (Section 5.1).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqshap_core::approx::shapley_sampled;
+use cqshap_core::AnyQuery;
+use cqshap_workloads::{figure_1_database, queries};
+
+fn bench_sampler(c: &mut Criterion) {
+    let db = figure_1_database();
+    let q1 = queries::q1();
+    let f = db.find_fact("TA", &["Adam"]).unwrap();
+    let mut group = c.benchmark_group("sampling/permutations");
+    group.throughput(criterion::Throughput::Elements(1));
+    for samples in [1_000u64, 10_000] {
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), samples),
+                &samples,
+                |b, &samples| {
+                    b.iter(|| {
+                        shapley_sampled(&db, AnyQuery::Cq(&q1), f, samples, 99, threads).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sampler_large_db(c: &mut Criterion) {
+    let db = cqshap_workloads::university::UniversityConfig {
+        students: 100,
+        courses: 40,
+        declare_exogenous: false,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+    let q1 = queries::q1();
+    let f = db.endo_facts()[0];
+    c.benchmark_group("sampling/large_db")
+        .sample_size(10)
+        .bench_function("1000_samples_300_facts", |b| {
+            b.iter(|| shapley_sampled(&db, AnyQuery::Cq(&q1), f, 1_000, 7, 0).unwrap())
+        });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sampler, bench_sampler_large_db
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Lemma 3.2 timing: the `CntSat` counting algorithm itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqshap_core::count_sat_hierarchical;
+use cqshap_query::parse_cq;
+use cqshap_workloads::university::UniversityConfig;
+
+fn bench_cntsat(c: &mut Criterion) {
+    let queries = [
+        ("q1", "q1() :- Stud(x), !TA(x), Reg(x, y)"),
+        ("pos", "q() :- Stud(x), TA(x), Reg(x, y)"),
+        ("adv", "q() :- Adv(z, x), !TA(x), Reg(x, y)"),
+    ];
+    let mut group = c.benchmark_group("satcount/cntsat");
+    for students in [16usize, 64, 256] {
+        let db = UniversityConfig {
+            students,
+            courses: (students / 2).max(2),
+            declare_exogenous: false,
+            seed: 7,
+            ..Default::default()
+        }
+        .generate();
+        for (name, text) in queries {
+            let q = parse_cq(text).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(name, students),
+                &db,
+                |b, db| b.iter(|| count_sat_hierarchical(db, &q).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cntsat
+}
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Experiment harness and benchmarks for the `cqshap` reproduction.
+//!
+//! The `harness` binary regenerates every experiment table of
+//! `DESIGN.md` / `EXPERIMENTS.md`; the `benches/` directory holds the
+//! matching Criterion timing benchmarks.
+
+pub mod table;
+
+pub use table::Table;

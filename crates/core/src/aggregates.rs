@@ -1,0 +1,270 @@
+//! Shapley values for aggregate queries over CQ¬s.
+//!
+//! The "Remarks" of Section 3: the dichotomy extends to summations over
+//! CQ¬s by linearity of expectation. An aggregate `Sum{w | φ(…)}` (or
+//! `Count`) decomposes over the candidate answer tuples `a`:
+//!
+//! ```text
+//! Shapley_agg(D, q, f) = Σ_a  weight(a) · Shapley(D, q[head ↦ a], f)
+//! ```
+//!
+//! where `q[head ↦ a]` is the Boolean query with the head variables
+//! substituted by `a`'s constants. With negation, a tuple may be an
+//! answer in a sub-world but not in the full one, so candidates are the
+//! head-projections of homomorphisms of the *positive part* into all of
+//! `D` — a superset of the answers in any world.
+
+use std::collections::BTreeSet;
+
+use cqshap_db::{Database, FactId, World};
+use cqshap_engine::{answers, for_each_positive_homomorphism, CompiledQuery, FactScope};
+use cqshap_numeric::{BigInt, BigRational};
+use cqshap_query::{ConjunctiveQuery, QueryBuilder, Term, Var};
+
+use crate::error::CoreError;
+use crate::shapley::{shapley_value, ShapleyOptions};
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone)]
+pub enum AggregateFunction {
+    /// `Count{ head | φ }` — each answer weighs 1.
+    Count,
+    /// `Sum{ w | φ }` — each answer weighs the integer value bound to
+    /// the named head variable.
+    Sum {
+        /// Name of the head variable carrying the weight.
+        weight_var: String,
+    },
+}
+
+impl AggregateFunction {
+    fn weight(
+        &self,
+        db: &Database,
+        q: &ConjunctiveQuery,
+        tuple: &[cqshap_db::ConstId],
+    ) -> Result<BigRational, CoreError> {
+        match self {
+            AggregateFunction::Count => Ok(BigRational::one()),
+            AggregateFunction::Sum { weight_var } => {
+                let var = q
+                    .var_by_name(weight_var)
+                    .ok_or_else(|| CoreError::Unsupported(format!("unknown variable {weight_var}")))?;
+                let pos = q
+                    .head()
+                    .iter()
+                    .position(|&h| h == var)
+                    .ok_or_else(|| {
+                        CoreError::Unsupported(format!("{weight_var} is not a head variable"))
+                    })?;
+                let name = db.interner().resolve(tuple[pos]);
+                let value: i64 = name.parse().map_err(|_| {
+                    CoreError::Unsupported(format!("weight constant {name:?} is not an integer"))
+                })?;
+                Ok(BigRational::from_int(BigInt::from_i64(value)))
+            }
+        }
+    }
+}
+
+/// Substitutes the head variables of `q` by the constants of `tuple`,
+/// producing the Boolean query `q[head ↦ a]`.
+fn substitute_head(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    tuple: &[cqshap_db::ConstId],
+) -> Result<ConjunctiveQuery, CoreError> {
+    let mut builder = QueryBuilder::new(format!("{}_ans", q.name()));
+    let subst = |v: Var| -> Option<String> {
+        q.head()
+            .iter()
+            .position(|&h| h == v)
+            .map(|i| db.interner().resolve(tuple[i]).to_string())
+    };
+    for atom in q.atoms() {
+        let terms: Vec<Term> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Term::Const(c.clone()),
+                Term::Var(v) => match subst(*v) {
+                    Some(c) => Term::Const(c),
+                    None => Term::Var(builder.var(q.var_name(*v))),
+                },
+            })
+            .collect();
+        if atom.negated {
+            builder.neg(&atom.relation, terms);
+        } else {
+            builder.pos(&atom.relation, terms);
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// The candidate answers: head projections of positive-part
+/// homomorphisms into all of `D`.
+pub fn candidate_answers(
+    db: &Database,
+    q: &ConjunctiveQuery,
+) -> Vec<Vec<cqshap_db::ConstId>> {
+    let compiled = CompiledQuery::compile(db, q);
+    let mut set: BTreeSet<Vec<cqshap_db::ConstId>> = BTreeSet::new();
+    for_each_positive_homomorphism(db, FactScope::All, &compiled, &mut |m| {
+        if let Some(tuple) =
+            compiled.head.iter().map(|&v| m.assignment[v as usize]).collect::<Option<Vec<_>>>()
+        {
+            set.insert(tuple);
+        }
+        true
+    });
+    set.into_iter().collect()
+}
+
+/// The aggregate's value over one world (for efficiency checks and
+/// end-to-end tests).
+pub fn aggregate_value(
+    db: &Database,
+    world: &World,
+    q: &ConjunctiveQuery,
+    agg: &AggregateFunction,
+) -> Result<BigRational, CoreError> {
+    let mut acc = BigRational::zero();
+    for a in answers(db, world, q) {
+        acc += &agg.weight(db, q, &a)?;
+    }
+    Ok(acc)
+}
+
+/// `Shapley_agg(D, q, f)` by linearity over candidate answers.
+///
+/// # Errors
+/// Anything [`shapley_value`] raises for a substituted Boolean query,
+/// plus [`CoreError::Unsupported`] for malformed aggregate specs.
+pub fn aggregate_shapley(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    agg: &AggregateFunction,
+    f: FactId,
+    options: &ShapleyOptions,
+) -> Result<BigRational, CoreError> {
+    if q.head().is_empty() {
+        return Err(CoreError::Unsupported(
+            "aggregate queries need head variables; use shapley_value for Boolean queries".into(),
+        ));
+    }
+    let mut acc = BigRational::zero();
+    for a in candidate_answers(db, q) {
+        let weight = agg.weight(db, q, &a)?;
+        if weight.is_zero() {
+            continue;
+        }
+        let qa = substitute_head(db, q, &a)?;
+        let v = shapley_value(db, &qa, f, options)?;
+        acc += &(weight * v);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqshap_query::parse_cq;
+
+    /// The introduction's exports scenario:
+    /// Count{c | Farmer(m), Export(m,p,c), ¬Grows(c,p)}.
+    fn exports() -> Database {
+        Database::parse(
+            "endo Farmer(miller)\nendo Farmer(smith)\n\
+             exo Export(miller, wheat, norway)\n\
+             exo Export(miller, rice, egypt)\n\
+             exo Export(smith, rice, norway)\n\
+             endo Grows(norway, wheat)\nendo Grows(egypt, rice)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_aggregate_decomposes() {
+        let db = exports();
+        let q = parse_cq("q(c) :- Farmer(m), Export(m, p, c), !Grows(c, p)").unwrap();
+        let agg = AggregateFunction::Count;
+        let opts = ShapleyOptions::default();
+
+        // Efficiency by linearity: Σ_f Shapley_agg(f) = agg(D) − agg(Dx).
+        let full = aggregate_value(&db, &World::full(&db), &q, &agg).unwrap();
+        let empty = aggregate_value(&db, &World::empty(&db), &q, &agg).unwrap();
+        let mut total = BigRational::zero();
+        for &f in db.endo_facts() {
+            total += &aggregate_shapley(&db, &q, &agg, f, &opts).unwrap();
+        }
+        assert_eq!(total, full - empty);
+    }
+
+    #[test]
+    fn count_candidates_include_sub_world_answers() {
+        let db = exports();
+        let q = parse_cq("q(c) :- Farmer(m), Export(m, p, c), !Grows(c, p)").unwrap();
+        let candidates = candidate_answers(&db, &q);
+        // Norway and Egypt both appear as candidates (Egypt only answers
+        // in worlds where Grows(egypt, rice) is absent).
+        let mut names: Vec<&str> =
+            candidates.iter().map(|t| db.interner().resolve(t[0])).collect();
+        names.sort();
+        assert_eq!(names, vec!["egypt", "norway"]);
+    }
+
+    #[test]
+    fn sum_aggregate_weights() {
+        // Sum of profits r over exports to countries not growing p:
+        // Sum{r | Export(p,c), ¬Grows(c,p), Profit(c,p,r)}.
+        let db = Database::parse(
+            "exo Export(wheat, norway)\nexo Export(rice, egypt)\n\
+             endo Grows(egypt, rice)\n\
+             exo Profit(norway, wheat, 10)\nexo Profit(egypt, rice, 5)\n",
+        )
+        .unwrap();
+        let q = parse_cq("q(r) :- Export(p, c), !Grows(c, p), Profit(c, p, r)").unwrap();
+        let agg = AggregateFunction::Sum { weight_var: "r".into() };
+        let full = aggregate_value(&db, &World::full(&db), &q, &agg).unwrap();
+        let empty = aggregate_value(&db, &World::empty(&db), &q, &agg).unwrap();
+        assert_eq!(full, BigRational::from(10i64));
+        assert_eq!(empty, BigRational::from(15i64));
+        // The single endogenous fact Grows(egypt, rice) carries the whole
+        // difference: Shapley = -5.
+        let f = db.find_fact("Grows", &["egypt", "rice"]).unwrap();
+        let v = aggregate_shapley(&db, &q, &agg, f, &ShapleyOptions::default()).unwrap();
+        assert_eq!(v, BigRational::from(-5i64));
+    }
+
+    #[test]
+    fn boolean_query_rejected() {
+        let db = exports();
+        let q = parse_cq("q() :- Farmer(m)").unwrap();
+        let f = db.find_fact("Farmer", &["miller"]).unwrap();
+        assert!(matches!(
+            aggregate_shapley(&db, &q, &AggregateFunction::Count, f, &Default::default()),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn bad_weight_specs_rejected() {
+        let db = exports();
+        let q = parse_cq("q(c) :- Farmer(m), Export(m, p, c), !Grows(c, p)").unwrap();
+        let f = db.find_fact("Farmer", &["miller"]).unwrap();
+        for bad in ["nope", "m"] {
+            let agg = AggregateFunction::Sum { weight_var: bad.into() };
+            assert!(matches!(
+                aggregate_shapley(&db, &q, &agg, f, &Default::default()),
+                Err(CoreError::Unsupported(_))
+            ));
+        }
+        // Non-integer weights.
+        let agg = AggregateFunction::Sum { weight_var: "c".into() };
+        assert!(matches!(
+            aggregate_shapley(&db, &q, &agg, f, &Default::default()),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+}

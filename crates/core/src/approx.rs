@@ -1,0 +1,228 @@
+//! Additive Monte-Carlo approximation of the Shapley value
+//! (Section 5.1).
+//!
+//! The Shapley value is the expectation, over a uniformly random
+//! permutation `σ` of `Dn`, of the marginal contribution
+//! `q(Dx ∪ σ_f ∪ {f}) − q(Dx ∪ σ_f) ∈ {−1, 0, 1}`. Averaging over
+//! `⌈ln(2/δ)/(2ε²)⌉` sampled permutations gives an *additive*
+//! ε-approximation with probability `≥ 1 − δ` by the Hoeffding bound.
+//!
+//! For positive CQs the "gap property" upgrades this to a multiplicative
+//! FPRAS; Theorem 5.1 shows negation destroys that upgrade — Shapley
+//! values can be exponentially small, so the sampled estimate of a
+//! nonzero value is routinely 0. Experiment E6 exercises exactly this.
+
+use cqshap_db::{Database, FactId, World};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::anyquery::AnyQuery;
+use crate::error::CoreError;
+
+/// Parameters of the sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleParams {
+    /// Additive error bound ε ∈ (0, 1).
+    pub epsilon: f64,
+    /// Failure probability δ ∈ (0, 1).
+    pub delta: f64,
+    /// RNG seed (deterministic runs).
+    pub seed: u64,
+    /// Worker threads (`0` = all available).
+    pub threads: usize,
+}
+
+impl Default for SampleParams {
+    fn default() -> Self {
+        SampleParams { epsilon: 0.05, delta: 0.01, seed: 0xC0FFEE, threads: 0 }
+    }
+}
+
+/// The Hoeffding sample count `⌈ln(2/δ)/(2ε²)⌉` for marginal
+/// contributions in `[-1, 1]`.
+///
+/// With values in an interval of width 2, Hoeffding gives
+/// `Pr[|mean − μ| ≥ ε] ≤ 2·exp(−2·N·ε²/4)`; solving for `N` yields
+/// `N ≥ 2·ln(2/δ)/ε²`.
+pub fn required_samples(epsilon: f64, delta: f64) -> u64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    (2.0 * (2.0 / delta).ln() / (epsilon * epsilon)).ceil() as u64
+}
+
+/// The sampler's output.
+#[derive(Debug, Clone)]
+pub struct ApproxShapley {
+    /// The estimate (mean marginal contribution).
+    pub estimate: f64,
+    /// Number of sampled permutations.
+    pub samples: u64,
+    /// Samples where `f` flipped the answer false → true.
+    pub positive_flips: u64,
+    /// Samples where `f` flipped the answer true → false.
+    pub negative_flips: u64,
+}
+
+impl ApproxShapley {
+    /// Half-width of the Hoeffding confidence interval actually achieved
+    /// by `samples` at confidence `1 − delta`.
+    pub fn hoeffding_radius(&self, delta: f64) -> f64 {
+        (2.0 * (2.0 / delta).ln() / self.samples as f64).sqrt()
+    }
+}
+
+/// Estimates `Shapley(D, q, f)` by permutation sampling. Works for any
+/// CQ¬ or UCQ¬ (self-joins included).
+///
+/// # Errors
+/// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+pub fn shapley_additive_approx(
+    db: &Database,
+    q: AnyQuery<'_>,
+    f: FactId,
+    params: &SampleParams,
+) -> Result<ApproxShapley, CoreError> {
+    let samples = required_samples(params.epsilon, params.delta);
+    shapley_sampled(db, q, f, samples, params.seed, params.threads)
+}
+
+/// Estimates with an explicit sample budget.
+pub fn shapley_sampled(
+    db: &Database,
+    q: AnyQuery<'_>,
+    f: FactId,
+    samples: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<ApproxShapley, CoreError> {
+    let target = db
+        .endo_index(f)
+        .ok_or_else(|| CoreError::FactNotEndogenous { fact: db.render_fact(f) })?;
+    let m = db.endo_count();
+    let compiled = q.compile(db);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16)
+    } else {
+        threads
+    };
+    let threads = threads.min(samples.max(1) as usize).max(1);
+    let per_thread = samples / threads as u64;
+    let remainder = samples % threads as u64;
+    let mut tallies: Vec<(i64, u64, u64)> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let compiled = &compiled;
+            let n = per_thread + u64::from((t as u64) < remainder);
+            let thread_seed = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
+            handles.push(s.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(thread_seed);
+                let mut order: Vec<usize> = (0..m).collect();
+                let mut sum = 0i64;
+                let (mut pos, mut neg) = (0u64, 0u64);
+                for _ in 0..n {
+                    order.shuffle(&mut rng);
+                    let mut world = World::empty(db);
+                    for &p in &order {
+                        if p == target {
+                            break;
+                        }
+                        world.insert(db, db.endo_facts()[p]);
+                    }
+                    let before = compiled.satisfied(db, &world);
+                    world.insert(db, f);
+                    let after = compiled.satisfied(db, &world);
+                    match (before, after) {
+                        (false, true) => {
+                            sum += 1;
+                            pos += 1;
+                        }
+                        (true, false) => {
+                            sum -= 1;
+                            neg += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                (sum, pos, neg)
+            }));
+        }
+        tallies = handles.into_iter().map(|h| h.join().expect("sampler panicked")).collect();
+    })
+    .expect("thread scope");
+    let sum: i64 = tallies.iter().map(|t| t.0).sum();
+    let positive_flips: u64 = tallies.iter().map(|t| t.1).sum();
+    let negative_flips: u64 = tallies.iter().map(|t| t.2).sum();
+    Ok(ApproxShapley {
+        estimate: if samples == 0 { 0.0 } else { sum as f64 / samples as f64 },
+        samples,
+        positive_flips,
+        negative_flips,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqshap_query::parse_cq;
+
+    #[test]
+    fn sample_count_formula() {
+        // ε = 0.1, δ = 0.05: 2·ln(40)/0.01 = 737.7…
+        assert_eq!(required_samples(0.1, 0.05), 738);
+        assert!(required_samples(0.01, 0.01) > required_samples(0.1, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_panics() {
+        required_samples(0.0, 0.5);
+    }
+
+    #[test]
+    fn estimates_converge_to_exact_value() {
+        let db = Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\n\
+             endo Reg(a, c1)\nendo Reg(b, c2)\n",
+        )
+        .unwrap();
+        let q = parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        for &f in db.endo_facts() {
+            let exact = crate::shapley::shapley_by_permutations(&db, AnyQuery::Cq(&q), f, 9)
+                .unwrap()
+                .to_f64();
+            let approx = shapley_sampled(&db, AnyQuery::Cq(&q), f, 20_000, 42, 0).unwrap();
+            assert!(
+                (approx.estimate - exact).abs() < 0.03,
+                "{}: exact {exact} vs estimate {}",
+                db.render_fact(f),
+                approx.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn negative_values_estimated() {
+        // TA(a) has Shapley -1/2 for q() :- Stud(x), !TA(x), Reg(x,y1)
+        // on a 2-fact database {TA(a), Reg(a, c)}.
+        let db = Database::parse("exo Stud(a)\nendo TA(a)\nendo Reg(a, c)\n").unwrap();
+        let q = parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let f = db.find_fact("TA", &["a"]).unwrap();
+        let r = shapley_sampled(&db, AnyQuery::Cq(&q), f, 10_000, 7, 2).unwrap();
+        assert!(r.negative_flips > 0);
+        assert_eq!(r.positive_flips, 0);
+        assert!((r.estimate + 0.5).abs() < 0.05, "estimate {}", r.estimate);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = Database::parse("endo R(a)\nendo R(b)\nexo S(a, c)\n").unwrap();
+        let q = parse_cq("q() :- R(x), S(x, y)").unwrap();
+        let f = db.find_fact("R", &["a"]).unwrap();
+        let a = shapley_sampled(&db, AnyQuery::Cq(&q), f, 1000, 99, 1).unwrap();
+        let b = shapley_sampled(&db, AnyQuery::Cq(&q), f, 1000, 99, 1).unwrap();
+        assert_eq!(a.estimate, b.estimate);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the Shapley algorithms.
+
+use std::fmt;
+
+use cqshap_db::DbError;
+use cqshap_query::QueryError;
+
+/// Errors raised by the Shapley computation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The algorithm requires a self-join-free query.
+    NotSelfJoinFree {
+        /// The query, rendered.
+        query: String,
+    },
+    /// The exact polynomial algorithm requires a hierarchical query
+    /// (Theorem 3.1); this one is not, and no rewriting was requested.
+    NotHierarchical {
+        /// The query, rendered.
+        query: String,
+    },
+    /// The query has a non-hierarchical path, so by Theorem 4.3 exact
+    /// computation is `FP^{#P}`-complete; only the brute-force or
+    /// approximate strategies apply.
+    HasNonHierarchicalPath {
+        /// Witness description.
+        witness: String,
+    },
+    /// A relevance algorithm requires a polarity-consistent query
+    /// (Proposition 5.7) or union (Section 5.2).
+    NotPolarityConsistent {
+        /// The query, rendered.
+        query: String,
+    },
+    /// The requested fact is not endogenous (only endogenous facts are
+    /// players of the Shapley game).
+    FactNotEndogenous {
+        /// The fact, rendered.
+        fact: String,
+    },
+    /// Brute-force enumeration was requested but `|Dn|` exceeds the limit.
+    TooManyEndogenousFacts {
+        /// `|Dn|` of the input.
+        count: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A precondition of the Theorem 5.1 construction failed (the query
+    /// must be satisfiable, constant-free, positively connected, and
+    /// contain a negated atom).
+    GapConstruction(String),
+    /// Propagated database error.
+    Db(DbError),
+    /// Propagated query error.
+    Query(QueryError),
+    /// Anything else (internal invariants, unsupported combinations).
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotSelfJoinFree { query } => {
+                write!(f, "query is not self-join-free: {query}")
+            }
+            CoreError::NotHierarchical { query } => {
+                write!(f, "query is not hierarchical: {query}")
+            }
+            CoreError::HasNonHierarchicalPath { witness } => {
+                write!(f, "query has a non-hierarchical path ({witness}); exact computation is FP#P-complete")
+            }
+            CoreError::NotPolarityConsistent { query } => {
+                write!(f, "query is not polarity-consistent: {query}")
+            }
+            CoreError::FactNotEndogenous { fact } => {
+                write!(f, "fact {fact} is not endogenous")
+            }
+            CoreError::TooManyEndogenousFacts { count, limit } => {
+                write!(f, "|Dn| = {count} exceeds the brute-force limit {limit}")
+            }
+            CoreError::GapConstruction(msg) => write!(f, "gap construction: {msg}"),
+            CoreError::Db(e) => write!(f, "database error: {e}"),
+            CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}

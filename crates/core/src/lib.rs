@@ -1,0 +1,48 @@
+//! # cqshap-core
+//!
+//! Shapley values of database facts for conjunctive queries with safe
+//! negation — a faithful implementation of *"The Impact of Negation on
+//! the Complexity of the Shapley Value in Conjunctive Queries"* (Reshef,
+//! Kimelfeld, Livshits; PODS 2020).
+//!
+//! The endogenous facts of a database are players in a cooperative game
+//! whose wealth function is the Boolean query answer over
+//! `Dx ∪ E`; the Shapley value of a fact measures its contribution to
+//! the answer. This crate provides:
+//!
+//! * [`shapley::shapley_value`] / [`shapley::shapley_report`] — exact
+//!   values, with automatic strategy selection along the paper's
+//!   dichotomies (Theorems 3.1 and 4.3);
+//! * [`satcount`] — the `CntSat` counting algorithm (Lemma 3.2) and the
+//!   brute-force oracle;
+//! * [`exoshap`] — the `ExoShap` rewriting (Algorithm 1) for queries
+//!   without a non-hierarchical path;
+//! * [`approx`] — the additive Monte-Carlo FPRAS of Section 5.1;
+//! * [`relevance`] — Algorithms 2/3 (`IsPosRelevant` / `IsNegRelevant`)
+//!   for polarity-consistent CQ¬s and their UCQ¬ generalization, plus
+//!   brute-force relevance and Shapley zeroness (Propositions 5.5–5.8);
+//! * [`aggregates`] — Shapley attribution for `Count`/`Sum` aggregates
+//!   by linearity (the "Remarks" of Section 3);
+//! * [`gap`] — the Theorem 5.1 construction showing the gap property
+//!   fails for every natural CQ¬ with negation.
+
+pub mod aggregates;
+pub mod anyquery;
+pub mod approx;
+pub mod error;
+pub mod exoshap;
+pub mod gap;
+pub mod relevance;
+pub mod satcount;
+pub mod shapley;
+
+pub use anyquery::AnyQuery;
+pub use error::CoreError;
+pub use exoshap::{rewrite, RewriteOutcome};
+pub use satcount::{
+    count_sat_hierarchical, BruteForceCounter, HierarchicalCounter, SatCountOracle,
+};
+pub use shapley::{
+    shapley_by_permutations, shapley_report, shapley_value, shapley_value_union,
+    shapley_via_counts, ShapleyEntry, ShapleyOptions, ShapleyReport, Strategy,
+};

@@ -1,0 +1,654 @@
+//! Counting satisfying coalitions: `|Sat(D, q, k)|`.
+//!
+//! `Sat(D, q, k)` is the set of `k`-subsets `E ⊆ Dn` with `Dx ∪ E ⊨ q`.
+//! Livshits et al. reduce the Shapley value to these counts (see
+//! [`crate::shapley`]); Lemma 3.2 of the paper extends their `CntSat`
+//! algorithm to hierarchical self-join-free CQ¬s by fixing the ground
+//! base case. [`HierarchicalCounter`] implements that algorithm:
+//!
+//! 1. **Ground base case** — with all atoms ground, a subset satisfies
+//!    the query iff it contains every endogenous fact matching a positive
+//!    atom and none matching a negative atom (and no *exogenous* fact
+//!    matches a negative atom); the count is a single binomial.
+//! 2. **Disconnected query** — components touch disjoint relations
+//!    (self-join-freeness), so counts compose by convolution.
+//! 3. **Connected query with variables** — a *root variable* occurs in
+//!    every atom (a structural fact about connected hierarchical
+//!    queries); each fact is consistent with at most one root value, so
+//!    the *unsatisfying* counts factor as a convolution over root values
+//!    (facts with no satisfiable root value are free "junk" choices),
+//!    and satisfaction is obtained by complementing.
+//!
+//! [`BruteForceCounter`] enumerates all `2^|Dn|` worlds and serves as the
+//! oracle for the provably `FP^{#P}`-hard queries (at small scale) and as
+//! the ground truth in tests.
+
+use cqshap_db::{ConstId, Database, FactId, World};
+use cqshap_numeric::{binomial, BigUint};
+use cqshap_query::{has_self_join, is_hierarchical, ConjunctiveQuery, Term};
+
+use crate::anyquery::AnyQuery;
+use crate::error::CoreError;
+
+/// Anything that can compute the full vector
+/// `[|Sat(D,q,0)|, …, |Sat(D,q,|Dn|)|]`.
+///
+/// Oracles must be `Sync`: [`crate::shapley::shapley_report`] fans the
+/// per-fact computations out across threads.
+pub trait SatCountOracle: Sync {
+    /// Computes `counts[k] = |Sat(D, q, k)|` for `k = 0 ..= |Dn|`.
+    fn counts(&self, db: &Database, q: AnyQuery<'_>) -> Result<Vec<BigUint>, CoreError>;
+}
+
+// ---------------------------------------------------------------------
+// Internal pattern representation
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PTerm {
+    Var(u32),
+    Const(ConstId),
+}
+
+#[derive(Debug, Clone)]
+struct PAtom {
+    negated: bool,
+    terms: Vec<PTerm>,
+}
+
+impl PAtom {
+    fn has_vars(&self) -> bool {
+        self.terms.iter().any(|t| matches!(t, PTerm::Var(_)))
+    }
+
+    fn vars(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .terms
+            .iter()
+            .filter_map(|t| match t {
+                PTerm::Var(v) => Some(*v),
+                PTerm::Const(_) => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Does `fact_tuple` match this pattern (constants agree, positions
+    /// sharing one variable agree)?
+    fn matches(&self, values: &[ConstId]) -> bool {
+        debug_assert_eq!(values.len(), self.terms.len());
+        let mut bound: Vec<(u32, ConstId)> = Vec::new();
+        for (t, &val) in self.terms.iter().zip(values) {
+            match t {
+                PTerm::Const(c) => {
+                    if *c != val {
+                        return false;
+                    }
+                }
+                PTerm::Var(v) => match bound.iter().find(|(bv, _)| bv == v) {
+                    Some((_, bval)) => {
+                        if *bval != val {
+                            return false;
+                        }
+                    }
+                    None => bound.push((*v, val)),
+                },
+            }
+        }
+        true
+    }
+
+    /// The value a matching fact assigns to variable `v` (which must
+    /// occur in this atom).
+    fn value_of(&self, v: u32, values: &[ConstId]) -> ConstId {
+        for (t, &val) in self.terms.iter().zip(values) {
+            if *t == PTerm::Var(v) {
+                return val;
+            }
+        }
+        unreachable!("variable {v} does not occur in atom");
+    }
+
+    fn substitute(&self, v: u32, c: ConstId) -> PAtom {
+        PAtom {
+            negated: self.negated,
+            terms: self
+                .terms
+                .iter()
+                .map(|t| if *t == PTerm::Var(v) { PTerm::Const(c) } else { *t })
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vector helpers
+// ---------------------------------------------------------------------
+
+/// `[C(n,0), …, C(n,n)]`.
+fn binom_vec(n: usize) -> Vec<BigUint> {
+    (0..=n).map(|k| binomial(n, k)).collect()
+}
+
+/// Convolution: `out[k] = Σ_i a[i]·b[k-i]` — composing counts over
+/// disjoint fact sets.
+fn convolve(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+    let mut out = vec![BigUint::zero(); a.len() + b.len() - 1];
+    for (i, x) in a.iter().enumerate() {
+        if x.is_zero() {
+            continue;
+        }
+        for (j, y) in b.iter().enumerate() {
+            if !y.is_zero() {
+                out[i + j] += &(x * y);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The hierarchical counter (CntSat, Lemma 3.2)
+// ---------------------------------------------------------------------
+
+/// Polynomial-time `|Sat|` counting for hierarchical self-join-free CQ¬s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchicalCounter;
+
+impl SatCountOracle for HierarchicalCounter {
+    fn counts(&self, db: &Database, q: AnyQuery<'_>) -> Result<Vec<BigUint>, CoreError> {
+        let cq = q.as_cq().ok_or_else(|| {
+            CoreError::Unsupported("the hierarchical counter handles single CQ¬s only".into())
+        })?;
+        count_sat_hierarchical(db, cq)
+    }
+}
+
+/// Computes `[|Sat(D,q,k)|]_{k=0..|Dn|}` for a hierarchical
+/// self-join-free CQ¬.
+///
+/// # Errors
+/// [`CoreError::NotSelfJoinFree`] / [`CoreError::NotHierarchical`] when
+/// the structural preconditions fail.
+pub fn count_sat_hierarchical(
+    db: &Database,
+    q: &ConjunctiveQuery,
+) -> Result<Vec<BigUint>, CoreError> {
+    if has_self_join(q) {
+        return Err(CoreError::NotSelfJoinFree { query: q.to_string() });
+    }
+    if !is_hierarchical(q) {
+        return Err(CoreError::NotHierarchical { query: q.to_string() });
+    }
+    let m = db.endo_count();
+
+    // Resolve atoms against the database. A positive atom over an
+    // unknown relation or constant is unsatisfiable; a negative one can
+    // never fire and is dropped.
+    let mut atoms: Vec<PAtom> = Vec::new();
+    let mut scopes: Vec<Vec<FactId>> = Vec::new();
+    let mut free_endo = m;
+    for atom in q.atoms() {
+        let rel = db.schema().id(&atom.relation);
+        let mut unknown_const = false;
+        let terms: Vec<PTerm> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => PTerm::Var(v.0),
+                Term::Const(name) => match db.interner().get(name) {
+                    Some(c) => PTerm::Const(c),
+                    None => {
+                        unknown_const = true;
+                        PTerm::Var(u32::MAX) // placeholder, never used
+                    }
+                },
+            })
+            .collect();
+        let missing = rel.is_none() || unknown_const;
+        if missing {
+            if atom.negated {
+                continue; // never fires
+            }
+            return Ok(vec![BigUint::zero(); m + 1]); // unsatisfiable
+        }
+        let rel = rel.expect("checked above");
+        if db.schema().arity(rel) != terms.len() {
+            return Err(CoreError::Unsupported(format!(
+                "atom {} disagrees with the arity of relation {}",
+                q.render_atom(atom),
+                atom.relation
+            )));
+        }
+        let p = PAtom { negated: atom.negated, terms };
+        // Scope: facts of the relation matching the pattern. Non-matching
+        // endogenous facts can never matter — they stay free.
+        let mut scope = Vec::new();
+        let mut scope_endo = 0usize;
+        for &fid in db.relation_facts(rel) {
+            if p.matches(db.fact(fid).tuple.values()) {
+                if db.fact(fid).provenance.is_endogenous() {
+                    scope_endo += 1;
+                }
+                scope.push(fid);
+            }
+        }
+        free_endo = free_endo
+            .checked_sub(scope_endo)
+            .expect("scoped endogenous facts are disjoint across sjf atoms");
+        atoms.push(p);
+        scopes.push(scope);
+    }
+
+    if atoms.is_empty() {
+        // Every atom was a dropped (vacuous) negation: q is a tautology.
+        return Ok(binom_vec(m));
+    }
+
+    let core = rec(db, &atoms, &scopes)?;
+    Ok(convolve(&core, &binom_vec(free_endo)))
+}
+
+fn scope_endo_count(db: &Database, scopes: &[Vec<FactId>]) -> usize {
+    scopes
+        .iter()
+        .flatten()
+        .filter(|&&f| db.fact(f).provenance.is_endogenous())
+        .count()
+}
+
+/// Recursive CntSat. Invariant: every fact in `scopes[i]` matches
+/// `atoms[i]`'s pattern; relations across atoms are distinct.
+fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<BigUint>, CoreError> {
+    debug_assert_eq!(atoms.len(), scopes.len());
+    let total_endo = scope_endo_count(db, scopes);
+
+    // Case 1: fully ground.
+    if atoms.iter().all(|a| !a.has_vars()) {
+        return Ok(base_case(db, atoms, scopes, total_endo));
+    }
+
+    // Case 2: split into connected components (shared variables).
+    let components = connected_components(atoms);
+    if components.len() > 1 {
+        let mut acc = vec![BigUint::one()];
+        for comp in components {
+            let sub_atoms: Vec<PAtom> = comp.iter().map(|&i| atoms[i].clone()).collect();
+            let sub_scopes: Vec<Vec<FactId>> = comp.iter().map(|&i| scopes[i].clone()).collect();
+            let sub = rec(db, &sub_atoms, &sub_scopes)?;
+            acc = convolve(&acc, &sub);
+        }
+        debug_assert_eq!(acc.len(), total_endo + 1);
+        return Ok(acc);
+    }
+
+    // Case 3: connected, at least one variable → root variable exists.
+    let root = find_root_var(atoms).ok_or_else(|| CoreError::Unsupported(
+        "no root variable in a connected sub-query: the query is not hierarchical".into(),
+    ))?;
+
+    // Root values with *full positive support* are the candidates; all
+    // other facts are junk (they can never participate in a satisfying
+    // homomorphism of this sub-query).
+    let mut candidates: Option<Vec<ConstId>> = None;
+    for (atom, scope) in atoms.iter().zip(scopes) {
+        if atom.negated {
+            continue;
+        }
+        let mut vals: Vec<ConstId> =
+            scope.iter().map(|&f| atom.value_of(root, db.fact(f).tuple.values())).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        candidates = Some(match candidates {
+            None => vals,
+            Some(prev) => prev.into_iter().filter(|c| vals.binary_search(c).is_ok()).collect(),
+        });
+    }
+    let candidates = candidates.ok_or_else(|| {
+        CoreError::Unsupported("connected sub-query with no positive atom".into())
+    })?;
+
+    let mut unsat = vec![BigUint::one()];
+    let mut grouped_endo = 0usize;
+    for &c in &candidates {
+        let sub_atoms: Vec<PAtom> = atoms.iter().map(|a| a.substitute(root, c)).collect();
+        let sub_scopes: Vec<Vec<FactId>> = atoms
+            .iter()
+            .zip(scopes)
+            .map(|(atom, scope)| {
+                scope
+                    .iter()
+                    .copied()
+                    .filter(|&f| atom.value_of(root, db.fact(f).tuple.values()) == c)
+                    .collect()
+            })
+            .collect();
+        let group_endo = scope_endo_count(db, &sub_scopes);
+        grouped_endo += group_endo;
+        let sat_c = rec(db, &sub_atoms, &sub_scopes)?;
+        debug_assert_eq!(sat_c.len(), group_endo + 1);
+        let unsat_c: Vec<BigUint> = (0..=group_endo)
+            .map(|j| {
+                binomial(group_endo, j)
+                    .checked_sub(&sat_c[j])
+                    .expect("sat count bounded by C(n, j)")
+            })
+            .collect();
+        unsat = convolve(&unsat, &unsat_c);
+    }
+    let junk = total_endo - grouped_endo;
+    unsat = convolve(&unsat, &binom_vec(junk));
+    debug_assert_eq!(unsat.len(), total_endo + 1);
+    Ok((0..=total_endo)
+        .map(|k| {
+            binomial(total_endo, k)
+                .checked_sub(&unsat[k])
+                .expect("unsat count bounded by C(n, k)")
+        })
+        .collect())
+}
+
+/// Ground base case (the Lemma 3.2 modification): the subset must
+/// contain every endogenous positive-atom fact, avoid every endogenous
+/// negative-atom fact, and fail outright when a positive fact is absent
+/// or a negative fact is exogenous.
+fn base_case(
+    db: &Database,
+    atoms: &[PAtom],
+    scopes: &[Vec<FactId>],
+    total_endo: usize,
+) -> Vec<BigUint> {
+    let zeros = || vec![BigUint::zero(); total_endo + 1];
+    let mut required = 0usize;
+    let mut forbidden = 0usize;
+    for (atom, scope) in atoms.iter().zip(scopes) {
+        debug_assert!(scope.len() <= 1, "ground pattern matches at most one fact");
+        match (atom.negated, scope.first()) {
+            (false, None) => return zeros(),
+            (false, Some(&f)) => {
+                if db.fact(f).provenance.is_endogenous() {
+                    required += 1;
+                }
+            }
+            (true, None) => {}
+            (true, Some(&f)) => {
+                if db.fact(f).provenance.is_endogenous() {
+                    forbidden += 1;
+                } else {
+                    return zeros();
+                }
+            }
+        }
+    }
+    let free = total_endo - required - forbidden;
+    (0..=total_endo)
+        .map(|k| {
+            if k < required || k > required + free {
+                BigUint::zero()
+            } else {
+                binomial(free, k - required)
+            }
+        })
+        .collect()
+}
+
+/// Connected components of atoms under the shares-a-variable relation.
+fn connected_components(atoms: &[PAtom]) -> Vec<Vec<usize>> {
+    let n = atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, a: usize) -> usize {
+        if parent[a] == a {
+            a
+        } else {
+            let r = find(parent, parent[a]);
+            parent[a] = r;
+            r
+        }
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let vi = atoms[i].vars();
+            let shares = atoms[j].vars().iter().any(|v| vi.binary_search(v).is_ok());
+            if shares {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut comps: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        comps.entry(r).or_default().push(i);
+    }
+    comps.into_values().collect()
+}
+
+/// A variable occurring in every atom, if any.
+fn find_root_var(atoms: &[PAtom]) -> Option<u32> {
+    let first = atoms.first()?.vars();
+    first
+        .into_iter()
+        .find(|v| atoms.iter().all(|a| a.vars().binary_search(v).is_ok()))
+}
+
+// ---------------------------------------------------------------------
+// Brute force
+// ---------------------------------------------------------------------
+
+/// `|Sat|` counting by explicit enumeration of all `2^|Dn|` worlds.
+///
+/// The ground-truth oracle for tests, and the only exact option for the
+/// queries the dichotomies classify as `FP^{#P}`-hard. Enumeration is
+/// parallelized across threads for larger universes.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForceCounter {
+    /// Maximum `|Dn|` accepted (default [`BruteForceCounter::DEFAULT_LIMIT`]).
+    pub limit: usize,
+}
+
+impl BruteForceCounter {
+    /// Default cap on `|Dn|` (2^26 worlds ≈ seconds of work).
+    pub const DEFAULT_LIMIT: usize = 26;
+
+    /// A counter with the default limit.
+    pub fn new() -> Self {
+        BruteForceCounter { limit: Self::DEFAULT_LIMIT }
+    }
+}
+
+impl Default for BruteForceCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatCountOracle for BruteForceCounter {
+    fn counts(&self, db: &Database, q: AnyQuery<'_>) -> Result<Vec<BigUint>, CoreError> {
+        let m = db.endo_count();
+        if m > self.limit {
+            return Err(CoreError::TooManyEndogenousFacts { count: m, limit: self.limit });
+        }
+        let compiled = q.compile(db);
+        let total: u64 = 1u64 << m;
+        let threads = if m >= 18 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16)
+        } else {
+            1
+        };
+        let chunk = total.div_ceil(threads as u64);
+        let mut per_thread: Vec<Vec<u64>> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let compiled = &compiled;
+                let lo = t as u64 * chunk;
+                let hi = (lo + chunk).min(total);
+                handles.push(s.spawn(move |_| {
+                    let mut counts = vec![0u64; m + 1];
+                    let mut world = World::empty(db);
+                    for mask in lo..hi {
+                        world.assign_mask(mask);
+                        if compiled.satisfied(db, &world) {
+                            counts[mask.count_ones() as usize] += 1;
+                        }
+                    }
+                    counts
+                }));
+            }
+            per_thread = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        })
+        .expect("thread scope");
+        let mut out = vec![BigUint::zero(); m + 1];
+        for counts in per_thread {
+            for (k, c) in counts.into_iter().enumerate() {
+                out[k] += &BigUint::from_u64(c);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqshap_query::parse_cq;
+
+    fn counts_match(db: &Database, q: &ConjunctiveQuery) {
+        let fast = count_sat_hierarchical(db, q).unwrap();
+        let slow = BruteForceCounter::new().counts(db, AnyQuery::Cq(q)).unwrap();
+        assert_eq!(fast, slow, "query {q} on\n{db}");
+    }
+
+    fn university() -> Database {
+        Database::parse(
+            "exo Stud(Adam)\nexo Stud(Ben)\nexo Stud(Caroline)\nexo Stud(David)\n\
+             endo TA(Adam)\nendo TA(Ben)\nendo TA(David)\n\
+             exo Course(OS, EE)\nexo Course(IC, EE)\nexo Course(DB, CS)\nexo Course(AI, CS)\n\
+             endo Reg(Adam, OS)\nendo Reg(Adam, AI)\nendo Reg(Ben, OS)\n\
+             endo Reg(Caroline, DB)\nendo Reg(Caroline, IC)\n\
+             exo Adv(Michael, Adam)\nexo Adv(Michael, Ben)\nexo Adv(Naomi, Caroline)\n\
+             exo Adv(Michael, David)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn q1_on_running_example() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        counts_match(&db, &q1);
+        // Spot value: every world containing Reg(Caroline, DB) satisfies;
+        // |Sat| at k = |Dn| = 8 is 1.
+        let v = count_sat_hierarchical(&db, &q1).unwrap();
+        assert_eq!(v.len(), 9);
+        assert_eq!(v[8], BigUint::one());
+        assert_eq!(v[0], BigUint::zero());
+    }
+
+    #[test]
+    fn purely_positive_hierarchical() {
+        let db = university();
+        for text in [
+            "q() :- Reg(x, y)",
+            "q() :- Stud(x), Reg(x, y)",
+            "q() :- Stud(x), TA(x), Reg(x, y)",
+            "q() :- Reg(x, 'OS')",
+        ] {
+            counts_match(&db, &parse_cq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn negation_heavy_hierarchical() {
+        let db = university();
+        for text in [
+            "q() :- Stud(x), !TA(x)",
+            "q() :- Stud(x), !Reg(x, 'OS')",
+            "q() :- Reg(x, y), !TA(x)",
+            "q() :- Stud(x), !TA(x), Reg(x, y), Adv(z, x)",
+        ] {
+            counts_match(&db, &parse_cq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn ground_queries() {
+        let db = university();
+        for text in [
+            "q() :- TA('Adam')",
+            "q() :- !TA('Adam')",
+            "q() :- TA('Adam'), !Reg('Ben', 'OS')",
+            "q() :- Stud('Adam')",
+            "q() :- !Stud('Adam')",
+            "q() :- TA('Nobody')",
+            "q() :- !TA('Nobody')",
+            "q() :- Ghost('x')",
+            "q() :- !Ghost('x'), TA('Adam')",
+        ] {
+            counts_match(&db, &parse_cq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn disconnected_queries() {
+        let db = university();
+        for text in [
+            "q() :- TA(x), Course(y, 'CS')",
+            "q() :- TA(x), Course(y, f), !Reg('Caroline', y)",
+            "q() :- Reg(x, 'OS'), Reg2(y, 'DB')",
+        ] {
+            counts_match(&db, &parse_cq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn repeated_variable_patterns() {
+        let mut db = Database::new();
+        db.add_endo("E", &["a", "a"]).unwrap();
+        db.add_endo("E", &["a", "b"]).unwrap();
+        db.add_endo("E", &["b", "b"]).unwrap();
+        db.add_endo("R", &["a"]).unwrap();
+        for text in ["q() :- E(x, x)", "q() :- R(x), !E(x, x)"] {
+            counts_match(&db, &parse_cq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_non_hierarchical_and_self_joins() {
+        let db = university();
+        let q = parse_cq("q() :- Stud(x), Reg(x, y), Course(y, z)").unwrap();
+        assert!(matches!(
+            count_sat_hierarchical(&db, &q),
+            Err(CoreError::NotHierarchical { .. })
+        ));
+        let sj = parse_cq("q() :- Reg(x, y), Reg(y, x)").unwrap();
+        assert!(matches!(
+            count_sat_hierarchical(&db, &sj),
+            Err(CoreError::NotSelfJoinFree { .. })
+        ));
+    }
+
+    #[test]
+    fn brute_force_limit() {
+        let mut db = Database::new();
+        for i in 0..5 {
+            db.add_endo("R", &[&format!("c{i}")]).unwrap();
+        }
+        let q = parse_cq("q() :- R(x)").unwrap();
+        let small = BruteForceCounter { limit: 4 };
+        assert!(matches!(
+            small.counts(&db, AnyQuery::Cq(&q)),
+            Err(CoreError::TooManyEndogenousFacts { count: 5, limit: 4 })
+        ));
+        // counts for q() :- R(x): all nonempty subsets satisfy.
+        let ok = BruteForceCounter::new().counts(&db, AnyQuery::Cq(&q)).unwrap();
+        assert_eq!(ok[0], BigUint::zero());
+        for (k, c) in ok.iter().enumerate().skip(1) {
+            assert_eq!(*c, binomial(5, k));
+        }
+    }
+}

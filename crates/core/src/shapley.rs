@@ -1,0 +1,550 @@
+//! Exact Shapley values via the `|Sat|` reduction.
+//!
+//! For any Boolean query `q`, with `m = |Dn|` and `f ∈ Dn`:
+//!
+//! ```text
+//! Shapley(D, q, f) = Σ_{k=0}^{m-1}  k!·(m-1-k)!/m! · (N⁺_k − N_k)
+//! ```
+//!
+//! where `N⁺_k` counts the `k`-subsets `E ⊆ Dn∖{f}` with
+//! `Dx ∪ E ∪ {f} ⊨ q` and `N_k` those with `Dx ∪ E ⊨ q`. Both are
+//! `|Sat(·, q, k)|` computations on a modified database (`f` made
+//! exogenous, resp. removed), so any [`SatCountOracle`] yields exact
+//! Shapley values — polynomial-time for hierarchical queries (Theorem
+//! 3.1), for `ExoShap`-rewritable ones (Theorem 4.3), and exponential
+//! brute force otherwise.
+//!
+//! The reduction is due to Livshits et al.; the paper observes it makes
+//! no monotonicity assumption, which is exactly what negation needs.
+
+use cqshap_db::{Database, FactId, World};
+use cqshap_numeric::{BigInt, BigRational, FactorialTable};
+use cqshap_query::{
+    classify_with_exo, has_self_join, ConjunctiveQuery, ExactComplexity, UnionQuery,
+};
+
+use crate::anyquery::AnyQuery;
+use crate::error::CoreError;
+use crate::exoshap;
+use crate::satcount::{BruteForceCounter, HierarchicalCounter, SatCountOracle};
+
+/// How to compute an exact Shapley value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Pick automatically from the dichotomies: hierarchical → `CntSat`;
+    /// no non-hierarchical path → `ExoShap`; otherwise brute force
+    /// (within the limit).
+    #[default]
+    Auto,
+    /// Require the hierarchical polynomial algorithm (Theorem 3.1).
+    Hierarchical,
+    /// Require the `ExoShap` rewriting (Theorem 4.3).
+    ExoShap,
+    /// Explicit `2^|Dn|` subset enumeration.
+    BruteForceSubsets,
+    /// Explicit `|Dn|!` permutation enumeration (tiny inputs only; an
+    /// independent cross-check of the reduction identity itself).
+    BruteForcePermutations,
+}
+
+/// Options for exact computation.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapleyOptions {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Cap on `|Dn|` for [`Strategy::BruteForceSubsets`].
+    pub brute_force_limit: usize,
+    /// Cap on `|Dn|` for [`Strategy::BruteForcePermutations`].
+    pub permutation_limit: usize,
+    /// Materialization budget for the `ExoShap` rewriting.
+    pub tuple_budget: usize,
+}
+
+impl Default for ShapleyOptions {
+    fn default() -> Self {
+        ShapleyOptions {
+            strategy: Strategy::Auto,
+            brute_force_limit: BruteForceCounter::DEFAULT_LIMIT,
+            permutation_limit: 9,
+            tuple_budget: cqshap_db::complement::DEFAULT_TUPLE_BUDGET,
+        }
+    }
+}
+
+/// Computes `Shapley(D, q, f)` through a `|Sat|` oracle.
+///
+/// # Errors
+/// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`, plus anything the
+/// oracle raises.
+pub fn shapley_via_counts(
+    db: &Database,
+    q: AnyQuery<'_>,
+    f: FactId,
+    oracle: &dyn SatCountOracle,
+) -> Result<BigRational, CoreError> {
+    if db.endo_index(f).is_none() {
+        return Err(CoreError::FactNotEndogenous { fact: db.render_fact(f) });
+    }
+    let m = db.endo_count();
+    let (db_minus, _) = db.without_fact(f)?;
+    let (db_plus, _) = db.with_fact_exogenous(f)?;
+    let n_minus = oracle.counts(&db_minus, q)?;
+    let n_plus = oracle.counts(&db_plus, q)?;
+    debug_assert_eq!(n_minus.len(), m);
+    debug_assert_eq!(n_plus.len(), m);
+    let table = FactorialTable::new(m);
+    let mut acc = BigRational::zero();
+    for k in 0..m {
+        let diff = BigInt::from_biguint(n_plus[k].clone()) - BigInt::from_biguint(n_minus[k].clone());
+        if !diff.is_zero() {
+            acc += &(table.shapley_weight(m, k) * BigRational::from_int(diff));
+        }
+    }
+    Ok(acc)
+}
+
+/// Computes `Shapley(D, q, f)` by enumerating all `|Dn|!` permutations —
+/// the textbook definition, used as an independent cross-check.
+///
+/// # Errors
+/// [`CoreError::TooManyEndogenousFacts`] beyond `limit`.
+pub fn shapley_by_permutations(
+    db: &Database,
+    q: AnyQuery<'_>,
+    f: FactId,
+    limit: usize,
+) -> Result<BigRational, CoreError> {
+    let pos = db
+        .endo_index(f)
+        .ok_or_else(|| CoreError::FactNotEndogenous { fact: db.render_fact(f) })?;
+    let m = db.endo_count();
+    if m > limit {
+        return Err(CoreError::TooManyEndogenousFacts { count: m, limit });
+    }
+    let compiled = q.compile(db);
+    let mut order: Vec<usize> = (0..m).collect();
+    let mut total = BigInt::zero();
+    permute(&mut order, 0, &mut |perm| {
+        let mut world = World::empty(db);
+        for &p in perm {
+            if p == pos {
+                break;
+            }
+            world.insert(db, db.endo_facts()[p]);
+        }
+        let before = compiled.satisfied(db, &world);
+        world.insert(db, f);
+        let after = compiled.satisfied(db, &world);
+        total += &BigInt::from_i64(after as i64 - before as i64);
+    });
+    let table = FactorialTable::new(m);
+    Ok(BigRational::from_int(total)
+        / BigRational::from(table.factorial(m).clone()))
+}
+
+fn permute(order: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == order.len() {
+        visit(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute(order, k + 1, visit);
+        order.swap(k, i);
+    }
+}
+
+/// Computes `Shapley(D, q, f)` for a CQ¬ using `options.strategy`.
+pub fn shapley_value(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    f: FactId,
+    options: &ShapleyOptions,
+) -> Result<BigRational, CoreError> {
+    match resolve_strategy(db, q, options)? {
+        Resolved::Hierarchical => {
+            shapley_via_counts(db, AnyQuery::Cq(q), f, &HierarchicalCounter)
+        }
+        Resolved::ExoShap => {
+            let outcome = exoshap::rewrite(db, q, options.tuple_budget)?;
+            if outcome.always_false {
+                return Ok(BigRational::zero());
+            }
+            shapley_via_counts(&outcome.db, AnyQuery::Cq(&outcome.query), f, &HierarchicalCounter)
+        }
+        Resolved::BruteForce => shapley_via_counts(
+            db,
+            AnyQuery::Cq(q),
+            f,
+            &BruteForceCounter { limit: options.brute_force_limit },
+        ),
+        Resolved::Permutations => {
+            shapley_by_permutations(db, AnyQuery::Cq(q), f, options.permutation_limit)
+        }
+    }
+}
+
+/// Computes `Shapley(D, q, f)` for a UCQ¬ (brute force or permutations —
+/// the exact-tractability theory of the paper covers single CQ¬s).
+pub fn shapley_value_union(
+    db: &Database,
+    u: &UnionQuery,
+    f: FactId,
+    options: &ShapleyOptions,
+) -> Result<BigRational, CoreError> {
+    match options.strategy {
+        Strategy::BruteForcePermutations => {
+            shapley_by_permutations(db, AnyQuery::Union(u), f, options.permutation_limit)
+        }
+        Strategy::Auto | Strategy::BruteForceSubsets => shapley_via_counts(
+            db,
+            AnyQuery::Union(u),
+            f,
+            &BruteForceCounter { limit: options.brute_force_limit },
+        ),
+        other => Err(CoreError::Unsupported(format!(
+            "strategy {other:?} is not available for unions"
+        ))),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Resolved {
+    Hierarchical,
+    ExoShap,
+    BruteForce,
+    Permutations,
+}
+
+fn resolve_strategy(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: &ShapleyOptions,
+) -> Result<Resolved, CoreError> {
+    Ok(match options.strategy {
+        Strategy::Hierarchical => Resolved::Hierarchical,
+        Strategy::ExoShap => Resolved::ExoShap,
+        Strategy::BruteForceSubsets => Resolved::BruteForce,
+        Strategy::BruteForcePermutations => Resolved::Permutations,
+        Strategy::Auto => {
+            if has_self_join(q) {
+                // The dichotomy is open for self-joins (Section 6):
+                // fall back to brute force when feasible.
+                if db.endo_count() <= options.brute_force_limit {
+                    Resolved::BruteForce
+                } else {
+                    return Err(CoreError::TooManyEndogenousFacts {
+                        count: db.endo_count(),
+                        limit: options.brute_force_limit,
+                    });
+                }
+            } else {
+                let exo: std::collections::HashSet<String> =
+                    db.exogenous_relation_names().into_iter().collect();
+                match classify_with_exo(q, &exo) {
+                    ExactComplexity::TractableHierarchical => Resolved::Hierarchical,
+                    ExactComplexity::TractableViaExoShap => Resolved::ExoShap,
+                    ExactComplexity::FpSharpPComplete { witness } => {
+                        if db.endo_count() <= options.brute_force_limit {
+                            Resolved::BruteForce
+                        } else {
+                            return Err(CoreError::HasNonHierarchicalPath { witness });
+                        }
+                    }
+                    ExactComplexity::SelfJoinHard { .. } | ExactComplexity::OpenSelfJoins => {
+                        unreachable!("self-join handled above")
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// The Shapley value of one fact, as part of a [`ShapleyReport`].
+#[derive(Debug, Clone)]
+pub struct ShapleyEntry {
+    /// The fact id.
+    pub fact: FactId,
+    /// The fact, rendered (e.g. `Reg(Adam, OS)`).
+    pub rendered: String,
+    /// The exact value.
+    pub value: BigRational,
+}
+
+/// Shapley values of every endogenous fact, plus the efficiency check.
+#[derive(Debug, Clone)]
+pub struct ShapleyReport {
+    /// One entry per endogenous fact, in `Dn` order.
+    pub entries: Vec<ShapleyEntry>,
+    /// `Σ_f Shapley(D, q, f)`.
+    pub total: BigRational,
+    /// `q(D) − q(Dx)`, which the total must equal (the efficiency axiom
+    /// of the Shapley value; Example 2.3 notes the sum is 1 there).
+    pub expected_total: BigRational,
+}
+
+impl ShapleyReport {
+    /// Does the efficiency axiom hold exactly?
+    pub fn efficiency_holds(&self) -> bool {
+        self.total == self.expected_total
+    }
+
+    /// The entry for `f`, if endogenous.
+    pub fn entry(&self, f: FactId) -> Option<&ShapleyEntry> {
+        self.entries.iter().find(|e| e.fact == f)
+    }
+}
+
+/// Computes the Shapley value of *every* endogenous fact of `db`.
+///
+/// The `ExoShap` rewriting, when applicable, is performed once and
+/// shared across facts.
+pub fn shapley_report(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: &ShapleyOptions,
+) -> Result<ShapleyReport, CoreError> {
+    let resolved = resolve_strategy(db, q, options)?;
+    // Share the rewriting across facts.
+    let rewritten;
+    let (eff_db, eff_q): (&Database, &ConjunctiveQuery) = match resolved {
+        Resolved::ExoShap => {
+            rewritten = exoshap::rewrite(db, q, options.tuple_budget)?;
+            if rewritten.always_false {
+                let entries: Vec<ShapleyEntry> = db
+                    .endo_facts()
+                    .iter()
+                    .map(|&f| ShapleyEntry {
+                        fact: f,
+                        rendered: db.render_fact(f),
+                        value: BigRational::zero(),
+                    })
+                    .collect();
+                return Ok(ShapleyReport {
+                    entries,
+                    total: BigRational::zero(),
+                    expected_total: BigRational::zero(),
+                });
+            }
+            (&rewritten.db, &rewritten.query)
+        }
+        _ => (db, q),
+    };
+    let oracle: Box<dyn SatCountOracle> = match resolved {
+        Resolved::Hierarchical | Resolved::ExoShap => Box::new(HierarchicalCounter),
+        Resolved::BruteForce | Resolved::Permutations => {
+            Box::new(BruteForceCounter { limit: options.brute_force_limit })
+        }
+    };
+    // Per-fact computations are independent: fan them out across threads.
+    let facts = db.endo_facts();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(facts.len().max(1))
+        .min(16);
+    let oracle_ref: &dyn SatCountOracle = oracle.as_ref();
+    let mut values: Vec<Result<BigRational, CoreError>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for chunk in facts.chunks(facts.len().div_ceil(threads).max(1)) {
+            handles.push(s.spawn(move |_| {
+                chunk
+                    .iter()
+                    .map(|&f| match resolved {
+                        Resolved::Permutations => shapley_by_permutations(
+                            eff_db,
+                            AnyQuery::Cq(eff_q),
+                            f,
+                            options.permutation_limit,
+                        ),
+                        _ => shapley_via_counts(eff_db, AnyQuery::Cq(eff_q), f, oracle_ref),
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            values.extend(h.join().expect("report worker panicked"));
+        }
+    })
+    .expect("thread scope");
+    let mut entries = Vec::with_capacity(facts.len());
+    let mut total = BigRational::zero();
+    for (&f, value) in facts.iter().zip(values) {
+        let value = value?;
+        total += &value;
+        entries.push(ShapleyEntry { fact: f, rendered: db.render_fact(f), value });
+    }
+    // Efficiency: Σ Shapley = q(D) − q(Dx).
+    let full = cqshap_engine::satisfies(eff_db, &World::full(eff_db), eff_q) as i64;
+    let empty = cqshap_engine::satisfies(eff_db, &World::empty(eff_db), eff_q) as i64;
+    let expected_total = BigRational::from(full - empty);
+    Ok(ShapleyReport { entries, total, expected_total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqshap_query::parse_cq;
+
+    fn university() -> Database {
+        Database::parse(
+            "exo Stud(Adam)\nexo Stud(Ben)\nexo Stud(Caroline)\nexo Stud(David)\n\
+             endo TA(Adam)\nendo TA(Ben)\nendo TA(David)\n\
+             exo Course(OS, EE)\nexo Course(IC, EE)\nexo Course(DB, CS)\nexo Course(AI, CS)\n\
+             endo Reg(Adam, OS)\nendo Reg(Adam, AI)\nendo Reg(Ben, OS)\n\
+             endo Reg(Caroline, DB)\nendo Reg(Caroline, IC)\n\
+             exo Adv(Michael, Adam)\nexo Adv(Michael, Ben)\nexo Adv(Naomi, Caroline)\n\
+             exo Adv(Michael, David)\n",
+        )
+        .unwrap()
+    }
+
+    fn rat(p: i64, q: i64) -> BigRational {
+        BigRational::from_i64_ratio(p, q)
+    }
+
+    /// Example 2.3: the exact Shapley values of all endogenous facts for
+    /// q1 on the running example. (The appendix's expansion for f_r1
+    /// misses the subset {f_t2, f_t3}; the main text's 37/210 is what the
+    /// definition yields, as both our algorithms and the permutation
+    /// enumeration confirm.)
+    #[test]
+    fn example_2_3_exact_values() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let opts = ShapleyOptions::default();
+        let report = shapley_report(&db, &q1, &opts).unwrap();
+        assert!(report.efficiency_holds());
+        assert_eq!(report.expected_total, BigRational::one());
+
+        let expect = [
+            ("TA", vec!["Adam"], rat(-3, 28)),
+            ("TA", vec!["Ben"], rat(-2, 35)),
+            ("TA", vec!["David"], rat(0, 1)),
+            ("Reg", vec!["Adam", "OS"], rat(37, 210)),
+            ("Reg", vec!["Adam", "AI"], rat(37, 210)),
+            ("Reg", vec!["Ben", "OS"], rat(27, 140)),
+            ("Reg", vec!["Caroline", "DB"], rat(13, 42)),
+            ("Reg", vec!["Caroline", "IC"], rat(13, 42)),
+        ];
+        for (rel, args, expected) in expect {
+            let refs: Vec<&str> = args.iter().map(|s| &**s).collect();
+            let f = db.find_fact(rel, &refs).unwrap();
+            let entry = report.entry(f).unwrap();
+            assert_eq!(entry.value, expected, "{}", entry.rendered);
+        }
+    }
+
+    #[test]
+    fn oracle_agreement_hierarchical_vs_brute_vs_permutations() {
+        let db = Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\n\
+             endo Reg(a, c1)\nendo Reg(b, c2)\n",
+        )
+        .unwrap();
+        let q = parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        for &f in db.endo_facts() {
+            let h = shapley_via_counts(&db, AnyQuery::Cq(&q), f, &HierarchicalCounter).unwrap();
+            let b =
+                shapley_via_counts(&db, AnyQuery::Cq(&q), f, &BruteForceCounter::new()).unwrap();
+            let p = shapley_by_permutations(&db, AnyQuery::Cq(&q), f, 9).unwrap();
+            assert_eq!(h, b, "{}", db.render_fact(f));
+            assert_eq!(h, p, "{}", db.render_fact(f));
+        }
+    }
+
+    #[test]
+    fn section_5_1_gap_example_small() {
+        // q() :- R(x), S(x,y), !R(y) on the Section 5.1 database with
+        // n = 2: |Shapley(f)| = 2!·2!/5! = 1/30.
+        let n = 2;
+        let mut db = Database::new();
+        for i in 0..=2 * n {
+            db.add_exo("S", &[&format!("cx{i}"), &format!("cy{i}")]).unwrap();
+        }
+        for i in 1..=n {
+            db.add_exo("R", &[&format!("cx{i}")]).unwrap();
+            db.add_endo("R", &[&format!("cy{i}")]).unwrap();
+        }
+        db.add_endo("R", &["cx0"]).unwrap();
+        for i in n + 1..=2 * n {
+            db.add_endo("R", &[&format!("cx{i}")]).unwrap();
+        }
+        let q = parse_cq("q() :- R(x), S(x, y), !R(y)").unwrap();
+        let f = db.find_fact("R", &["cx0"]).unwrap();
+        // Self-join → Auto uses brute force.
+        let v = shapley_value(&db, &q, f, &ShapleyOptions::default()).unwrap();
+        assert_eq!(v, rat(1, 30));
+        let p = shapley_by_permutations(&db, AnyQuery::Cq(&q), f, 9).unwrap();
+        assert_eq!(p, rat(1, 30));
+    }
+
+    #[test]
+    fn auto_strategy_dispatch() {
+        let db = university();
+        // Hierarchical.
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let f = db.find_fact("TA", &["Adam"]).unwrap();
+        assert_eq!(
+            shapley_value(&db, &q1, f, &ShapleyOptions::default()).unwrap(),
+            rat(-3, 28)
+        );
+        // Non-hierarchical without exogenous declarations: |Dn| = 8 ≤
+        // limit → brute force matches permutations.
+        let q2 = parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
+        let v = shapley_value(&db, &q2, f, &ShapleyOptions::default()).unwrap();
+        let p = shapley_by_permutations(&db, AnyQuery::Cq(&q2), f, 9).unwrap();
+        assert_eq!(v, p);
+    }
+
+    #[test]
+    fn exoshap_matches_brute_force_on_q2() {
+        // Same data but with Stud and Course declared exogenous: Theorem
+        // 4.3 puts q2 in PTIME; the rewriting must agree with brute force.
+        let mut db = university();
+        let stud = db.schema().id("Stud").unwrap();
+        let course = db.schema().id("Course").unwrap();
+        let adv = db.schema().id("Adv").unwrap();
+        db.declare_exogenous_relation(stud).unwrap();
+        db.declare_exogenous_relation(course).unwrap();
+        db.declare_exogenous_relation(adv).unwrap();
+        let q2 = parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
+        let exo_opts = ShapleyOptions { strategy: Strategy::ExoShap, ..Default::default() };
+        let bf_opts =
+            ShapleyOptions { strategy: Strategy::BruteForceSubsets, ..Default::default() };
+        for &f in db.endo_facts() {
+            let a = shapley_value(&db, &q2, f, &exo_opts).unwrap();
+            let b = shapley_value(&db, &q2, f, &bf_opts).unwrap();
+            assert_eq!(a, b, "{}", db.render_fact(f));
+        }
+        // Auto picks ExoShap here.
+        let f = db.find_fact("TA", &["Adam"]).unwrap();
+        let auto = shapley_value(&db, &q2, f, &ShapleyOptions::default()).unwrap();
+        assert_eq!(auto, shapley_value(&db, &q2, f, &exo_opts).unwrap());
+    }
+
+    #[test]
+    fn non_endogenous_fact_rejected() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let f = db.find_fact("Stud", &["Adam"]).unwrap();
+        assert!(matches!(
+            shapley_value(&db, &q1, f, &ShapleyOptions::default()),
+            Err(CoreError::FactNotEndogenous { .. })
+        ));
+    }
+
+    #[test]
+    fn union_brute_force() {
+        let db = Database::parse("endo R(a)\nendo S(b)\n").unwrap();
+        let u = cqshap_query::parse_ucq("q() :- R(x); q() :- S(x)").unwrap();
+        let f = db.find_fact("R", &["a"]).unwrap();
+        let v = shapley_value_union(&db, &u, f, &ShapleyOptions::default()).unwrap();
+        // Symmetric players of a 2-player OR game: each gets 1/2.
+        assert_eq!(v, rat(1, 2));
+        let p = shapley_by_permutations(&db, AnyQuery::Union(&u), f, 9).unwrap();
+        assert_eq!(p, rat(1, 2));
+    }
+}

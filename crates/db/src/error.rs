@@ -1,0 +1,78 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by database construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A relation was redeclared with a different arity, or a fact's tuple
+    /// width disagrees with its relation.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Offending arity.
+        got: usize,
+    },
+    /// The same `(relation, tuple)` fact was inserted twice.
+    DuplicateFact {
+        /// Rendered fact, e.g. `Reg(Adam, OS)`.
+        fact: String,
+    },
+    /// An endogenous fact was inserted into a declared exogenous relation,
+    /// or a relation with endogenous facts was declared exogenous.
+    ExogenousViolation {
+        /// Relation name.
+        relation: String,
+    },
+    /// An unknown relation name was referenced.
+    UnknownRelation {
+        /// Relation name.
+        relation: String,
+    },
+    /// A fact id out of range or otherwise invalid for this database.
+    UnknownFact {
+        /// The raw fact id.
+        id: u32,
+    },
+    /// A materialization (complement / join / product) exceeded the
+    /// configured tuple budget.
+    BudgetExceeded {
+        /// What was being materialized.
+        context: String,
+        /// The configured budget.
+        budget: usize,
+        /// The size that would have been produced.
+        required: usize,
+    },
+    /// Text-format parse error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::ArityMismatch { relation, expected, got } => {
+                write!(f, "relation {relation}: arity mismatch (declared {expected}, got {got})")
+            }
+            DbError::DuplicateFact { fact } => write!(f, "duplicate fact {fact}"),
+            DbError::ExogenousViolation { relation } => {
+                write!(f, "relation {relation} is exogenous but holds/receives endogenous facts")
+            }
+            DbError::UnknownRelation { relation } => write!(f, "unknown relation {relation}"),
+            DbError::UnknownFact { id } => write!(f, "unknown fact id {id}"),
+            DbError::BudgetExceeded { context, budget, required } => {
+                write!(f, "{context}: needs {required} tuples, budget is {budget}")
+            }
+            DbError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

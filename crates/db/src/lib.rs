@@ -1,0 +1,38 @@
+//! Relational substrate for `cqshap`.
+//!
+//! The paper's data model (Section 2): a database `D` is a finite set of
+//! facts over a relational schema, partitioned into *exogenous* facts `Dx`
+//! (taken as given, never hypothesized away) and *endogenous* facts `Dn`
+//! (the players of the Shapley cooperative game). Section 4 additionally
+//! fixes a set `X` of *exogenous relations* that may only contain exogenous
+//! facts.
+//!
+//! This crate provides:
+//!
+//! * [`Interner`] — constants are interned strings ([`ConstId`]);
+//! * [`Schema`] / [`RelId`] — relation symbols with fixed arities;
+//! * [`Database`] — fact storage with the endogenous/exogenous partition,
+//!   exogenous-relation declarations, membership indexes, and
+//!   modified-copy helpers used by the Shapley reduction;
+//! * [`World`] / [`BitSet`] — subsets `E ⊆ Dn` as compact bitsets;
+//! * [`complement`] — active-domain complement materialization (used by
+//!   the `ExoShap` rewriting and several hardness proofs);
+//! * a line-oriented text format for databases (`Database::parse`).
+
+pub mod bitset;
+pub mod complement;
+pub mod database;
+pub mod error;
+pub mod fact;
+pub mod interner;
+pub mod parser;
+pub mod schema;
+pub mod world;
+
+pub use bitset::BitSet;
+pub use database::Database;
+pub use error::DbError;
+pub use fact::{Fact, FactId, Provenance, Tuple};
+pub use interner::{ConstId, Interner};
+pub use schema::{RelId, RelationDef, Schema};
+pub use world::World;

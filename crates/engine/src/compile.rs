@@ -1,0 +1,196 @@
+//! Compiling queries against a database.
+//!
+//! Compilation resolves relation names to [`RelId`]s and constant names to
+//! [`ConstId`]s once, and fixes a greedy join order for the positive
+//! atoms, so that evaluating the same query over thousands of worlds
+//! (brute force, sampling) does no repeated string work.
+
+use cqshap_db::{ConstId, Database, RelId};
+use cqshap_query::{Atom, ConjunctiveQuery, Term, UnionQuery, Var};
+
+/// A term resolved against a database interner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompiledTerm {
+    /// A query variable (dense index).
+    Var(u32),
+    /// A constant known to the database.
+    Const(ConstId),
+    /// A constant the database has never seen: a positive atom with this
+    /// term can never match; a negative atom with it never fires.
+    UnknownConst,
+}
+
+/// An atom resolved against a database.
+#[derive(Debug, Clone)]
+pub struct CompiledAtom {
+    /// Position of the atom within the source query's atom list.
+    pub source_index: usize,
+    /// The resolved relation; `None` when the database has no relation of
+    /// this name (a positive atom is then unsatisfiable, a negative atom
+    /// vacuously true).
+    pub rel: Option<RelId>,
+    /// Resolved terms.
+    pub terms: Vec<CompiledTerm>,
+    /// Negated?
+    pub negated: bool,
+}
+
+impl CompiledAtom {
+    fn compile(db: &Database, atom: &Atom, source_index: usize) -> Self {
+        CompiledAtom {
+            source_index,
+            rel: db.schema().id(&atom.relation),
+            terms: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(Var(v)) => CompiledTerm::Var(*v),
+                    Term::Const(c) => match db.interner().get(c) {
+                        Some(id) => CompiledTerm::Const(id),
+                        None => CompiledTerm::UnknownConst,
+                    },
+                })
+                .collect(),
+            negated: atom.negated,
+        }
+    }
+
+    /// Variables of this atom (deduplicated, ascending).
+    pub fn variables(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .terms
+            .iter()
+            .filter_map(|t| match t {
+                CompiledTerm::Var(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A query compiled against one database.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Positive atoms in evaluation (join) order.
+    pub positives: Vec<CompiledAtom>,
+    /// Negative atoms (checked once all their variables are bound).
+    pub negatives: Vec<CompiledAtom>,
+    /// Number of query variables.
+    pub var_count: usize,
+    /// Head variables (dense indices).
+    pub head: Vec<u32>,
+}
+
+impl CompiledQuery {
+    /// Compiles `q` against `db`.
+    pub fn compile(db: &Database, q: &ConjunctiveQuery) -> Self {
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        for (i, atom) in q.atoms().iter().enumerate() {
+            let c = CompiledAtom::compile(db, atom, i);
+            if c.negated {
+                negatives.push(c);
+            } else {
+                positives.push(c);
+            }
+        }
+        order_positives(db, &mut positives);
+        CompiledQuery {
+            positives,
+            negatives,
+            var_count: q.var_count(),
+            head: q.head().iter().map(|v| v.0).collect(),
+        }
+    }
+}
+
+/// Greedy join order: repeatedly pick the atom with the most
+/// already-bound variables, breaking ties toward smaller relations.
+/// Keeps evaluation from degenerating into a full cross product.
+fn order_positives(db: &Database, positives: &mut Vec<CompiledAtom>) {
+    let mut remaining: Vec<CompiledAtom> = std::mem::take(positives);
+    let mut bound: Vec<bool> = Vec::new();
+    let grow = |bound: &mut Vec<bool>, v: usize| {
+        if v >= bound.len() {
+            bound.resize(v + 1, false);
+        }
+    };
+    while !remaining.is_empty() {
+        let mut best = 0usize;
+        let mut best_key = (usize::MAX, usize::MAX); // (unbound vars, relation size)
+        for (i, atom) in remaining.iter().enumerate() {
+            let unbound = atom
+                .variables()
+                .iter()
+                .filter(|&&v| !bound.get(v as usize).copied().unwrap_or(false))
+                .count();
+            let size = atom.rel.map_or(0, |r| db.relation_facts(r).len());
+            let key = (unbound, size);
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        let atom = remaining.swap_remove(best);
+        for v in atom.variables() {
+            grow(&mut bound, v as usize);
+            bound[v as usize] = true;
+        }
+        positives.push(atom);
+    }
+}
+
+/// A union compiled against one database.
+#[derive(Debug, Clone)]
+pub struct CompiledUnion {
+    /// Compiled disjuncts, in source order.
+    pub disjuncts: Vec<CompiledQuery>,
+}
+
+impl CompiledUnion {
+    /// Compiles `u` against `db`.
+    pub fn compile(db: &Database, u: &UnionQuery) -> Self {
+        CompiledUnion {
+            disjuncts: u.disjuncts().iter().map(|d| CompiledQuery::compile(db, d)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqshap_query::parse_cq;
+
+    #[test]
+    fn compiles_and_orders() {
+        let mut db = Database::new();
+        db.add_exo("S", &["a", "b"]).unwrap();
+        db.add_endo("R", &["a"]).unwrap();
+        db.add_endo("R", &["b"]).unwrap();
+        db.add_endo("T", &["b"]).unwrap();
+        let q = parse_cq("q() :- R(x), S(x, y), !T(y)").unwrap();
+        let c = CompiledQuery::compile(&db, &q);
+        assert_eq!(c.positives.len(), 2);
+        assert_eq!(c.negatives.len(), 1);
+        assert_eq!(c.var_count, 2);
+        // All relations resolve.
+        assert!(c.positives.iter().all(|a| a.rel.is_some()));
+    }
+
+    #[test]
+    fn unknown_relation_and_constant() {
+        let mut db = Database::new();
+        db.add_endo("R", &["a"]).unwrap();
+        let q = parse_cq("q() :- R(x), !Missing(x), R('zzz')").unwrap();
+        let c = CompiledQuery::compile(&db, &q);
+        assert!(c.negatives[0].rel.is_none());
+        let has_unknown_const = c
+            .positives
+            .iter()
+            .any(|a| a.terms.contains(&CompiledTerm::UnknownConst));
+        assert!(has_unknown_const);
+    }
+}

@@ -1,0 +1,364 @@
+//! Satisfaction and homomorphism enumeration.
+
+use std::collections::BTreeSet;
+
+use cqshap_db::{ConstId, Database, FactId, Tuple, World};
+use cqshap_query::{ConjunctiveQuery, UnionQuery};
+
+use crate::compile::{CompiledAtom, CompiledQuery, CompiledTerm, CompiledUnion};
+
+/// Which facts are visible to matching.
+#[derive(Debug, Clone, Copy)]
+pub enum FactScope<'a> {
+    /// `Dx ∪ E`: exogenous facts plus the world's endogenous facts. This
+    /// is the evaluation scope of the Shapley wealth function.
+    World(&'a World),
+    /// Every fact of `D`, endogenous or not — the scope the relevance
+    /// algorithms (Algorithms 2/3) enumerate homomorphisms over.
+    All,
+}
+
+impl FactScope<'_> {
+    #[inline]
+    fn visible(&self, db: &Database, id: FactId) -> bool {
+        match self {
+            FactScope::All => true,
+            FactScope::World(w) => {
+                let f = db.fact(id);
+                !f.provenance.is_endogenous() || w.contains(db, id)
+            }
+        }
+    }
+}
+
+/// One homomorphism of the positive part of a query.
+#[derive(Debug)]
+pub struct PositiveMatch<'a> {
+    /// Per-variable constants (every variable of a positive atom is
+    /// bound; variables occurring only in the head or nowhere are `None`).
+    pub assignment: &'a [Option<ConstId>],
+    /// The fact matched by each positive atom, in *evaluation* order.
+    pub matched_facts: &'a [FactId],
+}
+
+/// Enumerates homomorphisms of the positive atoms of `q` into the facts
+/// visible under `scope`, calling `visitor` for each; the visitor returns
+/// `false` to abort. Returns `true` when enumeration ran to completion.
+///
+/// Negative atoms are *not* checked here — callers (satisfaction, the
+/// relevance algorithms) apply their own policy to them.
+pub fn for_each_positive_homomorphism(
+    db: &Database,
+    scope: FactScope<'_>,
+    q: &CompiledQuery,
+    visitor: &mut impl FnMut(PositiveMatch<'_>) -> bool,
+) -> bool {
+    let mut assignment: Vec<Option<ConstId>> = vec![None; q.var_count];
+    let mut matched: Vec<FactId> = Vec::with_capacity(q.positives.len());
+    recurse(db, scope, &q.positives, 0, &mut assignment, &mut matched, visitor)
+}
+
+fn recurse(
+    db: &Database,
+    scope: FactScope<'_>,
+    positives: &[CompiledAtom],
+    idx: usize,
+    assignment: &mut Vec<Option<ConstId>>,
+    matched: &mut Vec<FactId>,
+    visitor: &mut impl FnMut(PositiveMatch<'_>) -> bool,
+) -> bool {
+    if idx == positives.len() {
+        return visitor(PositiveMatch { assignment, matched_facts: matched });
+    }
+    let atom = &positives[idx];
+    let Some(rel) = atom.rel else {
+        // Relation absent from the database: this positive atom can never
+        // match, so the whole query has no homomorphisms.
+        return true;
+    };
+    'facts: for &fid in db.relation_facts(rel) {
+        if !scope.visible(db, fid) {
+            continue;
+        }
+        let tuple = &db.fact(fid).tuple;
+        let mut trail: Vec<u32> = Vec::new();
+        for (t, &val) in atom.terms.iter().zip(tuple.values()) {
+            let ok = match t {
+                CompiledTerm::Const(c) => *c == val,
+                CompiledTerm::UnknownConst => false,
+                CompiledTerm::Var(v) => match assignment[*v as usize] {
+                    Some(bound) => bound == val,
+                    None => {
+                        assignment[*v as usize] = Some(val);
+                        trail.push(*v);
+                        true
+                    }
+                },
+            };
+            if !ok {
+                for v in trail {
+                    assignment[v as usize] = None;
+                }
+                continue 'facts;
+            }
+        }
+        matched.push(fid);
+        let keep_going = recurse(db, scope, positives, idx + 1, assignment, matched, visitor);
+        matched.pop();
+        for v in trail {
+            assignment[v as usize] = None;
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Grounds a (negative) atom under an assignment. Returns `None` when the
+/// atom mentions a constant unknown to the database or an unbound
+/// variable — in both cases the corresponding fact cannot exist.
+fn ground_atom(atom: &CompiledAtom, assignment: &[Option<ConstId>]) -> Option<Tuple> {
+    let mut vals = Vec::with_capacity(atom.terms.len());
+    for t in &atom.terms {
+        match t {
+            CompiledTerm::Const(c) => vals.push(*c),
+            CompiledTerm::UnknownConst => return None,
+            CompiledTerm::Var(v) => vals.push(assignment[*v as usize]?),
+        }
+    }
+    Some(Tuple::from(vals))
+}
+
+/// Does any negative atom of `q` fire (i.e. its ground fact is visible)
+/// under the given assignment and scope?
+fn negatives_violated(
+    db: &Database,
+    scope: FactScope<'_>,
+    q: &CompiledQuery,
+    assignment: &[Option<ConstId>],
+) -> bool {
+    q.negatives.iter().any(|atom| {
+        let Some(rel) = atom.rel else { return false };
+        let Some(tuple) = ground_atom(atom, assignment) else { return false };
+        db.lookup(rel, &tuple).is_some_and(|fid| scope.visible(db, fid))
+    })
+}
+
+/// Does `Dx ∪ E ⊨ q` hold, for a query compiled against `db`?
+pub fn satisfies_compiled(db: &Database, world: &World, q: &CompiledQuery) -> bool {
+    let scope = FactScope::World(world);
+    let mut sat = false;
+    for_each_positive_homomorphism(db, scope, q, &mut |m| {
+        if negatives_violated(db, scope, q, m.assignment) {
+            true // keep searching
+        } else {
+            sat = true;
+            false // abort: satisfied
+        }
+    });
+    sat
+}
+
+/// Does `Dx ∪ E ⊨ q` hold? Compiles on the fly; prefer
+/// [`satisfies_compiled`] in loops over many worlds.
+pub fn satisfies(db: &Database, world: &World, q: &ConjunctiveQuery) -> bool {
+    satisfies_compiled(db, world, &CompiledQuery::compile(db, q))
+}
+
+/// Does `Dx ∪ E ⊨ q₁ ∨ ⋯ ∨ qₙ` hold?
+pub fn satisfies_union(db: &Database, world: &World, u: &UnionQuery) -> bool {
+    let c = CompiledUnion::compile(db, u);
+    c.disjuncts.iter().any(|d| satisfies_compiled(db, world, d))
+}
+
+/// The distinct answers (head-variable tuples) of `q` over `Dx ∪ E`.
+///
+/// With negation, a tuple can be an answer in a strict sub-world without
+/// being one in the full world, so callers interested in *possible*
+/// answers should evaluate over the candidate worlds they care about (the
+/// aggregate machinery enumerates positive-part homomorphisms over all of
+/// `D` instead; see `cqshap-core`).
+pub fn answers(db: &Database, world: &World, q: &ConjunctiveQuery) -> BTreeSet<Vec<ConstId>> {
+    let c = CompiledQuery::compile(db, q);
+    let scope = FactScope::World(world);
+    let mut out = BTreeSet::new();
+    for_each_positive_homomorphism(db, scope, &c, &mut |m| {
+        if !negatives_violated(db, scope, &c, m.assignment) {
+            let tuple: Option<Vec<ConstId>> =
+                c.head.iter().map(|&v| m.assignment[v as usize]).collect();
+            if let Some(t) = tuple {
+                out.insert(t);
+            }
+        }
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqshap_query::{parse_cq, parse_ucq};
+
+    /// The running-example database of Figure 1.
+    fn university() -> Database {
+        let mut db = Database::new();
+        for s in ["Adam", "Ben", "Caroline", "David"] {
+            db.add_exo("Stud", &[s]).unwrap();
+        }
+        for t in ["Adam", "Ben", "David"] {
+            db.add_endo("TA", &[t]).unwrap();
+        }
+        for (c, f) in [("OS", "EE"), ("IC", "EE"), ("DB", "CS"), ("AI", "CS")] {
+            db.add_exo("Course", &[c, f]).unwrap();
+        }
+        for (n, c) in [
+            ("Adam", "OS"),
+            ("Adam", "AI"),
+            ("Ben", "OS"),
+            ("Caroline", "DB"),
+            ("Caroline", "IC"),
+        ] {
+            db.add_endo("Reg", &[n, c]).unwrap();
+        }
+        for (a, s) in [
+            ("Michael", "Adam"),
+            ("Michael", "Ben"),
+            ("Naomi", "Caroline"),
+            ("Michael", "David"),
+        ] {
+            db.add_exo("Adv", &[a, s]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn example_2_3_satisfaction_conditions() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+
+        // Dx alone: no Reg facts present → false.
+        assert!(!satisfies(&db, &World::empty(&db), &q1));
+
+        // Condition (1): f_r4 (Caroline, DB) alone satisfies — Caroline
+        // is not a TA anywhere.
+        let fr4 = db.find_fact("Reg", &["Caroline", "DB"]).unwrap();
+        let w = World::from_fact_ids(&db, &[fr4]);
+        assert!(satisfies(&db, &w, &q1));
+
+        // Condition (2): f_r1 (Adam, OS) satisfies only while f_t1 absent.
+        let fr1 = db.find_fact("Reg", &["Adam", "OS"]).unwrap();
+        let ft1 = db.find_fact("TA", &["Adam"]).unwrap();
+        let mut w = World::from_fact_ids(&db, &[fr1]);
+        assert!(satisfies(&db, &w, &q1));
+        w.insert(&db, ft1);
+        assert!(!satisfies(&db, &w, &q1));
+
+        // Full world: Caroline not a TA and registered → true.
+        assert!(satisfies(&db, &World::full(&db), &q1));
+    }
+
+    #[test]
+    fn constants_in_queries() {
+        let db = university();
+        let q = parse_cq("q() :- Reg(x, 'DB'), !TA(x)").unwrap();
+        let fr4 = db.find_fact("Reg", &["Caroline", "DB"]).unwrap();
+        assert!(satisfies(&db, &World::from_fact_ids(&db, &[fr4]), &q));
+        assert!(!satisfies(&db, &World::empty(&db), &q));
+        // Unknown constant in a positive atom → unsatisfiable.
+        let q2 = parse_cq("q() :- Reg(x, 'Quantum')").unwrap();
+        assert!(!satisfies(&db, &World::full(&db), &q2));
+        // Unknown constant in a negative atom → vacuously true negation.
+        let q3 = parse_cq("q() :- Stud(x), !TA('Nobody')").unwrap();
+        assert!(satisfies(&db, &World::empty(&db), &q3));
+        // Unknown relation behaves likewise.
+        let q4 = parse_cq("q() :- Stud(x), !Alien(x)").unwrap();
+        assert!(satisfies(&db, &World::empty(&db), &q4));
+        let q5 = parse_cq("q() :- Alien(x)").unwrap();
+        assert!(!satisfies(&db, &World::full(&db), &q5));
+    }
+
+    #[test]
+    fn self_join_with_mixed_polarity() {
+        // Example 5.3: q() :- R(x,y), !R(y,x) over {R(1,2), R(2,1)}.
+        let mut db = Database::new();
+        let f12 = db.add_endo("R", &["1", "2"]).unwrap();
+        let f21 = db.add_endo("R", &["2", "1"]).unwrap();
+        let q = parse_cq("q() :- R(x, y), !R(y, x)").unwrap();
+        assert!(!satisfies(&db, &World::empty(&db), &q));
+        assert!(satisfies(&db, &World::from_fact_ids(&db, &[f12]), &q));
+        assert!(satisfies(&db, &World::from_fact_ids(&db, &[f21]), &q));
+        assert!(!satisfies(&db, &World::from_fact_ids(&db, &[f12, f21]), &q));
+    }
+
+    #[test]
+    fn union_satisfaction() {
+        let db = university();
+        let u = parse_ucq(
+            "qa() :- Reg(x, 'Quantum')\n\
+             qb() :- Stud(x), !TA(x), Reg(x, y)\n",
+        )
+        .unwrap();
+        let fr4 = db.find_fact("Reg", &["Caroline", "DB"]).unwrap();
+        assert!(satisfies_union(&db, &World::from_fact_ids(&db, &[fr4]), &u));
+        assert!(!satisfies_union(&db, &World::empty(&db), &u));
+    }
+
+    #[test]
+    fn enumerate_positive_homs_all_scope() {
+        let db = university();
+        let q = parse_cq("q() :- Stud(x), Reg(x, y)").unwrap();
+        let c = CompiledQuery::compile(&db, &q);
+        let mut count = 0;
+        for_each_positive_homomorphism(&db, FactScope::All, &c, &mut |_| {
+            count += 1;
+            true
+        });
+        // One per Reg fact (each registered student is a Stud).
+        assert_eq!(count, 5);
+
+        // Abort works.
+        let mut first_only = 0;
+        let completed = for_each_positive_homomorphism(&db, FactScope::All, &c, &mut |_| {
+            first_only += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(first_only, 1);
+    }
+
+    #[test]
+    fn answers_projection() {
+        let db = university();
+        let q = parse_cq("qans(x) :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let full = answers(&db, &World::full(&db), &q);
+        // Only Caroline is registered and not a TA in the full world.
+        let caroline = db.interner().get("Caroline").unwrap();
+        assert_eq!(full, BTreeSet::from([vec![caroline]]));
+
+        let empty = answers(&db, &World::empty(&db), &q);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn ground_only_negative_query() {
+        // q() :- ¬R('a') — safe (no variables), satisfied iff R(a) absent.
+        let mut db = Database::new();
+        let ra = db.add_endo("R", &["a"]).unwrap();
+        let q = parse_cq("q() :- !R('a')").unwrap();
+        assert!(satisfies(&db, &World::empty(&db), &q));
+        assert!(!satisfies(&db, &World::from_fact_ids(&db, &[ra]), &q));
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut db = Database::new();
+        db.add_endo("E", &["a", "a"]).unwrap();
+        db.add_endo("E", &["a", "b"]).unwrap();
+        let q = parse_cq("q() :- E(x, x)").unwrap();
+        assert!(satisfies(&db, &World::full(&db), &q));
+        let only_ab = db.find_fact("E", &["a", "b"]).unwrap();
+        assert!(!satisfies(&db, &World::from_fact_ids(&db, &[only_ab]), &q));
+    }
+}

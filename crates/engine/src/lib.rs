@@ -1,0 +1,25 @@
+//! Query evaluation for `cqshap`.
+//!
+//! The Shapley framework evaluates a Boolean query `q` over worlds
+//! `Dx ∪ E` for subsets `E ⊆ Dn` (Section 2 of the paper). This crate
+//! provides:
+//!
+//! * [`satisfies`] / [`satisfies_union`] — Boolean satisfaction of a
+//!   CQ¬ / UCQ¬ over a [`World`](cqshap_db::World);
+//! * [`for_each_positive_homomorphism`] — enumeration of homomorphisms of
+//!   the *positive part* of a query, the workhorse of the relevance
+//!   algorithms (Algorithms 2 and 3) and of aggregate answer enumeration;
+//! * [`answers`] — distinct head-tuples over a world, for the aggregate
+//!   extension (the "Remarks" of Section 3);
+//! * [`CompiledQuery`] — a query resolved against a database's schema
+//!   and interner once, reusable across many worlds (brute force and
+//!   Monte-Carlo sampling evaluate thousands of worlds per query).
+
+pub mod compile;
+pub mod eval;
+
+pub use compile::{CompiledAtom, CompiledQuery, CompiledTerm, CompiledUnion};
+pub use eval::{
+    answers, for_each_positive_homomorphism, satisfies, satisfies_compiled, satisfies_union,
+    FactScope, PositiveMatch,
+};

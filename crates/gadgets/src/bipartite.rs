@@ -1,0 +1,156 @@
+//! Bipartite graphs and exact independent-set counting.
+//!
+//! Counting independent sets in a bipartite graph is `#P`-complete; it
+//! is the problem Lemma B.3 reduces *from*. The direct counters here are
+//! the ground truth the reduction is validated against.
+
+use cqshap_numeric::BigUint;
+
+/// A bipartite graph over left vertices `0..left` and right vertices
+/// `0..right`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteGraph {
+    left: usize,
+    right: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph; edges are `(left_vertex, right_vertex)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or duplicate edges.
+    pub fn new(left: usize, right: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(a, b) in &edges {
+            assert!(a < left && b < right, "edge ({a},{b}) out of range");
+        }
+        let mut dedup = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), edges.len(), "duplicate edges");
+        BipartiteGraph { left, right, edges }
+    }
+
+    /// Number of left vertices.
+    pub fn left(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right vertices.
+    pub fn right(&self) -> usize {
+        self.right
+    }
+
+    /// Total number of vertices `N`.
+    pub fn vertex_count(&self) -> usize {
+        self.left + self.right
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Right-neighborhood of a left subset, as a bitmask.
+    fn neighborhood(&self, left_mask: u64) -> u64 {
+        let mut out = 0u64;
+        for &(a, b) in &self.edges {
+            if left_mask & (1 << a) != 0 {
+                out |= 1 << b;
+            }
+        }
+        out
+    }
+
+    /// `|IS(g)|`: the number of independent sets (including ∅), computed
+    /// directly: `Σ_{A' ⊆ A} 2^{|B| − |N(A')|}`.
+    ///
+    /// # Panics
+    /// Panics when `left > 60`.
+    pub fn independent_set_count(&self) -> BigUint {
+        assert!(self.left <= 60, "direct counting caps the left side at 60");
+        let mut total = BigUint::zero();
+        for mask in 0u64..(1u64 << self.left) {
+            let blocked = self.neighborhood(mask).count_ones() as usize;
+            total += &(BigUint::one() << (self.right - blocked));
+        }
+        total
+    }
+
+    /// `|S(g, k)|` for all `k`: the number of `k`-subsets `A' ∪ B'` such
+    /// that every neighbor of a chosen left vertex is chosen
+    /// (the sets `S(g)` of Lemma B.3). Brute force over both sides.
+    ///
+    /// # Panics
+    /// Panics when `left + right > 26`.
+    pub fn closed_subset_counts(&self) -> Vec<BigUint> {
+        let n = self.vertex_count();
+        assert!(n <= 26, "closed-subset counting is brute force");
+        let mut counts = vec![BigUint::zero(); n + 1];
+        for l_mask in 0u64..(1u64 << self.left) {
+            let needed = self.neighborhood(l_mask);
+            for r_mask in 0u64..(1u64 << self.right) {
+                if needed & !r_mask == 0 {
+                    let k = (l_mask.count_ones() + r_mask.count_ones()) as usize;
+                    counts[k] += &BigUint::one();
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edgeless_graph_counts_everything() {
+        let g = BipartiteGraph::new(2, 3, vec![]);
+        // Every subset of 5 vertices is independent: 2^5.
+        assert_eq!(g.independent_set_count(), BigUint::from_u64(32));
+        let s: Vec<u64> = g.closed_subset_counts().iter().map(|c| c.to_u64().unwrap()).collect();
+        // |S(g,k)| = C(5,k).
+        assert_eq!(s, vec![1, 5, 10, 10, 5, 1]);
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = BipartiteGraph::new(1, 1, vec![(0, 0)]);
+        // Independent sets of K2: {}, {a}, {b} → 3.
+        assert_eq!(g.independent_set_count(), BigUint::from_u64(3));
+        // S(g): {}, {b}, {a,b} → sizes 0,1,2.
+        let s: Vec<u64> = g.closed_subset_counts().iter().map(|c| c.to_u64().unwrap()).collect();
+        assert_eq!(s, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn bijection_between_is_and_s() {
+        // Lemma B.3's bijection: |IS(g)| = Σ_k |S(g,k)|.
+        let g = BipartiteGraph::new(3, 3, vec![(0, 0), (0, 1), (1, 1), (2, 2)]);
+        let total: BigUint = g
+            .closed_subset_counts()
+            .iter()
+            .fold(BigUint::zero(), |acc, c| acc + c.clone());
+        assert_eq!(total, g.independent_set_count());
+    }
+
+    #[test]
+    fn complete_bipartite_k22() {
+        let g = BipartiteGraph::new(2, 2, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        // IS(K_{2,2}): subsets of one side only: 4 + 4 − 1 = 7.
+        assert_eq!(g.independent_set_count(), BigUint::from_u64(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edges() {
+        BipartiteGraph::new(1, 1, vec![(1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_edges() {
+        BipartiteGraph::new(2, 2, vec![(0, 0), (0, 0)]);
+    }
+}

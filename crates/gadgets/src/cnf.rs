@@ -1,0 +1,299 @@
+//! CNF formulas and a DPLL satisfiability solver.
+//!
+//! The relevance hardness proofs reduce from SAT fragments:
+//! Proposition 5.5 from `(2+,2−,4+−)`-SAT (clauses `(x ∨ y)`,
+//! `(¬x ∨ ¬y)`, or `(x ∨ y ∨ ¬z ∨ ¬w)`), Proposition 5.8 from 3SAT,
+//! and Lemma D.1 chains through `(3+,2−)`-SAT. The DPLL solver is the
+//! independent ground truth those reductions are checked against.
+
+use std::fmt;
+
+/// A literal: a variable index with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal `x_i`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// Negative literal `¬x_i`.
+    pub fn neg(var: usize) -> Self {
+        Literal { var, positive: false }
+    }
+
+    /// Is the literal satisfied under `value` for its variable?
+    pub fn satisfied_by(&self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", if self.positive { "" } else { "¬" }, self.var)
+    }
+}
+
+/// A disjunctive clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause(pub Vec<Literal>);
+
+impl Clause {
+    /// Is the clause satisfied by a (total) assignment?
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.satisfied_by(assignment[l.var]))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|l| l.to_string()).collect();
+        write!(f, "({})", parts.join(" ∨ "))
+    }
+}
+
+/// A CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnfFormula {
+    /// Number of variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Builds a formula, validating variable ranges.
+    ///
+    /// # Panics
+    /// Panics if a literal references a variable `>= num_vars`.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in &c.0 {
+                assert!(l.var < num_vars, "literal {l} out of range");
+            }
+        }
+        CnfFormula { num_vars, clauses }
+    }
+
+    /// Is the formula satisfied by a total assignment?
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| c.satisfied_by(assignment))
+    }
+
+    /// DPLL satisfiability with unit propagation; returns a model if one
+    /// exists.
+    pub fn find_model(&self) -> Option<Vec<bool>> {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        self.dpll(&mut assignment).then(|| {
+            assignment.into_iter().map(|v| v.unwrap_or(false)).collect()
+        })
+    }
+
+    /// Is the formula satisfiable?
+    pub fn is_satisfiable(&self) -> bool {
+        self.find_model().is_some()
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation / conflict detection.
+        loop {
+            let mut propagated = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<Literal> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for l in &clause.0 {
+                    match assignment[l.var] {
+                        Some(v) if l.satisfied_by(v) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(*l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return false, // conflict
+                    1 => {
+                        let l = unassigned.expect("one unassigned literal");
+                        assignment[l.var] = Some(l.positive);
+                        propagated = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !propagated {
+                break;
+            }
+        }
+        // Branch.
+        let Some(var) = assignment.iter().position(Option::is_none) else {
+            return true; // total assignment with no conflicts
+        };
+        for value in [true, false] {
+            let saved = assignment.clone();
+            assignment[var] = Some(value);
+            if self.dpll(assignment) {
+                return true;
+            }
+            *assignment = saved;
+        }
+        false
+    }
+
+    /// Brute-force satisfiability (independent of DPLL, for test
+    /// cross-checks).
+    ///
+    /// # Panics
+    /// Panics when `num_vars > 24`.
+    pub fn is_satisfiable_brute(&self) -> bool {
+        assert!(self.num_vars <= 24);
+        (0u64..(1 << self.num_vars)).any(|mask| {
+            let assignment: Vec<bool> =
+                (0..self.num_vars).map(|i| mask & (1 << i) != 0).collect();
+            self.satisfied_by(&assignment)
+        })
+    }
+
+    /// Validates the `(2+,2−,4+−)` shape of Proposition 5.5: every
+    /// clause is `(x ∨ y)`, `(¬x ∨ ¬y)`, or `(x ∨ y ∨ ¬z ∨ ¬w)`.
+    pub fn is_224_shape(&self) -> bool {
+        self.clauses.iter().all(|c| match c.0.as_slice() {
+            [a, b] => (a.positive && b.positive) || (!a.positive && !b.positive),
+            [a, b, c, d] => a.positive && b.positive && !c.positive && !d.positive,
+            _ => false,
+        })
+    }
+
+    /// Validates the `(3+,2−)` shape of Lemma D.1's intermediate
+    /// problem: positive 3-clauses and negative 2-clauses.
+    pub fn is_3p2n_shape(&self) -> bool {
+        self.clauses.iter().all(|c| match c.0.as_slice() {
+            [a, b, c] => a.positive && b.positive && c.positive,
+            [a, b] => !a.positive && !b.positive,
+            _ => false,
+        })
+    }
+
+    /// Is every clause a 3-clause (3SAT shape, repetitions allowed)?
+    pub fn is_3sat_shape(&self) -> bool {
+        self.clauses.iter().all(|c| c.0.len() == 3)
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.clauses.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(lits: &[(usize, bool)]) -> Clause {
+        Clause(lits.iter().map(|&(v, p)| Literal { var: v, positive: p }).collect())
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        // (x0 ∨ x1) ∧ (¬x0) ∧ (¬x1) is unsat.
+        let f = CnfFormula::new(
+            2,
+            vec![clause(&[(0, true), (1, true)]), clause(&[(0, false)]), clause(&[(1, false)])],
+        );
+        assert!(!f.is_satisfiable());
+        // Drop the last clause: satisfiable with x1 = 1.
+        let g = CnfFormula::new(2, vec![clause(&[(0, true), (1, true)]), clause(&[(0, false)])]);
+        let model = g.find_model().unwrap();
+        assert!(g.satisfied_by(&model));
+        assert!(!model[0] && model[1]);
+    }
+
+    #[test]
+    fn empty_formula_is_satisfiable() {
+        assert!(CnfFormula::new(3, vec![]).is_satisfiable());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        assert!(!CnfFormula::new(1, vec![Clause(vec![])]).is_satisfiable());
+    }
+
+    #[test]
+    fn dpll_matches_brute_force() {
+        // Exhaustive over a deterministic pseudo-random family.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..200 {
+            let nv = 3 + next() % 5;
+            let nc = 1 + next() % 10;
+            let clauses: Vec<Clause> = (0..nc)
+                .map(|_| {
+                    let len = 1 + next() % 3;
+                    Clause(
+                        (0..len)
+                            .map(|_| Literal { var: next() % nv, positive: next() % 2 == 0 })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let f = CnfFormula::new(nv, clauses);
+            assert_eq!(f.is_satisfiable(), f.is_satisfiable_brute(), "{f}");
+            if let Some(m) = f.find_model() {
+                assert!(f.satisfied_by(&m), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_validators() {
+        let f224 = CnfFormula::new(
+            4,
+            vec![
+                clause(&[(0, true), (1, true)]),
+                clause(&[(0, false), (2, false)]),
+                clause(&[(2, true), (3, true), (0, false), (1, false)]),
+            ],
+        );
+        assert!(f224.is_224_shape());
+        assert!(!f224.is_3p2n_shape());
+
+        let f3p2n = CnfFormula::new(
+            3,
+            vec![clause(&[(0, true), (1, true), (2, true)]), clause(&[(0, false), (1, false)])],
+        );
+        assert!(f3p2n.is_3p2n_shape());
+        assert!(!f3p2n.is_224_shape());
+
+        let f3 = CnfFormula::new(
+            3,
+            vec![clause(&[(0, true), (1, false), (2, true)])],
+        );
+        assert!(f3.is_3sat_shape());
+        assert!(!CnfFormula::new(2, vec![clause(&[(0, true), (1, true)])]).is_3sat_shape());
+    }
+
+    #[test]
+    fn display() {
+        let f = CnfFormula::new(2, vec![clause(&[(0, true), (1, false)])]);
+        assert_eq!(f.to_string(), "(x0 ∨ ¬x1)");
+    }
+}

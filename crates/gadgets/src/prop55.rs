@@ -1,0 +1,188 @@
+//! Proposition 5.5: relevance is NP-complete for `q_RST¬R`.
+//!
+//! The query `q_RST¬R() :- T(z), ¬R(x), ¬R(y), R(z), R(w), S(x,y,z,w)`
+//! contains a relation (`R`) with both polarities; the reduction of
+//! Figure 4 turns a `(2+,2−,4+−)`-CNF formula into a database where the
+//! endogenous fact `T(c)` is relevant iff the formula is satisfiable.
+//! Since `T` itself is polarity consistent, the same construction proves
+//! NP-hardness of Shapley *zeroness* (Corollary 5.6) and hence of
+//! multiplicative approximation.
+
+use cqshap_core::CoreError;
+use cqshap_db::{Database, FactId};
+use cqshap_query::{parse_cq, ConjunctiveQuery};
+
+use crate::cnf::CnfFormula;
+
+/// The query `q_RST¬R`.
+pub fn qrst_nr_query() -> ConjunctiveQuery {
+    parse_cq("qRSTnR() :- T(z), !R(x), !R(y), R(z), R(w), S(x, y, z, w)")
+        .expect("static query parses")
+}
+
+/// The Figure 4 construction: builds `(D, f)` with `f = T(c)` endogenous
+/// such that `f` is relevant to [`qrst_nr_query`] iff `formula` is
+/// satisfiable.
+///
+/// # Errors
+/// * [`CoreError::Unsupported`] when the formula is not in
+///   `(2+,2−,4+−)` shape or has no positive 2-clause (the proof assumes
+///   one: formulas without it are trivially satisfied by all-zeros).
+pub fn build_relevance_instance(formula: &CnfFormula) -> Result<(Database, FactId), CoreError> {
+    if !formula.is_224_shape() {
+        return Err(CoreError::Unsupported("formula must be in (2+,2−,4+−) shape".into()));
+    }
+    let has_positive_pair = formula
+        .clauses
+        .iter()
+        .any(|c| matches!(c.0.as_slice(), [a, b] if a.positive && b.positive));
+    if !has_positive_pair {
+        return Err(CoreError::Unsupported(
+            "the construction assumes a clause (x ∨ y); without one the formula \
+             is satisfied by the all-zero assignment"
+                .into(),
+        ));
+    }
+    let mut db = Database::new();
+    let v = |i: usize| format!("{i}");
+    // Per-variable facts: endogenous R(i), exogenous T(i).
+    for i in 0..formula.num_vars {
+        db.add_endo("R", &[&v(i)])?;
+        db.add_exo("T", &[&v(i)])?;
+    }
+    // Clause facts (duplicate clauses map to the same fact; skip them).
+    let add_s = |db: &mut Database, args: [&str; 4]| -> Result<(), CoreError> {
+        match db.add_exo("S", &args) {
+            Ok(_) => Ok(()),
+            Err(cqshap_db::DbError::DuplicateFact { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    };
+    for clause in &formula.clauses {
+        match clause.0.as_slice() {
+            [a, b] if a.positive && b.positive => {
+                add_s(&mut db, [&v(a.var), &v(b.var), "a", "a"])?;
+            }
+            [a, b] => {
+                add_s(&mut db, ["b", "b", &v(a.var), &v(b.var)])?;
+            }
+            [a, b, c, d] => {
+                add_s(&mut db, [&v(a.var), &v(b.var), &v(c.var), &v(d.var)])?;
+            }
+            _ => unreachable!("shape validated"),
+        }
+    }
+    // Scaffolding: R(a), T(a) anchor the (x ∨ y) clauses; R(c) and
+    // S(d,d,c,c) let f = T(c) complete a homomorphism.
+    db.add_exo("R", &["a"])?;
+    db.add_exo("T", &["a"])?;
+    db.add_exo("R", &["c"])?;
+    db.add_exo("S", &["d", "d", "c", "c"])?;
+    let f = db.add_endo("T", &["c"])?;
+    Ok((db, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Literal};
+    use cqshap_core::relevance::brute_force_relevance;
+    use cqshap_core::AnyQuery;
+
+    fn clause(lits: &[(usize, bool)]) -> Clause {
+        Clause(lits.iter().map(|&(v, p)| Literal { var: v, positive: p }).collect())
+    }
+
+    /// The worked example from the proof sketch:
+    /// (x1∨x2) ∧ (¬x1∨¬x3) ∧ (x3∨x4∨¬x1∨¬x2), 1-indexed in the paper.
+    fn figure_4_formula() -> CnfFormula {
+        CnfFormula::new(
+            4,
+            vec![
+                clause(&[(0, true), (1, true)]),
+                clause(&[(0, false), (2, false)]),
+                clause(&[(2, true), (3, true), (0, false), (1, false)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure_4_worked_example() {
+        let formula = figure_4_formula();
+        assert!(formula.is_satisfiable());
+        let (db, f) = build_relevance_instance(&formula).unwrap();
+        // |Dn| = 4 variable facts + T(c).
+        assert_eq!(db.endo_count(), 5);
+        let q = qrst_nr_query();
+        let (pos, _neg) = brute_force_relevance(&db, AnyQuery::Cq(&q), f, 24).unwrap();
+        assert!(pos, "satisfiable formula → T(c) positively relevant");
+    }
+
+    #[test]
+    fn unsatisfiable_formula_gives_irrelevant_fact() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ ¬x0) ∧ (¬x1 ∨ ¬x1): unsat, in shape.
+        let formula = CnfFormula::new(
+            2,
+            vec![
+                clause(&[(0, true), (1, true)]),
+                clause(&[(0, false), (0, false)]),
+                clause(&[(1, false), (1, false)]),
+            ],
+        );
+        assert!(!formula.is_satisfiable());
+        let (db, f) = build_relevance_instance(&formula).unwrap();
+        let q = qrst_nr_query();
+        let (pos, neg) = brute_force_relevance(&db, AnyQuery::Cq(&q), f, 24).unwrap();
+        assert!(!pos && !neg, "unsatisfiable formula → T(c) irrelevant");
+    }
+
+    /// The reduction agrees with DPLL across a deterministic family of
+    /// random-ish formulas (the end-to-end validation of Prop. 5.5).
+    #[test]
+    fn reduction_agrees_with_dpll() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut seen_sat = 0;
+        let mut seen_unsat = 0;
+        for _ in 0..25 {
+            let nv = 3 + next() % 3; // 3..=5 variables
+            let nc = 2 + next() % 5;
+            let mut clauses = vec![clause(&[(next() % nv, true), (next() % nv, true)])];
+            for _ in 0..nc {
+                clauses.push(match next() % 3 {
+                    0 => clause(&[(next() % nv, true), (next() % nv, true)]),
+                    1 => clause(&[(next() % nv, false), (next() % nv, false)]),
+                    _ => clause(&[
+                        (next() % nv, true),
+                        (next() % nv, true),
+                        (next() % nv, false),
+                        (next() % nv, false),
+                    ]),
+                });
+            }
+            let formula = CnfFormula::new(nv, clauses);
+            let (db, f) = build_relevance_instance(&formula).unwrap();
+            let q = qrst_nr_query();
+            let (pos, _) = brute_force_relevance(&db, AnyQuery::Cq(&q), f, 24).unwrap();
+            assert_eq!(pos, formula.is_satisfiable(), "{formula}");
+            if pos {
+                seen_sat += 1;
+            } else {
+                seen_unsat += 1;
+            }
+        }
+        assert!(seen_sat > 0 && seen_unsat > 0, "family should mix outcomes");
+    }
+
+    #[test]
+    fn shape_violations_rejected() {
+        let not_224 = CnfFormula::new(2, vec![clause(&[(0, true), (1, false)])]);
+        assert!(build_relevance_instance(&not_224).is_err());
+        let no_positive_pair =
+            CnfFormula::new(2, vec![clause(&[(0, false), (1, false)])]);
+        assert!(build_relevance_instance(&no_positive_pair).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Proposition 5.8: relevance is NP-complete for the union `q_SAT`.
+//!
+//! Each disjunct of
+//!
+//! ```text
+//! q1() :- C(x1,x2,x3,v1,v2,v3), T(x1,v1), T(x2,v2), T(x3,v3)
+//! q2() :- V(x), ¬T(x,1), ¬T(x,0)
+//! q3() :- T(x,1), T(x,0)
+//! q4() :- R(0)
+//! ```
+//!
+//! is polarity consistent, but the union is not (`T` flips), and
+//! relevance of `R(0)` decides 3SAT: `E` encodes an assignment; `q2`/`q3`
+//! force it to be total and functional, `q1` fires iff a clause is
+//! falsified, and `q4` makes `f = R(0)` complete any world. So `f` is
+//! relevant iff some `E` avoids all three — i.e. the formula is
+//! satisfiable.
+
+use cqshap_core::CoreError;
+use cqshap_db::{Database, FactId};
+use cqshap_query::{parse_ucq, UnionQuery};
+
+use crate::cnf::CnfFormula;
+
+/// The union `q_SAT`.
+pub fn qsat_query() -> UnionQuery {
+    parse_ucq(
+        "q1() :- C(x1, x2, x3, v1, v2, v3), T(x1, v1), T(x2, v2), T(x3, v3)\n\
+         q2() :- V(x), !T(x, 1), !T(x, 0)\n\
+         q3() :- T(x, 1), T(x, 0)\n\
+         q4() :- R(0)\n",
+    )
+    .expect("static query parses")
+}
+
+/// Builds `(D, f)` with `f = R(0)` such that `f` is relevant to
+/// [`qsat_query`] iff the 3CNF `formula` is satisfiable.
+///
+/// # Errors
+/// [`CoreError::Unsupported`] when a clause is not a 3-clause.
+pub fn build_relevance_instance(formula: &CnfFormula) -> Result<(Database, FactId), CoreError> {
+    if !formula.is_3sat_shape() {
+        return Err(CoreError::Unsupported("formula must be a 3CNF".into()));
+    }
+    let mut db = Database::new();
+    let v = |i: usize| format!("{i}");
+    for i in 0..formula.num_vars {
+        db.add_exo("V", &[&v(i)])?;
+        db.add_endo("T", &[&v(i), "1"])?;
+        db.add_endo("T", &[&v(i), "0"])?;
+    }
+    for clause in &formula.clauses {
+        let lits = &clause.0;
+        // v_r = 1 iff the literal is negative: T(r, v_r) ∈ E encodes the
+        // assignment *falsifying* the literal.
+        let falsify = |idx: usize| if lits[idx].positive { "0" } else { "1" };
+        let args = [
+            v(lits[0].var),
+            v(lits[1].var),
+            v(lits[2].var),
+            falsify(0).to_string(),
+            falsify(1).to_string(),
+            falsify(2).to_string(),
+        ];
+        let refs: Vec<&str> = args.iter().map(|s| &**s).collect();
+        // Duplicate clauses produce duplicate facts; ignore those.
+        match db.add_exo("C", &refs) {
+            Ok(_) => {}
+            Err(cqshap_db::DbError::DuplicateFact { .. }) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let f = db.add_endo("R", &["0"])?;
+    Ok((db, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Literal};
+    use cqshap_core::relevance::brute_force_relevance;
+    use cqshap_core::AnyQuery;
+
+    fn clause3(lits: [(usize, bool); 3]) -> Clause {
+        Clause(lits.iter().map(|&(v, p)| Literal { var: v, positive: p }).collect())
+    }
+
+    #[test]
+    fn satisfiable_formula_makes_f_relevant() {
+        // (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ ¬x1 ∨ x2)
+        let f3 = CnfFormula::new(
+            3,
+            vec![
+                clause3([(0, true), (1, true), (2, true)]),
+                clause3([(0, false), (1, false), (2, true)]),
+            ],
+        );
+        assert!(f3.is_satisfiable());
+        let (db, f) = build_relevance_instance(&f3).unwrap();
+        let u = qsat_query();
+        let (pos, _) = brute_force_relevance(&db, AnyQuery::Union(&u), f, 24).unwrap();
+        assert!(pos);
+    }
+
+    #[test]
+    fn unsatisfiable_formula_makes_f_irrelevant() {
+        // All eight sign patterns over three variables: unsatisfiable.
+        let mut clauses = Vec::new();
+        for mask in 0u8..8 {
+            clauses.push(clause3([
+                (0, mask & 1 != 0),
+                (1, mask & 2 != 0),
+                (2, mask & 4 != 0),
+            ]));
+        }
+        let f3 = CnfFormula::new(3, clauses);
+        assert!(!f3.is_satisfiable());
+        let (db, f) = build_relevance_instance(&f3).unwrap();
+        let u = qsat_query();
+        let (pos, neg) = brute_force_relevance(&db, AnyQuery::Union(&u), f, 24).unwrap();
+        assert!(!pos && !neg);
+    }
+
+    #[test]
+    fn reduction_agrees_with_dpll_on_random_family() {
+        let mut state = 0xFACEFEEDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut outcomes = [0usize; 2];
+        for _ in 0..15 {
+            let nv = 3 + next() % 2; // 3..=4 variables (|Dn| = 2nv + 1)
+            let nc = 4 + next() % 10;
+            let clauses: Vec<Clause> = (0..nc)
+                .map(|_| {
+                    clause3([
+                        (next() % nv, next() % 2 == 0),
+                        (next() % nv, next() % 2 == 0),
+                        (next() % nv, next() % 2 == 0),
+                    ])
+                })
+                .collect();
+            let f3 = CnfFormula::new(nv, clauses);
+            let (db, f) = build_relevance_instance(&f3).unwrap();
+            let u = qsat_query();
+            let (pos, _) = brute_force_relevance(&db, AnyQuery::Union(&u), f, 24).unwrap();
+            assert_eq!(pos, f3.is_satisfiable(), "{f3}");
+            outcomes[pos as usize] += 1;
+        }
+        assert!(outcomes[0] > 0 && outcomes[1] > 0, "family should mix outcomes");
+    }
+
+    #[test]
+    fn non_3cnf_rejected() {
+        let bad = CnfFormula::new(2, vec![Clause(vec![Literal::pos(0), Literal::pos(1)])]);
+        assert!(build_relevance_instance(&bad).is_err());
+    }
+}

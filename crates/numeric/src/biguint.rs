@@ -1,0 +1,724 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u64` limbs, kept normalized (no trailing zero limbs, so
+//! zero is the empty limb vector). Multiplication is schoolbook via `u128`
+//! partial products; division is shift–subtract over limbs; GCD is Stein's
+//! binary algorithm. All of these are `O(bits · limbs)` or better, which is
+//! plenty for the few-thousand-bit magnitudes produced by the Shapley
+//! computations in this workspace.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: the last limb (if any) is nonzero.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut limbs = vec![lo, hi];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Builds from a `usize`.
+    #[inline]
+    pub fn from_usize(v: usize) -> Self {
+        Self::from_u64(v as u64)
+    }
+
+    /// Builds from little-endian limbs (normalizing).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Is this zero?
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Is this one?
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Is this even? Zero is even.
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// The value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i * 64 + l.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Converts to `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Nearest `f64` (may overflow to `f64::INFINITY`).
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => self.to_u128().unwrap() as f64,
+            n => {
+                // Take the top 128 bits and scale by the discarded limbs.
+                let hi = self.limbs[n - 1] as u128;
+                let mid = self.limbs[n - 2] as u128;
+                let top = (hi << 64) | mid;
+                top as f64 * 2f64.powi(64 * (n as i32 - 2))
+            }
+        }
+    }
+
+    /// Natural logarithm, as `f64` (`-inf` for zero).
+    pub fn ln_f64(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        let bits = self.bit_len();
+        if bits <= 1000 {
+            self.to_f64().ln()
+        } else {
+            // Avoid f64 overflow: ln(x) = ln(x >> s) + s·ln 2.
+            let shift = bits - 512;
+            (self >> shift).to_f64().ln() + shift as f64 * std::f64::consts::LN_2
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // parallel iteration over two limb arrays
+    fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (a, b) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..a.len() {
+            let bi = b.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a[i].overflowing_add(bi);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let bi = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(bi);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(out))
+    }
+
+    fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Multiplies by a `u64` in place.
+    pub fn mul_u64_assign(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u128;
+        for l in &mut self.limbs {
+            let cur = *l as u128 * m as u128 + carry;
+            *l = cur as u64;
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u64);
+        }
+    }
+
+    /// `self * m` for a `u64` multiplier.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        let mut out = self.clone();
+        out.mul_u64_assign(m);
+        out
+    }
+
+    /// Divides in place by a nonzero `u64`, returning the remainder.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64_assign(&mut self, d: u64) -> u64 {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u128;
+        for l in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | *l as u128;
+            *l = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        rem as u64
+    }
+
+    /// Shift left by `bits`.
+    fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        if bits == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Shift right by `bits`.
+    fn shr_bits(&self, bits: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for l in out.iter_mut().rev() {
+                let new_carry = *l << (64 - bit_shift);
+                *l = (*l >> bit_shift) | carry;
+                carry = new_carry;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Euclidean division: returns `(self / d, self % d)`.
+    ///
+    /// # Panics
+    /// Panics if `d` is zero.
+    pub fn div_rem(&self, d: &BigUint) -> (BigUint, BigUint) {
+        assert!(!d.is_zero(), "division by zero");
+        if self < d {
+            return (BigUint::zero(), self.clone());
+        }
+        if let Some(small) = d.to_u64() {
+            let mut q = self.clone();
+            let r = q.div_rem_u64_assign(small);
+            return (q, BigUint::from_u64(r));
+        }
+        // Shift–subtract long division over bits.
+        let shift = self.bit_len() - d.bit_len();
+        let mut rem = self.clone();
+        let mut quotient_bits = vec![0u64; shift / 64 + 1];
+        let mut divisor = d.shl_bits(shift);
+        for i in (0..=shift).rev() {
+            if let Some(diff) = rem.checked_sub(&divisor) {
+                rem = diff;
+                quotient_bits[i / 64] |= 1u64 << (i % 64);
+            }
+            divisor = divisor.shr_bits(1);
+        }
+        (BigUint::from_limbs(quotient_bits), rem)
+    }
+
+    /// Greatest common divisor (binary / Stein algorithm).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let za = a.trailing_zeros().unwrap();
+        let zb = b.trailing_zeros().unwrap();
+        let k = za.min(zb);
+        a = a.shr_bits(za);
+        b = b.shr_bits(zb);
+        loop {
+            debug_assert!(!a.is_even() && !b.is_even());
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a");
+            if b.is_zero() {
+                return a.shl_bits(k);
+            }
+            b = b.shr_bits(b.trailing_zeros().unwrap());
+        }
+    }
+
+    /// Raises to the power `exp` by square-and-multiply.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        Self::from_u64(v as u64)
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        Self::from_usize(v)
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_method:ident) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$impl_method(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$impl_method(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$impl_method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_ref);
+forward_binop!(Mul, mul, mul_ref);
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub<BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl Sub<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        &self - rhs
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 fits in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            chunks.push(cur.div_rem_u64_assign(CHUNK));
+        }
+        let mut s = String::new();
+        for (i, c) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&c.to_string());
+            } else {
+                s.push_str(&format!("{c:019}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+/// Error parsing a [`BigUint`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError(pub String);
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid unsigned integer literal: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigUintError(s.to_string()));
+        }
+        let mut out = BigUint::zero();
+        for chunk in s.as_bytes().chunks(19) {
+            let part: u64 = std::str::from_utf8(chunk)
+                .expect("ascii digits")
+                .parse()
+                .expect("chunk of <=19 digits fits u64");
+            out.mul_u64_assign(10u64.pow(chunk.len() as u32));
+            out += &BigUint::from_u64(part);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::one().to_string(), "1");
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::from_u64(1);
+        assert_eq!(&a + &b, BigUint::from_u128(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_underflow_is_none() {
+        let a = BigUint::from_u64(3);
+        let b = BigUint::from_u64(5);
+        assert!(a.checked_sub(&b).is_none());
+        assert_eq!(b.checked_sub(&a), Some(BigUint::from_u64(2)));
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = BigUint::from_u128(u128::MAX);
+        let sq = &a * &a;
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let expected = (&(&BigUint::one() << 256) - &(&BigUint::one() << 129)) + BigUint::one();
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn display_round_trip_large() {
+        let s = "123456789012345678901234567890123456789012345678901234567890";
+        assert_eq!(big(s).to_string(), s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a".parse::<BigUint>().is_err());
+        assert!("-5".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn div_rem_small_divisor() {
+        let a = big("1000000000000000000000000000007");
+        let (q, r) = a.div_rem(&BigUint::from_u64(13));
+        assert_eq!(&q * &BigUint::from_u64(13) + r, a);
+    }
+
+    #[test]
+    fn div_rem_large_divisor() {
+        let a = big("340282366920938463463374607431768211457123456789");
+        let d = big("18446744073709551629");
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&q * &d + &r, a);
+    }
+
+    #[test]
+    fn div_by_zero_panics() {
+        let a = BigUint::from_u64(10);
+        let result = std::panic::catch_unwind(|| a.div_rem(&BigUint::zero()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(
+            BigUint::from_u64(48).gcd(&BigUint::from_u64(36)),
+            BigUint::from_u64(12)
+        );
+        assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(7)), BigUint::from_u64(7));
+        assert_eq!(BigUint::from_u64(7).gcd(&BigUint::zero()), BigUint::from_u64(7));
+        let a = big("123456789012345678901234567890");
+        assert_eq!(a.gcd(&a), a);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big("987654321987654321987654321");
+        assert_eq!(&(&a << 131) >> 131, a);
+        assert_eq!(&a >> 1000, BigUint::zero());
+        assert_eq!(&a << 0, a);
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(BigUint::from_u64(2).pow(100), &BigUint::one() << 100);
+        assert_eq!(BigUint::from_u64(7).pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(5), BigUint::zero());
+        assert_eq!(BigUint::zero().pow(0), BigUint::one());
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        let a = BigUint::from_u64(1) << 200;
+        let f = a.to_f64();
+        assert!((f.log2() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_large_values() {
+        let a = BigUint::from_u64(1) << 5000;
+        let expected = 5000.0 * std::f64::consts::LN_2;
+        assert!((a.ln_f64() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("100000000000000000000") > big("99999999999999999999"));
+        assert!(BigUint::zero() < BigUint::one());
+    }
+
+    #[test]
+    fn bits() {
+        let a = BigUint::from_u64(0b1010);
+        assert!(a.bit(1));
+        assert!(!a.bit(0));
+        assert!(a.is_even());
+        assert_eq!(a.trailing_zeros(), Some(1));
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+    }
+}

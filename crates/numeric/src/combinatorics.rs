@@ -1,0 +1,175 @@
+//! Exact factorials and binomial coefficients.
+//!
+//! The Shapley formula weights each coalition size `k` by
+//! `k!(m-1-k)!/m!`, and the counting algorithms of Lemma 3.2 combine
+//! binomial coefficients of free endogenous facts, so these show up in
+//! every inner loop of the exact pipeline. [`FactorialTable`] amortizes
+//! the factorials for a whole computation.
+
+use crate::biguint::BigUint;
+use crate::rational::BigRational;
+use crate::bigint::BigInt;
+
+/// Computes `n!` exactly.
+pub fn factorial(n: usize) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=n as u64 {
+        acc.mul_u64_assign(i);
+    }
+    acc
+}
+
+/// Computes the binomial coefficient `C(n, k)` exactly.
+///
+/// Uses the multiplicative formula with exact intermediate divisions, so
+/// the working values never exceed the result by more than one factor.
+pub fn binomial(n: usize, k: usize) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigUint::one();
+    for i in 1..=k {
+        acc.mul_u64_assign((n - k + i) as u64);
+        let rem = acc.div_rem_u64_assign(i as u64);
+        debug_assert_eq!(rem, 0, "binomial partial products divide exactly");
+    }
+    acc
+}
+
+/// A cache of `0! ..= n!` plus derived Shapley permutation weights.
+#[derive(Debug, Clone)]
+pub struct FactorialTable {
+    facts: Vec<BigUint>,
+}
+
+impl FactorialTable {
+    /// Builds the table for factorials up to `n!` inclusive.
+    pub fn new(n: usize) -> Self {
+        let mut facts = Vec::with_capacity(n + 1);
+        facts.push(BigUint::one());
+        for i in 1..=n as u64 {
+            let next = facts.last().expect("nonempty").mul_u64(i);
+            facts.push(next);
+        }
+        FactorialTable { facts }
+    }
+
+    /// Largest `n` with `n!` in the table.
+    pub fn max_n(&self) -> usize {
+        self.facts.len() - 1
+    }
+
+    /// Returns `n!`.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the table size.
+    pub fn factorial(&self, n: usize) -> &BigUint {
+        &self.facts[n]
+    }
+
+    /// Returns `C(n, k)` using the cached factorials.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the table size.
+    pub fn binomial(&self, n: usize, k: usize) -> BigUint {
+        if k > n {
+            return BigUint::zero();
+        }
+        let num = self.factorial(n);
+        let den = self.factorial(k) * self.factorial(n - k);
+        let (q, r) = num.div_rem(&den);
+        debug_assert!(r.is_zero());
+        q
+    }
+
+    /// The Shapley permutation weight `k!·(m-1-k)!/m!`: the probability
+    /// that a fixed player arrives exactly after a fixed `k`-subset of the
+    /// remaining `m-1` players in a uniformly random permutation of `m`.
+    ///
+    /// # Panics
+    /// Panics if `k >= m` or `m` exceeds the table size.
+    pub fn shapley_weight(&self, m: usize, k: usize) -> BigRational {
+        assert!(k < m, "coalition size {k} must be < number of players {m}");
+        let num = self.factorial(k) * self.factorial(m - 1 - k);
+        BigRational::from_parts(BigInt::from_biguint(num), self.factorial(m).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_factorials() {
+        assert_eq!(factorial(0), BigUint::one());
+        assert_eq!(factorial(1), BigUint::one());
+        assert_eq!(factorial(5), BigUint::from_u64(120));
+        assert_eq!(factorial(20), BigUint::from_u64(2_432_902_008_176_640_000));
+    }
+
+    #[test]
+    fn large_factorial_digits() {
+        // 100! has 158 decimal digits and starts with 9332621544.
+        let f = factorial(100);
+        let s = f.to_string();
+        assert_eq!(s.len(), 158);
+        assert!(s.starts_with("9332621544"));
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(0, 0), BigUint::one());
+        assert_eq!(binomial(5, 2), BigUint::from_u64(10));
+        assert_eq!(binomial(10, 10), BigUint::one());
+        assert_eq!(binomial(10, 11), BigUint::zero());
+        assert_eq!(binomial(52, 5), BigUint::from_u64(2_598_960));
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        for n in 0..20usize {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+                if n > 0 && k > 0 {
+                    assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_are_powers_of_two() {
+        for n in 0..30usize {
+            let sum = (0..=n).fold(BigUint::zero(), |acc, k| acc + binomial(n, k));
+            assert_eq!(sum, BigUint::one() << n);
+        }
+    }
+
+    #[test]
+    fn table_matches_free_functions() {
+        let t = FactorialTable::new(40);
+        assert_eq!(t.max_n(), 40);
+        for n in 0..=40usize {
+            assert_eq!(*t.factorial(n), factorial(n));
+        }
+        for n in 0..=40usize {
+            for k in 0..=n {
+                assert_eq!(t.binomial(n, k), binomial(n, k));
+            }
+        }
+    }
+
+    #[test]
+    fn shapley_weights_sum_over_subsets_to_one() {
+        // Σ_k C(m-1, k) · k!(m-1-k)!/m! = Σ_k 1/m = 1... no: it equals 1
+        // because each of the m positions of the player is equally likely.
+        let t = FactorialTable::new(12);
+        for m in 1..=12usize {
+            let sum = (0..m).fold(BigRational::zero(), |acc, k| {
+                acc + BigRational::from(t.binomial(m - 1, k)) * t.shapley_weight(m, k)
+            });
+            assert_eq!(sum, BigRational::one(), "m={m}");
+        }
+    }
+}

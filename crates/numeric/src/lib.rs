@@ -1,0 +1,33 @@
+//! Exact arbitrary-precision arithmetic for `cqshap`.
+//!
+//! Shapley values of database facts are exact rational numbers whose
+//! numerators and denominators involve factorials of the number of
+//! endogenous facts (e.g. `-3/28` in the paper's running example, or
+//! `n!·n!/(2n+1)!` in the gap-property construction of Theorem 5.1).
+//! Floating point is far too lossy for the paper's identities — the whole
+//! point of several experiments is to verify *exact* equalities — so this
+//! crate provides:
+//!
+//! * [`BigUint`] — arbitrary-precision unsigned integers,
+//! * [`BigInt`] — signed integers,
+//! * [`BigRational`] — normalized rationals,
+//! * [`FactorialTable`] and [`binomial`] — exact combinatorics,
+//! * [`linalg`] — exact Gaussian elimination over the rationals, used to
+//!   solve the linear-equation system of Lemma B.3.
+//!
+//! The implementation is deliberately simple (schoolbook multiplication,
+//! shift–subtract division, binary GCD): the magnitudes arising in the
+//! reproduction are a few thousand bits, where asymptotically fancy
+//! algorithms would not pay for themselves.
+
+pub mod bigint;
+pub mod biguint;
+pub mod combinatorics;
+pub mod linalg;
+pub mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use combinatorics::{binomial, factorial, FactorialTable};
+pub use linalg::RationalMatrix;
+pub use rational::BigRational;

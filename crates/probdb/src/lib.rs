@@ -1,0 +1,343 @@
+//! Tuple-independent probabilistic databases (Section 4.3).
+//!
+//! Fink and Olteanu established that query evaluation over
+//! tuple-independent databases is in PTIME for hierarchical CQ¬s and
+//! `FP^{#P}`-complete otherwise. Theorem 4.10 of the paper extends this
+//! with *deterministic relations* (probability-1 facts): evaluation is
+//! polynomial exactly when the query has no non-hierarchical path, via
+//! the same `ExoShap` rewriting used for Shapley values.
+//!
+//! This crate provides:
+//!
+//! * [`ProbDatabase`] — a [`Database`] whose endogenous facts carry
+//!   marginal probabilities (exogenous facts are deterministic);
+//! * [`ProbDatabase::query_probability`] — lifted inference for
+//!   hierarchical self-join-free CQ¬s, mirroring the structure of the
+//!   `CntSat` recursion (independent products over components and root
+//!   values);
+//! * [`ProbDatabase::query_probability_with_rewriting`] — the Theorem
+//!   4.10 pipeline: `ExoShap`-rewrite, then lifted inference;
+//! * [`ProbDatabase::query_probability_enumerated`] — explicit
+//!   possible-world enumeration, the ground truth for tests.
+
+use cqshap_core::{exoshap, CoreError};
+use cqshap_db::{Database, FactId, World};
+use cqshap_engine::{satisfies_compiled, CompiledQuery};
+use cqshap_query::{has_self_join, is_hierarchical, ConjunctiveQuery, Term};
+
+mod lifted;
+
+use lifted::{LiftedAtom, LiftedTerm};
+
+/// A tuple-independent probabilistic database.
+///
+/// Endogenous facts of the wrapped [`Database`] are probabilistic;
+/// exogenous facts (and hence all facts of declared exogenous relations)
+/// are deterministic with probability 1.
+#[derive(Debug, Clone)]
+pub struct ProbDatabase {
+    db: Database,
+    /// Probability per fact id; exogenous entries are fixed at 1.
+    probs: Vec<f64>,
+}
+
+impl ProbDatabase {
+    /// Wraps `db`, giving every endogenous fact probability `default_p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= default_p <= 1.0`.
+    pub fn new(db: Database, default_p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&default_p), "probability out of range");
+        let probs = db
+            .fact_ids()
+            .map(|f| if db.fact(f).provenance.is_endogenous() { default_p } else { 1.0 })
+            .collect();
+        ProbDatabase { db, probs }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The probability of fact `f`.
+    pub fn prob(&self, f: FactId) -> f64 {
+        self.probs[f.index()]
+    }
+
+    /// Sets the probability of an endogenous fact.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] for deterministic facts;
+    /// [`CoreError::Unsupported`] for out-of-range probabilities.
+    pub fn set_prob(&mut self, f: FactId, p: f64) -> Result<(), CoreError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CoreError::Unsupported(format!("probability {p} out of [0,1]")));
+        }
+        if self.db.endo_index(f).is_none() {
+            return Err(CoreError::FactNotEndogenous { fact: self.db.render_fact(f) });
+        }
+        self.probs[f.index()] = p;
+        Ok(())
+    }
+
+    /// `Pr[D ⊨ q]` by lifted inference — polynomial time, for
+    /// hierarchical self-join-free CQ¬s (Fink & Olteanu's tractable
+    /// class, extended to CQ¬ exactly as in Lemma 3.2).
+    ///
+    /// # Errors
+    /// [`CoreError::NotHierarchical`] / [`CoreError::NotSelfJoinFree`].
+    pub fn query_probability(&self, q: &ConjunctiveQuery) -> Result<f64, CoreError> {
+        if has_self_join(q) {
+            return Err(CoreError::NotSelfJoinFree { query: q.to_string() });
+        }
+        if !is_hierarchical(q) {
+            return Err(CoreError::NotHierarchical { query: q.to_string() });
+        }
+        let mut atoms: Vec<LiftedAtom> = Vec::new();
+        let mut scopes: Vec<Vec<FactId>> = Vec::new();
+        for atom in q.atoms() {
+            let rel = self.db.schema().id(&atom.relation);
+            let mut unknown = false;
+            let terms: Vec<LiftedTerm> = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => LiftedTerm::Var(v.0),
+                    Term::Const(name) => match self.db.interner().get(name) {
+                        Some(c) => LiftedTerm::Const(c),
+                        None => {
+                            unknown = true;
+                            LiftedTerm::Var(u32::MAX)
+                        }
+                    },
+                })
+                .collect();
+            if rel.is_none() || unknown {
+                if atom.negated {
+                    continue; // the negated fact can never exist
+                }
+                return Ok(0.0); // unsatisfiable positive atom
+            }
+            let a = LiftedAtom { negated: atom.negated, terms };
+            let rel = rel.expect("checked");
+            let scope: Vec<FactId> = self
+                .db
+                .relation_facts(rel)
+                .iter()
+                .copied()
+                .filter(|&f| a.matches(self.db.fact(f).tuple.values()))
+                .collect();
+            atoms.push(a);
+            scopes.push(scope);
+        }
+        if atoms.is_empty() {
+            return Ok(1.0); // all atoms were vacuous negations
+        }
+        Ok(lifted::probability(&self.db, &self.probs, &atoms, &scopes))
+    }
+
+    /// `Pr[D ⊨ q]` under Theorem 4.10: rewrite away the deterministic
+    /// relations (`ExoShap`), then run lifted inference on the resulting
+    /// hierarchical query. Applicable whenever `q` has no
+    /// non-hierarchical path with respect to the declared exogenous
+    /// (deterministic) relations.
+    pub fn query_probability_with_rewriting(
+        &self,
+        q: &ConjunctiveQuery,
+        tuple_budget: usize,
+    ) -> Result<f64, CoreError> {
+        let outcome = exoshap::rewrite(&self.db, q, tuple_budget)?;
+        if outcome.always_false {
+            return Ok(0.0);
+        }
+        // Fact ids are preserved by the rewriting; fresh facts are
+        // exogenous (deterministic), so extending the probability vector
+        // with 1s is exact.
+        let mut probs = self.probs.clone();
+        probs.resize(outcome.db.fact_count(), 1.0);
+        let rewritten = ProbDatabase { db: outcome.db, probs };
+        rewritten.query_probability(&outcome.query)
+    }
+
+    /// `Pr[D ⊨ q]` by explicit possible-world enumeration over the
+    /// probabilistic facts — exponential; the ground truth for tests.
+    ///
+    /// # Errors
+    /// [`CoreError::TooManyEndogenousFacts`] when more than `limit`
+    /// facts are probabilistic.
+    pub fn query_probability_enumerated(
+        &self,
+        q: &ConjunctiveQuery,
+        limit: usize,
+    ) -> Result<f64, CoreError> {
+        let uncertain: Vec<FactId> =
+            self.db.endo_facts().iter().copied().filter(|&f| self.prob(f) < 1.0).collect();
+        if uncertain.len() > limit {
+            return Err(CoreError::TooManyEndogenousFacts {
+                count: uncertain.len(),
+                limit,
+            });
+        }
+        let certain: Vec<FactId> =
+            self.db.endo_facts().iter().copied().filter(|&f| self.prob(f) >= 1.0).collect();
+        let compiled = CompiledQuery::compile(&self.db, q);
+        let mut total = 0.0f64;
+        for mask in 0u64..(1u64 << uncertain.len()) {
+            let mut world = World::empty(&self.db);
+            for &f in &certain {
+                world.insert(&self.db, f);
+            }
+            let mut weight = 1.0f64;
+            for (bit, &f) in uncertain.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    world.insert(&self.db, f);
+                    weight *= self.prob(f);
+                } else {
+                    weight *= 1.0 - self.prob(f);
+                }
+            }
+            if weight > 0.0 && satisfies_compiled(&self.db, &world, &compiled) {
+                total += weight;
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Convenience: deterministic-relation names of the wrapped database.
+pub fn deterministic_relations(pdb: &ProbDatabase) -> Vec<String> {
+    pdb.database().exogenous_relation_names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    fn university() -> Database {
+        Database::parse(
+            "exo Stud(Adam)\nexo Stud(Ben)\nexo Stud(Caroline)\nexo Stud(David)\n\
+             endo TA(Adam)\nendo TA(Ben)\nendo TA(David)\n\
+             exo Course(OS, EE)\nexo Course(IC, EE)\nexo Course(DB, CS)\nexo Course(AI, CS)\n\
+             endo Reg(Adam, OS)\nendo Reg(Adam, AI)\nendo Reg(Ben, OS)\n\
+             endo Reg(Caroline, DB)\nendo Reg(Caroline, IC)\n\
+             exo Adv(Michael, Adam)\nexo Adv(Michael, Ben)\nexo Adv(Naomi, Caroline)\n\
+             exo Adv(Michael, David)\n",
+        )
+        .unwrap()
+    }
+
+    fn with_varied_probs(db: Database) -> ProbDatabase {
+        let mut pdb = ProbDatabase::new(db, 0.5);
+        // Deterministic-ish spread of probabilities.
+        let endo: Vec<FactId> = pdb.database().endo_facts().to_vec();
+        for (i, f) in endo.into_iter().enumerate() {
+            let p = [0.1, 0.3, 0.5, 0.7, 0.9, 0.25, 0.75, 0.6][i % 8];
+            pdb.set_prob(f, p).unwrap();
+        }
+        pdb
+    }
+
+    #[test]
+    fn lifted_matches_enumeration_on_running_example() {
+        let pdb = with_varied_probs(university());
+        for text in [
+            "q() :- Stud(x), !TA(x), Reg(x, y)",
+            "q() :- Reg(x, y)",
+            "q() :- TA(x), Reg(x, y)",
+            "q() :- Stud(x), !TA(x)",
+            "q() :- Reg(x, 'OS'), !TA(x)",
+            "q() :- TA(x), Course(y, 'CS')",
+        ] {
+            let q = cqshap_query::parse_cq(text).unwrap();
+            let fast = pdb.query_probability(&q).unwrap();
+            let slow = pdb.query_probability_enumerated(&q, 20).unwrap();
+            assert!(close(fast, slow), "{text}: lifted {fast} vs enumerated {slow}");
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut pdb = ProbDatabase::new(university(), 0.5);
+        let ta = pdb.database().find_fact("TA", &["Adam"]).unwrap();
+        pdb.set_prob(ta, 0.0).unwrap();
+        let reg = pdb.database().find_fact("Reg", &["Caroline", "DB"]).unwrap();
+        pdb.set_prob(reg, 1.0).unwrap();
+        let q = cqshap_query::parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        // Reg(Caroline, DB) certain and Caroline is never a TA → P = 1.
+        assert!(close(pdb.query_probability(&q).unwrap(), 1.0));
+        let q2 = cqshap_query::parse_cq("q() :- TA(x), Reg(x, 'AI')").unwrap();
+        let fast = pdb.query_probability(&q2).unwrap();
+        let slow = pdb.query_probability_enumerated(&q2, 20).unwrap();
+        assert!(close(fast, slow));
+    }
+
+    #[test]
+    fn theorem_4_10_rewriting() {
+        // Example 4.1's query with deterministic Pub and Citations: not
+        // hierarchical, but evaluable after rewriting.
+        let db = Database::parse(
+            "exorel Pub\nexorel Citations\n\
+             endo Author(alice, i1)\nendo Author(bob, i2)\nendo Author(carol, i1)\n\
+             exo Pub(alice, p1)\nexo Pub(alice, p2)\nexo Pub(bob, p3)\nexo Pub(carol, p4)\n\
+             exo Citations(p1, c10)\nexo Citations(p3, c5)\nexo Citations(p4, c2)\n",
+        )
+        .unwrap();
+        let q =
+            cqshap_query::parse_cq("q() :- Author(x, y), Pub(x, z), Citations(z, w)").unwrap();
+        let mut pdb = ProbDatabase::new(db, 0.5);
+        let alice = pdb.database().find_fact("Author", &["alice", "i1"]).unwrap();
+        pdb.set_prob(alice, 0.9).unwrap();
+
+        assert!(matches!(
+            pdb.query_probability(&q),
+            Err(CoreError::NotHierarchical { .. })
+        ));
+        let fast = pdb.query_probability_with_rewriting(&q, 1_000_000).unwrap();
+        let slow = pdb.query_probability_enumerated(&q, 20).unwrap();
+        assert!(close(fast, slow), "rewritten {fast} vs enumerated {slow}");
+    }
+
+    #[test]
+    fn negation_with_deterministic_relations() {
+        // q2 with deterministic Stud/Course (the Section 4 example).
+        let mut db = university();
+        for name in ["Stud", "Course", "Adv"] {
+            let rel = db.schema().id(name).unwrap();
+            db.declare_exogenous_relation(rel).unwrap();
+        }
+        let q = cqshap_query::parse_cq(
+            "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')",
+        )
+        .unwrap();
+        let pdb = with_varied_probs(db);
+        let fast = pdb.query_probability_with_rewriting(&q, 1_000_000).unwrap();
+        let slow = pdb.query_probability_enumerated(&q, 20).unwrap();
+        assert!(close(fast, slow), "rewritten {fast} vs enumerated {slow}");
+    }
+
+    #[test]
+    fn validation() {
+        let mut pdb = ProbDatabase::new(university(), 0.5);
+        let exo = pdb.database().find_fact("Stud", &["Adam"]).unwrap();
+        assert!(pdb.set_prob(exo, 0.5).is_err());
+        let ta = pdb.database().find_fact("TA", &["Adam"]).unwrap();
+        assert!(pdb.set_prob(ta, 1.5).is_err());
+        assert!(pdb.set_prob(ta, 0.25).is_ok());
+        assert!(close(pdb.prob(ta), 0.25));
+        assert!(close(pdb.prob(exo), 1.0));
+    }
+
+    #[test]
+    fn vacuous_and_unsatisfiable_atoms() {
+        let pdb = ProbDatabase::new(university(), 0.5);
+        let q = cqshap_query::parse_cq("q() :- Ghost(x)").unwrap();
+        assert!(close(pdb.query_probability(&q).unwrap(), 0.0));
+        let q2 = cqshap_query::parse_cq("q() :- !Ghost('a')").unwrap();
+        assert!(close(pdb.query_probability(&q2).unwrap(), 1.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Lifted inference for hierarchical self-join-free CQ¬s.
+//!
+//! The recursion mirrors `CntSat` (Lemma 3.2), with probabilities in
+//! place of counts: independence of tuple events makes component
+//! probabilities multiply, and the disjunction over root-variable values
+//! becomes `1 − Π (1 − P_c)` over disjoint fact groups.
+
+use cqshap_db::{ConstId, Database, FactId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LiftedTerm {
+    Var(u32),
+    Const(ConstId),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct LiftedAtom {
+    pub(crate) negated: bool,
+    pub(crate) terms: Vec<LiftedTerm>,
+}
+
+impl LiftedAtom {
+    pub(crate) fn matches(&self, values: &[ConstId]) -> bool {
+        let mut bound: Vec<(u32, ConstId)> = Vec::new();
+        for (t, &val) in self.terms.iter().zip(values) {
+            match t {
+                LiftedTerm::Const(c) => {
+                    if *c != val {
+                        return false;
+                    }
+                }
+                LiftedTerm::Var(v) => match bound.iter().find(|(bv, _)| bv == v) {
+                    Some((_, bval)) => {
+                        if *bval != val {
+                            return false;
+                        }
+                    }
+                    None => bound.push((*v, val)),
+                },
+            }
+        }
+        true
+    }
+
+    fn has_vars(&self) -> bool {
+        self.terms.iter().any(|t| matches!(t, LiftedTerm::Var(_)))
+    }
+
+    fn vars(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .terms
+            .iter()
+            .filter_map(|t| match t {
+                LiftedTerm::Var(v) => Some(*v),
+                LiftedTerm::Const(_) => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn value_of(&self, v: u32, values: &[ConstId]) -> ConstId {
+        for (t, &val) in self.terms.iter().zip(values) {
+            if *t == LiftedTerm::Var(v) {
+                return val;
+            }
+        }
+        unreachable!("variable does not occur in atom");
+    }
+
+    fn substitute(&self, v: u32, c: ConstId) -> LiftedAtom {
+        LiftedAtom {
+            negated: self.negated,
+            terms: self
+                .terms
+                .iter()
+                .map(|t| if *t == LiftedTerm::Var(v) { LiftedTerm::Const(c) } else { *t })
+                .collect(),
+        }
+    }
+}
+
+/// `Pr[q satisfied]` for pattern-filtered scopes (every fact in
+/// `scopes[i]` matches `atoms[i]`).
+pub(crate) fn probability(
+    db: &Database,
+    probs: &[f64],
+    atoms: &[LiftedAtom],
+    scopes: &[Vec<FactId>],
+) -> f64 {
+    // Ground base case.
+    if atoms.iter().all(|a| !a.has_vars()) {
+        let mut p = 1.0f64;
+        for (atom, scope) in atoms.iter().zip(scopes) {
+            debug_assert!(scope.len() <= 1);
+            let present = scope.first().map_or(0.0, |&f| probs[f.index()]);
+            p *= if atom.negated { 1.0 - present } else { present };
+            if p == 0.0 {
+                return 0.0;
+            }
+        }
+        return p;
+    }
+
+    // Disconnected components multiply.
+    let comps = components(atoms);
+    if comps.len() > 1 {
+        let mut p = 1.0f64;
+        for comp in comps {
+            let sub_atoms: Vec<LiftedAtom> = comp.iter().map(|&i| atoms[i].clone()).collect();
+            let sub_scopes: Vec<Vec<FactId>> = comp.iter().map(|&i| scopes[i].clone()).collect();
+            p *= probability(db, probs, &sub_atoms, &sub_scopes);
+            if p == 0.0 {
+                return 0.0;
+            }
+        }
+        return p;
+    }
+
+    // Connected with variables: decompose over the root variable.
+    let root = find_root(atoms).expect("hierarchical connected sub-query has a root variable");
+    let mut candidates: Option<Vec<ConstId>> = None;
+    for (atom, scope) in atoms.iter().zip(scopes) {
+        if atom.negated {
+            continue;
+        }
+        let mut vals: Vec<ConstId> =
+            scope.iter().map(|&f| atom.value_of(root, db.fact(f).tuple.values())).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        candidates = Some(match candidates {
+            None => vals,
+            Some(prev) => prev.into_iter().filter(|c| vals.binary_search(c).is_ok()).collect(),
+        });
+    }
+    let candidates = candidates.expect("connected sub-query has a positive atom");
+    let mut p_unsat = 1.0f64;
+    for c in candidates {
+        let sub_atoms: Vec<LiftedAtom> = atoms.iter().map(|a| a.substitute(root, c)).collect();
+        let sub_scopes: Vec<Vec<FactId>> = atoms
+            .iter()
+            .zip(scopes)
+            .map(|(atom, scope)| {
+                scope
+                    .iter()
+                    .copied()
+                    .filter(|&f| atom.value_of(root, db.fact(f).tuple.values()) == c)
+                    .collect()
+            })
+            .collect();
+        let p_c = probability(db, probs, &sub_atoms, &sub_scopes);
+        p_unsat *= 1.0 - p_c;
+        if p_unsat == 0.0 {
+            return 1.0;
+        }
+    }
+    1.0 - p_unsat
+}
+
+fn components(atoms: &[LiftedAtom]) -> Vec<Vec<usize>> {
+    let n = atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, a: usize) -> usize {
+        if parent[a] == a {
+            a
+        } else {
+            let r = find(parent, parent[a]);
+            parent[a] = r;
+            r
+        }
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let vi = atoms[i].vars();
+            if atoms[j].vars().iter().any(|v| vi.binary_search(v).is_ok()) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut out: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        out.entry(r).or_default().push(i);
+    }
+    out.into_values().collect()
+}
+
+fn find_root(atoms: &[LiftedAtom]) -> Option<u32> {
+    let first = atoms.first()?.vars();
+    first.into_iter().find(|v| atoms.iter().all(|a| a.vars().binary_search(v).is_ok()))
+}

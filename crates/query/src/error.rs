@@ -1,0 +1,49 @@
+//! Error type for query construction, parsing and analysis.
+
+use std::fmt;
+
+/// Errors raised while building, parsing, or analyzing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A negated atom uses a variable that no positive atom binds
+    /// (violation of *safe negation*, Section 2 of the paper).
+    UnsafeNegation {
+        /// The offending variable name.
+        variable: String,
+        /// The offending atom, rendered.
+        atom: String,
+    },
+    /// A head variable does not occur in any positive atom.
+    UnboundHeadVariable {
+        /// The offending variable name.
+        variable: String,
+    },
+    /// Structurally invalid query (no atoms, dangling indices, ...).
+    Malformed(String),
+    /// Text-format parse error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnsafeNegation { variable, atom } => {
+                write!(f, "unsafe negation: variable {variable} of {atom} is not positively bound")
+            }
+            QueryError::UnboundHeadVariable { variable } => {
+                write!(f, "head variable {variable} does not occur in a positive atom")
+            }
+            QueryError::Malformed(msg) => write!(f, "malformed query: {msg}"),
+            QueryError::Parse { line, message } => {
+                write!(f, "query parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

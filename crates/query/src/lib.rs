@@ -1,0 +1,36 @@
+//! Conjunctive queries with safe negation (CQ¬) and their unions (UCQ¬).
+//!
+//! This crate implements the query language of the paper (Section 2) and
+//! every *structural* notion its dichotomies are stated in terms of:
+//!
+//! * safety of negation — every variable of a negated atom occurs in a
+//!   positive atom;
+//! * self-joins — two atoms over the same relation symbol;
+//! * the *hierarchical* property — for all variables `x`, `y`:
+//!   `Ax ⊆ Ay`, `Ay ⊆ Ax`, or `Ax ∩ Ay = ∅` (Theorem 3.1's criterion);
+//! * non-hierarchical *triplets* `(αx, αx,y, αy)` and the polarity-aware
+//!   triplet selection of Lemma B.4;
+//! * the Gaifman graph `G(q)` and the exogenous atom graph `g_x(q)`;
+//! * non-hierarchical *paths* (Theorem 4.3's criterion, which accounts
+//!   for exogenous relations);
+//! * polarity consistency (Section 5.2) and positive connectivity
+//!   (Theorem 5.1's hypothesis);
+//! * a classifier mapping a query to the complexity of its exact Shapley
+//!   computation under the paper's dichotomies.
+
+pub mod analysis;
+pub mod ast;
+pub mod classify;
+pub mod error;
+pub mod parser;
+
+pub use analysis::{
+    exogenous_atom_components, gaifman_adjacency, has_self_join, is_hierarchical,
+    is_polarity_consistent, is_positively_connected, is_safe, non_hierarchical_path,
+    non_hierarchical_triplets, polarity_map, preferred_triplet, NonHierPath, Polarity,
+    Triplet, TripletVariant,
+};
+pub use ast::{Atom, ConjunctiveQuery, QueryBuilder, Term, UnionQuery, Var};
+pub use classify::{classify, classify_with_exo, ExactComplexity};
+pub use error::QueryError;
+pub use parser::{parse_cq, parse_ucq};

@@ -1,0 +1,322 @@
+//! Datalog-style parser for CQ¬ and UCQ¬.
+//!
+//! ```text
+//! q2(x) :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')
+//! ```
+//!
+//! * the head is `name(vars…)`; Boolean queries use `name()`;
+//! * `!` or `¬` negates the following atom;
+//! * in term position: a lowercase-initial identifier is a **variable**;
+//!   an uppercase-initial identifier, a number, or a `'quoted'` token is a
+//!   **constant** (matching the paper's convention where `Reg(x, IC)`
+//!   mixes a variable `x` with the constant `IC`);
+//! * a UCQ¬ is several rules, one per line (or separated by `;`), unioned
+//!   in order; blank lines and `#` comments are ignored.
+
+use crate::ast::{ConjunctiveQuery, QueryBuilder, Term, UnionQuery};
+use crate::error::QueryError;
+
+/// Parses a single CQ¬ rule.
+pub fn parse_cq(input: &str) -> Result<ConjunctiveQuery, QueryError> {
+    parse_rule(input, 1)
+}
+
+/// Parses a UCQ¬: one rule per line or `;`-separated. The union is named
+/// after the first rule.
+pub fn parse_ucq(input: &str) -> Result<UnionQuery, QueryError> {
+    let mut disjuncts = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        for piece in line.split(';') {
+            let body = piece.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            disjuncts.push(parse_rule(body, lineno + 1)?);
+        }
+    }
+    let name = disjuncts
+        .first()
+        .map(|d| d.name().to_string())
+        .ok_or_else(|| QueryError::Malformed("union with no disjuncts".into()))?;
+    UnionQuery::new(name, disjuncts)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Number(String),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Bang,
+}
+
+fn tokenize(s: &str, line: usize) -> Result<Vec<Tok>, QueryError> {
+    let err = |message: String| QueryError::Parse { line, message };
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            '!' | '¬' => {
+                chars.next();
+                out.push(Tok::Bang);
+            }
+            ':' => {
+                chars.next();
+                if chars.next() != Some('-') {
+                    return Err(err("expected `:-`".into()));
+                }
+                out.push(Tok::Turnstile);
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut lit = String::new();
+                loop {
+                    match chars.next() {
+                        Some(ch) if ch == quote => break,
+                        Some(ch) => lit.push(ch),
+                        None => return Err(err("unterminated quoted constant".into())),
+                    }
+                }
+                out.push(Tok::Quoted(lit));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut lit = String::new();
+                lit.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        lit.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if lit == "-" {
+                    return Err(err("stray `-`".into()));
+                }
+                out.push(Tok::Number(lit));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut lit = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        lit.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(lit));
+            }
+            other => return Err(err(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_rule(input: &str, line: usize) -> Result<ConjunctiveQuery, QueryError> {
+    let err = |message: String| QueryError::Parse { line, message };
+    let toks = tokenize(input, line)?;
+    let mut pos = 0usize;
+    let next = |pos: &mut usize| -> Option<&Tok> {
+        let t = toks.get(*pos);
+        if t.is_some() {
+            *pos += 1;
+        }
+        t
+    };
+
+    // Head: name ( vars… ) :-
+    let name = match next(&mut pos) {
+        Some(Tok::Ident(n)) => n.clone(),
+        other => return Err(err(format!("expected query name, got {other:?}"))),
+    };
+    if next(&mut pos) != Some(&Tok::LParen) {
+        return Err(err("expected `(` after query name".into()));
+    }
+    let mut builder = QueryBuilder::new(&name);
+    let mut head_vars = Vec::new();
+    loop {
+        match next(&mut pos) {
+            Some(Tok::RParen) => break,
+            Some(Tok::Ident(v)) if starts_lower(v) => {
+                head_vars.push(builder.var(v));
+                match next(&mut pos) {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    other => return Err(err(format!("expected `,` or `)` in head, got {other:?}"))),
+                }
+            }
+            other => return Err(err(format!("expected head variable, got {other:?}"))),
+        }
+    }
+    builder.head(head_vars);
+    if next(&mut pos) != Some(&Tok::Turnstile) {
+        return Err(err("expected `:-` after head".into()));
+    }
+
+    // Body: a nonempty comma-separated list of (possibly negated) atoms.
+    loop {
+        let negated = if toks.get(pos) == Some(&Tok::Bang) {
+            pos += 1;
+            true
+        } else {
+            false
+        };
+        let rel = match next(&mut pos) {
+            Some(Tok::Ident(r)) => r.clone(),
+            other => return Err(err(format!("expected relation name, got {other:?}"))),
+        };
+        if next(&mut pos) != Some(&Tok::LParen) {
+            return Err(err(format!("expected `(` after relation {rel}")));
+        }
+        let mut terms: Vec<Term> = Vec::new();
+        if toks.get(pos) == Some(&Tok::RParen) {
+            pos += 1;
+        } else {
+            loop {
+                let term = match next(&mut pos) {
+                    Some(Tok::Ident(t)) if starts_lower(t) => Term::Var(builder.var(t)),
+                    Some(Tok::Ident(t)) => Term::Const(t.clone()),
+                    Some(Tok::Quoted(t)) => Term::Const(t.clone()),
+                    Some(Tok::Number(t)) => Term::Const(t.clone()),
+                    other => return Err(err(format!("expected term, got {other:?}"))),
+                };
+                terms.push(term);
+                match next(&mut pos) {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    other => return Err(err(format!("expected `,` or `)`, got {other:?}"))),
+                }
+            }
+        }
+        if negated {
+            builder.neg(&rel, terms);
+        } else {
+            builder.pos(&rel, terms);
+        }
+        match next(&mut pos) {
+            Some(Tok::Comma) => continue,
+            None => break,
+            other => return Err(err(format!("expected `,` or end of rule, got {other:?}"))),
+        }
+    }
+    builder.build()
+}
+
+fn starts_lower(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    #[test]
+    fn parses_running_example_queries() {
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        assert_eq!(q1.to_string(), "q1() :- Stud(x), !TA(x), Reg(x, y)");
+        assert_eq!(q1.var_count(), 2);
+        assert_eq!(q1.negative_atom_indices().collect::<Vec<_>>(), vec![1]);
+
+        let q2 = parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
+        assert_eq!(q2.atoms().len(), 4);
+        assert_eq!(q2.atoms()[3].terms[1], Term::Const("CS".into()));
+    }
+
+    #[test]
+    fn uppercase_bare_idents_are_constants() {
+        let q = parse_cq("q() :- Reg(x, IC), Reg(y, DB)").unwrap();
+        assert_eq!(q.var_count(), 2);
+        assert_eq!(q.atoms()[0].terms[1], Term::Const("IC".into()));
+    }
+
+    #[test]
+    fn numbers_are_constants() {
+        let q = parse_cq("q4() :- R(0)").unwrap();
+        assert_eq!(q.atoms()[0].terms[0], Term::Const("0".into()));
+        assert_eq!(q.var_count(), 0);
+    }
+
+    #[test]
+    fn unicode_negation() {
+        let q = parse_cq("q() :- R(x), S(x,y), ¬T(y)").unwrap();
+        assert!(q.atoms()[2].negated);
+    }
+
+    #[test]
+    fn head_variables() {
+        let q = parse_cq("qc(x, z) :- Author(x, y), Pub(x, z)").unwrap();
+        assert_eq!(q.head().len(), 2);
+        assert!(!q.is_boolean());
+    }
+
+    #[test]
+    fn parse_ucq_multi_line() {
+        let u = parse_ucq(
+            "# the qSAT union of Proposition 5.8\n\
+             q1() :- C(x1, x2, x3, v1, v2, v3), T(x1, v1), T(x2, v2), T(x3, v3)\n\
+             q2() :- V(x), !T(x, 1), !T(x, 0)\n\
+             q3() :- T(x, 1), T(x, 0)\n\
+             q4() :- R(0)\n",
+        )
+        .unwrap();
+        assert_eq!(u.disjuncts().len(), 4);
+        assert_eq!(u.name(), "q1");
+    }
+
+    #[test]
+    fn parse_ucq_semicolons() {
+        let u = parse_ucq("q() :- R(x); q() :- S(x)").unwrap();
+        assert_eq!(u.disjuncts().len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_cq("").is_err());
+        assert!(parse_cq("q()").is_err());
+        assert!(parse_cq("q() :-").is_err());
+        assert!(parse_cq("q() :- R(x,)").is_err());
+        assert!(parse_cq("q() :- R(x").is_err());
+        assert!(parse_cq("q(X) :- R(X)").is_err()); // uppercase head var
+        assert!(parse_cq("q() :- R('x)").is_err()); // unterminated quote
+        assert!(parse_cq("q() : R(x)").is_err());
+        // y occurs only under negation: unsafe.
+        assert!(parse_cq("q() :- R(x), !S(x, y), !T(y)").is_err());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        // y occurs only in a negated atom.
+        let err = parse_cq("q() :- R(x), !S(x, y)").unwrap_err();
+        assert!(matches!(err, QueryError::UnsafeNegation { .. }));
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        let text = "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')";
+        let q = parse_cq(text).unwrap();
+        let q2 = parse_cq(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+}

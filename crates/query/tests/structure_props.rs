@@ -1,0 +1,142 @@
+//! Property tests over randomly generated CQ¬s.
+//!
+//! The most important one: with `X = ∅`, "has a non-hierarchical path"
+//! must coincide exactly with "is not hierarchical" — this is what makes
+//! Theorem 4.3 a strict generalization of Theorem 3.1.
+
+use std::collections::HashSet;
+
+use cqshap_query::{
+    has_self_join, is_hierarchical, is_polarity_consistent, non_hierarchical_path,
+    non_hierarchical_triplets, preferred_triplet, Atom, ConjunctiveQuery, Term,
+    TripletVariant, Var,
+};
+use proptest::prelude::*;
+
+/// A random self-join-free CQ¬ with up to 5 variables and 6 atoms.
+///
+/// Construction guarantees safety: negated atoms only reuse variables
+/// introduced by earlier positive atoms.
+fn arb_sjf_cq() -> impl Strategy<Value = ConjunctiveQuery> {
+    let spec = (
+        2usize..=5,                                      // number of variables
+        prop::collection::vec(
+            (
+                any::<bool>(),                           // negated?
+                prop::collection::vec(0usize..5, 1..=3), // variable picks (mod var count)
+            ),
+            1..=6,
+        ),
+    );
+    spec.prop_filter_map("needs a safe, valid query", |(nvars, atom_specs)| {
+        let var_names: Vec<String> = (0..nvars).map(|i| format!("v{i}")).collect();
+        let mut atoms = Vec::new();
+        let mut positive_vars: HashSet<usize> = HashSet::new();
+        // First pass: create positive atoms, collecting bound variables.
+        for (i, (negated, picks)) in atom_specs.iter().enumerate() {
+            let vars: Vec<usize> = picks.iter().map(|p| p % nvars).collect();
+            if !*negated {
+                positive_vars.extend(vars.iter().copied());
+            }
+            atoms.push((i, *negated, vars));
+        }
+        let mut out = Vec::new();
+        for (i, negated, vars) in atoms {
+            if negated && !vars.iter().all(|v| positive_vars.contains(v)) {
+                continue; // dropping the unsafe atom keeps the query safe
+            }
+            out.push(Atom {
+                relation: format!("R{i}"),
+                terms: vars.into_iter().map(|v| Term::Var(Var(v as u32))).collect(),
+                negated,
+            });
+        }
+        if out.is_empty() || out.iter().all(|a| a.negated) {
+            return None;
+        }
+        // Keep only variables that are actually used (rename densely).
+        let used: Vec<usize> = (0..nvars)
+            .filter(|&v| out.iter().any(|a| a.contains_var(Var(v as u32))))
+            .collect();
+        let remap: Vec<Option<u32>> = (0..nvars)
+            .map(|v| used.iter().position(|&u| u == v).map(|p| p as u32))
+            .collect();
+        for atom in &mut out {
+            for t in &mut atom.terms {
+                if let Term::Var(v) = t {
+                    *v = Var(remap[v.index()].expect("used variable"));
+                }
+            }
+        }
+        let names: Vec<String> = used.iter().map(|&v| var_names[v].clone()).collect();
+        ConjunctiveQuery::new("q", names, vec![], out).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Theorem 4.3 ⊇ Theorem 3.1: with no exogenous relations, the
+    /// non-hierarchical-path criterion coincides with non-hierarchicality.
+    #[test]
+    fn path_iff_not_hierarchical_when_no_exo(q in arb_sjf_cq()) {
+        let exo = HashSet::new();
+        prop_assert_eq!(
+            non_hierarchical_path(&q, &exo).is_some(),
+            !is_hierarchical(&q),
+            "query: {}", q
+        );
+    }
+
+    /// Triplets exist iff the query is non-hierarchical, and the
+    /// Lemma B.4 selection always finds a usable one.
+    #[test]
+    fn triplets_iff_not_hierarchical(q in arb_sjf_cq()) {
+        let triplets = non_hierarchical_triplets(&q);
+        prop_assert_eq!(triplets.is_empty(), is_hierarchical(&q), "query: {}", q);
+        match preferred_triplet(&q) {
+            None => prop_assert!(is_hierarchical(&q)),
+            Some((t, v)) => {
+                let nx = q.atoms()[t.atom_x].negated;
+                let nxy = q.atoms()[t.atom_xy].negated;
+                let ny = q.atoms()[t.atom_y].negated;
+                match v {
+                    TripletVariant::Rst => prop_assert!(!nx && !nxy && !ny),
+                    TripletVariant::NegRSNegT => prop_assert!(nx && !nxy && ny),
+                    TripletVariant::RNegST => prop_assert!(!nx && nxy && !ny),
+                    TripletVariant::RSNegT => prop_assert!(!nx && !nxy && ny),
+                }
+                // x occurs in atom_x but not atom_y; y vice versa; both in
+                // atom_xy.
+                prop_assert!(q.atoms()[t.atom_x].contains_var(t.var_x));
+                prop_assert!(!q.atoms()[t.atom_x].contains_var(t.var_y));
+                prop_assert!(q.atoms()[t.atom_y].contains_var(t.var_y));
+                prop_assert!(!q.atoms()[t.atom_y].contains_var(t.var_x));
+                prop_assert!(q.atoms()[t.atom_xy].contains_var(t.var_x));
+                prop_assert!(q.atoms()[t.atom_xy].contains_var(t.var_y));
+            }
+        }
+    }
+
+    /// Generated queries are self-join-free by construction, and making
+    /// every relation exogenous... is impossible for the endogenous side;
+    /// instead check monotonicity: adding exogenous relations can only
+    /// remove non-hierarchical paths, never create them.
+    #[test]
+    fn exogenous_relations_only_help(q in arb_sjf_cq(), mask in any::<u8>()) {
+        prop_assert!(!has_self_join(&q));
+        let none = HashSet::new();
+        let some: HashSet<String> = q
+            .relation_names()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 8)) != 0)
+            .map(|(_, r)| r.to_string())
+            .collect();
+        if non_hierarchical_path(&q, &none).is_none() {
+            prop_assert!(non_hierarchical_path(&q, &some).is_none(), "query: {}", q);
+        }
+        // polarity consistency holds for sjf queries trivially
+        prop_assert!(is_polarity_consistent(&q));
+    }
+}

@@ -1,0 +1,125 @@
+//! The introduction's scenario: farmers exporting products to countries
+//! where they do not grow.
+//!
+//! ```text
+//! q() :- Farmer(m), Export(m, p, c), ¬Grows(c, p)
+//! Count{c | Farmer(m), Export(m, p, c), ¬Grows(c, p)}
+//! ```
+
+use cqshap_db::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the exports scenario.
+#[derive(Debug, Clone)]
+pub struct ExportsConfig {
+    /// Number of farmers (endogenous `Farmer` facts).
+    pub farmers: usize,
+    /// Number of products.
+    pub products: usize,
+    /// Number of countries.
+    pub countries: usize,
+    /// Number of export triples (exogenous).
+    pub exports: usize,
+    /// Probability that a (country, product) pair grows (endogenous).
+    pub grows_density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExportsConfig {
+    fn default() -> Self {
+        ExportsConfig {
+            farmers: 6,
+            products: 4,
+            countries: 4,
+            exports: 10,
+            grows_density: 0.3,
+            seed: 2,
+        }
+    }
+}
+
+impl ExportsConfig {
+    /// Generates the database: endogenous `Farmer` and `Grows`,
+    /// exogenous `Export`.
+    pub fn generate(&self) -> Database {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut db = Database::new();
+        db.add_relation("Farmer", 1).expect("fresh schema");
+        db.add_relation("Export", 3).expect("fresh schema");
+        db.add_relation("Grows", 2).expect("fresh schema");
+        for m in 0..self.farmers {
+            db.add_endo("Farmer", &[&format!("m{m}")]).expect("distinct");
+        }
+        let mut inserted = 0usize;
+        let mut guard = 0usize;
+        while inserted < self.exports && guard < self.exports * 20 {
+            guard += 1;
+            let m = rng.gen_range(0..self.farmers.max(1));
+            let p = rng.gen_range(0..self.products.max(1));
+            let c = rng.gen_range(0..self.countries.max(1));
+            if db
+                .add_exo("Export", &[&format!("m{m}"), &format!("p{p}"), &format!("c{c}")])
+                .is_ok()
+            {
+                inserted += 1;
+            }
+        }
+        for c in 0..self.countries {
+            for p in 0..self.products {
+                if rng.gen_bool(self.grows_density) {
+                    db.add_endo("Grows", &[&format!("c{c}"), &format!("p{p}")])
+                        .expect("distinct");
+                }
+            }
+        }
+        db
+    }
+}
+
+/// The Boolean query of equation (1) in the introduction.
+pub fn exports_query() -> cqshap_query::ConjunctiveQuery {
+    cqshap_query::parse_cq("q() :- Farmer(m), Export(m, p, c), !Grows(c, p)")
+        .expect("static query parses")
+}
+
+/// The aggregate-ready variant with the country in the head.
+pub fn exports_count_query() -> cqshap_query::ConjunctiveQuery {
+    cqshap_query::parse_cq("qc(c) :- Farmer(m), Export(m, p, c), !Grows(c, p)")
+        .expect("static query parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = ExportsConfig::default();
+        let db = cfg.generate();
+        let farmer = db.schema().id("Farmer").unwrap();
+        assert_eq!(db.relation_facts(farmer).len(), 6);
+        let export = db.schema().id("Export").unwrap();
+        assert_eq!(db.relation_facts(export).len(), 10);
+        // Farmer and Grows facts are the endogenous ones.
+        for &f in db.endo_facts() {
+            let rel = db.schema().name(db.fact(f).rel);
+            assert!(rel == "Farmer" || rel == "Grows");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ExportsConfig { seed: 5, ..Default::default() };
+        assert_eq!(cfg.generate().to_string(), cfg.generate().to_string());
+    }
+
+    #[test]
+    fn queries_parse_and_classify() {
+        use cqshap_query::{classify, ExactComplexity};
+        let q = exports_query();
+        // Equation (1) "falls on the hardness side" (Section 1).
+        assert!(matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }));
+    }
+}

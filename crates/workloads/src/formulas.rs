@@ -1,0 +1,87 @@
+//! Random CNF formulas in the fragments used by the relevance
+//! reductions.
+
+use cqshap_gadgets::{Clause, CnfFormula, Literal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random 3CNF formula.
+pub fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> CnfFormula {
+    assert!(num_vars >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            Clause(
+                (0..3)
+                    .map(|_| Literal {
+                        var: rng.gen_range(0..num_vars),
+                        positive: rng.gen_bool(0.5),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    CnfFormula::new(num_vars, clauses)
+}
+
+/// A random `(2+,2−,4+−)` formula (Proposition 5.5's fragment),
+/// guaranteed to contain at least one positive 2-clause, as the
+/// reduction requires.
+pub fn random_224(num_vars: usize, num_clauses: usize, seed: u64) -> CnfFormula {
+    assert!(num_vars >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    fn v(rng: &mut StdRng, num_vars: usize) -> usize {
+        rng.gen_range(0..num_vars)
+    }
+    let mut clauses =
+        vec![Clause(vec![Literal::pos(v(&mut rng, num_vars)), Literal::pos(v(&mut rng, num_vars))])];
+    for _ in 1..num_clauses.max(1) {
+        let kind: u8 = rng.gen_range(0..3);
+        clauses.push(match kind {
+            0 => Clause(vec![
+                Literal::pos(v(&mut rng, num_vars)),
+                Literal::pos(v(&mut rng, num_vars)),
+            ]),
+            1 => Clause(vec![
+                Literal::neg(v(&mut rng, num_vars)),
+                Literal::neg(v(&mut rng, num_vars)),
+            ]),
+            _ => Clause(vec![
+                Literal::pos(v(&mut rng, num_vars)),
+                Literal::pos(v(&mut rng, num_vars)),
+                Literal::neg(v(&mut rng, num_vars)),
+                Literal::neg(v(&mut rng, num_vars)),
+            ]),
+        });
+    }
+    let f = CnfFormula::new(num_vars, clauses);
+    debug_assert!(f.is_224_shape());
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_hold() {
+        for seed in 0..10 {
+            assert!(random_3sat(5, 12, seed).is_3sat_shape());
+            assert!(random_224(5, 8, seed).is_224_shape());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_3sat(4, 9, 3), random_3sat(4, 9, 3));
+        assert_eq!(random_224(4, 9, 3), random_224(4, 9, 3));
+    }
+
+    #[test]
+    fn prop55_reduction_accepts_generated_formulas() {
+        for seed in 0..5 {
+            let f = random_224(4, 6, seed);
+            assert!(cqshap_gadgets::prop55::build_relevance_instance(&f).is_ok());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Random graph generators for the hardness experiments.
+
+use cqshap_gadgets::{BipartiteGraph, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random bipartite graph with the given sides and edge probability.
+pub fn random_bipartite(left: usize, right: usize, edge_prob: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..left {
+        for b in 0..right {
+            if rng.gen_bool(edge_prob) {
+                edges.push((a, b));
+            }
+        }
+    }
+    BipartiteGraph::new(left, right, edges)
+}
+
+/// A random simple graph with the given vertex count and edge
+/// probability.
+pub fn random_graph(n: usize, edge_prob: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool(edge_prob) {
+                edges.push((a, b));
+            }
+        }
+    }
+    Graph::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_shape_and_determinism() {
+        let g = random_bipartite(3, 4, 0.5, 9);
+        assert_eq!(g.left(), 3);
+        assert_eq!(g.right(), 4);
+        let h = random_bipartite(3, 4, 0.5, 9);
+        assert_eq!(g, h);
+        assert_ne!(g, random_bipartite(3, 4, 0.5, 10));
+    }
+
+    #[test]
+    fn graph_edge_probability_extremes() {
+        assert!(random_graph(5, 0.0, 1).edges().is_empty());
+        assert_eq!(random_graph(5, 1.0, 1).edges().len(), 10);
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded synthetic workloads for the `cqshap` experiments.
+//!
+//! Every generator is deterministic given its seed, so experiment tables
+//! are reproducible run-to-run. The module layout follows the paper's
+//! scenarios:
+//!
+//! * [`university`] — the running example (Figure 1) and scalable
+//!   versions of it;
+//! * [`exports`] — the farmer/export/grows scenario of the introduction;
+//! * [`academic`] — the publications scenario of Example 4.1;
+//! * [`queries`] — the paper's query catalog, by name;
+//! * [`random_db`] — random databases matched to an arbitrary query;
+//! * [`graphs`] — random bipartite graphs and ordinary graphs;
+//! * [`formulas`] — random CNF formulas in the fragments the relevance
+//!   reductions need.
+
+pub mod academic;
+pub mod exports;
+pub mod formulas;
+pub mod graphs;
+pub mod queries;
+pub mod random_db;
+pub mod university;
+
+pub use university::{figure_1_database, UniversityConfig};

@@ -1,0 +1,51 @@
+//! Lemma B.3, live: counting independent sets with a Shapley oracle.
+//!
+//! ```sh
+//! cargo run --example counting_via_shapley
+//! ```
+//!
+//! The hardness proof for `q_RS¬T` is constructive: from `N + 2` Shapley
+//! values on carefully shaped databases, an exact linear system recovers
+//! the number of independent sets of a bipartite graph. This example
+//! runs the reduction end-to-end against the direct counter.
+
+use cqshap::gadgets::reduction_rst::{
+    brute_force_oracle, build_instance, qrsnt_query, recover_is_count,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("query: {}\n", qrsnt_query());
+    println!(
+        "{:<28} {:>10} {:>12} {:>8}",
+        "graph", "|IS| true", "recovered", "match"
+    );
+    for (left, right, prob, seed) in
+        [(2usize, 2usize, 0.5, 1u64), (3, 2, 0.4, 2), (2, 3, 0.6, 3), (3, 3, 0.5, 4)]
+    {
+        let g = cqshap::workloads::graphs::random_bipartite(left, right, prob, seed);
+        let truth = g.independent_set_count();
+        let (recovered, s_counts) = recover_is_count(&g, &brute_force_oracle)?;
+        println!(
+            "{:<28} {:>10} {:>12} {:>8}",
+            format!("{}x{} ({} edges)", left, right, g.edges().len()),
+            truth.to_string(),
+            recovered.to_string(),
+            if truth == recovered { "✓" } else { "✗" }
+        );
+        assert_eq!(truth, recovered);
+        // The per-size closed-subset counts are recovered too.
+        assert_eq!(s_counts, g.closed_subset_counts());
+    }
+
+    // Peek inside: the Shapley values that drive the system.
+    let g = cqshap::workloads::graphs::random_bipartite(2, 2, 0.5, 1);
+    println!("\nShapley values feeding the linear system for the first graph:");
+    for r in 0..=g.vertex_count() + 1 {
+        let (db, f) = build_instance(&g, r);
+        let v = brute_force_oracle(&db, f)?;
+        println!("  D^{r}: Shapley(D, q, T(z)) = {v}");
+        assert!(!v.is_positive(), "T(z) can only flip the answer true → false");
+    }
+    println!("\nindependent-set counts recovered exactly from Shapley values ✓");
+    Ok(())
+}

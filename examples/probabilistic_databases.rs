@@ -1,0 +1,69 @@
+//! Probabilistic query evaluation (Section 4.3, Theorem 4.10).
+//!
+//! ```sh
+//! cargo run --example probabilistic_databases
+//! ```
+//!
+//! Tuple-independent probabilistic databases: lifted inference evaluates
+//! hierarchical CQ¬s in polynomial time, and deterministic relations
+//! extend the tractable class to every query without a
+//! non-hierarchical path — by the very same `ExoShap` rewriting used
+//! for Shapley values.
+
+use cqshap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The running example with registration/TA facts made uncertain.
+    let db = cqshap::workloads::figure_1_database();
+    let mut pdb = ProbDatabase::new(db, 0.5);
+    let reg = pdb.database().find_fact("Reg", &["Caroline", "DB"]).expect("fact exists");
+    pdb.set_prob(reg, 0.9)?;
+    let ta = pdb.database().find_fact("TA", &["Adam"]).expect("fact exists");
+    pdb.set_prob(ta, 0.8)?;
+
+    let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)")?;
+    let lifted = pdb.query_probability(&q1)?;
+    let enumerated = pdb.query_probability_enumerated(&q1, 20)?;
+    println!("== Hierarchical lifted inference ==");
+    println!("  Pr[D ⊨ q1] = {lifted:.6} (lifted) vs {enumerated:.6} (2^|Dn| enumeration)");
+    assert!((lifted - enumerated).abs() < 1e-9);
+
+    // Example 4.1's non-hierarchical query with deterministic Pub and
+    // Citations (Theorem 4.10).
+    let adb = cqshap::workloads::academic::AcademicConfig {
+        authors: 8,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+    let q = cqshap::workloads::academic::citations_query();
+    let pdb2 = ProbDatabase::new(adb, 0.4);
+    println!("\n== Theorem 4.10: deterministic relations ==");
+    println!("  query: {q}");
+    match pdb2.query_probability(&q) {
+        Err(e) => println!("  plain lifted inference refuses: {e}"),
+        Ok(_) => unreachable!("the query is not hierarchical"),
+    }
+    let rewritten = pdb2.query_probability_with_rewriting(&q, 1_000_000)?;
+    let truth = pdb2.query_probability_enumerated(&q, 20)?;
+    println!("  after ExoShap rewriting: Pr = {rewritten:.6}, enumeration: {truth:.6}");
+    assert!((rewritten - truth).abs() < 1e-9);
+
+    // Scaling: lifted inference stays fast as authors grow; enumeration
+    // would need 2^|authors| worlds.
+    println!("\n== Scaling (lifted inference, deterministic Pub/Citations) ==");
+    for authors in [10usize, 100, 1000] {
+        let big = cqshap::workloads::academic::AcademicConfig {
+            authors,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let p = ProbDatabase::new(big, 0.4);
+        let t0 = std::time::Instant::now();
+        let pr = p.query_probability_with_rewriting(&q, 10_000_000)?;
+        println!("  {authors:>5} authors: Pr = {pr:.6}  ({:?})", t0.elapsed());
+    }
+    println!("\nlifted inference matches world enumeration everywhere ✓");
+    Ok(())
+}

@@ -1,0 +1,278 @@
+//! `cqshap` — command-line front end.
+//!
+//! ```text
+//! cqshap classify  "q() :- R(x), S(x, y), !T(y)" [--exo S,T]
+//! cqshap shapley   <db-file> "<query>" [--fact "Reg(Adam, OS)"] [--strategy auto|hierarchical|exoshap|brute|permutations]
+//! cqshap relevance <db-file> "<query>" --fact "TA(Adam)"
+//! cqshap probability <db-file> "<query>" [--default-p 0.5]
+//! cqshap satcount  <db-file> "<query>"
+//! ```
+//!
+//! Databases use the line format of `cqshap-db` (`endo R(a, b)`,
+//! `exo S(c)`, `exorel Pub`); queries use the datalog syntax of
+//! `cqshap-query`. See `README.md`.
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+use cqshap::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cqshap classify  \"<query>\" [--exo R1,R2]
+  cqshap shapley   <db-file> \"<query>\" [--fact \"R(a, b)\"] [--strategy auto|hierarchical|exoshap|brute|permutations]
+  cqshap relevance <db-file> \"<query>\" --fact \"R(a, b)\"
+  cqshap probability <db-file> \"<query>\" [--default-p 0.5]
+  cqshap satcount  <db-file> \"<query>\"";
+
+/// Parsed `--flag value` options after the positional arguments.
+struct Options {
+    positional: Vec<String>,
+    exo: Option<String>,
+    fact: Option<String>,
+    strategy: Option<String>,
+    default_p: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut out = Options {
+        positional: Vec::new(),
+        exo: None,
+        fact: None,
+        strategy: None,
+        default_p: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--exo" => out.exo = Some(grab("--exo")?),
+            "--fact" => out.fact = Some(grab("--fact")?),
+            "--strategy" => out.strategy = Some(grab("--strategy")?),
+            "--default-p" => out.default_p = Some(grab("--default-p")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => out.positional.push(a.clone()),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Ok(match name {
+        "auto" => Strategy::Auto,
+        "hierarchical" => Strategy::Hierarchical,
+        "exoshap" => Strategy::ExoShap,
+        "brute" => Strategy::BruteForceSubsets,
+        "permutations" => Strategy::BruteForcePermutations,
+        other => return Err(format!("unknown strategy {other:?}")),
+    })
+}
+
+/// Parses `"R(a, b)"` into a fact lookup.
+fn find_fact(db: &Database, spec: &str) -> Result<FactId, String> {
+    let open = spec.find('(').ok_or_else(|| format!("bad fact syntax {spec:?}"))?;
+    if !spec.ends_with(')') {
+        return Err(format!("bad fact syntax {spec:?}"));
+    }
+    let rel = spec[..open].trim();
+    let inner = &spec[open + 1..spec.len() - 1];
+    let args: Vec<&str> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(str::trim).collect()
+    };
+    db.find_fact(rel, &args)
+        .ok_or_else(|| format!("fact {spec} not found in the database"))
+}
+
+fn load_db(path: &str) -> Result<Database, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Database::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_options(rest)?;
+    match command.as_str() {
+        "classify" => cmd_classify(&opts),
+        "shapley" => cmd_shapley(&opts),
+        "relevance" => cmd_relevance(&opts),
+        "probability" => cmd_probability(&opts),
+        "satcount" => cmd_satcount(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_classify(opts: &Options) -> Result<(), String> {
+    let [query] = opts.positional.as_slice() else {
+        return Err("classify needs exactly one query".into());
+    };
+    let q = parse_cq(query).map_err(|e| e.to_string())?;
+    let exo: HashSet<String> = opts
+        .exo
+        .as_deref()
+        .unwrap_or("")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    println!("query:        {q}");
+    println!("hierarchical: {}", is_hierarchical(&q));
+    println!("polarity-consistent: {}", is_polarity_consistent(&q));
+    if exo.is_empty() {
+        println!("verdict (Thm 3.1): {}", classify(&q));
+    } else {
+        let mut names: Vec<&str> = exo.iter().map(|s| s.as_str()).collect();
+        names.sort();
+        println!("X = {{{}}}", names.join(", "));
+        println!("verdict (Thm 4.3): {}", classify_with_exo(&q, &exo));
+    }
+    Ok(())
+}
+
+fn cmd_shapley(opts: &Options) -> Result<(), String> {
+    let [db_path, query] = opts.positional.as_slice() else {
+        return Err("shapley needs a database file and a query".into());
+    };
+    let db = load_db(db_path)?;
+    let q = parse_cq(query).map_err(|e| e.to_string())?;
+    let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
+    let options = ShapleyOptions { strategy, ..Default::default() };
+    match &opts.fact {
+        Some(spec) => {
+            let f = find_fact(&db, spec)?;
+            let v = shapley_value(&db, &q, f, &options).map_err(|e| e.to_string())?;
+            println!("Shapley(D, {}, {}) = {} ≈ {:.6}", q.name(), db.render_fact(f), v, v.to_f64());
+        }
+        None => {
+            let report = shapley_report(&db, &q, &options).map_err(|e| e.to_string())?;
+            for entry in &report.entries {
+                println!("{:<32} {:>16} ≈ {:+.6}", entry.rendered, entry.value.to_string(), entry.value.to_f64());
+            }
+            println!(
+                "Σ = {} ({}: q(D) − q(Dx) = {})",
+                report.total,
+                if report.efficiency_holds() { "efficiency holds" } else { "EFFICIENCY VIOLATED" },
+                report.expected_total,
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_relevance(opts: &Options) -> Result<(), String> {
+    let [db_path, query] = opts.positional.as_slice() else {
+        return Err("relevance needs a database file and a query".into());
+    };
+    let spec = opts.fact.as_deref().ok_or("relevance needs --fact")?;
+    let db = load_db(db_path)?;
+    let q = parse_cq(query).map_err(|e| e.to_string())?;
+    let f = find_fact(&db, spec)?;
+    let pos = is_positively_relevant(&db, AnyQuery::Cq(&q), f).map_err(|e| e.to_string())?;
+    let neg = is_negatively_relevant(&db, AnyQuery::Cq(&q), f).map_err(|e| e.to_string())?;
+    println!("fact:                {}", db.render_fact(f));
+    println!("positively relevant: {pos}");
+    println!("negatively relevant: {neg}");
+    println!("Shapley value zero:  {}", !(pos || neg));
+    Ok(())
+}
+
+fn cmd_probability(opts: &Options) -> Result<(), String> {
+    let [db_path, query] = opts.positional.as_slice() else {
+        return Err("probability needs a database file and a query".into());
+    };
+    let p: f64 = opts
+        .default_p
+        .as_deref()
+        .unwrap_or("0.5")
+        .parse()
+        .map_err(|_| "--default-p must be a number".to_string())?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err("--default-p must lie in [0, 1]".into());
+    }
+    let db = load_db(db_path)?;
+    let q = parse_cq(query).map_err(|e| e.to_string())?;
+    let pdb = ProbDatabase::new(db, p);
+    let pr = pdb
+        .query_probability(&q)
+        .or_else(|_| pdb.query_probability_with_rewriting(&q, 10_000_000))
+        .map_err(|e| e.to_string())?;
+    println!("Pr[D ⊨ {}] = {pr:.9}  (endogenous facts present with p = {p})", q.name());
+    Ok(())
+}
+
+fn cmd_satcount(opts: &Options) -> Result<(), String> {
+    let [db_path, query] = opts.positional.as_slice() else {
+        return Err("satcount needs a database file and a query".into());
+    };
+    let db = load_db(db_path)?;
+    let q = parse_cq(query).map_err(|e| e.to_string())?;
+    let counts = cqshap::core::count_sat_hierarchical(&db, &q).map_err(|e| e.to_string())?;
+    println!("|Sat(D, {}, k)| for k = 0..={}:", q.name(), counts.len() - 1);
+    for (k, c) in counts.iter().enumerate() {
+        println!("  k = {k:<4} {c}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn option_parsing() {
+        let o = parse_options(&strs(&["db.txt", "q() :- R(x)", "--fact", "R(a)", "--strategy", "auto"]))
+            .unwrap();
+        assert_eq!(o.positional, vec!["db.txt", "q() :- R(x)"]);
+        assert_eq!(o.fact.as_deref(), Some("R(a)"));
+        assert_eq!(o.strategy.as_deref(), Some("auto"));
+        assert!(parse_options(&strs(&["--bogus"])).is_err());
+        assert!(parse_options(&strs(&["--fact"])).is_err());
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(parse_strategy("auto").unwrap(), Strategy::Auto);
+        assert_eq!(parse_strategy("exoshap").unwrap(), Strategy::ExoShap);
+        assert!(parse_strategy("wat").is_err());
+    }
+
+    #[test]
+    fn fact_lookup() {
+        let db = Database::parse("endo R(a, b)\nendo Flag()\n").unwrap();
+        assert!(find_fact(&db, "R(a, b)").is_ok());
+        assert!(find_fact(&db, "R( a , b )").is_ok());
+        assert!(find_fact(&db, "Flag()").is_ok());
+        assert!(find_fact(&db, "R(a)").is_err());
+        assert!(find_fact(&db, "nope").is_err());
+    }
+
+    #[test]
+    fn classify_command_runs() {
+        let opts = parse_options(&strs(&["q() :- R(x), S(x, y), !T(y)", "--exo", "S"])).unwrap();
+        assert!(cmd_classify(&opts).is_ok());
+        assert!(run(&strs(&["classify", "q() :- R(x)"])).is_ok());
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+}
