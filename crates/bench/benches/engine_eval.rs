@@ -3,11 +3,11 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_db::World;
 use cqshap_engine::{satisfies_compiled, CompiledQuery};
 use cqshap_workloads::queries;
 use cqshap_workloads::university::UniversityConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_satisfaction(c: &mut Criterion) {
     let q1 = queries::q1();
@@ -35,11 +35,15 @@ fn bench_satisfaction(c: &mut Criterion) {
 }
 
 fn bench_compile(c: &mut Criterion) {
-    let db = UniversityConfig { students: 64, seed: 21, ..Default::default() }.generate();
+    let db = UniversityConfig {
+        students: 64,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate();
     let q2 = queries::q2();
-    c.benchmark_group("engine/compile").bench_function("q2", |b| {
-        b.iter(|| CompiledQuery::compile(&db, &q2))
-    });
+    c.benchmark_group("engine/compile")
+        .bench_function("q2", |b| b.iter(|| CompiledQuery::compile(&db, &q2)));
 }
 
 fn config() -> Criterion {

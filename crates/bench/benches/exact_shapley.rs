@@ -4,12 +4,12 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_core::{
     shapley_report, shapley_via_counts, AnyQuery, BruteForceCounter, ShapleyOptions,
 };
 use cqshap_workloads::queries;
 use cqshap_workloads::university::UniversityConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_hierarchical_scaling(c: &mut Criterion) {
     let q1 = queries::q1();
@@ -47,16 +47,11 @@ fn bench_brute_force_wall(c: &mut Criterion) {
         }
         .generate();
         let f = db.endo_facts()[0];
-        group.bench_with_input(
-            BenchmarkId::new("endo", db.endo_count()),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    shapley_via_counts(db, AnyQuery::Cq(&q1), f, &BruteForceCounter::new())
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("endo", db.endo_count()), &db, |b, db| {
+            b.iter(|| {
+                shapley_via_counts(db, AnyQuery::Cq(&q1), f, &BruteForceCounter::new()).unwrap()
+            })
+        });
     }
     group.finish();
 }

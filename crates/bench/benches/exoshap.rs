@@ -3,15 +3,20 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_core::{rewrite, shapley_report, ShapleyOptions, Strategy};
 use cqshap_workloads::academic::{citations_query, AcademicConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_rewrite(c: &mut Criterion) {
     let q = citations_query();
     let mut group = c.benchmark_group("exoshap/rewrite");
     for authors in [8usize, 32, 128] {
-        let db = AcademicConfig { authors, seed: 9, ..Default::default() }.generate();
+        let db = AcademicConfig {
+            authors,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
         group.bench_with_input(BenchmarkId::from_parameter(authors), &db, |b, db| {
             b.iter(|| rewrite(db, &q, 10_000_000).unwrap())
         });
@@ -21,10 +26,18 @@ fn bench_rewrite(c: &mut Criterion) {
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let q = citations_query();
-    let opts = ShapleyOptions { strategy: Strategy::ExoShap, ..Default::default() };
+    let opts = ShapleyOptions {
+        strategy: Strategy::ExoShap,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("exoshap/report");
     for authors in [8usize, 16, 32] {
-        let db = AcademicConfig { authors, seed: 9, ..Default::default() }.generate();
+        let db = AcademicConfig {
+            authors,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
         group.bench_with_input(BenchmarkId::from_parameter(authors), &db, |b, db| {
             b.iter(|| {
                 let report = shapley_report(db, &q, &opts).unwrap();

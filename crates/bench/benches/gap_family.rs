@@ -2,9 +2,9 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_core::gap::{build_gap_family, expected_gap_value, section_5_1_example};
 use cqshap_query::parse_cq;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_expected_value(c: &mut Criterion) {
     let mut group = c.benchmark_group("gap/expected_value");

@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_numeric::{factorial, BigRational, BigUint, FactorialTable, RationalMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_factorials(c: &mut Criterion) {
     let mut group = c.benchmark_group("numeric/factorial_table");
@@ -29,15 +29,16 @@ fn bench_bigint_ops(c: &mut Criterion) {
 fn bench_rational_sum(c: &mut Criterion) {
     // The Shapley reduction sums m weighted terms; model that shape.
     let table = FactorialTable::new(120);
-    c.benchmark_group("numeric/rational").bench_function("shapley_weight_sum_m120", |b| {
-        b.iter(|| {
-            let mut acc = BigRational::zero();
-            for k in 0..120 {
-                acc += &table.shapley_weight(120, k);
-            }
-            acc
-        })
-    });
+    c.benchmark_group("numeric/rational")
+        .bench_function("shapley_weight_sum_m120", |b| {
+            b.iter(|| {
+                let mut acc = BigRational::zero();
+                for k in 0..120 {
+                    acc += &table.shapley_weight(120, k);
+                }
+                acc
+            })
+        });
 }
 
 fn bench_linear_solve(c: &mut Criterion) {
@@ -46,11 +47,11 @@ fn bench_linear_solve(c: &mut Criterion) {
     let a = RationalMatrix::from_fn(n + 1, n + 1, |r, k| {
         BigRational::from(factorial(k) * factorial(n - k + r + 1))
     });
-    let rhs: Vec<BigRational> =
-        (0..=n).map(|i| BigRational::from(BigUint::from_u64(i as u64 + 1))).collect();
-    c.benchmark_group("numeric/linalg").bench_function("solve_9x9_factorial", |b| {
-        b.iter(|| a.solve(&rhs).unwrap())
-    });
+    let rhs: Vec<BigRational> = (0..=n)
+        .map(|i| BigRational::from(BigUint::from_u64(i as u64 + 1)))
+        .collect();
+    c.benchmark_group("numeric/linalg")
+        .bench_function("solve_9x9_factorial", |b| b.iter(|| a.solve(&rhs).unwrap()));
 }
 
 fn config() -> Criterion {

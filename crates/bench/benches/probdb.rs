@@ -3,11 +3,11 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_probdb::ProbDatabase;
 use cqshap_workloads::academic::{citations_query, AcademicConfig};
 use cqshap_workloads::queries;
 use cqshap_workloads::university::UniversityConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_lifted_hierarchical(c: &mut Criterion) {
     let q1 = queries::q1();
@@ -33,10 +33,18 @@ fn bench_theorem_4_10(c: &mut Criterion) {
     let q = citations_query();
     let mut group = c.benchmark_group("probdb/rewrite_then_lift");
     for authors in [8usize, 32, 64] {
-        let db = AcademicConfig { authors, seed: 3, ..Default::default() }.generate();
+        let db = AcademicConfig {
+            authors,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
         let pdb = ProbDatabase::new(db, 0.35);
         group.bench_with_input(BenchmarkId::from_parameter(authors), &pdb, |b, pdb| {
-            b.iter(|| pdb.query_probability_with_rewriting(&q, 10_000_000).unwrap())
+            b.iter(|| {
+                pdb.query_probability_with_rewriting(&q, 10_000_000)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -2,10 +2,10 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_gadgets::reduction_rst::{brute_force_oracle, recover_is_count};
 use cqshap_gadgets::{prop55, prop58};
 use cqshap_workloads::{formulas, graphs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_lemma_b3(c: &mut Criterion) {
     let mut group = c.benchmark_group("reductions/lemma_b3_recover_is");

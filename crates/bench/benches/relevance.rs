@@ -2,11 +2,11 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_core::relevance::{is_negatively_relevant, is_positively_relevant};
 use cqshap_core::AnyQuery;
 use cqshap_workloads::queries;
 use cqshap_workloads::university::UniversityConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_relevance(c: &mut Criterion) {
     let q1 = queries::q1();

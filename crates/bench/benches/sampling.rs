@@ -2,10 +2,10 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_core::approx::shapley_sampled;
 use cqshap_core::AnyQuery;
 use cqshap_workloads::{figure_1_database, queries};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sampler(c: &mut Criterion) {
     let db = figure_1_database();

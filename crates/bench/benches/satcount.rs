@@ -2,10 +2,10 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqshap_core::count_sat_hierarchical;
 use cqshap_query::parse_cq;
 use cqshap_workloads::university::UniversityConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_cntsat(c: &mut Criterion) {
     let queries = [
@@ -25,11 +25,9 @@ fn bench_cntsat(c: &mut Criterion) {
         .generate();
         for (name, text) in queries {
             let q = parse_cq(text).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(name, students),
-                &db,
-                |b, db| b.iter(|| count_sat_hierarchical(db, &q).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, students), &db, |b, db| {
+                b.iter(|| count_sat_hierarchical(db, &q).unwrap())
+            });
         }
     }
     group.finish();

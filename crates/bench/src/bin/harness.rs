@@ -17,9 +17,8 @@ use cqshap_core::relevance::{
     brute_force_relevance, is_negatively_relevant, is_positively_relevant,
 };
 use cqshap_core::{
-    rewrite, shapley_by_permutations, shapley_report, shapley_value,
-    shapley_via_counts, AnyQuery, BruteForceCounter, ShapleyOptions,
-    Strategy,
+    rewrite, shapley_by_permutations, shapley_report, shapley_value, shapley_via_counts, AnyQuery,
+    BruteForceCounter, ShapleyOptions, Strategy,
 };
 use cqshap_db::{Database, World};
 use cqshap_gadgets::coloring::{coloring_to_3p2n, to_224};
@@ -37,20 +36,68 @@ fn main() {
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let experiments: &[(&str, &str, fn())] = &[
-        ("e1", "Example 2.3: exact Shapley values on the running example", e1),
-        ("e2", "Theorems 3.1/4.3: dichotomy classification catalog", e2),
-        ("e3", "Theorem 3.1 (positive side): polynomial vs exponential scaling", e3),
-        ("e4", "Theorem 4.3 / Algorithm 1: ExoShap correctness and scaling", e4),
-        ("e5", "Theorem 5.1: the gap property fails under negation", e5),
-        ("e6", "Section 5.1: additive FPRAS vs multiplicative failure", e6),
-        ("e7", "Proposition 5.5 + Lemma D.1: SAT ⟺ relevance for q_RST¬R", e7),
+        (
+            "e1",
+            "Example 2.3: exact Shapley values on the running example",
+            e1,
+        ),
+        (
+            "e2",
+            "Theorems 3.1/4.3: dichotomy classification catalog",
+            e2,
+        ),
+        (
+            "e3",
+            "Theorem 3.1 (positive side): polynomial vs exponential scaling",
+            e3,
+        ),
+        (
+            "e4",
+            "Theorem 4.3 / Algorithm 1: ExoShap correctness and scaling",
+            e4,
+        ),
+        (
+            "e5",
+            "Theorem 5.1: the gap property fails under negation",
+            e5,
+        ),
+        (
+            "e6",
+            "Section 5.1: additive FPRAS vs multiplicative failure",
+            e6,
+        ),
+        (
+            "e7",
+            "Proposition 5.5 + Lemma D.1: SAT ⟺ relevance for q_RST¬R",
+            e7,
+        ),
         ("e8", "Proposition 5.7: polynomial relevance scaling", e8),
-        ("e9", "Proposition 5.8: SAT ⟺ relevance for the union q_SAT", e9),
-        ("e10", "Lemma B.3: counting independent sets via a Shapley oracle", e10),
-        ("e11", "Lemma B.4 / Appendix C: Shapley-preserving embeddings", e11),
-        ("e12", "Theorem 4.10: probabilistic evaluation with deterministic relations", e12),
+        (
+            "e9",
+            "Proposition 5.8: SAT ⟺ relevance for the union q_SAT",
+            e9,
+        ),
+        (
+            "e10",
+            "Lemma B.3: counting independent sets via a Shapley oracle",
+            e10,
+        ),
+        (
+            "e11",
+            "Lemma B.4 / Appendix C: Shapley-preserving embeddings",
+            e11,
+        ),
+        (
+            "e12",
+            "Theorem 4.10: probabilistic evaluation with deterministic relations",
+            e12,
+        ),
         ("e13", "Section 3 remarks: aggregate attribution", e13),
-        ("e14", "Example 5.3: relevant facts with zero Shapley value", e14),
+        (
+            "e14",
+            "Example 5.3: relevant facts with zero Shapley value",
+            e14,
+        ),
     ];
     for (name, title, run) in experiments {
         if want(name) {
@@ -98,7 +145,11 @@ fn e1() {
         "\nefficiency: Σ = {} vs q(D) − q(Dx) = {} → {}",
         report.total,
         report.expected_total,
-        if report.efficiency_holds() { "holds" } else { "VIOLATED" }
+        if report.efficiency_holds() {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "note: the appendix's expansion for f_r1 misses the subset {{f_t2, f_t3}}; \
@@ -124,7 +175,12 @@ fn e2() {
     row(&mut t, &queries::q2(), &x2);
     row(&mut t, &queries::q3(), &none);
     row(&mut t, &queries::q4(), &none);
-    for q in [queries::qrst(), queries::qnrsnt(), queries::qrnst(), queries::qrsnt()] {
+    for q in [
+        queries::qrst(),
+        queries::qnrsnt(),
+        queries::qrnst(),
+        queries::qrsnt(),
+    ] {
         row(&mut t, &q, &none);
     }
     let xs: HashSet<String> = ["S"].iter().map(|s| s.to_string()).collect();
@@ -139,8 +195,10 @@ fn e2() {
     row(&mut t, &queries::section_4_1_hard(), &x41);
     let x42: HashSet<String> = ["Q", "S", "U", "P"].iter().map(|s| s.to_string()).collect();
     row(&mut t, &queries::example_4_2_q(), &x42);
-    let x42p: HashSet<String> =
-        ["R", "S", "O", "P", "V"].iter().map(|s| s.to_string()).collect();
+    let x42p: HashSet<String> = ["R", "S", "O", "P", "V"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     row(&mut t, &queries::example_4_2_qprime(), &x42p);
     row(&mut t, &queries::unemployed_couple(), &none);
     row(&mut t, &queries::non_citizen_couple(), &none);
@@ -150,7 +208,12 @@ fn e2() {
 
 fn e3() {
     let q1 = queries::q1();
-    let mut t = Table::new(&["students", "|Dn|", "CntSat (all facts)", "brute force (one fact)"]);
+    let mut t = Table::new(&[
+        "students",
+        "|Dn|",
+        "CntSat (all facts)",
+        "brute force (one fact)",
+    ]);
     for students in [4usize, 8, 16, 32, 64, 128] {
         let db = UniversityConfig {
             students,
@@ -193,14 +256,25 @@ fn e4() {
         db.declare_exogenous_relation(rel).expect("exogenous-safe");
     }
     let q2 = queries::q2();
-    let exo_opts = ShapleyOptions { strategy: Strategy::ExoShap, ..Default::default() };
-    let bf_opts = ShapleyOptions { strategy: Strategy::BruteForceSubsets, ..Default::default() };
+    let exo_opts = ShapleyOptions {
+        strategy: Strategy::ExoShap,
+        ..Default::default()
+    };
+    let bf_opts = ShapleyOptions {
+        strategy: Strategy::BruteForceSubsets,
+        ..Default::default()
+    };
     let mut t = Table::new(&["fact", "ExoShap", "brute force", "match"]);
     for &f in db.endo_facts() {
         let a = shapley_value(&db, &q2, f, &exo_opts).expect("rewritable");
         let b = shapley_value(&db, &q2, f, &bf_opts).expect("small");
         let ok = if a == b { "✓" } else { "✗" };
-        t.row(&[db.render_fact(f), a.to_string(), b.to_string(), ok.to_string()]);
+        t.row(&[
+            db.render_fact(f),
+            a.to_string(),
+            b.to_string(),
+            ok.to_string(),
+        ]);
     }
     print!("{t}");
 
@@ -215,18 +289,33 @@ fn e4() {
     let q = queries::citations();
     let mut t2 = Table::new(&["authors", "|Dn|", "ExoShap report (all facts)"]);
     for authors in [8usize, 16, 32, 64] {
-        let adb = AcademicConfig { authors, seed: 9, ..Default::default() }.generate();
+        let adb = AcademicConfig {
+            authors,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
         let t0 = Instant::now();
         let report = shapley_report(&adb, &q, &exo_opts).expect("rewritable");
         assert!(report.efficiency_holds());
-        t2.row(&[authors.to_string(), adb.endo_count().to_string(), ms(t0.elapsed())]);
+        t2.row(&[
+            authors.to_string(),
+            adb.endo_count().to_string(),
+            ms(t0.elapsed()),
+        ]);
     }
     println!();
     print!("{t2}");
 }
 
 fn e5() {
-    let mut t = Table::new(&["n", "|D_n| endo", "Shapley(D_n, q, f0)", "as float", "2^-n bound"]);
+    let mut t = Table::new(&[
+        "n",
+        "|D_n| endo",
+        "Shapley(D_n, q, f0)",
+        "as float",
+        "2^-n bound",
+    ]);
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         let (q, inst) = section_5_1_example(n);
         let value = if n <= 4 {
@@ -259,7 +348,13 @@ fn e6() {
     let db = figure_1_database();
     let q1 = queries::q1();
     let exact = shapley_report(&db, &q1, &opts()).expect("hierarchical");
-    let mut t = Table::new(&["ε", "δ", "samples", "max additive error (8 facts)", "within ε"]);
+    let mut t = Table::new(&[
+        "ε",
+        "δ",
+        "samples",
+        "max additive error (8 facts)",
+        "within ε",
+    ]);
     for (eps, delta) in [(0.2, 0.05), (0.1, 0.05), (0.05, 0.01), (0.02, 0.01)] {
         let samples = required_samples(eps, delta);
         let mut max_err = 0f64;
@@ -292,7 +387,12 @@ fn e6() {
         } else {
             format!("{:.2}", (est.estimate - truth).abs() / truth)
         };
-        t2.row(&[n.to_string(), format!("{truth:.3e}"), format!("{:.3e}", est.estimate), rel]);
+        t2.row(&[
+            n.to_string(),
+            format!("{truth:.3e}"),
+            format!("{:.3e}", est.estimate),
+            rel,
+        ]);
     }
     print!("{t2}");
 }
@@ -317,12 +417,18 @@ fn e7() {
     println!("\nLemma D.1 chain (3-colorability → (3+,2−)-SAT → (2+,2−,4+−)-SAT):");
     let mut t2 = Table::new(&["graph", "3-colorable", "reduced formula sat", "agree"]);
     for (name, g) in [
-        ("triangle", cqshap_gadgets::Graph::new(3, vec![(0, 1), (1, 2), (0, 2)])),
+        (
+            "triangle",
+            cqshap_gadgets::Graph::new(3, vec![(0, 1), (1, 2), (0, 2)]),
+        ),
         (
             "K4",
             cqshap_gadgets::Graph::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
         ),
-        ("C5", cqshap_gadgets::Graph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])),
+        (
+            "C5",
+            cqshap_gadgets::Graph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+        ),
         ("random(5, .7)", graphs::random_graph(5, 0.7, 3)),
     ] {
         let sat = to_224(&coloring_to_3p2n(&g)).is_satisfiable();
@@ -419,7 +525,10 @@ fn e9() {
             .map(|mask| {
                 Clause(
                     (0..3)
-                        .map(|i| Literal { var: i, positive: mask & (1 << i) != 0 })
+                        .map(|i| Literal {
+                            var: i,
+                            positive: mask & (1 << i) != 0,
+                        })
                         .collect(),
                 )
             })
@@ -438,9 +547,12 @@ fn e10() {
         "match",
         "time",
     ]);
-    for (l, r, p, seed) in
-        [(2usize, 2usize, 0.5f64, 1u64), (3, 2, 0.4, 2), (2, 3, 0.6, 3), (3, 3, 0.5, 4)]
-    {
+    for (l, r, p, seed) in [
+        (2usize, 2usize, 0.5f64, 1u64),
+        (3, 2, 0.4, 2),
+        (2, 3, 0.6, 3),
+        (3, 3, 0.5, 4),
+    ] {
         let g = graphs::random_bipartite(l, r, p, seed);
         let truth = g.independent_set_count();
         let t0 = Instant::now();
@@ -516,12 +628,24 @@ fn e11() {
 fn e12() {
     let q = queries::citations();
     println!("query: {q} with deterministic Pub, Citations\n");
-    let mut t = Table::new(&["authors", "Pr (lifted+rewrite)", "Pr (enumeration)", "time (lifted)"]);
+    let mut t = Table::new(&[
+        "authors",
+        "Pr (lifted+rewrite)",
+        "Pr (enumeration)",
+        "time (lifted)",
+    ]);
     for authors in [6usize, 10, 14] {
-        let adb = AcademicConfig { authors, seed: 77, ..Default::default() }.generate();
+        let adb = AcademicConfig {
+            authors,
+            seed: 77,
+            ..Default::default()
+        }
+        .generate();
         let pdb = ProbDatabase::new(adb, 0.35);
         let t0 = Instant::now();
-        let fast = pdb.query_probability_with_rewriting(&q, 10_000_000).expect("rewritable");
+        let fast = pdb
+            .query_probability_with_rewriting(&q, 10_000_000)
+            .expect("rewritable");
         let dt = t0.elapsed();
         let slow = pdb.query_probability_enumerated(&q, 20).expect("small");
         assert!((fast - slow).abs() < 1e-9);
@@ -535,11 +659,18 @@ fn e12() {
     print!("{t}");
     let mut t2 = Table::new(&["authors", "Pr (lifted+rewrite)", "time"]);
     for authors in [50usize, 100, 200] {
-        let adb = AcademicConfig { authors, cited_fraction: 0.2, seed: 77, ..Default::default() }
-            .generate();
+        let adb = AcademicConfig {
+            authors,
+            cited_fraction: 0.2,
+            seed: 77,
+            ..Default::default()
+        }
+        .generate();
         let pdb = ProbDatabase::new(adb, 0.05);
         let t0 = Instant::now();
-        let fast = pdb.query_probability_with_rewriting(&q, 10_000_000).expect("rewritable");
+        let fast = pdb
+            .query_probability_with_rewriting(&q, 10_000_000)
+            .expect("rewritable");
         t2.row(&[authors.to_string(), format!("{fast:.6}"), ms(t0.elapsed())]);
     }
     println!("\nscaling beyond enumeration reach (2^|Dn| worlds):");
@@ -547,8 +678,15 @@ fn e12() {
 }
 
 fn e13() {
-    let db = ExportsConfig { farmers: 4, products: 3, countries: 3, exports: 7, seed: 11, ..Default::default() }
-        .generate();
+    let db = ExportsConfig {
+        farmers: 4,
+        products: 3,
+        countries: 3,
+        exports: 7,
+        seed: 11,
+        ..Default::default()
+    }
+    .generate();
     let q = cqshap_workloads::exports::exports_count_query();
     let agg = AggregateFunction::Count;
     let full = aggregate_value(&db, &World::full(&db), &q, &agg).expect("evaluates");
@@ -575,7 +713,11 @@ fn e13() {
     println!(
         "\nefficiency: Σ = {total} equals count(D) − count(Dx) = {} → {}",
         &full - &empty,
-        if total == &full - &empty { "holds" } else { "VIOLATED" }
+        if total == &full - &empty {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
 }
 
@@ -587,7 +729,12 @@ fn e14() {
     for &f in db.endo_facts() {
         let (pos, neg) = brute_force_relevance(&db, AnyQuery::Cq(&q), f, 24).expect("small");
         let v = shapley_by_permutations(&db, AnyQuery::Cq(&q), f, 9).expect("small");
-        t.row(&[db.render_fact(f), pos.to_string(), neg.to_string(), v.to_string()]);
+        t.row(&[
+            db.render_fact(f),
+            pos.to_string(),
+            neg.to_string(),
+            v.to_string(),
+        ]);
         assert!(pos && neg && v.is_zero());
     }
     print!("{t}");

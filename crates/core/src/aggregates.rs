@@ -47,16 +47,12 @@ impl AggregateFunction {
         match self {
             AggregateFunction::Count => Ok(BigRational::one()),
             AggregateFunction::Sum { weight_var } => {
-                let var = q
-                    .var_by_name(weight_var)
-                    .ok_or_else(|| CoreError::Unsupported(format!("unknown variable {weight_var}")))?;
-                let pos = q
-                    .head()
-                    .iter()
-                    .position(|&h| h == var)
-                    .ok_or_else(|| {
-                        CoreError::Unsupported(format!("{weight_var} is not a head variable"))
-                    })?;
+                let var = q.var_by_name(weight_var).ok_or_else(|| {
+                    CoreError::Unsupported(format!("unknown variable {weight_var}"))
+                })?;
+                let pos = q.head().iter().position(|&h| h == var).ok_or_else(|| {
+                    CoreError::Unsupported(format!("{weight_var} is not a head variable"))
+                })?;
                 let name = db.interner().resolve(tuple[pos]);
                 let value: i64 = name.parse().map_err(|_| {
                     CoreError::Unsupported(format!("weight constant {name:?} is not an integer"))
@@ -104,15 +100,15 @@ fn substitute_head(
 
 /// The candidate answers: head projections of positive-part
 /// homomorphisms into all of `D`.
-pub fn candidate_answers(
-    db: &Database,
-    q: &ConjunctiveQuery,
-) -> Vec<Vec<cqshap_db::ConstId>> {
+pub fn candidate_answers(db: &Database, q: &ConjunctiveQuery) -> Vec<Vec<cqshap_db::ConstId>> {
     let compiled = CompiledQuery::compile(db, q);
     let mut set: BTreeSet<Vec<cqshap_db::ConstId>> = BTreeSet::new();
     for_each_positive_homomorphism(db, FactScope::All, &compiled, &mut |m| {
-        if let Some(tuple) =
-            compiled.head.iter().map(|&v| m.assignment[v as usize]).collect::<Option<Vec<_>>>()
+        if let Some(tuple) = compiled
+            .head
+            .iter()
+            .map(|&v| m.assignment[v as usize])
+            .collect::<Option<Vec<_>>>()
         {
             set.insert(tuple);
         }
@@ -208,8 +204,10 @@ mod tests {
         let candidates = candidate_answers(&db, &q);
         // Norway and Egypt both appear as candidates (Egypt only answers
         // in worlds where Grows(egypt, rice) is absent).
-        let mut names: Vec<&str> =
-            candidates.iter().map(|t| db.interner().resolve(t[0])).collect();
+        let mut names: Vec<&str> = candidates
+            .iter()
+            .map(|t| db.interner().resolve(t[0]))
+            .collect();
         names.sort();
         assert_eq!(names, vec!["egypt", "norway"]);
     }
@@ -225,7 +223,9 @@ mod tests {
         )
         .unwrap();
         let q = parse_cq("q(r) :- Export(p, c), !Grows(c, p), Profit(c, p, r)").unwrap();
-        let agg = AggregateFunction::Sum { weight_var: "r".into() };
+        let agg = AggregateFunction::Sum {
+            weight_var: "r".into(),
+        };
         let full = aggregate_value(&db, &World::full(&db), &q, &agg).unwrap();
         let empty = aggregate_value(&db, &World::empty(&db), &q, &agg).unwrap();
         assert_eq!(full, BigRational::from(10i64));
@@ -254,14 +254,18 @@ mod tests {
         let q = parse_cq("q(c) :- Farmer(m), Export(m, p, c), !Grows(c, p)").unwrap();
         let f = db.find_fact("Farmer", &["miller"]).unwrap();
         for bad in ["nope", "m"] {
-            let agg = AggregateFunction::Sum { weight_var: bad.into() };
+            let agg = AggregateFunction::Sum {
+                weight_var: bad.into(),
+            };
             assert!(matches!(
                 aggregate_shapley(&db, &q, &agg, f, &Default::default()),
                 Err(CoreError::Unsupported(_))
             ));
         }
         // Non-integer weights.
-        let agg = AggregateFunction::Sum { weight_var: "c".into() };
+        let agg = AggregateFunction::Sum {
+            weight_var: "c".into(),
+        };
         assert!(matches!(
             aggregate_shapley(&db, &q, &agg, f, &Default::default()),
             Err(CoreError::Unsupported(_))

@@ -34,12 +34,12 @@ impl<'a> AnyQuery<'a> {
     /// Compiles against `db` (a CQ becomes a one-disjunct union).
     pub fn compile(&self, db: &Database) -> CompiledAnyQuery {
         match self {
-            AnyQuery::Cq(q) => {
-                CompiledAnyQuery { disjuncts: vec![CompiledQuery::compile(db, q)] }
-            }
-            AnyQuery::Union(u) => {
-                CompiledAnyQuery { disjuncts: CompiledUnion::compile(db, u).disjuncts }
-            }
+            AnyQuery::Cq(q) => CompiledAnyQuery {
+                disjuncts: vec![CompiledQuery::compile(db, q)],
+            },
+            AnyQuery::Union(u) => CompiledAnyQuery {
+                disjuncts: CompiledUnion::compile(db, u).disjuncts,
+            },
         }
     }
 }
@@ -65,7 +65,9 @@ pub struct CompiledAnyQuery {
 impl CompiledAnyQuery {
     /// Does `Dx ∪ E ⊨ q` hold?
     pub fn satisfied(&self, db: &Database, world: &World) -> bool {
-        self.disjuncts.iter().any(|d| satisfies_compiled(db, world, d))
+        self.disjuncts
+            .iter()
+            .any(|d| satisfies_compiled(db, world, d))
     }
 }
 

@@ -35,7 +35,12 @@ pub struct SampleParams {
 
 impl Default for SampleParams {
     fn default() -> Self {
-        SampleParams { epsilon: 0.05, delta: 0.01, seed: 0xC0FFEE, threads: 0 }
+        SampleParams {
+            epsilon: 0.05,
+            delta: 0.01,
+            seed: 0xC0FFEE,
+            threads: 0,
+        }
     }
 }
 
@@ -98,11 +103,16 @@ pub fn shapley_sampled(
 ) -> Result<ApproxShapley, CoreError> {
     let target = db
         .endo_index(f)
-        .ok_or_else(|| CoreError::FactNotEndogenous { fact: db.render_fact(f) })?;
+        .ok_or_else(|| CoreError::FactNotEndogenous {
+            fact: db.render_fact(f),
+        })?;
     let m = db.endo_count();
     let compiled = q.compile(db);
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(16)
     } else {
         threads
     };
@@ -110,13 +120,13 @@ pub fn shapley_sampled(
     let per_thread = samples / threads as u64;
     let remainder = samples % threads as u64;
     let mut tallies: Vec<(i64, u64, u64)> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let compiled = &compiled;
             let n = per_thread + u64::from((t as u64) < remainder);
             let thread_seed = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(thread_seed);
                 let mut order: Vec<usize> = (0..m).collect();
                 let mut sum = 0i64;
@@ -148,14 +158,20 @@ pub fn shapley_sampled(
                 (sum, pos, neg)
             }));
         }
-        tallies = handles.into_iter().map(|h| h.join().expect("sampler panicked")).collect();
-    })
-    .expect("thread scope");
+        tallies = handles
+            .into_iter()
+            .map(|h| h.join().expect("sampler panicked"))
+            .collect();
+    });
     let sum: i64 = tallies.iter().map(|t| t.0).sum();
     let positive_flips: u64 = tallies.iter().map(|t| t.1).sum();
     let negative_flips: u64 = tallies.iter().map(|t| t.2).sum();
     Ok(ApproxShapley {
-        estimate: if samples == 0 { 0.0 } else { sum as f64 / samples as f64 },
+        estimate: if samples == 0 {
+            0.0
+        } else {
+            sum as f64 / samples as f64
+        },
         samples,
         positive_flips,
         negative_flips,

@@ -28,8 +28,8 @@ use std::collections::{BTreeSet, HashSet};
 use cqshap_db::{complement::complement_tuples, ConstId, Database, Provenance, Tuple, World};
 use cqshap_engine::answers;
 use cqshap_query::{
-    has_self_join, is_hierarchical, non_hierarchical_path, Atom, ConjunctiveQuery,
-    QueryBuilder, Term, Var,
+    has_self_join, is_hierarchical, non_hierarchical_path, Atom, ConjunctiveQuery, QueryBuilder,
+    Term, Var,
 };
 
 use crate::error::CoreError;
@@ -67,13 +67,16 @@ pub fn rewrite(
     tuple_budget: usize,
 ) -> Result<RewriteOutcome, CoreError> {
     if has_self_join(q) {
-        return Err(CoreError::NotSelfJoinFree { query: q.to_string() });
+        return Err(CoreError::NotSelfJoinFree {
+            query: q.to_string(),
+        });
     }
-    let mut exo_names: HashSet<String> =
-        db.exogenous_relation_names().into_iter().collect();
+    let mut exo_names: HashSet<String> = db.exogenous_relation_names().into_iter().collect();
     if let Some(p) = non_hierarchical_path(q, &exo_names) {
         let path: Vec<&str> = p.path.iter().map(|&v| q.var_name(v)).collect();
-        return Err(CoreError::HasNonHierarchicalPath { witness: format!("path {}", path.join("-")) });
+        return Err(CoreError::HasNonHierarchicalPath {
+            witness: format!("path {}", path.join("-")),
+        });
     }
 
     let mut work = db.clone();
@@ -145,12 +148,20 @@ pub fn rewrite(
             }
         }
         let exo_vs = exogenous_variables(q, &atoms, &exo_names);
-        let non_exo_vars: Vec<Var> =
-            comp_vars.iter().copied().filter(|v| !exo_vs.contains(v)).collect();
+        let non_exo_vars: Vec<Var> = comp_vars
+            .iter()
+            .copied()
+            .filter(|v| !exo_vs.contains(v))
+            .collect();
 
         // Join the component over the (exogenous) data.
-        let sub_atoms: Vec<Atom> =
-            comp.iter().map(|&i| Atom { negated: false, ..atoms[i].clone() }).collect();
+        let sub_atoms: Vec<Atom> = comp
+            .iter()
+            .map(|&i| Atom {
+                negated: false,
+                ..atoms[i].clone()
+            })
+            .collect();
         let tuples = join_component(&work, q, &sub_atoms, &comp_vars, tuple_budget)?;
 
         if non_exo_vars.is_empty() {
@@ -211,8 +222,15 @@ pub fn rewrite(
             continue;
         }
         let atom_vars: Vec<Var> = distinct_vars(atom);
-        let keep: Vec<Var> = atom_vars.iter().copied().filter(|v| !exo_vs.contains(v)).collect();
-        debug_assert!(!keep.is_empty(), "fully exogenous components were dropped in step 2");
+        let keep: Vec<Var> = atom_vars
+            .iter()
+            .copied()
+            .filter(|v| !exo_vs.contains(v))
+            .collect();
+        debug_assert!(
+            !keep.is_empty(),
+            "fully exogenous components were dropped in step 2"
+        );
         // A covering non-exogenous atom exists by Lemma 4.4.
         let beta = non_exo_atoms
             .iter()
@@ -243,10 +261,17 @@ pub fn rewrite(
             projected.insert(keep_positions.iter().map(|&p| vals[p]).collect());
         }
         // Pad with every combination of domain values for the extra vars.
-        let extra: Vec<Var> = target.iter().copied().filter(|v| !keep.contains(v)).collect();
-        let needed = projected
-            .len()
-            .saturating_mul(domain.len().checked_pow(extra.len() as u32).unwrap_or(usize::MAX));
+        let extra: Vec<Var> = target
+            .iter()
+            .copied()
+            .filter(|v| !keep.contains(v))
+            .collect();
+        let needed = projected.len().saturating_mul(
+            domain
+                .len()
+                .checked_pow(extra.len() as u32)
+                .unwrap_or(usize::MAX),
+        );
         if needed > tuple_budget {
             return Err(CoreError::Db(cqshap_db::DbError::BudgetExceeded {
                 context: format!("padding of {}", atom.relation),
@@ -328,7 +353,12 @@ pub fn rewrite(
             "internal: rewriting produced a non-hierarchical query {query}"
         )));
     }
-    Ok(RewriteOutcome { db: work, query, always_false: false, stages })
+    Ok(RewriteOutcome {
+        db: work,
+        query,
+        always_false: false,
+        stages,
+    })
 }
 
 fn distinct_vars(atom: &Atom) -> Vec<Var> {
@@ -355,7 +385,12 @@ fn render(q: &ConjunctiveQuery, atoms: &[Atom]) -> String {
                     Term::Const(c) => format!("'{c}'"),
                 })
                 .collect();
-            format!("{}{}({})", if a.negated { "!" } else { "" }, a.relation, args.join(", "))
+            format!(
+                "{}{}({})",
+                if a.negated { "!" } else { "" },
+                a.relation,
+                args.join(", ")
+            )
         })
         .collect();
     parts.join(", ")
@@ -371,7 +406,11 @@ fn exogenous_variables(
     let mut exo: BTreeSet<Var> = BTreeSet::new();
     let mut non_exo: BTreeSet<Var> = BTreeSet::new();
     for atom in atoms {
-        let target = if exo_names.contains(&atom.relation) { &mut exo } else { &mut non_exo };
+        let target = if exo_names.contains(&atom.relation) {
+            &mut exo
+        } else {
+            &mut non_exo
+        };
         for t in &atom.terms {
             if let Term::Var(v) = t {
                 target.insert(*v);
@@ -545,8 +584,12 @@ mod tests {
         let q = parse_cq("q() :- S(x), R(u)").unwrap();
         let out = rewrite(&db, &q, 1000).unwrap();
         assert!(!out.always_false);
-        let rels: Vec<&str> =
-            out.query.atoms().iter().map(|a| a.relation.as_str()).collect();
+        let rels: Vec<&str> = out
+            .query
+            .atoms()
+            .iter()
+            .map(|a| a.relation.as_str())
+            .collect();
         assert_eq!(rels, vec!["S"]);
     }
 
@@ -577,11 +620,15 @@ mod tests {
         db.declare_exogenous_relation(p).unwrap();
         db.add_exo("P", &["c0", "c1"]).unwrap();
         for i in 0..6 {
-            db.add_endo("R", &[&format!("c{i}"), &format!("c{}", (i + 1) % 6)]).unwrap();
+            db.add_endo("R", &[&format!("c{i}"), &format!("c{}", (i + 1) % 6)])
+                .unwrap();
         }
         let q = parse_cq("q() :- R(x, y), !P(x, y)").unwrap();
         let err = rewrite(&db, &q, 10).unwrap_err();
-        assert!(matches!(err, CoreError::Db(cqshap_db::DbError::BudgetExceeded { .. })));
+        assert!(matches!(
+            err,
+            CoreError::Db(cqshap_db::DbError::BudgetExceeded { .. })
+        ));
         // With a sufficient budget the same rewrite succeeds.
         assert!(rewrite(&db, &q, 100).is_ok());
     }

@@ -57,7 +57,8 @@ pub fn section_5_1_example(n: usize) -> (ConjunctiveQuery, GapInstance) {
     let q = parse_cq("q() :- R(x), S(x, y), !R(y)").expect("static query parses");
     let mut db = Database::new();
     for i in 0..=2 * n {
-        db.add_exo("S", &[&format!("cx{i}"), &format!("cy{i}")]).unwrap();
+        db.add_exo("S", &[&format!("cx{i}"), &format!("cy{i}")])
+            .unwrap();
     }
     for i in 1..=n {
         db.add_exo("R", &[&format!("cx{i}")]).unwrap();
@@ -68,7 +69,15 @@ pub fn section_5_1_example(n: usize) -> (ConjunctiveQuery, GapInstance) {
         db.add_endo("R", &[&format!("cx{i}")]).unwrap();
     }
     let expected_abs = expected_gap_value(n);
-    (q, GapInstance { db, f0, n, expected_abs })
+    (
+        q,
+        GapInstance {
+            db,
+            f0,
+            n,
+            expected_abs,
+        },
+    )
 }
 
 /// Builds the Theorem 5.1 family member at scale `n` for an arbitrary
@@ -82,13 +91,19 @@ pub fn build_gap_family(q: &ConjunctiveQuery, n: usize) -> Result<GapInstance, C
         return Err(CoreError::GapConstruction("n must be at least 1".into()));
     }
     if q.has_constants() {
-        return Err(CoreError::GapConstruction("query must be constant-free".into()));
+        return Err(CoreError::GapConstruction(
+            "query must be constant-free".into(),
+        ));
     }
     if q.negative_atom_indices().next().is_none() {
-        return Err(CoreError::GapConstruction("query must have a negated atom".into()));
+        return Err(CoreError::GapConstruction(
+            "query must have a negated atom".into(),
+        ));
     }
     if !is_positively_connected(q) {
-        return Err(CoreError::GapConstruction("query must be positively connected".into()));
+        return Err(CoreError::GapConstruction(
+            "query must be positively connected".into(),
+        ));
     }
 
     // D'_q: a minimal satisfying database (every fact critical).
@@ -219,7 +234,11 @@ fn try_partitions(
     }
     for b in 0..=max_block {
         assignment[idx] = b;
-        let next_max = if b == max_block { max_block + 1 } else { max_block };
+        let next_max = if b == max_block {
+            max_block + 1
+        } else {
+            max_block
+        };
         if let Some(found) = try_partitions(q, assignment, idx + 1, next_max) {
             return Some(found);
         }
@@ -229,10 +248,7 @@ fn try_partitions(
 
 /// Builds `D_q` (gadget with `D_q ⊭ q`, `D_q ∖ {last} ⊨ q`) by adding
 /// domain tuples to the negated relations one at a time.
-fn build_violating_gadget(
-    q: &ConjunctiveQuery,
-    minimal: &FactList,
-) -> Result<FactList, CoreError> {
+fn build_violating_gadget(q: &ConjunctiveQuery, minimal: &FactList) -> Result<FactList, CoreError> {
     let mut facts = minimal.facts.clone();
     // The active domain of the minimal model.
     let mut domain: Vec<String> = Vec::new();
@@ -301,11 +317,18 @@ fn append_copy(
     let mut out = None;
     for (i, (rel, args)) in facts.iter().enumerate() {
         let rel_id = db.add_relation(rel, args.len()).expect("consistent arity");
-        let tuple: Vec<cqshap_db::ConstId> =
-            args.iter().map(|a| db.intern(&format!("{prefix}{a}"))).collect();
-        let provenance =
-            if i == critical { Provenance::Endogenous } else { Provenance::Exogenous };
-        let fid = db.insert_tuple(rel_id, Tuple::from(tuple), provenance).expect("fresh facts");
+        let tuple: Vec<cqshap_db::ConstId> = args
+            .iter()
+            .map(|a| db.intern(&format!("{prefix}{a}")))
+            .collect();
+        let provenance = if i == critical {
+            Provenance::Endogenous
+        } else {
+            Provenance::Exogenous
+        };
+        let fid = db
+            .insert_tuple(rel_id, Tuple::from(tuple), provenance)
+            .expect("fresh facts");
         if i == critical {
             out = Some(fid);
         }
@@ -317,8 +340,8 @@ fn append_copy(
 mod tests {
     use super::*;
     use crate::anyquery::AnyQuery;
-    use crate::shapley::{shapley_by_permutations, shapley_via_counts};
     use crate::satcount::BruteForceCounter;
+    use crate::shapley::{shapley_by_permutations, shapley_via_counts};
 
     #[test]
     fn expected_value_decays_exponentially() {
@@ -354,8 +377,7 @@ mod tests {
         for n in 1..=2usize {
             let inst = build_gap_family(&q, n).unwrap();
             assert_eq!(inst.db.endo_count(), 2 * n + 1);
-            let v =
-                shapley_by_permutations(&inst.db, AnyQuery::Cq(&q), inst.f0, 9).unwrap();
+            let v = shapley_by_permutations(&inst.db, AnyQuery::Cq(&q), inst.f0, 9).unwrap();
             assert_eq!(v.abs(), inst.expected_abs, "n={n}");
             assert!(!v.is_zero());
         }
@@ -384,15 +406,24 @@ mod tests {
             Err(CoreError::GapConstruction(_))
         ));
         let no_neg = parse_cq("q() :- R(x), S(x, y)").unwrap();
-        assert!(matches!(build_gap_family(&no_neg, 1), Err(CoreError::GapConstruction(_))));
+        assert!(matches!(
+            build_gap_family(&no_neg, 1),
+            Err(CoreError::GapConstruction(_))
+        ));
         let disconnected = parse_cq("q() :- R(x), T(y), !S(x, y)").unwrap();
         assert!(matches!(
             build_gap_family(&disconnected, 1),
             Err(CoreError::GapConstruction(_))
         ));
         let unsat = parse_cq("q() :- R(x, x), !R(x, x)").unwrap();
-        assert!(matches!(build_gap_family(&unsat, 1), Err(CoreError::GapConstruction(_))));
+        assert!(matches!(
+            build_gap_family(&unsat, 1),
+            Err(CoreError::GapConstruction(_))
+        ));
         let (q, _) = section_5_1_example(1);
-        assert!(matches!(build_gap_family(&q, 0), Err(CoreError::GapConstruction(_))));
+        assert!(matches!(
+            build_gap_family(&q, 0),
+            Err(CoreError::GapConstruction(_))
+        ));
     }
 }

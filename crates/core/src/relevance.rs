@@ -17,9 +17,7 @@
 use std::collections::BTreeSet;
 
 use cqshap_db::{Database, FactId, World};
-use cqshap_engine::{
-    for_each_positive_homomorphism, CompiledQuery, CompiledTerm, FactScope,
-};
+use cqshap_engine::{for_each_positive_homomorphism, CompiledQuery, CompiledTerm, FactScope};
 use cqshap_query::analysis::{polarity_map, polarity_map_union, Polarity};
 use cqshap_query::ConjunctiveQuery;
 
@@ -131,7 +129,9 @@ pub fn is_positively_relevant(
 ) -> Result<bool, CoreError> {
     check_polarity_consistent(q)?;
     if db.endo_index(f).is_none() {
-        return Err(CoreError::FactNotEndogenous { fact: db.render_fact(f) });
+        return Err(CoreError::FactNotEndogenous {
+            fact: db.render_fact(f),
+        });
     }
     let negq: Vec<FactId> = negq_endo_facts(db, q);
     let whole = q.compile(db);
@@ -182,7 +182,9 @@ pub fn is_negatively_relevant(
 ) -> Result<bool, CoreError> {
     check_polarity_consistent(q)?;
     if db.endo_index(f).is_none() {
-        return Err(CoreError::FactNotEndogenous { fact: db.render_fact(f) });
+        return Err(CoreError::FactNotEndogenous {
+            fact: db.render_fact(f),
+        });
     }
     let negq: Vec<FactId> = negq_endo_facts(db, q);
     let whole = q.compile(db);
@@ -248,10 +250,15 @@ pub fn brute_force_relevance(
 ) -> Result<(bool, bool), CoreError> {
     let target = db
         .endo_index(f)
-        .ok_or_else(|| CoreError::FactNotEndogenous { fact: db.render_fact(f) })?;
+        .ok_or_else(|| CoreError::FactNotEndogenous {
+            fact: db.render_fact(f),
+        })?;
     let m = db.endo_count();
     if m - 1 > limit {
-        return Err(CoreError::TooManyEndogenousFacts { count: m - 1, limit });
+        return Err(CoreError::TooManyEndogenousFacts {
+            count: m - 1,
+            limit,
+        });
     }
     let compiled = q.compile(db);
     let others: Vec<usize> = (0..m).filter(|&p| p != target).collect();
@@ -300,8 +307,18 @@ mod tests {
             let fast_pos = is_positively_relevant(db, q, f).unwrap();
             let fast_neg = is_negatively_relevant(db, q, f).unwrap();
             let (bf_pos, bf_neg) = brute_force_relevance(db, q, f, 24).unwrap();
-            assert_eq!(fast_pos, bf_pos, "positive relevance of {}", db.render_fact(f));
-            assert_eq!(fast_neg, bf_neg, "negative relevance of {}", db.render_fact(f));
+            assert_eq!(
+                fast_pos,
+                bf_pos,
+                "positive relevance of {}",
+                db.render_fact(f)
+            );
+            assert_eq!(
+                fast_neg,
+                bf_neg,
+                "negative relevance of {}",
+                db.render_fact(f)
+            );
         }
     }
 
@@ -328,10 +345,9 @@ mod tests {
         let db = university();
         let q2 = parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
         cross_check(&db, AnyQuery::Cq(&q2));
-        let q3 = parse_cq(
-            "q3() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, 'IC'), Reg(z, 'DB')",
-        )
-        .unwrap();
+        let q3 =
+            parse_cq("q3() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, 'IC'), Reg(z, 'DB')")
+                .unwrap();
         // q3 has self-joins but is polarity consistent — the algorithms
         // still apply (Prop. 5.7 needs only polarity consistency).
         cross_check(&db, AnyQuery::Cq(&q3));

@@ -117,7 +117,13 @@ impl PAtom {
             terms: self
                 .terms
                 .iter()
-                .map(|t| if *t == PTerm::Var(v) { PTerm::Const(c) } else { *t })
+                .map(|t| {
+                    if *t == PTerm::Var(v) {
+                        PTerm::Const(c)
+                    } else {
+                        *t
+                    }
+                })
                 .collect(),
         }
     }
@@ -177,10 +183,14 @@ pub fn count_sat_hierarchical(
     q: &ConjunctiveQuery,
 ) -> Result<Vec<BigUint>, CoreError> {
     if has_self_join(q) {
-        return Err(CoreError::NotSelfJoinFree { query: q.to_string() });
+        return Err(CoreError::NotSelfJoinFree {
+            query: q.to_string(),
+        });
     }
     if !is_hierarchical(q) {
-        return Err(CoreError::NotHierarchical { query: q.to_string() });
+        return Err(CoreError::NotHierarchical {
+            query: q.to_string(),
+        });
     }
     let m = db.endo_count();
 
@@ -222,7 +232,10 @@ pub fn count_sat_hierarchical(
                 atom.relation
             )));
         }
-        let p = PAtom { negated: atom.negated, terms };
+        let p = PAtom {
+            negated: atom.negated,
+            terms,
+        };
         // Scope: facts of the relation matching the pattern. Non-matching
         // endogenous facts can never matter — they stay free.
         let mut scope = Vec::new();
@@ -285,9 +298,11 @@ fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<Big
     }
 
     // Case 3: connected, at least one variable → root variable exists.
-    let root = find_root_var(atoms).ok_or_else(|| CoreError::Unsupported(
-        "no root variable in a connected sub-query: the query is not hierarchical".into(),
-    ))?;
+    let root = find_root_var(atoms).ok_or_else(|| {
+        CoreError::Unsupported(
+            "no root variable in a connected sub-query: the query is not hierarchical".into(),
+        )
+    })?;
 
     // Root values with *full positive support* are the candidates; all
     // other facts are junk (they can never participate in a satisfying
@@ -297,13 +312,18 @@ fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<Big
         if atom.negated {
             continue;
         }
-        let mut vals: Vec<ConstId> =
-            scope.iter().map(|&f| atom.value_of(root, db.fact(f).tuple.values())).collect();
+        let mut vals: Vec<ConstId> = scope
+            .iter()
+            .map(|&f| atom.value_of(root, db.fact(f).tuple.values()))
+            .collect();
         vals.sort_unstable();
         vals.dedup();
         candidates = Some(match candidates {
             None => vals,
-            Some(prev) => prev.into_iter().filter(|c| vals.binary_search(c).is_ok()).collect(),
+            Some(prev) => prev
+                .into_iter()
+                .filter(|c| vals.binary_search(c).is_ok())
+                .collect(),
         });
     }
     let candidates = candidates.ok_or_else(|| {
@@ -456,7 +476,9 @@ impl BruteForceCounter {
 
     /// A counter with the default limit.
     pub fn new() -> Self {
-        BruteForceCounter { limit: Self::DEFAULT_LIMIT }
+        BruteForceCounter {
+            limit: Self::DEFAULT_LIMIT,
+        }
     }
 }
 
@@ -470,24 +492,30 @@ impl SatCountOracle for BruteForceCounter {
     fn counts(&self, db: &Database, q: AnyQuery<'_>) -> Result<Vec<BigUint>, CoreError> {
         let m = db.endo_count();
         if m > self.limit {
-            return Err(CoreError::TooManyEndogenousFacts { count: m, limit: self.limit });
+            return Err(CoreError::TooManyEndogenousFacts {
+                count: m,
+                limit: self.limit,
+            });
         }
         let compiled = q.compile(db);
         let total: u64 = 1u64 << m;
         let threads = if m >= 18 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(16)
         } else {
             1
         };
         let chunk = total.div_ceil(threads as u64);
         let mut per_thread: Vec<Vec<u64>> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let compiled = &compiled;
                 let lo = t as u64 * chunk;
                 let hi = (lo + chunk).min(total);
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     let mut counts = vec![0u64; m + 1];
                     let mut world = World::empty(db);
                     for mask in lo..hi {
@@ -499,9 +527,11 @@ impl SatCountOracle for BruteForceCounter {
                     counts
                 }));
             }
-            per_thread = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-        })
-        .expect("thread scope");
+            per_thread = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect();
+        });
         let mut out = vec![BigUint::zero(); m + 1];
         for counts in per_thread {
             for (k, c) in counts.into_iter().enumerate() {
@@ -519,7 +549,9 @@ mod tests {
 
     fn counts_match(db: &Database, q: &ConjunctiveQuery) {
         let fast = count_sat_hierarchical(db, q).unwrap();
-        let slow = BruteForceCounter::new().counts(db, AnyQuery::Cq(q)).unwrap();
+        let slow = BruteForceCounter::new()
+            .counts(db, AnyQuery::Cq(q))
+            .unwrap();
         assert_eq!(fast, slow, "query {q} on\n{db}");
     }
 
@@ -645,7 +677,9 @@ mod tests {
             Err(CoreError::TooManyEndogenousFacts { count: 5, limit: 4 })
         ));
         // counts for q() :- R(x): all nonempty subsets satisfy.
-        let ok = BruteForceCounter::new().counts(&db, AnyQuery::Cq(&q)).unwrap();
+        let ok = BruteForceCounter::new()
+            .counts(&db, AnyQuery::Cq(&q))
+            .unwrap();
         assert_eq!(ok[0], BigUint::zero());
         for (k, c) in ok.iter().enumerate().skip(1) {
             assert_eq!(*c, binomial(5, k));

@@ -83,7 +83,9 @@ pub fn shapley_via_counts(
     oracle: &dyn SatCountOracle,
 ) -> Result<BigRational, CoreError> {
     if db.endo_index(f).is_none() {
-        return Err(CoreError::FactNotEndogenous { fact: db.render_fact(f) });
+        return Err(CoreError::FactNotEndogenous {
+            fact: db.render_fact(f),
+        });
     }
     let m = db.endo_count();
     let (db_minus, _) = db.without_fact(f)?;
@@ -95,7 +97,8 @@ pub fn shapley_via_counts(
     let table = FactorialTable::new(m);
     let mut acc = BigRational::zero();
     for k in 0..m {
-        let diff = BigInt::from_biguint(n_plus[k].clone()) - BigInt::from_biguint(n_minus[k].clone());
+        let diff =
+            BigInt::from_biguint(n_plus[k].clone()) - BigInt::from_biguint(n_minus[k].clone());
         if !diff.is_zero() {
             acc += &(table.shapley_weight(m, k) * BigRational::from_int(diff));
         }
@@ -116,7 +119,9 @@ pub fn shapley_by_permutations(
 ) -> Result<BigRational, CoreError> {
     let pos = db
         .endo_index(f)
-        .ok_or_else(|| CoreError::FactNotEndogenous { fact: db.render_fact(f) })?;
+        .ok_or_else(|| CoreError::FactNotEndogenous {
+            fact: db.render_fact(f),
+        })?;
     let m = db.endo_count();
     if m > limit {
         return Err(CoreError::TooManyEndogenousFacts { count: m, limit });
@@ -138,8 +143,7 @@ pub fn shapley_by_permutations(
         total += &BigInt::from_i64(after as i64 - before as i64);
     });
     let table = FactorialTable::new(m);
-    Ok(BigRational::from_int(total)
-        / BigRational::from(table.factorial(m).clone()))
+    Ok(BigRational::from_int(total) / BigRational::from(table.factorial(m).clone()))
 }
 
 fn permute(order: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
@@ -162,21 +166,26 @@ pub fn shapley_value(
     options: &ShapleyOptions,
 ) -> Result<BigRational, CoreError> {
     match resolve_strategy(db, q, options)? {
-        Resolved::Hierarchical => {
-            shapley_via_counts(db, AnyQuery::Cq(q), f, &HierarchicalCounter)
-        }
+        Resolved::Hierarchical => shapley_via_counts(db, AnyQuery::Cq(q), f, &HierarchicalCounter),
         Resolved::ExoShap => {
             let outcome = exoshap::rewrite(db, q, options.tuple_budget)?;
             if outcome.always_false {
                 return Ok(BigRational::zero());
             }
-            shapley_via_counts(&outcome.db, AnyQuery::Cq(&outcome.query), f, &HierarchicalCounter)
+            shapley_via_counts(
+                &outcome.db,
+                AnyQuery::Cq(&outcome.query),
+                f,
+                &HierarchicalCounter,
+            )
         }
         Resolved::BruteForce => shapley_via_counts(
             db,
             AnyQuery::Cq(q),
             f,
-            &BruteForceCounter { limit: options.brute_force_limit },
+            &BruteForceCounter {
+                limit: options.brute_force_limit,
+            },
         ),
         Resolved::Permutations => {
             shapley_by_permutations(db, AnyQuery::Cq(q), f, options.permutation_limit)
@@ -200,7 +209,9 @@ pub fn shapley_value_union(
             db,
             AnyQuery::Union(u),
             f,
-            &BruteForceCounter { limit: options.brute_force_limit },
+            &BruteForceCounter {
+                limit: options.brute_force_limit,
+            },
         ),
         other => Err(CoreError::Unsupported(format!(
             "strategy {other:?} is not available for unions"
@@ -332,9 +343,9 @@ pub fn shapley_report(
     };
     let oracle: Box<dyn SatCountOracle> = match resolved {
         Resolved::Hierarchical | Resolved::ExoShap => Box::new(HierarchicalCounter),
-        Resolved::BruteForce | Resolved::Permutations => {
-            Box::new(BruteForceCounter { limit: options.brute_force_limit })
-        }
+        Resolved::BruteForce | Resolved::Permutations => Box::new(BruteForceCounter {
+            limit: options.brute_force_limit,
+        }),
     };
     // Per-fact computations are independent: fan them out across threads.
     let facts = db.endo_facts();
@@ -345,10 +356,10 @@ pub fn shapley_report(
         .min(16);
     let oracle_ref: &dyn SatCountOracle = oracle.as_ref();
     let mut values: Vec<Result<BigRational, CoreError>> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for chunk in facts.chunks(facts.len().div_ceil(threads).max(1)) {
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 chunk
                     .iter()
                     .map(|&f| match resolved {
@@ -366,20 +377,27 @@ pub fn shapley_report(
         for h in handles {
             values.extend(h.join().expect("report worker panicked"));
         }
-    })
-    .expect("thread scope");
+    });
     let mut entries = Vec::with_capacity(facts.len());
     let mut total = BigRational::zero();
     for (&f, value) in facts.iter().zip(values) {
         let value = value?;
         total += &value;
-        entries.push(ShapleyEntry { fact: f, rendered: db.render_fact(f), value });
+        entries.push(ShapleyEntry {
+            fact: f,
+            rendered: db.render_fact(f),
+            value,
+        });
     }
     // Efficiency: Σ Shapley = q(D) − q(Dx).
     let full = cqshap_engine::satisfies(eff_db, &World::full(eff_db), eff_q) as i64;
     let empty = cqshap_engine::satisfies(eff_db, &World::empty(eff_db), eff_q) as i64;
     let expected_total = BigRational::from(full - empty);
-    Ok(ShapleyReport { entries, total, expected_total })
+    Ok(ShapleyReport {
+        entries,
+        total,
+        expected_total,
+    })
 }
 
 #[cfg(test)]
@@ -462,7 +480,8 @@ mod tests {
         let n = 2;
         let mut db = Database::new();
         for i in 0..=2 * n {
-            db.add_exo("S", &[&format!("cx{i}"), &format!("cy{i}")]).unwrap();
+            db.add_exo("S", &[&format!("cx{i}"), &format!("cy{i}")])
+                .unwrap();
         }
         for i in 1..=n {
             db.add_exo("R", &[&format!("cx{i}")]).unwrap();
@@ -511,9 +530,14 @@ mod tests {
         db.declare_exogenous_relation(course).unwrap();
         db.declare_exogenous_relation(adv).unwrap();
         let q2 = parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
-        let exo_opts = ShapleyOptions { strategy: Strategy::ExoShap, ..Default::default() };
-        let bf_opts =
-            ShapleyOptions { strategy: Strategy::BruteForceSubsets, ..Default::default() };
+        let exo_opts = ShapleyOptions {
+            strategy: Strategy::ExoShap,
+            ..Default::default()
+        };
+        let bf_opts = ShapleyOptions {
+            strategy: Strategy::BruteForceSubsets,
+            ..Default::default()
+        };
         for &f in db.endo_facts() {
             let a = shapley_value(&db, &q2, f, &exo_opts).unwrap();
             let b = shapley_value(&db, &q2, f, &bf_opts).unwrap();

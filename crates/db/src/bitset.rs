@@ -14,7 +14,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set over a universe of `len` elements.
     pub fn new(len: usize) -> Self {
-        BitSet { blocks: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// A full set over a universe of `len` elements.

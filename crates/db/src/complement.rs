@@ -20,11 +20,7 @@ pub const DEFAULT_TUPLE_BUDGET: usize = 10_000_000;
 
 /// Enumerates all tuples over `domain^arity` in lexicographic order of
 /// domain positions, calling `f` for each.
-pub fn for_each_domain_tuple(
-    domain: &[ConstId],
-    arity: usize,
-    mut f: impl FnMut(&[ConstId]),
-) {
+pub fn for_each_domain_tuple(domain: &[ConstId], arity: usize, mut f: impl FnMut(&[ConstId])) {
     if arity == 0 {
         f(&[]);
         return;
@@ -133,6 +129,13 @@ mod tests {
         let s = db.schema().id("S").unwrap();
         let dom = db.active_domain();
         let err = complement_tuples(&db, s, &dom, 3).unwrap_err();
-        assert!(matches!(err, DbError::BudgetExceeded { required: 4, budget: 3, .. }));
+        assert!(matches!(
+            err,
+            DbError::BudgetExceeded {
+                required: 4,
+                budget: 3,
+                ..
+            }
+        ));
     }
 }

@@ -65,8 +65,11 @@ impl Database {
 
     /// Names of all declared exogenous relations.
     pub fn exogenous_relation_names(&self) -> Vec<String> {
-        let mut names: Vec<_> =
-            self.exo_relations.iter().map(|&r| self.schema.name(r).to_string()).collect();
+        let mut names: Vec<_> = self
+            .exo_relations
+            .iter()
+            .map(|&r| self.schema.name(r).to_string())
+            .collect();
         names.sort();
         names
     }
@@ -112,10 +115,14 @@ impl Database {
             });
         }
         if provenance.is_endogenous() && self.exo_relations.contains(&rel) {
-            return Err(DbError::ExogenousViolation { relation: def.name.clone() });
+            return Err(DbError::ExogenousViolation {
+                relation: def.name.clone(),
+            });
         }
         if self.tuple_index.contains_key(&(rel, tuple.clone())) {
-            return Err(DbError::DuplicateFact { fact: self.render(rel, &tuple) });
+            return Err(DbError::DuplicateFact {
+                fact: self.render(rel, &tuple),
+            });
         }
         let id = FactId(u32::try_from(self.facts.len()).expect("too many facts"));
         self.tuple_index.insert((rel, tuple.clone()), id);
@@ -124,7 +131,11 @@ impl Database {
             self.endo_pos.insert(id, self.endo.len());
             self.endo.push(id);
         }
-        self.facts.push(Fact { rel, tuple, provenance });
+        self.facts.push(Fact {
+            rel,
+            tuple,
+            provenance,
+        });
         Ok(id)
     }
 
@@ -230,11 +241,20 @@ impl Database {
     ///
     /// Returns the copy and a map from old ids to new ids (the removed
     /// fact is absent from the map).
-    pub fn without_fact(&self, removed: FactId) -> Result<(Database, HashMap<FactId, FactId>), DbError> {
+    pub fn without_fact(
+        &self,
+        removed: FactId,
+    ) -> Result<(Database, HashMap<FactId, FactId>), DbError> {
         if removed.index() >= self.facts.len() {
             return Err(DbError::UnknownFact { id: removed.0 });
         }
-        self.rebuild(|id, fact| if id == removed { None } else { Some(fact.provenance) })
+        self.rebuild(|id, fact| {
+            if id == removed {
+                None
+            } else {
+                Some(fact.provenance)
+            }
+        })
     }
 
     /// A copy of the database with fact `target` made exogenous.
@@ -250,7 +270,11 @@ impl Database {
             return Err(DbError::UnknownFact { id: target.0 });
         }
         self.rebuild(|id, fact| {
-            Some(if id == target { Provenance::Exogenous } else { fact.provenance })
+            Some(if id == target {
+                Provenance::Exogenous
+            } else {
+                fact.provenance
+            })
         })
     }
 
@@ -284,7 +308,11 @@ impl Database {
 
     /// Renders a `(relation, tuple)` pair, e.g. `Reg(Adam, OS)`.
     pub fn render(&self, rel: RelId, tuple: &Tuple) -> String {
-        let args: Vec<&str> = tuple.values().iter().map(|&c| self.interner.resolve(c)).collect();
+        let args: Vec<&str> = tuple
+            .values()
+            .iter()
+            .map(|&c| self.interner.resolve(c))
+            .collect();
         format!("{}({})", self.schema.name(rel), args.join(", "))
     }
 
@@ -302,7 +330,11 @@ impl fmt::Display for Database {
         }
         for id in self.fact_ids() {
             let fact = self.fact(id);
-            let kind = if fact.provenance.is_endogenous() { "endo" } else { "exo " };
+            let kind = if fact.provenance.is_endogenous() {
+                "endo"
+            } else {
+                "exo "
+            };
             writeln!(f, "{kind} {}", self.render_fact(id))?;
         }
         Ok(())

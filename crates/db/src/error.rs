@@ -58,16 +58,30 @@ pub enum DbError {
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DbError::ArityMismatch { relation, expected, got } => {
-                write!(f, "relation {relation}: arity mismatch (declared {expected}, got {got})")
+            DbError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relation {relation}: arity mismatch (declared {expected}, got {got})"
+                )
             }
             DbError::DuplicateFact { fact } => write!(f, "duplicate fact {fact}"),
             DbError::ExogenousViolation { relation } => {
-                write!(f, "relation {relation} is exogenous but holds/receives endogenous facts")
+                write!(
+                    f,
+                    "relation {relation} is exogenous but holds/receives endogenous facts"
+                )
             }
             DbError::UnknownRelation { relation } => write!(f, "unknown relation {relation}"),
             DbError::UnknownFact { id } => write!(f, "unknown fact id {id}"),
-            DbError::BudgetExceeded { context, budget, required } => {
+            DbError::BudgetExceeded {
+                context,
+                budget,
+                required,
+            } => {
                 write!(f, "{context}: needs {required} tuples, budget is {budget}")
             }
             DbError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),

@@ -82,7 +82,10 @@ impl Interner {
 
     /// Iterates `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ConstId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (ConstId(i as u32), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ConstId(i as u32), n.as_str()))
     }
 }
 

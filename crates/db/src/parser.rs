@@ -53,10 +53,14 @@ impl Database {
             };
             let (rel, args) = parse_fact(rest.trim(), lineno)?;
             let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
-            db.insert(&rel, &arg_refs, provenance).map_err(|e| match e {
-                DbError::Parse { .. } => e,
-                other => DbError::Parse { line: lineno, message: other.to_string() },
-            })?;
+            db.insert(&rel, &arg_refs, provenance)
+                .map_err(|e| match e {
+                    DbError::Parse { .. } => e,
+                    other => DbError::Parse {
+                        line: lineno,
+                        message: other.to_string(),
+                    },
+                })?;
         }
         // Apply exogenous-relation declarations at the end so declarations
         // may precede the facts that introduce the relation's arity.
@@ -65,10 +69,11 @@ impl Database {
                 line: lineno,
                 message: format!("exorel {name}: relation never used"),
             })?;
-            db.declare_exogenous_relation(rel).map_err(|e| DbError::Parse {
-                line: lineno,
-                message: e.to_string(),
-            })?;
+            db.declare_exogenous_relation(rel)
+                .map_err(|e| DbError::Parse {
+                    line: lineno,
+                    message: e.to_string(),
+                })?;
         }
         Ok(db)
     }
@@ -81,7 +86,9 @@ fn is_token(s: &str) -> bool {
 /// Parses `Rel(arg, arg, ...)`, allowing zero arguments.
 fn parse_fact(s: &str, line: usize) -> Result<(String, Vec<String>), DbError> {
     let err = |message: String| DbError::Parse { line, message };
-    let open = s.find('(').ok_or_else(|| err(format!("missing `(` in {s:?}")))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(format!("missing `(` in {s:?}")))?;
     if !s.ends_with(')') {
         return Err(err(format!("missing `)` in {s:?}")));
     }

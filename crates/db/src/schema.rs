@@ -57,7 +57,10 @@ impl Schema {
             return Ok(id);
         }
         let id = RelId(u32::try_from(self.relations.len()).expect("too many relations"));
-        self.relations.push(RelationDef { name: name.to_string(), arity });
+        self.relations.push(RelationDef {
+            name: name.to_string(),
+            arity,
+        });
         self.by_name.insert(name.to_string(), id);
         Ok(id)
     }
@@ -97,7 +100,10 @@ impl Schema {
 
     /// Iterates `(id, def)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationDef)> {
-        self.relations.iter().enumerate().map(|(i, d)| (RelId(i as u32), d))
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (RelId(i as u32), d))
     }
 
     /// Mints a fresh relation name with the given prefix, distinct from
@@ -152,7 +158,11 @@ mod tests {
         s.add_relation("R", 1).unwrap();
         assert!(matches!(
             s.add_relation("R", 2),
-            Err(DbError::ArityMismatch { expected: 1, got: 2, .. })
+            Err(DbError::ArityMismatch {
+                expected: 1,
+                got: 2,
+                ..
+            })
         ));
     }
 

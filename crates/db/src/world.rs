@@ -18,12 +18,16 @@ pub struct World {
 impl World {
     /// The empty world `E = ∅` for `db`.
     pub fn empty(db: &Database) -> Self {
-        World { bits: BitSet::new(db.endo_count()) }
+        World {
+            bits: BitSet::new(db.endo_count()),
+        }
     }
 
     /// The full world `E = Dn` for `db`.
     pub fn full(db: &Database) -> Self {
-        World { bits: BitSet::full(db.endo_count()) }
+        World {
+            bits: BitSet::full(db.endo_count()),
+        }
     }
 
     /// Builds a world from endogenous fact ids.

@@ -154,7 +154,11 @@ impl CompiledUnion {
     /// Compiles `u` against `db`.
     pub fn compile(db: &Database, u: &UnionQuery) -> Self {
         CompiledUnion {
-            disjuncts: u.disjuncts().iter().map(|d| CompiledQuery::compile(db, d)).collect(),
+            disjuncts: u
+                .disjuncts()
+                .iter()
+                .map(|d| CompiledQuery::compile(db, d))
+                .collect(),
         }
     }
 }

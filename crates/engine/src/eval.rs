@@ -55,7 +55,15 @@ pub fn for_each_positive_homomorphism(
 ) -> bool {
     let mut assignment: Vec<Option<ConstId>> = vec![None; q.var_count];
     let mut matched: Vec<FactId> = Vec::with_capacity(q.positives.len());
-    recurse(db, scope, &q.positives, 0, &mut assignment, &mut matched, visitor)
+    recurse(
+        db,
+        scope,
+        &q.positives,
+        0,
+        &mut assignment,
+        &mut matched,
+        visitor,
+    )
 }
 
 fn recurse(
@@ -68,7 +76,10 @@ fn recurse(
     visitor: &mut impl FnMut(PositiveMatch<'_>) -> bool,
 ) -> bool {
     if idx == positives.len() {
-        return visitor(PositiveMatch { assignment, matched_facts: matched });
+        return visitor(PositiveMatch {
+            assignment,
+            matched_facts: matched,
+        });
     }
     let atom = &positives[idx];
     let Some(rel) = atom.rel else {
@@ -140,8 +151,11 @@ fn negatives_violated(
 ) -> bool {
     q.negatives.iter().any(|atom| {
         let Some(rel) = atom.rel else { return false };
-        let Some(tuple) = ground_atom(atom, assignment) else { return false };
-        db.lookup(rel, &tuple).is_some_and(|fid| scope.visible(db, fid))
+        let Some(tuple) = ground_atom(atom, assignment) else {
+            return false;
+        };
+        db.lookup(rel, &tuple)
+            .is_some_and(|fid| scope.visible(db, fid))
     })
 }
 

@@ -109,7 +109,11 @@ mod tests {
         let g = BipartiteGraph::new(2, 3, vec![]);
         // Every subset of 5 vertices is independent: 2^5.
         assert_eq!(g.independent_set_count(), BigUint::from_u64(32));
-        let s: Vec<u64> = g.closed_subset_counts().iter().map(|c| c.to_u64().unwrap()).collect();
+        let s: Vec<u64> = g
+            .closed_subset_counts()
+            .iter()
+            .map(|c| c.to_u64().unwrap())
+            .collect();
         // |S(g,k)| = C(5,k).
         assert_eq!(s, vec![1, 5, 10, 10, 5, 1]);
     }
@@ -120,7 +124,11 @@ mod tests {
         // Independent sets of K2: {}, {a}, {b} → 3.
         assert_eq!(g.independent_set_count(), BigUint::from_u64(3));
         // S(g): {}, {b}, {a,b} → sizes 0,1,2.
-        let s: Vec<u64> = g.closed_subset_counts().iter().map(|c| c.to_u64().unwrap()).collect();
+        let s: Vec<u64> = g
+            .closed_subset_counts()
+            .iter()
+            .map(|c| c.to_u64().unwrap())
+            .collect();
         assert_eq!(s, vec![1, 1, 1]);
     }
 

@@ -20,12 +20,18 @@ pub struct Literal {
 impl Literal {
     /// Positive literal `x_i`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal `¬x_i`.
     pub fn neg(var: usize) -> Self {
-        Literal { var, positive: false }
+        Literal {
+            var,
+            positive: false,
+        }
     }
 
     /// Is the literal satisfied under `value` for its variable?
@@ -91,9 +97,8 @@ impl CnfFormula {
     /// exists.
     pub fn find_model(&self) -> Option<Vec<bool>> {
         let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
-        self.dpll(&mut assignment).then(|| {
-            assignment.into_iter().map(|v| v.unwrap_or(false)).collect()
-        })
+        self.dpll(&mut assignment)
+            .then(|| assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
     }
 
     /// Is the formula satisfiable?
@@ -162,8 +167,7 @@ impl CnfFormula {
     pub fn is_satisfiable_brute(&self) -> bool {
         assert!(self.num_vars <= 24);
         (0u64..(1 << self.num_vars)).any(|mask| {
-            let assignment: Vec<bool> =
-                (0..self.num_vars).map(|i| mask & (1 << i) != 0).collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| mask & (1 << i) != 0).collect();
             self.satisfied_by(&assignment)
         })
     }
@@ -206,7 +210,14 @@ mod tests {
     use super::*;
 
     fn clause(lits: &[(usize, bool)]) -> Clause {
-        Clause(lits.iter().map(|&(v, p)| Literal { var: v, positive: p }).collect())
+        Clause(
+            lits.iter()
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
+                .collect(),
+        )
     }
 
     #[test]
@@ -214,11 +225,18 @@ mod tests {
         // (x0 ∨ x1) ∧ (¬x0) ∧ (¬x1) is unsat.
         let f = CnfFormula::new(
             2,
-            vec![clause(&[(0, true), (1, true)]), clause(&[(0, false)]), clause(&[(1, false)])],
+            vec![
+                clause(&[(0, true), (1, true)]),
+                clause(&[(0, false)]),
+                clause(&[(1, false)]),
+            ],
         );
         assert!(!f.is_satisfiable());
         // Drop the last clause: satisfiable with x1 = 1.
-        let g = CnfFormula::new(2, vec![clause(&[(0, true), (1, true)]), clause(&[(0, false)])]);
+        let g = CnfFormula::new(
+            2,
+            vec![clause(&[(0, true), (1, true)]), clause(&[(0, false)])],
+        );
         let model = g.find_model().unwrap();
         assert!(g.satisfied_by(&model));
         assert!(!model[0] && model[1]);
@@ -239,7 +257,9 @@ mod tests {
         // Exhaustive over a deterministic pseudo-random family.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..200 {
@@ -250,7 +270,10 @@ mod tests {
                     let len = 1 + next() % 3;
                     Clause(
                         (0..len)
-                            .map(|_| Literal { var: next() % nv, positive: next() % 2 == 0 })
+                            .map(|_| Literal {
+                                var: next() % nv,
+                                positive: next() % 2 == 0,
+                            })
                             .collect(),
                     )
                 })
@@ -278,15 +301,15 @@ mod tests {
 
         let f3p2n = CnfFormula::new(
             3,
-            vec![clause(&[(0, true), (1, true), (2, true)]), clause(&[(0, false), (1, false)])],
+            vec![
+                clause(&[(0, true), (1, true), (2, true)]),
+                clause(&[(0, false), (1, false)]),
+            ],
         );
         assert!(f3p2n.is_3p2n_shape());
         assert!(!f3p2n.is_224_shape());
 
-        let f3 = CnfFormula::new(
-            3,
-            vec![clause(&[(0, true), (1, false), (2, true)])],
-        );
+        let f3 = CnfFormula::new(3, vec![clause(&[(0, true), (1, false), (2, true)])]);
         assert!(f3.is_3sat_shape());
         assert!(!CnfFormula::new(2, vec![clause(&[(0, true), (1, true)])]).is_3sat_shape());
     }

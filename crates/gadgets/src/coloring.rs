@@ -90,13 +90,19 @@ pub fn coloring_to_3p2n(g: &Graph) -> CnfFormula {
     }
     for &(u, w) in g.edges() {
         for c in 0..3 {
-            clauses.push(Clause(vec![Literal::neg(var(u, c)), Literal::neg(var(w, c))]));
+            clauses.push(Clause(vec![
+                Literal::neg(var(u, c)),
+                Literal::neg(var(w, c)),
+            ]));
         }
     }
     for v in 0..g.vertex_count() {
         for c1 in 0..3 {
             for c2 in c1 + 1..3 {
-                clauses.push(Clause(vec![Literal::neg(var(v, c1)), Literal::neg(var(v, c2))]));
+                clauses.push(Clause(vec![
+                    Literal::neg(var(v, c1)),
+                    Literal::neg(var(v, c2)),
+                ]));
             }
         }
     }
@@ -145,7 +151,10 @@ mod tests {
 
     /// K4 plus a pendant vertex; still not 3-colorable.
     fn k4_plus() -> Graph {
-        Graph::new(5, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)])
+        Graph::new(
+            5,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        )
     }
 
     #[test]

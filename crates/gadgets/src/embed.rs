@@ -54,16 +54,26 @@ pub struct EmbeddedInstance {
 /// `S` exogenous; `R(a)`, `T(b)` present for every `S(a,b)`; disjoint
 /// `R`/`T` domains.
 pub fn base_instance_is_admissible(db: &Database) -> bool {
-    let (Some(r), Some(s), Some(t)) =
-        (db.schema().id("R"), db.schema().id("S"), db.schema().id("T"))
-    else {
+    let (Some(r), Some(s), Some(t)) = (
+        db.schema().id("R"),
+        db.schema().id("S"),
+        db.schema().id("T"),
+    ) else {
         return false;
     };
     if db.schema().arity(r) != 1 || db.schema().arity(s) != 2 || db.schema().arity(t) != 1 {
         return false;
     }
-    let r_dom: Vec<_> = db.relation_facts(r).iter().map(|&f| db.fact(f).tuple[0]).collect();
-    let t_dom: Vec<_> = db.relation_facts(t).iter().map(|&f| db.fact(f).tuple[0]).collect();
+    let r_dom: Vec<_> = db
+        .relation_facts(r)
+        .iter()
+        .map(|&f| db.fact(f).tuple[0])
+        .collect();
+    let t_dom: Vec<_> = db
+        .relation_facts(t)
+        .iter()
+        .map(|&f| db.fact(f).tuple[0])
+        .collect();
     if r_dom.iter().any(|c| t_dom.contains(c)) {
         return false;
     }
@@ -128,7 +138,9 @@ pub fn embed_triplet(q: &ConjunctiveQuery, base: &Database) -> Result<EmbeddedIn
     let (triplet, variant) = preferred_triplet(q)
         .ok_or_else(|| CoreError::Unsupported(format!("{q} is hierarchical")))?;
     if !base_instance_is_admissible(base) {
-        return Err(CoreError::Unsupported("base instance is not admissible".into()));
+        return Err(CoreError::Unsupported(
+            "base instance is not admissible".into(),
+        ));
     }
     let mut db = Database::new();
     for atom in q.atoms() {
@@ -177,7 +189,11 @@ pub fn embed_triplet(q: &ConjunctiveQuery, base: &Database) -> Result<EmbeddedIn
             insert_dedup(&mut db, target_rel, tuple, Provenance::Exogenous)?;
         }
     }
-    Ok(EmbeddedInstance { db, fact_map, base: base_query(variant) })
+    Ok(EmbeddedInstance {
+        db,
+        fact_map,
+        base: base_query(variant),
+    })
 }
 
 /// Appendix C: embeds a base instance along a non-hierarchical *path*
@@ -197,10 +213,14 @@ pub fn embed_path(
     tuple_budget: usize,
 ) -> Result<EmbeddedInstance, CoreError> {
     let path = non_hierarchical_path(q, exo).ok_or_else(|| {
-        CoreError::Unsupported(format!("{q} has no non-hierarchical path w.r.t. the given X"))
+        CoreError::Unsupported(format!(
+            "{q} has no non-hierarchical path w.r.t. the given X"
+        ))
     })?;
     if !base_instance_is_admissible(base) {
-        return Err(CoreError::Unsupported("base instance is not admissible".into()));
+        return Err(CoreError::Unsupported(
+            "base instance is not admissible".into(),
+        ));
     }
     // Orient so that a negated endpoint plays T when the other is
     // positive (the q_RS¬T case).
@@ -216,8 +236,12 @@ pub fn embed_path(
         (false, true) => TripletVariant::RSNegT,
         (true, false) => unreachable!("orientation fixed above"),
     };
-    let inner: Vec<Var> =
-        path.path.iter().copied().filter(|v| *v != path.var_x && *v != path.var_y).collect();
+    let inner: Vec<Var> = path
+        .path
+        .iter()
+        .copied()
+        .filter(|v| *v != path.var_x && *v != path.var_y)
+        .collect();
 
     // ---- D′ ----
     let mut db = Database::new();
@@ -309,7 +333,10 @@ pub fn embed_path(
             .iter()
             .map(|&c| out.intern(db.interner().resolve(c)))
             .collect();
-        let rel = out.schema().id(db.schema().name(fact.rel)).expect("registered");
+        let rel = out
+            .schema()
+            .id(db.schema().name(fact.rel))
+            .expect("registered");
         let new = out.insert_tuple(rel, Tuple::from(tuple), fact.provenance)?;
         out_map.insert(fid, new);
     }
@@ -328,7 +355,11 @@ pub fn embed_path(
         .into_iter()
         .map(|(base_f, d1_f)| (base_f, out_map[&d1_f]))
         .collect();
-    Ok(EmbeddedInstance { db: out, fact_map, base: base_query(variant) })
+    Ok(EmbeddedInstance {
+        db: out,
+        fact_map,
+        base: base_query(variant),
+    })
 }
 
 #[cfg(test)]
@@ -358,7 +389,8 @@ mod tests {
         for i in 0..la {
             for j in 0..lb {
                 if s_mask & (1 << bit) != 0 {
-                    db.add_exo("S", &[&format!("a{i}"), &format!("b{j}")]).unwrap();
+                    db.add_exo("S", &[&format!("a{i}"), &format!("b{j}")])
+                        .unwrap();
                 }
                 bit += 1;
             }
@@ -372,8 +404,7 @@ mod tests {
         assert_eq!(emb.db.endo_count(), base.endo_count(), "{q_text}");
         let oracle = BruteForceCounter::new();
         for (&bf, &ef) in &emb.fact_map {
-            let base_v =
-                shapley_via_counts(base, AnyQuery::Cq(&emb.base), bf, &oracle).unwrap();
+            let base_v = shapley_via_counts(base, AnyQuery::Cq(&emb.base), bf, &oracle).unwrap();
             let emb_v = shapley_via_counts(&emb.db, AnyQuery::Cq(&q), ef, &oracle).unwrap();
             assert_eq!(
                 base_v,
@@ -448,8 +479,7 @@ mod tests {
         let emb = embed_path(&q, &exo, &base, 1_000_000).unwrap();
         let oracle = BruteForceCounter::new();
         for (&bf, &ef) in &emb.fact_map {
-            let base_v =
-                shapley_via_counts(&base, AnyQuery::Cq(&emb.base), bf, &oracle).unwrap();
+            let base_v = shapley_via_counts(&base, AnyQuery::Cq(&emb.base), bf, &oracle).unwrap();
             let emb_v = shapley_via_counts(&emb.db, AnyQuery::Cq(&q), ef, &oracle).unwrap();
             assert_eq!(
                 base_v,
@@ -471,8 +501,7 @@ mod tests {
         let emb = embed_path(&q, &exo, &base, 1_000_000).unwrap();
         let oracle = BruteForceCounter::new();
         for (&bf, &ef) in &emb.fact_map {
-            let base_v =
-                shapley_via_counts(&base, AnyQuery::Cq(&emb.base), bf, &oracle).unwrap();
+            let base_v = shapley_via_counts(&base, AnyQuery::Cq(&emb.base), bf, &oracle).unwrap();
             let emb_v = shapley_via_counts(&emb.db, AnyQuery::Cq(&q), ef, &oracle).unwrap();
             assert_eq!(base_v, emb_v);
         }

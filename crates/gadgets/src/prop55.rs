@@ -30,7 +30,9 @@ pub fn qrst_nr_query() -> ConjunctiveQuery {
 ///   one: formulas without it are trivially satisfied by all-zeros).
 pub fn build_relevance_instance(formula: &CnfFormula) -> Result<(Database, FactId), CoreError> {
     if !formula.is_224_shape() {
-        return Err(CoreError::Unsupported("formula must be in (2+,2−,4+−) shape".into()));
+        return Err(CoreError::Unsupported(
+            "formula must be in (2+,2−,4+−) shape".into(),
+        ));
     }
     let has_positive_pair = formula
         .clauses
@@ -90,7 +92,14 @@ mod tests {
     use cqshap_core::AnyQuery;
 
     fn clause(lits: &[(usize, bool)]) -> Clause {
-        Clause(lits.iter().map(|&(v, p)| Literal { var: v, positive: p }).collect())
+        Clause(
+            lits.iter()
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
+                .collect(),
+        )
     }
 
     /// The worked example from the proof sketch:
@@ -142,7 +151,9 @@ mod tests {
     fn reduction_agrees_with_dpll() {
         let mut state = 0xDEADBEEFu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let mut seen_sat = 0;
@@ -181,8 +192,7 @@ mod tests {
     fn shape_violations_rejected() {
         let not_224 = CnfFormula::new(2, vec![clause(&[(0, true), (1, false)])]);
         assert!(build_relevance_instance(&not_224).is_err());
-        let no_positive_pair =
-            CnfFormula::new(2, vec![clause(&[(0, false), (1, false)])]);
+        let no_positive_pair = CnfFormula::new(2, vec![clause(&[(0, false), (1, false)])]);
         assert!(build_relevance_instance(&no_positive_pair).is_err());
     }
 }

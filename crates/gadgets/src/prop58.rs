@@ -82,7 +82,14 @@ mod tests {
     use cqshap_core::AnyQuery;
 
     fn clause3(lits: [(usize, bool); 3]) -> Clause {
-        Clause(lits.iter().map(|&(v, p)| Literal { var: v, positive: p }).collect())
+        Clause(
+            lits.iter()
+                .map(|&(v, p)| Literal {
+                    var: v,
+                    positive: p,
+                })
+                .collect(),
+        )
     }
 
     #[test]
@@ -125,7 +132,9 @@ mod tests {
     fn reduction_agrees_with_dpll_on_random_family() {
         let mut state = 0xFACEFEEDu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let mut outcomes = [0usize; 2];
@@ -148,7 +157,10 @@ mod tests {
             assert_eq!(pos, f3.is_satisfiable(), "{f3}");
             outcomes[pos as usize] += 1;
         }
-        assert!(outcomes[0] > 0 && outcomes[1] > 0, "family should mix outcomes");
+        assert!(
+            outcomes[0] > 0 && outcomes[1] > 0,
+            "family should mix outcomes"
+        );
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub fn build_instance(g: &BipartiteGraph, r: usize) -> (Database, FactId) {
     }
     let f = db.add_endo("T", &["z"]).expect("fresh");
     for &(a, b) in g.edges() {
-        db.add_exo("S", &[&left_name(a), &right_name(b)]).expect("fresh");
+        db.add_exo("S", &[&left_name(a), &right_name(b)])
+            .expect("fresh");
     }
     if r == 0 {
         // Only D⁰ connects the original left vertices to z; the Dʳ
@@ -137,14 +138,17 @@ mod tests {
     use super::*;
 
     fn validate(g: &BipartiteGraph) {
-        let (recovered_total, recovered_counts) =
-            recover_is_count(g, &brute_force_oracle).unwrap();
+        let (recovered_total, recovered_counts) = recover_is_count(g, &brute_force_oracle).unwrap();
         assert_eq!(
             recovered_total,
             g.independent_set_count(),
             "total |IS| for {g:?}"
         );
-        assert_eq!(recovered_counts, g.closed_subset_counts(), "|S(g,k)| for {g:?}");
+        assert_eq!(
+            recovered_counts,
+            g.closed_subset_counts(),
+            "|S(g,k)| for {g:?}"
+        );
     }
 
     #[test]

@@ -50,12 +50,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, magnitude: BigUint::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            magnitude: BigUint::zero(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Plus, magnitude: BigUint::one() }
+        BigInt {
+            sign: Sign::Plus,
+            magnitude: BigUint::one(),
+        }
     }
 
     /// Builds from sign and magnitude (normalizing zero).
@@ -73,7 +79,10 @@ impl BigInt {
         if magnitude.is_zero() {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Plus, magnitude }
+            BigInt {
+                sign: Sign::Plus,
+                magnitude,
+            }
         }
     }
 
@@ -81,7 +90,10 @@ impl BigInt {
     pub fn from_i64(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt { sign: Sign::Plus, magnitude: BigUint::from_u64(v as u64) },
+            Ordering::Greater => BigInt {
+                sign: Sign::Plus,
+                magnitude: BigUint::from_u64(v as u64),
+            },
             Ordering::Less => BigInt {
                 sign: Sign::Minus,
                 magnitude: BigUint::from_u64(v.unsigned_abs()),
@@ -176,7 +188,10 @@ impl BigInt {
         if sign == Sign::Zero {
             BigInt::zero()
         } else {
-            BigInt { sign, magnitude: &self.magnitude * &other.magnitude }
+            BigInt {
+                sign,
+                magnitude: &self.magnitude * &other.magnitude,
+            }
         }
     }
 
@@ -189,8 +204,16 @@ impl BigInt {
         assert!(!d.is_zero(), "division by zero");
         let (q_mag, r_mag) = self.magnitude.div_rem(&d.magnitude);
         let q_sign = self.sign.product(d.sign);
-        let q = if q_mag.is_zero() { BigInt::zero() } else { BigInt::from_sign_magnitude(q_sign, q_mag) };
-        let r = if r_mag.is_zero() { BigInt::zero() } else { BigInt::from_sign_magnitude(self.sign, r_mag) };
+        let q = if q_mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_magnitude(q_sign, q_mag)
+        };
+        let r = if r_mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_magnitude(self.sign, r_mag)
+        };
         (q, r)
     }
 }
@@ -224,14 +247,20 @@ impl PartialOrd for BigInt {
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.negate(), magnitude: self.magnitude.clone() }
+        BigInt {
+            sign: self.sign.negate(),
+            magnitude: self.magnitude.clone(),
+        }
     }
 }
 
 impl Neg for BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        BigInt { sign: self.sign.negate(), magnitude: self.magnitude }
+        BigInt {
+            sign: self.sign.negate(),
+            magnitude: self.magnitude,
+        }
     }
 }
 
@@ -316,7 +345,11 @@ impl FromStr for BigInt {
         if let Some(rest) = s.strip_prefix('-') {
             let mag: BigUint = rest.parse()?;
             Ok(BigInt::from_sign_magnitude(
-                if mag.is_zero() { Sign::Zero } else { Sign::Minus },
+                if mag.is_zero() {
+                    Sign::Zero
+                } else {
+                    Sign::Minus
+                },
                 mag,
             ))
         } else {

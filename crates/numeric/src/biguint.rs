@@ -460,7 +460,8 @@ forward_binop!(Mul, mul, mul_ref);
 impl Sub<&BigUint> for &BigUint {
     type Output = BigUint;
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
@@ -670,8 +671,14 @@ mod tests {
             BigUint::from_u64(48).gcd(&BigUint::from_u64(36)),
             BigUint::from_u64(12)
         );
-        assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(7)), BigUint::from_u64(7));
-        assert_eq!(BigUint::from_u64(7).gcd(&BigUint::zero()), BigUint::from_u64(7));
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from_u64(7)),
+            BigUint::from_u64(7)
+        );
+        assert_eq!(
+            BigUint::from_u64(7).gcd(&BigUint::zero()),
+            BigUint::from_u64(7)
+        );
         let a = big("123456789012345678901234567890");
         assert_eq!(a.gcd(&a), a);
     }

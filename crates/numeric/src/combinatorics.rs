@@ -6,9 +6,9 @@
 //! every inner loop of the exact pipeline. [`FactorialTable`] amortizes
 //! the factorials for a whole computation.
 
+use crate::bigint::BigInt;
 use crate::biguint::BigUint;
 use crate::rational::BigRational;
-use crate::bigint::BigInt;
 
 /// Computes `n!` exactly.
 pub fn factorial(n: usize) -> BigUint {

@@ -42,11 +42,19 @@ impl std::error::Error for LinalgError {}
 impl RationalMatrix {
     /// Builds a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        RationalMatrix { rows, cols, data: vec![BigRational::zero(); rows * cols] }
+        RationalMatrix {
+            rows,
+            cols,
+            data: vec![BigRational::zero(); rows * cols],
+        }
     }
 
     /// Builds from a row-major closure.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> BigRational) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> BigRational,
+    ) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -64,7 +72,11 @@ impl RationalMatrix {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|r| r.len() == ncols), "ragged rows");
-        RationalMatrix { rows: nrows, cols: ncols, data: rows.into_iter().flatten().collect() }
+        RationalMatrix {
+            rows: nrows,
+            cols: ncols,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// Number of rows.
@@ -90,7 +102,10 @@ impl RationalMatrix {
     /// Matrix–vector product.
     pub fn mul_vec(&self, v: &[BigRational]) -> Result<Vec<BigRational>, LinalgError> {
         if v.len() != self.cols {
-            return Err(LinalgError::DimensionMismatch { expected: self.cols, got: v.len() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                got: v.len(),
+            });
         }
         Ok((0..self.rows)
             .map(|r| {
@@ -107,10 +122,16 @@ impl RationalMatrix {
     pub fn solve(&self, b: &[BigRational]) -> Result<Vec<BigRational>, LinalgError> {
         let n = self.rows;
         if self.cols != n {
-            return Err(LinalgError::DimensionMismatch { expected: n, got: self.cols });
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                got: self.cols,
+            });
         }
         if b.len() != n {
-            return Err(LinalgError::DimensionMismatch { expected: n, got: b.len() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
         }
         // Augmented working copy.
         let mut a = self.clone();
@@ -149,7 +170,10 @@ impl RationalMatrix {
     pub fn determinant(&self) -> Result<BigRational, LinalgError> {
         let n = self.rows;
         if self.cols != n {
-            return Err(LinalgError::DimensionMismatch { expected: n, got: self.cols });
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                got: self.cols,
+            });
         }
         let mut a = self.clone();
         let mut det = BigRational::one();
@@ -213,10 +237,8 @@ mod tests {
 
     #[test]
     fn singular_detected() {
-        let a = RationalMatrix::from_rows(vec![
-            vec![rat(1, 1), rat(2, 1)],
-            vec![rat(2, 1), rat(4, 1)],
-        ]);
+        let a =
+            RationalMatrix::from_rows(vec![vec![rat(1, 1), rat(2, 1)], vec![rat(2, 1), rat(4, 1)]]);
         assert_eq!(a.solve(&[rat(1, 1), rat(2, 1)]), Err(LinalgError::Singular));
         assert_eq!(a.determinant().unwrap(), BigRational::zero());
     }
@@ -255,6 +277,9 @@ mod tests {
             a.solve(&[rat(0, 1), rat(0, 1)]),
             Err(LinalgError::DimensionMismatch { .. })
         ));
-        assert!(matches!(a.mul_vec(&[rat(1, 1)]), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.mul_vec(&[rat(1, 1)]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 }

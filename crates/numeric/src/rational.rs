@@ -21,12 +21,18 @@ pub struct BigRational {
 impl BigRational {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigRational { num: BigInt::zero(), den: BigUint::one() }
+        BigRational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        BigRational { num: BigInt::one(), den: BigUint::one() }
+        BigRational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
     }
 
     /// Builds `num / den`, normalizing.
@@ -54,13 +60,19 @@ impl BigRational {
         } else {
             let (nm, _) = num.magnitude().div_rem(&g);
             let (dn, _) = den.div_rem(&g);
-            BigRational { num: BigInt::from_sign_magnitude(num.sign(), nm), den: dn }
+            BigRational {
+                num: BigInt::from_sign_magnitude(num.sign(), nm),
+                den: dn,
+            }
         }
     }
 
     /// Builds from an integer.
     pub fn from_int(v: impl Into<BigInt>) -> Self {
-        BigRational { num: v.into(), den: BigUint::one() }
+        BigRational {
+            num: v.into(),
+            den: BigUint::one(),
+        }
     }
 
     /// Builds `p / q` from machine integers.
@@ -103,7 +115,10 @@ impl BigRational {
 
     /// Absolute value.
     pub fn abs(&self) -> BigRational {
-        BigRational { num: self.num.abs(), den: self.den.clone() }
+        BigRational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -172,10 +187,18 @@ impl BigRational {
         if exp == 0 {
             return BigRational::one();
         }
-        let base = if exp < 0 { self.reciprocal() } else { self.clone() };
+        let base = if exp < 0 {
+            self.reciprocal()
+        } else {
+            self.clone()
+        };
         let e = exp.unsigned_abs();
         let num_mag = base.num.magnitude().pow(e);
-        let sign = if base.num.is_negative() && e % 2 == 1 { Sign::Minus } else { Sign::Plus };
+        let sign = if base.num.is_negative() && e % 2 == 1 {
+            Sign::Minus
+        } else {
+            Sign::Plus
+        };
         BigRational {
             num: BigInt::from_sign_magnitude(sign, num_mag),
             den: base.den.pow(e),
@@ -207,14 +230,20 @@ impl PartialOrd for BigRational {
 impl Neg for &BigRational {
     type Output = BigRational;
     fn neg(self) -> BigRational {
-        BigRational { num: -&self.num, den: self.den.clone() }
+        BigRational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 
 impl Neg for BigRational {
     type Output = BigRational;
     fn neg(self) -> BigRational {
-        BigRational { num: -self.num, den: self.den }
+        BigRational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -21,9 +21,8 @@ fn arb_bigint() -> impl Strategy<Value = BigInt> {
 }
 
 fn arb_rational() -> impl Strategy<Value = BigRational> {
-    (any::<i64>(), 1..=u32::MAX).prop_map(|(p, q)| {
-        BigRational::new(BigInt::from_i64(p), BigInt::from_u64(q as u64))
-    })
+    (any::<i64>(), 1..=u32::MAX)
+        .prop_map(|(p, q)| BigRational::new(BigInt::from_i64(p), BigInt::from_u64(q as u64)))
 }
 
 proptest! {

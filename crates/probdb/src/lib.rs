@@ -27,7 +27,7 @@ use cqshap_query::{has_self_join, is_hierarchical, ConjunctiveQuery, Term};
 
 mod lifted;
 
-use lifted::{LiftedAtom, LiftedTerm};
+use crate::lifted::{LiftedAtom, LiftedTerm};
 
 /// A tuple-independent probabilistic database.
 ///
@@ -50,7 +50,13 @@ impl ProbDatabase {
         assert!((0.0..=1.0).contains(&default_p), "probability out of range");
         let probs = db
             .fact_ids()
-            .map(|f| if db.fact(f).provenance.is_endogenous() { default_p } else { 1.0 })
+            .map(|f| {
+                if db.fact(f).provenance.is_endogenous() {
+                    default_p
+                } else {
+                    1.0
+                }
+            })
             .collect();
         ProbDatabase { db, probs }
     }
@@ -72,10 +78,14 @@ impl ProbDatabase {
     /// [`CoreError::Unsupported`] for out-of-range probabilities.
     pub fn set_prob(&mut self, f: FactId, p: f64) -> Result<(), CoreError> {
         if !(0.0..=1.0).contains(&p) {
-            return Err(CoreError::Unsupported(format!("probability {p} out of [0,1]")));
+            return Err(CoreError::Unsupported(format!(
+                "probability {p} out of [0,1]"
+            )));
         }
         if self.db.endo_index(f).is_none() {
-            return Err(CoreError::FactNotEndogenous { fact: self.db.render_fact(f) });
+            return Err(CoreError::FactNotEndogenous {
+                fact: self.db.render_fact(f),
+            });
         }
         self.probs[f.index()] = p;
         Ok(())
@@ -89,10 +99,14 @@ impl ProbDatabase {
     /// [`CoreError::NotHierarchical`] / [`CoreError::NotSelfJoinFree`].
     pub fn query_probability(&self, q: &ConjunctiveQuery) -> Result<f64, CoreError> {
         if has_self_join(q) {
-            return Err(CoreError::NotSelfJoinFree { query: q.to_string() });
+            return Err(CoreError::NotSelfJoinFree {
+                query: q.to_string(),
+            });
         }
         if !is_hierarchical(q) {
-            return Err(CoreError::NotHierarchical { query: q.to_string() });
+            return Err(CoreError::NotHierarchical {
+                query: q.to_string(),
+            });
         }
         let mut atoms: Vec<LiftedAtom> = Vec::new();
         let mut scopes: Vec<Vec<FactId>> = Vec::new();
@@ -119,7 +133,10 @@ impl ProbDatabase {
                 }
                 return Ok(0.0); // unsatisfiable positive atom
             }
-            let a = LiftedAtom { negated: atom.negated, terms };
+            let a = LiftedAtom {
+                negated: atom.negated,
+                terms,
+            };
             let rel = rel.expect("checked");
             let scope: Vec<FactId> = self
                 .db
@@ -156,7 +173,10 @@ impl ProbDatabase {
         // with 1s is exact.
         let mut probs = self.probs.clone();
         probs.resize(outcome.db.fact_count(), 1.0);
-        let rewritten = ProbDatabase { db: outcome.db, probs };
+        let rewritten = ProbDatabase {
+            db: outcome.db,
+            probs,
+        };
         rewritten.query_probability(&outcome.query)
     }
 
@@ -171,16 +191,26 @@ impl ProbDatabase {
         q: &ConjunctiveQuery,
         limit: usize,
     ) -> Result<f64, CoreError> {
-        let uncertain: Vec<FactId> =
-            self.db.endo_facts().iter().copied().filter(|&f| self.prob(f) < 1.0).collect();
+        let uncertain: Vec<FactId> = self
+            .db
+            .endo_facts()
+            .iter()
+            .copied()
+            .filter(|&f| self.prob(f) < 1.0)
+            .collect();
         if uncertain.len() > limit {
             return Err(CoreError::TooManyEndogenousFacts {
                 count: uncertain.len(),
                 limit,
             });
         }
-        let certain: Vec<FactId> =
-            self.db.endo_facts().iter().copied().filter(|&f| self.prob(f) >= 1.0).collect();
+        let certain: Vec<FactId> = self
+            .db
+            .endo_facts()
+            .iter()
+            .copied()
+            .filter(|&f| self.prob(f) >= 1.0)
+            .collect();
         let compiled = CompiledQuery::compile(&self.db, q);
         let mut total = 0.0f64;
         for mask in 0u64..(1u64 << uncertain.len()) {
@@ -256,7 +286,10 @@ mod tests {
             let q = cqshap_query::parse_cq(text).unwrap();
             let fast = pdb.query_probability(&q).unwrap();
             let slow = pdb.query_probability_enumerated(&q, 20).unwrap();
-            assert!(close(fast, slow), "{text}: lifted {fast} vs enumerated {slow}");
+            assert!(
+                close(fast, slow),
+                "{text}: lifted {fast} vs enumerated {slow}"
+            );
         }
     }
 
@@ -265,7 +298,10 @@ mod tests {
         let mut pdb = ProbDatabase::new(university(), 0.5);
         let ta = pdb.database().find_fact("TA", &["Adam"]).unwrap();
         pdb.set_prob(ta, 0.0).unwrap();
-        let reg = pdb.database().find_fact("Reg", &["Caroline", "DB"]).unwrap();
+        let reg = pdb
+            .database()
+            .find_fact("Reg", &["Caroline", "DB"])
+            .unwrap();
         pdb.set_prob(reg, 1.0).unwrap();
         let q = cqshap_query::parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
         // Reg(Caroline, DB) certain and Caroline is never a TA → P = 1.
@@ -287,10 +323,12 @@ mod tests {
              exo Citations(p1, c10)\nexo Citations(p3, c5)\nexo Citations(p4, c2)\n",
         )
         .unwrap();
-        let q =
-            cqshap_query::parse_cq("q() :- Author(x, y), Pub(x, z), Citations(z, w)").unwrap();
+        let q = cqshap_query::parse_cq("q() :- Author(x, y), Pub(x, z), Citations(z, w)").unwrap();
         let mut pdb = ProbDatabase::new(db, 0.5);
-        let alice = pdb.database().find_fact("Author", &["alice", "i1"]).unwrap();
+        let alice = pdb
+            .database()
+            .find_fact("Author", &["alice", "i1"])
+            .unwrap();
         pdb.set_prob(alice, 0.9).unwrap();
 
         assert!(matches!(
@@ -310,10 +348,8 @@ mod tests {
             let rel = db.schema().id(name).unwrap();
             db.declare_exogenous_relation(rel).unwrap();
         }
-        let q = cqshap_query::parse_cq(
-            "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')",
-        )
-        .unwrap();
+        let q =
+            cqshap_query::parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
         let pdb = with_varied_probs(db);
         let fast = pdb.query_probability_with_rewriting(&q, 1_000_000).unwrap();
         let slow = pdb.query_probability_enumerated(&q, 20).unwrap();

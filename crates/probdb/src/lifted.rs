@@ -75,7 +75,13 @@ impl LiftedAtom {
             terms: self
                 .terms
                 .iter()
-                .map(|t| if *t == LiftedTerm::Var(v) { LiftedTerm::Const(c) } else { *t })
+                .map(|t| {
+                    if *t == LiftedTerm::Var(v) {
+                        LiftedTerm::Const(c)
+                    } else {
+                        *t
+                    }
+                })
                 .collect(),
         }
     }
@@ -125,13 +131,18 @@ pub(crate) fn probability(
         if atom.negated {
             continue;
         }
-        let mut vals: Vec<ConstId> =
-            scope.iter().map(|&f| atom.value_of(root, db.fact(f).tuple.values())).collect();
+        let mut vals: Vec<ConstId> = scope
+            .iter()
+            .map(|&f| atom.value_of(root, db.fact(f).tuple.values()))
+            .collect();
         vals.sort_unstable();
         vals.dedup();
         candidates = Some(match candidates {
             None => vals,
-            Some(prev) => prev.into_iter().filter(|c| vals.binary_search(c).is_ok()).collect(),
+            Some(prev) => prev
+                .into_iter()
+                .filter(|c| vals.binary_search(c).is_ok())
+                .collect(),
         });
     }
     let candidates = candidates.expect("connected sub-query has a positive atom");
@@ -191,5 +202,7 @@ fn components(atoms: &[LiftedAtom]) -> Vec<Vec<usize>> {
 
 fn find_root(atoms: &[LiftedAtom]) -> Option<u32> {
     let first = atoms.first()?.vars();
-    first.into_iter().find(|v| atoms.iter().all(|a| a.vars().binary_search(v).is_ok()))
+    first
+        .into_iter()
+        .find(|v| atoms.iter().all(|a| a.vars().binary_search(v).is_ok()))
 }

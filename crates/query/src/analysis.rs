@@ -8,8 +8,12 @@ use crate::ast::{Atom, ConjunctiveQuery, UnionQuery, Var};
 /// Is negation safe? (Guaranteed by construction for queries built through
 /// this crate; exposed for completeness and for externally-built ASTs.)
 pub fn is_safe(q: &ConjunctiveQuery) -> bool {
-    let positive: BTreeSet<Var> =
-        q.atoms().iter().filter(|a| !a.negated).flat_map(Atom::variables).collect();
+    let positive: BTreeSet<Var> = q
+        .atoms()
+        .iter()
+        .filter(|a| !a.negated)
+        .flat_map(Atom::variables)
+        .collect();
     q.atoms()
         .iter()
         .filter(|a| a.negated)
@@ -212,7 +216,11 @@ pub enum Polarity {
 pub fn polarity_map(q: &ConjunctiveQuery) -> BTreeMap<String, Polarity> {
     let mut out: BTreeMap<String, Polarity> = BTreeMap::new();
     for atom in q.atoms() {
-        let p = if atom.negated { Polarity::Negative } else { Polarity::Positive };
+        let p = if atom.negated {
+            Polarity::Negative
+        } else {
+            Polarity::Positive
+        };
         out.entry(atom.relation.clone())
             .and_modify(|e| {
                 if *e != p {
@@ -250,7 +258,9 @@ pub fn is_polarity_consistent(q: &ConjunctiveQuery) -> bool {
 /// Is the *whole union* polarity consistent? (Strictly stronger than each
 /// disjunct being polarity consistent — Proposition 5.8 separates them.)
 pub fn is_polarity_consistent_union(u: &UnionQuery) -> bool {
-    polarity_map_union(u).values().all(|p| *p != Polarity::Mixed)
+    polarity_map_union(u)
+        .values()
+        .all(|p| *p != Polarity::Mixed)
 }
 
 /// Variables occurring *only* in atoms over relations in `exo`
@@ -258,7 +268,9 @@ pub fn is_polarity_consistent_union(u: &UnionQuery) -> bool {
 pub fn exogenous_vars(q: &ConjunctiveQuery, exo: &HashSet<String>) -> BTreeSet<Var> {
     q.vars()
         .filter(|&v| {
-            q.atoms_with_var(v).iter().all(|&a| exo.contains(&q.atoms()[a].relation))
+            q.atoms_with_var(v)
+                .iter()
+                .all(|&a| exo.contains(&q.atoms()[a].relation))
         })
         .collect()
 }
@@ -288,8 +300,11 @@ pub fn exogenous_atom_components(q: &ConjunctiveQuery, exo: &HashSet<String>) ->
         }
     }
     for &v in &exo_vs {
-        let members: Vec<usize> =
-            exo_atoms.iter().copied().filter(|&a| q.atoms()[a].contains_var(v)).collect();
+        let members: Vec<usize> = exo_atoms
+            .iter()
+            .copied()
+            .filter(|&a| q.atoms()[a].contains_var(v))
+            .collect();
         for w in members.windows(2) {
             let (ra, rb) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
             if ra != rb {
@@ -331,10 +346,7 @@ pub struct NonHierPath {
 ///
 /// With `exo = ∅` this is equivalent to non-hierarchicality (checked by
 /// property tests), so Theorem 4.3 strictly generalizes Theorem 3.1.
-pub fn non_hierarchical_path(
-    q: &ConjunctiveQuery,
-    exo: &HashSet<String>,
-) -> Option<NonHierPath> {
+pub fn non_hierarchical_path(q: &ConjunctiveQuery, exo: &HashSet<String>) -> Option<NonHierPath> {
     let adj = gaifman_adjacency(q);
     let candidate_atoms: Vec<usize> = q
         .atoms()
@@ -356,7 +368,13 @@ pub fn non_hierarchical_path(
                     removed.remove(&x);
                     removed.remove(&y);
                     if let Some(path) = bfs_path(&adj, x, y, &removed) {
-                        return Some(NonHierPath { atom_x: ax, atom_y: ay, var_x: x, var_y: y, path });
+                        return Some(NonHierPath {
+                            atom_x: ax,
+                            atom_y: ay,
+                            var_x: x,
+                            var_y: y,
+                            path,
+                        });
                     }
                 }
             }
@@ -413,10 +431,9 @@ mod tests {
     fn example_2_2_hierarchy() {
         let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
         let q2 = parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
-        let q3 = parse_cq(
-            "q3() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, 'IC'), Reg(z, 'DB')",
-        )
-        .unwrap();
+        let q3 =
+            parse_cq("q3() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, 'IC'), Reg(z, 'DB')")
+                .unwrap();
         let q4 =
             parse_cq("q4() :- Adv(x, y), Adv(x, z), TA(y), !TA(z), Reg(z, w), !Reg(y, w)").unwrap();
         assert!(is_hierarchical(&q1));
@@ -433,10 +450,9 @@ mod tests {
 
     #[test]
     fn example_5_4_polarity() {
-        let q3 = parse_cq(
-            "q3() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, 'IC'), Reg(z, 'DB')",
-        )
-        .unwrap();
+        let q3 =
+            parse_cq("q3() :- Adv(x, y), Adv(x, z), !TA(y), !TA(z), Reg(y, 'IC'), Reg(z, 'DB')")
+                .unwrap();
         let q4 =
             parse_cq("q4() :- Adv(x, y), Adv(x, z), TA(y), !TA(z), Reg(z, w), !Reg(y, w)").unwrap();
         assert!(is_polarity_consistent(&q3));
@@ -463,8 +479,14 @@ mod tests {
             let (t, v) = preferred_triplet(&q).unwrap();
             assert_eq!(v, expected, "{text}");
             if v == TripletVariant::RSNegT {
-                assert!(q.atoms()[t.atom_y].negated, "{text}: T endpoint must be negated");
-                assert!(!q.atoms()[t.atom_x].negated, "{text}: R endpoint must be positive");
+                assert!(
+                    q.atoms()[t.atom_y].negated,
+                    "{text}: T endpoint must be negated"
+                );
+                assert!(
+                    !q.atoms()[t.atom_x].negated,
+                    "{text}: R endpoint must be positive"
+                );
             }
         }
         let hier = parse_cq("q() :- R(x), S(x, y)").unwrap();
@@ -512,7 +534,10 @@ mod tests {
         let qp = parse_cq("q2() :- !R(x, w), S(z, x), !P(z, y), T(y, w)").unwrap();
         assert!(!is_hierarchical(&q));
         assert!(!is_hierarchical(&qp));
-        assert!(non_hierarchical_path(&q, &x).is_none(), "q is tractable given X");
+        assert!(
+            non_hierarchical_path(&q, &x).is_none(),
+            "q is tractable given X"
+        );
         let path = non_hierarchical_path(&qp, &x).expect("q' is hard given X");
         // The path connects a variable of R with a variable of T.
         assert_ne!(path.atom_x, path.atom_y);
@@ -541,20 +566,21 @@ mod tests {
         assert!(adj[name("z").index()].contains(&name("w")));
         assert!(adj[name("w").index()].contains(&name("y")));
 
-        let qp = parse_cq(
-            "q2() :- U(t, r), !T(y), Q(y, w), !V(t), R(x, y), !S(x, z), O(z), P(u, y, w)",
-        )
-        .unwrap();
+        let qp =
+            parse_cq("q2() :- U(t, r), !T(y), Q(y, w), !V(t), R(x, y), !S(x, z), O(z), P(u, y, w)")
+                .unwrap();
         let xp = exo(&["R", "S", "O", "P", "V"]);
-        assert!(non_hierarchical_path(&qp, &xp).is_none(), "q' has no non-hierarchical path");
+        assert!(
+            non_hierarchical_path(&qp, &xp).is_none(),
+            "q' has no non-hierarchical path"
+        );
     }
 
     #[test]
     fn example_4_5_components() {
-        let qp = parse_cq(
-            "q2() :- U(t, r), !T(y), Q(y, w), !V(t), R(x, y), !S(x, z), O(z), P(u, y, w)",
-        )
-        .unwrap();
+        let qp =
+            parse_cq("q2() :- U(t, r), !T(y), Q(y, w), !V(t), R(x, y), !S(x, z), O(z), P(u, y, w)")
+                .unwrap();
         let xp = exo(&["R", "S", "O", "P", "V"]);
         // Exogenous variables: x, z (only in R/S/O), u (only in P), t?
         // t occurs in U (non-exo) and V (exo) → not exogenous.
@@ -608,7 +634,10 @@ mod tests {
         let q = parse_cq("q() :- R(x), S(x, y), !R(y)").unwrap();
         assert!(is_positively_connected(&q));
         let q2 = parse_cq("q() :- R(x), T(y), !S(x, y)").unwrap();
-        assert!(!is_positively_connected(&q2), "x,y connected only through ¬S");
+        assert!(
+            !is_positively_connected(&q2),
+            "x,y connected only through ¬S"
+        );
         let q3 = parse_cq("q() :- R(x), T(y)").unwrap();
         assert!(!is_positively_connected(&q3));
         let q4 = parse_cq("q() :- R(x)").unwrap();

@@ -96,7 +96,12 @@ impl ConjunctiveQuery {
         head: Vec<Var>,
         atoms: Vec<Atom>,
     ) -> Result<Self, QueryError> {
-        let q = ConjunctiveQuery { name: name.into(), head, atoms, var_names };
+        let q = ConjunctiveQuery {
+            name: name.into(),
+            head,
+            atoms,
+            var_names,
+        };
         q.validate()?;
         Ok(q)
     }
@@ -110,7 +115,9 @@ impl ConjunctiveQuery {
             let mut seen = BTreeSet::new();
             for v in &self.var_names {
                 if !seen.insert(v.as_str()) {
-                    return Err(QueryError::Malformed(format!("duplicate variable name {v}")));
+                    return Err(QueryError::Malformed(format!(
+                        "duplicate variable name {v}"
+                    )));
                 }
             }
         }
@@ -152,7 +159,10 @@ impl ConjunctiveQuery {
         }
         for &v in &self.head {
             if v.index() >= n {
-                return Err(QueryError::Malformed(format!("head variable index {} out of range", v.0)));
+                return Err(QueryError::Malformed(format!(
+                    "head variable index {} out of range",
+                    v.0
+                )));
             }
             if !positive_vars.contains(&v) {
                 return Err(QueryError::UnboundHeadVariable {
@@ -185,12 +195,20 @@ impl ConjunctiveQuery {
 
     /// Indices of positive atoms.
     pub fn positive_atom_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.atoms.iter().enumerate().filter(|(_, a)| !a.negated).map(|(i, _)| i)
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.negated)
+            .map(|(i, _)| i)
     }
 
     /// Indices of negative atoms.
     pub fn negative_atom_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.atoms.iter().enumerate().filter(|(_, a)| a.negated).map(|(i, _)| i)
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.negated)
+            .map(|(i, _)| i)
     }
 
     /// Number of variables.
@@ -213,7 +231,10 @@ impl ConjunctiveQuery {
 
     /// The variable named `name`, if any.
     pub fn var_by_name(&self, name: &str) -> Option<Var> {
-        self.var_names.iter().position(|n| n == name).map(|i| Var(i as u32))
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Var(i as u32))
     }
 
     /// `Ax`: the set of atom indices whose atom mentions `v`.
@@ -239,7 +260,9 @@ impl ConjunctiveQuery {
 
     /// Does any atom mention a constant?
     pub fn has_constants(&self) -> bool {
-        self.atoms.iter().any(|a| a.terms.iter().any(Term::is_const))
+        self.atoms
+            .iter()
+            .any(|a| a.terms.iter().any(Term::is_const))
     }
 
     /// Renders one atom in datalog syntax.
@@ -252,7 +275,12 @@ impl ConjunctiveQuery {
                 Term::Const(c) => format!("'{c}'"),
             })
             .collect();
-        format!("{}{}({})", if atom.negated { "!" } else { "" }, atom.relation, args.join(", "))
+        format!(
+            "{}{}({})",
+            if atom.negated { "!" } else { "" },
+            atom.relation,
+            args.join(", ")
+        )
     }
 }
 
@@ -274,7 +302,10 @@ pub struct UnionQuery {
 
 impl UnionQuery {
     /// Builds a union; requires at least one disjunct, all Boolean.
-    pub fn new(name: impl Into<String>, disjuncts: Vec<ConjunctiveQuery>) -> Result<Self, QueryError> {
+    pub fn new(
+        name: impl Into<String>,
+        disjuncts: Vec<ConjunctiveQuery>,
+    ) -> Result<Self, QueryError> {
         if disjuncts.is_empty() {
             return Err(QueryError::Malformed("union with no disjuncts".into()));
         }
@@ -284,7 +315,10 @@ impl UnionQuery {
                 d.name()
             )));
         }
-        Ok(UnionQuery { name: name.into(), disjuncts })
+        Ok(UnionQuery {
+            name: name.into(),
+            disjuncts,
+        })
     }
 
     /// The union's name.
@@ -334,7 +368,12 @@ pub struct QueryBuilder {
 impl QueryBuilder {
     /// Starts a query named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        QueryBuilder { name: name.into(), var_names: Vec::new(), head: Vec::new(), atoms: Vec::new() }
+        QueryBuilder {
+            name: name.into(),
+            var_names: Vec::new(),
+            head: Vec::new(),
+            atoms: Vec::new(),
+        }
     }
 
     /// Declares (or reuses) a variable by name.

@@ -140,7 +140,10 @@ mod tests {
         assert_eq!(classify(&q1), ExactComplexity::TractableHierarchical);
 
         let q2 = parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
-        assert!(matches!(classify(&q2), ExactComplexity::FpSharpPComplete { .. }));
+        assert!(matches!(
+            classify(&q2),
+            ExactComplexity::FpSharpPComplete { .. }
+        ));
 
         for text in [
             "q() :- R(x), S(x, y), T(y)",
@@ -149,7 +152,10 @@ mod tests {
             "q() :- R(x), S(x, y), !T(y)",
         ] {
             let q = parse_cq(text).unwrap();
-            assert!(matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }), "{text}");
+            assert!(
+                matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }),
+                "{text}"
+            );
         }
     }
 
@@ -158,7 +164,10 @@ mod tests {
         // Example 4.1: intractable per Thm 3.1, tractable once Pub and
         // Citations are exogenous (even Citations alone suffices).
         let q = parse_cq("q() :- Author(x, y), Pub(x, z), Citations(z, w)").unwrap();
-        assert!(matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }));
+        assert!(matches!(
+            classify(&q),
+            ExactComplexity::FpSharpPComplete { .. }
+        ));
         assert_eq!(
             classify_with_exo(&q, &exo(&["Pub", "Citations"])),
             ExactComplexity::TractableViaExoShap
@@ -201,7 +210,10 @@ mod tests {
 
         // Unemployed(x), Married(x,y), Unemployed(y): same but positive.
         let q2 = parse_cq("q() :- Unemployed(x), Married(x, y), Unemployed(y)").unwrap();
-        assert!(matches!(classify(&q2), ExactComplexity::SelfJoinHard { .. }));
+        assert!(matches!(
+            classify(&q2),
+            ExactComplexity::SelfJoinHard { .. }
+        ));
 
         // R(x,y), ¬R(y,x): mixed polarity → Thm B.5 silent.
         let q3 = parse_cq("q() :- R(x, y), !R(y, x)").unwrap();

@@ -33,10 +33,16 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::UnsafeNegation { variable, atom } => {
-                write!(f, "unsafe negation: variable {variable} of {atom} is not positively bound")
+                write!(
+                    f,
+                    "unsafe negation: variable {variable} of {atom} is not positively bound"
+                )
             }
             QueryError::UnboundHeadVariable { variable } => {
-                write!(f, "head variable {variable} does not occur in a positive atom")
+                write!(
+                    f,
+                    "head variable {variable} does not occur in a positive atom"
+                )
             }
             QueryError::Malformed(msg) => write!(f, "malformed query: {msg}"),
             QueryError::Parse { line, message } => {

@@ -27,8 +27,8 @@ pub mod parser;
 pub use analysis::{
     exogenous_atom_components, gaifman_adjacency, has_self_join, is_hierarchical,
     is_polarity_consistent, is_positively_connected, is_safe, non_hierarchical_path,
-    non_hierarchical_triplets, polarity_map, preferred_triplet, NonHierPath, Polarity,
-    Triplet, TripletVariant,
+    non_hierarchical_triplets, polarity_map, preferred_triplet, NonHierPath, Polarity, Triplet,
+    TripletVariant,
 };
 pub use ast::{Atom, ConjunctiveQuery, QueryBuilder, Term, UnionQuery, Var};
 pub use classify::{classify, classify_with_exo, ExactComplexity};

@@ -163,7 +163,9 @@ fn parse_rule(input: &str, line: usize) -> Result<ConjunctiveQuery, QueryError> 
                 match next(&mut pos) {
                     Some(Tok::Comma) => continue,
                     Some(Tok::RParen) => break,
-                    other => return Err(err(format!("expected `,` or `)` in head, got {other:?}"))),
+                    other => {
+                        return Err(err(format!("expected `,` or `)` in head, got {other:?}")))
+                    }
                 }
             }
             other => return Err(err(format!("expected head variable, got {other:?}"))),
@@ -224,7 +226,9 @@ fn parse_rule(input: &str, line: usize) -> Result<ConjunctiveQuery, QueryError> 
 }
 
 fn starts_lower(s: &str) -> bool {
-    s.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_lowercase() || c == '_')
 }
 
 #[cfg(test)]

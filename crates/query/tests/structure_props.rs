@@ -8,8 +8,8 @@ use std::collections::HashSet;
 
 use cqshap_query::{
     has_self_join, is_hierarchical, is_polarity_consistent, non_hierarchical_path,
-    non_hierarchical_triplets, preferred_triplet, Atom, ConjunctiveQuery, Term,
-    TripletVariant, Var,
+    non_hierarchical_triplets, preferred_triplet, Atom, ConjunctiveQuery, Term, TripletVariant,
+    Var,
 };
 use proptest::prelude::*;
 
@@ -19,7 +19,7 @@ use proptest::prelude::*;
 /// introduced by earlier positive atoms.
 fn arb_sjf_cq() -> impl Strategy<Value = ConjunctiveQuery> {
     let spec = (
-        2usize..=5,                                      // number of variables
+        2usize..=5, // number of variables
         prop::collection::vec(
             (
                 any::<bool>(),                           // negated?

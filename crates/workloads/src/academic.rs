@@ -77,10 +77,16 @@ mod tests {
     fn example_4_1_classification_flips_with_exogenous_knowledge() {
         use cqshap_query::{classify, classify_with_exo, ExactComplexity};
         let q = citations_query();
-        assert!(matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }));
+        assert!(matches!(
+            classify(&q),
+            ExactComplexity::FpSharpPComplete { .. }
+        ));
         let db = AcademicConfig::default().generate();
         let exo: HashSet<String> = db.exogenous_relation_names().into_iter().collect();
-        assert_eq!(classify_with_exo(&q, &exo), ExactComplexity::TractableViaExoShap);
+        assert_eq!(
+            classify_with_exo(&q, &exo),
+            ExactComplexity::TractableViaExoShap
+        );
     }
 
     #[test]

@@ -50,7 +50,8 @@ impl ExportsConfig {
         db.add_relation("Export", 3).expect("fresh schema");
         db.add_relation("Grows", 2).expect("fresh schema");
         for m in 0..self.farmers {
-            db.add_endo("Farmer", &[&format!("m{m}")]).expect("distinct");
+            db.add_endo("Farmer", &[&format!("m{m}")])
+                .expect("distinct");
         }
         let mut inserted = 0usize;
         let mut guard = 0usize;
@@ -60,7 +61,10 @@ impl ExportsConfig {
             let p = rng.gen_range(0..self.products.max(1));
             let c = rng.gen_range(0..self.countries.max(1));
             if db
-                .add_exo("Export", &[&format!("m{m}"), &format!("p{p}"), &format!("c{c}")])
+                .add_exo(
+                    "Export",
+                    &[&format!("m{m}"), &format!("p{p}"), &format!("c{c}")],
+                )
                 .is_ok()
             {
                 inserted += 1;
@@ -111,7 +115,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = ExportsConfig { seed: 5, ..Default::default() };
+        let cfg = ExportsConfig {
+            seed: 5,
+            ..Default::default()
+        };
         assert_eq!(cfg.generate().to_string(), cfg.generate().to_string());
     }
 
@@ -120,6 +127,9 @@ mod tests {
         use cqshap_query::{classify, ExactComplexity};
         let q = exports_query();
         // Equation (1) "falls on the hardness side" (Section 1).
-        assert!(matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }));
+        assert!(matches!(
+            classify(&q),
+            ExactComplexity::FpSharpPComplete { .. }
+        ));
     }
 }

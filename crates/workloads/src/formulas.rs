@@ -33,8 +33,10 @@ pub fn random_224(num_vars: usize, num_clauses: usize, seed: u64) -> CnfFormula 
     fn v(rng: &mut StdRng, num_vars: usize) -> usize {
         rng.gen_range(0..num_vars)
     }
-    let mut clauses =
-        vec![Clause(vec![Literal::pos(v(&mut rng, num_vars)), Literal::pos(v(&mut rng, num_vars))])];
+    let mut clauses = vec![Clause(vec![
+        Literal::pos(v(&mut rng, num_vars)),
+        Literal::pos(v(&mut rng, num_vars)),
+    ])];
     for _ in 1..num_clauses.max(1) {
         let kind: u8 = rng.gen_range(0..3);
         clauses.push(match kind {

@@ -125,17 +125,34 @@ mod tests {
     #[test]
     fn catalog_parses_and_classifies() {
         assert_eq!(classify(&q1()), ExactComplexity::TractableHierarchical);
-        for q in [q2(), qrst(), qnrsnt(), qrnst(), qrsnt(), farmer_exports(), citations()] {
-            assert!(matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }), "{q}");
+        for q in [
+            q2(),
+            qrst(),
+            qnrsnt(),
+            qrnst(),
+            qrsnt(),
+            farmer_exports(),
+            citations(),
+        ] {
+            assert!(
+                matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }),
+                "{q}"
+            );
         }
         for q in [unemployed_couple(), non_citizen_couple()] {
-            assert!(matches!(classify(&q), ExactComplexity::SelfJoinHard { .. }), "{q}");
+            assert!(
+                matches!(classify(&q), ExactComplexity::SelfJoinHard { .. }),
+                "{q}"
+            );
         }
         // q3's only non-hierarchical triplets run through Adv, which
         // occurs twice, so Theorem B.5 is silent; q4, Example 5.3 and the
         // gap query mix polarities.
         for q in [q3(), q4(), example_5_3(), gap_query()] {
-            assert!(matches!(classify(&q), ExactComplexity::OpenSelfJoins), "{q}");
+            assert!(
+                matches!(classify(&q), ExactComplexity::OpenSelfJoins),
+                "{q}"
+            );
         }
         assert_eq!(qsat().disjuncts().len(), 4);
     }

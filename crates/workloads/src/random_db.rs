@@ -43,8 +43,7 @@ impl RandomDbConfig {
     pub fn generate(&self, q: &ConjunctiveQuery) -> Database {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut db = Database::new();
-        let mut constants: Vec<String> =
-            (0..self.domain).map(|i| format!("d{i}")).collect();
+        let mut constants: Vec<String> = (0..self.domain).map(|i| format!("d{i}")).collect();
         for atom in q.atoms() {
             for t in &atom.terms {
                 if let Term::Const(c) = t {
@@ -55,7 +54,9 @@ impl RandomDbConfig {
             }
         }
         for atom in q.atoms() {
-            let rel = db.add_relation(&atom.relation, atom.terms.len()).expect("consistent");
+            let rel = db
+                .add_relation(&atom.relation, atom.terms.len())
+                .expect("consistent");
             if self.exogenous_relations.contains(&atom.relation) {
                 let _ = db.declare_exogenous_relation(rel);
             }
@@ -68,8 +69,7 @@ impl RandomDbConfig {
                     .map(|_| constants[rng.gen_range(0..constants.len())].clone())
                     .collect();
                 let refs: Vec<&str> = tuple.iter().map(|s| &**s).collect();
-                let provenance = if db.is_exogenous_relation(rel) || !rng.gen_bool(self.endo_prob)
-                {
+                let provenance = if db.is_exogenous_relation(rel) || !rng.gen_bool(self.endo_prob) {
                     Provenance::Exogenous
                 } else {
                     Provenance::Endogenous
@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let q = parse_cq("q() :- R(x), S(x, y), !T(y)").unwrap();
-        let cfg = RandomDbConfig { seed: 11, ..Default::default() };
+        let cfg = RandomDbConfig {
+            seed: 11,
+            ..Default::default()
+        };
         assert_eq!(cfg.generate(&q).to_string(), cfg.generate(&q).to_string());
     }
 }

@@ -72,12 +72,14 @@ impl UniversityConfig {
         }
         for c in 0..self.courses {
             let f = rng.gen_range(0..self.faculties.max(1));
-            db.add_exo("Course", &[&format!("c{c}"), &format!("f{f}")]).expect("distinct");
+            db.add_exo("Course", &[&format!("c{c}"), &format!("f{f}")])
+                .expect("distinct");
         }
         for s in 0..self.students {
             let name = format!("s{s}");
             db.add_exo("Stud", &[&name]).expect("distinct");
-            db.add_exo("Adv", &[&format!("adv{}", s % 5), &name]).expect("distinct");
+            db.add_exo("Adv", &[&format!("adv{}", s % 5), &name])
+                .expect("distinct");
             if rng.gen_bool(self.ta_fraction) {
                 db.add_endo("TA", &[&name]).expect("distinct");
             }
@@ -86,7 +88,8 @@ impl UniversityConfig {
                 let c = rng.gen_range(0..self.courses);
                 if !picked.contains(&c) {
                     picked.push(c);
-                    db.add_endo("Reg", &[&name, &format!("c{c}")]).expect("distinct");
+                    db.add_endo("Reg", &[&name, &format!("c{c}")])
+                        .expect("distinct");
                 }
             }
         }

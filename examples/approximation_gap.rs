@@ -16,7 +16,10 @@ use cqshap::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem 5.1's family for q() :- R(x), S(x,y), ¬R(y).
     println!("== Exponentially small Shapley values (Theorem 5.1) ==");
-    println!("{:>3}  {:<28} {:<12}", "n", "Shapley(D_n, q, f0) exactly", "≈ float");
+    println!(
+        "{:>3}  {:<28} {:<12}",
+        "n", "Shapley(D_n, q, f0) exactly", "≈ float"
+    );
     for n in [1usize, 2, 4, 8, 16, 32] {
         let (_q, inst) = section_5_1_example(n);
         let v = inst.expected_abs.clone();
@@ -27,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (q, inst) = section_5_1_example(2);
     let exact = shapley_by_permutations(&inst.db, AnyQuery::Cq(&q), inst.f0, 9)?;
     assert_eq!(exact.abs(), inst.expected_abs);
-    println!("\nexact value for n = 2 matches the closed form {} ✓", inst.expected_abs);
+    println!(
+        "\nexact value for n = 2 matches the closed form {} ✓",
+        inst.expected_abs
+    );
 
     // The additive FPRAS with the Hoeffding budget: fine additively,
     // useless multiplicatively on the gap family.
@@ -39,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let est = shapley_sampled(&inst8.db, AnyQuery::Cq(&q8), inst8.f0, samples, 7, 0)?;
     let truth = inst8.expected_abs.to_f64();
     println!("n = 8: true value {truth:.3e}, estimate {}", est.estimate);
-    println!("additive error {:.3e} (within ε) ", (est.estimate - truth).abs());
+    println!(
+        "additive error {:.3e} (within ε) ",
+        (est.estimate - truth).abs()
+    );
     assert!((est.estimate - truth).abs() <= eps);
     println!(
         "flips observed: {} positive, {} negative out of {} samples",

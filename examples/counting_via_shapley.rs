@@ -19,9 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<28} {:>10} {:>12} {:>8}",
         "graph", "|IS| true", "recovered", "match"
     );
-    for (left, right, prob, seed) in
-        [(2usize, 2usize, 0.5, 1u64), (3, 2, 0.4, 2), (2, 3, 0.6, 3), (3, 3, 0.5, 4)]
-    {
+    for (left, right, prob, seed) in [
+        (2usize, 2usize, 0.5, 1u64),
+        (3, 2, 0.4, 2),
+        (2, 3, 0.6, 3),
+        (3, 3, 0.5, 4),
+    ] {
         let g = cqshap::workloads::graphs::random_bipartite(left, right, prob, seed);
         let truth = g.independent_set_count();
         let (recovered, s_counts) = recover_is_count(&g, &brute_force_oracle)?;
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (db, f) = build_instance(&g, r);
         let v = brute_force_oracle(&db, f)?;
         println!("  D^{r}: Shapley(D, q, T(z)) = {v}");
-        assert!(!v.is_positive(), "T(z) can only flip the answer true → false");
+        assert!(
+            !v.is_positive(),
+            "T(z) can only flip the answer true → false"
+        );
     }
     println!("\nindependent-set counts recovered exactly from Shapley values ✓");
     Ok(())

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert!(is_hierarchical(&outcome.query));
 
-    let opts = ShapleyOptions { strategy: Strategy::ExoShap, ..Default::default() };
+    let opts = ShapleyOptions {
+        strategy: Strategy::ExoShap,
+        ..Default::default()
+    };
     let report = shapley_report(&db, &q, &opts)?;
     println!("\n== Shapley values via ExoShap ==");
     for entry in &report.entries {
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(report.efficiency_holds());
 
     // Cross-check against brute force (small |Dn| makes this feasible).
-    let bf = ShapleyOptions { strategy: Strategy::BruteForceSubsets, ..Default::default() };
+    let bf = ShapleyOptions {
+        strategy: Strategy::BruteForceSubsets,
+        ..Default::default()
+    };
     for entry in &report.entries {
         let v = shapley_value(&db, &q, entry.fact, &bf)?;
         assert_eq!(v, entry.value, "{}", entry.rendered);
@@ -64,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exo2: HashSet<String> = uni.exogenous_relation_names().into_iter().collect();
     println!("\nquery: {q2}");
     println!("  Thm 3.1 verdict: {}", classify(&q2));
-    println!("  Thm 4.3 verdict with X = {{Stud, Course, Adv}}: {}", classify_with_exo(&q2, &exo2));
+    println!(
+        "  Thm 4.3 verdict with X = {{Stud, Course, Adv}}: {}",
+        classify_with_exo(&q2, &exo2)
+    );
     let report2 = shapley_report(&uni, &q2, &opts)?;
     println!("\n== Shapley values for q2 (polynomial, via ExoShap) ==");
     for entry in &report2.entries {

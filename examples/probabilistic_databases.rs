@@ -16,9 +16,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The running example with registration/TA facts made uncertain.
     let db = cqshap::workloads::figure_1_database();
     let mut pdb = ProbDatabase::new(db, 0.5);
-    let reg = pdb.database().find_fact("Reg", &["Caroline", "DB"]).expect("fact exists");
+    let reg = pdb
+        .database()
+        .find_fact("Reg", &["Caroline", "DB"])
+        .expect("fact exists");
     pdb.set_prob(reg, 0.9)?;
-    let ta = pdb.database().find_fact("TA", &["Adam"]).expect("fact exists");
+    let ta = pdb
+        .database()
+        .find_fact("TA", &["Adam"])
+        .expect("fact exists");
     pdb.set_prob(ta, 0.8)?;
 
     let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)")?;

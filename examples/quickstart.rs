@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The database of Figure 1: Stud/Course/Adv are context (exogenous),
     // TA and Reg memberships are the facts whose contribution we probe.
     let db = cqshap::workloads::figure_1_database();
-    println!("Database ({} facts, |Dn| = {}):", db.fact_count(), db.endo_count());
+    println!(
+        "Database ({} facts, |Dn| = {}):",
+        db.fact_count(),
+        db.endo_count()
+    );
     print!("{db}");
 
     // Classify the four queries of Example 2.2.
@@ -49,6 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let va = &report.entry(ta_adam).expect("endogenous").value;
     let vb = &report.entry(ta_ben).expect("endogenous").value;
     assert!(va.abs() > vb.abs());
-    println!("\n|Shapley(TA(Adam))| = {} > |Shapley(TA(Ben))| = {} ✓", va.abs(), vb.abs());
+    println!(
+        "\n|Shapley(TA(Adam))| = {} > |Shapley(TA(Ben))| = {} ✓",
+        va.abs(),
+        vb.abs()
+    );
     Ok(())
 }

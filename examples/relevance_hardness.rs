@@ -75,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Proposition 5.8: 3SAT ⟺ relevance of R(0) to q_SAT ==");
     let u = prop58::qsat_query();
     for d in u.disjuncts() {
-        println!("  {d}   (polarity consistent: {})", is_polarity_consistent(d));
+        println!(
+            "  {d}   (polarity consistent: {})",
+            is_polarity_consistent(d)
+        );
     }
     println!(
         "  whole union polarity consistent: {}",
@@ -86,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (dbf, r0) = prop58::build_relevance_instance(&f3)?;
         let (rel_pos, _) = brute_force_relevance(&dbf, AnyQuery::Union(&u), r0, 24)?;
         println!("  {f3}");
-        println!("    satisfiable: {:<5}  R(0) relevant: {rel_pos}", f3.is_satisfiable());
+        println!(
+            "    satisfiable: {:<5}  R(0) relevant: {rel_pos}",
+            f3.is_satisfiable()
+        );
         assert_eq!(f3.is_satisfiable(), rel_pos);
     }
     println!("\nall reductions agree with the DPLL ground truth ✓");

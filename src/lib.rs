@@ -61,8 +61,8 @@ pub mod prelude {
     pub use cqshap_numeric::{BigInt, BigRational, BigUint};
     pub use cqshap_probdb::ProbDatabase;
     pub use cqshap_query::{
-        classify, classify_with_exo, is_hierarchical, is_polarity_consistent, parse_cq,
-        parse_ucq, ConjunctiveQuery, ExactComplexity, QueryBuilder, UnionQuery,
+        classify, classify_with_exo, is_hierarchical, is_polarity_consistent, parse_cq, parse_ucq,
+        ConjunctiveQuery, ExactComplexity, QueryBuilder, UnionQuery,
     };
 }
 

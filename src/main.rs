@@ -57,7 +57,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut grab = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
             "--exo" => out.exo = Some(grab("--exo")?),
@@ -84,7 +86,9 @@ fn parse_strategy(name: &str) -> Result<Strategy, String> {
 
 /// Parses `"R(a, b)"` into a fact lookup.
 fn find_fact(db: &Database, spec: &str) -> Result<FactId, String> {
-    let open = spec.find('(').ok_or_else(|| format!("bad fact syntax {spec:?}"))?;
+    let open = spec
+        .find('(')
+        .ok_or_else(|| format!("bad fact syntax {spec:?}"))?;
     if !spec.ends_with(')') {
         return Err(format!("bad fact syntax {spec:?}"));
     }
@@ -153,22 +157,40 @@ fn cmd_shapley(opts: &Options) -> Result<(), String> {
     let db = load_db(db_path)?;
     let q = parse_cq(query).map_err(|e| e.to_string())?;
     let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
-    let options = ShapleyOptions { strategy, ..Default::default() };
+    let options = ShapleyOptions {
+        strategy,
+        ..Default::default()
+    };
     match &opts.fact {
         Some(spec) => {
             let f = find_fact(&db, spec)?;
             let v = shapley_value(&db, &q, f, &options).map_err(|e| e.to_string())?;
-            println!("Shapley(D, {}, {}) = {} ≈ {:.6}", q.name(), db.render_fact(f), v, v.to_f64());
+            println!(
+                "Shapley(D, {}, {}) = {} ≈ {:.6}",
+                q.name(),
+                db.render_fact(f),
+                v,
+                v.to_f64()
+            );
         }
         None => {
             let report = shapley_report(&db, &q, &options).map_err(|e| e.to_string())?;
             for entry in &report.entries {
-                println!("{:<32} {:>16} ≈ {:+.6}", entry.rendered, entry.value.to_string(), entry.value.to_f64());
+                println!(
+                    "{:<32} {:>16} ≈ {:+.6}",
+                    entry.rendered,
+                    entry.value.to_string(),
+                    entry.value.to_f64()
+                );
             }
             println!(
                 "Σ = {} ({}: q(D) − q(Dx) = {})",
                 report.total,
-                if report.efficiency_holds() { "efficiency holds" } else { "EFFICIENCY VIOLATED" },
+                if report.efficiency_holds() {
+                    "efficiency holds"
+                } else {
+                    "EFFICIENCY VIOLATED"
+                },
                 report.expected_total,
             );
         }
@@ -213,7 +235,10 @@ fn cmd_probability(opts: &Options) -> Result<(), String> {
         .query_probability(&q)
         .or_else(|_| pdb.query_probability_with_rewriting(&q, 10_000_000))
         .map_err(|e| e.to_string())?;
-    println!("Pr[D ⊨ {}] = {pr:.9}  (endogenous facts present with p = {p})", q.name());
+    println!(
+        "Pr[D ⊨ {}] = {pr:.9}  (endogenous facts present with p = {p})",
+        q.name()
+    );
     Ok(())
 }
 
@@ -224,7 +249,11 @@ fn cmd_satcount(opts: &Options) -> Result<(), String> {
     let db = load_db(db_path)?;
     let q = parse_cq(query).map_err(|e| e.to_string())?;
     let counts = cqshap::core::count_sat_hierarchical(&db, &q).map_err(|e| e.to_string())?;
-    println!("|Sat(D, {}, k)| for k = 0..={}:", q.name(), counts.len() - 1);
+    println!(
+        "|Sat(D, {}, k)| for k = 0..={}:",
+        q.name(),
+        counts.len() - 1
+    );
     for (k, c) in counts.iter().enumerate() {
         println!("  k = {k:<4} {c}");
     }
@@ -241,8 +270,15 @@ mod tests {
 
     #[test]
     fn option_parsing() {
-        let o = parse_options(&strs(&["db.txt", "q() :- R(x)", "--fact", "R(a)", "--strategy", "auto"]))
-            .unwrap();
+        let o = parse_options(&strs(&[
+            "db.txt",
+            "q() :- R(x)",
+            "--fact",
+            "R(a)",
+            "--strategy",
+            "auto",
+        ]))
+        .unwrap();
         assert_eq!(o.positional, vec!["db.txt", "q() :- R(x)"]);
         assert_eq!(o.fact.as_deref(), Some("R(a)"));
         assert_eq!(o.strategy.as_deref(), Some("auto"));

@@ -1,0 +1,148 @@
+//! End-to-end smoke tests for the `cqshap` binary: spawn the real
+//! executable against a Figure-1 database file on disk and check the
+//! paper's numbers come out of stdout.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// The database of Figure 1 in the on-disk line format of `cqshap-db`.
+const FIGURE_1: &str = "\
+# Figure 1 of the paper.
+exo Stud(Adam)
+exo Stud(Ben)
+exo Stud(Caroline)
+exo Stud(David)
+endo TA(Adam)
+endo TA(Ben)
+endo TA(David)
+exo Course(OS, EE)
+exo Course(IC, EE)
+exo Course(DB, CS)
+exo Course(AI, CS)
+endo Reg(Adam, OS)
+endo Reg(Adam, AI)
+endo Reg(Ben, OS)
+endo Reg(Caroline, DB)
+endo Reg(Caroline, IC)
+exo Adv(Michael, Adam)
+exo Adv(Michael, Ben)
+exo Adv(Naomi, Caroline)
+exo Adv(Michael, David)
+";
+
+const Q1: &str = "q1() :- Stud(x), !TA(x), Reg(x, y)";
+
+/// A Figure-1 database file in a temp directory, removed on drop (also
+/// during unwinding, so failed assertions don't leak directories).
+struct TempDb {
+    dir: PathBuf,
+    path: PathBuf,
+}
+
+impl TempDb {
+    fn path(&self) -> &str {
+        self.path.to_str().unwrap()
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Writes the Figure-1 database to a fresh temp file and returns its path.
+fn figure_1_file(tag: &str) -> TempDb {
+    let dir = std::env::temp_dir().join(format!("cqshap-cli-smoke-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("figure1.db");
+    std::fs::write(&path, FIGURE_1).expect("write database file");
+    TempDb { dir, path }
+}
+
+fn cqshap(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cqshap"))
+        .args(args)
+        .output()
+        .expect("spawn cqshap")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "cqshap failed: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn classify_reports_the_dichotomy() {
+    let out = stdout_of(&cqshap(&["classify", Q1]));
+    assert!(out.contains("hierarchical: true"), "stdout: {out}");
+    assert!(out.contains("PTIME"), "stdout: {out}");
+
+    // q2 of the paper is non-hierarchical: hard without exogenous help...
+    let q2 = "q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')";
+    let out = stdout_of(&cqshap(&["classify", q2]));
+    assert!(out.contains("hierarchical: false"), "stdout: {out}");
+    assert!(out.contains("FP#P-complete"), "stdout: {out}");
+
+    // ...and tractable once Stud and Course are declared exogenous
+    // (Theorem 4.3).
+    let out = stdout_of(&cqshap(&["classify", q2, "--exo", "Stud,Course"]));
+    assert!(out.contains("Thm 4.3"), "stdout: {out}");
+    assert!(out.contains("PTIME"), "stdout: {out}");
+}
+
+#[test]
+fn shapley_single_fact_matches_example_2_3() {
+    let db = figure_1_file("single");
+    let out = stdout_of(&cqshap(&["shapley", db.path(), Q1, "--fact", "TA(Adam)"]));
+    assert!(out.contains("-3/28"), "stdout: {out}");
+}
+
+#[test]
+fn shapley_report_covers_every_fact_and_efficiency() {
+    let db = figure_1_file("report");
+    let out = stdout_of(&cqshap(&["shapley", db.path(), Q1]));
+    // All five Example 2.3 values appear (two facts share 37/210 and two
+    // share 13/42), and the efficiency check passes with Σ = 1.
+    for value in ["-3/28", "-2/35", "37/210", "27/140", "13/42"] {
+        assert!(out.contains(value), "missing {value} in stdout: {out}");
+    }
+    assert!(out.contains("efficiency holds"), "stdout: {out}");
+}
+
+#[test]
+fn shapley_strategies_agree() {
+    let db = figure_1_file("strategies");
+    for strategy in ["auto", "hierarchical", "brute", "permutations"] {
+        let out = stdout_of(&cqshap(&[
+            "shapley",
+            db.path(),
+            Q1,
+            "--fact",
+            "Reg(Caroline, DB)",
+            "--strategy",
+            strategy,
+        ]));
+        assert!(out.contains("13/42"), "strategy {strategy}: {out}");
+    }
+}
+
+#[test]
+fn bad_inputs_fail_with_nonzero_exit() {
+    let out = cqshap(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+
+    let db = figure_1_file("bad");
+    let out = cqshap(&["shapley", db.path(), "not a query"]);
+    assert!(!out.status.success());
+
+    let out = cqshap(&["shapley", "/nonexistent/file.db", Q1]);
+    assert!(!out.status.success());
+}

@@ -151,8 +151,7 @@ fn sampler_tracks_exact_values() {
     let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
     let report = shapley_report(&db, &q1, &ShapleyOptions::default()).unwrap();
     for entry in &report.entries {
-        let approx =
-            shapley_sampled(&db, AnyQuery::Cq(&q1), entry.fact, 30_000, 2024, 0).unwrap();
+        let approx = shapley_sampled(&db, AnyQuery::Cq(&q1), entry.fact, 30_000, 2024, 0).unwrap();
         let exact = entry.value.to_f64();
         assert!(
             (approx.estimate - exact).abs() < 0.025,

@@ -29,7 +29,10 @@ fn example_2_3_values_by_all_strategies() {
         Strategy::BruteForceSubsets,
         Strategy::BruteForcePermutations,
     ] {
-        let opts = ShapleyOptions { strategy, ..Default::default() };
+        let opts = ShapleyOptions {
+            strategy,
+            ..Default::default()
+        };
         for (rel, args, want) in &expected {
             let refs: Vec<&str> = args.to_vec();
             let f = db.find_fact(rel, &refs).unwrap();
@@ -55,18 +58,29 @@ fn example_2_3_efficiency() {
 #[test]
 fn section_4_tractability_flip() {
     let q2 = parse_cq("q2() :- Stud(x), !TA(x), Reg(x, y), !Course(y, 'CS')").unwrap();
-    assert!(matches!(classify(&q2), ExactComplexity::FpSharpPComplete { .. }));
-    let exo: HashSet<String> =
-        ["Stud", "Course"].iter().map(|s| s.to_string()).collect();
-    assert_eq!(classify_with_exo(&q2, &exo), ExactComplexity::TractableViaExoShap);
+    assert!(matches!(
+        classify(&q2),
+        ExactComplexity::FpSharpPComplete { .. }
+    ));
+    let exo: HashSet<String> = ["Stud", "Course"].iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        classify_with_exo(&q2, &exo),
+        ExactComplexity::TractableViaExoShap
+    );
 
     let mut db = cqshap::workloads::figure_1_database();
     for name in ["Stud", "Course", "Adv"] {
         let rel = db.schema().id(name).unwrap();
         db.declare_exogenous_relation(rel).unwrap();
     }
-    let exo_opts = ShapleyOptions { strategy: Strategy::ExoShap, ..Default::default() };
-    let bf_opts = ShapleyOptions { strategy: Strategy::BruteForceSubsets, ..Default::default() };
+    let exo_opts = ShapleyOptions {
+        strategy: Strategy::ExoShap,
+        ..Default::default()
+    };
+    let bf_opts = ShapleyOptions {
+        strategy: Strategy::BruteForceSubsets,
+        ..Default::default()
+    };
     for &f in db.endo_facts() {
         assert_eq!(
             shapley_value(&db, &q2, f, &exo_opts).unwrap(),
@@ -87,9 +101,14 @@ fn example_4_2_path_criterion() {
         ExactComplexity::FpSharpPComplete { .. }
     ));
     let qp = cqshap::workloads::queries::example_4_2_qprime();
-    let xp: HashSet<String> =
-        ["R", "S", "O", "P", "V"].iter().map(|s| s.to_string()).collect();
-    assert_eq!(classify_with_exo(&qp, &xp), ExactComplexity::TractableViaExoShap);
+    let xp: HashSet<String> = ["R", "S", "O", "P", "V"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(
+        classify_with_exo(&qp, &xp),
+        ExactComplexity::TractableViaExoShap
+    );
 }
 
 /// Section 4.1's twin queries differ only in one variable, yet land on
@@ -99,7 +118,10 @@ fn section_4_1_twin_queries() {
     let x: HashSet<String> = ["S", "P"].iter().map(|s| s.to_string()).collect();
     let q = cqshap::workloads::queries::section_4_1_tractable();
     let qp = cqshap::workloads::queries::section_4_1_hard();
-    assert_eq!(classify_with_exo(&q, &x), ExactComplexity::TractableViaExoShap);
+    assert_eq!(
+        classify_with_exo(&q, &x),
+        ExactComplexity::TractableViaExoShap
+    );
     assert!(matches!(
         classify_with_exo(&qp, &x),
         ExactComplexity::FpSharpPComplete { .. }
@@ -152,15 +174,29 @@ fn theorem_b5_self_join_catalog() {
         classify(&queries::non_citizen_couple()),
         ExactComplexity::SelfJoinHard { .. }
     ));
-    assert!(matches!(classify(&queries::example_5_3()), ExactComplexity::OpenSelfJoins));
+    assert!(matches!(
+        classify(&queries::example_5_3()),
+        ExactComplexity::OpenSelfJoins
+    ));
 }
 
 /// The four basic hard queries stay hard; q1 alone is tractable.
 #[test]
 fn basic_query_classification() {
     use cqshap::workloads::queries;
-    assert_eq!(classify(&queries::q1()), ExactComplexity::TractableHierarchical);
-    for q in [queries::qrst(), queries::qnrsnt(), queries::qrnst(), queries::qrsnt()] {
-        assert!(matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }), "{q}");
+    assert_eq!(
+        classify(&queries::q1()),
+        ExactComplexity::TractableHierarchical
+    );
+    for q in [
+        queries::qrst(),
+        queries::qnrsnt(),
+        queries::qrnst(),
+        queries::qrsnt(),
+    ] {
+        assert!(
+            matches!(classify(&q), ExactComplexity::FpSharpPComplete { .. }),
+            "{q}"
+        );
     }
 }

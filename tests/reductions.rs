@@ -28,7 +28,10 @@ fn prop_5_5_relevance_and_zeroness() {
         let (db, f) = prop55::build_relevance_instance(&formula).unwrap();
         let (pos, neg) = brute_force_relevance(&db, AnyQuery::Cq(&q), f, 24).unwrap();
         assert_eq!(pos, formula.is_satisfiable(), "seed {seed}: {formula}");
-        assert!(!neg, "T occurs only positively; f cannot be negatively relevant");
+        assert!(
+            !neg,
+            "T occurs only positively; f cannot be negatively relevant"
+        );
         // Corollary 5.6: Shapley zeroness coincides (T is polarity
         // consistent even though the query is not).
         let v = shapley_via_counts(&db, AnyQuery::Cq(&q), f, &BruteForceCounter::new()).unwrap();
@@ -58,7 +61,10 @@ fn prop_5_8_union_relevance() {
             .map(|mask| {
                 Clause(
                     (0..3)
-                        .map(|i| Literal { var: i, positive: mask & (1 << i) != 0 })
+                        .map(|i| Literal {
+                            var: i,
+                            positive: mask & (1 << i) != 0,
+                        })
                         .collect(),
                 )
             })
@@ -120,8 +126,7 @@ fn lemma_b4_embedding_preserves_shapley() {
 #[test]
 fn appendix_c_path_embedding() {
     let q = cqshap::workloads::queries::section_4_1_hard();
-    let exo: std::collections::HashSet<String> =
-        ["S", "P"].iter().map(|s| s.to_string()).collect();
+    let exo: std::collections::HashSet<String> = ["S", "P"].iter().map(|s| s.to_string()).collect();
     let mut base = Database::new();
     base.add_relation("S", 2).unwrap();
     base.add_endo("R", &["a0"]).unwrap();

@@ -1,0 +1,146 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use crate::Strategy;
+
+/// Runner configuration; the only knob the workspace uses is `cases`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Abort after this many rejected candidates (filter misses plus
+    /// `prop_assume!` failures), mirroring proptest's global reject cap.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The input did not meet a `prop_assume!` precondition; the runner
+    /// retries with a fresh input.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// SplitMix64 — deterministic by construction; every test run sees the
+/// same input sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x5DEECE66D_u64,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives `config.cases` passing cases of `test` over values drawn from
+/// `strategy`, panicking on the first failure.
+pub fn run_cases<S, F>(config: &ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    fn reject(config: &ProptestConfig, rejected: &mut u32, passed: u32, why: &str) {
+        *rejected += 1;
+        if *rejected > config.max_global_rejects {
+            panic!(
+                "proptest stub: too many rejected inputs ({rejected} rejects, {passed} passes); last: {why}"
+            );
+        }
+    }
+
+    let mut rng = TestRng::deterministic();
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let Some(value) = strategy.generate(&mut rng) else {
+            reject(config, &mut rejected, passed, "strategy filter");
+            continue;
+        };
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => reject(config, &mut rejected, passed, &why),
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed (after {passed} passing cases): {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        assert_eq!(
+            (0..10).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..10).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn runner_counts_passes() {
+        let mut n = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run_cases(&ProptestConfig::with_cases(10), 0u64..100, |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        n += counter.get();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_panics_on_failure() {
+        run_cases(&ProptestConfig::with_cases(10), 0u64..100, |v| {
+            if v < 1000 {
+                Err(TestCaseError::fail("boom"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}
