@@ -5,7 +5,8 @@
 use std::time::Duration;
 
 use cqshap_core::{
-    shapley_report, shapley_via_counts, AnyQuery, BruteForceCounter, ShapleyOptions,
+    shapley_report, shapley_report_per_fact, shapley_via_counts, AnyQuery, BruteForceCounter,
+    ShapleyOptions,
 };
 use cqshap_workloads::queries;
 use cqshap_workloads::university::UniversityConfig;
@@ -56,6 +57,26 @@ fn bench_brute_force_wall(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched compile-once engine vs the seed per-fact path on the
+/// deterministic report workload — the `bench-report` harness emits the
+/// same comparison as JSON for CI.
+fn bench_batched_vs_per_fact(c: &mut Criterion) {
+    let q1 = queries::q1();
+    let mut group = c.benchmark_group("exact/report_engine");
+    for m in [64usize, 256] {
+        let db = cqshap_workloads::report_benchmark_db(m);
+        group.bench_with_input(BenchmarkId::new("batched", m), &db, |b, db| {
+            b.iter(|| shapley_report(db, &q1, &ShapleyOptions::default()).unwrap())
+        });
+        if m <= 64 {
+            group.bench_with_input(BenchmarkId::new("per_fact", m), &db, |b, db| {
+                b.iter(|| shapley_report_per_fact(db, &q1, &ShapleyOptions::default()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -66,6 +87,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_hierarchical_scaling, bench_brute_force_wall
+    targets = bench_hierarchical_scaling, bench_brute_force_wall, bench_batched_vs_per_fact
 }
 criterion_main!(benches);

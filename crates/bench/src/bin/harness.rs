@@ -5,6 +5,16 @@
 //! cargo run -p cqshap-bench --release --bin harness            # all
 //! cargo run -p cqshap-bench --release --bin harness -- e5 e6   # subset
 //! ```
+//!
+//! The `bench-report` subcommand instead times the batched all-facts
+//! Shapley report against the seed per-fact path on generated
+//! hierarchical workloads (`m ∈ {64, 256, 1024}` endogenous facts) and
+//! writes criterion-style medians to `BENCH_report.json`, so CI tracks
+//! the perf trajectory of the hot path:
+//!
+//! ```sh
+//! cargo run -p cqshap-bench --release --bin harness -- bench-report [--quick] [--out FILE]
+//! ```
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -17,8 +27,8 @@ use cqshap_core::relevance::{
     brute_force_relevance, is_negatively_relevant, is_positively_relevant,
 };
 use cqshap_core::{
-    rewrite, shapley_by_permutations, shapley_report, shapley_value, shapley_via_counts, AnyQuery,
-    BruteForceCounter, ShapleyOptions, Strategy,
+    rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_value,
+    shapley_via_counts, AnyQuery, BruteForceCounter, ShapleyOptions, Strategy,
 };
 use cqshap_db::{Database, World};
 use cqshap_gadgets::coloring::{coloring_to_3p2n, to_224};
@@ -33,6 +43,10 @@ use cqshap_workloads::{figure_1_database, formulas, graphs, queries};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-report") {
+        bench_report(&args[1..]);
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
     let experiments: &[(&str, &str, fn())] = &[
@@ -115,6 +129,116 @@ fn opts() -> ShapleyOptions {
 
 fn ms(d: std::time::Duration) -> String {
     format!("{:.3} ms", d.as_secs_f64() * 1e3)
+}
+
+// ---------------------------------------------------------------------
+// bench-report: the all-facts report perf tracker
+// ---------------------------------------------------------------------
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn time_ms(mut run: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    run();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Times the batched [`shapley_report`] against the seed per-fact path
+/// ([`shapley_report_per_fact`]) on the deterministic university
+/// workload at `m ∈ {64, 256, 1024}` endogenous facts, and writes the
+/// medians as JSON. `--quick` lowers the sample count and skips the
+/// (slow) per-fact baseline at `m = 1024`; `--out FILE` overrides the
+/// default `BENCH_report.json`.
+fn bench_report(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_report.json".to_string());
+    let samples = if quick { 3 } else { 5 };
+    let q1 = queries::q1();
+    let options = opts();
+
+    // Correctness guard before timing anything: the batched engine must
+    // be bit-identical to the seed path.
+    {
+        let db = cqshap_workloads::report_benchmark_db(64);
+        let batched = shapley_report(&db, &q1, &options).expect("hierarchical");
+        let per_fact = shapley_report_per_fact(&db, &q1, &options).expect("hierarchical");
+        assert!(batched.efficiency_holds(), "efficiency axiom violated");
+        for (a, b) in batched.entries.iter().zip(&per_fact.entries) {
+            assert_eq!(a.value, b.value, "batched vs per-fact at {}", a.rendered);
+        }
+    }
+
+    let mut rows = Vec::new();
+    for &m in &[64usize, 256, 1024] {
+        let db = cqshap_workloads::report_benchmark_db(m);
+        assert_eq!(db.endo_count(), m);
+        let batched = median(
+            (0..samples)
+                .map(|_| {
+                    time_ms(|| {
+                        let r = shapley_report(&db, &q1, &options).expect("hierarchical");
+                        assert!(r.efficiency_holds());
+                    })
+                })
+                .collect(),
+        );
+        // The seed path at m = 1024 costs minutes of CPU; quick mode
+        // (CI) skips it, full mode measures a single sample.
+        let per_fact = if quick && m >= 1024 {
+            None
+        } else {
+            let n = if m >= 1024 { 1 } else { samples };
+            Some(median(
+                (0..n)
+                    .map(|_| {
+                        time_ms(|| {
+                            let r =
+                                shapley_report_per_fact(&db, &q1, &options).expect("hierarchical");
+                            assert!(r.efficiency_holds());
+                        })
+                    })
+                    .collect(),
+            ))
+        };
+        let speedup = per_fact.map(|p| p / batched);
+        eprintln!(
+            "m = {m:>5}: batched {batched:>10.3} ms | per-fact {} | speedup {}",
+            per_fact.map_or("skipped".to_string(), |p| format!("{p:.3} ms")),
+            speedup.map_or("—".to_string(), |s| format!("{s:.1}×")),
+        );
+        rows.push((m, batched, per_fact, speedup));
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(m, batched, per_fact, speedup)| {
+            format!(
+                "    {{\"m\": {m}, \"batched_median_ms\": {batched:.3}, \
+                 \"per_fact_median_ms\": {}, \"speedup\": {}}}",
+                per_fact.map_or("null".to_string(), |p| format!("{p:.3}")),
+                speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"cqshap-bench-report/v1\",\n  \"query\": \"{}\",\n  \
+         \"workload\": \"report_benchmark_db\",\n  \"mode\": \"{}\",\n  \
+         \"samples\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        q1,
+        if quick { "quick" } else { "full" },
+        samples,
+        json_rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("wrote {out_path}");
 }
 
 // ---------------------------------------------------------------------

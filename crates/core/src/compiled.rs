@@ -1,0 +1,702 @@
+//! The batched all-facts Shapley engine: compile-once `CntSat` with
+//! incremental per-fact recounting.
+//!
+//! [`crate::shapley::shapley_via_counts`] answers one fact by running
+//! the full hierarchical DP twice; an all-facts report over `m`
+//! endogenous facts therefore repeats atom resolution, relation
+//! scoping, and the convolution of every *unchanged* root group `2m`
+//! times. [`CompiledCount`] does that shared work **once per
+//! `(db, query)`** and then answers each fact from the pieces that
+//! actually change:
+//!
+//! 1. **Compile** — resolve the query's atoms, build per-relation
+//!    scopes, split into connected components, and group each
+//!    component's facts by their root value (the structure of Lemma
+//!    3.2's recursion, materialized).
+//! 2. **Cache** — every component's satisfying-count polynomial and
+//!    every root group's unsatisfying-count polynomial, plus
+//!    *leave-one-out environments* (prefix/suffix convolutions of all
+//!    the other groups' polynomials, combined divide-and-conquer) and
+//!    their correlations with the Shapley weight numerators
+//!    `k!·(m−1−k)!`.
+//! 3. **Recount** — for fact `f`, recompute only `f`'s root group under
+//!    the two [`FactMask`] views (`f` removed, `f` exogenized; no
+//!    database clones), and contract the short difference vector
+//!    against the cached weight environment. Facts outside every scope
+//!    ("free") and facts whose root value lacks positive support
+//!    ("junk") are answered as exact zeros without any recounting.
+//!
+//! The per-fact cost drops from `O(m)` full-database DP work (plus two
+//! database clones) to amortized `O(|group|)` — the recount touches one
+//! root group and a dot product of its length.
+//!
+//! The resulting values are *bit-identical* to the per-fact oracle: the
+//! weighted sums are accumulated as exact integers over the common
+//! denominator `m!` and normalized once.
+
+use std::collections::HashMap;
+
+use cqshap_db::{Database, FactId, FactMask};
+use cqshap_numeric::{BigInt, BigRational, BigUint, FactorialTable};
+use cqshap_query::ConjunctiveQuery;
+
+use crate::error::CoreError;
+use crate::parallel::par_map;
+use crate::satcount::{
+    binom_vec, complement_counts, connected_components, convolve, find_root_var, rec,
+    resolve_query, root_candidates, root_group_scopes, scope_endo_count, MaskedDb, PAtom,
+    ResolvedQuery,
+};
+
+/// Where an endogenous fact lives in the compiled structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In a ground (variable-free) component.
+    Ground { comp: usize },
+    /// In the root group `group` of component `comp`.
+    Grouped { comp: usize, group: usize },
+    /// In component `comp`'s scopes, but with a root value that lacks
+    /// full positive support: a free "junk" choice, value exactly zero.
+    Junk { comp: usize },
+}
+
+/// One root-value group of a connected component: the sub-query with
+/// the root substituted, its fact scopes, and its cached polynomials.
+struct RootGroup {
+    /// Endogenous facts in the group.
+    endo: usize,
+    /// The component's atoms with the root variable substituted.
+    atoms: Vec<PAtom>,
+    /// Per-atom scopes restricted to this root value.
+    scopes: Vec<Vec<FactId>>,
+    /// Unsatisfying counts `[C(endo,j) − sat_j]` on the unmodified db.
+    unsat: Vec<BigUint>,
+    /// `W2[j] = Σ_t W_comp[j+t] · genv[t]` where `genv` is the product
+    /// of all *other* groups' `unsat` polynomials and the junk
+    /// binomial. Contracting the group's masked difference vector with
+    /// `W2` yields the Shapley numerator directly.
+    weight: Vec<BigUint>,
+}
+
+/// The shape of one connected component.
+enum CompKind {
+    /// Entirely ground: recounted wholesale (a single binomial).
+    Ground {
+        atoms: Vec<PAtom>,
+        scopes: Vec<Vec<FactId>>,
+    },
+    /// Connected with a root variable: one [`RootGroup`] per root value
+    /// with full positive support.
+    Rooted {
+        junk_endo: usize,
+        /// `⊛_g unsat_g` — shared by all junk-fact count queries.
+        unsat_all: Vec<BigUint>,
+        groups: Vec<RootGroup>,
+    },
+}
+
+/// A connected component of the query with its cached polynomials.
+struct Component {
+    /// Endogenous facts in the component's scopes.
+    endo: usize,
+    /// Satisfying counts on the unmodified database (length `endo+1`).
+    sat: Vec<BigUint>,
+    /// `⊛_{j≠i} sat_j ⊛ binom(free)` — everything outside the component.
+    env: Vec<BigUint>,
+    /// `W[j] = Σ_t w[j+t] · env[t]` with `w[k] = k!(m−1−k)!`.
+    weight: Vec<BigUint>,
+    kind: CompKind,
+}
+
+/// A `(db, query)` pair compiled for batched all-facts Shapley
+/// computation. Shared immutably across report worker threads.
+pub struct CompiledCount<'a> {
+    db: &'a Database,
+    m: usize,
+    table: FactorialTable,
+    /// `false` iff some positive atom can never match: all counts zero.
+    satisfiable: bool,
+    /// `[|Sat(D,q,k)|]` for the unmodified database (length `m+1`).
+    total: Vec<BigUint>,
+    /// Endogenous facts outside every atom scope.
+    free_endo: usize,
+    /// `⊛_i sat_i` over all components (without the free binomial).
+    all_sat: Vec<BigUint>,
+    components: Vec<Component>,
+    locs: HashMap<FactId, Loc>,
+    /// Per-component offset of its groups' bucket ids (see
+    /// [`CompiledCount::bucket_of`]).
+    group_bucket_base: Vec<usize>,
+    buckets: usize,
+}
+
+impl<'a> CompiledCount<'a> {
+    /// Compiles `q` against `db`.
+    ///
+    /// # Errors
+    /// The same structural errors as
+    /// [`crate::satcount::count_sat_hierarchical`]:
+    /// [`CoreError::NotSelfJoinFree`] / [`CoreError::NotHierarchical`].
+    pub fn compile(db: &'a Database, q: &ConjunctiveQuery) -> Result<Self, CoreError> {
+        let m = db.endo_count();
+        let table = FactorialTable::new(m);
+        let view = MaskedDb::new(db, FactMask::None);
+        let (atoms, scopes) = match resolve_query(db, q)? {
+            ResolvedQuery::Unsatisfiable => {
+                return Ok(CompiledCount {
+                    db,
+                    m,
+                    table,
+                    satisfiable: false,
+                    total: vec![BigUint::zero(); m + 1],
+                    free_endo: m,
+                    all_sat: vec![BigUint::one()],
+                    components: Vec::new(),
+                    locs: HashMap::new(),
+                    group_bucket_base: Vec::new(),
+                    buckets: 1,
+                });
+            }
+            ResolvedQuery::Atoms { atoms, scopes } => (atoms, scopes),
+        };
+
+        // The Shapley weight numerators w[k] = k!·(m−1−k)!.
+        let w: Vec<BigUint> = (0..m)
+            .map(|k| table.shapley_weight_numerator(m, k))
+            .collect();
+
+        let mut components: Vec<Component> = Vec::new();
+        let mut locs: HashMap<FactId, Loc> = HashMap::new();
+        for idxs in connected_components(&atoms) {
+            let ci = components.len();
+            let sub_atoms: Vec<PAtom> = idxs.iter().map(|&i| atoms[i].clone()).collect();
+            let sub_scopes: Vec<Vec<FactId>> = idxs.iter().map(|&i| scopes[i].clone()).collect();
+            let endo = scope_endo_count(view, &sub_scopes);
+            if sub_atoms.iter().all(|a| !a.has_vars()) {
+                let sat = rec(view, &sub_atoms, &sub_scopes)?;
+                for &f in sub_scopes.iter().flatten() {
+                    if view.is_endo(f) {
+                        locs.insert(f, Loc::Ground { comp: ci });
+                    }
+                }
+                components.push(Component {
+                    endo,
+                    sat,
+                    env: Vec::new(),
+                    weight: Vec::new(),
+                    kind: CompKind::Ground {
+                        atoms: sub_atoms,
+                        scopes: sub_scopes,
+                    },
+                });
+                continue;
+            }
+            let root = find_root_var(&sub_atoms).ok_or_else(|| {
+                CoreError::Unsupported(
+                    "no root variable in a connected sub-query: the query is not hierarchical"
+                        .into(),
+                )
+            })?;
+            let candidates = root_candidates(view, root, &sub_atoms, &sub_scopes)?;
+            let mut groups: Vec<RootGroup> = Vec::new();
+            let mut grouped_endo = 0usize;
+            for &c in &candidates {
+                let g_atoms: Vec<PAtom> = sub_atoms.iter().map(|a| a.substitute(root, c)).collect();
+                let g_scopes = root_group_scopes(view, root, c, &sub_atoms, &sub_scopes);
+                let g_endo = scope_endo_count(view, &g_scopes);
+                let sat_c = rec(view, &g_atoms, &g_scopes)?;
+                for &f in g_scopes.iter().flatten() {
+                    if view.is_endo(f) {
+                        locs.insert(
+                            f,
+                            Loc::Grouped {
+                                comp: ci,
+                                group: groups.len(),
+                            },
+                        );
+                    }
+                }
+                grouped_endo += g_endo;
+                groups.push(RootGroup {
+                    endo: g_endo,
+                    atoms: g_atoms,
+                    scopes: g_scopes,
+                    unsat: complement_counts(&sat_c, g_endo),
+                    weight: Vec::new(),
+                });
+            }
+            let junk_endo = endo - grouped_endo;
+            for &f in sub_scopes.iter().flatten() {
+                if view.is_endo(f) {
+                    locs.entry(f).or_insert(Loc::Junk { comp: ci });
+                }
+            }
+            let unsat_refs: Vec<&[BigUint]> = groups.iter().map(|g| g.unsat.as_slice()).collect();
+            let unsat_all = product(&unsat_refs);
+            let comp_unsat = convolve(&unsat_all, &binom_vec(junk_endo));
+            let sat = complement_counts(&comp_unsat, endo);
+            components.push(Component {
+                endo,
+                sat,
+                env: Vec::new(),
+                weight: Vec::new(),
+                kind: CompKind::Rooted {
+                    junk_endo,
+                    unsat_all,
+                    groups,
+                },
+            });
+        }
+
+        let free_endo = m - components.iter().map(|c| c.endo).sum::<usize>();
+        let sats: Vec<&[BigUint]> = components.iter().map(|c| c.sat.as_slice()).collect();
+        let all_sat = product(&sats);
+        let total = convolve(&all_sat, &binom_vec(free_endo));
+        debug_assert_eq!(total.len(), m + 1);
+
+        // Leave-one-out environments and their weight correlations.
+        let envs = leave_one_out(&sats, binom_vec(free_endo));
+        let comp_endos: Vec<usize> = components.iter().map(|c| c.endo).collect();
+        let comp_weights = par_map(components.len(), |i| correlate(&w, &envs[i], comp_endos[i]));
+        for ((comp, env), weight) in components.iter_mut().zip(envs).zip(comp_weights) {
+            comp.env = env;
+            comp.weight = weight;
+        }
+        for comp in &mut components {
+            if let CompKind::Rooted {
+                junk_endo, groups, ..
+            } = &mut comp.kind
+            {
+                let unsat_refs: Vec<&[BigUint]> =
+                    groups.iter().map(|g| g.unsat.as_slice()).collect();
+                let genv = leave_one_out(&unsat_refs, binom_vec(*junk_endo));
+                let group_endos: Vec<usize> = groups.iter().map(|g| g.endo).collect();
+                let weights = par_map(groups.len(), |g| {
+                    correlate(&comp.weight, &genv[g], group_endos[g])
+                });
+                for (group, weight) in groups.iter_mut().zip(weights) {
+                    group.weight = weight;
+                }
+            }
+        }
+
+        // Bucket layout: 0 = all zero-valued facts (free + junk), then
+        // one bucket per ground component, then one per root group.
+        let mut group_bucket_base = Vec::with_capacity(components.len());
+        let mut next = 1 + components.len();
+        for comp in &components {
+            group_bucket_base.push(next);
+            if let CompKind::Rooted { groups, .. } = &comp.kind {
+                next += groups.len();
+            }
+        }
+
+        Ok(CompiledCount {
+            db,
+            m,
+            table,
+            satisfiable: true,
+            total,
+            free_endo,
+            all_sat,
+            components,
+            locs,
+            group_bucket_base,
+            buckets: next,
+        })
+    }
+
+    /// `|Dn|` of the compiled database.
+    pub fn endo_count(&self) -> usize {
+        self.m
+    }
+
+    /// `[|Sat(D,q,k)|]_{k=0..m}` for the unmodified database — what
+    /// [`crate::satcount::count_sat_hierarchical`] computes.
+    pub fn total_counts(&self) -> &[BigUint] {
+        &self.total
+    }
+
+    /// Is `f`'s Shapley value known to be zero without any recounting?
+    /// (True for facts outside every atom scope and for junk facts.)
+    pub fn is_structurally_null(&self, f: FactId) -> bool {
+        !self.satisfiable || matches!(self.locs.get(&f), None | Some(Loc::Junk { .. }))
+    }
+
+    /// An opaque bucket id grouping facts that share recount state: all
+    /// structurally-null facts map to bucket 0, and every root group
+    /// (resp. ground component) gets its own bucket. Chunking a report's
+    /// fan-out by bucket keeps each group's work on one thread.
+    pub fn bucket_of(&self, f: FactId) -> usize {
+        if !self.satisfiable {
+            return 0;
+        }
+        match self.locs.get(&f) {
+            None | Some(Loc::Junk { .. }) => 0,
+            Some(&Loc::Ground { comp }) => 1 + comp,
+            Some(&Loc::Grouped { comp, group }) => self.group_bucket_base[comp] + group,
+        }
+    }
+
+    /// Total number of bucket ids (all in `0..buckets()`).
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// The exact Shapley value of `f`.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    pub fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
+        self.check_endogenous(f)?;
+        if self.is_structurally_null(f) {
+            return Ok(BigRational::zero());
+        }
+        let (weight, (sat_minus, sat_plus)) = match *self.locs.get(&f).expect("checked non-null") {
+            Loc::Ground { comp } => {
+                let c = &self.components[comp];
+                let CompKind::Ground { atoms, scopes } = &c.kind else {
+                    unreachable!("ground loc points at a ground component");
+                };
+                (&c.weight, self.masked_sat_pair(atoms, scopes, f)?)
+            }
+            Loc::Grouped { comp, group } => {
+                let CompKind::Rooted { groups, .. } = &self.components[comp].kind else {
+                    unreachable!("grouped loc points at a rooted component");
+                };
+                let g = &groups[group];
+                (&g.weight, self.masked_sat_pair(&g.atoms, &g.scopes, f)?)
+            }
+            Loc::Junk { .. } => unreachable!("junk is structurally null"),
+        };
+        debug_assert_eq!(sat_minus.len(), sat_plus.len());
+        debug_assert_eq!(weight.len(), sat_plus.len());
+        let mut num = BigInt::zero();
+        for ((p, mi), wj) in sat_plus.iter().zip(&sat_minus).zip(weight) {
+            let d = BigInt::signed_diff(p, mi);
+            if !d.is_zero() {
+                num += &(d * BigInt::from_biguint(wj.clone()));
+            }
+        }
+        Ok(BigRational::from_parts(
+            num,
+            self.table.factorial(self.m).clone(),
+        ))
+    }
+
+    /// The `(N_k, N⁺_k)` count vectors of the reduction for `f` — the
+    /// counts of `D ∖ {f}` and of `D` with `f` exogenized, each of
+    /// length `m`. Equals what the per-fact oracles compute on the
+    /// materialized modified databases; used for cross-checking.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    pub fn counts_pair(&self, f: FactId) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
+        self.check_endogenous(f)?;
+        if !self.satisfiable {
+            let zeros = vec![BigUint::zero(); self.m];
+            return Ok((zeros.clone(), zeros));
+        }
+        match self.locs.get(&f) {
+            None => {
+                let v = convolve(&self.all_sat, &binom_vec(self.free_endo - 1));
+                Ok((v.clone(), v))
+            }
+            Some(&Loc::Junk { comp }) => {
+                let c = &self.components[comp];
+                let CompKind::Rooted {
+                    junk_endo,
+                    unsat_all,
+                    ..
+                } = &c.kind
+                else {
+                    unreachable!("junk loc points at a rooted component");
+                };
+                let comp_unsat = convolve(unsat_all, &binom_vec(junk_endo - 1));
+                let comp_sat = complement_counts(&comp_unsat, c.endo - 1);
+                let v = convolve(&c.env, &comp_sat);
+                Ok((v.clone(), v))
+            }
+            Some(&Loc::Ground { comp }) => {
+                let c = &self.components[comp];
+                let CompKind::Ground { atoms, scopes } = &c.kind else {
+                    unreachable!();
+                };
+                let (sat_minus, sat_plus) = self.masked_sat_pair(atoms, scopes, f)?;
+                Ok((convolve(&c.env, &sat_minus), convolve(&c.env, &sat_plus)))
+            }
+            Some(&Loc::Grouped { comp, group }) => {
+                let c = &self.components[comp];
+                let CompKind::Rooted {
+                    junk_endo, groups, ..
+                } = &c.kind
+                else {
+                    unreachable!();
+                };
+                let g = &groups[group];
+                let (sat_minus, sat_plus) = self.masked_sat_pair(&g.atoms, &g.scopes, f)?;
+                // Recompute this group's leave-one-out environment (the
+                // cheap product form — this path is for cross-checks).
+                let mut genv = binom_vec(*junk_endo);
+                for (h, other) in groups.iter().enumerate() {
+                    if h != group {
+                        genv = convolve(&genv, &other.unsat);
+                    }
+                }
+                let pair = [sat_minus, sat_plus].map(|sat| {
+                    let unsat = complement_counts(&sat, g.endo - 1);
+                    let comp_unsat = convolve(&genv, &unsat);
+                    let comp_sat = complement_counts(&comp_unsat, c.endo - 1);
+                    convolve(&c.env, &comp_sat)
+                });
+                let [n_minus, n_plus] = pair;
+                Ok((n_minus, n_plus))
+            }
+        }
+    }
+
+    /// Runs the group/component recursion under the two per-fact masks:
+    /// returns `(sat with f removed, sat with f exogenized)`, both of
+    /// length `endo` (the group's endogenous count drops by one).
+    fn masked_sat_pair(
+        &self,
+        atoms: &[PAtom],
+        scopes: &[Vec<FactId>],
+        f: FactId,
+    ) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
+        let removed: Vec<Vec<FactId>> = scopes
+            .iter()
+            .map(|s| s.iter().copied().filter(|&x| x != f).collect())
+            .collect();
+        let sat_minus = rec(
+            MaskedDb::new(self.db, FactMask::Removed(f)),
+            atoms,
+            &removed,
+        )?;
+        let sat_plus = rec(
+            MaskedDb::new(self.db, FactMask::Exogenous(f)),
+            atoms,
+            scopes,
+        )?;
+        Ok((sat_minus, sat_plus))
+    }
+
+    fn check_endogenous(&self, f: FactId) -> Result<(), CoreError> {
+        if self.db.endo_index(f).is_none() {
+            return Err(CoreError::FactNotEndogenous {
+                fact: self.db.render_fact(f),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// `⊛` over all polynomials (the empty product is `[1]`).
+fn product(polys: &[&[BigUint]]) -> Vec<BigUint> {
+    let mut acc = vec![BigUint::one()];
+    for p in polys {
+        acc = convolve(&acc, p);
+    }
+    acc
+}
+
+/// For each `i`, `seed ⊛ ⊛_{j≠i} polys[j]`, computed divide-and-conquer
+/// in `O(L² log n)` total coefficient work (`L` = summed degree) —
+/// the prefix/suffix product tree without materializing `n` quadratic
+/// pairings.
+fn leave_one_out(polys: &[&[BigUint]], seed: Vec<BigUint>) -> Vec<Vec<BigUint>> {
+    let mut out = Vec::with_capacity(polys.len());
+    fill_leave_one_out(polys, seed, &mut out);
+    out
+}
+
+fn fill_leave_one_out(polys: &[&[BigUint]], acc: Vec<BigUint>, out: &mut Vec<Vec<BigUint>>) {
+    match polys {
+        [] => {}
+        [_] => out.push(acc),
+        _ => {
+            let (left, right) = polys.split_at(polys.len() / 2);
+            let left_product = product(left);
+            let right_product = product(right);
+            fill_leave_one_out(left, convolve(&acc, &right_product), out);
+            fill_leave_one_out(right, convolve(&acc, &left_product), out);
+        }
+    }
+}
+
+/// The weight correlation `out[j] = Σ_t weights[j+t] · env[t]` for
+/// `j = 0..out_len`. Contracting a difference vector against `out` is
+/// the same as convolving it with `env` first and weighting afterwards.
+fn correlate(weights: &[BigUint], env: &[BigUint], out_len: usize) -> Vec<BigUint> {
+    (0..out_len)
+        .map(|j| {
+            let mut acc = BigUint::zero();
+            for (t, e) in env.iter().enumerate() {
+                if !e.is_zero() {
+                    acc += &(&weights[j + t] * e);
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anyquery::AnyQuery;
+    use crate::satcount::{count_sat_hierarchical, HierarchicalCounter, SatCountOracle};
+    use crate::shapley::shapley_via_counts;
+    use cqshap_query::parse_cq;
+
+    fn university() -> Database {
+        Database::parse(
+            "exo Stud(Adam)\nexo Stud(Ben)\nexo Stud(Caroline)\nexo Stud(David)\n\
+             endo TA(Adam)\nendo TA(Ben)\nendo TA(David)\n\
+             exo Course(OS, EE)\nexo Course(IC, EE)\nexo Course(DB, CS)\nexo Course(AI, CS)\n\
+             endo Reg(Adam, OS)\nendo Reg(Adam, AI)\nendo Reg(Ben, OS)\n\
+             endo Reg(Caroline, DB)\nendo Reg(Caroline, IC)\n\
+             exo Adv(Michael, Adam)\nexo Adv(Michael, Ben)\nexo Adv(Naomi, Caroline)\n\
+             exo Adv(Michael, David)\n",
+        )
+        .unwrap()
+    }
+
+    /// Batched values and count pairs must be bit-identical to the
+    /// per-fact oracle on the materialized modified databases.
+    fn agrees_with_per_fact(db: &Database, q: &ConjunctiveQuery) {
+        let compiled = CompiledCount::compile(db, q).unwrap();
+        assert_eq!(
+            compiled.total_counts(),
+            &count_sat_hierarchical(db, q).unwrap()[..],
+            "total counts for {q}"
+        );
+        let oracle = HierarchicalCounter;
+        for &f in db.endo_facts() {
+            let want = shapley_via_counts(db, AnyQuery::Cq(q), f, &oracle).unwrap();
+            let got = compiled.value(f).unwrap();
+            assert_eq!(got, want, "{} for {q} on\n{db}", db.render_fact(f));
+            let (n_minus, n_plus) = compiled.counts_pair(f).unwrap();
+            let want_minus = oracle
+                .counts_masked(db, AnyQuery::Cq(q), FactMask::Removed(f))
+                .unwrap();
+            let want_plus = oracle
+                .counts_masked(db, AnyQuery::Cq(q), FactMask::Exogenous(f))
+                .unwrap();
+            assert_eq!(n_minus, want_minus, "{} N_k", db.render_fact(f));
+            assert_eq!(n_plus, want_plus, "{} N⁺_k", db.render_fact(f));
+        }
+    }
+
+    #[test]
+    fn example_2_3_batched() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let compiled = CompiledCount::compile(&db, &q1).unwrap();
+        let expect = [
+            ("TA", vec!["Adam"], "-3/28"),
+            ("TA", vec!["Ben"], "-2/35"),
+            ("TA", vec!["David"], "0"),
+            ("Reg", vec!["Adam", "OS"], "37/210"),
+            ("Reg", vec!["Adam", "AI"], "37/210"),
+            ("Reg", vec!["Ben", "OS"], "27/140"),
+            ("Reg", vec!["Caroline", "DB"], "13/42"),
+            ("Reg", vec!["Caroline", "IC"], "13/42"),
+        ];
+        for (rel, args, want) in expect {
+            let refs: Vec<&str> = args.to_vec();
+            let f = db.find_fact(rel, &refs).unwrap();
+            assert_eq!(compiled.value(f).unwrap().to_string(), want);
+        }
+    }
+
+    #[test]
+    fn agrees_across_query_shapes() {
+        let db = university();
+        for text in [
+            "q() :- Stud(x), !TA(x), Reg(x, y)",
+            "q() :- Reg(x, y)",
+            "q() :- Stud(x), !TA(x)",
+            "q() :- Stud(x), TA(x), Reg(x, y)",
+            "q() :- TA('Adam'), !Reg('Ben', 'OS')",
+            "q() :- TA(x), Course(y, 'CS')",
+            "q() :- Reg(x, 'OS'), !TA(x)",
+            "q() :- Stud(x), !TA(x), Reg(x, y), Adv(z, x)",
+            "q() :- !TA('Nobody')",
+            "q() :- Ghost(x)",
+            "q() :- !Ghost('x'), TA('Adam')",
+        ] {
+            agrees_with_per_fact(&db, &parse_cq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn structural_nulls() {
+        let db = university();
+        // TA(David) never joins a Reg fact: junk (no positive support
+        // for root value David in Reg) — exactly zero, no recount.
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let compiled = CompiledCount::compile(&db, &q1).unwrap();
+        let david = db.find_fact("TA", &["David"]).unwrap();
+        assert!(compiled.is_structurally_null(david));
+        assert_eq!(compiled.bucket_of(david), 0);
+        let adam = db.find_fact("TA", &["Adam"]).unwrap();
+        assert!(!compiled.is_structurally_null(adam));
+        // Facts outside every scope are free.
+        let q_ta = parse_cq("q() :- TA(x)").unwrap();
+        let c2 = CompiledCount::compile(&db, &q_ta).unwrap();
+        let reg = db.find_fact("Reg", &["Adam", "OS"]).unwrap();
+        assert!(c2.is_structurally_null(reg));
+        assert_eq!(c2.value(reg).unwrap(), BigRational::zero());
+    }
+
+    #[test]
+    fn buckets_partition_by_group() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let compiled = CompiledCount::compile(&db, &q1).unwrap();
+        // Same student → same root group → same bucket.
+        let f1 = db.find_fact("Reg", &["Adam", "OS"]).unwrap();
+        let f2 = db.find_fact("Reg", &["Adam", "AI"]).unwrap();
+        let f3 = db.find_fact("TA", &["Adam"]).unwrap();
+        assert_eq!(compiled.bucket_of(f1), compiled.bucket_of(f2));
+        assert_eq!(compiled.bucket_of(f1), compiled.bucket_of(f3));
+        let g1 = db.find_fact("Reg", &["Caroline", "DB"]).unwrap();
+        assert_ne!(compiled.bucket_of(f1), compiled.bucket_of(g1));
+        assert!(compiled.bucket_of(g1) < compiled.buckets());
+    }
+
+    #[test]
+    fn non_endogenous_fact_rejected() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let compiled = CompiledCount::compile(&db, &q1).unwrap();
+        let stud = db.find_fact("Stud", &["Adam"]).unwrap();
+        assert!(matches!(
+            compiled.value(stud),
+            Err(CoreError::FactNotEndogenous { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_hierarchical() {
+        let db = university();
+        let q = parse_cq("q() :- Stud(x), Reg(x, y), Course(y, z)").unwrap();
+        assert!(matches!(
+            CompiledCount::compile(&db, &q),
+            Err(CoreError::NotHierarchical { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_variable_patterns_batched() {
+        let mut db = Database::new();
+        db.add_endo("E", &["a", "a"]).unwrap();
+        db.add_endo("E", &["a", "b"]).unwrap();
+        db.add_endo("E", &["b", "b"]).unwrap();
+        db.add_endo("R", &["a"]).unwrap();
+        for text in ["q() :- E(x, x)", "q() :- R(x), !E(x, x)"] {
+            agrees_with_per_fact(&db, &parse_cq(text).unwrap());
+        }
+    }
+}

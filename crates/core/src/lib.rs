@@ -29,20 +29,24 @@
 pub mod aggregates;
 pub mod anyquery;
 pub mod approx;
+pub mod compiled;
 pub mod error;
 pub mod exoshap;
 pub mod gap;
+pub(crate) mod parallel;
 pub mod relevance;
 pub mod satcount;
 pub mod shapley;
 
 pub use anyquery::AnyQuery;
+pub use compiled::CompiledCount;
 pub use error::CoreError;
 pub use exoshap::{rewrite, RewriteOutcome};
 pub use satcount::{
-    count_sat_hierarchical, BruteForceCounter, HierarchicalCounter, SatCountOracle,
+    count_sat_hierarchical, count_sat_hierarchical_masked, BruteForceCounter, HierarchicalCounter,
+    SatCountOracle,
 };
 pub use shapley::{
-    shapley_by_permutations, shapley_report, shapley_value, shapley_value_union,
-    shapley_via_counts, ShapleyEntry, ShapleyOptions, ShapleyReport, Strategy,
+    shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_value,
+    shapley_value_union, shapley_via_counts, ShapleyEntry, ShapleyOptions, ShapleyReport, Strategy,
 };

@@ -1,0 +1,47 @@
+//! The one scoped-thread fan-out used by the report paths and the
+//! compile-stage weight correlations.
+
+/// Maps `f` over `0..n` across worker threads (capped at 16 and the
+/// available parallelism), preserving order. Falls back to a plain
+/// sequential map for trivial sizes.
+pub(crate) fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1))
+        .min(16);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let f = &f;
+            let lo = t * chunk;
+            let hi = (lo + chunk).min(n);
+            handles.push(s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+        }
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_every_index() {
+        for n in [0usize, 1, 2, 17, 100] {
+            assert_eq!(
+                par_map(n, |i| i * 2),
+                (0..n).map(|i| i * 2).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -19,11 +19,16 @@
 //!    (facts with no satisfiable root value are free "junk" choices),
 //!    and satisfaction is obtained by complementing.
 //!
+//! Every entry point also accepts a [`FactMask`]: the counts of the
+//! Shapley reduction's modified databases (`D ∖ {f}`, `f` exogenized)
+//! are answered on a zero-copy view of the original database instead of
+//! a rebuilt clone — see [`SatCountOracle::counts_masked`].
+//!
 //! [`BruteForceCounter`] enumerates all `2^|Dn|` worlds and serves as the
 //! oracle for the provably `FP^{#P}`-hard queries (at small scale) and as
 //! the ground truth in tests.
 
-use cqshap_db::{ConstId, Database, FactId, World};
+use cqshap_db::{ConstId, Database, FactId, FactMask, World};
 use cqshap_numeric::{binomial, BigUint};
 use cqshap_query::{has_self_join, is_hierarchical, ConjunctiveQuery, Term};
 
@@ -38,6 +43,30 @@ use crate::error::CoreError;
 pub trait SatCountOracle: Sync {
     /// Computes `counts[k] = |Sat(D, q, k)|` for `k = 0 ..= |Dn|`.
     fn counts(&self, db: &Database, q: AnyQuery<'_>) -> Result<Vec<BigUint>, CoreError>;
+
+    /// Computes the counts of the database seen through `mask`.
+    ///
+    /// The default implementation materializes the modified copy and
+    /// calls [`SatCountOracle::counts`]; the built-in oracles override
+    /// it with clone-free implementations.
+    fn counts_masked(
+        &self,
+        db: &Database,
+        q: AnyQuery<'_>,
+        mask: FactMask,
+    ) -> Result<Vec<BigUint>, CoreError> {
+        match mask {
+            FactMask::None => self.counts(db, q),
+            FactMask::Removed(f) => {
+                let (modified, _) = db.without_fact(f)?;
+                self.counts(&modified, q)
+            }
+            FactMask::Exogenous(f) => {
+                let (modified, _) = db.with_fact_exogenous(f)?;
+                self.counts(&modified, q)
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -45,23 +74,23 @@ pub trait SatCountOracle: Sync {
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PTerm {
+pub(crate) enum PTerm {
     Var(u32),
     Const(ConstId),
 }
 
 #[derive(Debug, Clone)]
-struct PAtom {
-    negated: bool,
-    terms: Vec<PTerm>,
+pub(crate) struct PAtom {
+    pub(crate) negated: bool,
+    pub(crate) terms: Vec<PTerm>,
 }
 
 impl PAtom {
-    fn has_vars(&self) -> bool {
+    pub(crate) fn has_vars(&self) -> bool {
         self.terms.iter().any(|t| matches!(t, PTerm::Var(_)))
     }
 
-    fn vars(&self) -> Vec<u32> {
+    pub(crate) fn vars(&self) -> Vec<u32> {
         let mut out: Vec<u32> = self
             .terms
             .iter()
@@ -77,7 +106,7 @@ impl PAtom {
 
     /// Does `fact_tuple` match this pattern (constants agree, positions
     /// sharing one variable agree)?
-    fn matches(&self, values: &[ConstId]) -> bool {
+    pub(crate) fn matches(&self, values: &[ConstId]) -> bool {
         debug_assert_eq!(values.len(), self.terms.len());
         let mut bound: Vec<(u32, ConstId)> = Vec::new();
         for (t, &val) in self.terms.iter().zip(values) {
@@ -102,7 +131,7 @@ impl PAtom {
 
     /// The value a matching fact assigns to variable `v` (which must
     /// occur in this atom).
-    fn value_of(&self, v: u32, values: &[ConstId]) -> ConstId {
+    pub(crate) fn value_of(&self, v: u32, values: &[ConstId]) -> ConstId {
         for (t, &val) in self.terms.iter().zip(values) {
             if *t == PTerm::Var(v) {
                 return val;
@@ -111,7 +140,7 @@ impl PAtom {
         unreachable!("variable {v} does not occur in atom");
     }
 
-    fn substitute(&self, v: u32, c: ConstId) -> PAtom {
+    pub(crate) fn substitute(&self, v: u32, c: ConstId) -> PAtom {
         PAtom {
             negated: self.negated,
             terms: self
@@ -130,17 +159,131 @@ impl PAtom {
 }
 
 // ---------------------------------------------------------------------
+// Masked database view
+// ---------------------------------------------------------------------
+
+/// A database seen through a [`FactMask`] — the unit the recursion is
+/// generic over, so one implementation serves the unmodified counts and
+/// both per-fact modified instances.
+#[derive(Clone, Copy)]
+pub(crate) struct MaskedDb<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) mask: FactMask,
+}
+
+impl<'a> MaskedDb<'a> {
+    pub(crate) fn new(db: &'a Database, mask: FactMask) -> Self {
+        MaskedDb { db, mask }
+    }
+
+    pub(crate) fn is_endo(&self, f: FactId) -> bool {
+        self.mask.is_endogenous(self.db, f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query resolution against the database
+// ---------------------------------------------------------------------
+
+/// A hierarchical self-join-free query resolved against a database:
+/// patterns plus the per-atom scopes of matching facts (unmasked).
+pub(crate) enum ResolvedQuery {
+    /// A positive atom can never match (unknown relation or constant).
+    Unsatisfiable,
+    /// Patterns and their scopes. An empty atom list means every
+    /// negation was vacuous: the query is a tautology.
+    Atoms {
+        atoms: Vec<PAtom>,
+        scopes: Vec<Vec<FactId>>,
+    },
+}
+
+/// Resolves `q` against `db`, checking the structural preconditions of
+/// the hierarchical counter.
+///
+/// # Errors
+/// [`CoreError::NotSelfJoinFree`] / [`CoreError::NotHierarchical`] when
+/// the preconditions fail, [`CoreError::Unsupported`] on arity clashes.
+pub(crate) fn resolve_query(
+    db: &Database,
+    q: &ConjunctiveQuery,
+) -> Result<ResolvedQuery, CoreError> {
+    if has_self_join(q) {
+        return Err(CoreError::NotSelfJoinFree {
+            query: q.to_string(),
+        });
+    }
+    if !is_hierarchical(q) {
+        return Err(CoreError::NotHierarchical {
+            query: q.to_string(),
+        });
+    }
+    // A positive atom over an unknown relation or constant is
+    // unsatisfiable; a negative one can never fire and is dropped.
+    let mut atoms: Vec<PAtom> = Vec::new();
+    let mut scopes: Vec<Vec<FactId>> = Vec::new();
+    for atom in q.atoms() {
+        let rel = db.schema().id(&atom.relation);
+        let mut unknown_const = false;
+        let terms: Vec<PTerm> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => PTerm::Var(v.0),
+                Term::Const(name) => match db.interner().get(name) {
+                    Some(c) => PTerm::Const(c),
+                    None => {
+                        unknown_const = true;
+                        PTerm::Var(u32::MAX) // placeholder, never used
+                    }
+                },
+            })
+            .collect();
+        let missing = rel.is_none() || unknown_const;
+        if missing {
+            if atom.negated {
+                continue; // never fires
+            }
+            return Ok(ResolvedQuery::Unsatisfiable);
+        }
+        let rel = rel.expect("checked above");
+        if db.schema().arity(rel) != terms.len() {
+            return Err(CoreError::Unsupported(format!(
+                "atom {} disagrees with the arity of relation {}",
+                q.render_atom(atom),
+                atom.relation
+            )));
+        }
+        let p = PAtom {
+            negated: atom.negated,
+            terms,
+        };
+        // Scope: facts of the relation matching the pattern. Non-matching
+        // endogenous facts can never matter — they stay free.
+        let scope: Vec<FactId> = db
+            .relation_facts(rel)
+            .iter()
+            .copied()
+            .filter(|&fid| p.matches(db.fact(fid).tuple.values()))
+            .collect();
+        atoms.push(p);
+        scopes.push(scope);
+    }
+    Ok(ResolvedQuery::Atoms { atoms, scopes })
+}
+
+// ---------------------------------------------------------------------
 // Vector helpers
 // ---------------------------------------------------------------------
 
 /// `[C(n,0), …, C(n,n)]`.
-fn binom_vec(n: usize) -> Vec<BigUint> {
+pub(crate) fn binom_vec(n: usize) -> Vec<BigUint> {
     (0..=n).map(|k| binomial(n, k)).collect()
 }
 
 /// Convolution: `out[k] = Σ_i a[i]·b[k-i]` — composing counts over
 /// disjoint fact sets.
-fn convolve(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+pub(crate) fn convolve(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
     let mut out = vec![BigUint::zero(); a.len() + b.len() - 1];
     for (i, x) in a.iter().enumerate() {
         if x.is_zero() {
@@ -165,10 +308,19 @@ pub struct HierarchicalCounter;
 
 impl SatCountOracle for HierarchicalCounter {
     fn counts(&self, db: &Database, q: AnyQuery<'_>) -> Result<Vec<BigUint>, CoreError> {
+        self.counts_masked(db, q, FactMask::None)
+    }
+
+    fn counts_masked(
+        &self,
+        db: &Database,
+        q: AnyQuery<'_>,
+        mask: FactMask,
+    ) -> Result<Vec<BigUint>, CoreError> {
         let cq = q.as_cq().ok_or_else(|| {
             CoreError::Unsupported("the hierarchical counter handles single CQ¬s only".into())
         })?;
-        count_sat_hierarchical(db, cq)
+        count_sat_hierarchical_masked(db, cq, mask)
     }
 }
 
@@ -182,105 +334,69 @@ pub fn count_sat_hierarchical(
     db: &Database,
     q: &ConjunctiveQuery,
 ) -> Result<Vec<BigUint>, CoreError> {
-    if has_self_join(q) {
-        return Err(CoreError::NotSelfJoinFree {
-            query: q.to_string(),
-        });
-    }
-    if !is_hierarchical(q) {
-        return Err(CoreError::NotHierarchical {
-            query: q.to_string(),
-        });
-    }
-    let m = db.endo_count();
+    count_sat_hierarchical_masked(db, q, FactMask::None)
+}
 
-    // Resolve atoms against the database. A positive atom over an
-    // unknown relation or constant is unsatisfiable; a negative one can
-    // never fire and is dropped.
-    let mut atoms: Vec<PAtom> = Vec::new();
-    let mut scopes: Vec<Vec<FactId>> = Vec::new();
-    let mut free_endo = m;
-    for atom in q.atoms() {
-        let rel = db.schema().id(&atom.relation);
-        let mut unknown_const = false;
-        let terms: Vec<PTerm> = atom
-            .terms
-            .iter()
-            .map(|t| match t {
-                Term::Var(v) => PTerm::Var(v.0),
-                Term::Const(name) => match db.interner().get(name) {
-                    Some(c) => PTerm::Const(c),
-                    None => {
-                        unknown_const = true;
-                        PTerm::Var(u32::MAX) // placeholder, never used
-                    }
-                },
-            })
-            .collect();
-        let missing = rel.is_none() || unknown_const;
-        if missing {
-            if atom.negated {
-                continue; // never fires
-            }
-            return Ok(vec![BigUint::zero(); m + 1]); // unsatisfiable
+/// [`count_sat_hierarchical`] on the database seen through `mask` — the
+/// counts of `D ∖ {f}` or of `D` with `f` exogenized, without building
+/// either copy.
+pub fn count_sat_hierarchical_masked(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    mask: FactMask,
+) -> Result<Vec<BigUint>, CoreError> {
+    // Reject dangling ids up front, matching the error behavior of the
+    // materializing default impl and the brute-force oracle.
+    if let Some(f) = mask.target() {
+        if f.index() >= db.fact_count() {
+            return Err(CoreError::Db(cqshap_db::DbError::UnknownFact { id: f.0 }));
         }
-        let rel = rel.expect("checked above");
-        if db.schema().arity(rel) != terms.len() {
-            return Err(CoreError::Unsupported(format!(
-                "atom {} disagrees with the arity of relation {}",
-                q.render_atom(atom),
-                atom.relation
-            )));
-        }
-        let p = PAtom {
-            negated: atom.negated,
-            terms,
-        };
-        // Scope: facts of the relation matching the pattern. Non-matching
-        // endogenous facts can never matter — they stay free.
-        let mut scope = Vec::new();
-        let mut scope_endo = 0usize;
-        for &fid in db.relation_facts(rel) {
-            if p.matches(db.fact(fid).tuple.values()) {
-                if db.fact(fid).provenance.is_endogenous() {
-                    scope_endo += 1;
-                }
-                scope.push(fid);
-            }
-        }
-        free_endo = free_endo
-            .checked_sub(scope_endo)
-            .expect("scoped endogenous facts are disjoint across sjf atoms");
-        atoms.push(p);
-        scopes.push(scope);
     }
-
+    let view = MaskedDb::new(db, mask);
+    let m = mask.endo_count(db);
+    let (atoms, mut scopes) = match resolve_query(db, q)? {
+        ResolvedQuery::Unsatisfiable => return Ok(vec![BigUint::zero(); m + 1]),
+        ResolvedQuery::Atoms { atoms, scopes } => (atoms, scopes),
+    };
     if atoms.is_empty() {
         // Every atom was a dropped (vacuous) negation: q is a tautology.
         return Ok(binom_vec(m));
     }
-
-    let core = rec(db, &atoms, &scopes)?;
+    if let FactMask::Removed(f) = mask {
+        for scope in &mut scopes {
+            scope.retain(|&fid| fid != f);
+        }
+    }
+    let scoped_endo = scope_endo_count(view, &scopes);
+    let free_endo = m
+        .checked_sub(scoped_endo)
+        .expect("scoped endogenous facts are disjoint across sjf atoms");
+    let core = rec(view, &atoms, &scopes)?;
     Ok(convolve(&core, &binom_vec(free_endo)))
 }
 
-fn scope_endo_count(db: &Database, scopes: &[Vec<FactId>]) -> usize {
+pub(crate) fn scope_endo_count(view: MaskedDb<'_>, scopes: &[Vec<FactId>]) -> usize {
     scopes
         .iter()
         .flatten()
-        .filter(|&&f| db.fact(f).provenance.is_endogenous())
+        .filter(|&&f| view.is_endo(f))
         .count()
 }
 
 /// Recursive CntSat. Invariant: every fact in `scopes[i]` matches
-/// `atoms[i]`'s pattern; relations across atoms are distinct.
-fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<BigUint>, CoreError> {
+/// `atoms[i]`'s pattern, is admitted by the view's mask, and relations
+/// across atoms are distinct.
+pub(crate) fn rec(
+    view: MaskedDb<'_>,
+    atoms: &[PAtom],
+    scopes: &[Vec<FactId>],
+) -> Result<Vec<BigUint>, CoreError> {
     debug_assert_eq!(atoms.len(), scopes.len());
-    let total_endo = scope_endo_count(db, scopes);
+    let total_endo = scope_endo_count(view, scopes);
 
     // Case 1: fully ground.
     if atoms.iter().all(|a| !a.has_vars()) {
-        return Ok(base_case(db, atoms, scopes, total_endo));
+        return Ok(base_case(view, atoms, scopes, total_endo));
     }
 
     // Case 2: split into connected components (shared variables).
@@ -290,7 +406,7 @@ fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<Big
         for comp in components {
             let sub_atoms: Vec<PAtom> = comp.iter().map(|&i| atoms[i].clone()).collect();
             let sub_scopes: Vec<Vec<FactId>> = comp.iter().map(|&i| scopes[i].clone()).collect();
-            let sub = rec(db, &sub_atoms, &sub_scopes)?;
+            let sub = rec(view, &sub_atoms, &sub_scopes)?;
             acc = convolve(&acc, &sub);
         }
         debug_assert_eq!(acc.len(), total_endo + 1);
@@ -304,9 +420,48 @@ fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<Big
         )
     })?;
 
-    // Root values with *full positive support* are the candidates; all
-    // other facts are junk (they can never participate in a satisfying
-    // homomorphism of this sub-query).
+    let candidates = root_candidates(view, root, atoms, scopes)?;
+
+    let mut unsat = vec![BigUint::one()];
+    let mut grouped_endo = 0usize;
+    for &c in &candidates {
+        let sub_atoms: Vec<PAtom> = atoms.iter().map(|a| a.substitute(root, c)).collect();
+        let sub_scopes: Vec<Vec<FactId>> = root_group_scopes(view, root, c, atoms, scopes);
+        let group_endo = scope_endo_count(view, &sub_scopes);
+        grouped_endo += group_endo;
+        let sat_c = rec(view, &sub_atoms, &sub_scopes)?;
+        debug_assert_eq!(sat_c.len(), group_endo + 1);
+        let unsat_c = complement_counts(&sat_c, group_endo);
+        unsat = convolve(&unsat, &unsat_c);
+    }
+    let junk = total_endo - grouped_endo;
+    unsat = convolve(&unsat, &binom_vec(junk));
+    debug_assert_eq!(unsat.len(), total_endo + 1);
+    Ok(complement_counts(&unsat, total_endo))
+}
+
+/// `[C(n,k) - v[k]]_k` — flipping between satisfying and unsatisfying
+/// counts over `n` endogenous facts.
+pub(crate) fn complement_counts(v: &[BigUint], n: usize) -> Vec<BigUint> {
+    debug_assert_eq!(v.len(), n + 1);
+    (0..=n)
+        .map(|k| {
+            binomial(n, k)
+                .checked_sub(&v[k])
+                .expect("count bounded by C(n, k)")
+        })
+        .collect()
+}
+
+/// Root values with *full positive support*: the candidates of case 3.
+/// All other facts are junk (they can never participate in a satisfying
+/// homomorphism of this sub-query).
+pub(crate) fn root_candidates(
+    view: MaskedDb<'_>,
+    root: u32,
+    atoms: &[PAtom],
+    scopes: &[Vec<FactId>],
+) -> Result<Vec<ConstId>, CoreError> {
     let mut candidates: Option<Vec<ConstId>> = None;
     for (atom, scope) in atoms.iter().zip(scopes) {
         if atom.negated {
@@ -314,7 +469,7 @@ fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<Big
         }
         let mut vals: Vec<ConstId> = scope
             .iter()
-            .map(|&f| atom.value_of(root, db.fact(f).tuple.values()))
+            .map(|&f| atom.value_of(root, view.db.fact(f).tuple.values()))
             .collect();
         vals.sort_unstable();
         vals.dedup();
@@ -326,48 +481,29 @@ fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<Big
                 .collect(),
         });
     }
-    let candidates = candidates.ok_or_else(|| {
-        CoreError::Unsupported("connected sub-query with no positive atom".into())
-    })?;
+    candidates
+        .ok_or_else(|| CoreError::Unsupported("connected sub-query with no positive atom".into()))
+}
 
-    let mut unsat = vec![BigUint::one()];
-    let mut grouped_endo = 0usize;
-    for &c in &candidates {
-        let sub_atoms: Vec<PAtom> = atoms.iter().map(|a| a.substitute(root, c)).collect();
-        let sub_scopes: Vec<Vec<FactId>> = atoms
-            .iter()
-            .zip(scopes)
-            .map(|(atom, scope)| {
-                scope
-                    .iter()
-                    .copied()
-                    .filter(|&f| atom.value_of(root, db.fact(f).tuple.values()) == c)
-                    .collect()
-            })
-            .collect();
-        let group_endo = scope_endo_count(db, &sub_scopes);
-        grouped_endo += group_endo;
-        let sat_c = rec(db, &sub_atoms, &sub_scopes)?;
-        debug_assert_eq!(sat_c.len(), group_endo + 1);
-        let unsat_c: Vec<BigUint> = (0..=group_endo)
-            .map(|j| {
-                binomial(group_endo, j)
-                    .checked_sub(&sat_c[j])
-                    .expect("sat count bounded by C(n, j)")
-            })
-            .collect();
-        unsat = convolve(&unsat, &unsat_c);
-    }
-    let junk = total_endo - grouped_endo;
-    unsat = convolve(&unsat, &binom_vec(junk));
-    debug_assert_eq!(unsat.len(), total_endo + 1);
-    Ok((0..=total_endo)
-        .map(|k| {
-            binomial(total_endo, k)
-                .checked_sub(&unsat[k])
-                .expect("unsat count bounded by C(n, k)")
+/// The per-atom scopes of the root-value-`c` group.
+pub(crate) fn root_group_scopes(
+    view: MaskedDb<'_>,
+    root: u32,
+    c: ConstId,
+    atoms: &[PAtom],
+    scopes: &[Vec<FactId>],
+) -> Vec<Vec<FactId>> {
+    atoms
+        .iter()
+        .zip(scopes)
+        .map(|(atom, scope)| {
+            scope
+                .iter()
+                .copied()
+                .filter(|&f| atom.value_of(root, view.db.fact(f).tuple.values()) == c)
+                .collect()
         })
-        .collect())
+        .collect()
 }
 
 /// Ground base case (the Lemma 3.2 modification): the subset must
@@ -375,7 +511,7 @@ fn rec(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Result<Vec<Big
 /// negative-atom fact, and fail outright when a positive fact is absent
 /// or a negative fact is exogenous.
 fn base_case(
-    db: &Database,
+    view: MaskedDb<'_>,
     atoms: &[PAtom],
     scopes: &[Vec<FactId>],
     total_endo: usize,
@@ -388,13 +524,13 @@ fn base_case(
         match (atom.negated, scope.first()) {
             (false, None) => return zeros(),
             (false, Some(&f)) => {
-                if db.fact(f).provenance.is_endogenous() {
+                if view.is_endo(f) {
                     required += 1;
                 }
             }
             (true, None) => {}
             (true, Some(&f)) => {
-                if db.fact(f).provenance.is_endogenous() {
+                if view.is_endo(f) {
                     forbidden += 1;
                 } else {
                     return zeros();
@@ -415,7 +551,7 @@ fn base_case(
 }
 
 /// Connected components of atoms under the shares-a-variable relation.
-fn connected_components(atoms: &[PAtom]) -> Vec<Vec<usize>> {
+pub(crate) fn connected_components(atoms: &[PAtom]) -> Vec<Vec<usize>> {
     let n = atoms.len();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut Vec<usize>, a: usize) -> usize {
@@ -448,7 +584,7 @@ fn connected_components(atoms: &[PAtom]) -> Vec<Vec<usize>> {
 }
 
 /// A variable occurring in every atom, if any.
-fn find_root_var(atoms: &[PAtom]) -> Option<u32> {
+pub(crate) fn find_root_var(atoms: &[PAtom]) -> Option<u32> {
     let first = atoms.first()?.vars();
     first
         .into_iter()
@@ -463,7 +599,9 @@ fn find_root_var(atoms: &[PAtom]) -> Option<u32> {
 ///
 /// The ground-truth oracle for tests, and the only exact option for the
 /// queries the dichotomies classify as `FP^{#P}`-hard. Enumeration is
-/// parallelized across threads for larger universes.
+/// parallelized across threads for larger universes. Masked counts skip
+/// the masked fact's bit entirely, halving the world count on top of
+/// avoiding the database clone.
 #[derive(Debug, Clone, Copy)]
 pub struct BruteForceCounter {
     /// Maximum `|Dn|` accepted (default [`BruteForceCounter::DEFAULT_LIMIT`]).
@@ -480,26 +618,25 @@ impl BruteForceCounter {
             limit: Self::DEFAULT_LIMIT,
         }
     }
-}
 
-impl Default for BruteForceCounter {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl SatCountOracle for BruteForceCounter {
-    fn counts(&self, db: &Database, q: AnyQuery<'_>) -> Result<Vec<BigUint>, CoreError> {
-        let m = db.endo_count();
-        if m > self.limit {
+    /// Enumerates worlds whose bit at `forced_pos` (if any) is pinned to
+    /// `forced_value`, tallying by the count of the *other* bits.
+    fn enumerate(
+        &self,
+        db: &Database,
+        q: AnyQuery<'_>,
+        bits: usize,
+        forced: Option<(usize, bool)>,
+    ) -> Result<Vec<BigUint>, CoreError> {
+        if bits > self.limit {
             return Err(CoreError::TooManyEndogenousFacts {
-                count: m,
+                count: bits,
                 limit: self.limit,
             });
         }
         let compiled = q.compile(db);
-        let total: u64 = 1u64 << m;
-        let threads = if m >= 18 {
+        let total: u64 = 1u64 << bits;
+        let threads = if bits >= 18 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1)
@@ -507,21 +644,32 @@ impl SatCountOracle for BruteForceCounter {
         } else {
             1
         };
+        let expand = |e: u64| -> u64 {
+            match forced {
+                None => e,
+                Some((pos, value)) => {
+                    let low = e & ((1u64 << pos) - 1);
+                    let high = (e >> pos) << (pos + 1);
+                    low | high | ((value as u64) << pos)
+                }
+            }
+        };
         let chunk = total.div_ceil(threads as u64);
         let mut per_thread: Vec<Vec<u64>> = Vec::new();
         std::thread::scope(|s| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let compiled = &compiled;
+                let expand = &expand;
                 let lo = t as u64 * chunk;
                 let hi = (lo + chunk).min(total);
                 handles.push(s.spawn(move || {
-                    let mut counts = vec![0u64; m + 1];
+                    let mut counts = vec![0u64; bits + 1];
                     let mut world = World::empty(db);
-                    for mask in lo..hi {
-                        world.assign_mask(mask);
+                    for e in lo..hi {
+                        world.assign_mask(expand(e));
                         if compiled.satisfied(db, &world) {
-                            counts[mask.count_ones() as usize] += 1;
+                            counts[e.count_ones() as usize] += 1;
                         }
                     }
                     counts
@@ -532,13 +680,55 @@ impl SatCountOracle for BruteForceCounter {
                 .map(|h| h.join().expect("worker panicked"))
                 .collect();
         });
-        let mut out = vec![BigUint::zero(); m + 1];
+        let mut out = vec![BigUint::zero(); bits + 1];
         for counts in per_thread {
             for (k, c) in counts.into_iter().enumerate() {
                 out[k] += &BigUint::from_u64(c);
             }
         }
         Ok(out)
+    }
+}
+
+impl Default for BruteForceCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatCountOracle for BruteForceCounter {
+    fn counts(&self, db: &Database, q: AnyQuery<'_>) -> Result<Vec<BigUint>, CoreError> {
+        self.enumerate(db, q, db.endo_count(), None)
+    }
+
+    fn counts_masked(
+        &self,
+        db: &Database,
+        q: AnyQuery<'_>,
+        mask: FactMask,
+    ) -> Result<Vec<BigUint>, CoreError> {
+        match mask {
+            FactMask::None => self.counts(db, q),
+            FactMask::Removed(f) => match db.endo_index(f) {
+                Some(pos) => self.enumerate(db, q, db.endo_count() - 1, Some((pos, false))),
+                // An absent *exogenous* fact cannot be expressed as a
+                // world bit — fall back to the materialized copy (which
+                // also validates the id), matching the default impl.
+                None => {
+                    let (modified, _) = db.without_fact(f)?;
+                    self.counts(&modified, q)
+                }
+            },
+            FactMask::Exogenous(f) => match db.endo_index(f) {
+                Some(pos) => self.enumerate(db, q, db.endo_count() - 1, Some((pos, true))),
+                // Already exogenous: the identity view (the rebuild
+                // validates the id and changes nothing).
+                None => {
+                    let (modified, _) = db.with_fact_exogenous(f)?;
+                    self.counts(&modified, q)
+                }
+            },
+        }
     }
 }
 
@@ -553,6 +743,28 @@ mod tests {
             .counts(db, AnyQuery::Cq(q))
             .unwrap();
         assert_eq!(fast, slow, "query {q} on\n{db}");
+    }
+
+    /// The masked counts must equal the counts of the materialized
+    /// modified database, for both oracles and both masks.
+    fn masked_counts_match(db: &Database, q: &ConjunctiveQuery) {
+        let hier = HierarchicalCounter;
+        let brute = BruteForceCounter::new();
+        for &f in db.endo_facts() {
+            let (minus, _) = db.without_fact(f).unwrap();
+            let (plus, _) = db.with_fact_exogenous(f).unwrap();
+            for (mask, materialized) in [
+                (FactMask::Removed(f), &minus),
+                (FactMask::Exogenous(f), &plus),
+            ] {
+                let want = count_sat_hierarchical(materialized, q).unwrap();
+                let got = hier.counts_masked(db, AnyQuery::Cq(q), mask).unwrap();
+                assert_eq!(got, want, "hierarchical {mask:?} on {}", db.render_fact(f));
+                let want_bf = brute.counts(materialized, AnyQuery::Cq(q)).unwrap();
+                let got_bf = brute.counts_masked(db, AnyQuery::Cq(q), mask).unwrap();
+                assert_eq!(got_bf, want_bf, "brute {mask:?} on {}", db.render_fact(f));
+            }
+        }
     }
 
     fn university() -> Database {
@@ -579,6 +791,66 @@ mod tests {
         assert_eq!(v.len(), 9);
         assert_eq!(v[8], BigUint::one());
         assert_eq!(v[0], BigUint::zero());
+    }
+
+    #[test]
+    fn masked_counts_equal_materialized_copies() {
+        let db = university();
+        for text in [
+            "q() :- Stud(x), !TA(x), Reg(x, y)",
+            "q() :- Reg(x, y)",
+            "q() :- Stud(x), !TA(x)",
+            "q() :- TA('Adam'), !Reg('Ben', 'OS')",
+            "q() :- TA(x), Course(y, 'CS')",
+        ] {
+            masked_counts_match(&db, &parse_cq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn masks_of_exogenous_facts_agree_with_materialized_copies() {
+        let db = university();
+        let q = parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let stud = db.find_fact("Stud", &["Adam"]).unwrap();
+        let oracles: [&dyn SatCountOracle; 2] = [&HierarchicalCounter, &BruteForceCounter::new()];
+        for oracle in oracles {
+            let (minus, _) = db.without_fact(stud).unwrap();
+            let want_removed = oracle.counts(&minus, AnyQuery::Cq(&q)).unwrap();
+            let got_removed = oracle
+                .counts_masked(&db, AnyQuery::Cq(&q), FactMask::Removed(stud))
+                .unwrap();
+            assert_eq!(got_removed, want_removed);
+            // Exogenizing an already-exogenous fact is the identity.
+            let want_exo = oracle.counts(&db, AnyQuery::Cq(&q)).unwrap();
+            let got_exo = oracle
+                .counts_masked(&db, AnyQuery::Cq(&q), FactMask::Exogenous(stud))
+                .unwrap();
+            assert_eq!(got_exo, want_exo);
+        }
+    }
+
+    #[test]
+    fn dangling_mask_target_is_rejected_by_every_oracle() {
+        let db = university();
+        let q = parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let bogus = cqshap_db::FactId(u32::MAX);
+        let oracles: [&dyn SatCountOracle; 2] = [&HierarchicalCounter, &BruteForceCounter::new()];
+        for oracle in oracles {
+            for mask in [FactMask::Removed(bogus), FactMask::Exogenous(bogus)] {
+                assert!(matches!(
+                    oracle.counts_masked(&db, AnyQuery::Cq(&q), mask),
+                    Err(CoreError::Db(cqshap_db::DbError::UnknownFact { .. }))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn masked_counts_on_vacuous_and_unsatisfiable_queries() {
+        let db = university();
+        masked_counts_match(&db, &parse_cq("q() :- !Ghost('x'), TA('Adam')").unwrap());
+        masked_counts_match(&db, &parse_cq("q() :- Ghost('x')").unwrap());
+        masked_counts_match(&db, &parse_cq("q() :- !TA('Nobody')").unwrap());
     }
 
     #[test]
@@ -646,6 +918,7 @@ mod tests {
         db.add_endo("R", &["a"]).unwrap();
         for text in ["q() :- E(x, x)", "q() :- R(x), !E(x, x)"] {
             counts_match(&db, &parse_cq(text).unwrap());
+            masked_counts_match(&db, &parse_cq(text).unwrap());
         }
     }
 
@@ -676,6 +949,11 @@ mod tests {
             small.counts(&db, AnyQuery::Cq(&q)),
             Err(CoreError::TooManyEndogenousFacts { count: 5, limit: 4 })
         ));
+        // The masked instances drop to 4 endogenous facts and fit.
+        let f = db.endo_facts()[0];
+        assert!(small
+            .counts_masked(&db, AnyQuery::Cq(&q), FactMask::Removed(f))
+            .is_ok());
         // counts for q() :- R(x): all nonempty subsets satisfy.
         let ok = BruteForceCounter::new()
             .counts(&db, AnyQuery::Cq(&q))

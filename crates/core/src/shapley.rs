@@ -17,13 +17,16 @@
 //! The reduction is due to Livshits et al.; the paper observes it makes
 //! no monotonicity assumption, which is exactly what negation needs.
 
-use cqshap_db::{Database, FactId, World};
+use std::collections::HashMap;
+
+use cqshap_db::{Database, FactId, FactMask, World};
 use cqshap_numeric::{BigInt, BigRational, FactorialTable};
 use cqshap_query::{
     classify_with_exo, has_self_join, ConjunctiveQuery, ExactComplexity, UnionQuery,
 };
 
 use crate::anyquery::AnyQuery;
+use crate::compiled::CompiledCount;
 use crate::error::CoreError;
 use crate::exoshap;
 use crate::satcount::{BruteForceCounter, HierarchicalCounter, SatCountOracle};
@@ -73,6 +76,11 @@ impl Default for ShapleyOptions {
 
 /// Computes `Shapley(D, q, f)` through a `|Sat|` oracle.
 ///
+/// The two modified databases of the reduction are presented to the
+/// oracle as [`FactMask`] views (no clones), and the weighted sum is
+/// accumulated as an exact integer over the common denominator `m!`
+/// with a single final normalization.
+///
 /// # Errors
 /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`, plus anything the
 /// oracle raises.
@@ -88,22 +96,19 @@ pub fn shapley_via_counts(
         });
     }
     let m = db.endo_count();
-    let (db_minus, _) = db.without_fact(f)?;
-    let (db_plus, _) = db.with_fact_exogenous(f)?;
-    let n_minus = oracle.counts(&db_minus, q)?;
-    let n_plus = oracle.counts(&db_plus, q)?;
+    let n_minus = oracle.counts_masked(db, q, FactMask::Removed(f))?;
+    let n_plus = oracle.counts_masked(db, q, FactMask::Exogenous(f))?;
     debug_assert_eq!(n_minus.len(), m);
     debug_assert_eq!(n_plus.len(), m);
     let table = FactorialTable::new(m);
-    let mut acc = BigRational::zero();
+    let mut num = BigInt::zero();
     for k in 0..m {
-        let diff =
-            BigInt::from_biguint(n_plus[k].clone()) - BigInt::from_biguint(n_minus[k].clone());
+        let diff = BigInt::signed_diff(&n_plus[k], &n_minus[k]);
         if !diff.is_zero() {
-            acc += &(table.shapley_weight(m, k) * BigRational::from_int(diff));
+            num += &(diff * BigInt::from_biguint(table.shapley_weight_numerator(m, k)));
         }
     }
-    Ok(acc)
+    Ok(BigRational::from_parts(num, table.factorial(m).clone()))
 }
 
 /// Computes `Shapley(D, q, f)` by enumerating all `|Dn|!` permutations —
@@ -292,112 +297,266 @@ pub struct ShapleyReport {
     /// `q(D) − q(Dx)`, which the total must equal (the efficiency axiom
     /// of the Shapley value; Example 2.3 notes the sum is 1 there).
     pub expected_total: BigRational,
+    /// `FactId → entries` index, built once so [`ShapleyReport::entry`]
+    /// is O(1) instead of a linear scan per lookup.
+    index: HashMap<FactId, usize>,
 }
 
 impl ShapleyReport {
+    /// Builds a report from its entries, computing the value total and
+    /// the fact-lookup index.
+    pub fn new(entries: Vec<ShapleyEntry>, expected_total: BigRational) -> Self {
+        let mut total = BigRational::zero();
+        let mut index = HashMap::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            total += &e.value;
+            index.insert(e.fact, i);
+        }
+        ShapleyReport {
+            entries,
+            total,
+            expected_total,
+            index,
+        }
+    }
+
     /// Does the efficiency axiom hold exactly?
     pub fn efficiency_holds(&self) -> bool {
         self.total == self.expected_total
     }
 
-    /// The entry for `f`, if endogenous.
+    /// The entry for `f`, if endogenous. O(1) through the index; if a
+    /// caller reordered the public `entries` vector (the index cannot
+    /// observe that), the lookup verifies the hit and falls back to a
+    /// scan rather than return the wrong fact's entry.
     pub fn entry(&self, f: FactId) -> Option<&ShapleyEntry> {
-        self.entries.iter().find(|e| e.fact == f)
+        match self.index.get(&f) {
+            Some(&i) if self.entries.get(i).is_some_and(|e| e.fact == f) => Some(&self.entries[i]),
+            _ => self.entries.iter().find(|e| e.fact == f),
+        }
     }
+}
+
+/// Resolves the strategy and performs the (shared) `ExoShap` rewriting.
+fn prepare_report(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: &ShapleyOptions,
+) -> Result<(Resolved, Option<exoshap::RewriteOutcome>), CoreError> {
+    let resolved = resolve_strategy(db, q, options)?;
+    let rewritten = match resolved {
+        Resolved::ExoShap => Some(exoshap::rewrite(db, q, options.tuple_budget)?),
+        _ => None,
+    };
+    Ok((resolved, rewritten))
+}
+
+/// All-zero report (the `always_false` rewriting outcome).
+fn zero_report(db: &Database) -> ShapleyReport {
+    let entries = db
+        .endo_facts()
+        .iter()
+        .map(|&f| ShapleyEntry {
+            fact: f,
+            rendered: db.render_fact(f),
+            value: BigRational::zero(),
+        })
+        .collect();
+    ShapleyReport::new(entries, BigRational::zero())
+}
+
+/// `q(D) − q(Dx)` — what the value total must equal by efficiency.
+fn efficiency_target(db: &Database, q: &ConjunctiveQuery) -> BigRational {
+    let full = cqshap_engine::satisfies(db, &World::full(db), q) as i64;
+    let empty = cqshap_engine::satisfies(db, &World::empty(db), q) as i64;
+    BigRational::from(full - empty)
+}
+
+fn assemble_report(
+    db: &Database,
+    values: Vec<BigRational>,
+    expected_total: BigRational,
+) -> ShapleyReport {
+    let entries = db
+        .endo_facts()
+        .iter()
+        .zip(values)
+        .map(|(&f, value)| ShapleyEntry {
+            fact: f,
+            rendered: db.render_fact(f),
+            value,
+        })
+        .collect();
+    ShapleyReport::new(entries, expected_total)
+}
+
+/// Computes all values through the batched [`CompiledCount`] engine:
+/// compile once, then fan the per-fact recounts out across threads
+/// **chunked by root group**, so every thread works against the shared
+/// compiled state and a group's recount locality stays on one core.
+fn batched_values(
+    eff_db: &Database,
+    eff_q: &ConjunctiveQuery,
+    facts: &[FactId],
+) -> Result<Vec<BigRational>, CoreError> {
+    let compiled = CompiledCount::compile(eff_db, eff_q)?;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); compiled.buckets()];
+    for (i, &f) in facts.iter().enumerate() {
+        buckets[compiled.bucket_of(f)].push(i);
+    }
+    buckets.retain(|b| !b.is_empty());
+    let lanes = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(buckets.len().max(1))
+        .min(16);
+    // Largest-first greedy assignment of whole buckets to worker lanes.
+    buckets.sort_by_key(|b| std::cmp::Reverse(b.len()));
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+    let mut loads = vec![0usize; lanes];
+    for bucket in buckets {
+        let t = (0..lanes).min_by_key(|&t| loads[t]).expect("lanes >= 1");
+        loads[t] += bucket.len();
+        assignments[t].extend(bucket);
+    }
+    let compiled = &compiled;
+    let computed = crate::parallel::par_map(assignments.len(), |t| {
+        assignments[t]
+            .iter()
+            .map(|&i| compiled.value(facts[i]).map(|v| (i, v)))
+            .collect::<Result<Vec<_>, _>>()
+    });
+    let mut values: Vec<Option<BigRational>> = vec![None; facts.len()];
+    for part in computed {
+        for (i, v) in part? {
+            values[i] = Some(v);
+        }
+    }
+    Ok(values
+        .into_iter()
+        .map(|v| v.expect("every fact assigned to exactly one bucket"))
+        .collect())
 }
 
 /// Computes the Shapley value of *every* endogenous fact of `db`.
 ///
-/// The `ExoShap` rewriting, when applicable, is performed once and
-/// shared across facts.
+/// The hierarchical strategies (including the shared-once `ExoShap`
+/// rewriting) run through the batched [`CompiledCount`] engine —
+/// compile-once, amortized `O(|group|)` per fact, no database clones.
+/// Brute-force strategies fall back to independent per-fact runs.
 pub fn shapley_report(
     db: &Database,
     q: &ConjunctiveQuery,
     options: &ShapleyOptions,
 ) -> Result<ShapleyReport, CoreError> {
-    let resolved = resolve_strategy(db, q, options)?;
-    // Share the rewriting across facts.
-    let rewritten;
-    let (eff_db, eff_q): (&Database, &ConjunctiveQuery) = match resolved {
-        Resolved::ExoShap => {
-            rewritten = exoshap::rewrite(db, q, options.tuple_budget)?;
-            if rewritten.always_false {
-                let entries: Vec<ShapleyEntry> = db
-                    .endo_facts()
-                    .iter()
-                    .map(|&f| ShapleyEntry {
-                        fact: f,
-                        rendered: db.render_fact(f),
-                        value: BigRational::zero(),
-                    })
-                    .collect();
-                return Ok(ShapleyReport {
-                    entries,
-                    total: BigRational::zero(),
-                    expected_total: BigRational::zero(),
-                });
-            }
-            (&rewritten.db, &rewritten.query)
-        }
-        _ => (db, q),
+    let (resolved, rewritten) = prepare_report(db, q, options)?;
+    let (eff_db, eff_q): (&Database, &ConjunctiveQuery) = match &rewritten {
+        Some(rw) if rw.always_false => return Ok(zero_report(db)),
+        Some(rw) => (&rw.db, &rw.query),
+        None => (db, q),
     };
+    let facts = db.endo_facts();
+    let values = match resolved {
+        Resolved::Hierarchical | Resolved::ExoShap => batched_values(eff_db, eff_q, facts)?,
+        Resolved::BruteForce | Resolved::Permutations => {
+            per_fact_values(eff_db, eff_q, facts, resolved, options, false)?
+        }
+    };
+    Ok(assemble_report(
+        db,
+        values,
+        efficiency_target(eff_db, eff_q),
+    ))
+}
+
+/// The seed per-fact reference path of [`shapley_report`]: every fact
+/// pays two materialized database copies and two from-scratch oracle
+/// runs. Kept as the cross-check and benchmark baseline for the
+/// batched engine — `cqshap-bench`'s `bench-report` measures the
+/// speedup of [`shapley_report`] over this.
+pub fn shapley_report_per_fact(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    options: &ShapleyOptions,
+) -> Result<ShapleyReport, CoreError> {
+    let (resolved, rewritten) = prepare_report(db, q, options)?;
+    let (eff_db, eff_q): (&Database, &ConjunctiveQuery) = match &rewritten {
+        Some(rw) if rw.always_false => return Ok(zero_report(db)),
+        Some(rw) => (&rw.db, &rw.query),
+        None => (db, q),
+    };
+    let facts = db.endo_facts();
+    let values = per_fact_values(eff_db, eff_q, facts, resolved, options, true)?;
+    Ok(assemble_report(
+        db,
+        values,
+        efficiency_target(eff_db, eff_q),
+    ))
+}
+
+/// Fans independent per-fact computations out across threads, chunked
+/// by raw fact index. With `materialize` set, each fact's modified
+/// databases are rebuilt as real copies (the seed behavior); otherwise
+/// the oracle sees [`FactMask`] views.
+fn per_fact_values(
+    eff_db: &Database,
+    eff_q: &ConjunctiveQuery,
+    facts: &[FactId],
+    resolved: Resolved,
+    options: &ShapleyOptions,
+    materialize: bool,
+) -> Result<Vec<BigRational>, CoreError> {
     let oracle: Box<dyn SatCountOracle> = match resolved {
         Resolved::Hierarchical | Resolved::ExoShap => Box::new(HierarchicalCounter),
         Resolved::BruteForce | Resolved::Permutations => Box::new(BruteForceCounter {
             limit: options.brute_force_limit,
         }),
     };
-    // Per-fact computations are independent: fan them out across threads.
-    let facts = db.endo_facts();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(facts.len().max(1))
-        .min(16);
     let oracle_ref: &dyn SatCountOracle = oracle.as_ref();
-    let mut values: Vec<Result<BigRational, CoreError>> = Vec::new();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for chunk in facts.chunks(facts.len().div_ceil(threads).max(1)) {
-            handles.push(s.spawn(move || {
-                chunk
-                    .iter()
-                    .map(|&f| match resolved {
-                        Resolved::Permutations => shapley_by_permutations(
-                            eff_db,
-                            AnyQuery::Cq(eff_q),
-                            f,
-                            options.permutation_limit,
-                        ),
-                        _ => shapley_via_counts(eff_db, AnyQuery::Cq(eff_q), f, oracle_ref),
-                    })
-                    .collect::<Vec<_>>()
-            }));
+    crate::parallel::par_map(facts.len(), |i| {
+        let f = facts[i];
+        match resolved {
+            Resolved::Permutations => {
+                shapley_by_permutations(eff_db, AnyQuery::Cq(eff_q), f, options.permutation_limit)
+            }
+            _ if materialize => shapley_via_materialized_counts(eff_db, eff_q, f, oracle_ref),
+            _ => shapley_via_counts(eff_db, AnyQuery::Cq(eff_q), f, oracle_ref),
         }
-        for h in handles {
-            values.extend(h.join().expect("report worker panicked"));
-        }
-    });
-    let mut entries = Vec::with_capacity(facts.len());
-    let mut total = BigRational::zero();
-    for (&f, value) in facts.iter().zip(values) {
-        let value = value?;
-        total += &value;
-        entries.push(ShapleyEntry {
-            fact: f,
-            rendered: db.render_fact(f),
-            value,
+    })
+    .into_iter()
+    .collect()
+}
+
+/// The seed single-fact computation: materialized modified databases
+/// plus a term-by-term rational accumulation. Only
+/// [`shapley_report_per_fact`] uses this; it exists to keep the
+/// benchmark baseline honest.
+fn shapley_via_materialized_counts(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    f: FactId,
+    oracle: &dyn SatCountOracle,
+) -> Result<BigRational, CoreError> {
+    if db.endo_index(f).is_none() {
+        return Err(CoreError::FactNotEndogenous {
+            fact: db.render_fact(f),
         });
     }
-    // Efficiency: Σ Shapley = q(D) − q(Dx).
-    let full = cqshap_engine::satisfies(eff_db, &World::full(eff_db), eff_q) as i64;
-    let empty = cqshap_engine::satisfies(eff_db, &World::empty(eff_db), eff_q) as i64;
-    let expected_total = BigRational::from(full - empty);
-    Ok(ShapleyReport {
-        entries,
-        total,
-        expected_total,
-    })
+    let m = db.endo_count();
+    let (db_minus, _) = db.without_fact(f)?;
+    let (db_plus, _) = db.with_fact_exogenous(f)?;
+    let n_minus = oracle.counts(&db_minus, AnyQuery::Cq(q))?;
+    let n_plus = oracle.counts(&db_plus, AnyQuery::Cq(q))?;
+    let table = FactorialTable::new(m);
+    let mut acc = BigRational::zero();
+    for k in 0..m {
+        let diff =
+            BigInt::from_biguint(n_plus[k].clone()) - BigInt::from_biguint(n_minus[k].clone());
+        if !diff.is_zero() {
+            acc += &(table.shapley_weight(m, k) * BigRational::from_int(diff));
+        }
+    }
+    Ok(acc)
 }
 
 #[cfg(test)]

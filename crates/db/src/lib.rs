@@ -15,6 +15,9 @@
 //!   exogenous-relation declarations, membership indexes, and
 //!   modified-copy helpers used by the Shapley reduction;
 //! * [`World`] / [`BitSet`] — subsets `E ⊆ Dn` as compact bitsets;
+//! * [`FactMask`] — zero-copy single-fact modified views (`D ∖ {f}`,
+//!   `f` exogenized) that replace per-fact database clones in the
+//!   Shapley reduction;
 //! * [`complement`] — active-domain complement materialization (used by
 //!   the `ExoShap` rewriting and several hardness proofs);
 //! * a line-oriented text format for databases (`Database::parse`).
@@ -25,6 +28,7 @@ pub mod database;
 pub mod error;
 pub mod fact;
 pub mod interner;
+pub mod mask;
 pub mod parser;
 pub mod schema;
 pub mod world;
@@ -34,5 +38,6 @@ pub use database::Database;
 pub use error::DbError;
 pub use fact::{Fact, FactId, Provenance, Tuple};
 pub use interner::{ConstId, Interner};
+pub use mask::FactMask;
 pub use schema::{RelId, RelationDef, Schema};
 pub use world::World;

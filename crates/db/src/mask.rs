@@ -1,0 +1,116 @@
+//! Fact masks: zero-copy single-fact modifications of a database.
+//!
+//! The `|Sat|`-based Shapley reduction evaluates every endogenous fact
+//! `f` against two modified databases — `D` with `f` removed and `D`
+//! with `f` made exogenous. Materializing those copies
+//! ([`Database::without_fact`] / [`Database::with_fact_exogenous`])
+//! costs a full rebuild of the fact table and its indexes *per fact*;
+//! a [`FactMask`] instead reinterprets the original database through a
+//! view, so the counting algorithms can answer both modified instances
+//! without cloning anything.
+
+use crate::database::Database;
+use crate::fact::FactId;
+
+/// A single-fact reinterpretation of a database.
+///
+/// The mask never changes which tuples exist in relations from the
+/// query evaluator's point of view *except* for [`FactMask::Removed`],
+/// which hides one fact entirely; [`FactMask::Exogenous`] keeps the
+/// fact present but moves it from `Dn` to `Dx`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FactMask {
+    /// The identity view: the database as stored.
+    #[default]
+    None,
+    /// The view of `D ∖ {f}`.
+    Removed(FactId),
+    /// The view in which `f` is exogenous (always present, not a player).
+    Exogenous(FactId),
+}
+
+impl FactMask {
+    /// The masked fact, if any.
+    pub fn target(&self) -> Option<FactId> {
+        match self {
+            FactMask::None => None,
+            FactMask::Removed(f) | FactMask::Exogenous(f) => Some(*f),
+        }
+    }
+
+    /// Is `f` present in the masked database?
+    pub fn admits(&self, f: FactId) -> bool {
+        !matches!(self, FactMask::Removed(t) if *t == f)
+    }
+
+    /// Is `f` endogenous under the mask? (Removed or exogenized facts
+    /// are not; everything else follows the stored provenance.)
+    pub fn is_endogenous(&self, db: &Database, f: FactId) -> bool {
+        if self.target() == Some(f) {
+            return false;
+        }
+        db.fact(f).provenance.is_endogenous()
+    }
+
+    /// `|Dn|` of the masked database.
+    pub fn endo_count(&self, db: &Database) -> usize {
+        let m = db.endo_count();
+        match self.target() {
+            Some(f) if db.endo_index(f).is_some() => m - 1,
+            _ => m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_exo("S", &["a"]).unwrap();
+        db.add_endo("R", &["a"]).unwrap();
+        db.add_endo("R", &["b"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn identity_mask() {
+        let d = db();
+        let m = FactMask::None;
+        assert_eq!(m.target(), None);
+        assert_eq!(m.endo_count(&d), 2);
+        for f in d.fact_ids() {
+            assert!(m.admits(f));
+            assert_eq!(m.is_endogenous(&d, f), d.fact(f).provenance.is_endogenous());
+        }
+    }
+
+    #[test]
+    fn removed_and_exogenous_masks() {
+        let d = db();
+        let ra = d.find_fact("R", &["a"]).unwrap();
+        let rb = d.find_fact("R", &["b"]).unwrap();
+
+        let rm = FactMask::Removed(ra);
+        assert!(!rm.admits(ra));
+        assert!(rm.admits(rb));
+        assert!(!rm.is_endogenous(&d, ra));
+        assert!(rm.is_endogenous(&d, rb));
+        assert_eq!(rm.endo_count(&d), 1);
+
+        let ex = FactMask::Exogenous(ra);
+        assert!(ex.admits(ra));
+        assert!(!ex.is_endogenous(&d, ra));
+        assert!(ex.is_endogenous(&d, rb));
+        assert_eq!(ex.endo_count(&d), 1);
+    }
+
+    #[test]
+    fn masking_an_exogenous_fact_keeps_the_count() {
+        let d = db();
+        let s = d.find_fact("S", &["a"]).unwrap();
+        assert_eq!(FactMask::Removed(s).endo_count(&d), 2);
+        assert_eq!(FactMask::Exogenous(s).endo_count(&d), 2);
+    }
+}

@@ -195,6 +195,21 @@ impl BigInt {
         }
     }
 
+    /// The signed difference `a - b` of two unsigned values, computed
+    /// by reference — neither operand is cloned, only the (smaller)
+    /// result magnitude is allocated.
+    pub fn signed_diff(a: &BigUint, b: &BigUint) -> BigInt {
+        match a.cmp(b) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => {
+                BigInt::from_sign_magnitude(Sign::Plus, a.checked_sub(b).expect("a > b"))
+            }
+            Ordering::Less => {
+                BigInt::from_sign_magnitude(Sign::Minus, b.checked_sub(a).expect("b > a"))
+            }
+        }
+    }
+
     /// Truncated division: `(q, r)` with `self = q·d + r`, `|r| < |d|`,
     /// and `r` having the sign of `self` (or zero).
     ///
@@ -297,6 +312,30 @@ macro_rules! forward_int_binop {
 forward_int_binop!(Add, add, |a, b| a.add_ref(b));
 forward_int_binop!(Sub, sub, |a, b| a.add_ref(&-b));
 forward_int_binop!(Mul, mul, |a, b| a.mul_ref(b));
+
+/// `&BigInt + &BigUint` without converting (or cloning) the unsigned side.
+impl Add<&BigUint> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigUint) -> BigInt {
+        match self.sign {
+            Sign::Zero => BigInt::from_biguint(rhs.clone()),
+            Sign::Plus => BigInt::from_sign_magnitude(Sign::Plus, &self.magnitude + rhs),
+            Sign::Minus => BigInt::signed_diff(rhs, &self.magnitude),
+        }
+    }
+}
+
+/// `&BigInt - &BigUint` without converting (or cloning) the unsigned side.
+impl Sub<&BigUint> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigUint) -> BigInt {
+        match self.sign {
+            Sign::Zero => -BigInt::from_biguint(rhs.clone()),
+            Sign::Minus => BigInt::from_sign_magnitude(Sign::Minus, &self.magnitude + rhs),
+            Sign::Plus => BigInt::signed_diff(&self.magnitude, rhs),
+        }
+    }
+}
 
 impl AddAssign<&BigInt> for BigInt {
     fn add_assign(&mut self, rhs: &BigInt) {
@@ -406,6 +445,34 @@ mod tests {
         assert_eq!("+42".parse::<BigInt>().unwrap(), int(42));
         assert_eq!("-0".parse::<BigInt>().unwrap(), int(0));
         assert!("--1".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn signed_diff_matches_subtraction() {
+        for a in [0u64, 1, 5, 1000] {
+            for b in [0u64, 1, 7, 999] {
+                assert_eq!(
+                    BigInt::signed_diff(&BigUint::from_u64(a), &BigUint::from_u64(b)),
+                    int(a as i64 - b as i64),
+                    "{a} - {b}"
+                );
+            }
+        }
+        let big = BigUint::from_u128(1u128 << 100);
+        assert_eq!(BigInt::signed_diff(&big, &big), BigInt::zero());
+    }
+
+    #[test]
+    fn mixed_biguint_ops() {
+        let u = BigUint::from_u64(10);
+        assert_eq!(&int(3) + &u, int(13));
+        assert_eq!(&int(-3) + &u, int(7));
+        assert_eq!(&int(-30) + &u, int(-20));
+        assert_eq!(&int(0) + &u, int(10));
+        assert_eq!(&int(3) - &u, int(-7));
+        assert_eq!(&int(-3) - &u, int(-13));
+        assert_eq!(&int(30) - &u, int(20));
+        assert_eq!(&int(0) - &u, int(-10));
     }
 
     #[test]

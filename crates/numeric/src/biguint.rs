@@ -1,56 +1,169 @@
-//! Arbitrary-precision unsigned integers.
+//! Arbitrary-precision unsigned integers with an inline small-value
+//! representation.
 //!
-//! Little-endian `u64` limbs, kept normalized (no trailing zero limbs, so
-//! zero is the empty limb vector). Multiplication is schoolbook via `u128`
-//! partial products; division is shift–subtract over limbs; GCD is Stein's
-//! binary algorithm. All of these are `O(bits · limbs)` or better, which is
-//! plenty for the few-thousand-bit magnitudes produced by the Shapley
-//! computations in this workspace.
+//! Values that fit in a `u128` are stored inline ([`Repr::Small`]) with
+//! no heap allocation; only values of three or more 64-bit limbs spill
+//! into a little-endian limb vector ([`Repr::Large`], kept normalized:
+//! at least three limbs, the last nonzero). The counting pipeline spends
+//! almost all of its time on single-word magnitudes — binomials, small
+//! group counts, convolution partial sums — so the inline path turns the
+//! hot add/mul/sub operations into plain `u128` arithmetic and removes
+//! an allocation per intermediate value.
+//!
+//! Large-value arithmetic is unchanged from the classic limb algorithms:
+//! schoolbook multiplication via `u128` partial products, shift–subtract
+//! division, Stein's binary GCD. Every constructor normalizes, so the
+//! representation is canonical and the derived `Eq`/`Hash` are sound.
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
 use std::str::FromStr;
 
+/// The canonical representation: `Small` iff the value fits in `u128`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Any value `< 2^128`, stored inline.
+    Small(u128),
+    /// Little-endian limbs; invariant: `len >= 3` and the last limb is
+    /// nonzero (so the value needs more than 128 bits).
+    Large(Vec<u64>),
+}
+
 /// An arbitrary-precision unsigned integer.
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigUint {
-    /// Little-endian limbs; invariant: the last limb (if any) is nonzero.
-    limbs: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for BigUint {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// Normalizes a limb vector into the canonical representation.
+fn from_limb_vec(mut limbs: Vec<u64>) -> BigUint {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+    match limbs.len() {
+        0 => BigUint::zero(),
+        1 => BigUint {
+            repr: Repr::Small(limbs[0] as u128),
+        },
+        2 => BigUint {
+            repr: Repr::Small(limbs[0] as u128 | (limbs[1] as u128) << 64),
+        },
+        _ => BigUint {
+            repr: Repr::Large(limbs),
+        },
+    }
+}
+
+/// `a + b` over little-endian limb slices.
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u64;
+    for (i, &ai) in a.iter().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (s1, c1) = ai.overflowing_add(bi);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a - b` over limb slices; the caller guarantees `a >= b`.
+fn sub_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for (i, &ai) in a.iter().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = ai.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+    out
+}
+
+/// Schoolbook `a * b` over limb slices.
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => {
+            for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+                match x.cmp(y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            Ordering::Equal
+        }
+        ord => ord,
+    }
 }
 
 impl BigUint {
     /// The value `0`.
     #[inline]
     pub fn zero() -> Self {
-        BigUint { limbs: Vec::new() }
+        BigUint {
+            repr: Repr::Small(0),
+        }
     }
 
     /// The value `1`.
     #[inline]
     pub fn one() -> Self {
-        BigUint { limbs: vec![1] }
+        BigUint {
+            repr: Repr::Small(1),
+        }
     }
 
     /// Builds from a `u64`.
     #[inline]
     pub fn from_u64(v: u64) -> Self {
-        if v == 0 {
-            Self::zero()
-        } else {
-            BigUint { limbs: vec![v] }
+        BigUint {
+            repr: Repr::Small(v as u128),
         }
     }
 
     /// Builds from a `u128`.
+    #[inline]
     pub fn from_u128(v: u128) -> Self {
-        let lo = v as u64;
-        let hi = (v >> 64) as u64;
-        let mut limbs = vec![lo, hi];
-        while limbs.last() == Some(&0) {
-            limbs.pop();
+        BigUint {
+            repr: Repr::Small(v),
         }
-        BigUint { limbs }
     }
 
     /// Builds from a `usize`.
@@ -60,84 +173,110 @@ impl BigUint {
     }
 
     /// Builds from little-endian limbs (normalizing).
-    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
-        while limbs.last() == Some(&0) {
-            limbs.pop();
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        from_limb_vec(limbs)
+    }
+
+    /// Calls `f` with the (normalized) little-endian limbs of `self`.
+    /// Small values borrow a stack buffer; no allocation happens.
+    fn with_limbs<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
+        match &self.repr {
+            Repr::Small(v) => {
+                let buf = [*v as u64, (*v >> 64) as u64];
+                let len = if buf[1] != 0 {
+                    2
+                } else if buf[0] != 0 {
+                    1
+                } else {
+                    0
+                };
+                f(&buf[..len])
+            }
+            Repr::Large(l) => f(l),
         }
-        BigUint { limbs }
     }
 
     /// Is this zero?
     #[inline]
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Is this one?
     #[inline]
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// Is this even? Zero is even.
     #[inline]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().is_none_or(|l| l & 1 == 0)
+        match &self.repr {
+            Repr::Small(v) => v & 1 == 0,
+            Repr::Large(l) => l[0] & 1 == 0,
+        }
     }
 
     /// Number of significant bits (`0` for zero).
     pub fn bit_len(&self) -> usize {
-        match self.limbs.last() {
-            None => 0,
-            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        match &self.repr {
+            Repr::Small(v) => 128 - v.leading_zeros() as usize,
+            Repr::Large(l) => l.len() * 64 - l.last().expect("nonempty").leading_zeros() as usize,
         }
     }
 
     /// The value of bit `i` (little-endian bit order).
     pub fn bit(&self, i: usize) -> bool {
-        let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+        match &self.repr {
+            Repr::Small(v) => i < 128 && (v >> i) & 1 == 1,
+            Repr::Large(l) => {
+                let (limb, off) = (i / 64, i % 64);
+                l.get(limb).is_some_and(|x| (x >> off) & 1 == 1)
+            }
+        }
     }
 
     /// Number of trailing zero bits; `None` for zero.
     pub fn trailing_zeros(&self) -> Option<usize> {
-        for (i, &l) in self.limbs.iter().enumerate() {
-            if l != 0 {
-                return Some(i * 64 + l.trailing_zeros() as usize);
+        match &self.repr {
+            Repr::Small(0) => None,
+            Repr::Small(v) => Some(v.trailing_zeros() as usize),
+            Repr::Large(l) => {
+                for (i, &x) in l.iter().enumerate() {
+                    if x != 0 {
+                        return Some(i * 64 + x.trailing_zeros() as usize);
+                    }
+                }
+                unreachable!("Large is nonzero by invariant")
             }
         }
-        None
     }
 
     /// Converts to `u64` if it fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => u64::try_from(*v).ok(),
+            Repr::Large(_) => None,
         }
     }
 
     /// Converts to `u128` if it fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Large(_) => None,
         }
     }
 
     /// Nearest `f64` (may overflow to `f64::INFINITY`).
     pub fn to_f64(&self) -> f64 {
-        match self.limbs.len() {
-            0 => 0.0,
-            1 => self.limbs[0] as f64,
-            2 => self.to_u128().unwrap() as f64,
-            n => {
+        match &self.repr {
+            Repr::Small(v) => *v as f64,
+            Repr::Large(l) => {
                 // Take the top 128 bits and scale by the discarded limbs.
-                let hi = self.limbs[n - 1] as u128;
-                let mid = self.limbs[n - 2] as u128;
+                let n = l.len();
+                let hi = l[n - 1] as u128;
+                let mid = l[n - 2] as u128;
                 let top = (hi << 64) | mid;
                 top as f64 * 2f64.powi(64 * (n as i32 - 2))
             }
@@ -159,86 +298,72 @@ impl BigUint {
         }
     }
 
-    #[allow(clippy::needless_range_loop)] // parallel iteration over two limb arrays
     fn add_ref(&self, other: &BigUint) -> BigUint {
-        let (a, b) = if self.limbs.len() >= other.limbs.len() {
-            (&self.limbs, &other.limbs)
-        } else {
-            (&other.limbs, &self.limbs)
-        };
-        let mut out = Vec::with_capacity(a.len() + 1);
-        let mut carry = 0u64;
-        for i in 0..a.len() {
-            let bi = b.get(i).copied().unwrap_or(0);
-            let (s1, c1) = a[i].overflowing_add(bi);
-            let (s2, c2) = s1.overflowing_add(carry);
-            out.push(s2);
-            carry = (c1 as u64) + (c2 as u64);
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            match a.checked_add(*b) {
+                Some(s) => return BigUint::from_u128(s),
+                None => {
+                    let s = a.wrapping_add(*b);
+                    return BigUint {
+                        repr: Repr::Large(vec![s as u64, (s >> 64) as u64, 1]),
+                    };
+                }
+            }
         }
-        if carry != 0 {
-            out.push(carry);
-        }
-        BigUint::from_limbs(out)
+        self.with_limbs(|a| other.with_limbs(|b| from_limb_vec(add_limbs(a, b))))
     }
 
     /// `self - other`, or `None` if the result would be negative.
     pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
-        if self < other {
-            return None;
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.checked_sub(*b).map(BigUint::from_u128),
+            (Repr::Small(_), Repr::Large(_)) => None,
+            (Repr::Large(a), Repr::Small(_)) => {
+                Some(other.with_limbs(|b| from_limb_vec(sub_limbs(a, b))))
+            }
+            (Repr::Large(a), Repr::Large(b)) => match cmp_limbs(a, b) {
+                Ordering::Less => None,
+                _ => Some(from_limb_vec(sub_limbs(a, b))),
+            },
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
-        let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let bi = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = self.limbs[i].overflowing_sub(bi);
-            let (d2, b2) = d1.overflowing_sub(borrow);
-            out.push(d2);
-            borrow = (b1 as u64) + (b2 as u64);
-        }
-        debug_assert_eq!(borrow, 0);
-        Some(BigUint::from_limbs(out))
     }
 
     fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(p) = a.checked_mul(*b) {
+                return BigUint::from_u128(p);
+            }
+        }
         if self.is_zero() || other.is_zero() {
             return BigUint::zero();
         }
-        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            if a == 0 {
-                continue;
-            }
-            let mut carry = 0u128;
-            for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
-                out[i + j] = cur as u64;
-                carry = cur >> 64;
-            }
-            let mut k = i + other.limbs.len();
-            while carry != 0 {
-                let cur = out[k] as u128 + carry;
-                out[k] = cur as u64;
-                carry = cur >> 64;
-                k += 1;
-            }
-        }
-        BigUint::from_limbs(out)
+        self.with_limbs(|a| other.with_limbs(|b| from_limb_vec(mul_limbs(a, b))))
     }
 
     /// Multiplies by a `u64` in place.
     pub fn mul_u64_assign(&mut self, m: u64) {
-        if m == 0 {
-            self.limbs.clear();
-            return;
-        }
-        let mut carry = 0u128;
-        for l in &mut self.limbs {
-            let cur = *l as u128 * m as u128 + carry;
-            *l = cur as u64;
-            carry = cur >> 64;
-        }
-        if carry != 0 {
-            self.limbs.push(carry as u64);
+        match &mut self.repr {
+            Repr::Small(v) => match v.checked_mul(m as u128) {
+                Some(p) => *v = p,
+                None => {
+                    *self = self.with_limbs(|a| from_limb_vec(mul_limbs(a, &[m])));
+                }
+            },
+            Repr::Large(l) => {
+                if m == 0 {
+                    *self = BigUint::zero();
+                    return;
+                }
+                let mut carry = 0u128;
+                for limb in l.iter_mut() {
+                    let cur = *limb as u128 * m as u128 + carry;
+                    *limb = cur as u64;
+                    carry = cur >> 64;
+                }
+                if carry != 0 {
+                    l.push(carry as u64);
+                }
+            }
         }
     }
 
@@ -255,59 +380,85 @@ impl BigUint {
     /// Panics if `d == 0`.
     pub fn div_rem_u64_assign(&mut self, d: u64) -> u64 {
         assert!(d != 0, "division by zero");
-        let mut rem = 0u128;
-        for l in self.limbs.iter_mut().rev() {
-            let cur = (rem << 64) | *l as u128;
-            *l = (cur / d as u128) as u64;
-            rem = cur % d as u128;
+        match &mut self.repr {
+            Repr::Small(v) => {
+                let rem = *v % d as u128;
+                *v /= d as u128;
+                rem as u64
+            }
+            Repr::Large(l) => {
+                let mut rem = 0u128;
+                for limb in l.iter_mut().rev() {
+                    let cur = (rem << 64) | *limb as u128;
+                    *limb = (cur / d as u128) as u64;
+                    rem = cur % d as u128;
+                }
+                let out = rem as u64;
+                if l.last() == Some(&0) {
+                    *self = from_limb_vec(std::mem::take(l));
+                }
+                out
+            }
         }
-        while self.limbs.last() == Some(&0) {
-            self.limbs.pop();
-        }
-        rem as u64
     }
 
     /// Shift left by `bits`.
     fn shl_bits(&self, bits: usize) -> BigUint {
-        if self.is_zero() {
-            return BigUint::zero();
-        }
-        if bits == 0 {
+        if self.is_zero() || bits == 0 {
             return self.clone();
         }
-        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
-        let mut out = vec![0u64; limb_shift];
-        if bit_shift == 0 {
-            out.extend_from_slice(&self.limbs);
-        } else {
-            let mut carry = 0u64;
-            for &l in &self.limbs {
-                out.push((l << bit_shift) | carry);
-                carry = l >> (64 - bit_shift);
-            }
-            if carry != 0 {
-                out.push(carry);
+        if let Repr::Small(v) = &self.repr {
+            if bits < 128 && v.leading_zeros() as usize >= bits {
+                return BigUint::from_u128(v << bits);
             }
         }
-        BigUint::from_limbs(out)
+        self.with_limbs(|l| {
+            let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+            let mut out = vec![0u64; limb_shift];
+            if bit_shift == 0 {
+                out.extend_from_slice(l);
+            } else {
+                let mut carry = 0u64;
+                for &x in l {
+                    out.push((x << bit_shift) | carry);
+                    carry = x >> (64 - bit_shift);
+                }
+                if carry != 0 {
+                    out.push(carry);
+                }
+            }
+            from_limb_vec(out)
+        })
     }
 
     /// Shift right by `bits`.
     fn shr_bits(&self, bits: usize) -> BigUint {
-        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
-        if limb_shift >= self.limbs.len() {
-            return BigUint::zero();
+        if bits == 0 {
+            return self.clone();
         }
-        let mut out: Vec<u64> = self.limbs[limb_shift..].to_vec();
-        if bit_shift != 0 {
-            let mut carry = 0u64;
-            for l in out.iter_mut().rev() {
-                let new_carry = *l << (64 - bit_shift);
-                *l = (*l >> bit_shift) | carry;
-                carry = new_carry;
+        if let Repr::Small(v) = &self.repr {
+            return if bits >= 128 {
+                BigUint::zero()
+            } else {
+                BigUint::from_u128(v >> bits)
+            };
+        }
+        self.with_limbs(|l| {
+            let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+            if limb_shift >= l.len() {
+                return BigUint::zero();
             }
-        }
-        BigUint::from_limbs(out)
+            let mut out: Vec<u64> = l[limb_shift..].to_vec();
+            if bit_shift != 0 {
+                let mut carry = 0u64;
+                for x in out.iter_mut().rev() {
+                    let new_carry = *x << (64 - bit_shift);
+                    *x = (*x >> bit_shift) | carry;
+                    carry = new_carry;
+                }
+            }
+            from_limb_vec(out)
+        })
     }
 
     /// Euclidean division: returns `(self / d, self % d)`.
@@ -318,6 +469,9 @@ impl BigUint {
         assert!(!d.is_zero(), "division by zero");
         if self < d {
             return (BigUint::zero(), self.clone());
+        }
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &d.repr) {
+            return (BigUint::from_u128(a / b), BigUint::from_u128(a % b));
         }
         if let Some(small) = d.to_u64() {
             let mut q = self.clone();
@@ -336,10 +490,11 @@ impl BigUint {
             }
             divisor = divisor.shr_bits(1);
         }
-        (BigUint::from_limbs(quotient_bits), rem)
+        (from_limb_vec(quotient_bits), rem)
     }
 
-    /// Greatest common divisor (binary / Stein algorithm).
+    /// Greatest common divisor (binary / Stein algorithm; pure `u128`
+    /// arithmetic when both values are small).
     pub fn gcd(&self, other: &BigUint) -> BigUint {
         if self.is_zero() {
             return other.clone();
@@ -347,10 +502,25 @@ impl BigUint {
         if other.is_zero() {
             return self.clone();
         }
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            let (mut a, mut b) = (*a, *b);
+            let k = (a | b).trailing_zeros();
+            a >>= a.trailing_zeros();
+            loop {
+                b >>= b.trailing_zeros();
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                b -= a;
+                if b == 0 {
+                    return BigUint::from_u128(a << k);
+                }
+            }
+        }
         let mut a = self.clone();
         let mut b = other.clone();
-        let za = a.trailing_zeros().unwrap();
-        let zb = b.trailing_zeros().unwrap();
+        let za = a.trailing_zeros().expect("nonzero");
+        let zb = b.trailing_zeros().expect("nonzero");
         let k = za.min(zb);
         a = a.shr_bits(za);
         b = b.shr_bits(zb);
@@ -363,7 +533,7 @@ impl BigUint {
             if b.is_zero() {
                 return a.shl_bits(k);
             }
-            b = b.shr_bits(b.trailing_zeros().unwrap());
+            b = b.shr_bits(b.trailing_zeros().expect("nonzero"));
         }
     }
 
@@ -386,17 +556,12 @@ impl BigUint {
 
 impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
-            Ordering::Equal => {
-                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
-                    match a.cmp(b) {
-                        Ordering::Equal => continue,
-                        ord => return ord,
-                    }
-                }
-                Ordering::Equal
-            }
-            ord => ord,
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // A canonical Large value always exceeds 2^128 - 1.
+            (Repr::Small(_), Repr::Large(_)) => Ordering::Less,
+            (Repr::Large(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Large(a), Repr::Large(b)) => cmp_limbs(a, b),
         }
     }
 }
@@ -481,6 +646,12 @@ impl Sub<&BigUint> for BigUint {
 
 impl AddAssign<&BigUint> for BigUint {
     fn add_assign(&mut self, rhs: &BigUint) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&mut self.repr, &rhs.repr) {
+            if let Some(s) = a.checked_add(*b) {
+                *a = s;
+                return;
+            }
+        }
         *self = self.add_ref(rhs);
     }
 }
@@ -527,25 +698,31 @@ impl Shr<usize> for BigUint {
 
 impl fmt::Display for BigUint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.write_str("0");
-        }
-        // Peel off 19 decimal digits at a time (10^19 fits in u64).
-        const CHUNK: u64 = 10_000_000_000_000_000_000;
-        let mut chunks = Vec::new();
-        let mut cur = self.clone();
-        while !cur.is_zero() {
-            chunks.push(cur.div_rem_u64_assign(CHUNK));
-        }
-        let mut s = String::new();
-        for (i, c) in chunks.iter().rev().enumerate() {
-            if i == 0 {
-                s.push_str(&c.to_string());
-            } else {
-                s.push_str(&format!("{c:019}"));
+        match &self.repr {
+            // Forward the formatter itself so width/fill/alignment apply.
+            Repr::Small(v) => fmt::Display::fmt(v, f),
+            Repr::Large(_) => {
+                // Peel off 19 decimal digits at a time (10^19 fits in u64).
+                const CHUNK: u64 = 10_000_000_000_000_000_000;
+                let mut chunks = Vec::new();
+                let mut cur = self.clone();
+                while !cur.is_zero() {
+                    chunks.push(cur.div_rem_u64_assign(CHUNK));
+                }
+                let mut s = String::new();
+                for (i, c) in chunks.iter().rev().enumerate() {
+                    if i == 0 {
+                        s.push_str(&c.to_string());
+                    } else {
+                        s.push_str(&format!("{c:019}"));
+                    }
+                }
+                // The Small arm forwards to u128's Display, which honors
+                // width/fill/alignment — do the same here so formatting
+                // is consistent across the 2^128 boundary.
+                f.pad_integral(true, "", &s)
             }
         }
-        f.write_str(&s)
     }
 }
 
@@ -613,11 +790,33 @@ mod tests {
     }
 
     #[test]
+    fn add_across_the_inline_boundary() {
+        let max = BigUint::from_u128(u128::MAX);
+        let two_128 = &max + &BigUint::one();
+        assert_eq!(two_128.bit_len(), 129);
+        assert_eq!(two_128.to_u128(), None);
+        assert_eq!(two_128.checked_sub(&BigUint::one()), Some(max.clone()));
+        assert_eq!(&two_128 + &two_128, BigUint::one() << 129);
+        // Re-entering the inline range after a large intermediate.
+        assert_eq!((&two_128 - &BigUint::one()).to_u128(), Some(u128::MAX));
+        let mut aa = max.clone();
+        aa += &max;
+        assert_eq!(aa, &max * &BigUint::from_u64(2));
+    }
+
+    #[test]
     fn sub_underflow_is_none() {
         let a = BigUint::from_u64(3);
         let b = BigUint::from_u64(5);
         assert!(a.checked_sub(&b).is_none());
         assert_eq!(b.checked_sub(&a), Some(BigUint::from_u64(2)));
+        let large = BigUint::one() << 200;
+        assert!(a.checked_sub(&large).is_none());
+        assert_eq!(
+            large.checked_sub(&large.clone()),
+            Some(BigUint::zero()),
+            "large - large normalizes back to the inline zero"
+        );
     }
 
     #[test]
@@ -630,9 +829,30 @@ mod tests {
     }
 
     #[test]
+    fn mul_u64_promotes_and_demotes() {
+        let mut v = BigUint::from_u128(u128::MAX / 2);
+        v.mul_u64_assign(8); // spills past u128
+        assert_eq!(v.bit_len(), 130);
+        assert_eq!(v.div_rem_u64_assign(8), 0);
+        assert_eq!(v.to_u128(), Some(u128::MAX / 2));
+        let mut z = BigUint::one() << 200;
+        z.mul_u64_assign(0);
+        assert!(z.is_zero());
+    }
+
+    #[test]
     fn display_round_trip_large() {
         let s = "123456789012345678901234567890123456789012345678901234567890";
         assert_eq!(big(s).to_string(), s);
+    }
+
+    #[test]
+    fn display_flags_consistent_across_the_boundary() {
+        let small = BigUint::from_u64(42);
+        let large = BigUint::one() << 130;
+        assert_eq!(format!("{small:>6}"), "    42");
+        assert_eq!(format!("{large:>45}"), format!("{:>45}", large.to_string()));
+        assert_eq!(format!("{small:06}"), "000042");
     }
 
     #[test]
@@ -653,6 +873,15 @@ mod tests {
     fn div_rem_large_divisor() {
         let a = big("340282366920938463463374607431768211457123456789");
         let d = big("18446744073709551629");
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&q * &d + &r, a);
+    }
+
+    #[test]
+    fn div_rem_multi_limb_divisor() {
+        let a = BigUint::one() << 300;
+        let d = (BigUint::one() << 140) + BigUint::from_u64(17);
         let (q, r) = a.div_rem(&d);
         assert!(r < d);
         assert_eq!(&q * &d + &r, a);
@@ -681,6 +910,14 @@ mod tests {
         );
         let a = big("123456789012345678901234567890");
         assert_eq!(a.gcd(&a), a);
+        // Mixed small/large and large/large agreement with the definition.
+        let b = (BigUint::one() << 200) * BigUint::from_u64(12);
+        assert_eq!(b.gcd(&BigUint::from_u64(36)), BigUint::from_u64(12));
+        let g = (BigUint::one() << 130) * BigUint::from_u64(3);
+        assert_eq!(
+            (&g * &BigUint::from_u64(4)).gcd(&(&g * &BigUint::from_u64(6))),
+            &g * &BigUint::from_u64(2)
+        );
     }
 
     #[test]
@@ -689,6 +926,11 @@ mod tests {
         assert_eq!(&(&a << 131) >> 131, a);
         assert_eq!(&a >> 1000, BigUint::zero());
         assert_eq!(&a << 0, a);
+        // Inline shift that stays inline vs one that spills.
+        let b = BigUint::from_u64(3);
+        assert_eq!((&b << 120).bit_len(), 122);
+        assert_eq!((&b << 127).bit_len(), 129);
+        assert_eq!(&(&b << 127) >> 127, b);
     }
 
     #[test]
@@ -717,6 +959,8 @@ mod tests {
     fn ordering() {
         assert!(big("100000000000000000000") > big("99999999999999999999"));
         assert!(BigUint::zero() < BigUint::one());
+        assert!(BigUint::from_u128(u128::MAX) < BigUint::one() << 128);
+        assert!(BigUint::one() << 129 > BigUint::one() << 128);
     }
 
     #[test]
@@ -727,5 +971,21 @@ mod tests {
         assert!(a.is_even());
         assert_eq!(a.trailing_zeros(), Some(1));
         assert_eq!(BigUint::zero().trailing_zeros(), None);
+        let l = BigUint::one() << 192;
+        assert!(l.bit(192));
+        assert!(!l.bit(0));
+        assert_eq!(l.trailing_zeros(), Some(192));
+    }
+
+    #[test]
+    fn from_limbs_normalizes_into_inline() {
+        assert_eq!(BigUint::from_limbs(vec![5, 0, 0]), BigUint::from_u64(5));
+        assert_eq!(BigUint::from_limbs(vec![]), BigUint::zero());
+        assert_eq!(
+            BigUint::from_limbs(vec![1, 2, 0, 0]),
+            BigUint::from_u128(1 | 2u128 << 64)
+        );
+        let three = BigUint::from_limbs(vec![0, 0, 1]);
+        assert_eq!(three, BigUint::one() << 128);
     }
 }

@@ -83,6 +83,19 @@ impl FactorialTable {
         q
     }
 
+    /// The numerator `k!·(m-1-k)!` of the Shapley permutation weight.
+    ///
+    /// Accumulating `Σ_k k!(m-1-k)!·diff_k` over the *common* denominator
+    /// `m!` (one normalization at the end) avoids the per-term gcd that a
+    /// rational-by-rational sum would pay on every coalition size.
+    ///
+    /// # Panics
+    /// Panics if `k >= m` or `m - 1` exceeds the table size.
+    pub fn shapley_weight_numerator(&self, m: usize, k: usize) -> BigUint {
+        assert!(k < m, "coalition size {k} must be < number of players {m}");
+        self.factorial(k) * self.factorial(m - 1 - k)
+    }
+
     /// The Shapley permutation weight `k!·(m-1-k)!/m!`: the probability
     /// that a fixed player arrives exactly after a fixed `k`-subset of the
     /// remaining `m-1` players in a uniformly random permutation of `m`.

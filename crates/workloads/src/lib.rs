@@ -22,4 +22,4 @@ pub mod queries;
 pub mod random_db;
 pub mod university;
 
-pub use university::{figure_1_database, UniversityConfig};
+pub use university::{figure_1_database, report_benchmark_db, UniversityConfig};

@@ -20,6 +20,40 @@ pub fn figure_1_database() -> Database {
     .expect("the static example parses")
 }
 
+/// A deterministic university workload with *exactly* `m` endogenous
+/// facts, for the all-facts report benchmarks (`bench-report` in the
+/// `cqshap-bench` harness): each of the `m / 4` students contributes
+/// one endogenous `TA` fact and three endogenous `Reg` facts, so the
+/// hierarchical `q1` recursion sees `m / 4` root groups of four facts.
+///
+/// # Panics
+/// Panics unless `m` is a positive multiple of 4.
+pub fn report_benchmark_db(m: usize) -> Database {
+    assert!(
+        m > 0 && m.is_multiple_of(4),
+        "report_benchmark_db needs a positive multiple of 4, got {m}"
+    );
+    let students = m / 4;
+    let courses = (students / 2).max(4);
+    let mut db = Database::new();
+    for c in 0..courses {
+        db.add_exo("Course", &[&format!("c{c}"), &format!("f{}", c % 3)])
+            .expect("distinct");
+    }
+    for s in 0..students {
+        let name = format!("s{s}");
+        db.add_exo("Stud", &[&name]).expect("distinct");
+        db.add_exo("Adv", &[&format!("adv{}", s % 5), &name])
+            .expect("distinct");
+        db.add_endo("TA", &[&name]).expect("distinct");
+        for j in 0..3 {
+            db.add_endo("Reg", &[&name, &format!("c{}", (s + j) % courses)])
+                .expect("distinct");
+        }
+    }
+    db
+}
+
 /// Parameters for scalable university databases.
 #[derive(Debug, Clone)]
 pub struct UniversityConfig {
@@ -107,6 +141,14 @@ mod tests {
         assert_eq!(db.endo_count(), 8);
         assert_eq!(db.fact_count(), 20);
         assert!(db.find_fact("Reg", &["Caroline", "IC"]).is_some());
+    }
+
+    #[test]
+    fn report_benchmark_db_has_exact_endo_count() {
+        for m in [4usize, 64, 256] {
+            let db = report_benchmark_db(m);
+            assert_eq!(db.endo_count(), m, "m = {m}");
+        }
     }
 
     #[test]

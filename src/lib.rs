@@ -53,11 +53,11 @@ pub mod prelude {
             brute_force_relevance, is_negatively_relevant, is_positively_relevant, is_relevant,
             shapley_is_zero,
         },
-        rewrite, shapley_by_permutations, shapley_report, shapley_value, shapley_value_union,
-        shapley_via_counts, AnyQuery, BruteForceCounter, CoreError, HierarchicalCounter,
-        SatCountOracle, ShapleyOptions, Strategy,
+        rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_value,
+        shapley_value_union, shapley_via_counts, AnyQuery, BruteForceCounter, CompiledCount,
+        CoreError, HierarchicalCounter, SatCountOracle, ShapleyOptions, Strategy,
     };
-    pub use cqshap_db::{Database, FactId, Provenance, World};
+    pub use cqshap_db::{Database, FactId, FactMask, Provenance, World};
     pub use cqshap_numeric::{BigInt, BigRational, BigUint};
     pub use cqshap_probdb::ProbDatabase;
     pub use cqshap_query::{

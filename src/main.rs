@@ -33,6 +33,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cqshap classify  \"<query>\" [--exo R1,R2]
   cqshap shapley   <db-file> \"<query>\" [--fact \"R(a, b)\"] [--strategy auto|hierarchical|exoshap|brute|permutations]
+  cqshap report    <db-file> \"<query>\" [--strategy auto|hierarchical|exoshap|brute|permutations]
   cqshap relevance <db-file> \"<query>\" --fact \"R(a, b)\"
   cqshap probability <db-file> \"<query>\" [--default-p 0.5]
   cqshap satcount  <db-file> \"<query>\"";
@@ -116,6 +117,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "classify" => cmd_classify(&opts),
         "shapley" => cmd_shapley(&opts),
+        "report" => cmd_report(&opts),
         "relevance" => cmd_relevance(&opts),
         "probability" => cmd_probability(&opts),
         "satcount" => cmd_satcount(&opts),
@@ -195,6 +197,49 @@ fn cmd_shapley(opts: &Options) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// The batched all-facts report: compile the `(db, query)` pair once,
+/// recount incrementally per fact, print every value plus timing and
+/// the efficiency check.
+fn cmd_report(opts: &Options) -> Result<(), String> {
+    let [db_path, query] = opts.positional.as_slice() else {
+        return Err("report needs a database file and a query".into());
+    };
+    let db = load_db(db_path)?;
+    let q = parse_cq(query).map_err(|e| e.to_string())?;
+    let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
+    let options = ShapleyOptions {
+        strategy,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let report = shapley_report(&db, &q, &options).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    for entry in &report.entries {
+        println!(
+            "{:<32} {:>16} ≈ {:+.6}",
+            entry.rendered,
+            entry.value.to_string(),
+            entry.value.to_f64()
+        );
+    }
+    println!(
+        "Σ = {} ({}: q(D) − q(Dx) = {})",
+        report.total,
+        if report.efficiency_holds() {
+            "efficiency holds"
+        } else {
+            "EFFICIENCY VIOLATED"
+        },
+        report.expected_total,
+    );
+    println!(
+        "{} facts in {:.3} ms",
+        report.entries.len(),
+        elapsed.as_secs_f64() * 1e3
+    );
     Ok(())
 }
 

@@ -116,6 +116,17 @@ fn shapley_report_covers_every_fact_and_efficiency() {
 }
 
 #[test]
+fn report_command_prints_values_and_timing() {
+    let db = figure_1_file("batched-report");
+    let out = stdout_of(&cqshap(&["report", db.path(), Q1]));
+    for value in ["-3/28", "-2/35", "37/210", "27/140", "13/42"] {
+        assert!(out.contains(value), "missing {value} in stdout: {out}");
+    }
+    assert!(out.contains("efficiency holds"), "stdout: {out}");
+    assert!(out.contains("8 facts in"), "stdout: {out}");
+}
+
+#[test]
 fn shapley_strategies_agree() {
     let db = figure_1_file("strategies");
     for strategy in ["auto", "hierarchical", "brute", "permutations"] {
