@@ -20,15 +20,18 @@ use std::collections::HashSet;
 use std::time::Instant;
 
 use cqshap_bench::Table;
-use cqshap_core::aggregates::{aggregate_shapley, aggregate_value, AggregateFunction};
+use cqshap_core::aggregates::{
+    aggregate_report, aggregate_shapley, aggregate_value, AggregateFunction,
+};
 use cqshap_core::approx::{required_samples, shapley_sampled};
 use cqshap_core::gap::section_5_1_example;
 use cqshap_core::relevance::{
     brute_force_relevance, is_negatively_relevant, is_positively_relevant,
 };
 use cqshap_core::{
-    rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_value,
-    shapley_via_counts, AnyQuery, BruteForceCounter, ShapleyOptions, Strategy,
+    rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact,
+    shapley_report_union, shapley_report_union_per_fact, shapley_value, shapley_via_counts,
+    AnyQuery, BruteForceCounter, ShapleyOptions, Strategy,
 };
 use cqshap_db::{Database, World};
 use cqshap_gadgets::coloring::{coloring_to_3p2n, to_224};
@@ -154,13 +157,25 @@ fn time_ms(mut run: impl FnMut()) -> f64 {
 /// default `BENCH_report.json`.
 fn bench_report(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
+    let ucq = args.iter().any(|a| a == "--ucq");
+    let aggregate = args.iter().any(|a| a == "--aggregate");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_report.json".to_string());
+        .unwrap_or_else(|| {
+            if ucq || aggregate {
+                "BENCH_ucq.json".to_string()
+            } else {
+                "BENCH_report.json".to_string()
+            }
+        });
     let samples = if quick { 3 } else { 5 };
+    if ucq || aggregate {
+        bench_union_aggregate(ucq, aggregate, quick, samples, &out_path);
+        return;
+    }
     let q1 = queries::q1();
     let options = opts();
 
@@ -238,6 +253,148 @@ fn bench_report(args: &[String]) {
         json_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench report");
+    println!("wrote {out_path}");
+}
+
+/// The `--ucq` / `--aggregate` modes of `bench-report`: the batched
+/// inclusion–exclusion union report and the shared-engine aggregate
+/// report, each against its per-fact seed path (every fact re-running
+/// the full counting pipeline with no compiled sharing), at
+/// `m ∈ {64, 256}`. Results land in `BENCH_ucq.json`.
+///
+/// The per-fact baselines are measured with a single sample at `m = 256`
+/// (they cost tens of seconds); quick mode (CI) additionally skips the
+/// aggregate baseline there.
+fn bench_union_aggregate(ucq: bool, aggregate: bool, quick: bool, samples: usize, out_path: &str) {
+    let options = opts();
+    let mut rows: Vec<String> = Vec::new();
+    let row = |mode: &str, m: usize, batched: f64, per_fact: Option<f64>| {
+        let speedup = per_fact.map(|p| p / batched);
+        eprintln!(
+            "{mode} m = {m:>4}: batched {batched:>10.3} ms | per-fact {} | speedup {}",
+            per_fact.map_or("skipped".to_string(), |p| format!("{p:.3} ms")),
+            speedup.map_or("—".to_string(), |s| format!("{s:.1}×")),
+        );
+        format!(
+            "    {{\"mode\": \"{mode}\", \"m\": {m}, \"batched_median_ms\": {batched:.3}, \
+             \"per_fact_median_ms\": {}, \"speedup\": {}}}",
+            per_fact.map_or("null".to_string(), |p| format!("{p:.3}")),
+            speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+        )
+    };
+
+    if ucq {
+        let u = queries::union_benchmark();
+        // Correctness guard before timing anything: the batched union
+        // engine must be bit-identical to the per-fact path.
+        {
+            let db = cqshap_workloads::union_benchmark_db(64);
+            let batched = shapley_report_union(&db, &u, &options).expect("tractable union");
+            let per_fact =
+                shapley_report_union_per_fact(&db, &u, &options).expect("tractable union");
+            assert!(batched.efficiency_holds(), "union efficiency violated");
+            for (a, b) in batched.entries.iter().zip(&per_fact.entries) {
+                assert_eq!(
+                    a.value, b.value,
+                    "union batched vs per-fact at {}",
+                    a.rendered
+                );
+            }
+        }
+        for &m in &[64usize, 256] {
+            let db = cqshap_workloads::union_benchmark_db(m);
+            assert_eq!(db.endo_count(), m);
+            let batched = median(
+                (0..samples)
+                    .map(|_| {
+                        time_ms(|| {
+                            let r = shapley_report_union(&db, &u, &options).expect("tractable");
+                            assert!(r.efficiency_holds());
+                        })
+                    })
+                    .collect(),
+            );
+            let n = if m >= 256 { 1 } else { samples };
+            let per_fact = Some(median(
+                (0..n)
+                    .map(|_| {
+                        time_ms(|| {
+                            let r = shapley_report_union_per_fact(&db, &u, &options)
+                                .expect("tractable");
+                            assert!(r.efficiency_holds());
+                        })
+                    })
+                    .collect(),
+            ));
+            rows.push(row("ucq", m, batched, per_fact));
+        }
+    }
+
+    if aggregate {
+        let q = queries::per_course_count();
+        let agg = AggregateFunction::Count;
+        // Correctness guard: the shared-engine report must agree with
+        // the per-fact aggregate decomposition.
+        {
+            let db = cqshap_workloads::report_benchmark_db(64);
+            let report = aggregate_report(&db, &q, &agg, &options).expect("tractable aggregate");
+            assert!(report.efficiency_holds(), "aggregate efficiency violated");
+            for entry in &report.entries {
+                let v = aggregate_shapley(&db, &q, &agg, entry.fact, &options).expect("tractable");
+                assert_eq!(
+                    entry.value, v,
+                    "aggregate report vs per-fact at {}",
+                    entry.rendered
+                );
+            }
+        }
+        for &m in &[64usize, 256] {
+            let db = cqshap_workloads::report_benchmark_db(m);
+            let batched = median(
+                (0..samples)
+                    .map(|_| {
+                        time_ms(|| {
+                            let r = aggregate_report(&db, &q, &agg, &options).expect("tractable");
+                            assert!(r.efficiency_holds());
+                        })
+                    })
+                    .collect(),
+            );
+            // The per-fact seed loop at m = 256 costs minutes; quick
+            // mode (CI) skips it, full mode measures a single sample.
+            let per_fact = if quick && m >= 256 {
+                None
+            } else {
+                let n = if m >= 256 { 1 } else { samples };
+                Some(median(
+                    (0..n)
+                        .map(|_| {
+                            time_ms(|| {
+                                for &f in db.endo_facts() {
+                                    aggregate_shapley(&db, &q, &agg, f, &options)
+                                        .expect("tractable");
+                                }
+                            })
+                        })
+                        .collect(),
+                ))
+            };
+            rows.push(row("aggregate", m, batched, per_fact));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"cqshap-bench-ucq/v1\",\n  \
+         \"union_query\": \"{}\",\n  \"aggregate_query\": \"{}\",\n  \
+         \"workloads\": [\"union_benchmark_db\", \"report_benchmark_db\"],\n  \
+         \"mode\": \"{}\",\n  \"samples\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        queries::union_benchmark().to_string().replace('\n', "; "),
+        queries::per_course_count(),
+        if quick { "quick" } else { "full" },
+        samples,
+        rows.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write bench report");
     println!("wrote {out_path}");
 }
 

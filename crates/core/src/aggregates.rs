@@ -13,16 +13,40 @@
 //! answer in a sub-world but not in the full one, so candidates are the
 //! head-projections of homomorphisms of the *positive part* into all of
 //! `D` — a superset of the answers in any world.
+//!
+//! ## Shared plans instead of per-tuple dispatch
+//!
+//! Head substitution only replaces variables by constants, so every
+//! candidate's residual query has the *same structure* — the same
+//! atoms, polarities, and variable co-occurrences. Strategy resolution
+//! (hierarchy, self-joins, non-hierarchical paths) depends on exactly
+//! that structure, never on the constants, so [`AggregatePlan`] groups
+//! the candidates by residual shape and resolves the strategy **once
+//! per group** instead of re-classifying per tuple. On top of the plan:
+//!
+//! * [`aggregate_shapley`] answers one fact with one pair of masked
+//!   counting runs per candidate — no per-tuple re-classification, no
+//!   database clones;
+//! * [`aggregate_report`] answers *all* facts, compiling one batched
+//!   [`CompiledCount`] engine per candidate (shared by every fact's
+//!   recount) and accumulating the weighted values fact-wise — the
+//!   aggregate analogue of [`crate::shapley::shapley_report`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
-use cqshap_db::{Database, FactId, World};
+use cqshap_db::{ConstId, Database, FactId, World};
 use cqshap_engine::{answers, for_each_positive_homomorphism, CompiledQuery, FactScope};
 use cqshap_numeric::{BigInt, BigRational};
 use cqshap_query::{ConjunctiveQuery, QueryBuilder, Term, Var};
 
+use crate::anyquery::AnyQuery;
 use crate::error::CoreError;
-use crate::shapley::{shapley_value, ShapleyOptions};
+use crate::exoshap;
+use crate::satcount::{BruteForceCounter, HierarchicalCounter};
+use crate::shapley::{
+    batched_values, resolve_strategy, shapley_by_permutations, shapley_via_counts, Resolved,
+    ShapleyOptions, ShapleyReport,
+};
 
 /// The supported aggregate functions.
 #[derive(Debug, Clone)]
@@ -42,7 +66,7 @@ impl AggregateFunction {
         &self,
         db: &Database,
         q: &ConjunctiveQuery,
-        tuple: &[cqshap_db::ConstId],
+        tuple: &[ConstId],
     ) -> Result<BigRational, CoreError> {
         match self {
             AggregateFunction::Count => Ok(BigRational::one()),
@@ -54,10 +78,12 @@ impl AggregateFunction {
                     CoreError::Unsupported(format!("{weight_var} is not a head variable"))
                 })?;
                 let name = db.interner().resolve(tuple[pos]);
-                let value: i64 = name.parse().map_err(|_| {
+                // Parse straight into the arbitrary-precision integer:
+                // weight constants are not bounded by any machine width.
+                let value: BigInt = name.parse().map_err(|_| {
                     CoreError::Unsupported(format!("weight constant {name:?} is not an integer"))
                 })?;
-                Ok(BigRational::from_int(BigInt::from_i64(value)))
+                Ok(BigRational::from_int(value))
             }
         }
     }
@@ -65,26 +91,32 @@ impl AggregateFunction {
 
 /// Substitutes the head variables of `q` by the constants of `tuple`,
 /// producing the Boolean query `q[head ↦ a]`.
+///
+/// Constants are injected through [`Term::constant`], which takes the
+/// interned name *verbatim* — no datalog quoting or re-tokenization —
+/// so database constants whose names collide with parser syntax (a name
+/// like `'CS'`, quote characters included) substitute and re-resolve to
+/// exactly the same [`ConstId`].
 fn substitute_head(
     db: &Database,
     q: &ConjunctiveQuery,
-    tuple: &[cqshap_db::ConstId],
+    tuple: &[ConstId],
 ) -> Result<ConjunctiveQuery, CoreError> {
     let mut builder = QueryBuilder::new(format!("{}_ans", q.name()));
-    let subst = |v: Var| -> Option<String> {
+    let subst = |v: Var| -> Option<&str> {
         q.head()
             .iter()
             .position(|&h| h == v)
-            .map(|i| db.interner().resolve(tuple[i]).to_string())
+            .map(|i| db.interner().resolve(tuple[i]))
     };
     for atom in q.atoms() {
         let terms: Vec<Term> = atom
             .terms
             .iter()
             .map(|t| match t {
-                Term::Const(c) => Term::Const(c.clone()),
+                Term::Const(c) => Term::constant(c),
                 Term::Var(v) => match subst(*v) {
-                    Some(c) => Term::Const(c),
+                    Some(c) => Term::constant(c),
                     None => Term::Var(builder.var(q.var_name(*v))),
                 },
             })
@@ -100,9 +132,9 @@ fn substitute_head(
 
 /// The candidate answers: head projections of positive-part
 /// homomorphisms into all of `D`.
-pub fn candidate_answers(db: &Database, q: &ConjunctiveQuery) -> Vec<Vec<cqshap_db::ConstId>> {
+pub fn candidate_answers(db: &Database, q: &ConjunctiveQuery) -> Vec<Vec<ConstId>> {
     let compiled = CompiledQuery::compile(db, q);
-    let mut set: BTreeSet<Vec<cqshap_db::ConstId>> = BTreeSet::new();
+    let mut set: BTreeSet<Vec<ConstId>> = BTreeSet::new();
     for_each_positive_homomorphism(db, FactScope::All, &compiled, &mut |m| {
         if let Some(tuple) = compiled
             .head
@@ -132,10 +164,146 @@ pub fn aggregate_value(
     Ok(acc)
 }
 
-/// `Shapley_agg(D, q, f)` by linearity over candidate answers.
+/// One weighted candidate of an aggregate decomposition.
+struct Candidate {
+    weight: BigRational,
+    query: ConjunctiveQuery,
+}
+
+/// Candidates sharing one residual query shape and therefore one
+/// resolved strategy.
+struct ShapeGroup {
+    resolved: Resolved,
+    candidates: Vec<Candidate>,
+}
+
+/// The shared decomposition of an aggregate query: weighted residual
+/// Boolean queries grouped by shape, each group classified once.
+struct AggregatePlan {
+    groups: Vec<ShapeGroup>,
+}
+
+/// One atom of a [`ShapeKey`]: relation, polarity, and per-position
+/// variable index (`None` for constants).
+type AtomShape = (String, bool, Vec<Option<u32>>);
+
+/// The shape signature of a residual query: every structural input of
+/// strategy resolution (relations, polarities, variable positions,
+/// which positions are constants) with the constant *values* abstracted
+/// away. Candidates of one aggregate query always share it — kept as an
+/// explicit key so grouping stays correct if substitution ever becomes
+/// shape-dependent.
+type ShapeKey = Vec<AtomShape>;
+
+fn shape_key(q: &ConjunctiveQuery) -> ShapeKey {
+    q.atoms()
+        .iter()
+        .map(|a| {
+            (
+                a.relation.clone(),
+                a.negated,
+                a.terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => Some(v.0),
+                        Term::Const(_) => None,
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+impl AggregatePlan {
+    fn prepare(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        agg: &AggregateFunction,
+        options: &ShapleyOptions,
+    ) -> Result<AggregatePlan, CoreError> {
+        if q.head().is_empty() {
+            return Err(CoreError::Unsupported(
+                "aggregate queries need head variables; use shapley_value for Boolean queries"
+                    .into(),
+            ));
+        }
+        let mut keys: HashMap<ShapeKey, usize> = HashMap::new();
+        let mut groups: Vec<(ConjunctiveQuery, Vec<Candidate>)> = Vec::new();
+        for a in candidate_answers(db, q) {
+            let weight = agg.weight(db, q, &a)?;
+            if weight.is_zero() {
+                continue;
+            }
+            let qa = substitute_head(db, q, &a)?;
+            let next = groups.len();
+            let slot = *keys.entry(shape_key(&qa)).or_insert(next);
+            if slot == groups.len() {
+                groups.push((qa.clone(), Vec::new()));
+            }
+            groups[slot].1.push(Candidate { weight, query: qa });
+        }
+        let groups = groups
+            .into_iter()
+            .map(|(representative, candidates)| {
+                // One classification per shape: resolution inspects only
+                // the structure the key captures, so it holds for every
+                // candidate of the group.
+                let resolved = resolve_strategy(db, &representative, options)?;
+                Ok(ShapeGroup {
+                    resolved,
+                    candidates,
+                })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(AggregatePlan { groups })
+    }
+}
+
+/// One candidate's Shapley value for one fact, under an
+/// already-resolved strategy.
+fn candidate_value(
+    db: &Database,
+    resolved: Resolved,
+    c: &Candidate,
+    f: FactId,
+    options: &ShapleyOptions,
+) -> Result<BigRational, CoreError> {
+    match resolved {
+        Resolved::Hierarchical => {
+            shapley_via_counts(db, AnyQuery::Cq(&c.query), f, &HierarchicalCounter)
+        }
+        Resolved::ExoShap => {
+            let outcome = exoshap::rewrite(db, &c.query, options.tuple_budget)?;
+            if outcome.always_false {
+                return Ok(BigRational::zero());
+            }
+            shapley_via_counts(
+                &outcome.db,
+                AnyQuery::Cq(&outcome.query),
+                f,
+                &HierarchicalCounter,
+            )
+        }
+        Resolved::BruteForce => shapley_via_counts(
+            db,
+            AnyQuery::Cq(&c.query),
+            f,
+            &BruteForceCounter {
+                limit: options.brute_force_limit,
+            },
+        ),
+        Resolved::Permutations => {
+            shapley_by_permutations(db, AnyQuery::Cq(&c.query), f, options.permutation_limit)
+        }
+    }
+}
+
+/// `Shapley_agg(D, q, f)` by linearity over candidate answers, through
+/// the shared [`AggregatePlan`] (strategy resolved once per residual
+/// shape, not once per tuple).
 ///
 /// # Errors
-/// Anything [`shapley_value`] raises for a substituted Boolean query,
+/// Anything the counting layer raises for a substituted Boolean query,
 /// plus [`CoreError::Unsupported`] for malformed aggregate specs.
 pub fn aggregate_shapley(
     db: &Database,
@@ -144,22 +312,90 @@ pub fn aggregate_shapley(
     f: FactId,
     options: &ShapleyOptions,
 ) -> Result<BigRational, CoreError> {
-    if q.head().is_empty() {
-        return Err(CoreError::Unsupported(
-            "aggregate queries need head variables; use shapley_value for Boolean queries".into(),
-        ));
-    }
+    let plan = AggregatePlan::prepare(db, q, agg, options)?;
     let mut acc = BigRational::zero();
-    for a in candidate_answers(db, q) {
-        let weight = agg.weight(db, q, &a)?;
-        if weight.is_zero() {
-            continue;
+    for group in &plan.groups {
+        for c in &group.candidates {
+            let v = candidate_value(db, group.resolved, c, f, options)?;
+            acc += &(&c.weight * &v);
         }
-        let qa = substitute_head(db, q, &a)?;
-        let v = shapley_value(db, &qa, f, options)?;
-        acc += &(weight * v);
     }
     Ok(acc)
+}
+
+/// `Shapley_agg(D, q, f)` for *every* endogenous fact at once: one
+/// batched [`CompiledCount`] engine per candidate (compiled once,
+/// shared by every fact's recount) on the tractable strategies, with
+/// the weighted values accumulated fact-wise. The report's expected
+/// total is `agg(D) − agg(Dx)`, which the value total must equal by
+/// linearity of the efficiency axiom.
+///
+/// [`CompiledCount`]: crate::compiled::CompiledCount
+pub fn aggregate_report(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    agg: &AggregateFunction,
+    options: &ShapleyOptions,
+) -> Result<ShapleyReport, CoreError> {
+    let plan = AggregatePlan::prepare(db, q, agg, options)?;
+    let facts = db.endo_facts();
+    let mut acc = vec![BigRational::zero(); facts.len()];
+    for group in &plan.groups {
+        match group.resolved {
+            Resolved::Hierarchical => {
+                for c in &group.candidates {
+                    weighted_add(&mut acc, &c.weight, batched_values(db, &c.query, facts)?);
+                }
+            }
+            Resolved::ExoShap => {
+                for c in &group.candidates {
+                    let outcome = exoshap::rewrite(db, &c.query, options.tuple_budget)?;
+                    if outcome.always_false {
+                        continue;
+                    }
+                    weighted_add(
+                        &mut acc,
+                        &c.weight,
+                        batched_values(&outcome.db, &outcome.query, facts)?,
+                    );
+                }
+            }
+            Resolved::BruteForce | Resolved::Permutations => {
+                let values = crate::parallel::par_map(facts.len(), |i| {
+                    let mut v = BigRational::zero();
+                    for c in &group.candidates {
+                        let cv = candidate_value(db, group.resolved, c, facts[i], options)?;
+                        v += &(&c.weight * &cv);
+                    }
+                    Ok::<BigRational, CoreError>(v)
+                })
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()?;
+                weighted_add(&mut acc, &BigRational::one(), values);
+            }
+        }
+    }
+    let full = aggregate_value(db, &World::full(db), q, agg)?;
+    let empty = aggregate_value(db, &World::empty(db), q, agg)?;
+    let entries = facts
+        .iter()
+        .zip(acc)
+        .map(|(&f, value)| crate::shapley::ShapleyEntry {
+            fact: f,
+            rendered: db.render_fact(f),
+            value,
+        })
+        .collect();
+    Ok(ShapleyReport::new(entries, full - empty))
+}
+
+/// `acc[i] += weight · values[i]`.
+fn weighted_add(acc: &mut [BigRational], weight: &BigRational, values: Vec<BigRational>) {
+    for (a, v) in acc.iter_mut().zip(values) {
+        if !v.is_zero() {
+            *a += &(weight * &v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +430,21 @@ mod tests {
         for &f in db.endo_facts() {
             total += &aggregate_shapley(&db, &q, &agg, f, &opts).unwrap();
         }
-        assert_eq!(total, full - empty);
+        assert_eq!(total, &full - &empty);
+
+        // The batched report computes the same values and checks the
+        // same identity internally.
+        let report = aggregate_report(&db, &q, &agg, &opts).unwrap();
+        assert!(report.efficiency_holds());
+        assert_eq!(report.expected_total, full - empty);
+        for &f in db.endo_facts() {
+            assert_eq!(
+                report.entry(f).unwrap().value,
+                aggregate_shapley(&db, &q, &agg, f, &opts).unwrap(),
+                "{}",
+                db.render_fact(f)
+            );
+        }
     }
 
     #[test]
@@ -238,12 +488,82 @@ mod tests {
     }
 
     #[test]
+    fn sum_weights_beyond_i64() {
+        // A 20-digit weight constant (> 2^63): the weight must flow
+        // through BigInt, not a machine integer.
+        let db = Database::parse(
+            "exo Export(wheat, norway)\n\
+             endo Grows(norway, wheat)\n\
+             exo Profit(norway, wheat, 12345678901234567890)\n",
+        )
+        .unwrap();
+        let q = parse_cq("q(r) :- Export(p, c), !Grows(c, p), Profit(c, p, r)").unwrap();
+        let agg = AggregateFunction::Sum {
+            weight_var: "r".into(),
+        };
+        let empty = aggregate_value(&db, &World::empty(&db), &q, &agg).unwrap();
+        assert_eq!(empty.to_string(), "12345678901234567890");
+        let f = db.find_fact("Grows", &["norway", "wheat"]).unwrap();
+        let v = aggregate_shapley(&db, &q, &agg, f, &ShapleyOptions::default()).unwrap();
+        assert_eq!(v.to_string(), "-12345678901234567890");
+        // Negative weights round-trip too.
+        let db2 = Database::parse(
+            "exo Export(wheat, norway)\n\
+             endo Grows(norway, wheat)\n\
+             exo Profit(norway, wheat, -98765432109876543210)\n",
+        )
+        .unwrap();
+        let f2 = db2.find_fact("Grows", &["norway", "wheat"]).unwrap();
+        let v2 = aggregate_shapley(&db2, &q, &agg, f2, &ShapleyOptions::default()).unwrap();
+        assert_eq!(v2.to_string(), "98765432109876543210");
+    }
+
+    #[test]
+    fn quoted_constant_names_substitute_verbatim() {
+        // A database constant whose *name* contains quote characters is
+        // legal ('CS' here — the db parser treats quotes as ordinary
+        // token characters, while the query parser would strip them).
+        // Head substitution must round-trip it to the same ConstId, so
+        // the substituted query counts exactly like the world-level
+        // aggregate says.
+        let mut db = Database::new();
+        db.add_exo("Course", &["db", "'CS'"]).unwrap();
+        db.add_exo("Course", &["os", "EE"]).unwrap();
+        db.add_endo("Reg", &["alice", "db"]).unwrap();
+        db.add_endo("Reg", &["bob", "os"]).unwrap();
+        let q = parse_cq("q(f) :- Reg(s, c), Course(c, f)").unwrap();
+        let agg = AggregateFunction::Count;
+        let opts = ShapleyOptions::default();
+        let report = aggregate_report(&db, &q, &agg, &opts).unwrap();
+        assert!(report.efficiency_holds());
+        // Reg(alice, db) is the only fact driving the 'CS' candidate:
+        // its aggregate Shapley value is exactly 1 (one answer gained).
+        let f = db.find_fact("Reg", &["alice", "db"]).unwrap();
+        assert_eq!(
+            aggregate_shapley(&db, &q, &agg, f, &opts).unwrap(),
+            BigRational::one()
+        );
+        // The substituted queries resolve the quoted name verbatim: the
+        // candidate set contains the interned 'CS' constant itself.
+        let candidates = candidate_answers(&db, &q);
+        let names: Vec<&str> = candidates
+            .iter()
+            .map(|t| db.interner().resolve(t[0]))
+            .collect();
+        assert!(names.contains(&"'CS'"), "{names:?}");
+    }
+
+    #[test]
     fn boolean_query_rejected() {
         let db = exports();
         let q = parse_cq("q() :- Farmer(m)").unwrap();
         let f = db.find_fact("Farmer", &["miller"]).unwrap();
         assert!(matches!(
             aggregate_shapley(&db, &q, &AggregateFunction::Count, f, &Default::default()),
+            Err(CoreError::Unsupported(_))
+        ));
+        assert!(matches!(
+            aggregate_report(&db, &q, &AggregateFunction::Count, &Default::default()),
             Err(CoreError::Unsupported(_))
         ));
     }

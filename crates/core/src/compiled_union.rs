@@ -1,0 +1,370 @@
+//! The batched all-facts Shapley engine for UCQ¬s: inclusion–exclusion
+//! over compiled per-subset structures.
+//!
+//! For a union `U = q₁ ∨ ⋯ ∨ q_d`, a world satisfies `U` iff it
+//! satisfies some disjunct, so the satisfying-coalition counts obey
+//!
+//! ```text
+//! |Sat(D, U, k)| = Σ_{∅ ≠ S ⊆ [d]} (−1)^{|S|+1} |Sat(D, ⋀_{i∈S} qᵢ, k)|
+//! ```
+//!
+//! and the Shapley reduction, being *linear* in the count differences
+//! `N⁺_k − N_k`, splits over the same signed sum:
+//!
+//! ```text
+//! Shapley(D, U, f) = Σ_S (−1)^{|S|+1} · Shapley(D, ⋀_{i∈S} qᵢ, f).
+//! ```
+//!
+//! [`CompiledUnionCount`] therefore compiles one [`CompiledCount`] per
+//! non-empty subset of disjuncts — each conjunction built by
+//! [`cqshap_query::conjoin_disjuncts`] with variables renamed apart —
+//! and answers every fact by the signed sum of the subset engines'
+//! masked recounts. Contradictory conjunctions (a ground atom asserted
+//! and denied) contribute identically zero and are skipped at compile
+//! time; conjunctions outside the compiled fragment (an induced
+//! self-join or a non-hierarchical join structure) abort compilation
+//! with [`CoreError::IntractableIntersection`] naming the offending
+//! intersection, so strategy routing can fall back or report precisely.
+//!
+//! Everything stays exact: each engine's value is a reduced rational
+//! over `m!`, and the signed sum is exact rational arithmetic, so the
+//! result is bit-identical to the per-fact reference paths.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use cqshap_db::{Database, FactId};
+use cqshap_numeric::BigRational;
+use cqshap_query::{
+    conjoin_disjuncts, is_hierarchical, self_join_witness, subset_label, ConjunctiveQuery,
+    DisjunctConjunction, UnionQuery,
+};
+
+use crate::compiled::CompiledCount;
+use crate::error::CoreError;
+
+/// One signed inclusion–exclusion term: the compiled engine of a subset
+/// conjunction and the sign of its contribution.
+struct SignedTerm<'a> {
+    /// `true` for even subsets (they *subtract*).
+    negative: bool,
+    engine: CompiledCount<'a>,
+}
+
+/// A `(db, union)` pair compiled for batched all-facts Shapley
+/// computation via inclusion–exclusion. Shared immutably across report
+/// worker threads, like [`CompiledCount`].
+pub struct CompiledUnionCount<'a> {
+    db: &'a Database,
+    terms: Vec<SignedTerm<'a>>,
+    /// Dense combined bucket id per endogenous fact plus the bucket
+    /// count (see [`CompiledUnionCount::bucket_of`]), built lazily on
+    /// first use — the single-fact value paths never consult it.
+    bucket_index: OnceLock<(HashMap<FactId, usize>, usize)>,
+}
+
+impl<'a> CompiledUnionCount<'a> {
+    /// Cap on the number of disjuncts (the engine compiles `2^d − 1`
+    /// subset conjunctions).
+    pub const MAX_DISJUNCTS: usize = 10;
+
+    /// Enumerates the non-empty subset conjunctions of `u`, skipping the
+    /// unsatisfiable ones. Returns `(negative-sign, label, query)`
+    /// triples; the label names the intersection for diagnostics.
+    ///
+    /// # Errors
+    /// [`CoreError::Unsupported`] beyond [`Self::MAX_DISJUNCTS`]
+    /// disjuncts, [`CoreError::Query`] if a conjunction fails to build.
+    pub(crate) fn subset_conjunctions(
+        u: &UnionQuery,
+    ) -> Result<Vec<(bool, String, ConjunctiveQuery)>, CoreError> {
+        let d = u.disjuncts().len();
+        if d > Self::MAX_DISJUNCTS {
+            return Err(CoreError::Unsupported(format!(
+                "union has {d} disjuncts; the inclusion–exclusion engine compiles 2^d − 1 \
+                 conjunctions and caps d at {}",
+                Self::MAX_DISJUNCTS
+            )));
+        }
+        let mut out = Vec::with_capacity((1usize << d) - 1);
+        for mask in 1usize..(1usize << d) {
+            let subset: Vec<&ConjunctiveQuery> = u
+                .disjuncts()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, q)| q)
+                .collect();
+            let label = subset_label(u.disjuncts(), mask);
+            let name = format!("{}_cap{mask:x}", u.name());
+            match conjoin_disjuncts(&name, &subset)? {
+                DisjunctConjunction::Unsatisfiable => continue,
+                DisjunctConjunction::Query(q) => {
+                    out.push((mask.count_ones() % 2 == 0, label, q));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checks that a subset conjunction lies in the compiled fragment,
+    /// converting failures into [`CoreError::IntractableIntersection`]
+    /// naming the intersection.
+    pub(crate) fn check_tractable(label: &str, q: &ConjunctiveQuery) -> Result<(), CoreError> {
+        if let Some(rel) = self_join_witness(q) {
+            return Err(CoreError::IntractableIntersection {
+                intersection: label.to_string(),
+                reason: format!("the conjunction has a self-join on relation {rel}"),
+            });
+        }
+        if !is_hierarchical(q) {
+            return Err(CoreError::IntractableIntersection {
+                intersection: label.to_string(),
+                reason: "the conjunction is not hierarchical".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Compiles `u` against `db`: one [`CompiledCount`] per satisfiable
+    /// non-empty subset conjunction.
+    ///
+    /// # Errors
+    /// [`CoreError::IntractableIntersection`] when some conjunction
+    /// leaves the compiled fragment (the message names the intersection),
+    /// plus anything [`CompiledCount::compile`] raises.
+    pub fn compile(db: &'a Database, u: &UnionQuery) -> Result<Self, CoreError> {
+        let mut terms = Vec::new();
+        for (negative, label, q) in Self::subset_conjunctions(u)? {
+            Self::check_tractable(&label, &q)?;
+            terms.push(SignedTerm {
+                negative,
+                engine: CompiledCount::compile(db, &q)?,
+            });
+        }
+        Ok(CompiledUnionCount {
+            db,
+            terms,
+            bucket_index: OnceLock::new(),
+        })
+    }
+
+    /// Combined bucket layout: facts sharing every subset engine's
+    /// bucket share recount state across the whole signed sum, so the
+    /// report fan-out keeps them on one thread.
+    fn bucket_index(&self) -> &(HashMap<FactId, usize>, usize) {
+        self.bucket_index.get_or_init(|| {
+            let mut key_ids: HashMap<Vec<usize>, usize> = HashMap::new();
+            let mut bucket_ids = HashMap::with_capacity(self.db.endo_count());
+            for &f in self.db.endo_facts() {
+                let key: Vec<usize> = self.terms.iter().map(|t| t.engine.bucket_of(f)).collect();
+                let next = key_ids.len();
+                let id = *key_ids.entry(key).or_insert(next);
+                bucket_ids.insert(f, id);
+            }
+            (bucket_ids, key_ids.len().max(1))
+        })
+    }
+
+    /// `|Dn|` of the compiled database.
+    pub fn endo_count(&self) -> usize {
+        self.db.endo_count()
+    }
+
+    /// Number of compiled inclusion–exclusion terms (satisfiable subset
+    /// conjunctions).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Is `f`'s Shapley value known to be zero without any recounting in
+    /// *every* subset engine?
+    pub fn is_structurally_null(&self, f: FactId) -> bool {
+        self.terms.iter().all(|t| t.engine.is_structurally_null(f))
+    }
+
+    /// An opaque bucket id grouping facts that share recount state
+    /// across all subset engines (see [`CompiledCount::bucket_of`]).
+    pub fn bucket_of(&self, f: FactId) -> usize {
+        self.bucket_index().0.get(&f).copied().unwrap_or(0)
+    }
+
+    /// Total number of bucket ids (all in `0..buckets()`).
+    pub fn buckets(&self) -> usize {
+        self.bucket_index().1
+    }
+
+    /// The exact Shapley value of `f` under the union: the signed sum of
+    /// the subset engines' values.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    pub fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
+        if self.db.endo_index(f).is_none() {
+            return Err(CoreError::FactNotEndogenous {
+                fact: self.db.render_fact(f),
+            });
+        }
+        let mut acc = BigRational::zero();
+        for t in &self.terms {
+            let v = t.engine.value(f)?;
+            if t.negative {
+                acc -= &v;
+            } else {
+                acc += &v;
+            }
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anyquery::AnyQuery;
+    use crate::satcount::{BruteForceCounter, SatCountOracle};
+    use crate::shapley::shapley_via_counts;
+    use cqshap_db::FactMask;
+    use cqshap_numeric::BigInt;
+    use cqshap_query::parse_ucq;
+
+    fn db_two_sides() -> Database {
+        Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\n\
+             endo Reg(a, c1)\nendo Reg(b, c2)\n\
+             exo Lab(l1)\nexo Lab(l2)\n\
+             endo Asst(l1, a)\nendo Asst(l2, b)\nendo Closed(l1)\n",
+        )
+        .unwrap()
+    }
+
+    fn union_two_sides() -> UnionQuery {
+        parse_ucq(
+            "q1() :- Stud(x), !TA(x), Reg(x, y)\n\
+             q2() :- Lab(l), Asst(l, a), !Closed(l)\n",
+        )
+        .unwrap()
+    }
+
+    /// Batched union values must be bit-identical to brute force on
+    /// the union itself.
+    fn agrees_with_brute_force(db: &Database, u: &UnionQuery) {
+        let compiled = CompiledUnionCount::compile(db, u).unwrap();
+        let brute = BruteForceCounter::new();
+        for &f in db.endo_facts() {
+            let want = shapley_via_counts(db, AnyQuery::Union(u), f, &brute).unwrap();
+            let got = compiled.value(f).unwrap();
+            assert_eq!(got, want, "{} for {u}", db.render_fact(f));
+        }
+    }
+
+    #[test]
+    fn two_disjunct_union_matches_brute_force() {
+        let db = db_two_sides();
+        agrees_with_brute_force(&db, &union_two_sides());
+    }
+
+    #[test]
+    fn overlapping_ground_disjuncts() {
+        let db = Database::parse("endo R(a)\nendo S(b)\nendo T(c)\n").unwrap();
+        for text in [
+            "q1() :- R('a'); q2() :- S('b')",
+            "q1() :- R('a'); q2() :- R('a'), S('b')", // shared ground atom merges
+            "q1() :- R('a'), !S('b'); q2() :- S('b'), T('c')", // contradictory pair drops
+            "q1() :- R(x); q2() :- S(x); q3() :- T(x)",
+        ] {
+            agrees_with_brute_force(&db, &parse_ucq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn single_disjunct_union_matches_cq_engine() {
+        let db = db_two_sides();
+        let u = parse_ucq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let compiled = CompiledUnionCount::compile(&db, &u).unwrap();
+        let cq_engine = CompiledCount::compile(&db, &u.disjuncts()[0]).unwrap();
+        for &f in db.endo_facts() {
+            assert_eq!(compiled.value(f).unwrap(), cq_engine.value(f).unwrap());
+        }
+    }
+
+    #[test]
+    fn intersection_self_join_is_named() {
+        let db = Database::parse("endo R(a)\nendo S(b)\n").unwrap();
+        let u = parse_ucq("qa() :- R(x); qb() :- R(y), S(z)").unwrap();
+        let Err(err) = CompiledUnionCount::compile(&db, &u).map(|_| ()) else {
+            panic!("intersection with a self-join must be rejected");
+        };
+        match err {
+            CoreError::IntractableIntersection {
+                intersection,
+                reason,
+            } => {
+                assert_eq!(intersection, "qa ∧ qb");
+                assert!(reason.contains('R'), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counts_recombine_via_inclusion_exclusion() {
+        // Cross-check the identity at the level of raw counts too:
+        // |Sat(U)| from the signed sum of subset totals vs brute force.
+        let db = db_two_sides();
+        let u = union_two_sides();
+        let m = db.endo_count();
+        let mut signed = vec![BigInt::zero(); m + 1];
+        for (negative, _, q) in CompiledUnionCount::subset_conjunctions(&u).unwrap() {
+            let engine = CompiledCount::compile(&db, &q).unwrap();
+            for (k, c) in engine.total_counts().iter().enumerate() {
+                let c = BigInt::from_biguint(c.clone());
+                if negative {
+                    signed[k] -= &c;
+                } else {
+                    signed[k] += &c;
+                }
+            }
+        }
+        let brute = BruteForceCounter::new()
+            .counts_masked(&db, AnyQuery::Union(&u), FactMask::None)
+            .unwrap();
+        for (k, want) in brute.iter().enumerate() {
+            assert_eq!(
+                signed[k],
+                BigInt::from_biguint(want.clone()),
+                "k = {k} of {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_cover_all_facts() {
+        let db = db_two_sides();
+        let compiled = CompiledUnionCount::compile(&db, &union_two_sides()).unwrap();
+        assert!(compiled.term_count() >= 2);
+        for &f in db.endo_facts() {
+            assert!(compiled.bucket_of(f) < compiled.buckets());
+        }
+        // Facts of the two sides never share recount state with the
+        // other side's grouped facts... but structural nulls can share
+        // bucket 0; just check nulls are consistent.
+        for &f in db.endo_facts() {
+            if compiled.is_structurally_null(f) {
+                assert!(compiled.value(f).unwrap().is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn non_endogenous_fact_rejected() {
+        let db = db_two_sides();
+        let compiled = CompiledUnionCount::compile(&db, &union_two_sides()).unwrap();
+        let stud = db.find_fact("Stud", &["a"]).unwrap();
+        assert!(matches!(
+            compiled.value(stud),
+            Err(CoreError::FactNotEndogenous { .. })
+        ));
+    }
+}

@@ -45,6 +45,16 @@ pub enum CoreError {
         /// The configured limit.
         limit: usize,
     },
+    /// A subset of a union's disjuncts conjoins into a query outside the
+    /// compiled tractable fragment (self-join induced across disjuncts,
+    /// non-hierarchical conjunction, or a failed `ExoShap` rewriting),
+    /// so the inclusion–exclusion engine cannot serve the union.
+    IntractableIntersection {
+        /// The offending disjunct intersection, e.g. `q1 ∧ q3`.
+        intersection: String,
+        /// Why that conjunction is out of reach.
+        reason: String,
+    },
     /// A precondition of the Theorem 5.1 construction failed (the query
     /// must be satisfiable, constant-free, positively connected, and
     /// contain a negated atom).
@@ -77,6 +87,15 @@ impl fmt::Display for CoreError {
             }
             CoreError::TooManyEndogenousFacts { count, limit } => {
                 write!(f, "|Dn| = {count} exceeds the brute-force limit {limit}")
+            }
+            CoreError::IntractableIntersection {
+                intersection,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "disjunct intersection {intersection} is outside the compiled fragment: {reason}"
+                )
             }
             CoreError::GapConstruction(msg) => write!(f, "gap construction: {msg}"),
             CoreError::Db(e) => write!(f, "database error: {e}"),

@@ -30,6 +30,7 @@ pub mod aggregates;
 pub mod anyquery;
 pub mod approx;
 pub mod compiled;
+pub mod compiled_union;
 pub mod error;
 pub mod exoshap;
 pub mod gap;
@@ -40,6 +41,7 @@ pub mod shapley;
 
 pub use anyquery::AnyQuery;
 pub use compiled::CompiledCount;
+pub use compiled_union::CompiledUnionCount;
 pub use error::CoreError;
 pub use exoshap::{rewrite, RewriteOutcome};
 pub use satcount::{
@@ -47,6 +49,7 @@ pub use satcount::{
     SatCountOracle,
 };
 pub use shapley::{
-    shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_value,
-    shapley_value_union, shapley_via_counts, ShapleyEntry, ShapleyOptions, ShapleyReport, Strategy,
+    shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_report_union,
+    shapley_report_union_per_fact, shapley_value, shapley_value_union, shapley_via_counts,
+    ShapleyEntry, ShapleyOptions, ShapleyReport, Strategy,
 };

@@ -27,6 +27,7 @@ use cqshap_query::{
 
 use crate::anyquery::AnyQuery;
 use crate::compiled::CompiledCount;
+use crate::compiled_union::CompiledUnionCount;
 use crate::error::CoreError;
 use crate::exoshap;
 use crate::satcount::{BruteForceCounter, HierarchicalCounter, SatCountOracle};
@@ -198,41 +199,317 @@ pub fn shapley_value(
     }
 }
 
-/// Computes `Shapley(D, q, f)` for a UCQ¬ (brute force or permutations —
-/// the exact-tractability theory of the paper covers single CQ¬s).
+/// Computes `Shapley(D, U, f)` for a UCQ¬.
+///
+/// `Auto` and `Hierarchical` route through the inclusion–exclusion
+/// engine [`CompiledUnionCount`] whenever every non-empty intersection
+/// of disjuncts conjoins into the compiled fragment (Section 5.2's
+/// extension of the tractability frontier to UCQ¬s); `Auto` then tries
+/// the per-conjunction `ExoShap` rewriting (the union analogue of the
+/// single-CQ¬ dichotomy ladder) and finally brute force. `ExoShap`
+/// applies the rewriting to every subset conjunction (the Shapley value
+/// is linear in the signed count sums, so each term may be rewritten
+/// independently). Explicit strategies error only when genuinely
+/// inapplicable, with [`CoreError::IntractableIntersection`] naming the
+/// offending disjunct intersection.
 pub fn shapley_value_union(
     db: &Database,
     u: &UnionQuery,
     f: FactId,
     options: &ShapleyOptions,
 ) -> Result<BigRational, CoreError> {
+    if db.endo_index(f).is_none() {
+        return Err(CoreError::FactNotEndogenous {
+            fact: db.render_fact(f),
+        });
+    }
     match options.strategy {
         Strategy::BruteForcePermutations => {
             shapley_by_permutations(db, AnyQuery::Union(u), f, options.permutation_limit)
         }
-        Strategy::Auto | Strategy::BruteForceSubsets => shapley_via_counts(
-            db,
-            AnyQuery::Union(u),
-            f,
-            &BruteForceCounter {
-                limit: options.brute_force_limit,
-            },
-        ),
-        other => Err(CoreError::Unsupported(format!(
-            "strategy {other:?} is not available for unions"
-        ))),
+        Strategy::BruteForceSubsets => union_brute_value(db, u, f, options),
+        Strategy::Hierarchical => CompiledUnionCount::compile(db, u)?.value(f),
+        Strategy::ExoShap => {
+            let terms = exoshap_union_terms(db, u, options.tuple_budget)?;
+            exoshap_union_per_fact_values(&terms, &[f]).map(|mut v| v.pop().expect("one fact"))
+        }
+        Strategy::Auto => match CompiledUnionCount::compile(db, u) {
+            Ok(engine) => engine.value(f),
+            Err(e) if compiled_union_inapplicable(&e) => {
+                auto_union_fallback_values(db, u, &[f], options, e, exoshap_union_per_fact_values)
+                    .map(|mut v| v.pop().expect("one fact"))
+            }
+            Err(e) => Err(e),
+        },
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Resolved {
+/// Computes the Shapley value of *every* endogenous fact of `db` for a
+/// UCQ¬, strategy-routed like [`shapley_value_union`] but with the
+/// compiled paths batched: the inclusion–exclusion engine is compiled
+/// once and the per-fact recounts fan out across threads chunked by the
+/// engine's combined root-group buckets.
+pub fn shapley_report_union(
+    db: &Database,
+    u: &UnionQuery,
+    options: &ShapleyOptions,
+) -> Result<ShapleyReport, CoreError> {
+    let facts = db.endo_facts();
+    let values = match options.strategy {
+        Strategy::Hierarchical => engine_values(&CompiledUnionCount::compile(db, u)?, facts)?,
+        Strategy::Auto => match CompiledUnionCount::compile(db, u) {
+            Ok(engine) => engine_values(&engine, facts)?,
+            Err(e) if compiled_union_inapplicable(&e) => {
+                auto_union_fallback_values(db, u, facts, options, e, exoshap_union_batched_values)?
+            }
+            Err(e) => return Err(e),
+        },
+        Strategy::ExoShap => {
+            let terms = exoshap_union_terms(db, u, options.tuple_budget)?;
+            exoshap_union_batched_values(&terms, facts)?
+        }
+        Strategy::BruteForceSubsets => union_brute_values(db, u, facts, options)?,
+        Strategy::BruteForcePermutations => crate::parallel::par_map(facts.len(), |i| {
+            shapley_by_permutations(db, AnyQuery::Union(u), facts[i], options.permutation_limit)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(assemble_report(db, values, union_efficiency_target(db, u)))
+}
+
+/// The per-fact reference path of [`shapley_report_union`]: every fact
+/// pays the full inclusion–exclusion sum with from-scratch hierarchical
+/// DP runs (or brute-force enumeration) — no compiled sharing. Kept as
+/// the cross-check and benchmark baseline; `cqshap-bench`'s
+/// `bench-report --ucq` measures the speedup of [`shapley_report_union`]
+/// over this.
+pub fn shapley_report_union_per_fact(
+    db: &Database,
+    u: &UnionQuery,
+    options: &ShapleyOptions,
+) -> Result<ShapleyReport, CoreError> {
+    let facts = db.endo_facts();
+    let values = match options.strategy {
+        Strategy::Auto | Strategy::Hierarchical => {
+            let tractable = CompiledUnionCount::subset_conjunctions(u).and_then(|conjunctions| {
+                let mut subsets = Vec::new();
+                for (negative, label, q) in conjunctions {
+                    CompiledUnionCount::check_tractable(&label, &q)?;
+                    subsets.push((negative, q));
+                }
+                Ok(subsets)
+            });
+            match tractable {
+                Ok(subsets) => crate::parallel::par_map(facts.len(), |i| {
+                    let mut acc = BigRational::zero();
+                    for (negative, q) in &subsets {
+                        let v = shapley_via_counts(
+                            db,
+                            AnyQuery::Cq(q),
+                            facts[i],
+                            &HierarchicalCounter,
+                        )?;
+                        signed_add(&mut acc, &v, *negative);
+                    }
+                    Ok::<BigRational, CoreError>(acc)
+                })
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()?,
+                Err(e)
+                    if options.strategy == Strategy::Hierarchical
+                        || !compiled_union_inapplicable(&e) =>
+                {
+                    return Err(e)
+                }
+                Err(e) => auto_union_fallback_values(
+                    db,
+                    u,
+                    facts,
+                    options,
+                    e,
+                    exoshap_union_per_fact_values,
+                )?,
+            }
+        }
+        Strategy::ExoShap => {
+            let terms = exoshap_union_terms(db, u, options.tuple_budget)?;
+            exoshap_union_per_fact_values(&terms, facts)?
+        }
+        Strategy::BruteForceSubsets => union_brute_values(db, u, facts, options)?,
+        Strategy::BruteForcePermutations => crate::parallel::par_map(facts.len(), |i| {
+            shapley_by_permutations(db, AnyQuery::Union(u), facts[i], options.permutation_limit)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(assemble_report(db, values, union_efficiency_target(db, u)))
+}
+
+/// The signed, rewritten terms evaluated per fact with from-scratch
+/// hierarchical DP runs (the `ExoShap` reference path, and the terminal
+/// step of [`shapley_value_union`]'s single-fact evaluation).
+fn exoshap_union_per_fact_values(
+    terms: &[(bool, exoshap::RewriteOutcome)],
+    facts: &[FactId],
+) -> Result<Vec<BigRational>, CoreError> {
+    crate::parallel::par_map(facts.len(), |i| {
+        let mut acc = BigRational::zero();
+        for (negative, outcome) in terms {
+            let v = shapley_via_counts(
+                &outcome.db,
+                AnyQuery::Cq(&outcome.query),
+                facts[i],
+                &HierarchicalCounter,
+            )?;
+            signed_add(&mut acc, &v, *negative);
+        }
+        Ok::<BigRational, CoreError>(acc)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// The signed, rewritten terms evaluated through one batched
+/// [`CompiledCount`] engine per term.
+fn exoshap_union_batched_values(
+    terms: &[(bool, exoshap::RewriteOutcome)],
+    facts: &[FactId],
+) -> Result<Vec<BigRational>, CoreError> {
+    let mut acc = vec![BigRational::zero(); facts.len()];
+    for (negative, outcome) in terms {
+        let vals = batched_values(&outcome.db, &outcome.query, facts)?;
+        for (a, v) in acc.iter_mut().zip(&vals) {
+            signed_add(a, v, *negative);
+        }
+    }
+    Ok(acc)
+}
+
+/// Evaluates pre-rewritten `ExoShap` union terms for a fact slice —
+/// either per fact or batched (see the two implementations above).
+type ExoShapUnionEval =
+    fn(&[(bool, exoshap::RewriteOutcome)], &[FactId]) -> Result<Vec<BigRational>, CoreError>;
+
+/// `Auto`'s fallback ladder once the compiled union engine proved
+/// inapplicable: try the per-conjunction `ExoShap` rewriting (the union
+/// analogue of the single-CQ¬ dichotomy), then brute force within the
+/// limit, and only then surface the original compile error.
+fn auto_union_fallback_values(
+    db: &Database,
+    u: &UnionQuery,
+    facts: &[FactId],
+    options: &ShapleyOptions,
+    compile_err: CoreError,
+    exoshap_eval: ExoShapUnionEval,
+) -> Result<Vec<BigRational>, CoreError> {
+    if let Ok(terms) = exoshap_union_terms(db, u, options.tuple_budget) {
+        if let Ok(values) = exoshap_eval(&terms, facts) {
+            return Ok(values);
+        }
+    }
+    if db.endo_count() <= options.brute_force_limit {
+        union_brute_values(db, u, facts, options)
+    } else {
+        Err(compile_err)
+    }
+}
+
+/// `acc ± v` by the inclusion–exclusion sign.
+pub(crate) fn signed_add(acc: &mut BigRational, v: &BigRational, negative: bool) {
+    if negative {
+        *acc -= v;
+    } else {
+        *acc += v;
+    }
+}
+
+/// Should `Auto` absorb this compile failure by falling back to brute
+/// force (the union is outside the compiled fragment), rather than
+/// propagate it (a genuine input error)?
+fn compiled_union_inapplicable(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::IntractableIntersection { .. }
+            | CoreError::NotHierarchical { .. }
+            | CoreError::NotSelfJoinFree { .. }
+            | CoreError::Unsupported(_)
+    )
+}
+
+fn union_brute_value(
+    db: &Database,
+    u: &UnionQuery,
+    f: FactId,
+    options: &ShapleyOptions,
+) -> Result<BigRational, CoreError> {
+    shapley_via_counts(
+        db,
+        AnyQuery::Union(u),
+        f,
+        &BruteForceCounter {
+            limit: options.brute_force_limit,
+        },
+    )
+}
+
+fn union_brute_values(
+    db: &Database,
+    u: &UnionQuery,
+    facts: &[FactId],
+    options: &ShapleyOptions,
+) -> Result<Vec<BigRational>, CoreError> {
+    crate::parallel::par_map(facts.len(), |i| union_brute_value(db, u, facts[i], options))
+        .into_iter()
+        .collect()
+}
+
+/// The `ExoShap` rewriting applied per subset conjunction: the signed,
+/// rewritten inclusion–exclusion terms (unsatisfiable conjunctions and
+/// always-false rewriting outcomes contribute zero and are skipped).
+///
+/// # Errors
+/// [`CoreError::IntractableIntersection`] naming the intersection whose
+/// conjunction the rewriting rejects.
+fn exoshap_union_terms(
+    db: &Database,
+    u: &UnionQuery,
+    tuple_budget: usize,
+) -> Result<Vec<(bool, exoshap::RewriteOutcome)>, CoreError> {
+    let mut out = Vec::new();
+    for (negative, label, q) in CompiledUnionCount::subset_conjunctions(u)? {
+        let outcome = exoshap::rewrite(db, &q, tuple_budget).map_err(|e| {
+            CoreError::IntractableIntersection {
+                intersection: label.clone(),
+                reason: e.to_string(),
+            }
+        })?;
+        if outcome.always_false {
+            continue;
+        }
+        out.push((negative, outcome));
+    }
+    Ok(out)
+}
+
+/// `U(D) − U(Dx)` — what a union report's value total must equal by the
+/// efficiency axiom.
+fn union_efficiency_target(db: &Database, u: &UnionQuery) -> BigRational {
+    let compiled = AnyQuery::Union(u).compile(db);
+    let full = compiled.satisfied(db, &World::full(db)) as i64;
+    let empty = compiled.satisfied(db, &World::empty(db)) as i64;
+    BigRational::from(full - empty)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resolved {
     Hierarchical,
     ExoShap,
     BruteForce,
     Permutations,
 }
 
-fn resolve_strategy(
+pub(crate) fn resolve_strategy(
     db: &Database,
     q: &ConjunctiveQuery,
     options: &ShapleyOptions,
@@ -390,16 +667,50 @@ fn assemble_report(
     ShapleyReport::new(entries, expected_total)
 }
 
-/// Computes all values through the batched [`CompiledCount`] engine:
+/// What the chunked report fan-out needs from a compiled engine —
+/// implemented by the single-CQ¬ [`CompiledCount`] and the
+/// inclusion–exclusion [`CompiledUnionCount`].
+pub(crate) trait BatchedEngine: Sync {
+    /// Total number of bucket ids.
+    fn buckets(&self) -> usize;
+    /// The recount-state bucket of `f`.
+    fn bucket_of(&self, f: FactId) -> usize;
+    /// The exact Shapley value of `f`.
+    fn value(&self, f: FactId) -> Result<BigRational, CoreError>;
+}
+
+impl BatchedEngine for CompiledCount<'_> {
+    fn buckets(&self) -> usize {
+        CompiledCount::buckets(self)
+    }
+    fn bucket_of(&self, f: FactId) -> usize {
+        CompiledCount::bucket_of(self, f)
+    }
+    fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
+        CompiledCount::value(self, f)
+    }
+}
+
+impl BatchedEngine for CompiledUnionCount<'_> {
+    fn buckets(&self) -> usize {
+        CompiledUnionCount::buckets(self)
+    }
+    fn bucket_of(&self, f: FactId) -> usize {
+        CompiledUnionCount::bucket_of(self, f)
+    }
+    fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
+        CompiledUnionCount::value(self, f)
+    }
+}
+
+/// Computes all values through a batched compiled engine:
 /// compile once, then fan the per-fact recounts out across threads
 /// **chunked by root group**, so every thread works against the shared
 /// compiled state and a group's recount locality stays on one core.
-fn batched_values(
-    eff_db: &Database,
-    eff_q: &ConjunctiveQuery,
+pub(crate) fn engine_values(
+    compiled: &dyn BatchedEngine,
     facts: &[FactId],
 ) -> Result<Vec<BigRational>, CoreError> {
-    let compiled = CompiledCount::compile(eff_db, eff_q)?;
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); compiled.buckets()];
     for (i, &f) in facts.iter().enumerate() {
         buckets[compiled.bucket_of(f)].push(i);
@@ -419,7 +730,6 @@ fn batched_values(
         loads[t] += bucket.len();
         assignments[t].extend(bucket);
     }
-    let compiled = &compiled;
     let computed = crate::parallel::par_map(assignments.len(), |t| {
         assignments[t]
             .iter()
@@ -436,6 +746,15 @@ fn batched_values(
         .into_iter()
         .map(|v| v.expect("every fact assigned to exactly one bucket"))
         .collect())
+}
+
+/// [`engine_values`] over a freshly compiled [`CompiledCount`].
+pub(crate) fn batched_values(
+    eff_db: &Database,
+    eff_q: &ConjunctiveQuery,
+    facts: &[FactId],
+) -> Result<Vec<BigRational>, CoreError> {
+    engine_values(&CompiledCount::compile(eff_db, eff_q)?, facts)
 }
 
 /// Computes the Shapley value of *every* endogenous fact of `db`.
@@ -729,5 +1048,165 @@ mod tests {
         assert_eq!(v, rat(1, 2));
         let p = shapley_by_permutations(&db, AnyQuery::Union(&u), f, 9).unwrap();
         assert_eq!(p, rat(1, 2));
+        // The explicit brute strategy agrees.
+        let brute = ShapleyOptions {
+            strategy: Strategy::BruteForceSubsets,
+            ..Default::default()
+        };
+        assert_eq!(shapley_value_union(&db, &u, f, &brute).unwrap(), rat(1, 2));
+    }
+
+    #[test]
+    fn union_auto_uses_compiled_engine_beyond_brute_limit() {
+        // m = 30 exceeds the default brute-force limit (26): the old
+        // Auto path errored out; the compiled inclusion–exclusion
+        // engine answers in polynomial time.
+        let mut db = Database::new();
+        for i in 0..30 {
+            db.add_endo("R", &[&format!("c{i}")]).unwrap();
+        }
+        db.add_endo("T", &["t0"]).unwrap();
+        let u = cqshap_query::parse_ucq("q1() :- R(x); q2() :- T(y)").unwrap();
+        let f = db.find_fact("T", &["t0"]).unwrap();
+        let v = shapley_value_union(&db, &u, f, &ShapleyOptions::default()).unwrap();
+        // 31 symmetric players of an OR game: each gets 1/31.
+        assert_eq!(v, rat(1, 31));
+        let report = shapley_report_union(&db, &u, &ShapleyOptions::default()).unwrap();
+        assert!(report.efficiency_holds());
+        assert_eq!(report.expected_total, BigRational::one());
+        assert_eq!(report.entry(f).unwrap().value, rat(1, 31));
+    }
+
+    #[test]
+    fn union_hierarchical_strategy_errors_name_the_intersection() {
+        let db = Database::parse("endo R(a)\nendo S(b)\n").unwrap();
+        let f = db.find_fact("R", &["a"]).unwrap();
+        let hier = ShapleyOptions {
+            strategy: Strategy::Hierarchical,
+            ..Default::default()
+        };
+        // Tractable union: the explicit strategy now succeeds.
+        let ok = cqshap_query::parse_ucq("q1() :- R(x); q2() :- S(x)").unwrap();
+        assert_eq!(shapley_value_union(&db, &ok, f, &hier).unwrap(), rat(1, 2));
+        // Intractable intersection: the error names it; Auto absorbs it
+        // into brute force instead of erroring.
+        let bad = cqshap_query::parse_ucq("qa() :- R(x); qb() :- R(y), S(z)").unwrap();
+        match shapley_value_union(&db, &bad, f, &hier) {
+            Err(CoreError::IntractableIntersection { intersection, .. }) => {
+                assert_eq!(intersection, "qa ∧ qb");
+            }
+            other => panic!("expected IntractableIntersection, got {other:?}"),
+        }
+        let auto = shapley_value_union(&db, &bad, f, &ShapleyOptions::default()).unwrap();
+        let p = shapley_by_permutations(&db, AnyQuery::Union(&bad), f, 9).unwrap();
+        assert_eq!(auto, p);
+    }
+
+    #[test]
+    fn union_auto_falls_through_to_exoshap() {
+        // The citations disjunct is non-hierarchical but
+        // ExoShap-rewritable once Pub and Citations are exogenous
+        // relations; m = 30 rules out brute force, so Auto must reach
+        // the rewriting rung of the fallback ladder.
+        let mut db = Database::new();
+        let pub_rel = db.add_relation("Pub", 2).unwrap();
+        let cit = db.add_relation("Citations", 2).unwrap();
+        db.declare_exogenous_relation(pub_rel).unwrap();
+        db.declare_exogenous_relation(cit).unwrap();
+        for i in 0..30 {
+            db.add_exo("Pub", &[&format!("a{i}"), &format!("p{i}")])
+                .unwrap();
+            db.add_exo("Citations", &[&format!("p{i}"), &format!("c{i}")])
+                .unwrap();
+            db.add_endo("Author", &[&format!("a{i}"), &format!("t{i}")])
+                .unwrap();
+        }
+        let u =
+            cqshap_query::parse_ucq("q1() :- Author(x, y), Pub(x, z), Citations(z, w)").unwrap();
+        assert!(matches!(
+            cqshap_query::classify_with_exo(
+                &u.disjuncts()[0],
+                &["Pub", "Citations"].iter().map(|s| s.to_string()).collect()
+            ),
+            ExactComplexity::TractableViaExoShap
+        ));
+        let f = db.find_fact("Author", &["a0", "t0"]).unwrap();
+        let auto = shapley_value_union(&db, &u, f, &ShapleyOptions::default()).unwrap();
+        let exo = shapley_value_union(
+            &db,
+            &u,
+            f,
+            &ShapleyOptions {
+                strategy: Strategy::ExoShap,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(auto, exo);
+        let report = shapley_report_union(&db, &u, &ShapleyOptions::default()).unwrap();
+        assert!(report.efficiency_holds());
+        assert_eq!(report.entry(f).unwrap().value, auto);
+        let per_fact = shapley_report_union_per_fact(&db, &u, &ShapleyOptions::default()).unwrap();
+        assert_eq!(per_fact.entry(f).unwrap().value, auto);
+    }
+
+    #[test]
+    fn union_exoshap_matches_brute_force() {
+        let db = Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\nendo Reg(a, c1)\nendo Reg(b, c2)\n\
+             endo T(t0)\n",
+        )
+        .unwrap();
+        let u = cqshap_query::parse_ucq(
+            "q1() :- Stud(x), !TA(x), Reg(x, y)\n\
+             q2() :- T(z)\n",
+        )
+        .unwrap();
+        let exo = ShapleyOptions {
+            strategy: Strategy::ExoShap,
+            ..Default::default()
+        };
+        let brute = ShapleyOptions {
+            strategy: Strategy::BruteForceSubsets,
+            ..Default::default()
+        };
+        for &f in db.endo_facts() {
+            let a = shapley_value_union(&db, &u, f, &exo).unwrap();
+            let b = shapley_value_union(&db, &u, f, &brute).unwrap();
+            assert_eq!(a, b, "{}", db.render_fact(f));
+        }
+        let report = shapley_report_union(&db, &u, &exo).unwrap();
+        assert!(report.efficiency_holds());
+    }
+
+    #[test]
+    fn union_report_paths_agree() {
+        let db = Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\nendo Reg(a, c1)\nendo Reg(b, c2)\n\
+             exo Lab(l1)\nendo Asst(l1, a)\nendo Closed(l1)\n",
+        )
+        .unwrap();
+        let u = cqshap_query::parse_ucq(
+            "q1() :- Stud(x), !TA(x), Reg(x, y)\n\
+             q2() :- Lab(l), Asst(l, a), !Closed(l)\n",
+        )
+        .unwrap();
+        let opts = ShapleyOptions::default();
+        let batched = shapley_report_union(&db, &u, &opts).unwrap();
+        assert!(batched.efficiency_holds());
+        let per_fact = shapley_report_union_per_fact(&db, &u, &opts).unwrap();
+        for &f in db.endo_facts() {
+            let b = &batched.entry(f).unwrap().value;
+            assert_eq!(
+                b,
+                &per_fact.entry(f).unwrap().value,
+                "{}",
+                db.render_fact(f)
+            );
+            let p = shapley_by_permutations(&db, AnyQuery::Union(&u), f, 9).unwrap();
+            assert_eq!(b, &p, "{}", db.render_fact(f));
+        }
     }
 }

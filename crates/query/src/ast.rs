@@ -28,6 +28,17 @@ pub enum Term {
 }
 
 impl Term {
+    /// A constant term holding `name` *verbatim* — no quoting, parsing,
+    /// or re-tokenization is applied, so the name round-trips exactly to
+    /// a database interner lookup. Substitution code (e.g. binding head
+    /// variables to answer constants) must construct constants through
+    /// this instead of any text syntax: a name like `'CS'` (quote
+    /// characters included) is a legal database constant whose *parsed*
+    /// form would be the different constant `CS`.
+    pub fn constant(name: impl Into<String>) -> Term {
+        Term::Const(name.into())
+    }
+
     /// The variable, if this term is one.
     pub fn as_var(&self) -> Option<Var> {
         match self {
@@ -391,9 +402,9 @@ impl QueryBuilder {
         Term::Var(var)
     }
 
-    /// Convenience: a constant term.
+    /// Convenience: a constant term (see [`Term::constant`]).
     pub fn c(&self, name: &str) -> Term {
-        Term::Const(name.to_string())
+        Term::constant(name)
     }
 
     /// Appends a positive atom.

@@ -15,12 +15,15 @@
 //!   for exogenous relations);
 //! * polarity consistency (Section 5.2) and positive connectivity
 //!   (Theorem 5.1's hypothesis);
+//! * conjunction of a union's disjuncts with variables renamed apart —
+//!   the subset queries of the inclusion–exclusion counting identity;
 //! * a classifier mapping a query to the complexity of its exact Shapley
 //!   computation under the paper's dichotomies.
 
 pub mod analysis;
 pub mod ast;
 pub mod classify;
+pub mod conjunction;
 pub mod error;
 pub mod parser;
 
@@ -32,5 +35,6 @@ pub use analysis::{
 };
 pub use ast::{Atom, ConjunctiveQuery, QueryBuilder, Term, UnionQuery, Var};
 pub use classify::{classify, classify_with_exo, ExactComplexity};
+pub use conjunction::{conjoin_disjuncts, self_join_witness, subset_label, DisjunctConjunction};
 pub use error::QueryError;
 pub use parser::{parse_cq, parse_ucq};

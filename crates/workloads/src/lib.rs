@@ -22,4 +22,6 @@ pub mod queries;
 pub mod random_db;
 pub mod university;
 
-pub use university::{figure_1_database, report_benchmark_db, UniversityConfig};
+pub use university::{
+    figure_1_database, report_benchmark_db, union_benchmark_db, UniversityConfig,
+};

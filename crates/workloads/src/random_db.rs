@@ -4,7 +4,7 @@
 //! brute force on random inputs) and by the scaling benchmarks.
 
 use cqshap_db::{Database, Provenance};
-use cqshap_query::{ConjunctiveQuery, Term};
+use cqshap_query::{Atom, ConjunctiveQuery, Term, UnionQuery};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,10 +41,21 @@ impl RandomDbConfig {
     /// query's constants included in the domain so constant atoms can
     /// match).
     pub fn generate(&self, q: &ConjunctiveQuery) -> Database {
+        self.generate_for_atoms(&q.atoms().iter().collect::<Vec<_>>())
+    }
+
+    /// [`RandomDbConfig::generate`] over the relations of *every*
+    /// disjunct of a union.
+    pub fn generate_union(&self, u: &UnionQuery) -> Database {
+        let atoms: Vec<&Atom> = u.disjuncts().iter().flat_map(|d| d.atoms()).collect();
+        self.generate_for_atoms(&atoms)
+    }
+
+    fn generate_for_atoms(&self, atoms: &[&Atom]) -> Database {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut db = Database::new();
         let mut constants: Vec<String> = (0..self.domain).map(|i| format!("d{i}")).collect();
-        for atom in q.atoms() {
+        for atom in atoms {
             for t in &atom.terms {
                 if let Term::Const(c) = t {
                     if !constants.contains(c) {
@@ -53,7 +64,7 @@ impl RandomDbConfig {
                 }
             }
         }
-        for atom in q.atoms() {
+        for atom in atoms {
             let rel = db
                 .add_relation(&atom.relation, atom.terms.len())
                 .expect("consistent");
@@ -61,7 +72,7 @@ impl RandomDbConfig {
                 let _ = db.declare_exogenous_relation(rel);
             }
         }
-        for atom in q.atoms() {
+        for atom in atoms {
             let rel = db.schema().id(&atom.relation).expect("registered");
             let arity = db.schema().arity(rel);
             for _ in 0..self.facts_per_relation {

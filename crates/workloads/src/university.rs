@@ -54,6 +54,35 @@ pub fn report_benchmark_db(m: usize) -> Database {
     db
 }
 
+/// A deterministic two-scenario workload with *exactly* `m` endogenous
+/// facts for the union report benchmarks (`bench-report --ucq`): the
+/// first half is the [`report_benchmark_db`] student side (`TA`/`Reg`),
+/// the second half a disjoint lab side (`Asst`/`Closed`) with the same
+/// group shape, so the 2-disjunct union
+/// [`crate::queries::union_benchmark`] is hierarchical disjunct-wise
+/// *and* in every intersection (the sides share no relation).
+///
+/// # Panics
+/// Panics unless `m` is a positive multiple of 8.
+pub fn union_benchmark_db(m: usize) -> Database {
+    assert!(
+        m > 0 && m.is_multiple_of(8),
+        "union_benchmark_db needs a positive multiple of 8, got {m}"
+    );
+    let mut db = report_benchmark_db(m / 2);
+    let labs = m / 8;
+    for l in 0..labs {
+        let lab = format!("l{l}");
+        db.add_exo("Lab", &[&lab]).expect("distinct");
+        db.add_endo("Closed", &[&lab]).expect("distinct");
+        for j in 0..3 {
+            db.add_endo("Asst", &[&lab, &format!("a{l}_{j}")])
+                .expect("distinct");
+        }
+    }
+    db
+}
+
 /// Parameters for scalable university databases.
 #[derive(Debug, Clone)]
 pub struct UniversityConfig {
@@ -148,6 +177,18 @@ mod tests {
         for m in [4usize, 64, 256] {
             let db = report_benchmark_db(m);
             assert_eq!(db.endo_count(), m, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn union_benchmark_db_has_exact_endo_count_and_disjoint_sides() {
+        for m in [8usize, 64, 256] {
+            let db = union_benchmark_db(m);
+            assert_eq!(db.endo_count(), m, "m = {m}");
+            let asst = db.schema().id("Asst").unwrap();
+            assert_eq!(db.relation_facts(asst).len(), 3 * (m / 8));
+            let ta = db.schema().id("TA").unwrap();
+            assert_eq!(db.relation_facts(ta).len(), m / 8);
         }
     }
 

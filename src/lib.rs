@@ -46,23 +46,25 @@ pub use cqshap_workloads as workloads;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use cqshap_core::{
-        aggregates::{aggregate_shapley, aggregate_value, AggregateFunction},
+        aggregates::{aggregate_report, aggregate_shapley, aggregate_value, AggregateFunction},
         approx::{required_samples, shapley_additive_approx, shapley_sampled, SampleParams},
         gap::{build_gap_family, expected_gap_value, section_5_1_example},
         relevance::{
             brute_force_relevance, is_negatively_relevant, is_positively_relevant, is_relevant,
             shapley_is_zero,
         },
-        rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_value,
-        shapley_value_union, shapley_via_counts, AnyQuery, BruteForceCounter, CompiledCount,
+        rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact,
+        shapley_report_union, shapley_report_union_per_fact, shapley_value, shapley_value_union,
+        shapley_via_counts, AnyQuery, BruteForceCounter, CompiledCount, CompiledUnionCount,
         CoreError, HierarchicalCounter, SatCountOracle, ShapleyOptions, Strategy,
     };
     pub use cqshap_db::{Database, FactId, FactMask, Provenance, World};
     pub use cqshap_numeric::{BigInt, BigRational, BigUint};
     pub use cqshap_probdb::ProbDatabase;
     pub use cqshap_query::{
-        classify, classify_with_exo, is_hierarchical, is_polarity_consistent, parse_cq, parse_ucq,
-        ConjunctiveQuery, ExactComplexity, QueryBuilder, UnionQuery,
+        classify, classify_with_exo, conjoin_disjuncts, is_hierarchical, is_polarity_consistent,
+        parse_cq, parse_ucq, ConjunctiveQuery, DisjunctConjunction, ExactComplexity, QueryBuilder,
+        UnionQuery,
     };
 }
 

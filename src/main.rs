@@ -33,7 +33,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cqshap classify  \"<query>\" [--exo R1,R2]
   cqshap shapley   <db-file> \"<query>\" [--fact \"R(a, b)\"] [--strategy auto|hierarchical|exoshap|brute|permutations]
-  cqshap report    <db-file> \"<query>\" [--strategy auto|hierarchical|exoshap|brute|permutations]
+  cqshap report    <db-file> \"<query>\" [--strategy ...] [--agg count|sum:VAR]
+                   (the query may be a UCQ: rules separated by `;` or newlines;
+                    with --agg it must project the aggregate's head variables)
   cqshap relevance <db-file> \"<query>\" --fact \"R(a, b)\"
   cqshap probability <db-file> \"<query>\" [--default-p 0.5]
   cqshap satcount  <db-file> \"<query>\"";
@@ -45,6 +47,7 @@ struct Options {
     fact: Option<String>,
     strategy: Option<String>,
     default_p: Option<String>,
+    agg: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -54,6 +57,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         fact: None,
         strategy: None,
         default_p: None,
+        agg: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -67,11 +71,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--fact" => out.fact = Some(grab("--fact")?),
             "--strategy" => out.strategy = Some(grab("--strategy")?),
             "--default-p" => out.default_p = Some(grab("--default-p")?),
+            "--agg" => out.agg = Some(grab("--agg")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
         }
     }
     Ok(out)
+}
+
+/// Parses `count` or `sum:VAR` into an aggregate function.
+fn parse_aggregate(spec: &str) -> Result<AggregateFunction, String> {
+    match spec {
+        "count" => Ok(AggregateFunction::Count),
+        other => match other.strip_prefix("sum:") {
+            Some(var) if !var.is_empty() => Ok(AggregateFunction::Sum {
+                weight_var: var.to_string(),
+            }),
+            _ => Err(format!(
+                "bad aggregate spec {spec:?} (expected `count` or `sum:VAR`)"
+            )),
+        },
+    }
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
@@ -200,22 +220,42 @@ fn cmd_shapley(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// The batched all-facts report: compile the `(db, query)` pair once,
-/// recount incrementally per fact, print every value plus timing and
-/// the efficiency check.
+/// The batched all-facts report: compile the query (CQ¬, UCQ¬, or
+/// aggregate) once, recount incrementally per fact, print every value
+/// plus timing and the efficiency check.
+///
+/// Multi-rule queries (`;`- or newline-separated) route through the
+/// inclusion–exclusion union engine; `--agg count|sum:VAR` routes a
+/// head-projecting query through the aggregate decomposition.
 fn cmd_report(opts: &Options) -> Result<(), String> {
     let [db_path, query] = opts.positional.as_slice() else {
         return Err("report needs a database file and a query".into());
     };
     let db = load_db(db_path)?;
-    let q = parse_cq(query).map_err(|e| e.to_string())?;
     let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
     let options = ShapleyOptions {
         strategy,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
-    let report = shapley_report(&db, &q, &options).map_err(|e| e.to_string())?;
+    let report = if let Some(spec) = &opts.agg {
+        let agg = parse_aggregate(spec)?;
+        let q = parse_cq(query).map_err(|e| e.to_string())?;
+        aggregate_report(&db, &q, &agg, &options).map_err(|e| e.to_string())?
+    } else {
+        // A UCQ¬ parse also accepts single Boolean rules; queries with a
+        // head (which unions reject) fall back to the single-CQ¬ path.
+        match parse_ucq(query) {
+            Ok(u) if u.disjuncts().len() > 1 => {
+                shapley_report_union(&db, &u, &options).map_err(|e| e.to_string())?
+            }
+            Ok(u) => shapley_report(&db, &u.disjuncts()[0], &options).map_err(|e| e.to_string())?,
+            Err(_) => {
+                let q = parse_cq(query).map_err(|e| e.to_string())?;
+                shapley_report(&db, &q, &options).map_err(|e| e.to_string())?
+            }
+        }
+    };
     let elapsed = t0.elapsed();
     for entry in &report.entries {
         println!(
@@ -329,6 +369,20 @@ mod tests {
         assert_eq!(o.strategy.as_deref(), Some("auto"));
         assert!(parse_options(&strs(&["--bogus"])).is_err());
         assert!(parse_options(&strs(&["--fact"])).is_err());
+    }
+
+    #[test]
+    fn aggregate_spec_parsing() {
+        assert!(matches!(
+            parse_aggregate("count").unwrap(),
+            AggregateFunction::Count
+        ));
+        match parse_aggregate("sum:r").unwrap() {
+            AggregateFunction::Sum { weight_var } => assert_eq!(weight_var, "r"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_aggregate("sum:").is_err());
+        assert!(parse_aggregate("avg").is_err());
     }
 
     #[test]

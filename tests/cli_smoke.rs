@@ -127,6 +127,34 @@ fn report_command_prints_values_and_timing() {
 }
 
 #[test]
+fn report_command_accepts_unions() {
+    let db = figure_1_file("union-report");
+    // q1 unioned with a rule over relations absent from the database:
+    // the union's values equal q1's own (the second disjunct never
+    // fires), and they come out of the inclusion–exclusion engine.
+    let union = "q1() :- Stud(x), !TA(x), Reg(x, y); q2() :- Lab(l), Asst(l, s), !Closed(l)";
+    let out = stdout_of(&cqshap(&["report", db.path(), union]));
+    for value in ["-3/28", "-2/35", "37/210", "27/140", "13/42"] {
+        assert!(out.contains(value), "missing {value} in stdout: {out}");
+    }
+    assert!(out.contains("efficiency holds"), "stdout: {out}");
+}
+
+#[test]
+fn report_command_accepts_aggregates() {
+    let db = figure_1_file("agg-report");
+    // Count{y | Stud(x), !TA(x), Reg(x, y)}: per-course counting. The
+    // efficiency total is agg(D) − agg(Dx) = 4 − 0.
+    let q = "qc(y) :- Stud(x), !TA(x), Reg(x, y)";
+    let out = stdout_of(&cqshap(&["report", db.path(), q, "--agg", "count"]));
+    assert!(out.contains("efficiency holds"), "stdout: {out}");
+    assert!(out.contains("8 facts in"), "stdout: {out}");
+
+    let out = cqshap(&["report", db.path(), q, "--agg", "avg"]);
+    assert!(!out.status.success());
+}
+
+#[test]
 fn shapley_strategies_agree() {
     let db = figure_1_file("strategies");
     for strategy in ["auto", "hierarchical", "brute", "permutations"] {
