@@ -26,10 +26,7 @@ fn bench_rewrite(c: &mut Criterion) {
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let q = citations_query();
-    let opts = ShapleyOptions {
-        strategy: Strategy::ExoShap,
-        ..Default::default()
-    };
+    let opts = ShapleyOptions::with_strategy(Strategy::ExoShap);
     let mut group = c.benchmark_group("exoshap/report");
     for authors in [8usize, 16, 32] {
         let db = AcademicConfig {

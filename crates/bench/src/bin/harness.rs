@@ -15,6 +15,11 @@
 //! ```sh
 //! cargo run -p cqshap-bench --release --bin harness -- bench-report [--quick] [--out FILE]
 //! ```
+//!
+//! `bench-report --session` measures the `ShapleySession` incremental
+//! maintenance path (in-place update + re-report) against the full
+//! recompile path (fresh prepare + report after the same update) and
+//! writes `BENCH_session.json`.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -31,7 +36,7 @@ use cqshap_core::relevance::{
 use cqshap_core::{
     rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact,
     shapley_report_union, shapley_report_union_per_fact, shapley_value, shapley_via_counts,
-    AnyQuery, BruteForceCounter, ShapleyOptions, Strategy,
+    AnyQuery, BruteForceCounter, ShapleyOptions, ShapleySession, Strategy,
 };
 use cqshap_db::{Database, World};
 use cqshap_gadgets::coloring::{coloring_to_3p2n, to_224};
@@ -165,13 +170,20 @@ fn bench_report(args: &[String]) {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if ucq || aggregate {
+            if args.iter().any(|a| a == "--session") {
+                "BENCH_session.json".to_string()
+            } else if ucq || aggregate {
                 "BENCH_ucq.json".to_string()
             } else {
                 "BENCH_report.json".to_string()
             }
         });
+    let session = args.iter().any(|a| a == "--session");
     let samples = if quick { 3 } else { 5 };
+    if session {
+        bench_session(quick, &out_path);
+        return;
+    }
     if ucq || aggregate {
         bench_union_aggregate(ucq, aggregate, quick, samples, &out_path);
         return;
@@ -253,6 +265,122 @@ fn bench_report(args: &[String]) {
         json_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench report");
+    println!("wrote {out_path}");
+}
+
+/// The `--session` mode of `bench-report`: amortized per-update cost
+/// of the `ShapleySession` incremental maintenance path (in-place
+/// exogenous flips on the report workload, each followed by a full
+/// re-report) against the recompile path (the same flip applied to a
+/// plain database, followed by a fresh `prepare` + report) at
+/// `m ∈ {64, 256, 1024}`. Quick mode (CI) skips the recompile baseline
+/// at `m = 1024` (it costs several seconds per update).
+fn bench_session(quick: bool, out_path: &str) {
+    use cqshap_db::Provenance;
+    let q1 = queries::q1();
+    let options = opts();
+    let mut rows: Vec<String> = Vec::new();
+    for &m in &[64usize, 256, 1024] {
+        let db = cqshap_workloads::report_benchmark_db(m);
+        assert_eq!(db.endo_count(), m);
+        let updates: usize = if m >= 1024 {
+            if quick {
+                2
+            } else {
+                4
+            }
+        } else {
+            8
+        };
+        let targets: Vec<cqshap_db::FactId> = db
+            .endo_facts()
+            .iter()
+            .copied()
+            .take(updates.div_ceil(2))
+            .collect();
+
+        // Incremental path: prepare once, then update + re-report.
+        let t0 = Instant::now();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &options).expect("hierarchical");
+        let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        for u in 0..updates {
+            // Flip one grouped fact out of Dn, then back in: every op
+            // is a real provenance change touching one root group.
+            let f = targets[u / 2];
+            session.set_exogenous(f, u % 2 == 0).expect("live fact");
+            let r = session.report().expect("hierarchical");
+            assert!(r.efficiency_holds(), "efficiency after update {u}");
+        }
+        let incremental = t1.elapsed().as_secs_f64() * 1e3 / updates as f64;
+        assert_eq!(
+            session.stats().incremental_updates,
+            updates,
+            "every flip must be maintained incrementally"
+        );
+
+        // Correctness guard: the maintained session is bit-identical to
+        // a fresh prepare on the updated database.
+        {
+            let fresh = ShapleySession::prepare(session.database(), AnyQuery::Cq(&q1), &options)
+                .expect("hierarchical");
+            let (a, b) = (
+                session.report().expect("hierarchical"),
+                fresh.report().expect("hierarchical"),
+            );
+            for (x, y) in a.entries.iter().zip(&b.entries) {
+                assert_eq!(x.value, y.value, "maintained vs fresh at {}", x.rendered);
+            }
+        }
+
+        // Recompile path: the same updates against a plain database,
+        // paying a fresh prepare + report each time.
+        let recompile = if quick && m >= 1024 {
+            None
+        } else {
+            let mut plain = db.clone();
+            let t2 = Instant::now();
+            for u in 0..updates {
+                let f = targets[u / 2];
+                let p = if u % 2 == 0 {
+                    Provenance::Exogenous
+                } else {
+                    Provenance::Endogenous
+                };
+                plain.set_fact_provenance(f, p).expect("live fact");
+                let fresh = ShapleySession::prepare(&plain, AnyQuery::Cq(&q1), &options)
+                    .expect("hierarchical");
+                let r = fresh.report().expect("hierarchical");
+                assert!(r.efficiency_holds());
+            }
+            Some(t2.elapsed().as_secs_f64() * 1e3 / updates as f64)
+        };
+        let speedup = recompile.map(|r| r / incremental);
+        eprintln!(
+            "session m = {m:>5}: prepare {prepare_ms:>10.3} ms | update+report {incremental:>10.3} ms \
+             | recompile+report {} | speedup {}",
+            recompile.map_or("skipped".to_string(), |r| format!("{r:.3} ms")),
+            speedup.map_or("—".to_string(), |x| format!("{x:.1}×")),
+        );
+        rows.push(format!(
+            "    {{\"m\": {m}, \"updates\": {updates}, \"prepare_ms\": {prepare_ms:.3}, \
+             \"incremental_ms_per_update\": {incremental:.3}, \
+             \"recompile_ms_per_update\": {}, \"speedup\": {}}}",
+            recompile.map_or("null".to_string(), |r| format!("{r:.3}")),
+            speedup.map_or("null".to_string(), |x| format!("{x:.2}")),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"cqshap-bench-session/v1\",\n  \"query\": \"{}\",\n  \
+         \"workload\": \"report_benchmark_db\",\n  \
+         \"update\": \"set_exogenous flip on one grouped fact\",\n  \
+         \"mode\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        q1,
+        if quick { "quick" } else { "full" },
+        rows.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write session bench");
     println!("wrote {out_path}");
 }
 
@@ -537,14 +665,8 @@ fn e4() {
         db.declare_exogenous_relation(rel).expect("exogenous-safe");
     }
     let q2 = queries::q2();
-    let exo_opts = ShapleyOptions {
-        strategy: Strategy::ExoShap,
-        ..Default::default()
-    };
-    let bf_opts = ShapleyOptions {
-        strategy: Strategy::BruteForceSubsets,
-        ..Default::default()
-    };
+    let exo_opts = ShapleyOptions::with_strategy(Strategy::ExoShap);
+    let bf_opts = ShapleyOptions::with_strategy(Strategy::BruteForceSubsets);
     let mut t = Table::new(&["fact", "ExoShap", "brute force", "match"]);
     for &f in db.endo_facts() {
         let a = shapley_value(&db, &q2, f, &exo_opts).expect("rewritable");

@@ -20,7 +20,8 @@
 //! candidate's residual query has the *same structure* — the same
 //! atoms, polarities, and variable co-occurrences. Strategy resolution
 //! (hierarchy, self-joins, non-hierarchical paths) depends on exactly
-//! that structure, never on the constants, so [`AggregatePlan`] groups
+//! that structure, never on the constants, so the internal
+//! `AggregatePlan` groups
 //! the candidates by residual shape and resolves the strategy **once
 //! per group** instead of re-classifying per tuple. On top of the plan:
 //!
@@ -40,12 +41,13 @@ use cqshap_numeric::{BigInt, BigRational};
 use cqshap_query::{ConjunctiveQuery, QueryBuilder, Term, Var};
 
 use crate::anyquery::AnyQuery;
+use crate::compiled::CompiledCount;
 use crate::error::CoreError;
 use crate::exoshap;
 use crate::satcount::{BruteForceCounter, HierarchicalCounter};
 use crate::shapley::{
-    batched_values, resolve_strategy, shapley_by_permutations, shapley_via_counts, Resolved,
-    ShapleyOptions, ShapleyReport,
+    engine_values, resolve_strategy, shapley_by_permutations, shapley_via_counts, ReportStats,
+    ResolvedStrategy, ShapleyOptions, ShapleyReport,
 };
 
 /// The supported aggregate functions.
@@ -165,22 +167,28 @@ pub fn aggregate_value(
 }
 
 /// One weighted candidate of an aggregate decomposition.
-struct Candidate {
-    weight: BigRational,
-    query: ConjunctiveQuery,
+pub(crate) struct Candidate {
+    pub(crate) weight: BigRational,
+    pub(crate) query: ConjunctiveQuery,
 }
 
 /// Candidates sharing one residual query shape and therefore one
 /// resolved strategy.
-struct ShapeGroup {
-    resolved: Resolved,
-    candidates: Vec<Candidate>,
+pub(crate) struct ShapeGroup {
+    pub(crate) resolved: ResolvedStrategy,
+    pub(crate) candidates: Vec<Candidate>,
 }
 
 /// The shared decomposition of an aggregate query: weighted residual
-/// Boolean queries grouped by shape, each group classified once.
-struct AggregatePlan {
-    groups: Vec<ShapeGroup>,
+/// Boolean queries grouped by shape, each group classified once, with
+/// provably-zero candidates pruned up front.
+pub(crate) struct AggregatePlan {
+    pub(crate) groups: Vec<ShapeGroup>,
+    /// Candidates with nonzero weight before pruning.
+    pub(crate) candidates_total: usize,
+    /// Candidates skipped because their value vector is identically
+    /// zero (no endogenous support, or every supported fact irrelevant).
+    pub(crate) candidates_pruned: usize,
 }
 
 /// One atom of a [`ShapeKey`]: relation, polarity, and per-position
@@ -214,8 +222,98 @@ fn shape_key(q: &ConjunctiveQuery) -> ShapeKey {
         .collect()
 }
 
+/// Cap on the endogenous scope size for the per-fact relevance
+/// pre-pass: beyond it, checking every fact costs more than compiling
+/// the candidate's engine, so only the free no-endogenous-support test
+/// applies.
+const RELEVANCE_PRUNE_LIMIT: usize = 16;
+
+/// Is the candidate's whole value vector provably zero? Two sound
+/// tests (the aggregate-candidate-pruning pass of the ROADMAP):
+///
+/// 1. *No endogenous support*: the residual query's scopes contain no
+///    endogenous fact (or a positive atom can never match), so its
+///    answer is the same in every world and every Shapley value is 0.
+/// 2. *All supported facts irrelevant*: for polarity-consistent
+///    residuals, zero Shapley coincides with irrelevance (Section 5.2),
+///    so [`crate::relevance::is_relevant`] over the scoped endogenous
+///    facts decides zeroness exactly.
+fn candidate_is_zero(db: &Database, qa: &ConjunctiveQuery) -> bool {
+    // Endogenous facts matching some atom pattern — the only facts that
+    // can influence the residual's answer. Unlike the counting layer's
+    // query resolution, this makes no structural demands (candidates
+    // may be non-hierarchical).
+    let mut endo: Vec<FactId> = Vec::new();
+    for atom in qa.atoms() {
+        let Some(rel) = db.schema().id(&atom.relation) else {
+            if atom.negated {
+                continue; // the negation can never fire
+            }
+            return true; // a positive atom can never match: always false
+        };
+        if db.schema().arity(rel) != atom.terms.len() {
+            return false; // malformed: let the engine raise its error
+        }
+        let mut unknown_const = false;
+        let consts: Vec<Option<ConstId>> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(name) => {
+                    let c = db.interner().get(name);
+                    unknown_const |= c.is_none();
+                    c
+                }
+                Term::Var(_) => None,
+            })
+            .collect();
+        if unknown_const {
+            if atom.negated {
+                continue;
+            }
+            return true;
+        }
+        'facts: for &f in db.relation_facts(rel) {
+            if !db.fact(f).provenance.is_endogenous() {
+                continue;
+            }
+            let values = db.fact(f).tuple.values();
+            let mut bound: Vec<(u32, ConstId)> = Vec::new();
+            for (i, t) in atom.terms.iter().enumerate() {
+                match t {
+                    Term::Const(_) => {
+                        if consts[i] != Some(values[i]) {
+                            continue 'facts;
+                        }
+                    }
+                    Term::Var(v) => match bound.iter().find(|(bv, _)| *bv == v.0) {
+                        Some((_, bval)) => {
+                            if *bval != values[i] {
+                                continue 'facts;
+                            }
+                        }
+                        None => bound.push((v.0, values[i])),
+                    },
+                }
+            }
+            endo.push(f);
+        }
+    }
+    if endo.is_empty() {
+        return true;
+    }
+    endo.len() <= RELEVANCE_PRUNE_LIMIT
+        && cqshap_query::is_polarity_consistent(qa)
+        && endo.iter().all(|&f| {
+            matches!(
+                crate::relevance::is_relevant(db, AnyQuery::Cq(qa), f),
+                Ok(false)
+            )
+        })
+}
+
 impl AggregatePlan {
-    fn prepare(
+    pub(crate) fn prepare(
         db: &Database,
         q: &ConjunctiveQuery,
         agg: &AggregateFunction,
@@ -229,12 +327,19 @@ impl AggregatePlan {
         }
         let mut keys: HashMap<ShapeKey, usize> = HashMap::new();
         let mut groups: Vec<(ConjunctiveQuery, Vec<Candidate>)> = Vec::new();
+        let mut candidates_total = 0usize;
+        let mut candidates_pruned = 0usize;
         for a in candidate_answers(db, q) {
             let weight = agg.weight(db, q, &a)?;
             if weight.is_zero() {
                 continue;
             }
+            candidates_total += 1;
             let qa = substitute_head(db, q, &a)?;
+            if candidate_is_zero(db, &qa) {
+                candidates_pruned += 1;
+                continue;
+            }
             let next = groups.len();
             let slot = *keys.entry(shape_key(&qa)).or_insert(next);
             if slot == groups.len() {
@@ -255,25 +360,37 @@ impl AggregatePlan {
                 })
             })
             .collect::<Result<Vec<_>, CoreError>>()?;
-        Ok(AggregatePlan { groups })
+        Ok(AggregatePlan {
+            groups,
+            candidates_total,
+            candidates_pruned,
+        })
+    }
+
+    /// The pruning counters as report stats.
+    pub(crate) fn stats(&self) -> ReportStats {
+        ReportStats {
+            aggregate_candidates: self.candidates_total,
+            pruned_candidates: self.candidates_pruned,
+        }
     }
 }
 
 /// One candidate's Shapley value for one fact, under an
 /// already-resolved strategy.
-fn candidate_value(
+pub(crate) fn candidate_value(
     db: &Database,
-    resolved: Resolved,
-    c: &Candidate,
+    resolved: ResolvedStrategy,
+    query: &ConjunctiveQuery,
     f: FactId,
     options: &ShapleyOptions,
 ) -> Result<BigRational, CoreError> {
     match resolved {
-        Resolved::Hierarchical => {
-            shapley_via_counts(db, AnyQuery::Cq(&c.query), f, &HierarchicalCounter)
+        ResolvedStrategy::Hierarchical => {
+            shapley_via_counts(db, AnyQuery::Cq(query), f, &HierarchicalCounter)
         }
-        Resolved::ExoShap => {
-            let outcome = exoshap::rewrite(db, &c.query, options.tuple_budget)?;
+        ResolvedStrategy::ExoShap => {
+            let outcome = exoshap::rewrite(db, query, options.tuple_budget)?;
             if outcome.always_false {
                 return Ok(BigRational::zero());
             }
@@ -284,22 +401,22 @@ fn candidate_value(
                 &HierarchicalCounter,
             )
         }
-        Resolved::BruteForce => shapley_via_counts(
+        ResolvedStrategy::BruteForce => shapley_via_counts(
             db,
-            AnyQuery::Cq(&c.query),
+            AnyQuery::Cq(query),
             f,
             &BruteForceCounter {
                 limit: options.brute_force_limit,
             },
         ),
-        Resolved::Permutations => {
-            shapley_by_permutations(db, AnyQuery::Cq(&c.query), f, options.permutation_limit)
+        ResolvedStrategy::Permutations => {
+            shapley_by_permutations(db, AnyQuery::Cq(query), f, options.permutation_limit)
         }
     }
 }
 
 /// `Shapley_agg(D, q, f)` by linearity over candidate answers, through
-/// the shared [`AggregatePlan`] (strategy resolved once per residual
+/// the shared `AggregatePlan` (strategy resolved once per residual
 /// shape, not once per tuple).
 ///
 /// # Errors
@@ -316,11 +433,144 @@ pub fn aggregate_shapley(
     let mut acc = BigRational::zero();
     for group in &plan.groups {
         for c in &group.candidates {
-            let v = candidate_value(db, group.resolved, c, f, options)?;
+            let v = candidate_value(db, group.resolved, &c.query, f, options)?;
             acc += &(&c.weight * &v);
         }
     }
     Ok(acc)
+}
+
+/// How one prepared candidate is served: a compiled engine (possibly
+/// against its own rewritten database), a constant zero, or per-fact
+/// enumeration.
+pub(crate) enum CandidateEngine {
+    /// Hierarchical residual: the engine runs against the session's db.
+    Direct(CompiledCount),
+    /// `ExoShap` residual: the engine runs against the rewritten db.
+    Rewritten {
+        db: Box<Database>,
+        engine: CompiledCount,
+    },
+    /// The rewriting proved the residual always false.
+    AlwaysFalse,
+    /// Brute-force strategies: evaluated per fact, no compiled state.
+    PerFact,
+}
+
+/// A candidate with its prepared engine.
+pub(crate) struct PreparedCandidate {
+    pub(crate) weight: BigRational,
+    pub(crate) query: ConjunctiveQuery,
+    pub(crate) engine: CandidateEngine,
+}
+
+/// An [`AggregatePlan`] with every tractable candidate's batched
+/// engine compiled once — the aggregate state behind
+/// [`crate::session::ShapleySession::prepare_aggregate`].
+pub(crate) struct AggregateEngines {
+    pub(crate) groups: Vec<(ResolvedStrategy, Vec<PreparedCandidate>)>,
+    pub(crate) stats: ReportStats,
+}
+
+impl AggregateEngines {
+    pub(crate) fn prepare(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        agg: &AggregateFunction,
+        options: &ShapleyOptions,
+    ) -> Result<Self, CoreError> {
+        let plan = AggregatePlan::prepare(db, q, agg, options)?;
+        let stats = plan.stats();
+        let mut groups = Vec::with_capacity(plan.groups.len());
+        for group in plan.groups {
+            let mut prepared = Vec::with_capacity(group.candidates.len());
+            for c in group.candidates {
+                let engine = match group.resolved {
+                    ResolvedStrategy::Hierarchical => {
+                        CandidateEngine::Direct(CompiledCount::compile(db, &c.query)?)
+                    }
+                    ResolvedStrategy::ExoShap => {
+                        let outcome = exoshap::rewrite(db, &c.query, options.tuple_budget)?;
+                        if outcome.always_false {
+                            CandidateEngine::AlwaysFalse
+                        } else {
+                            let engine = CompiledCount::compile(&outcome.db, &outcome.query)?;
+                            CandidateEngine::Rewritten {
+                                db: Box::new(outcome.db),
+                                engine,
+                            }
+                        }
+                    }
+                    ResolvedStrategy::BruteForce | ResolvedStrategy::Permutations => {
+                        CandidateEngine::PerFact
+                    }
+                };
+                prepared.push(PreparedCandidate {
+                    weight: c.weight,
+                    query: c.query,
+                    engine,
+                });
+            }
+            groups.push((group.resolved, prepared));
+        }
+        Ok(AggregateEngines { groups, stats })
+    }
+
+    /// The weighted per-fact value vector over `facts`, engine-backed
+    /// wherever an engine was prepared.
+    pub(crate) fn values(
+        &self,
+        db: &Database,
+        facts: &[FactId],
+        options: &ShapleyOptions,
+    ) -> Result<Vec<BigRational>, CoreError> {
+        let mut acc = vec![BigRational::zero(); facts.len()];
+        for (resolved, candidates) in &self.groups {
+            match resolved {
+                ResolvedStrategy::Hierarchical | ResolvedStrategy::ExoShap => {
+                    for c in candidates {
+                        match &c.engine {
+                            CandidateEngine::Direct(engine) => {
+                                weighted_add(&mut acc, &c.weight, engine_values(db, engine, facts)?)
+                            }
+                            CandidateEngine::Rewritten { db: rw_db, engine } => weighted_add(
+                                &mut acc,
+                                &c.weight,
+                                engine_values(rw_db, engine, facts)?,
+                            ),
+                            CandidateEngine::AlwaysFalse => {}
+                            CandidateEngine::PerFact => unreachable!("tractable group"),
+                        }
+                    }
+                }
+                ResolvedStrategy::BruteForce | ResolvedStrategy::Permutations => {
+                    let values = crate::parallel::par_map(facts.len(), |i| {
+                        let mut v = BigRational::zero();
+                        for c in candidates {
+                            let cv = candidate_value(db, *resolved, &c.query, facts[i], options)?;
+                            v += &(&c.weight * &cv);
+                        }
+                        Ok::<BigRational, CoreError>(v)
+                    })
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?;
+                    weighted_add(&mut acc, &BigRational::one(), values);
+                }
+            }
+        }
+        Ok(acc)
+    }
+}
+
+/// `agg(D) − agg(Dx)` — the expected total of an aggregate report.
+pub(crate) fn aggregate_efficiency_target(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    agg: &AggregateFunction,
+) -> Result<BigRational, CoreError> {
+    let full = aggregate_value(db, &World::full(db), q, agg)?;
+    let empty = aggregate_value(db, &World::empty(db), q, agg)?;
+    Ok(full - empty)
 }
 
 /// `Shapley_agg(D, q, f)` for *every* endogenous fact at once: one
@@ -328,65 +578,18 @@ pub fn aggregate_shapley(
 /// shared by every fact's recount) on the tractable strategies, with
 /// the weighted values accumulated fact-wise. The report's expected
 /// total is `agg(D) − agg(Dx)`, which the value total must equal by
-/// linearity of the efficiency axiom.
+/// linearity of the efficiency axiom; its
+/// [`ShapleyReport::stats`] carry the candidate-pruning counters.
 ///
-/// [`CompiledCount`]: crate::compiled::CompiledCount
+/// A thin compatibility wrapper over
+/// [`crate::session::ShapleySession::prepare_aggregate`].
 pub fn aggregate_report(
     db: &Database,
     q: &ConjunctiveQuery,
     agg: &AggregateFunction,
     options: &ShapleyOptions,
 ) -> Result<ShapleyReport, CoreError> {
-    let plan = AggregatePlan::prepare(db, q, agg, options)?;
-    let facts = db.endo_facts();
-    let mut acc = vec![BigRational::zero(); facts.len()];
-    for group in &plan.groups {
-        match group.resolved {
-            Resolved::Hierarchical => {
-                for c in &group.candidates {
-                    weighted_add(&mut acc, &c.weight, batched_values(db, &c.query, facts)?);
-                }
-            }
-            Resolved::ExoShap => {
-                for c in &group.candidates {
-                    let outcome = exoshap::rewrite(db, &c.query, options.tuple_budget)?;
-                    if outcome.always_false {
-                        continue;
-                    }
-                    weighted_add(
-                        &mut acc,
-                        &c.weight,
-                        batched_values(&outcome.db, &outcome.query, facts)?,
-                    );
-                }
-            }
-            Resolved::BruteForce | Resolved::Permutations => {
-                let values = crate::parallel::par_map(facts.len(), |i| {
-                    let mut v = BigRational::zero();
-                    for c in &group.candidates {
-                        let cv = candidate_value(db, group.resolved, c, facts[i], options)?;
-                        v += &(&c.weight * &cv);
-                    }
-                    Ok::<BigRational, CoreError>(v)
-                })
-                .into_iter()
-                .collect::<Result<Vec<_>, _>>()?;
-                weighted_add(&mut acc, &BigRational::one(), values);
-            }
-        }
-    }
-    let full = aggregate_value(db, &World::full(db), q, agg)?;
-    let empty = aggregate_value(db, &World::empty(db), q, agg)?;
-    let entries = facts
-        .iter()
-        .zip(acc)
-        .map(|(&f, value)| crate::shapley::ShapleyEntry {
-            fact: f,
-            rendered: db.render_fact(f),
-            value,
-        })
-        .collect();
-    Ok(ShapleyReport::new(entries, full - empty))
+    crate::session::ShapleySession::prepare_aggregate(db, q, agg.clone(), options)?.report()
 }
 
 /// `acc[i] += weight · values[i]`.

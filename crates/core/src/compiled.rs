@@ -1,5 +1,6 @@
 //! The batched all-facts Shapley engine: compile-once `CntSat` with
-//! incremental per-fact recounting.
+//! incremental per-fact recounting and incremental maintenance across
+//! database updates.
 //!
 //! [`crate::shapley::shapley_via_counts`] answers one fact by running
 //! the full hierarchical DP twice; an all-facts report over `m`
@@ -30,15 +31,38 @@
 //! database clones) to amortized `O(|group|)` — the recount touches one
 //! root group and a dot product of its length.
 //!
+//! ## Incremental maintenance
+//!
+//! The engine does not borrow the database: every query-time method
+//! takes `&Database`, and [`CompiledCount::update`] *patches* the
+//! compiled state after an in-place database update
+//! ([`Database::retract_fact`] / [`Database::set_fact_provenance`] /
+//! an insertion) instead of recompiling. The key observation is that a
+//! root group's cached leave-one-out environment
+//! `genv_g = binom(junk) ⊛ ⊛_{h≠g} unsat_h` is a *product of the other
+//! groups' polynomials*: a single-group change is a factor swap, served
+//! by one exact polynomial division and one short convolution per
+//! environment — `O(|group| · m)` small-coefficient work — rather than
+//! re-running the divide-and-conquer product tree (the sequential
+//! `O(m² log n)` large-coefficient stage that dominates compilation).
+//! Only the touched group's counting recursion is re-run; the weight
+//! correlations (embarrassingly parallel, shared with compile) are then
+//! refreshed against the new `k!·(m−1−k)!` numerators. Structural
+//! drift — a root group appearing or dying, a query atom resolving
+//! differently — makes `update` report that a full recompile is needed.
+//!
 //! The resulting values are *bit-identical* to the per-fact oracle: the
 //! weighted sums are accumulated as exact integers over the common
-//! denominator `m!` and normalized once.
+//! denominator `m!` and normalized once, and every maintained
+//! polynomial is recomputed exactly (division of exact factors), so a
+//! maintained engine agrees bit-for-bit with a freshly compiled one.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use cqshap_db::{Database, FactId, FactMask};
+use cqshap_db::{ConstId, Database, FactId, FactMask, RelId};
 use cqshap_numeric::{BigInt, BigRational, BigUint, FactorialTable};
-use cqshap_query::ConjunctiveQuery;
+use cqshap_query::{ConjunctiveQuery, Term};
 
 use crate::error::CoreError;
 use crate::parallel::par_map;
@@ -47,6 +71,32 @@ use crate::satcount::{
     resolve_query, root_candidates, root_group_scopes, scope_endo_count, MaskedDb, PAtom,
     ResolvedQuery,
 };
+
+/// One in-place database change, as seen by a compiled engine.
+///
+/// The database must be mutated *first*; the engine then patches its
+/// caches from the post-update state (retracted facts stay readable
+/// through their tombstones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineUpdate {
+    /// A freshly inserted fact.
+    Inserted(FactId),
+    /// A fact retracted in place ([`Database::retract_fact`]).
+    Retracted(FactId),
+    /// A fact whose provenance flipped in either direction
+    /// ([`Database::set_fact_provenance`]).
+    ProvenanceFlipped(FactId),
+}
+
+impl EngineUpdate {
+    fn fact(self) -> FactId {
+        match self {
+            EngineUpdate::Inserted(f)
+            | EngineUpdate::Retracted(f)
+            | EngineUpdate::ProvenanceFlipped(f) => f,
+        }
+    }
+}
 
 /// Where an endogenous fact lives in the compiled structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +113,8 @@ enum Loc {
 /// One root-value group of a connected component: the sub-query with
 /// the root substituted, its fact scopes, and its cached polynomials.
 struct RootGroup {
+    /// The root value of the group.
+    value: ConstId,
     /// Endogenous facts in the group.
     endo: usize,
     /// The component's atoms with the root variable substituted.
@@ -71,20 +123,26 @@ struct RootGroup {
     scopes: Vec<Vec<FactId>>,
     /// Unsatisfying counts `[C(endo,j) − sat_j]` on the unmodified db.
     unsat: Vec<BigUint>,
-    /// `W2[j] = Σ_t W_comp[j+t] · genv[t]` where `genv` is the product
-    /// of all *other* groups' `unsat` polynomials and the junk
-    /// binomial. Contracting the group's masked difference vector with
-    /// `W2` yields the Shapley numerator directly.
+    /// The leave-one-out environment `binom(junk) ⊛ ⊛_{h≠g} unsat_h` —
+    /// cached so updates can maintain it by factor swaps. Isomorphic
+    /// groups (equal `unsat`) share one allocation, so a swap patches
+    /// each *distinct* environment once.
+    genv: Arc<Vec<BigUint>>,
+    /// `W2[j] = Σ_t W_comp[j+t] · genv[t]`. Contracting the group's
+    /// masked difference vector with `W2` yields the Shapley numerator
+    /// directly.
     weight: Vec<BigUint>,
+    /// Canonical form of the group's atoms and scope facts (constants
+    /// renamed by first occurrence, endogeneity flags included): groups
+    /// with equal forms are isomorphic, so their per-fact masked
+    /// recounts coincide role-for-role and share one cache entry.
+    canon: Arc<Vec<u32>>,
 }
 
 /// The shape of one connected component.
 enum CompKind {
     /// Entirely ground: recounted wholesale (a single binomial).
-    Ground {
-        atoms: Vec<PAtom>,
-        scopes: Vec<Vec<FactId>>,
-    },
+    Ground,
     /// Connected with a root variable: one [`RootGroup`] per root value
     /// with full positive support.
     Rooted {
@@ -97,6 +155,14 @@ enum CompKind {
 
 /// A connected component of the query with its cached polynomials.
 struct Component {
+    /// The component's atom patterns (before root substitution).
+    atoms: Vec<PAtom>,
+    /// The relation of each atom (for locating updated facts).
+    rels: Vec<RelId>,
+    /// Per-atom scopes of the whole component (groups + junk).
+    scopes: Vec<Vec<FactId>>,
+    /// The root variable (rooted components only).
+    root: Option<u32>,
     /// Endogenous facts in the component's scopes.
     endo: usize,
     /// Satisfying counts on the unmodified database (length `endo+1`).
@@ -108,10 +174,23 @@ struct Component {
     kind: CompKind,
 }
 
+/// Where an updated fact landed during [`CompiledCount::update`].
+enum Placement {
+    Free,
+    Component { comp: usize, atom: usize },
+}
+
 /// A `(db, query)` pair compiled for batched all-facts Shapley
-/// computation. Shared immutably across report worker threads.
-pub struct CompiledCount<'a> {
-    db: &'a Database,
+/// computation. Shared immutably across report worker threads; does
+/// not borrow the database — query-time methods take `&Database`, and
+/// [`CompiledCount::update`] maintains the caches across in-place
+/// database updates.
+pub struct CompiledCount {
+    /// The compiled query (kept for update-time re-resolution checks).
+    query: ConjunctiveQuery,
+    /// Which atoms resolved (relation known, constants known) — any
+    /// drift here after an update forces a recompile.
+    fingerprint: Vec<(bool, bool)>,
     m: usize,
     table: FactorialTable,
     /// `false` iff some positive atom can never match: all counts zero.
@@ -128,23 +207,97 @@ pub struct CompiledCount<'a> {
     /// [`CompiledCount::bucket_of`]).
     group_bucket_base: Vec<usize>,
     buckets: usize,
+    /// Numerator → reduced value memo: facts of isomorphic root groups
+    /// share their Shapley numerator, so the factorial-denominator
+    /// reduction runs once per *distinct* numerator per (db, m) state.
+    /// Cleared on every refresh (the denominator `m!` moves with `m`).
+    reduce_cache: Mutex<HashMap<BigInt, BigRational>>,
+    /// `(group canonical form, masked fact's role)` → the two masked
+    /// count vectors of the reduction: the per-fact recount runs once
+    /// per isomorphism class and role instead of once per fact.
+    pair_cache: PairCache,
 }
 
-impl<'a> CompiledCount<'a> {
+/// Cache key: a group's canonical form plus the masked fact's role
+/// (atom index, position within that atom's scope).
+type PairKey = (Arc<Vec<u32>>, usize, usize);
+type PairCache = Mutex<HashMap<PairKey, (Vec<BigUint>, Vec<BigUint>)>>;
+
+/// The canonical form of `(atoms, scopes)`: atom patterns and scope
+/// tuples with all constants renamed by first occurrence and each
+/// fact's endogeneity recorded. Equal forms ⟹ the groups are related
+/// by a constant-and-fact bijection that the counting recursion cannot
+/// distinguish.
+fn canonical_form(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Vec<u32> {
+    use crate::satcount::PTerm;
+    let mut rename: HashMap<ConstId, u32> = HashMap::new();
+    let mut out: Vec<u32> = Vec::new();
+    let canon = |c: ConstId, rename: &mut HashMap<ConstId, u32>| -> u32 {
+        let next = rename.len() as u32;
+        *rename.entry(c).or_insert(next)
+    };
+    for (atom, scope) in atoms.iter().zip(scopes) {
+        out.push(u32::MAX);
+        out.push(atom.negated as u32);
+        for t in &atom.terms {
+            match t {
+                PTerm::Var(v) => {
+                    out.push(u32::MAX - 1);
+                    out.push(*v);
+                }
+                PTerm::Const(c) => {
+                    out.push(u32::MAX - 2);
+                    out.push(canon(*c, &mut rename));
+                }
+            }
+        }
+        for &f in scope {
+            let fact = db.fact(f);
+            out.push(u32::MAX - 3);
+            out.push(fact.provenance.is_endogenous() as u32);
+            for &c in fact.tuple.values() {
+                out.push(canon(c, &mut rename));
+            }
+        }
+    }
+    out
+}
+
+/// Which atoms of `q` resolve against `db` (relation known, every
+/// constant interned). Updates that change this change the resolved
+/// atom list itself, which is beyond incremental maintenance.
+fn resolution_fingerprint(db: &Database, q: &ConjunctiveQuery) -> Vec<(bool, bool)> {
+    q.atoms()
+        .iter()
+        .map(|a| {
+            (
+                db.schema().id(&a.relation).is_some(),
+                a.terms.iter().all(|t| match t {
+                    Term::Const(name) => db.interner().get(name).is_some(),
+                    Term::Var(_) => true,
+                }),
+            )
+        })
+        .collect()
+}
+
+impl CompiledCount {
     /// Compiles `q` against `db`.
     ///
     /// # Errors
     /// The same structural errors as
     /// [`crate::satcount::count_sat_hierarchical`]:
     /// [`CoreError::NotSelfJoinFree`] / [`CoreError::NotHierarchical`].
-    pub fn compile(db: &'a Database, q: &ConjunctiveQuery) -> Result<Self, CoreError> {
+    pub fn compile(db: &Database, q: &ConjunctiveQuery) -> Result<Self, CoreError> {
         let m = db.endo_count();
         let table = FactorialTable::new(m);
+        let fingerprint = resolution_fingerprint(db, q);
         let view = MaskedDb::new(db, FactMask::None);
-        let (atoms, scopes) = match resolve_query(db, q)? {
+        let (atoms, rels, scopes) = match resolve_query(db, q)? {
             ResolvedQuery::Unsatisfiable => {
                 return Ok(CompiledCount {
-                    db,
+                    query: q.clone(),
+                    fingerprint,
                     m,
                     table,
                     satisfiable: false,
@@ -155,21 +308,23 @@ impl<'a> CompiledCount<'a> {
                     locs: HashMap::new(),
                     group_bucket_base: Vec::new(),
                     buckets: 1,
+                    reduce_cache: Mutex::new(HashMap::new()),
+                    pair_cache: Mutex::new(HashMap::new()),
                 });
             }
-            ResolvedQuery::Atoms { atoms, scopes } => (atoms, scopes),
+            ResolvedQuery::Atoms {
+                atoms,
+                rels,
+                scopes,
+            } => (atoms, rels, scopes),
         };
-
-        // The Shapley weight numerators w[k] = k!·(m−1−k)!.
-        let w: Vec<BigUint> = (0..m)
-            .map(|k| table.shapley_weight_numerator(m, k))
-            .collect();
 
         let mut components: Vec<Component> = Vec::new();
         let mut locs: HashMap<FactId, Loc> = HashMap::new();
         for idxs in connected_components(&atoms) {
             let ci = components.len();
             let sub_atoms: Vec<PAtom> = idxs.iter().map(|&i| atoms[i].clone()).collect();
+            let sub_rels: Vec<RelId> = idxs.iter().map(|&i| rels[i]).collect();
             let sub_scopes: Vec<Vec<FactId>> = idxs.iter().map(|&i| scopes[i].clone()).collect();
             let endo = scope_endo_count(view, &sub_scopes);
             if sub_atoms.iter().all(|a| !a.has_vars()) {
@@ -180,14 +335,15 @@ impl<'a> CompiledCount<'a> {
                     }
                 }
                 components.push(Component {
+                    atoms: sub_atoms,
+                    rels: sub_rels,
+                    scopes: sub_scopes,
+                    root: None,
                     endo,
                     sat,
                     env: Vec::new(),
                     weight: Vec::new(),
-                    kind: CompKind::Ground {
-                        atoms: sub_atoms,
-                        scopes: sub_scopes,
-                    },
+                    kind: CompKind::Ground,
                 });
                 continue;
             }
@@ -217,12 +373,16 @@ impl<'a> CompiledCount<'a> {
                     }
                 }
                 grouped_endo += g_endo;
+                let canon = Arc::new(canonical_form(db, &g_atoms, &g_scopes));
                 groups.push(RootGroup {
+                    value: c,
                     endo: g_endo,
                     atoms: g_atoms,
                     scopes: g_scopes,
                     unsat: complement_counts(&sat_c, g_endo),
+                    genv: Arc::new(Vec::new()),
                     weight: Vec::new(),
+                    canon,
                 });
             }
             let junk_endo = endo - grouped_endo;
@@ -236,6 +396,10 @@ impl<'a> CompiledCount<'a> {
             let comp_unsat = convolve(&unsat_all, &binom_vec(junk_endo));
             let sat = complement_counts(&comp_unsat, endo);
             components.push(Component {
+                atoms: sub_atoms,
+                rels: sub_rels,
+                scopes: sub_scopes,
+                root: Some(root),
                 endo,
                 sat,
                 env: Vec::new(),
@@ -249,19 +413,10 @@ impl<'a> CompiledCount<'a> {
         }
 
         let free_endo = m - components.iter().map(|c| c.endo).sum::<usize>();
-        let sats: Vec<&[BigUint]> = components.iter().map(|c| c.sat.as_slice()).collect();
-        let all_sat = product(&sats);
-        let total = convolve(&all_sat, &binom_vec(free_endo));
-        debug_assert_eq!(total.len(), m + 1);
 
-        // Leave-one-out environments and their weight correlations.
-        let envs = leave_one_out(&sats, binom_vec(free_endo));
-        let comp_endos: Vec<usize> = components.iter().map(|c| c.endo).collect();
-        let comp_weights = par_map(components.len(), |i| correlate(&w, &envs[i], comp_endos[i]));
-        for ((comp, env), weight) in components.iter_mut().zip(envs).zip(comp_weights) {
-            comp.env = env;
-            comp.weight = weight;
-        }
+        // Group-level leave-one-out environments, computed once by the
+        // divide-and-conquer product tree and *cached* (updates maintain
+        // them by factor swaps instead of re-running the tree).
         for comp in &mut components {
             if let CompKind::Rooted {
                 junk_endo, groups, ..
@@ -270,12 +425,15 @@ impl<'a> CompiledCount<'a> {
                 let unsat_refs: Vec<&[BigUint]> =
                     groups.iter().map(|g| g.unsat.as_slice()).collect();
                 let genv = leave_one_out(&unsat_refs, binom_vec(*junk_endo));
-                let group_endos: Vec<usize> = groups.iter().map(|g| g.endo).collect();
-                let weights = par_map(groups.len(), |g| {
-                    correlate(&comp.weight, &genv[g], group_endos[g])
-                });
-                for (group, weight) in groups.iter_mut().zip(weights) {
-                    group.weight = weight;
+                // Isomorphic groups (equal `unsat`) have equal
+                // environments: share one allocation so update-time
+                // factor swaps patch each distinct polynomial once.
+                let mut shared: HashMap<Vec<BigUint>, Arc<Vec<BigUint>>> = HashMap::new();
+                for (group, env) in groups.iter_mut().zip(genv) {
+                    group.genv = shared
+                        .entry(group.unsat.clone())
+                        .or_insert_with(|| Arc::new(env))
+                        .clone();
                 }
             }
         }
@@ -291,24 +449,439 @@ impl<'a> CompiledCount<'a> {
             }
         }
 
-        Ok(CompiledCount {
-            db,
+        let mut compiled = CompiledCount {
+            query: q.clone(),
+            fingerprint,
             m,
             table,
             satisfiable: true,
-            total,
+            total: Vec::new(),
             free_endo,
-            all_sat,
+            all_sat: Vec::new(),
             components,
             locs,
             group_bucket_base,
             buckets: next,
-        })
+            reduce_cache: Mutex::new(HashMap::new()),
+            pair_cache: Mutex::new(HashMap::new()),
+        };
+        compiled.refresh_weights();
+        Ok(compiled)
+    }
+
+    /// Recomputes everything downstream of the per-group polynomials:
+    /// the component/total counts, the cross-component environments,
+    /// and all weight correlations against `w[k] = k!·(m−1−k)!`.
+    /// Shared by [`CompiledCount::compile`] and
+    /// [`CompiledCount::update`]; the expensive part (the per-group
+    /// correlations) fans out across threads.
+    fn refresh_weights(&mut self) {
+        self.reduce_cache.lock().expect("cache lock").clear();
+        self.pair_cache.lock().expect("cache lock").clear();
+        let m = self.m;
+        let sats: Vec<&[BigUint]> = self.components.iter().map(|c| c.sat.as_slice()).collect();
+        self.all_sat = product(&sats);
+        self.total = convolve(&self.all_sat, &binom_vec(self.free_endo));
+        debug_assert_eq!(self.total.len(), m + 1);
+
+        // The Shapley weight numerators w[k] = k!·(m−1−k)!.
+        let w: Vec<BigUint> = (0..m)
+            .map(|k| self.table.shapley_weight_numerator(m, k))
+            .collect();
+
+        // Component-level leave-one-out environments and their weight
+        // correlations. Components are bounded by the query's atom
+        // count, so this stage is cheap next to the group-level work.
+        let envs = leave_one_out(&sats, binom_vec(self.free_endo));
+        let comp_endos: Vec<usize> = self.components.iter().map(|c| c.endo).collect();
+        let comp_weights = par_map(self.components.len(), |i| {
+            correlate(&w, &envs[i], comp_endos[i])
+        });
+        for ((comp, env), weight) in self.components.iter_mut().zip(envs).zip(comp_weights) {
+            comp.env = env;
+            comp.weight = weight;
+        }
+        for comp in &mut self.components {
+            if let CompKind::Rooted { groups, .. } = &mut comp.kind {
+                // Groups with equal `unsat` polynomials are isomorphic:
+                // their leave-one-out environments (products over the
+                // *other* groups) and weight correlations coincide, so
+                // one representative correlation serves the whole
+                // class. Uniform workloads (many structurally identical
+                // groups) collapse to a handful of correlations.
+                let n = groups.len();
+                let mut class_of = vec![0usize; n];
+                let mut reps: Vec<usize> = Vec::new();
+                {
+                    let mut seen: HashMap<&[BigUint], usize> = HashMap::new();
+                    for (g, group) in groups.iter().enumerate() {
+                        let next = reps.len();
+                        let c = *seen.entry(group.unsat.as_slice()).or_insert(next);
+                        if c == next {
+                            reps.push(g);
+                        }
+                        class_of[g] = c;
+                    }
+                }
+                let groups_ref: &Vec<RootGroup> = groups;
+                let rep_weights = par_map(reps.len(), |r| {
+                    let g = &groups_ref[reps[r]];
+                    correlate(&comp.weight, &g.genv, g.endo)
+                });
+                for (g, group) in groups.iter_mut().enumerate() {
+                    group.weight = rep_weights[class_of[g]].clone();
+                }
+            }
+        }
+    }
+
+    /// Patches the compiled caches after one in-place database update
+    /// (the database must already be mutated). Returns `Ok(false)` when
+    /// the change shifts the compiled *structure* — an atom resolving
+    /// differently, a root group appearing or dying, a degenerate
+    /// always-satisfied group — in which case the caller must
+    /// [`CompiledCount::compile`] afresh; results after a successful
+    /// update are bit-identical to that fresh compile.
+    ///
+    /// # Errors
+    /// Anything the counting recursion raises while re-counting the
+    /// touched root group.
+    pub fn update(&mut self, db: &Database, change: EngineUpdate) -> Result<bool, CoreError> {
+        if resolution_fingerprint(db, &self.query) != self.fingerprint {
+            return Ok(false);
+        }
+        let f = change.fact();
+        if !self.satisfiable {
+            // Still unsatisfiable (the fingerprint pinned the unknown
+            // positive atom): only the zero-count shell tracks m.
+            if self.m != db.endo_count() {
+                self.m = db.endo_count();
+                self.table = FactorialTable::new(self.m);
+                self.total = vec![BigUint::zero(); self.m + 1];
+                self.free_endo = self.m;
+            }
+            return Ok(true);
+        }
+        let endo_now = db.endo_index(f).is_some();
+        let ok = match change {
+            EngineUpdate::Inserted(_) => self.apply_insert(db, f)?,
+            EngineUpdate::Retracted(_) => self.apply_retract(db, f)?,
+            EngineUpdate::ProvenanceFlipped(_) => self.apply_flip(db, f, endo_now)?,
+        };
+        if !ok {
+            return Ok(false);
+        }
+        if self.m != db.endo_count() {
+            self.m = db.endo_count();
+            self.table = FactorialTable::new(self.m);
+        }
+        self.free_endo = self.m - self.components.iter().map(|c| c.endo).sum::<usize>();
+        self.refresh_weights();
+        Ok(true)
+    }
+
+    /// Which component/atom (if any) matches fact `f`'s pattern.
+    /// Self-join-freeness makes the match unique.
+    fn place(&self, db: &Database, f: FactId) -> Placement {
+        let fact = db.fact(f);
+        for (ci, comp) in self.components.iter().enumerate() {
+            for (ai, (&rel, atom)) in comp.rels.iter().zip(&comp.atoms).enumerate() {
+                if rel == fact.rel && atom.matches(fact.tuple.values()) {
+                    return Placement::Component { comp: ci, atom: ai };
+                }
+            }
+        }
+        Placement::Free
+    }
+
+    /// Re-runs the counting recursion for one root group and swaps the
+    /// updated `unsat` factor into every cached environment of the
+    /// component. Returns `false` when the swap is impossible (the old
+    /// factor was identically zero: an always-satisfied group zeroed
+    /// every environment, so nothing can be recovered incrementally).
+    fn recount_group(&mut self, db: &Database, ci: usize, gi: usize) -> Result<bool, CoreError> {
+        let view = MaskedDb::new(db, FactMask::None);
+        let comp = &mut self.components[ci];
+        let (new_endo, comp_unsat) = {
+            let CompKind::Rooted {
+                junk_endo,
+                unsat_all,
+                groups,
+            } = &mut comp.kind
+            else {
+                unreachable!("recount_group targets rooted components");
+            };
+            let g = &mut groups[gi];
+            g.endo = scope_endo_count(view, &g.scopes);
+            g.canon = Arc::new(canonical_form(db, &g.atoms, &g.scopes));
+            let sat_c = rec(view, &g.atoms, &g.scopes)?;
+            let unsat_new = complement_counts(&sat_c, g.endo);
+            let unsat_old = std::mem::replace(&mut g.unsat, unsat_new.clone());
+            if unsat_old.iter().all(|c| c.is_zero()) {
+                return Ok(false);
+            }
+            let Some(quotient) = exact_div_poly(unsat_all, &unsat_old) else {
+                return Ok(false);
+            };
+            *unsat_all = convolve(&quotient, &unsat_new);
+            // Swap the updated factor into every *distinct* environment
+            // (shared Arcs make the per-group pass a pointer lookup).
+            let mut patched: HashMap<*const Vec<BigUint>, Arc<Vec<BigUint>>> = HashMap::new();
+            for (hi, h) in groups.iter_mut().enumerate() {
+                if hi == gi {
+                    continue;
+                }
+                if let Some(done) = patched.get(&Arc::as_ptr(&h.genv)) {
+                    h.genv = done.clone();
+                    continue;
+                }
+                let Some(quotient) = exact_div_poly(&h.genv, &unsat_old) else {
+                    return Ok(false);
+                };
+                let swapped = Arc::new(convolve(&quotient, &unsat_new));
+                patched.insert(Arc::as_ptr(&h.genv), swapped.clone());
+                h.genv = swapped;
+            }
+            (
+                groups.iter().map(|g| g.endo).sum::<usize>() + *junk_endo,
+                convolve(unsat_all, &binom_vec(*junk_endo)),
+            )
+        };
+        comp.endo = new_endo;
+        comp.sat = complement_counts(&comp_unsat, new_endo);
+        Ok(true)
+    }
+
+    /// Re-runs the base case of a ground component.
+    fn recount_ground(&mut self, db: &Database, ci: usize) -> Result<(), CoreError> {
+        let view = MaskedDb::new(db, FactMask::None);
+        let comp = &mut self.components[ci];
+        comp.endo = scope_endo_count(view, &comp.scopes);
+        comp.sat = rec(view, &comp.atoms, &comp.scopes)?;
+        Ok(())
+    }
+
+    /// Shifts a component's junk-binomial factor by ±1 endogenous fact:
+    /// `binom(j+1) = binom(j) ⊛ [1, 1]` (Pascal), so every group
+    /// environment gains or sheds one `[1, 1]` factor.
+    fn shift_junk(&mut self, ci: usize, grow: bool) -> bool {
+        let comp = &mut self.components[ci];
+        let (new_endo, comp_unsat) = {
+            let CompKind::Rooted {
+                junk_endo,
+                unsat_all,
+                groups,
+            } = &mut comp.kind
+            else {
+                unreachable!("junk lives in rooted components");
+            };
+            let one_one = [BigUint::one(), BigUint::one()];
+            let mut patched: HashMap<*const Vec<BigUint>, Arc<Vec<BigUint>>> = HashMap::new();
+            if grow {
+                *junk_endo += 1;
+                for g in groups.iter_mut() {
+                    if let Some(done) = patched.get(&Arc::as_ptr(&g.genv)) {
+                        g.genv = done.clone();
+                        continue;
+                    }
+                    let grown = Arc::new(convolve(&g.genv, &one_one));
+                    patched.insert(Arc::as_ptr(&g.genv), grown.clone());
+                    g.genv = grown;
+                }
+            } else {
+                *junk_endo -= 1;
+                for g in groups.iter_mut() {
+                    if let Some(done) = patched.get(&Arc::as_ptr(&g.genv)) {
+                        g.genv = done.clone();
+                        continue;
+                    }
+                    let Some(quotient) = exact_div_poly(&g.genv, &one_one) else {
+                        return false;
+                    };
+                    let shrunk = Arc::new(quotient);
+                    patched.insert(Arc::as_ptr(&g.genv), shrunk.clone());
+                    g.genv = shrunk;
+                }
+            }
+            let grouped: usize = groups.iter().map(|g| g.endo).sum();
+            (
+                grouped + *junk_endo,
+                convolve(unsat_all, &binom_vec(*junk_endo)),
+            )
+        };
+        comp.endo = new_endo;
+        comp.sat = complement_counts(&comp_unsat, new_endo);
+        true
+    }
+
+    /// Where `f` sits inside component `ci`: in the root group for its
+    /// root value, or in the junk region (no such group).
+    fn rooted_slot(
+        &self,
+        db: &Database,
+        ci: usize,
+        ai: usize,
+        f: FactId,
+    ) -> (ConstId, Option<usize>) {
+        let comp = &self.components[ci];
+        let root = comp.root.expect("rooted component");
+        let value = comp.atoms[ai].value_of(root, db.fact(f).tuple.values());
+        let CompKind::Rooted { groups, .. } = &comp.kind else {
+            unreachable!("rooted component");
+        };
+        (value, groups.iter().position(|g| g.value == value))
+    }
+
+    fn apply_insert(&mut self, db: &Database, f: FactId) -> Result<bool, CoreError> {
+        let Placement::Component { comp: ci, atom: ai } = self.place(db, f) else {
+            return Ok(true); // free fact: only m / free_endo move
+        };
+        let endo = db.endo_index(f).is_some();
+        if self.components[ci].root.is_none() {
+            self.components[ci].scopes[ai].push(f);
+            if endo {
+                self.locs.insert(f, Loc::Ground { comp: ci });
+            }
+            self.recount_ground(db, ci)?;
+            return Ok(true);
+        }
+        let (value, slot) = self.rooted_slot(db, ci, ai, f);
+        match slot {
+            Some(gi) => {
+                let comp = &mut self.components[ci];
+                comp.scopes[ai].push(f);
+                let CompKind::Rooted { groups, .. } = &mut comp.kind else {
+                    unreachable!("rooted component");
+                };
+                groups[gi].scopes[ai].push(f);
+                if endo {
+                    self.locs.insert(
+                        f,
+                        Loc::Grouped {
+                            comp: ci,
+                            group: gi,
+                        },
+                    );
+                }
+                self.recount_group(db, ci, gi)
+            }
+            None => {
+                // `f` itself supports its (positive) atom; if every
+                // other positive atom already has a fact with this root
+                // value, a brand-new root group forms — recompile.
+                let comp = &self.components[ci];
+                let root = comp.root.expect("rooted component");
+                let supported =
+                    comp.atoms
+                        .iter()
+                        .zip(&comp.scopes)
+                        .enumerate()
+                        .all(|(i, (atom, scope))| {
+                            atom.negated
+                                || i == ai
+                                || scope.iter().any(|&x| {
+                                    atom.value_of(root, db.fact(x).tuple.values()) == value
+                                })
+                        });
+                if supported && !self.components[ci].atoms[ai].negated {
+                    return Ok(false);
+                }
+                self.components[ci].scopes[ai].push(f);
+                if endo {
+                    self.locs.insert(f, Loc::Junk { comp: ci });
+                    Ok(self.shift_junk(ci, true))
+                } else {
+                    Ok(true)
+                }
+            }
+        }
+    }
+
+    fn apply_retract(&mut self, db: &Database, f: FactId) -> Result<bool, CoreError> {
+        let Placement::Component { comp: ci, atom: ai } = self.place(db, f) else {
+            return Ok(true); // free fact
+        };
+        let was_endo = self.locs.remove(&f).is_some();
+        if self.components[ci].root.is_none() {
+            self.components[ci].scopes[ai].retain(|&x| x != f);
+            self.recount_ground(db, ci)?;
+            return Ok(true);
+        }
+        let (_, slot) = self.rooted_slot(db, ci, ai, f);
+        self.components[ci].scopes[ai].retain(|&x| x != f);
+        match slot {
+            Some(gi) => {
+                let dies = {
+                    let CompKind::Rooted { groups, .. } = &mut self.components[ci].kind else {
+                        unreachable!("rooted component");
+                    };
+                    let g = &mut groups[gi];
+                    g.scopes[ai].retain(|&x| x != f);
+                    !g.atoms[ai].negated && g.scopes[ai].is_empty()
+                };
+                if dies {
+                    return Ok(false); // the root group lost its support
+                }
+                self.recount_group(db, ci, gi)
+            }
+            None => {
+                if was_endo {
+                    Ok(self.shift_junk(ci, false))
+                } else {
+                    Ok(true)
+                }
+            }
+        }
+    }
+
+    fn apply_flip(&mut self, db: &Database, f: FactId, endo_now: bool) -> Result<bool, CoreError> {
+        let Placement::Component { comp: ci, atom: ai } = self.place(db, f) else {
+            return Ok(true); // free fact
+        };
+        if self.components[ci].root.is_none() {
+            if endo_now {
+                self.locs.insert(f, Loc::Ground { comp: ci });
+            } else {
+                self.locs.remove(&f);
+            }
+            self.recount_ground(db, ci)?;
+            return Ok(true);
+        }
+        let (_, slot) = self.rooted_slot(db, ci, ai, f);
+        match slot {
+            Some(gi) => {
+                if endo_now {
+                    self.locs.insert(
+                        f,
+                        Loc::Grouped {
+                            comp: ci,
+                            group: gi,
+                        },
+                    );
+                } else {
+                    self.locs.remove(&f);
+                }
+                self.recount_group(db, ci, gi)
+            }
+            None => {
+                if endo_now {
+                    self.locs.insert(f, Loc::Junk { comp: ci });
+                } else {
+                    self.locs.remove(&f);
+                }
+                Ok(self.shift_junk(ci, endo_now))
+            }
+        }
     }
 
     /// `|Dn|` of the compiled database.
     pub fn endo_count(&self) -> usize {
         self.m
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
     }
 
     /// `[|Sat(D,q,k)|]_{k=0..m}` for the unmodified database — what
@@ -347,25 +920,34 @@ impl<'a> CompiledCount<'a> {
     ///
     /// # Errors
     /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
-    pub fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
-        self.check_endogenous(f)?;
+    pub fn value(&self, db: &Database, f: FactId) -> Result<BigRational, CoreError> {
+        let num = self.shapley_numerator(db, f)?;
+        Ok(self.normalize_numerator(num))
+    }
+
+    /// The Shapley numerator of `f` over the common denominator `m!`:
+    /// `value(f) = shapley_numerator(f) / m!`. Report paths accumulate
+    /// these with plain integer additions (totals, inclusion–exclusion
+    /// sums) and normalize once instead of reducing per operation.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    pub fn shapley_numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError> {
+        self.check_endogenous(db, f)?;
         if self.is_structurally_null(f) {
-            return Ok(BigRational::zero());
+            return Ok(BigInt::zero());
         }
         let (weight, (sat_minus, sat_plus)) = match *self.locs.get(&f).expect("checked non-null") {
             Loc::Ground { comp } => {
                 let c = &self.components[comp];
-                let CompKind::Ground { atoms, scopes } = &c.kind else {
-                    unreachable!("ground loc points at a ground component");
-                };
-                (&c.weight, self.masked_sat_pair(atoms, scopes, f)?)
+                (&c.weight, self.masked_sat_pair(db, &c.atoms, &c.scopes, f)?)
             }
             Loc::Grouped { comp, group } => {
                 let CompKind::Rooted { groups, .. } = &self.components[comp].kind else {
                     unreachable!("grouped loc points at a rooted component");
                 };
                 let g = &groups[group];
-                (&g.weight, self.masked_sat_pair(&g.atoms, &g.scopes, f)?)
+                (&g.weight, self.cached_group_pair(db, g, f)?)
             }
             Loc::Junk { .. } => unreachable!("junk is structurally null"),
         };
@@ -378,10 +960,21 @@ impl<'a> CompiledCount<'a> {
                 num += &(d * BigInt::from_biguint(wj.clone()));
             }
         }
-        Ok(BigRational::from_parts(
-            num,
-            self.table.factorial(self.m).clone(),
-        ))
+        Ok(num)
+    }
+
+    /// `num / m!` in lowest terms, memoized per distinct numerator
+    /// (facts of isomorphic root groups share theirs).
+    pub fn normalize_numerator(&self, num: BigInt) -> BigRational {
+        if let Some(v) = self.reduce_cache.lock().expect("cache lock").get(&num) {
+            return v.clone();
+        }
+        let reduced = self.table.reduce_over_factorial(num.clone(), self.m);
+        self.reduce_cache
+            .lock()
+            .expect("cache lock")
+            .insert(num, reduced.clone());
+        reduced
     }
 
     /// The `(N_k, N⁺_k)` count vectors of the reduction for `f` — the
@@ -391,8 +984,12 @@ impl<'a> CompiledCount<'a> {
     ///
     /// # Errors
     /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
-    pub fn counts_pair(&self, f: FactId) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
-        self.check_endogenous(f)?;
+    pub fn counts_pair(
+        &self,
+        db: &Database,
+        f: FactId,
+    ) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
+        self.check_endogenous(db, f)?;
         if !self.satisfiable {
             let zeros = vec![BigUint::zero(); self.m];
             return Ok((zeros.clone(), zeros));
@@ -419,33 +1016,19 @@ impl<'a> CompiledCount<'a> {
             }
             Some(&Loc::Ground { comp }) => {
                 let c = &self.components[comp];
-                let CompKind::Ground { atoms, scopes } = &c.kind else {
-                    unreachable!();
-                };
-                let (sat_minus, sat_plus) = self.masked_sat_pair(atoms, scopes, f)?;
+                let (sat_minus, sat_plus) = self.masked_sat_pair(db, &c.atoms, &c.scopes, f)?;
                 Ok((convolve(&c.env, &sat_minus), convolve(&c.env, &sat_plus)))
             }
             Some(&Loc::Grouped { comp, group }) => {
                 let c = &self.components[comp];
-                let CompKind::Rooted {
-                    junk_endo, groups, ..
-                } = &c.kind
-                else {
+                let CompKind::Rooted { groups, .. } = &c.kind else {
                     unreachable!();
                 };
                 let g = &groups[group];
-                let (sat_minus, sat_plus) = self.masked_sat_pair(&g.atoms, &g.scopes, f)?;
-                // Recompute this group's leave-one-out environment (the
-                // cheap product form — this path is for cross-checks).
-                let mut genv = binom_vec(*junk_endo);
-                for (h, other) in groups.iter().enumerate() {
-                    if h != group {
-                        genv = convolve(&genv, &other.unsat);
-                    }
-                }
+                let (sat_minus, sat_plus) = self.masked_sat_pair(db, &g.atoms, &g.scopes, f)?;
                 let pair = [sat_minus, sat_plus].map(|sat| {
                     let unsat = complement_counts(&sat, g.endo - 1);
-                    let comp_unsat = convolve(&genv, &unsat);
+                    let comp_unsat = convolve(&g.genv, &unsat);
                     let comp_sat = complement_counts(&comp_unsat, c.endo - 1);
                     convolve(&c.env, &comp_sat)
                 });
@@ -455,11 +1038,39 @@ impl<'a> CompiledCount<'a> {
         }
     }
 
+    /// [`CompiledCount::masked_sat_pair`] for a grouped fact, memoized
+    /// by `(group isomorphism class, role of f)`: uniform workloads
+    /// recount one representative per class instead of every fact.
+    fn cached_group_pair(
+        &self,
+        db: &Database,
+        g: &RootGroup,
+        f: FactId,
+    ) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
+        let role = g
+            .scopes
+            .iter()
+            .enumerate()
+            .find_map(|(ai, scope)| scope.iter().position(|&x| x == f).map(|pos| (ai, pos)))
+            .expect("grouped fact sits in one scope");
+        let key = (g.canon.clone(), role.0, role.1);
+        if let Some(pair) = self.pair_cache.lock().expect("cache lock").get(&key) {
+            return Ok(pair.clone());
+        }
+        let pair = self.masked_sat_pair(db, &g.atoms, &g.scopes, f)?;
+        self.pair_cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, pair.clone());
+        Ok(pair)
+    }
+
     /// Runs the group/component recursion under the two per-fact masks:
     /// returns `(sat with f removed, sat with f exogenized)`, both of
     /// length `endo` (the group's endogenous count drops by one).
     fn masked_sat_pair(
         &self,
+        db: &Database,
         atoms: &[PAtom],
         scopes: &[Vec<FactId>],
         f: FactId,
@@ -468,23 +1079,15 @@ impl<'a> CompiledCount<'a> {
             .iter()
             .map(|s| s.iter().copied().filter(|&x| x != f).collect())
             .collect();
-        let sat_minus = rec(
-            MaskedDb::new(self.db, FactMask::Removed(f)),
-            atoms,
-            &removed,
-        )?;
-        let sat_plus = rec(
-            MaskedDb::new(self.db, FactMask::Exogenous(f)),
-            atoms,
-            scopes,
-        )?;
+        let sat_minus = rec(MaskedDb::new(db, FactMask::Removed(f)), atoms, &removed)?;
+        let sat_plus = rec(MaskedDb::new(db, FactMask::Exogenous(f)), atoms, scopes)?;
         Ok((sat_minus, sat_plus))
     }
 
-    fn check_endogenous(&self, f: FactId) -> Result<(), CoreError> {
-        if self.db.endo_index(f).is_none() {
+    fn check_endogenous(&self, db: &Database, f: FactId) -> Result<(), CoreError> {
+        if db.endo_index(f).is_none() {
             return Err(CoreError::FactNotEndogenous {
-                fact: self.db.render_fact(f),
+                fact: db.render_fact(f),
             });
         }
         Ok(())
@@ -541,12 +1144,58 @@ fn correlate(weights: &[BigUint], env: &[BigUint], out_len: usize) -> Vec<BigUin
         .collect()
 }
 
+/// Exact polynomial division `num / den` over nonnegative integer
+/// coefficient vectors (coefficient index = degree). Returns `None`
+/// when `den` is zero or does not divide `num` exactly — callers treat
+/// that as "fall back to a full recompile".
+pub(crate) fn exact_div_poly(num: &[BigUint], den: &[BigUint]) -> Option<Vec<BigUint>> {
+    let s = den.iter().position(|c| !c.is_zero())?;
+    if num.iter().all(|c| c.is_zero()) {
+        // 0 / den — only well-defined with the right length.
+        if num.len() >= den.len() {
+            return Some(vec![BigUint::zero(); num.len() - den.len() + 1]);
+        }
+        return None;
+    }
+    if num.len() < den.len() || num[..s].iter().any(|c| !c.is_zero()) {
+        return None;
+    }
+    let shifted = &num[s..];
+    let d = &den[s..];
+    let d0 = &d[0];
+    let q_len = num.len() - den.len() + 1;
+    let mut q = vec![BigUint::zero(); q_len];
+    for k in 0..shifted.len() {
+        // shifted[k] must equal Σ_i q[i] · d[k−i]; for k < q_len the
+        // i = k term carries the unknown q[k], solved against d[0].
+        let mut acc = BigUint::zero();
+        let lo = (k + 1).saturating_sub(d.len());
+        for i in lo..k.min(q_len) {
+            if !q[i].is_zero() && !d[k - i].is_zero() {
+                acc += &(&q[i] * &d[k - i]);
+            }
+        }
+        if k < q_len {
+            let rem = shifted[k].checked_sub(&acc)?;
+            let (quot, r) = rem.div_rem(d0);
+            if !r.is_zero() {
+                return None;
+            }
+            q[k] = quot;
+        } else if shifted[k] != acc {
+            return None;
+        }
+    }
+    Some(q)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::anyquery::AnyQuery;
     use crate::satcount::{count_sat_hierarchical, HierarchicalCounter, SatCountOracle};
     use crate::shapley::shapley_via_counts;
+    use cqshap_db::Provenance;
     use cqshap_query::parse_cq;
 
     fn university() -> Database {
@@ -574,9 +1223,9 @@ mod tests {
         let oracle = HierarchicalCounter;
         for &f in db.endo_facts() {
             let want = shapley_via_counts(db, AnyQuery::Cq(q), f, &oracle).unwrap();
-            let got = compiled.value(f).unwrap();
+            let got = compiled.value(db, f).unwrap();
             assert_eq!(got, want, "{} for {q} on\n{db}", db.render_fact(f));
-            let (n_minus, n_plus) = compiled.counts_pair(f).unwrap();
+            let (n_minus, n_plus) = compiled.counts_pair(db, f).unwrap();
             let want_minus = oracle
                 .counts_masked(db, AnyQuery::Cq(q), FactMask::Removed(f))
                 .unwrap();
@@ -585,6 +1234,33 @@ mod tests {
                 .unwrap();
             assert_eq!(n_minus, want_minus, "{} N_k", db.render_fact(f));
             assert_eq!(n_plus, want_plus, "{} N⁺_k", db.render_fact(f));
+        }
+    }
+
+    /// A maintained engine must agree (bit-identically) with a fresh
+    /// compile of the updated database, falling back when told to.
+    fn assert_update_matches_fresh(
+        db: &Database,
+        compiled: &mut CompiledCount,
+        q: &ConjunctiveQuery,
+        change: EngineUpdate,
+    ) {
+        if !compiled.update(db, change).unwrap() {
+            *compiled = CompiledCount::compile(db, q).unwrap();
+        }
+        let fresh = CompiledCount::compile(db, q).unwrap();
+        assert_eq!(
+            compiled.total_counts(),
+            fresh.total_counts(),
+            "totals after {change:?} for {q}"
+        );
+        for &f in db.endo_facts() {
+            assert_eq!(
+                compiled.value(db, f).unwrap(),
+                fresh.value(db, f).unwrap(),
+                "{} after {change:?} for {q}",
+                db.render_fact(f)
+            );
         }
     }
 
@@ -606,7 +1282,7 @@ mod tests {
         for (rel, args, want) in expect {
             let refs: Vec<&str> = args.to_vec();
             let f = db.find_fact(rel, &refs).unwrap();
-            assert_eq!(compiled.value(f).unwrap().to_string(), want);
+            assert_eq!(compiled.value(&db, f).unwrap().to_string(), want);
         }
     }
 
@@ -647,7 +1323,7 @@ mod tests {
         let c2 = CompiledCount::compile(&db, &q_ta).unwrap();
         let reg = db.find_fact("Reg", &["Adam", "OS"]).unwrap();
         assert!(c2.is_structurally_null(reg));
-        assert_eq!(c2.value(reg).unwrap(), BigRational::zero());
+        assert_eq!(c2.value(&db, reg).unwrap(), BigRational::zero());
     }
 
     #[test]
@@ -673,7 +1349,7 @@ mod tests {
         let compiled = CompiledCount::compile(&db, &q1).unwrap();
         let stud = db.find_fact("Stud", &["Adam"]).unwrap();
         assert!(matches!(
-            compiled.value(stud),
+            compiled.value(&db, stud),
             Err(CoreError::FactNotEndogenous { .. })
         ));
     }
@@ -697,6 +1373,147 @@ mod tests {
         db.add_endo("R", &["a"]).unwrap();
         for text in ["q() :- E(x, x)", "q() :- R(x), !E(x, x)"] {
             agrees_with_per_fact(&db, &parse_cq(text).unwrap());
+        }
+    }
+
+    #[test]
+    fn exact_poly_division_round_trips() {
+        let a: Vec<BigUint> = [1u64, 4, 6, 4, 1]
+            .iter()
+            .map(|&x| BigUint::from_u64(x))
+            .collect();
+        let b: Vec<BigUint> = [1u64, 2, 1].iter().map(|&x| BigUint::from_u64(x)).collect();
+        assert_eq!(exact_div_poly(&a, &b).unwrap(), b);
+        // Leading-zero divisor (a shifted factor).
+        let shifted: Vec<BigUint> = [0u64, 1, 1].iter().map(|&x| BigUint::from_u64(x)).collect();
+        let prod = convolve(&shifted, &b);
+        assert_eq!(exact_div_poly(&prod, &shifted).unwrap(), b);
+        // Non-divisor → None.
+        let c: Vec<BigUint> = [1u64, 3].iter().map(|&x| BigUint::from_u64(x)).collect();
+        assert!(exact_div_poly(&a, &c).is_none());
+        // Zero divisor → None.
+        let z = vec![BigUint::zero(); 2];
+        assert!(exact_div_poly(&a, &z).is_none());
+    }
+
+    #[test]
+    fn incremental_updates_match_fresh_compiles() {
+        let mut db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let mut compiled = CompiledCount::compile(&db, &q1).unwrap();
+
+        // Insert into an existing root group.
+        let f = db.add_endo("Reg", &["Adam", "DB"]).unwrap();
+        assert_update_matches_fresh(&db, &mut compiled, &q1, EngineUpdate::Inserted(f));
+        // Exogenize a grouped fact.
+        let ben = db.find_fact("TA", &["Ben"]).unwrap();
+        db.set_fact_provenance(ben, Provenance::Exogenous).unwrap();
+        assert_update_matches_fresh(
+            &db,
+            &mut compiled,
+            &q1,
+            EngineUpdate::ProvenanceFlipped(ben),
+        );
+        // Flip it back.
+        db.set_fact_provenance(ben, Provenance::Endogenous).unwrap();
+        assert_update_matches_fresh(
+            &db,
+            &mut compiled,
+            &q1,
+            EngineUpdate::ProvenanceFlipped(ben),
+        );
+        // Retract a grouped fact (group keeps support through Reg(Adam, OS/AI)).
+        db.retract_fact(f).unwrap();
+        assert_update_matches_fresh(&db, &mut compiled, &q1, EngineUpdate::Retracted(f));
+        // Insert a free fact (outside every scope).
+        let free = db.add_endo("Unrelated", &["z"]).unwrap();
+        assert_update_matches_fresh(&db, &mut compiled, &q1, EngineUpdate::Inserted(free));
+        // Insert a junk fact (root value without Reg support).
+        let junk = db.add_endo("TA", &["Nadia"]).unwrap();
+        assert_update_matches_fresh(&db, &mut compiled, &q1, EngineUpdate::Inserted(junk));
+        // Retract the junk fact again.
+        db.retract_fact(junk).unwrap();
+        assert_update_matches_fresh(&db, &mut compiled, &q1, EngineUpdate::Retracted(junk));
+    }
+
+    #[test]
+    fn structural_updates_request_recompile() {
+        let mut db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let mut compiled = CompiledCount::compile(&db, &q1).unwrap();
+        // A new student with both Stud and Reg support forms a brand-new
+        // root group → incremental maintenance must decline.
+        db.add_exo("Stud", &["Eve"]).unwrap();
+        let eve_stud = db.find_fact("Stud", &["Eve"]).unwrap();
+        assert!(compiled
+            .update(&db, EngineUpdate::Inserted(eve_stud))
+            .unwrap());
+        let f = db.add_endo("Reg", &["Eve", "OS"]).unwrap();
+        assert!(!compiled.update(&db, EngineUpdate::Inserted(f)).unwrap());
+        compiled = CompiledCount::compile(&db, &q1).unwrap();
+        // Retracting the only Reg fact of a group kills the group.
+        let ben_os = db.find_fact("Reg", &["Ben", "OS"]).unwrap();
+        db.retract_fact(ben_os).unwrap();
+        assert!(!compiled
+            .update(&db, EngineUpdate::Retracted(ben_os))
+            .unwrap());
+        // A fact over a relation unknown at compile time changes atom
+        // resolution (the fingerprint catches it).
+        let mut db2 = Database::parse("endo R(a)\n").unwrap();
+        let q2 = parse_cq("q() :- R(x), !Ghost(x)").unwrap();
+        let mut c2 = CompiledCount::compile(&db2, &q2).unwrap();
+        let g = db2.add_exo("Ghost", &["a"]).unwrap();
+        assert!(!c2.update(&db2, EngineUpdate::Inserted(g)).unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_engine_tracks_m_across_updates() {
+        let mut db = Database::parse("endo R(a)\n").unwrap();
+        let q = parse_cq("q() :- Ghost(x), R(y)").unwrap();
+        let mut compiled = CompiledCount::compile(&db, &q).unwrap();
+        let f = db.add_endo("R", &["b"]).unwrap();
+        assert!(compiled.update(&db, EngineUpdate::Inserted(f)).unwrap());
+        let fresh = CompiledCount::compile(&db, &q).unwrap();
+        assert_eq!(compiled.total_counts(), fresh.total_counts());
+        assert_eq!(
+            compiled.value(&db, f).unwrap(),
+            fresh.value(&db, f).unwrap()
+        );
+    }
+
+    #[test]
+    fn update_sequences_on_varied_queries() {
+        for text in [
+            "q() :- Stud(x), !TA(x), Reg(x, y)",
+            "q() :- Reg(x, y)",
+            "q() :- TA(x), Course(y, 'CS')",
+            "q() :- Stud(x), !TA(x), Reg(x, y), Adv(z, x)",
+        ] {
+            let q = parse_cq(text).unwrap();
+            let mut db = university();
+            let mut compiled = CompiledCount::compile(&db, &q).unwrap();
+            let adam_os = db.find_fact("Reg", &["Adam", "OS"]).unwrap();
+            db.set_fact_provenance(adam_os, Provenance::Exogenous)
+                .unwrap();
+            assert_update_matches_fresh(
+                &db,
+                &mut compiled,
+                &q,
+                EngineUpdate::ProvenanceFlipped(adam_os),
+            );
+            let ic = db.find_fact("Reg", &["Caroline", "IC"]).unwrap();
+            db.retract_fact(ic).unwrap();
+            assert_update_matches_fresh(&db, &mut compiled, &q, EngineUpdate::Retracted(ic));
+            let back = db.add_endo("Reg", &["Caroline", "IC"]).unwrap();
+            assert_update_matches_fresh(&db, &mut compiled, &q, EngineUpdate::Inserted(back));
+            db.set_fact_provenance(adam_os, Provenance::Endogenous)
+                .unwrap();
+            assert_update_matches_fresh(
+                &db,
+                &mut compiled,
+                &q,
+                EngineUpdate::ProvenanceFlipped(adam_os),
+            );
         }
     }
 }

@@ -34,36 +34,38 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use cqshap_db::{Database, FactId};
-use cqshap_numeric::BigRational;
+use cqshap_numeric::{BigInt, BigRational};
 use cqshap_query::{
     conjoin_disjuncts, is_hierarchical, self_join_witness, subset_label, ConjunctiveQuery,
     DisjunctConjunction, UnionQuery,
 };
 
-use crate::compiled::CompiledCount;
+use crate::compiled::{CompiledCount, EngineUpdate};
 use crate::error::CoreError;
 
 /// One signed inclusion–exclusion term: the compiled engine of a subset
 /// conjunction and the sign of its contribution.
-struct SignedTerm<'a> {
+struct SignedTerm {
     /// `true` for even subsets (they *subtract*).
     negative: bool,
-    engine: CompiledCount<'a>,
+    engine: CompiledCount,
 }
 
 /// A `(db, union)` pair compiled for batched all-facts Shapley
 /// computation via inclusion–exclusion. Shared immutably across report
-/// worker threads, like [`CompiledCount`].
-pub struct CompiledUnionCount<'a> {
-    db: &'a Database,
-    terms: Vec<SignedTerm<'a>>,
+/// worker threads, like [`CompiledCount`] — and, like it, free of any
+/// database borrow: query-time methods take `&Database`, and
+/// [`CompiledUnionCount::update`] maintains every subset engine across
+/// an in-place database update.
+pub struct CompiledUnionCount {
+    terms: Vec<SignedTerm>,
     /// Dense combined bucket id per endogenous fact plus the bucket
     /// count (see [`CompiledUnionCount::bucket_of`]), built lazily on
     /// first use — the single-fact value paths never consult it.
     bucket_index: OnceLock<(HashMap<FactId, usize>, usize)>,
 }
 
-impl<'a> CompiledUnionCount<'a> {
+impl CompiledUnionCount {
     /// Cap on the number of disjuncts (the engine compiles `2^d − 1`
     /// subset conjunctions).
     pub const MAX_DISJUNCTS: usize = 10;
@@ -133,7 +135,7 @@ impl<'a> CompiledUnionCount<'a> {
     /// [`CoreError::IntractableIntersection`] when some conjunction
     /// leaves the compiled fragment (the message names the intersection),
     /// plus anything [`CompiledCount::compile`] raises.
-    pub fn compile(db: &'a Database, u: &UnionQuery) -> Result<Self, CoreError> {
+    pub fn compile(db: &Database, u: &UnionQuery) -> Result<Self, CoreError> {
         let mut terms = Vec::new();
         for (negative, label, q) in Self::subset_conjunctions(u)? {
             Self::check_tractable(&label, &q)?;
@@ -143,20 +145,36 @@ impl<'a> CompiledUnionCount<'a> {
             });
         }
         Ok(CompiledUnionCount {
-            db,
             terms,
             bucket_index: OnceLock::new(),
         })
     }
 
+    /// Patches every subset engine after one in-place database update
+    /// (the database must already be mutated). Returns `Ok(false)` when
+    /// any subset engine reports structural drift — the caller must
+    /// recompile the whole union engine.
+    ///
+    /// # Errors
+    /// Anything [`CompiledCount::update`] raises.
+    pub fn update(&mut self, db: &Database, change: EngineUpdate) -> Result<bool, CoreError> {
+        for t in &mut self.terms {
+            if !t.engine.update(db, change)? {
+                return Ok(false);
+            }
+        }
+        self.bucket_index = OnceLock::new();
+        Ok(true)
+    }
+
     /// Combined bucket layout: facts sharing every subset engine's
     /// bucket share recount state across the whole signed sum, so the
     /// report fan-out keeps them on one thread.
-    fn bucket_index(&self) -> &(HashMap<FactId, usize>, usize) {
+    fn bucket_index(&self, db: &Database) -> &(HashMap<FactId, usize>, usize) {
         self.bucket_index.get_or_init(|| {
             let mut key_ids: HashMap<Vec<usize>, usize> = HashMap::new();
-            let mut bucket_ids = HashMap::with_capacity(self.db.endo_count());
-            for &f in self.db.endo_facts() {
+            let mut bucket_ids = HashMap::with_capacity(db.endo_count());
+            for &f in db.endo_facts() {
                 let key: Vec<usize> = self.terms.iter().map(|t| t.engine.bucket_of(f)).collect();
                 let next = key_ids.len();
                 let id = *key_ids.entry(key).or_insert(next);
@@ -164,11 +182,6 @@ impl<'a> CompiledUnionCount<'a> {
             }
             (bucket_ids, key_ids.len().max(1))
         })
-    }
-
-    /// `|Dn|` of the compiled database.
-    pub fn endo_count(&self) -> usize {
-        self.db.endo_count()
     }
 
     /// Number of compiled inclusion–exclusion terms (satisfiable subset
@@ -185,36 +198,60 @@ impl<'a> CompiledUnionCount<'a> {
 
     /// An opaque bucket id grouping facts that share recount state
     /// across all subset engines (see [`CompiledCount::bucket_of`]).
-    pub fn bucket_of(&self, f: FactId) -> usize {
-        self.bucket_index().0.get(&f).copied().unwrap_or(0)
+    pub fn bucket_of(&self, db: &Database, f: FactId) -> usize {
+        self.bucket_index(db).0.get(&f).copied().unwrap_or(0)
     }
 
     /// Total number of bucket ids (all in `0..buckets()`).
-    pub fn buckets(&self) -> usize {
-        self.bucket_index().1
+    pub fn buckets(&self, db: &Database) -> usize {
+        self.bucket_index(db).1
     }
 
     /// The exact Shapley value of `f` under the union: the signed sum of
-    /// the subset engines' values.
+    /// the subset engines' values, accumulated over the shared `m!`
+    /// numerator domain (every subset engine counts the same `Dn`) and
+    /// normalized once.
     ///
     /// # Errors
     /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
-    pub fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
-        if self.db.endo_index(f).is_none() {
+    pub fn value(&self, db: &Database, f: FactId) -> Result<BigRational, CoreError> {
+        let num = self.shapley_numerator(db, f)?;
+        Ok(self.normalize_numerator(num))
+    }
+
+    /// The signed numerator sum over the common denominator `m!` — see
+    /// [`CompiledCount::shapley_numerator`].
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    pub fn shapley_numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError> {
+        if db.endo_index(f).is_none() {
             return Err(CoreError::FactNotEndogenous {
-                fact: self.db.render_fact(f),
+                fact: db.render_fact(f),
             });
         }
-        let mut acc = BigRational::zero();
+        let mut acc = BigInt::zero();
         for t in &self.terms {
-            let v = t.engine.value(f)?;
+            let n = t.engine.shapley_numerator(db, f)?;
             if t.negative {
-                acc -= &v;
+                acc -= &n;
             } else {
-                acc += &v;
+                acc += &n;
             }
         }
         Ok(acc)
+    }
+
+    /// `num / m!` in lowest terms, through the first subset engine's
+    /// memoized reduction (all engines share `m`).
+    pub fn normalize_numerator(&self, num: BigInt) -> BigRational {
+        match self.terms.first() {
+            Some(t) => t.engine.normalize_numerator(num),
+            None => {
+                debug_assert!(num.is_zero(), "no terms, no contributions");
+                BigRational::zero()
+            }
+        }
     }
 }
 
@@ -254,7 +291,7 @@ mod tests {
         let brute = BruteForceCounter::new();
         for &f in db.endo_facts() {
             let want = shapley_via_counts(db, AnyQuery::Union(u), f, &brute).unwrap();
-            let got = compiled.value(f).unwrap();
+            let got = compiled.value(db, f).unwrap();
             assert_eq!(got, want, "{} for {u}", db.render_fact(f));
         }
     }
@@ -285,7 +322,10 @@ mod tests {
         let compiled = CompiledUnionCount::compile(&db, &u).unwrap();
         let cq_engine = CompiledCount::compile(&db, &u.disjuncts()[0]).unwrap();
         for &f in db.endo_facts() {
-            assert_eq!(compiled.value(f).unwrap(), cq_engine.value(f).unwrap());
+            assert_eq!(
+                compiled.value(&db, f).unwrap(),
+                cq_engine.value(&db, f).unwrap()
+            );
         }
     }
 
@@ -345,14 +385,14 @@ mod tests {
         let compiled = CompiledUnionCount::compile(&db, &union_two_sides()).unwrap();
         assert!(compiled.term_count() >= 2);
         for &f in db.endo_facts() {
-            assert!(compiled.bucket_of(f) < compiled.buckets());
+            assert!(compiled.bucket_of(&db, f) < compiled.buckets(&db));
         }
         // Facts of the two sides never share recount state with the
         // other side's grouped facts... but structural nulls can share
         // bucket 0; just check nulls are consistent.
         for &f in db.endo_facts() {
             if compiled.is_structurally_null(f) {
-                assert!(compiled.value(f).unwrap().is_zero());
+                assert!(compiled.value(&db, f).unwrap().is_zero());
             }
         }
     }
@@ -363,7 +403,7 @@ mod tests {
         let compiled = CompiledUnionCount::compile(&db, &union_two_sides()).unwrap();
         let stud = db.find_fact("Stud", &["a"]).unwrap();
         assert!(matches!(
-            compiled.value(stud),
+            compiled.value(&db, stud),
             Err(CoreError::FactNotEndogenous { .. })
         ));
     }

@@ -23,6 +23,9 @@
 //!   brute-force relevance and Shapley zeroness (Propositions 5.5–5.8);
 //! * [`aggregates`] — Shapley attribution for `Count`/`Sum` aggregates
 //!   by linearity (the "Remarks" of Section 3);
+//! * [`session`] — [`session::ShapleySession`], the prepared, updatable
+//!   engine handle unifying CQ¬ / UCQ¬ / aggregate computation with
+//!   incremental maintenance across database updates;
 //! * [`gap`] — the Theorem 5.1 construction showing the gap property
 //!   fails for every natural CQ¬ with negation.
 
@@ -37,10 +40,11 @@ pub mod gap;
 pub(crate) mod parallel;
 pub mod relevance;
 pub mod satcount;
+pub mod session;
 pub mod shapley;
 
 pub use anyquery::AnyQuery;
-pub use compiled::CompiledCount;
+pub use compiled::{CompiledCount, EngineUpdate};
 pub use compiled_union::CompiledUnionCount;
 pub use error::CoreError;
 pub use exoshap::{rewrite, RewriteOutcome};
@@ -48,8 +52,9 @@ pub use satcount::{
     count_sat_hierarchical, count_sat_hierarchical_masked, BruteForceCounter, HierarchicalCounter,
     SatCountOracle,
 };
+pub use session::{SessionStats, ShapleySession};
 pub use shapley::{
     shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_report_union,
     shapley_report_union_per_fact, shapley_value, shapley_value_union, shapley_via_counts,
-    ShapleyEntry, ShapleyOptions, ShapleyReport, Strategy,
+    ReportStats, ResolvedStrategy, ShapleyEntry, ShapleyOptions, ShapleyReport, Strategy,
 };

@@ -190,10 +190,11 @@ impl<'a> MaskedDb<'a> {
 pub(crate) enum ResolvedQuery {
     /// A positive atom can never match (unknown relation or constant).
     Unsatisfiable,
-    /// Patterns and their scopes. An empty atom list means every
-    /// negation was vacuous: the query is a tautology.
+    /// Patterns, their relations, and their scopes. An empty atom list
+    /// means every negation was vacuous: the query is a tautology.
     Atoms {
         atoms: Vec<PAtom>,
+        rels: Vec<cqshap_db::RelId>,
         scopes: Vec<Vec<FactId>>,
     },
 }
@@ -221,6 +222,7 @@ pub(crate) fn resolve_query(
     // A positive atom over an unknown relation or constant is
     // unsatisfiable; a negative one can never fire and is dropped.
     let mut atoms: Vec<PAtom> = Vec::new();
+    let mut rels: Vec<cqshap_db::RelId> = Vec::new();
     let mut scopes: Vec<Vec<FactId>> = Vec::new();
     for atom in q.atoms() {
         let rel = db.schema().id(&atom.relation);
@@ -267,9 +269,14 @@ pub(crate) fn resolve_query(
             .filter(|&fid| p.matches(db.fact(fid).tuple.values()))
             .collect();
         atoms.push(p);
+        rels.push(rel);
         scopes.push(scope);
     }
-    Ok(ResolvedQuery::Atoms { atoms, scopes })
+    Ok(ResolvedQuery::Atoms {
+        atoms,
+        rels,
+        scopes,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -356,7 +363,7 @@ pub fn count_sat_hierarchical_masked(
     let m = mask.endo_count(db);
     let (atoms, mut scopes) = match resolve_query(db, q)? {
         ResolvedQuery::Unsatisfiable => return Ok(vec![BigUint::zero(); m + 1]),
-        ResolvedQuery::Atoms { atoms, scopes } => (atoms, scopes),
+        ResolvedQuery::Atoms { atoms, scopes, .. } => (atoms, scopes),
     };
     if atoms.is_empty() {
         // Every atom was a dropped (vacuous) negation: q is a tautology.

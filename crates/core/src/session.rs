@@ -1,0 +1,925 @@
+//! [`ShapleySession`] — a prepared, updatable Shapley engine handle.
+//!
+//! The free functions of [`crate::shapley`] and [`crate::aggregates`]
+//! re-resolve atoms and recompile the counting structures on every
+//! call, even though [`CompiledCount`] / [`CompiledUnionCount`] are
+//! compile-once by design. A session is the prepared-statement view of
+//! the same machinery: [`ShapleySession::prepare`] classifies the
+//! query, resolves the strategy *once*, and builds the compiled engine
+//! (the hierarchical engine for CQ¬s, the inclusion–exclusion engine
+//! for UCQ¬s, the shared per-candidate engines for aggregates) exactly
+//! once; [`ShapleySession::value`], [`ShapleySession::values`],
+//! [`ShapleySession::report`], and [`ShapleySession::sampled`] then
+//! serve from the cached state, and [`ShapleySession::strategy`] /
+//! [`ShapleySession::complexity`] expose the routing decision.
+//!
+//! ## Incremental maintenance
+//!
+//! The session owns its database copy, so
+//! [`ShapleySession::insert_fact`], [`ShapleySession::retract_fact`],
+//! and [`ShapleySession::set_exogenous`] can mutate it in place (fact
+//! ids stay stable — see [`Database::retract_fact`]) and *maintain* the
+//! compiled engine across the update: only the touched root group's
+//! counting recursion re-runs, the cached leave-one-out environments
+//! are patched by exact factor swaps, and the weight correlations are
+//! refreshed in parallel (see [`CompiledCount::update`]). Structural
+//! drift — a root group appearing or dying, a query atom resolving
+//! differently, any non-hierarchical engine state — falls back to a
+//! full recompile. Either way the session's answers are bit-identical
+//! to a freshly prepared session on the same database
+//! (proptest-pinned in `tests/session_updates.rs`).
+//!
+//! ```
+//! use cqshap_core::session::ShapleySession;
+//! use cqshap_core::{AnyQuery, ShapleyOptions};
+//! use cqshap_db::{Database, Provenance};
+//! use cqshap_query::parse_cq;
+//!
+//! let db = Database::parse("exo Stud(a)\nendo TA(a)\nendo Reg(a, c)\n").unwrap();
+//! let q = parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+//!
+//! // Prepare once: strategy resolution + engine compilation.
+//! let mut session = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &ShapleyOptions::auto()).unwrap();
+//! let ta = session.database().find_fact("TA", &["a"]).unwrap();
+//! assert_eq!(session.value(ta).unwrap().to_string(), "-1/2");
+//!
+//! // Update in place: the engine is maintained, not recompiled.
+//! let reg2 = session.insert_fact("Reg", &["a", "c2"], Provenance::Endogenous).unwrap();
+//! let report = session.report().unwrap();
+//! assert!(report.efficiency_holds());
+//! assert_eq!(report.entry(reg2).unwrap().value.to_string(), "1/3");
+//!
+//! // Retract it again and the original answers come back.
+//! session.retract_fact(reg2).unwrap();
+//! assert_eq!(session.value(ta).unwrap().to_string(), "-1/2");
+//! ```
+
+use std::collections::HashSet;
+
+use cqshap_db::{Database, DbError, FactId, Provenance};
+use cqshap_numeric::{BigInt, BigRational};
+use cqshap_query::{classify_with_exo, ConjunctiveQuery, ExactComplexity, UnionQuery};
+
+use crate::aggregates::{aggregate_efficiency_target, AggregateEngines, AggregateFunction};
+use crate::anyquery::AnyQuery;
+use crate::approx::{shapley_additive_approx, ApproxShapley, SampleParams};
+use crate::compiled::{CompiledCount, EngineUpdate};
+use crate::compiled_union::CompiledUnionCount;
+use crate::error::CoreError;
+use crate::exoshap;
+use crate::satcount::BruteForceCounter;
+use crate::shapley::{
+    assemble_report, assemble_report_with_total, efficiency_target, engine_report_values,
+    engine_values, per_fact_values, resolve_strategy, resolve_union_route, shapley_by_permutations,
+    shapley_via_counts, union_brute_value, union_brute_values, union_efficiency_target,
+    zero_report, ResolvedStrategy, ShapleyOptions, ShapleyReport, UnionRoute,
+};
+
+/// The prepared query of a session.
+enum QuerySpec {
+    Cq(ConjunctiveQuery),
+    Union(UnionQuery),
+    Aggregate {
+        query: ConjunctiveQuery,
+        agg: AggregateFunction,
+    },
+}
+
+/// One signed, rewritten inclusion–exclusion term with its compiled
+/// engine (the `ExoShap` union path).
+struct ExoTerm {
+    negative: bool,
+    db: Database,
+    engine: CompiledCount,
+}
+
+/// The compiled state behind a session.
+enum EngineState {
+    /// Hierarchical CQ¬: the batched engine against the session db.
+    CqCompiled(CompiledCount),
+    /// `ExoShap` CQ¬: the engine against the rewritten database.
+    CqRewritten {
+        db: Box<Database>,
+        engine: CompiledCount,
+    },
+    /// The rewriting proved the query always false: every value is 0.
+    CqAlwaysFalse,
+    /// Brute-force strategies: per-fact evaluation, no compiled state.
+    CqPerFact,
+    /// UCQ¬ through the inclusion–exclusion engine.
+    UnionCompiled(CompiledUnionCount),
+    /// UCQ¬ through per-conjunction `ExoShap` terms.
+    UnionExoShap(Vec<ExoTerm>),
+    /// UCQ¬ brute-force subset enumeration.
+    UnionBrute,
+    /// UCQ¬ permutation enumeration.
+    UnionPermutations,
+    /// Aggregate: the shared per-candidate engines.
+    Aggregate(AggregateEngines),
+    /// A failed post-update rebuild left no usable engine; reads
+    /// surface the stored reason until a successful update re-prepares.
+    Poisoned(String),
+}
+
+/// Update counters of a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Database updates applied through the session.
+    pub updates: usize,
+    /// Updates served by incremental engine maintenance.
+    pub incremental_updates: usize,
+    /// Updates that forced a full engine recompile.
+    pub full_recompiles: usize,
+}
+
+/// A prepared, updatable engine handle unifying CQ¬ / UCQ¬ / aggregate
+/// Shapley computation behind one API. See the [module docs](self).
+pub struct ShapleySession {
+    db: Database,
+    options: ShapleyOptions,
+    spec: QuerySpec,
+    resolved: Option<ResolvedStrategy>,
+    complexity: Option<ExactComplexity>,
+    state: EngineState,
+    stats: SessionStats,
+}
+
+fn exo_relation_names(db: &Database) -> HashSet<String> {
+    db.exogenous_relation_names().into_iter().collect()
+}
+
+/// Resolves the strategy and builds the compiled state for one spec.
+fn build_state(
+    db: &Database,
+    spec: &QuerySpec,
+    options: &ShapleyOptions,
+) -> Result<
+    (
+        Option<ResolvedStrategy>,
+        Option<ExactComplexity>,
+        EngineState,
+    ),
+    CoreError,
+> {
+    match spec {
+        QuerySpec::Cq(q) => {
+            let complexity = classify_with_exo(q, &exo_relation_names(db));
+            let resolved = resolve_strategy(db, q, options)?;
+            let state = match resolved {
+                ResolvedStrategy::Hierarchical => {
+                    EngineState::CqCompiled(CompiledCount::compile(db, q)?)
+                }
+                ResolvedStrategy::ExoShap => {
+                    let outcome = exoshap::rewrite(db, q, options.tuple_budget)?;
+                    if outcome.always_false {
+                        EngineState::CqAlwaysFalse
+                    } else {
+                        let engine = CompiledCount::compile(&outcome.db, &outcome.query)?;
+                        EngineState::CqRewritten {
+                            db: Box::new(outcome.db),
+                            engine,
+                        }
+                    }
+                }
+                ResolvedStrategy::BruteForce | ResolvedStrategy::Permutations => {
+                    EngineState::CqPerFact
+                }
+            };
+            Ok((Some(resolved), Some(complexity), state))
+        }
+        QuerySpec::Union(u) => {
+            let (resolved, state) = match resolve_union_route(db, u, options)? {
+                UnionRoute::Compiled => (
+                    ResolvedStrategy::Hierarchical,
+                    EngineState::UnionCompiled(CompiledUnionCount::compile(db, u)?),
+                ),
+                UnionRoute::ExoShap(terms) => {
+                    let compiled = terms
+                        .into_iter()
+                        .map(|(negative, outcome, engine)| ExoTerm {
+                            negative,
+                            db: outcome.db,
+                            engine,
+                        })
+                        .collect();
+                    (
+                        ResolvedStrategy::ExoShap,
+                        EngineState::UnionExoShap(compiled),
+                    )
+                }
+                UnionRoute::BruteForce => (ResolvedStrategy::BruteForce, EngineState::UnionBrute),
+                UnionRoute::Permutations => (
+                    ResolvedStrategy::Permutations,
+                    EngineState::UnionPermutations,
+                ),
+            };
+            Ok((Some(resolved), None, state))
+        }
+        QuerySpec::Aggregate { query, agg } => {
+            let complexity = classify_with_exo(query, &exo_relation_names(db));
+            let engines = AggregateEngines::prepare(db, query, agg, options)?;
+            Ok((None, Some(complexity), EngineState::Aggregate(engines)))
+        }
+    }
+}
+
+impl ShapleySession {
+    /// Prepares a session for a Boolean CQ¬ or UCQ¬: clones the
+    /// database, classifies the query, resolves the strategy once, and
+    /// compiles the engine.
+    ///
+    /// # Errors
+    /// Everything strategy resolution and engine compilation can raise
+    /// — the same errors the corresponding free functions raise.
+    pub fn prepare(
+        db: &Database,
+        query: AnyQuery<'_>,
+        options: &ShapleyOptions,
+    ) -> Result<Self, CoreError> {
+        let spec = match query {
+            AnyQuery::Cq(q) => QuerySpec::Cq(q.clone()),
+            AnyQuery::Union(u) => QuerySpec::Union(u.clone()),
+        };
+        Self::from_spec(db.clone(), spec, *options)
+    }
+
+    /// Prepares a session for an aggregate query: one shared
+    /// [`CompiledCount`] engine per (non-pruned) candidate answer.
+    ///
+    /// # Errors
+    /// [`CoreError::Unsupported`] for Boolean (head-less) queries, plus
+    /// anything candidate classification raises.
+    pub fn prepare_aggregate(
+        db: &Database,
+        query: &ConjunctiveQuery,
+        agg: AggregateFunction,
+        options: &ShapleyOptions,
+    ) -> Result<Self, CoreError> {
+        Self::from_spec(
+            db.clone(),
+            QuerySpec::Aggregate {
+                query: query.clone(),
+                agg,
+            },
+            *options,
+        )
+    }
+
+    fn from_spec(
+        db: Database,
+        spec: QuerySpec,
+        options: ShapleyOptions,
+    ) -> Result<Self, CoreError> {
+        let (resolved, complexity, state) = build_state(&db, &spec, &options)?;
+        Ok(ShapleySession {
+            db,
+            options,
+            spec,
+            resolved,
+            complexity,
+            state,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The session's database (the prepared copy, including any updates
+    /// applied through the session).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The options the session was prepared with.
+    pub fn options(&self) -> &ShapleyOptions {
+        &self.options
+    }
+
+    /// The algorithm the strategy resolved to — shared by every value
+    /// and report served from this session, so the single-value and
+    /// all-facts paths can never route differently. `None` for
+    /// aggregate sessions (each candidate shape resolves on its own).
+    pub fn strategy(&self) -> Option<ResolvedStrategy> {
+        self.resolved
+    }
+
+    /// The dichotomy classification of the prepared query under the
+    /// database's exogenous relations (Theorems 3.1 / 4.3). `None` for
+    /// unions, which the paper's dichotomies do not cover directly.
+    pub fn complexity(&self) -> Option<&ExactComplexity> {
+        self.complexity.as_ref()
+    }
+
+    /// Update counters: how many updates were applied, and how many of
+    /// them the engine absorbed incrementally vs. by full recompile.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    fn check_endogenous(&self, f: FactId) -> Result<(), CoreError> {
+        if self.db.endo_index(f).is_none() {
+            return Err(CoreError::FactNotEndogenous {
+                fact: self.db.render_fact(f),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_not_poisoned(&self) -> Result<(), CoreError> {
+        if let EngineState::Poisoned(reason) = &self.state {
+            return Err(CoreError::Unsupported(format!(
+                "the session engine could not be rebuilt after an update ({reason}); apply a further \
+                 update that restores a preparable state"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The exact Shapley value of `f`, served from the prepared engine.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`, plus anything the
+    /// per-fact fallback strategies raise.
+    pub fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
+        self.check_not_poisoned()?;
+        match (&self.spec, &self.state) {
+            (_, EngineState::CqCompiled(engine)) => engine.value(&self.db, f),
+            (_, EngineState::CqRewritten { db, engine }) => {
+                self.check_endogenous(f)?;
+                engine.value(db, f)
+            }
+            (_, EngineState::CqAlwaysFalse) => {
+                self.check_endogenous(f)?;
+                Ok(BigRational::zero())
+            }
+            (QuerySpec::Cq(q), EngineState::CqPerFact) => match self.resolved {
+                Some(ResolvedStrategy::Permutations) => shapley_by_permutations(
+                    &self.db,
+                    AnyQuery::Cq(q),
+                    f,
+                    self.options.permutation_limit,
+                ),
+                _ => shapley_via_counts(
+                    &self.db,
+                    AnyQuery::Cq(q),
+                    f,
+                    &BruteForceCounter {
+                        limit: self.options.brute_force_limit,
+                    },
+                ),
+            },
+            (_, EngineState::UnionCompiled(engine)) => engine.value(&self.db, f),
+            (_, EngineState::UnionExoShap(terms)) => {
+                self.check_endogenous(f)?;
+                Ok(exo_union_normalize(terms, exo_union_numerator(terms, f)?))
+            }
+            (QuerySpec::Union(u), EngineState::UnionBrute) => {
+                union_brute_value(&self.db, u, f, &self.options)
+            }
+            (QuerySpec::Union(u), EngineState::UnionPermutations) => shapley_by_permutations(
+                &self.db,
+                AnyQuery::Union(u),
+                f,
+                self.options.permutation_limit,
+            ),
+            (_, EngineState::Aggregate(engines)) => {
+                self.check_endogenous(f)?;
+                Ok(engines
+                    .values(&self.db, &[f], &self.options)?
+                    .pop()
+                    .expect("one fact requested"))
+            }
+            _ => unreachable!("spec and state are built together"),
+        }
+    }
+
+    /// The exact Shapley values of a fact slice, batched through the
+    /// prepared engine (root-group-chunked thread fan-out on the
+    /// compiled paths).
+    ///
+    /// # Errors
+    /// As [`ShapleySession::value`], for any fact of the slice.
+    pub fn values(&self, facts: &[FactId]) -> Result<Vec<BigRational>, CoreError> {
+        self.check_not_poisoned()?;
+        match (&self.spec, &self.state) {
+            (_, EngineState::CqCompiled(engine)) => engine_values(&self.db, engine, facts),
+            (_, EngineState::CqRewritten { db, engine }) => {
+                for &f in facts {
+                    self.check_endogenous(f)?;
+                }
+                engine_values(db, engine, facts)
+            }
+            (_, EngineState::CqAlwaysFalse) => {
+                for &f in facts {
+                    self.check_endogenous(f)?;
+                }
+                Ok(vec![BigRational::zero(); facts.len()])
+            }
+            (QuerySpec::Cq(q), EngineState::CqPerFact) => {
+                let resolved = self.resolved.expect("per-fact state has a resolution");
+                per_fact_values(&self.db, q, facts, resolved, &self.options, false)
+            }
+            (_, EngineState::UnionCompiled(engine)) => engine_values(&self.db, engine, facts),
+            (_, EngineState::UnionExoShap(terms)) => {
+                for &f in facts {
+                    self.check_endogenous(f)?;
+                }
+                Ok(exo_union_values(terms, facts)?.0)
+            }
+            (QuerySpec::Union(u), EngineState::UnionBrute) => {
+                union_brute_values(&self.db, u, facts, &self.options)
+            }
+            (QuerySpec::Union(u), EngineState::UnionPermutations) => {
+                crate::parallel::par_map(facts.len(), |i| {
+                    shapley_by_permutations(
+                        &self.db,
+                        AnyQuery::Union(u),
+                        facts[i],
+                        self.options.permutation_limit,
+                    )
+                })
+                .into_iter()
+                .collect()
+            }
+            (_, EngineState::Aggregate(engines)) => {
+                for &f in facts {
+                    self.check_endogenous(f)?;
+                }
+                engines.values(&self.db, facts, &self.options)
+            }
+            _ => unreachable!("spec and state are built together"),
+        }
+    }
+
+    /// The all-facts report: every endogenous fact's exact value plus
+    /// the efficiency check (and, for aggregates, the candidate-pruning
+    /// stats).
+    ///
+    /// # Errors
+    /// As [`ShapleySession::values`].
+    pub fn report(&self) -> Result<ShapleyReport, CoreError> {
+        self.check_not_poisoned()?;
+        if matches!(self.state, EngineState::CqAlwaysFalse) {
+            return Ok(zero_report(&self.db));
+        }
+        let facts: Vec<FactId> = self.db.endo_facts().to_vec();
+        let expected = match (&self.spec, &self.state) {
+            (QuerySpec::Cq(_), EngineState::CqRewritten { db, engine }) => {
+                efficiency_target(db, engine.query())
+            }
+            (QuerySpec::Cq(q), _) => efficiency_target(&self.db, q),
+            (QuerySpec::Union(u), _) => union_efficiency_target(&self.db, u),
+            (QuerySpec::Aggregate { query, agg }, _) => {
+                aggregate_efficiency_target(&self.db, query, agg)?
+            }
+        };
+        // Engine paths accumulate the value total over the common
+        // denominator `m!` (one normalization) — summing the reduced
+        // per-fact rationals instead costs a gcd per entry.
+        let report = match &self.state {
+            EngineState::CqCompiled(engine) => {
+                let (values, total) = engine_report_values(&self.db, engine, &facts)?;
+                assemble_report_with_total(&self.db, values, total, expected)
+            }
+            EngineState::CqRewritten { db, engine } => {
+                let (values, total) = engine_report_values(db, engine, &facts)?;
+                assemble_report_with_total(&self.db, values, total, expected)
+            }
+            EngineState::UnionCompiled(engine) => {
+                let (values, total) = engine_report_values(&self.db, engine, &facts)?;
+                assemble_report_with_total(&self.db, values, total, expected)
+            }
+            EngineState::UnionExoShap(terms) => {
+                let (values, total) = exo_union_values(terms, &facts)?;
+                assemble_report_with_total(&self.db, values, total, expected)
+            }
+            _ => assemble_report(&self.db, self.values(&facts)?, expected),
+        };
+        Ok(match &self.state {
+            EngineState::Aggregate(engines) => report.with_stats(engines.stats),
+            _ => report,
+        })
+    }
+
+    /// The aggregate report — [`ShapleySession::report`] restricted to
+    /// aggregate sessions.
+    ///
+    /// # Errors
+    /// [`CoreError::Unsupported`] on Boolean sessions.
+    pub fn aggregate_report(&self) -> Result<ShapleyReport, CoreError> {
+        match &self.spec {
+            QuerySpec::Aggregate { .. } => self.report(),
+            _ => Err(CoreError::Unsupported(
+                "aggregate_report needs a session prepared with prepare_aggregate".into(),
+            )),
+        }
+    }
+
+    /// Monte-Carlo additive approximation of `f`'s value by permutation
+    /// sampling over the session's database (Section 5.1).
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`;
+    /// [`CoreError::Unsupported`] for aggregate sessions.
+    pub fn sampled(&self, f: FactId, params: &SampleParams) -> Result<ApproxShapley, CoreError> {
+        match &self.spec {
+            QuerySpec::Cq(q) => shapley_additive_approx(&self.db, AnyQuery::Cq(q), f, params),
+            QuerySpec::Union(u) => shapley_additive_approx(&self.db, AnyQuery::Union(u), f, params),
+            QuerySpec::Aggregate { .. } => Err(CoreError::Unsupported(
+                "permutation sampling estimates Boolean queries; aggregate sessions serve exact \
+                 values"
+                    .into(),
+            )),
+        }
+    }
+
+    /// Inserts a fact into the session's database and maintains the
+    /// engine. Returns the new fact id.
+    ///
+    /// # Errors
+    /// Database errors (arity mismatch, duplicates, exogenous-relation
+    /// violations), plus anything engine maintenance raises.
+    pub fn insert_fact(
+        &mut self,
+        relation: &str,
+        constants: &[&str],
+        provenance: Provenance,
+    ) -> Result<FactId, CoreError> {
+        let f = self.db.insert(relation, constants, provenance)?;
+        self.after_update(EngineUpdate::Inserted(f))?;
+        Ok(f)
+    }
+
+    /// Retracts a fact in place (ids of all other facts stay stable)
+    /// and maintains the engine.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownFact`] on dangling ids, plus anything engine
+    /// maintenance raises.
+    pub fn retract_fact(&mut self, f: FactId) -> Result<(), CoreError> {
+        self.db.retract_fact(f)?;
+        self.after_update(EngineUpdate::Retracted(f))
+    }
+
+    /// Flips a fact between endogenous and exogenous and maintains the
+    /// engine. A no-op when the fact already has the requested
+    /// provenance.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownFact`] / [`DbError::ExogenousViolation`], plus
+    /// anything engine maintenance raises.
+    pub fn set_exogenous(&mut self, f: FactId, exogenous: bool) -> Result<(), CoreError> {
+        if f.index() >= self.db.fact_count() || self.db.is_retracted(f) {
+            return Err(CoreError::Db(DbError::UnknownFact { id: f.0 }));
+        }
+        let target = if exogenous {
+            Provenance::Exogenous
+        } else {
+            Provenance::Endogenous
+        };
+        if self.db.fact(f).provenance == target {
+            return Ok(());
+        }
+        self.db.set_fact_provenance(f, target)?;
+        self.after_update(EngineUpdate::ProvenanceFlipped(f))
+    }
+
+    /// Routes one applied database change into the engine: incremental
+    /// maintenance where the compiled state supports it, a full
+    /// re-prepare otherwise.
+    fn after_update(&mut self, change: EngineUpdate) -> Result<(), CoreError> {
+        self.stats.updates += 1;
+        let maintained = match &mut self.state {
+            EngineState::CqCompiled(engine) => engine.update(&self.db, change),
+            EngineState::UnionCompiled(engine) => engine.update(&self.db, change),
+            // Rewritten, brute-force, and aggregate states depend on the
+            // database globally (complement materialization, candidate
+            // enumeration, strategy limits): re-prepare.
+            _ => Ok(false),
+        };
+        let maintained = match maintained {
+            Ok(m) => m,
+            Err(e) => {
+                // The engine may be half-patched (the recount errored
+                // mid-swap): never serve from it again.
+                self.resolved = None;
+                self.state = EngineState::Poisoned(e.to_string());
+                return Err(e);
+            }
+        };
+        if maintained {
+            self.stats.incremental_updates += 1;
+            return Ok(());
+        }
+        self.stats.full_recompiles += 1;
+        match build_state(&self.db, &self.spec, &self.options) {
+            Ok((resolved, complexity, state)) => {
+                self.resolved = resolved;
+                self.complexity = complexity;
+                self.state = state;
+                Ok(())
+            }
+            Err(e) => {
+                // The database is updated but no engine serves it (e.g.
+                // the update pushed the input outside the resolved
+                // strategy's reach). Poison the state so reads fail
+                // loudly instead of answering from a stale engine.
+                self.resolved = None;
+                self.state = EngineState::Poisoned(e.to_string());
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The signed numerator sum of the `ExoShap` union terms for one fact
+/// (every rewritten database keeps the original `Dn`, so all terms
+/// share the denominator `m!`).
+fn exo_union_numerator(terms: &[ExoTerm], f: FactId) -> Result<BigInt, CoreError> {
+    let mut acc = BigInt::zero();
+    for t in terms {
+        let n = t.engine.shapley_numerator(&t.db, f)?;
+        if t.negative {
+            acc -= &n;
+        } else {
+            acc += &n;
+        }
+    }
+    Ok(acc)
+}
+
+fn exo_union_normalize(terms: &[ExoTerm], num: BigInt) -> BigRational {
+    match terms.first() {
+        Some(t) => t.engine.normalize_numerator(num),
+        None => BigRational::zero(),
+    }
+}
+
+/// Per-fact values and the exact total for the `ExoShap` union state,
+/// all accumulated in the shared numerator domain.
+fn exo_union_values(
+    terms: &[ExoTerm],
+    facts: &[FactId],
+) -> Result<(Vec<BigRational>, BigRational), CoreError> {
+    let mut total = BigInt::zero();
+    let mut values = Vec::with_capacity(facts.len());
+    for &f in facts {
+        let num = exo_union_numerator(terms, f)?;
+        total += &num;
+        values.push(exo_union_normalize(terms, num));
+    }
+    Ok((values, exo_union_normalize(terms, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapley::Strategy;
+    use cqshap_query::{parse_cq, parse_ucq};
+
+    fn university() -> Database {
+        Database::parse(
+            "exo Stud(Adam)\nexo Stud(Ben)\nexo Stud(Caroline)\nexo Stud(David)\n\
+             endo TA(Adam)\nendo TA(Ben)\nendo TA(David)\n\
+             exo Course(OS, EE)\nexo Course(IC, EE)\nexo Course(DB, CS)\nexo Course(AI, CS)\n\
+             endo Reg(Adam, OS)\nendo Reg(Adam, AI)\nendo Reg(Ben, OS)\n\
+             endo Reg(Caroline, DB)\nendo Reg(Caroline, IC)\n\
+             exo Adv(Michael, Adam)\nexo Adv(Michael, Ben)\nexo Adv(Naomi, Caroline)\n\
+             exo Adv(Michael, David)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prepared_session_serves_values_and_reports() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &ShapleyOptions::auto()).unwrap();
+        assert_eq!(session.strategy(), Some(ResolvedStrategy::Hierarchical));
+        assert!(matches!(
+            session.complexity(),
+            Some(ExactComplexity::TractableHierarchical)
+        ));
+        let report = session.report().unwrap();
+        assert!(report.efficiency_holds());
+        let adam = db.find_fact("TA", &["Adam"]).unwrap();
+        assert_eq!(session.value(adam).unwrap().to_string(), "-3/28");
+        assert_eq!(
+            report.entry(adam).unwrap().value,
+            session.value(adam).unwrap()
+        );
+        // values() agrees with per-fact value() on an arbitrary slice.
+        let slice = [adam, db.find_fact("Reg", &["Ben", "OS"]).unwrap()];
+        let batch = session.values(&slice).unwrap();
+        assert_eq!(batch[0], session.value(slice[0]).unwrap());
+        assert_eq!(batch[1], session.value(slice[1]).unwrap());
+    }
+
+    #[test]
+    fn session_value_equals_report_for_every_strategy_and_fact() {
+        // The strategy is resolved once per session, so the single-value
+        // and report paths can never diverge (the old free functions
+        // could route differently under Auto).
+        let db = Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\nendo Reg(a, c1)\nendo Reg(b, c2)\n\
+             endo T(t0)\n",
+        )
+        .unwrap();
+        let u = parse_ucq("q1() :- Stud(x), !TA(x), Reg(x, y)\nq2() :- T(z)\n").unwrap();
+        for strategy in [
+            Strategy::Auto,
+            Strategy::Hierarchical,
+            Strategy::ExoShap,
+            Strategy::BruteForceSubsets,
+            Strategy::BruteForcePermutations,
+        ] {
+            let opts = ShapleyOptions::with_strategy(strategy);
+            let session = match ShapleySession::prepare(&db, AnyQuery::Union(&u), &opts) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let report = session.report().unwrap();
+            assert!(report.efficiency_holds(), "{strategy:?}");
+            for &f in db.endo_facts() {
+                assert_eq!(
+                    session.value(f).unwrap(),
+                    report.entry(f).unwrap().value,
+                    "{strategy:?} {}",
+                    db.render_fact(f)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_updates_match_fresh_sessions() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &ShapleyOptions::auto()).unwrap();
+        let f = session
+            .insert_fact("Reg", &["Ben", "AI"], Provenance::Endogenous)
+            .unwrap();
+        let ben = session.database().find_fact("TA", &["Ben"]).unwrap();
+        session.set_exogenous(ben, true).unwrap();
+        session.retract_fact(f).unwrap();
+        session.set_exogenous(ben, false).unwrap();
+        assert_eq!(session.stats().updates, 4);
+        assert!(session.stats().incremental_updates >= 3);
+        let fresh = ShapleySession::prepare(
+            session.database(),
+            AnyQuery::Cq(&q1),
+            &ShapleyOptions::auto(),
+        )
+        .unwrap();
+        let (a, b) = (session.report().unwrap(), fresh.report().unwrap());
+        assert!(a.efficiency_holds());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.value, y.value, "{}", x.rendered);
+        }
+    }
+
+    #[test]
+    fn union_session_updates_match_fresh_sessions() {
+        let db = Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\nendo Reg(a, c1)\nendo Reg(b, c2)\n\
+             exo Lab(l1)\nendo Asst(l1, a)\nendo Closed(l1)\n",
+        )
+        .unwrap();
+        let u = parse_ucq(
+            "q1() :- Stud(x), !TA(x), Reg(x, y)\n\
+             q2() :- Lab(l), Asst(l, a), !Closed(l)\n",
+        )
+        .unwrap();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Union(&u), &ShapleyOptions::auto()).unwrap();
+        assert_eq!(session.strategy(), Some(ResolvedStrategy::Hierarchical));
+        let f = session
+            .insert_fact("Asst", &["l1", "b"], Provenance::Endogenous)
+            .unwrap();
+        let closed = session.database().find_fact("Closed", &["l1"]).unwrap();
+        session.set_exogenous(closed, true).unwrap();
+        let fresh = ShapleySession::prepare(
+            session.database(),
+            AnyQuery::Union(&u),
+            &ShapleyOptions::auto(),
+        )
+        .unwrap();
+        let (a, b) = (session.report().unwrap(), fresh.report().unwrap());
+        assert!(a.efficiency_holds());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.value, y.value, "{}", x.rendered);
+        }
+        assert!(session.value(f).is_ok());
+    }
+
+    #[test]
+    fn aggregate_session_reports_and_counts_pruning() {
+        let db = Database::parse(
+            "endo Farmer(miller)\nendo Farmer(smith)\n\
+             exo Export(miller, wheat, norway)\n\
+             exo Export(miller, rice, egypt)\n\
+             exo Export(smith, rice, norway)\n\
+             endo Grows(norway, wheat)\nendo Grows(egypt, rice)\n",
+        )
+        .unwrap();
+        let q = parse_cq("q(c) :- Farmer(m), Export(m, p, c), !Grows(c, p)").unwrap();
+        let session = ShapleySession::prepare_aggregate(
+            &db,
+            &q,
+            AggregateFunction::Count,
+            &ShapleyOptions::auto(),
+        )
+        .unwrap();
+        assert!(session.strategy().is_none());
+        let report = session.aggregate_report().unwrap();
+        assert!(report.efficiency_holds());
+        assert_eq!(report.stats.aggregate_candidates, 2);
+        // Boolean sessions refuse aggregate_report.
+        let q1 = parse_cq("q1() :- Farmer(m)").unwrap();
+        let boolean =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &ShapleyOptions::auto()).unwrap();
+        assert!(matches!(
+            boolean.aggregate_report(),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_pruning_skips_zero_candidates() {
+        // The egypt candidate of the exports scenario depends only on
+        // exogenous facts once Grows(egypt, rice) is exogenous: its
+        // whole value vector is zero and the engine is never compiled.
+        let db = Database::parse(
+            "endo Farmer(miller)\n\
+             exo Export(miller, wheat, norway)\n\
+             exo Export(miller, rice, egypt)\n\
+             exo Grows(egypt, rice)\n\
+             endo Grows(norway, wheat)\n",
+        )
+        .unwrap();
+        let q = parse_cq("q(c) :- Farmer(m), Export(m, p, c), !Grows(c, p)").unwrap();
+        let report = crate::aggregates::aggregate_report(
+            &db,
+            &q,
+            &AggregateFunction::Count,
+            &ShapleyOptions::auto(),
+        )
+        .unwrap();
+        assert!(report.efficiency_holds());
+        assert_eq!(report.stats.aggregate_candidates, 2);
+        assert_eq!(report.stats.pruned_candidates, 1, "{report:?}");
+    }
+
+    #[test]
+    fn failed_rebuild_poisons_the_session() {
+        // A self-join routes Auto to brute force; pushing |Dn| past the
+        // limit makes the post-update rebuild fail, and reads must
+        // error instead of serving stale answers.
+        let mut db = Database::new();
+        for i in 0..3 {
+            db.add_endo("R", &[&format!("a{i}"), &format!("b{i}")])
+                .unwrap();
+        }
+        let q = parse_cq("q() :- R(x, y), R(y, x)").unwrap();
+        let opts = ShapleyOptions::auto().brute_force_limit(3);
+        let mut session = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &opts).unwrap();
+        let f = session.database().endo_facts()[0];
+        assert!(session.value(f).is_ok());
+        let err = session
+            .insert_fact("R", &["c", "d"], Provenance::Endogenous)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::TooManyEndogenousFacts { .. }));
+        assert!(matches!(session.value(f), Err(CoreError::Unsupported(_))));
+        // Retracting back under the limit restores a working engine.
+        let ids: Vec<FactId> = session.database().fact_ids().collect();
+        session.retract_fact(ids[ids.len() - 1]).unwrap();
+        assert!(session.value(f).is_ok());
+    }
+
+    #[test]
+    fn sampled_estimates_from_the_session() {
+        let db = Database::parse("exo Stud(a)\nendo TA(a)\nendo Reg(a, c)\n").unwrap();
+        let q = parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q), &ShapleyOptions::auto()).unwrap();
+        let ta = db.find_fact("TA", &["a"]).unwrap();
+        let est = session
+            .sampled(
+                ta,
+                &SampleParams {
+                    epsilon: 0.1,
+                    delta: 0.05,
+                    seed: 7,
+                    threads: 1,
+                },
+            )
+            .unwrap();
+        assert!(
+            (est.estimate + 0.5).abs() < 0.1,
+            "estimate {}",
+            est.estimate
+        );
+    }
+}

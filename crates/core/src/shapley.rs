@@ -52,7 +52,21 @@ pub enum Strategy {
 }
 
 /// Options for exact computation.
+///
+/// The struct is `#[non_exhaustive]` so future knobs are not breaking
+/// changes: construct through [`ShapleyOptions::auto`] (or
+/// [`ShapleyOptions::with_strategy`]) and chain the builder setters.
+///
+/// ```
+/// use cqshap_core::{ShapleyOptions, Strategy};
+/// let opts = ShapleyOptions::auto().tuple_budget(1_000_000);
+/// assert_eq!(opts.strategy, Strategy::Auto);
+/// let brute = ShapleyOptions::with_strategy(Strategy::BruteForceSubsets)
+///     .brute_force_limit(20);
+/// assert_eq!(brute.brute_force_limit, 20);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ShapleyOptions {
     /// The strategy.
     pub strategy: Strategy,
@@ -62,6 +76,42 @@ pub struct ShapleyOptions {
     pub permutation_limit: usize,
     /// Materialization budget for the `ExoShap` rewriting.
     pub tuple_budget: usize,
+}
+
+impl ShapleyOptions {
+    /// The defaults: [`Strategy::Auto`] with the standard limits.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// The defaults with an explicit strategy.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        Self::auto().strategy(strategy)
+    }
+
+    /// Sets the strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the brute-force `|Dn|` cap.
+    pub fn brute_force_limit(mut self, limit: usize) -> Self {
+        self.brute_force_limit = limit;
+        self
+    }
+
+    /// Sets the permutation-enumeration `|Dn|` cap.
+    pub fn permutation_limit(mut self, limit: usize) -> Self {
+        self.permutation_limit = limit;
+        self
+    }
+
+    /// Sets the `ExoShap` materialization budget.
+    pub fn tuple_budget(mut self, budget: usize) -> Self {
+        self.tuple_budget = budget;
+        self
+    }
 }
 
 impl Default for ShapleyOptions {
@@ -109,7 +159,7 @@ pub fn shapley_via_counts(
             num += &(diff * BigInt::from_biguint(table.shapley_weight_numerator(m, k)));
         }
     }
-    Ok(BigRational::from_parts(num, table.factorial(m).clone()))
+    Ok(table.reduce_over_factorial(num, m))
 }
 
 /// Computes `Shapley(D, q, f)` by enumerating all `|Dn|!` permutations —
@@ -165,38 +215,18 @@ fn permute(order: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 }
 
 /// Computes `Shapley(D, q, f)` for a CQ¬ using `options.strategy`.
+///
+/// A thin compatibility wrapper over
+/// [`crate::session::ShapleySession`]: prepares a session for `(db, q)`
+/// and serves the one value. Callers computing several values against
+/// one database should prepare the session themselves and reuse it.
 pub fn shapley_value(
     db: &Database,
     q: &ConjunctiveQuery,
     f: FactId,
     options: &ShapleyOptions,
 ) -> Result<BigRational, CoreError> {
-    match resolve_strategy(db, q, options)? {
-        Resolved::Hierarchical => shapley_via_counts(db, AnyQuery::Cq(q), f, &HierarchicalCounter),
-        Resolved::ExoShap => {
-            let outcome = exoshap::rewrite(db, q, options.tuple_budget)?;
-            if outcome.always_false {
-                return Ok(BigRational::zero());
-            }
-            shapley_via_counts(
-                &outcome.db,
-                AnyQuery::Cq(&outcome.query),
-                f,
-                &HierarchicalCounter,
-            )
-        }
-        Resolved::BruteForce => shapley_via_counts(
-            db,
-            AnyQuery::Cq(q),
-            f,
-            &BruteForceCounter {
-                limit: options.brute_force_limit,
-            },
-        ),
-        Resolved::Permutations => {
-            shapley_by_permutations(db, AnyQuery::Cq(q), f, options.permutation_limit)
-        }
-    }
+    crate::session::ShapleySession::prepare(db, AnyQuery::Cq(q), options)?.value(f)
 }
 
 /// Computes `Shapley(D, U, f)` for a UCQ¬.
@@ -223,25 +253,7 @@ pub fn shapley_value_union(
             fact: db.render_fact(f),
         });
     }
-    match options.strategy {
-        Strategy::BruteForcePermutations => {
-            shapley_by_permutations(db, AnyQuery::Union(u), f, options.permutation_limit)
-        }
-        Strategy::BruteForceSubsets => union_brute_value(db, u, f, options),
-        Strategy::Hierarchical => CompiledUnionCount::compile(db, u)?.value(f),
-        Strategy::ExoShap => {
-            let terms = exoshap_union_terms(db, u, options.tuple_budget)?;
-            exoshap_union_per_fact_values(&terms, &[f]).map(|mut v| v.pop().expect("one fact"))
-        }
-        Strategy::Auto => match CompiledUnionCount::compile(db, u) {
-            Ok(engine) => engine.value(f),
-            Err(e) if compiled_union_inapplicable(&e) => {
-                auto_union_fallback_values(db, u, &[f], options, e, exoshap_union_per_fact_values)
-                    .map(|mut v| v.pop().expect("one fact"))
-            }
-            Err(e) => Err(e),
-        },
-    }
+    crate::session::ShapleySession::prepare(db, AnyQuery::Union(u), options)?.value(f)
 }
 
 /// Computes the Shapley value of *every* endogenous fact of `db` for a
@@ -254,28 +266,7 @@ pub fn shapley_report_union(
     u: &UnionQuery,
     options: &ShapleyOptions,
 ) -> Result<ShapleyReport, CoreError> {
-    let facts = db.endo_facts();
-    let values = match options.strategy {
-        Strategy::Hierarchical => engine_values(&CompiledUnionCount::compile(db, u)?, facts)?,
-        Strategy::Auto => match CompiledUnionCount::compile(db, u) {
-            Ok(engine) => engine_values(&engine, facts)?,
-            Err(e) if compiled_union_inapplicable(&e) => {
-                auto_union_fallback_values(db, u, facts, options, e, exoshap_union_batched_values)?
-            }
-            Err(e) => return Err(e),
-        },
-        Strategy::ExoShap => {
-            let terms = exoshap_union_terms(db, u, options.tuple_budget)?;
-            exoshap_union_batched_values(&terms, facts)?
-        }
-        Strategy::BruteForceSubsets => union_brute_values(db, u, facts, options)?,
-        Strategy::BruteForcePermutations => crate::parallel::par_map(facts.len(), |i| {
-            shapley_by_permutations(db, AnyQuery::Union(u), facts[i], options.permutation_limit)
-        })
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()?,
-    };
-    Ok(assemble_report(db, values, union_efficiency_target(db, u)))
+    crate::session::ShapleySession::prepare(db, AnyQuery::Union(u), options)?.report()
 }
 
 /// The per-fact reference path of [`shapley_report_union`]: every fact
@@ -290,54 +281,34 @@ pub fn shapley_report_union_per_fact(
     options: &ShapleyOptions,
 ) -> Result<ShapleyReport, CoreError> {
     let facts = db.endo_facts();
-    let values = match options.strategy {
-        Strategy::Auto | Strategy::Hierarchical => {
-            let tractable = CompiledUnionCount::subset_conjunctions(u).and_then(|conjunctions| {
-                let mut subsets = Vec::new();
-                for (negative, label, q) in conjunctions {
-                    CompiledUnionCount::check_tractable(&label, &q)?;
-                    subsets.push((negative, q));
+    let values = match resolve_union_route(db, u, options)? {
+        UnionRoute::Compiled => {
+            let subsets: Vec<(bool, ConjunctiveQuery)> =
+                CompiledUnionCount::subset_conjunctions(u)?
+                    .into_iter()
+                    .map(|(negative, _, q)| (negative, q))
+                    .collect();
+            crate::parallel::par_map(facts.len(), |i| {
+                let mut acc = BigRational::zero();
+                for (negative, q) in &subsets {
+                    let v =
+                        shapley_via_counts(db, AnyQuery::Cq(q), facts[i], &HierarchicalCounter)?;
+                    signed_add(&mut acc, &v, *negative);
                 }
-                Ok(subsets)
-            });
-            match tractable {
-                Ok(subsets) => crate::parallel::par_map(facts.len(), |i| {
-                    let mut acc = BigRational::zero();
-                    for (negative, q) in &subsets {
-                        let v = shapley_via_counts(
-                            db,
-                            AnyQuery::Cq(q),
-                            facts[i],
-                            &HierarchicalCounter,
-                        )?;
-                        signed_add(&mut acc, &v, *negative);
-                    }
-                    Ok::<BigRational, CoreError>(acc)
-                })
+                Ok::<BigRational, CoreError>(acc)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+        }
+        UnionRoute::ExoShap(terms) => {
+            let outcomes: Vec<(bool, exoshap::RewriteOutcome)> = terms
                 .into_iter()
-                .collect::<Result<Vec<_>, _>>()?,
-                Err(e)
-                    if options.strategy == Strategy::Hierarchical
-                        || !compiled_union_inapplicable(&e) =>
-                {
-                    return Err(e)
-                }
-                Err(e) => auto_union_fallback_values(
-                    db,
-                    u,
-                    facts,
-                    options,
-                    e,
-                    exoshap_union_per_fact_values,
-                )?,
-            }
+                .map(|(negative, outcome, _)| (negative, outcome))
+                .collect();
+            exoshap_union_per_fact_values(&outcomes, facts)?
         }
-        Strategy::ExoShap => {
-            let terms = exoshap_union_terms(db, u, options.tuple_budget)?;
-            exoshap_union_per_fact_values(&terms, facts)?
-        }
-        Strategy::BruteForceSubsets => union_brute_values(db, u, facts, options)?,
-        Strategy::BruteForcePermutations => crate::parallel::par_map(facts.len(), |i| {
+        UnionRoute::BruteForce => union_brute_values(db, u, facts, options)?,
+        UnionRoute::Permutations => crate::parallel::par_map(facts.len(), |i| {
             shapley_by_permutations(db, AnyQuery::Union(u), facts[i], options.permutation_limit)
         })
         .into_iter()
@@ -349,7 +320,7 @@ pub fn shapley_report_union_per_fact(
 /// The signed, rewritten terms evaluated per fact with from-scratch
 /// hierarchical DP runs (the `ExoShap` reference path, and the terminal
 /// step of [`shapley_value_union`]'s single-fact evaluation).
-fn exoshap_union_per_fact_values(
+pub(crate) fn exoshap_union_per_fact_values(
     terms: &[(bool, exoshap::RewriteOutcome)],
     facts: &[FactId],
 ) -> Result<Vec<BigRational>, CoreError> {
@@ -370,48 +341,83 @@ fn exoshap_union_per_fact_values(
     .collect()
 }
 
-/// The signed, rewritten terms evaluated through one batched
-/// [`CompiledCount`] engine per term.
-fn exoshap_union_batched_values(
-    terms: &[(bool, exoshap::RewriteOutcome)],
-    facts: &[FactId],
-) -> Result<Vec<BigRational>, CoreError> {
-    let mut acc = vec![BigRational::zero(); facts.len()];
-    for (negative, outcome) in terms {
-        let vals = batched_values(&outcome.db, &outcome.query, facts)?;
-        for (a, v) in acc.iter_mut().zip(&vals) {
-            signed_add(a, v, *negative);
-        }
-    }
-    Ok(acc)
+/// The algorithm a UCQ¬ strategy resolved to — shared by
+/// [`shapley_value_union`], [`shapley_report_union`] (both through the
+/// session), and [`shapley_report_union_per_fact`], so one input can
+/// never route differently between the single-value and report paths.
+pub(crate) enum UnionRoute {
+    /// The compiled inclusion–exclusion engine.
+    Compiled,
+    /// The per-conjunction `ExoShap` rewriting: the signed rewritten
+    /// terms with their engines already compiled (compiled once here,
+    /// whether for `Auto` validation or an explicit strategy, and
+    /// carried to the caller instead of being rebuilt).
+    ExoShap(Vec<(bool, exoshap::RewriteOutcome, CompiledCount)>),
+    /// Explicit subset enumeration.
+    BruteForce,
+    /// Explicit permutation enumeration.
+    Permutations,
 }
 
-/// Evaluates pre-rewritten `ExoShap` union terms for a fact slice —
-/// either per fact or batched (see the two implementations above).
-type ExoShapUnionEval =
-    fn(&[(bool, exoshap::RewriteOutcome)], &[FactId]) -> Result<Vec<BigRational>, CoreError>;
+/// Compiles the batched engine of every `ExoShap` union term.
+fn compile_exoshap_terms(
+    terms: Vec<(bool, exoshap::RewriteOutcome)>,
+) -> Result<Vec<(bool, exoshap::RewriteOutcome, CompiledCount)>, CoreError> {
+    terms
+        .into_iter()
+        .map(|(negative, outcome)| {
+            let engine = CompiledCount::compile(&outcome.db, &outcome.query)?;
+            Ok((negative, outcome, engine))
+        })
+        .collect()
+}
 
-/// `Auto`'s fallback ladder once the compiled union engine proved
-/// inapplicable: try the per-conjunction `ExoShap` rewriting (the union
-/// analogue of the single-CQ¬ dichotomy), then brute force within the
-/// limit, and only then surface the original compile error.
-fn auto_union_fallback_values(
+/// Checks every subset conjunction of `u` against the compiled
+/// fragment.
+fn check_union_tractable(u: &UnionQuery) -> Result<(), CoreError> {
+    for (_, label, q) in CompiledUnionCount::subset_conjunctions(u)? {
+        CompiledUnionCount::check_tractable(&label, &q)?;
+    }
+    Ok(())
+}
+
+/// Resolves a union strategy once. `Auto` descends the ladder: the
+/// compiled inclusion–exclusion engine whenever every intersection lies
+/// in the compiled fragment, then the per-conjunction `ExoShap`
+/// rewriting (validated end-to-end, including the rewritten engines),
+/// then brute force within the limit, and only then surfaces the
+/// original intersection error.
+pub(crate) fn resolve_union_route(
     db: &Database,
     u: &UnionQuery,
-    facts: &[FactId],
     options: &ShapleyOptions,
-    compile_err: CoreError,
-    exoshap_eval: ExoShapUnionEval,
-) -> Result<Vec<BigRational>, CoreError> {
-    if let Ok(terms) = exoshap_union_terms(db, u, options.tuple_budget) {
-        if let Ok(values) = exoshap_eval(&terms, facts) {
-            return Ok(values);
+) -> Result<UnionRoute, CoreError> {
+    match options.strategy {
+        Strategy::BruteForcePermutations => Ok(UnionRoute::Permutations),
+        Strategy::BruteForceSubsets => Ok(UnionRoute::BruteForce),
+        Strategy::Hierarchical => {
+            check_union_tractable(u)?;
+            Ok(UnionRoute::Compiled)
         }
-    }
-    if db.endo_count() <= options.brute_force_limit {
-        union_brute_values(db, u, facts, options)
-    } else {
-        Err(compile_err)
+        Strategy::ExoShap => Ok(UnionRoute::ExoShap(compile_exoshap_terms(
+            exoshap_union_terms(db, u, options.tuple_budget)?,
+        )?)),
+        Strategy::Auto => match check_union_tractable(u) {
+            Ok(()) => Ok(UnionRoute::Compiled),
+            Err(e) if compiled_union_inapplicable(&e) => {
+                if let Ok(terms) = exoshap_union_terms(db, u, options.tuple_budget) {
+                    if let Ok(compiled) = compile_exoshap_terms(terms) {
+                        return Ok(UnionRoute::ExoShap(compiled));
+                    }
+                }
+                if db.endo_count() <= options.brute_force_limit {
+                    Ok(UnionRoute::BruteForce)
+                } else {
+                    Err(e)
+                }
+            }
+            Err(e) => Err(e),
+        },
     }
 }
 
@@ -427,7 +433,7 @@ pub(crate) fn signed_add(acc: &mut BigRational, v: &BigRational, negative: bool)
 /// Should `Auto` absorb this compile failure by falling back to brute
 /// force (the union is outside the compiled fragment), rather than
 /// propagate it (a genuine input error)?
-fn compiled_union_inapplicable(e: &CoreError) -> bool {
+pub(crate) fn compiled_union_inapplicable(e: &CoreError) -> bool {
     matches!(
         e,
         CoreError::IntractableIntersection { .. }
@@ -437,7 +443,7 @@ fn compiled_union_inapplicable(e: &CoreError) -> bool {
     )
 }
 
-fn union_brute_value(
+pub(crate) fn union_brute_value(
     db: &Database,
     u: &UnionQuery,
     f: FactId,
@@ -453,7 +459,7 @@ fn union_brute_value(
     )
 }
 
-fn union_brute_values(
+pub(crate) fn union_brute_values(
     db: &Database,
     u: &UnionQuery,
     facts: &[FactId],
@@ -471,7 +477,7 @@ fn union_brute_values(
 /// # Errors
 /// [`CoreError::IntractableIntersection`] naming the intersection whose
 /// conjunction the rewriting rejects.
-fn exoshap_union_terms(
+pub(crate) fn exoshap_union_terms(
     db: &Database,
     u: &UnionQuery,
     tuple_budget: usize,
@@ -494,18 +500,26 @@ fn exoshap_union_terms(
 
 /// `U(D) − U(Dx)` — what a union report's value total must equal by the
 /// efficiency axiom.
-fn union_efficiency_target(db: &Database, u: &UnionQuery) -> BigRational {
+pub(crate) fn union_efficiency_target(db: &Database, u: &UnionQuery) -> BigRational {
     let compiled = AnyQuery::Union(u).compile(db);
     let full = compiled.satisfied(db, &World::full(db)) as i64;
     let empty = compiled.satisfied(db, &World::empty(db)) as i64;
     BigRational::from(full - empty)
 }
 
+/// The concrete algorithm a [`Strategy`] resolved to for one input —
+/// what `Auto` actually picked, exposed through
+/// [`crate::session::ShapleySession::strategy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Resolved {
+pub enum ResolvedStrategy {
+    /// The hierarchical `CntSat` engine (Theorem 3.1).
     Hierarchical,
+    /// The `ExoShap` rewriting followed by the hierarchical engine
+    /// (Theorem 4.3).
     ExoShap,
+    /// Explicit subset enumeration.
     BruteForce,
+    /// Explicit permutation enumeration.
     Permutations,
 }
 
@@ -513,18 +527,18 @@ pub(crate) fn resolve_strategy(
     db: &Database,
     q: &ConjunctiveQuery,
     options: &ShapleyOptions,
-) -> Result<Resolved, CoreError> {
+) -> Result<ResolvedStrategy, CoreError> {
     Ok(match options.strategy {
-        Strategy::Hierarchical => Resolved::Hierarchical,
-        Strategy::ExoShap => Resolved::ExoShap,
-        Strategy::BruteForceSubsets => Resolved::BruteForce,
-        Strategy::BruteForcePermutations => Resolved::Permutations,
+        Strategy::Hierarchical => ResolvedStrategy::Hierarchical,
+        Strategy::ExoShap => ResolvedStrategy::ExoShap,
+        Strategy::BruteForceSubsets => ResolvedStrategy::BruteForce,
+        Strategy::BruteForcePermutations => ResolvedStrategy::Permutations,
         Strategy::Auto => {
             if has_self_join(q) {
                 // The dichotomy is open for self-joins (Section 6):
                 // fall back to brute force when feasible.
                 if db.endo_count() <= options.brute_force_limit {
-                    Resolved::BruteForce
+                    ResolvedStrategy::BruteForce
                 } else {
                     return Err(CoreError::TooManyEndogenousFacts {
                         count: db.endo_count(),
@@ -535,11 +549,11 @@ pub(crate) fn resolve_strategy(
                 let exo: std::collections::HashSet<String> =
                     db.exogenous_relation_names().into_iter().collect();
                 match classify_with_exo(q, &exo) {
-                    ExactComplexity::TractableHierarchical => Resolved::Hierarchical,
-                    ExactComplexity::TractableViaExoShap => Resolved::ExoShap,
+                    ExactComplexity::TractableHierarchical => ResolvedStrategy::Hierarchical,
+                    ExactComplexity::TractableViaExoShap => ResolvedStrategy::ExoShap,
                     ExactComplexity::FpSharpPComplete { witness } => {
                         if db.endo_count() <= options.brute_force_limit {
-                            Resolved::BruteForce
+                            ResolvedStrategy::BruteForce
                         } else {
                             return Err(CoreError::HasNonHierarchicalPath { witness });
                         }
@@ -564,6 +578,16 @@ pub struct ShapleyEntry {
     pub value: BigRational,
 }
 
+/// Evaluation statistics attached to a [`ShapleyReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReportStats {
+    /// Aggregate reports: candidate answers with nonzero weight.
+    pub aggregate_candidates: usize,
+    /// Aggregate reports: candidates skipped by the relevance pre-pass
+    /// (their value vector is provably zero — no engine was compiled).
+    pub pruned_candidates: usize,
+}
+
 /// Shapley values of every endogenous fact, plus the efficiency check.
 #[derive(Debug, Clone)]
 pub struct ShapleyReport {
@@ -574,6 +598,8 @@ pub struct ShapleyReport {
     /// `q(D) − q(Dx)`, which the total must equal (the efficiency axiom
     /// of the Shapley value; Example 2.3 notes the sum is 1 there).
     pub expected_total: BigRational,
+    /// Evaluation statistics (zero for plain Boolean reports).
+    pub stats: ReportStats,
     /// `FactId → entries` index, built once so [`ShapleyReport::entry`]
     /// is O(1) instead of a linear scan per lookup.
     index: HashMap<FactId, usize>,
@@ -593,8 +619,49 @@ impl ShapleyReport {
             entries,
             total,
             expected_total,
+            stats: ReportStats::default(),
             index,
         }
+    }
+
+    /// Builds a report from entries whose exact value total the caller
+    /// already holds (engine paths accumulate it over the common
+    /// denominator `m!`, avoiding a rational reduction per entry).
+    /// Debug builds verify the total against the entries.
+    pub fn with_precomputed_total(
+        entries: Vec<ShapleyEntry>,
+        total: BigRational,
+        expected_total: BigRational,
+    ) -> Self {
+        debug_assert_eq!(
+            {
+                let mut check = BigRational::zero();
+                for e in &entries {
+                    check += &e.value;
+                }
+                check
+            },
+            total,
+            "precomputed total disagrees with the entries"
+        );
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.fact, i))
+            .collect();
+        ShapleyReport {
+            entries,
+            total,
+            expected_total,
+            stats: ReportStats::default(),
+            index,
+        }
+    }
+
+    /// Attaches evaluation statistics.
+    pub fn with_stats(mut self, stats: ReportStats) -> Self {
+        self.stats = stats;
+        self
     }
 
     /// Does the efficiency axiom hold exactly?
@@ -619,17 +686,17 @@ fn prepare_report(
     db: &Database,
     q: &ConjunctiveQuery,
     options: &ShapleyOptions,
-) -> Result<(Resolved, Option<exoshap::RewriteOutcome>), CoreError> {
+) -> Result<(ResolvedStrategy, Option<exoshap::RewriteOutcome>), CoreError> {
     let resolved = resolve_strategy(db, q, options)?;
     let rewritten = match resolved {
-        Resolved::ExoShap => Some(exoshap::rewrite(db, q, options.tuple_budget)?),
+        ResolvedStrategy::ExoShap => Some(exoshap::rewrite(db, q, options.tuple_budget)?),
         _ => None,
     };
     Ok((resolved, rewritten))
 }
 
 /// All-zero report (the `always_false` rewriting outcome).
-fn zero_report(db: &Database) -> ShapleyReport {
+pub(crate) fn zero_report(db: &Database) -> ShapleyReport {
     let entries = db
         .endo_facts()
         .iter()
@@ -643,19 +710,32 @@ fn zero_report(db: &Database) -> ShapleyReport {
 }
 
 /// `q(D) − q(Dx)` — what the value total must equal by efficiency.
-fn efficiency_target(db: &Database, q: &ConjunctiveQuery) -> BigRational {
+pub(crate) fn efficiency_target(db: &Database, q: &ConjunctiveQuery) -> BigRational {
     let full = cqshap_engine::satisfies(db, &World::full(db), q) as i64;
     let empty = cqshap_engine::satisfies(db, &World::empty(db), q) as i64;
     BigRational::from(full - empty)
 }
 
-fn assemble_report(
+pub(crate) fn assemble_report(
     db: &Database,
     values: Vec<BigRational>,
     expected_total: BigRational,
 ) -> ShapleyReport {
-    let entries = db
-        .endo_facts()
+    ShapleyReport::new(report_entries(db, values), expected_total)
+}
+
+/// [`assemble_report`] with the exact value total already in hand.
+pub(crate) fn assemble_report_with_total(
+    db: &Database,
+    values: Vec<BigRational>,
+    total: BigRational,
+    expected_total: BigRational,
+) -> ShapleyReport {
+    ShapleyReport::with_precomputed_total(report_entries(db, values), total, expected_total)
+}
+
+fn report_entries(db: &Database, values: Vec<BigRational>) -> Vec<ShapleyEntry> {
+    db.endo_facts()
         .iter()
         .zip(values)
         .map(|(&f, value)| ShapleyEntry {
@@ -663,43 +743,51 @@ fn assemble_report(
             rendered: db.render_fact(f),
             value,
         })
-        .collect();
-    ShapleyReport::new(entries, expected_total)
+        .collect()
 }
 
 /// What the chunked report fan-out needs from a compiled engine —
 /// implemented by the single-CQ¬ [`CompiledCount`] and the
-/// inclusion–exclusion [`CompiledUnionCount`].
+/// inclusion–exclusion [`CompiledUnionCount`]. Engines do not borrow
+/// the database, so each call re-supplies it.
 pub(crate) trait BatchedEngine: Sync {
     /// Total number of bucket ids.
-    fn buckets(&self) -> usize;
+    fn buckets(&self, db: &Database) -> usize;
     /// The recount-state bucket of `f`.
-    fn bucket_of(&self, f: FactId) -> usize;
-    /// The exact Shapley value of `f`.
-    fn value(&self, f: FactId) -> Result<BigRational, CoreError>;
+    fn bucket_of(&self, db: &Database, f: FactId) -> usize;
+    /// The Shapley numerator of `f` over the common denominator `m!`.
+    fn numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError>;
+    /// `num / m!` in lowest terms (memoized by the engine).
+    fn normalize(&self, num: BigInt) -> BigRational;
 }
 
-impl BatchedEngine for CompiledCount<'_> {
-    fn buckets(&self) -> usize {
+impl BatchedEngine for CompiledCount {
+    fn buckets(&self, _db: &Database) -> usize {
         CompiledCount::buckets(self)
     }
-    fn bucket_of(&self, f: FactId) -> usize {
+    fn bucket_of(&self, _db: &Database, f: FactId) -> usize {
         CompiledCount::bucket_of(self, f)
     }
-    fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
-        CompiledCount::value(self, f)
+    fn numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError> {
+        CompiledCount::shapley_numerator(self, db, f)
+    }
+    fn normalize(&self, num: BigInt) -> BigRational {
+        CompiledCount::normalize_numerator(self, num)
     }
 }
 
-impl BatchedEngine for CompiledUnionCount<'_> {
-    fn buckets(&self) -> usize {
-        CompiledUnionCount::buckets(self)
+impl BatchedEngine for CompiledUnionCount {
+    fn buckets(&self, db: &Database) -> usize {
+        CompiledUnionCount::buckets(self, db)
     }
-    fn bucket_of(&self, f: FactId) -> usize {
-        CompiledUnionCount::bucket_of(self, f)
+    fn bucket_of(&self, db: &Database, f: FactId) -> usize {
+        CompiledUnionCount::bucket_of(self, db, f)
     }
-    fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
-        CompiledUnionCount::value(self, f)
+    fn numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError> {
+        CompiledUnionCount::shapley_numerator(self, db, f)
+    }
+    fn normalize(&self, num: BigInt) -> BigRational {
+        CompiledUnionCount::normalize_numerator(self, num)
     }
 }
 
@@ -708,12 +796,34 @@ impl BatchedEngine for CompiledUnionCount<'_> {
 /// **chunked by root group**, so every thread works against the shared
 /// compiled state and a group's recount locality stays on one core.
 pub(crate) fn engine_values(
+    db: &Database,
     compiled: &dyn BatchedEngine,
     facts: &[FactId],
 ) -> Result<Vec<BigRational>, CoreError> {
-    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); compiled.buckets()];
+    Ok(engine_numerator_values(db, compiled, facts)?.0)
+}
+
+/// [`engine_values`] plus the exact value total, accumulated over the
+/// engine's common denominator `m!` with plain integer additions and
+/// normalized once — summing the already-reduced rationals instead
+/// costs a gcd per fact and dominates large reports.
+pub(crate) fn engine_report_values(
+    db: &Database,
+    compiled: &dyn BatchedEngine,
+    facts: &[FactId],
+) -> Result<(Vec<BigRational>, BigRational), CoreError> {
+    let (values, total) = engine_numerator_values(db, compiled, facts)?;
+    Ok((values, compiled.normalize(total)))
+}
+
+fn engine_numerator_values(
+    db: &Database,
+    compiled: &dyn BatchedEngine,
+    facts: &[FactId],
+) -> Result<(Vec<BigRational>, BigInt), CoreError> {
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); compiled.buckets(db)];
     for (i, &f) in facts.iter().enumerate() {
-        buckets[compiled.bucket_of(f)].push(i);
+        buckets[compiled.bucket_of(db, f)].push(i);
     }
     buckets.retain(|b| !b.is_empty());
     let lanes = std::thread::available_parallelism()
@@ -733,28 +843,28 @@ pub(crate) fn engine_values(
     let computed = crate::parallel::par_map(assignments.len(), |t| {
         assignments[t]
             .iter()
-            .map(|&i| compiled.value(facts[i]).map(|v| (i, v)))
+            .map(|&i| {
+                let num = compiled.numerator(db, facts[i])?;
+                let value = compiled.normalize(num.clone());
+                Ok::<_, CoreError>((i, num, value))
+            })
             .collect::<Result<Vec<_>, _>>()
     });
     let mut values: Vec<Option<BigRational>> = vec![None; facts.len()];
+    let mut total = BigInt::zero();
     for part in computed {
-        for (i, v) in part? {
+        for (i, num, v) in part? {
+            total += &num;
             values[i] = Some(v);
         }
     }
-    Ok(values
-        .into_iter()
-        .map(|v| v.expect("every fact assigned to exactly one bucket"))
-        .collect())
-}
-
-/// [`engine_values`] over a freshly compiled [`CompiledCount`].
-pub(crate) fn batched_values(
-    eff_db: &Database,
-    eff_q: &ConjunctiveQuery,
-    facts: &[FactId],
-) -> Result<Vec<BigRational>, CoreError> {
-    engine_values(&CompiledCount::compile(eff_db, eff_q)?, facts)
+    Ok((
+        values
+            .into_iter()
+            .map(|v| v.expect("every fact assigned to exactly one bucket"))
+            .collect(),
+        total,
+    ))
 }
 
 /// Computes the Shapley value of *every* endogenous fact of `db`.
@@ -768,24 +878,7 @@ pub fn shapley_report(
     q: &ConjunctiveQuery,
     options: &ShapleyOptions,
 ) -> Result<ShapleyReport, CoreError> {
-    let (resolved, rewritten) = prepare_report(db, q, options)?;
-    let (eff_db, eff_q): (&Database, &ConjunctiveQuery) = match &rewritten {
-        Some(rw) if rw.always_false => return Ok(zero_report(db)),
-        Some(rw) => (&rw.db, &rw.query),
-        None => (db, q),
-    };
-    let facts = db.endo_facts();
-    let values = match resolved {
-        Resolved::Hierarchical | Resolved::ExoShap => batched_values(eff_db, eff_q, facts)?,
-        Resolved::BruteForce | Resolved::Permutations => {
-            per_fact_values(eff_db, eff_q, facts, resolved, options, false)?
-        }
-    };
-    Ok(assemble_report(
-        db,
-        values,
-        efficiency_target(eff_db, eff_q),
-    ))
+    crate::session::ShapleySession::prepare(db, AnyQuery::Cq(q), options)?.report()
 }
 
 /// The seed per-fact reference path of [`shapley_report`]: every fact
@@ -817,25 +910,27 @@ pub fn shapley_report_per_fact(
 /// by raw fact index. With `materialize` set, each fact's modified
 /// databases are rebuilt as real copies (the seed behavior); otherwise
 /// the oracle sees [`FactMask`] views.
-fn per_fact_values(
+pub(crate) fn per_fact_values(
     eff_db: &Database,
     eff_q: &ConjunctiveQuery,
     facts: &[FactId],
-    resolved: Resolved,
+    resolved: ResolvedStrategy,
     options: &ShapleyOptions,
     materialize: bool,
 ) -> Result<Vec<BigRational>, CoreError> {
     let oracle: Box<dyn SatCountOracle> = match resolved {
-        Resolved::Hierarchical | Resolved::ExoShap => Box::new(HierarchicalCounter),
-        Resolved::BruteForce | Resolved::Permutations => Box::new(BruteForceCounter {
-            limit: options.brute_force_limit,
-        }),
+        ResolvedStrategy::Hierarchical | ResolvedStrategy::ExoShap => Box::new(HierarchicalCounter),
+        ResolvedStrategy::BruteForce | ResolvedStrategy::Permutations => {
+            Box::new(BruteForceCounter {
+                limit: options.brute_force_limit,
+            })
+        }
     };
     let oracle_ref: &dyn SatCountOracle = oracle.as_ref();
     crate::parallel::par_map(facts.len(), |i| {
         let f = facts[i];
         match resolved {
-            Resolved::Permutations => {
+            ResolvedStrategy::Permutations => {
                 shapley_by_permutations(eff_db, AnyQuery::Cq(eff_q), f, options.permutation_limit)
             }
             _ if materialize => shapley_via_materialized_counts(eff_db, eff_q, f, oracle_ref),

@@ -20,6 +20,10 @@ pub struct Database {
     endo: Vec<FactId>,
     endo_pos: HashMap<FactId, usize>,
     exo_relations: HashSet<RelId>,
+    /// Tombstones of retracted facts (indexed by [`FactId`]). Retraction
+    /// keeps ids stable so compiled structures built before an update
+    /// can be maintained incrementally instead of rebuilt.
+    retracted: Vec<bool>,
 }
 
 impl Database {
@@ -136,7 +140,98 @@ impl Database {
             tuple,
             provenance,
         });
+        self.retracted.push(false);
         Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // In-place updates (stable fact ids)
+    // ------------------------------------------------------------------
+    //
+    // Unlike the modified-copy constructors below, these mutate the
+    // database while keeping every other fact's id unchanged, so a
+    // compiled Shapley engine can be *maintained* across the update
+    // (see `cqshap_core::session::ShapleySession`).
+
+    /// Retracts a fact in place, leaving a tombstone so every other
+    /// fact's id stays valid. The fact disappears from its relation,
+    /// the tuple index, and (if endogenous) `Dn`; its tuple may later be
+    /// re-inserted under a fresh id.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownFact`] on dangling or already-retracted ids.
+    pub fn retract_fact(&mut self, f: FactId) -> Result<(), DbError> {
+        if f.index() >= self.facts.len() || self.retracted[f.index()] {
+            return Err(DbError::UnknownFact { id: f.0 });
+        }
+        let fact = &self.facts[f.index()];
+        self.tuple_index.remove(&(fact.rel, fact.tuple.clone()));
+        self.by_relation[fact.rel.index()].retain(|&id| id != f);
+        if fact.provenance.is_endogenous() {
+            self.remove_endo(f);
+        }
+        self.retracted[f.index()] = true;
+        Ok(())
+    }
+
+    /// Flips a fact's provenance in place (endogenous ⇄ exogenous),
+    /// keeping every fact id stable. Making a fact endogenous respects
+    /// the declared exogenous relations; flipping to the provenance a
+    /// fact already has is a no-op.
+    ///
+    /// Endogenous order: a fact flipped to endogenous joins the *end* of
+    /// [`Database::endo_facts`]; a fact flipped to exogenous leaves it,
+    /// shifting later positions down by one.
+    ///
+    /// # Errors
+    /// [`DbError::UnknownFact`] on dangling or retracted ids;
+    /// [`DbError::ExogenousViolation`] when endogenizing a fact of a
+    /// declared exogenous relation.
+    pub fn set_fact_provenance(
+        &mut self,
+        f: FactId,
+        provenance: Provenance,
+    ) -> Result<(), DbError> {
+        if f.index() >= self.facts.len() || self.retracted[f.index()] {
+            return Err(DbError::UnknownFact { id: f.0 });
+        }
+        let fact = &self.facts[f.index()];
+        if fact.provenance == provenance {
+            return Ok(());
+        }
+        if provenance.is_endogenous() && self.exo_relations.contains(&fact.rel) {
+            return Err(DbError::ExogenousViolation {
+                relation: self.schema.name(fact.rel).to_string(),
+            });
+        }
+        self.facts[f.index()].provenance = provenance;
+        if provenance.is_endogenous() {
+            self.endo_pos.insert(f, self.endo.len());
+            self.endo.push(f);
+        } else {
+            self.remove_endo(f);
+        }
+        Ok(())
+    }
+
+    /// Has `f` been retracted in place?
+    pub fn is_retracted(&self, f: FactId) -> bool {
+        self.retracted.get(f.index()).copied().unwrap_or(false)
+    }
+
+    /// Removes `f` from the endogenous list, shifting later positions.
+    fn remove_endo(&mut self, f: FactId) {
+        let pos = self
+            .endo_pos
+            .remove(&f)
+            .expect("endogenous fact has a position");
+        self.endo.remove(pos);
+        for later in &self.endo[pos..] {
+            *self
+                .endo_pos
+                .get_mut(later)
+                .expect("endogenous fact has a position") -= 1;
+        }
     }
 
     /// Inserts a fact given constant names, interning as needed.
@@ -173,14 +268,17 @@ impl Database {
         &self.facts[id.index()]
     }
 
-    /// Total number of facts.
+    /// Total number of fact ids ever issued (the id-space bound;
+    /// includes tombstones of retracted facts).
     pub fn fact_count(&self) -> usize {
         self.facts.len()
     }
 
-    /// Iterates all fact ids.
-    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> {
-        (0..self.facts.len() as u32).map(FactId)
+    /// Iterates all live (non-retracted) fact ids.
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + '_ {
+        (0..self.facts.len() as u32)
+            .map(FactId)
+            .filter(|f| !self.retracted[f.index()])
     }
 
     /// The endogenous facts `Dn`, in insertion order.
@@ -223,7 +321,7 @@ impl Database {
     pub fn active_domain(&self) -> Vec<ConstId> {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for f in &self.facts {
+        for f in self.fact_ids().map(|id| self.fact(id)) {
             for &c in f.tuple.values() {
                 if seen.insert(c) {
                     out.push(c);
@@ -424,6 +522,73 @@ mod tests {
         assert_eq!(db2.endo_count(), 1);
         let new_ta = map[&ta];
         assert!(!db2.fact(new_ta).provenance.is_endogenous());
+    }
+
+    #[test]
+    fn retract_fact_keeps_ids_stable() {
+        let mut db = sample();
+        let ta = db.find_fact("TA", &["Adam"]).unwrap();
+        let reg = db.find_fact("Reg", &["Adam", "OS"]).unwrap();
+        db.retract_fact(ta).unwrap();
+        assert!(db.is_retracted(ta));
+        assert!(db.find_fact("TA", &["Adam"]).is_none());
+        // Other ids survive untouched; endogenous positions shift down.
+        assert_eq!(db.find_fact("Reg", &["Adam", "OS"]), Some(reg));
+        assert_eq!(db.endo_count(), 1);
+        assert_eq!(db.endo_index(reg), Some(0));
+        assert!(!db.fact_ids().any(|f| f == ta));
+        // Double retraction and dangling ids are rejected.
+        assert!(matches!(
+            db.retract_fact(ta),
+            Err(DbError::UnknownFact { .. })
+        ));
+        assert!(matches!(
+            db.retract_fact(FactId(99)),
+            Err(DbError::UnknownFact { .. })
+        ));
+        // The tuple can be re-inserted under a fresh id.
+        let again = db.add_endo("TA", &["Adam"]).unwrap();
+        assert_ne!(again, ta);
+        assert_eq!(db.endo_index(again), Some(1));
+        // Display only renders live facts.
+        assert_eq!(db.to_string().matches("TA(Adam)").count(), 1);
+    }
+
+    #[test]
+    fn set_fact_provenance_flips_in_place() {
+        let mut db = sample();
+        let ta = db.find_fact("TA", &["Adam"]).unwrap();
+        let reg = db.find_fact("Reg", &["Adam", "OS"]).unwrap();
+        db.set_fact_provenance(ta, Provenance::Exogenous).unwrap();
+        assert_eq!(db.endo_count(), 1);
+        assert_eq!(db.endo_index(reg), Some(0));
+        assert!(!db.fact(ta).provenance.is_endogenous());
+        // Flip back: the fact rejoins the end of Dn.
+        db.set_fact_provenance(ta, Provenance::Endogenous).unwrap();
+        assert_eq!(db.endo_index(ta), Some(1));
+        // No-op flips are fine; exogenous-relation declarations hold.
+        db.set_fact_provenance(ta, Provenance::Endogenous).unwrap();
+        let mut db2 = Database::new();
+        let rel = db2.add_relation("Pub", 1).unwrap();
+        db2.declare_exogenous_relation(rel).unwrap();
+        let p = db2.add_exo("Pub", &["x"]).unwrap();
+        assert!(matches!(
+            db2.set_fact_provenance(p, Provenance::Endogenous),
+            Err(DbError::ExogenousViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn active_domain_ignores_retracted_facts() {
+        let mut db = sample();
+        let reg = db.find_fact("Reg", &["Adam", "OS"]).unwrap();
+        db.retract_fact(reg).unwrap();
+        let names: Vec<&str> = db
+            .active_domain()
+            .iter()
+            .map(|&c| db.interner().resolve(c))
+            .collect();
+        assert_eq!(names, vec!["Adam"]);
     }
 
     #[test]

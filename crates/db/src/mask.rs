@@ -44,9 +44,10 @@ impl FactMask {
     }
 
     /// Is `f` endogenous under the mask? (Removed or exogenized facts
-    /// are not; everything else follows the stored provenance.)
+    /// are not, nor are facts retracted in place; everything else
+    /// follows the stored provenance.)
     pub fn is_endogenous(&self, db: &Database, f: FactId) -> bool {
-        if self.target() == Some(f) {
+        if self.target() == Some(f) || db.is_retracted(f) {
             return false;
         }
         db.fact(f).provenance.is_endogenous()

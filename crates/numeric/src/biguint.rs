@@ -1,9 +1,9 @@
 //! Arbitrary-precision unsigned integers with an inline small-value
 //! representation.
 //!
-//! Values that fit in a `u128` are stored inline ([`Repr::Small`]) with
+//! Values that fit in a `u128` are stored inline (`Repr::Small`) with
 //! no heap allocation; only values of three or more 64-bit limbs spill
-//! into a little-endian limb vector ([`Repr::Large`], kept normalized:
+//! into a little-endian limb vector (`Repr::Large`, kept normalized:
 //! at least three limbs, the last nonzero). The counting pipeline spends
 //! almost all of its time on single-word magnitudes — binomials, small
 //! group counts, convolution partial sums — so the inline path turns the
@@ -372,6 +372,26 @@ impl BigUint {
         let mut out = self.clone();
         out.mul_u64_assign(m);
         out
+    }
+
+    /// The remainder `self mod d` without modifying or cloning `self` —
+    /// the allocation-free divisibility probe behind the
+    /// factorial-denominator reduction's prime trials.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn rem_u64(&self, d: u64) -> u64 {
+        assert!(d != 0, "division by zero");
+        match &self.repr {
+            Repr::Small(v) => (*v % d as u128) as u64,
+            Repr::Large(l) => {
+                let mut rem = 0u128;
+                for limb in l.iter().rev() {
+                    rem = ((rem << 64) | *limb as u128) % d as u128;
+                }
+                rem as u64
+            }
+        }
     }
 
     /// Divides in place by a nonzero `u64`, returning the remainder.

@@ -37,10 +37,71 @@ pub fn binomial(n: usize, k: usize) -> BigUint {
     acc
 }
 
+/// The primes `≤ n`, by Eratosthenes.
+fn primes_up_to(n: usize) -> Vec<u64> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut composite = vec![false; n + 1];
+    let mut out = Vec::new();
+    for p in 2..=n {
+        if composite[p] {
+            continue;
+        }
+        out.push(p as u64);
+        let mut q = p * p;
+        while q <= n {
+            composite[q] = true;
+            q += p;
+        }
+    }
+    out
+}
+
+/// Legendre's formula: `v_p(n!) = Σ_i ⌊n/pⁱ⌋`.
+fn factorial_valuation(n: usize, p: u64) -> usize {
+    let mut e = 0usize;
+    let mut q = n as u64 / p;
+    while q > 0 {
+        e += q as usize;
+        q /= p;
+    }
+    e
+}
+
+/// Divides out up to `max` factors of `p` from `v`, returning how many
+/// were removed. Factors are stripped in the largest `p`-power chunks
+/// that fit a `u64`, so high valuations cost a handful of short
+/// divisions instead of one per factor.
+fn strip_prime(v: &mut BigUint, p: u64, max: usize) -> usize {
+    let mut chunk = p;
+    let mut chunk_exp = 1usize;
+    while chunk_exp < max {
+        match chunk.checked_mul(p) {
+            Some(next) if chunk_exp < max => {
+                chunk = next;
+                chunk_exp += 1;
+            }
+            _ => break,
+        }
+    }
+    let mut count = 0usize;
+    while count + chunk_exp <= max && v.rem_u64(chunk) == 0 {
+        v.div_rem_u64_assign(chunk);
+        count += chunk_exp;
+    }
+    while count < max && v.rem_u64(p) == 0 {
+        v.div_rem_u64_assign(p);
+        count += 1;
+    }
+    count
+}
+
 /// A cache of `0! ..= n!` plus derived Shapley permutation weights.
 #[derive(Debug, Clone)]
 pub struct FactorialTable {
     facts: Vec<BigUint>,
+    primes: Vec<u64>,
 }
 
 impl FactorialTable {
@@ -52,7 +113,54 @@ impl FactorialTable {
             let next = facts.last().expect("nonempty").mul_u64(i);
             facts.push(next);
         }
-        FactorialTable { facts }
+        FactorialTable {
+            facts,
+            primes: primes_up_to(n),
+        }
+    }
+
+    /// Reduces `num / m!` to lowest terms *without* a general gcd:
+    /// `m!`'s prime factorization is known in closed form (Legendre),
+    /// so the common factor is found by stripping exactly those primes
+    /// from `num` — chunked `u64` powers, a few short divisions per
+    /// prime — instead of running a big-number gcd against `m!`. This
+    /// is the per-fact normalization of every batched Shapley value, so
+    /// its cost is the report's tail at large `m`.
+    ///
+    /// # Panics
+    /// Panics if `m` exceeds the table size.
+    pub fn reduce_over_factorial(&self, num: BigInt, m: usize) -> BigRational {
+        assert!(m <= self.max_n(), "factorial {m}! beyond the table");
+        if num.is_zero() {
+            return BigRational::zero();
+        }
+        let sign = num.sign();
+        let mut mag = num.into_magnitude();
+        let mut den = BigUint::one();
+        for &p in &self.primes {
+            if p > m as u64 {
+                break;
+            }
+            let e = factorial_valuation(m, p);
+            let stripped = strip_prime(&mut mag, p, e);
+            let mut rest = e - stripped;
+            while rest > 0 {
+                let mut chunk = p;
+                let mut q = 1usize;
+                while q < rest {
+                    match chunk.checked_mul(p) {
+                        Some(next) => {
+                            chunk = next;
+                            q += 1;
+                        }
+                        None => break,
+                    }
+                }
+                den.mul_u64_assign(chunk);
+                rest -= q;
+            }
+        }
+        BigRational::from_coprime_parts(BigInt::from_sign_magnitude(sign, mag), den)
     }
 
     /// Largest `n` with `n!` in the table.

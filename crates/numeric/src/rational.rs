@@ -45,6 +45,25 @@ impl BigRational {
         Self::from_parts(num, den.into_magnitude())
     }
 
+    /// Builds `num / den` from parts already known to be in lowest
+    /// terms — no gcd is computed. The factorial-denominator reduction
+    /// ([`crate::FactorialTable::reduce_over_factorial`]) produces its
+    /// parts coprime by construction and skips the normalization cost.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero; debug builds verify coprimality.
+    pub fn from_coprime_parts(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Self::zero();
+        }
+        debug_assert!(
+            num.magnitude().gcd(&den).is_one(),
+            "from_coprime_parts requires reduced parts"
+        );
+        BigRational { num, den }
+    }
+
     /// Builds `num / den` from a signed numerator and unsigned denominator.
     ///
     /// # Panics

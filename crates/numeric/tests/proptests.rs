@@ -1,6 +1,6 @@
 //! Property-based tests for the exact arithmetic substrate.
 
-use cqshap_numeric::{binomial, BigInt, BigRational, BigUint, RationalMatrix};
+use cqshap_numeric::{binomial, BigInt, BigRational, BigUint, FactorialTable, RationalMatrix};
 use proptest::prelude::*;
 
 fn arb_biguint() -> impl Strategy<Value = BigUint> {
@@ -151,6 +151,25 @@ proptest! {
     fn binomial_pascal(n in 1usize..40, k in 0usize..40) {
         prop_assume!(k <= n && k >= 1);
         prop_assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+
+    /// The Legendre-factorization reduction of `num / m!` must equal the
+    /// general gcd normalization bit for bit — including numerators that
+    /// share big factorial chunks with the denominator (the typical
+    /// Shapley shape) and negative ones.
+    #[test]
+    fn reduce_over_factorial_matches_gcd(
+        m in 0usize..60,
+        a in -1_000_000i64..1_000_000,
+        k in 0usize..60,
+    ) {
+        let table = FactorialTable::new(m);
+        let k = k.min(m);
+        // num = a · k! — arbitrary sign, factorial-structured magnitude.
+        let num = BigInt::from_i64(a) * BigInt::from_biguint(table.factorial(k).clone());
+        let fast = table.reduce_over_factorial(num.clone(), m);
+        let slow = BigRational::from_parts(num, table.factorial(m).clone());
+        prop_assert_eq!(fast, slow);
     }
 
     #[test]

@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert!(is_hierarchical(&outcome.query));
 
-    let opts = ShapleyOptions {
-        strategy: Strategy::ExoShap,
-        ..Default::default()
-    };
+    let opts = ShapleyOptions::with_strategy(Strategy::ExoShap);
     let report = shapley_report(&db, &q, &opts)?;
     println!("\n== Shapley values via ExoShap ==");
     for entry in &report.entries {
@@ -50,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(report.efficiency_holds());
 
     // Cross-check against brute force (small |Dn| makes this feasible).
-    let bf = ShapleyOptions {
-        strategy: Strategy::BruteForceSubsets,
-        ..Default::default()
-    };
+    let bf = ShapleyOptions::with_strategy(Strategy::BruteForceSubsets);
     for entry in &report.entries {
         let v = shapley_value(&db, &q, entry.fact, &bf)?;
         assert_eq!(v, entry.value, "{}", entry.rendered);

@@ -33,6 +33,30 @@
 //! assert_eq!(report.entry(ta_adam).unwrap().value.to_string(), "-3/28");
 //! assert!(report.efficiency_holds());
 //! ```
+//!
+//! ## Sessions
+//!
+//! For repeated queries against one database — and for incremental
+//! maintenance across updates — prepare a
+//! [`ShapleySession`](cqshap_core::session::ShapleySession) once and
+//! serve every value, report, and estimate from its cached engine:
+//!
+//! ```
+//! use cqshap::prelude::*;
+//!
+//! let db = cqshap::workloads::figure_1_database();
+//! let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+//! let mut session = ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &ShapleyOptions::auto()).unwrap();
+//! assert_eq!(session.strategy(), Some(ResolvedStrategy::Hierarchical));
+//!
+//! let ta_adam = session.database().find_fact("TA", &["Adam"]).unwrap();
+//! assert_eq!(session.value(ta_adam).unwrap().to_string(), "-3/28");
+//!
+//! // In-place update: only TA(Adam)'s root group is recounted.
+//! session.set_exogenous(ta_adam, true).unwrap();
+//! assert!(session.report().unwrap().efficiency_holds());
+//! assert_eq!(session.stats().incremental_updates, 1);
+//! ```
 
 pub use cqshap_core as core;
 pub use cqshap_db as db;
@@ -56,7 +80,9 @@ pub mod prelude {
         rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact,
         shapley_report_union, shapley_report_union_per_fact, shapley_value, shapley_value_union,
         shapley_via_counts, AnyQuery, BruteForceCounter, CompiledCount, CompiledUnionCount,
-        CoreError, HierarchicalCounter, SatCountOracle, ShapleyOptions, Strategy,
+        CoreError, EngineUpdate, HierarchicalCounter, ReportStats, ResolvedStrategy,
+        SatCountOracle, SessionStats, ShapleyEntry, ShapleyOptions, ShapleyReport, ShapleySession,
+        Strategy,
     };
     pub use cqshap_db::{Database, FactId, FactMask, Provenance, World};
     pub use cqshap_numeric::{BigInt, BigRational, BigUint};

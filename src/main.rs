@@ -179,14 +179,15 @@ fn cmd_shapley(opts: &Options) -> Result<(), String> {
     let db = load_db(db_path)?;
     let q = parse_cq(query).map_err(|e| e.to_string())?;
     let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
-    let options = ShapleyOptions {
-        strategy,
-        ..Default::default()
-    };
+    let options = ShapleyOptions::with_strategy(strategy);
+    // One prepared session serves both the single-fact and the
+    // all-facts form, so they can never route differently.
+    let session =
+        ShapleySession::prepare(&db, AnyQuery::Cq(&q), &options).map_err(|e| e.to_string())?;
     match &opts.fact {
         Some(spec) => {
             let f = find_fact(&db, spec)?;
-            let v = shapley_value(&db, &q, f, &options).map_err(|e| e.to_string())?;
+            let v = session.value(f).map_err(|e| e.to_string())?;
             println!(
                 "Shapley(D, {}, {}) = {} ≈ {:.6}",
                 q.name(),
@@ -196,67 +197,15 @@ fn cmd_shapley(opts: &Options) -> Result<(), String> {
             );
         }
         None => {
-            let report = shapley_report(&db, &q, &options).map_err(|e| e.to_string())?;
-            for entry in &report.entries {
-                println!(
-                    "{:<32} {:>16} ≈ {:+.6}",
-                    entry.rendered,
-                    entry.value.to_string(),
-                    entry.value.to_f64()
-                );
-            }
-            println!(
-                "Σ = {} ({}: q(D) − q(Dx) = {})",
-                report.total,
-                if report.efficiency_holds() {
-                    "efficiency holds"
-                } else {
-                    "EFFICIENCY VIOLATED"
-                },
-                report.expected_total,
-            );
+            let report = session.report().map_err(|e| e.to_string())?;
+            print_report(&report);
         }
     }
     Ok(())
 }
 
-/// The batched all-facts report: compile the query (CQ¬, UCQ¬, or
-/// aggregate) once, recount incrementally per fact, print every value
-/// plus timing and the efficiency check.
-///
-/// Multi-rule queries (`;`- or newline-separated) route through the
-/// inclusion–exclusion union engine; `--agg count|sum:VAR` routes a
-/// head-projecting query through the aggregate decomposition.
-fn cmd_report(opts: &Options) -> Result<(), String> {
-    let [db_path, query] = opts.positional.as_slice() else {
-        return Err("report needs a database file and a query".into());
-    };
-    let db = load_db(db_path)?;
-    let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
-    let options = ShapleyOptions {
-        strategy,
-        ..Default::default()
-    };
-    let t0 = std::time::Instant::now();
-    let report = if let Some(spec) = &opts.agg {
-        let agg = parse_aggregate(spec)?;
-        let q = parse_cq(query).map_err(|e| e.to_string())?;
-        aggregate_report(&db, &q, &agg, &options).map_err(|e| e.to_string())?
-    } else {
-        // A UCQ¬ parse also accepts single Boolean rules; queries with a
-        // head (which unions reject) fall back to the single-CQ¬ path.
-        match parse_ucq(query) {
-            Ok(u) if u.disjuncts().len() > 1 => {
-                shapley_report_union(&db, &u, &options).map_err(|e| e.to_string())?
-            }
-            Ok(u) => shapley_report(&db, &u.disjuncts()[0], &options).map_err(|e| e.to_string())?,
-            Err(_) => {
-                let q = parse_cq(query).map_err(|e| e.to_string())?;
-                shapley_report(&db, &q, &options).map_err(|e| e.to_string())?
-            }
-        }
-    };
-    let elapsed = t0.elapsed();
+/// Prints a report's entries plus the efficiency line.
+fn print_report(report: &ShapleyReport) {
     for entry in &report.entries {
         println!(
             "{:<32} {:>16} ≈ {:+.6}",
@@ -275,8 +224,57 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
         },
         report.expected_total,
     );
+}
+
+/// The batched all-facts report: compile the query (CQ¬, UCQ¬, or
+/// aggregate) once, recount incrementally per fact, print every value
+/// plus timing and the efficiency check.
+///
+/// Multi-rule queries (`;`- or newline-separated) route through the
+/// inclusion–exclusion union engine; `--agg count|sum:VAR` routes a
+/// head-projecting query through the aggregate decomposition.
+fn cmd_report(opts: &Options) -> Result<(), String> {
+    let [db_path, query] = opts.positional.as_slice() else {
+        return Err("report needs a database file and a query".into());
+    };
+    let db = load_db(db_path)?;
+    let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
+    let options = ShapleyOptions::with_strategy(strategy);
+    let t0 = std::time::Instant::now();
+    let session = if let Some(spec) = &opts.agg {
+        let agg = parse_aggregate(spec)?;
+        let q = parse_cq(query).map_err(|e| e.to_string())?;
+        ShapleySession::prepare_aggregate(&db, &q, agg, &options).map_err(|e| e.to_string())?
+    } else {
+        // A UCQ¬ parse also accepts single Boolean rules; queries with a
+        // head (which unions reject) fall back to the single-CQ¬ path.
+        let prepared = match parse_ucq(query) {
+            Ok(u) if u.disjuncts().len() > 1 => {
+                ShapleySession::prepare(&db, AnyQuery::Union(&u), &options)
+            }
+            Ok(u) => ShapleySession::prepare(&db, AnyQuery::Cq(&u.disjuncts()[0]), &options),
+            Err(_) => {
+                let q = parse_cq(query).map_err(|e| e.to_string())?;
+                ShapleySession::prepare(&db, AnyQuery::Cq(&q), &options)
+            }
+        };
+        prepared.map_err(|e| e.to_string())?
+    };
+    let prepared_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let report = session.report().map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    print_report(&report);
+    if report.stats.aggregate_candidates > 0 {
+        println!(
+            "candidates: {} ({} pruned as provably zero)",
+            report.stats.aggregate_candidates, report.stats.pruned_candidates
+        );
+    }
+    if let Some(resolved) = session.strategy() {
+        println!("strategy: {resolved:?}");
+    }
     println!(
-        "{} facts in {:.3} ms",
+        "{} facts in {:.3} ms (prepare {prepared_ms:.3} ms)",
         report.entries.len(),
         elapsed.as_secs_f64() * 1e3
     );

@@ -91,7 +91,7 @@ proptest! {
         prop_assume!(db.endo_count() >= 1 && db.endo_count() <= 12);
         let compiled = CompiledCount::compile(&db, &q).unwrap();
         for &f in db.endo_facts() {
-            let (n_minus, n_plus) = compiled.counts_pair(f).unwrap();
+            let (n_minus, n_plus) = compiled.counts_pair(&db, f).unwrap();
             let (db_minus, _) = db.without_fact(f).unwrap();
             let (db_plus, _) = db.with_fact_exogenous(f).unwrap();
             let want_minus = HierarchicalCounter.counts(&db_minus, AnyQuery::Cq(&q)).unwrap();
@@ -142,14 +142,9 @@ fn exoshap_report_is_batched_and_matches_brute_force() {
         }
         // `cqshap::prelude::Strategy` collides with proptest's trait of
         // the same name under the glob imports — qualify explicitly.
-        let exo = ShapleyOptions {
-            strategy: cqshap::core::shapley::Strategy::ExoShap,
-            ..Default::default()
-        };
-        let brute = ShapleyOptions {
-            strategy: cqshap::core::shapley::Strategy::BruteForceSubsets,
-            ..Default::default()
-        };
+        let exo = ShapleyOptions::with_strategy(cqshap::core::shapley::Strategy::ExoShap);
+        let brute =
+            ShapleyOptions::with_strategy(cqshap::core::shapley::Strategy::BruteForceSubsets);
         let batched = shapley_report(&db, &q, &exo).unwrap();
         assert!(batched.efficiency_holds(), "seed {seed}");
         let reference = shapley_report(&db, &q, &brute).unwrap();
@@ -173,10 +168,7 @@ fn always_false_rewrite_gives_zero_report() {
     let r = db.add_relation("R", 1).unwrap();
     db.declare_exogenous_relation(r).unwrap();
     let q = parse_cq("q() :- S(x), R(u)").unwrap();
-    let options = ShapleyOptions {
-        strategy: cqshap::core::shapley::Strategy::ExoShap,
-        ..Default::default()
-    };
+    let options = ShapleyOptions::with_strategy(cqshap::core::shapley::Strategy::ExoShap);
     let report = shapley_report(&db, &q, &options).unwrap();
     assert!(report.efficiency_holds());
     assert!(report.total.is_zero());

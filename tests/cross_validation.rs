@@ -112,8 +112,8 @@ proptest! {
         };
         let db = cfg.generate(&q);
         prop_assume!(db.endo_count() >= 1 && db.endo_count() <= 10);
-        let exo_opts = ShapleyOptions { strategy: cqshap::core::Strategy::ExoShap, ..Default::default() };
-        let bf_opts = ShapleyOptions { strategy: cqshap::core::Strategy::BruteForceSubsets, ..Default::default() };
+        let exo_opts = ShapleyOptions::with_strategy(cqshap::core::Strategy::ExoShap);
+        let bf_opts = ShapleyOptions::with_strategy(cqshap::core::Strategy::BruteForceSubsets);
         for &f in db.endo_facts() {
             prop_assert_eq!(
                 shapley_value(&db, &q, f, &exo_opts).unwrap(),

@@ -29,10 +29,7 @@ fn example_2_3_values_by_all_strategies() {
         Strategy::BruteForceSubsets,
         Strategy::BruteForcePermutations,
     ] {
-        let opts = ShapleyOptions {
-            strategy,
-            ..Default::default()
-        };
+        let opts = ShapleyOptions::with_strategy(strategy);
         for (rel, args, want) in &expected {
             let refs: Vec<&str> = args.to_vec();
             let f = db.find_fact(rel, &refs).unwrap();
@@ -73,14 +70,8 @@ fn section_4_tractability_flip() {
         let rel = db.schema().id(name).unwrap();
         db.declare_exogenous_relation(rel).unwrap();
     }
-    let exo_opts = ShapleyOptions {
-        strategy: Strategy::ExoShap,
-        ..Default::default()
-    };
-    let bf_opts = ShapleyOptions {
-        strategy: Strategy::BruteForceSubsets,
-        ..Default::default()
-    };
+    let exo_opts = ShapleyOptions::with_strategy(Strategy::ExoShap);
+    let bf_opts = ShapleyOptions::with_strategy(Strategy::BruteForceSubsets);
     for &f in db.endo_facts() {
         assert_eq!(
             shapley_value(&db, &q2, f, &exo_opts).unwrap(),

@@ -217,10 +217,7 @@ fn union_benchmark_workload_is_compiled_and_consistent() {
     let report = shapley_report_union(&big, &u, &opts).unwrap();
     assert!(report.efficiency_holds());
     // The explicit Hierarchical strategy takes the same path.
-    let hier = ShapleyOptions {
-        strategy: cqshap::core::shapley::Strategy::Hierarchical,
-        ..Default::default()
-    };
+    let hier = ShapleyOptions::with_strategy(cqshap::core::shapley::Strategy::Hierarchical);
     let hreport = shapley_report_union(&big, &u, &hier).unwrap();
     for (a, b) in report.entries.iter().zip(&hreport.entries) {
         assert_eq!(a.value, b.value, "{}", a.rendered);
