@@ -20,6 +20,12 @@
 //! maintenance path (in-place update + re-report) against the full
 //! recompile path (fresh prepare + report after the same update) and
 //! writes `BENCH_session.json`.
+//!
+//! `bench-report --poly` measures the `cqshap-numeric::poly` subsystem
+//! directly: the compile-stage leave-one-out product tree over
+//! root-group-shaped polynomials at `m ∈ {256, 1024, 4096}`, schoolbook
+//! vs Karatsuba vs NTT sequentially plus thread-scaling rows for the
+//! parallel tree, written to `BENCH_poly.json`.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -156,14 +162,16 @@ fn time_ms(mut run: impl FnMut()) -> f64 {
 
 /// Times the batched [`shapley_report`] against the seed per-fact path
 /// ([`shapley_report_per_fact`]) on the deterministic university
-/// workload at `m ∈ {64, 256, 1024}` endogenous facts, and writes the
-/// medians as JSON. `--quick` lowers the sample count and skips the
-/// (slow) per-fact baseline at `m = 1024`; `--out FILE` overrides the
-/// default `BENCH_report.json`.
+/// workload at `m ∈ {64, 256, 1024, 4096}` endogenous facts, and
+/// writes the medians as JSON. `--quick` lowers the sample count and
+/// skips the (slow) per-fact baseline at `m = 1024`; the baseline at
+/// `m = 4096` is always skipped (it would run for the better part of a
+/// day). `--out FILE` overrides the default `BENCH_report.json`.
 fn bench_report(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
     let ucq = args.iter().any(|a| a == "--ucq");
     let aggregate = args.iter().any(|a| a == "--aggregate");
+    let poly = args.iter().any(|a| a == "--poly");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -172,6 +180,8 @@ fn bench_report(args: &[String]) {
         .unwrap_or_else(|| {
             if args.iter().any(|a| a == "--session") {
                 "BENCH_session.json".to_string()
+            } else if poly {
+                "BENCH_poly.json".to_string()
             } else if ucq || aggregate {
                 "BENCH_ucq.json".to_string()
             } else {
@@ -180,6 +190,10 @@ fn bench_report(args: &[String]) {
         });
     let session = args.iter().any(|a| a == "--session");
     let samples = if quick { 3 } else { 5 };
+    if poly {
+        bench_poly(quick, &out_path);
+        return;
+    }
     if session {
         bench_session(quick, &out_path);
         return;
@@ -204,7 +218,7 @@ fn bench_report(args: &[String]) {
     }
 
     let mut rows = Vec::new();
-    for &m in &[64usize, 256, 1024] {
+    for &m in &[64usize, 256, 1024, 4096] {
         let db = cqshap_workloads::report_benchmark_db(m);
         assert_eq!(db.endo_count(), m);
         let batched = median(
@@ -218,8 +232,9 @@ fn bench_report(args: &[String]) {
                 .collect(),
         );
         // The seed path at m = 1024 costs minutes of CPU; quick mode
-        // (CI) skips it, full mode measures a single sample.
-        let per_fact = if quick && m >= 1024 {
+        // (CI) skips it, full mode measures a single sample. At
+        // m = 4096 it is out of reach outright.
+        let per_fact = if m >= 4096 || (quick && m >= 1024) {
             None
         } else {
             let n = if m >= 1024 { 1 } else { samples };
@@ -381,6 +396,240 @@ fn bench_session(quick: bool, out_path: &str) {
         rows.join(",\n"),
     );
     std::fs::write(out_path, &json).expect("write session bench");
+    println!("wrote {out_path}");
+}
+
+/// The `--poly` mode of `bench-report`: the `cqshap-numeric::poly`
+/// convolution subsystem in isolation. The workload is the compile
+/// stage's dominant kernel — the leave-one-out environments over one
+/// unsatisfying-count polynomial per root group (degree 4, small
+/// coefficients: the shape `report_benchmark_db` produces) — at
+/// `m ∈ {256, 1024, 4096}` total endogenous facts. Rows compare:
+///
+/// * `schoolbook_descent` — an exact replica of the pre-subsystem
+///   engine code (sequential fold products + prefix/suffix descent,
+///   schoolbook convolution): the baseline;
+/// * `karatsuba_descent` / `ntt_descent` — the same descent with the
+///   forced backend (balanced subproduct trees), isolating what a
+///   convolution backend alone buys on the old algorithm;
+/// * `subsystem` — the shipped `poly::leave_one_out_products_shared`
+///   (the form the compiled engines consume): one backend-dispatched
+///   total-product tree plus one exact division per distinct factor,
+///   duplicates `Arc`-shared.
+///
+/// The scaling rows run the shipped subsystem under explicit thread
+/// caps (on a single-core host those rows are expectedly flat — the
+/// JSON records `host_cores` so readers can tell). Quick mode (CI)
+/// skips the multi-second descent rows at `m = 4096` and measures
+/// single samples; the forced-NTT descent at `m = 4096` is always
+/// skipped (the old algorithm's accumulator products make it pay full
+/// big-coefficient transforms thousands of times — several minutes —
+/// which is exactly why the subsystem replaced the descent).
+fn bench_poly(quick: bool, out_path: &str) {
+    use cqshap_numeric::poly::{self, Backend};
+    use cqshap_numeric::BigUint;
+
+    /// One degree-4 unsatisfying-count polynomial per 4-fact root
+    /// group: `unsat[0] = 1` (the empty subset never satisfies) and
+    /// `unsat[k] ≤ C(4, k)`, varied by a deterministic xorshift.
+    fn group_polys(m: usize) -> Vec<Vec<BigUint>> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ m as u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let binom4 = [1u64, 4, 6, 4, 1];
+        (0..m / 4)
+            .map(|_| {
+                binom4
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| BigUint::from_u64(if k == 0 { 1 } else { next() % (c + 1) }))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The pre-subsystem engine algorithm: subproducts by `fold_products`
+    /// (the seed's sequential `product()`) or a balanced tree for the
+    /// forced fast backends, then the prefix/suffix descent.
+    fn fold_products(polys: &[&[BigUint]], backend: Backend) -> Vec<BigUint> {
+        polys.iter().fold(vec![BigUint::one()], |acc, p| {
+            poly::mul_with(&acc, p, backend)
+        })
+    }
+
+    fn descent(
+        polys: &[&[BigUint]],
+        acc: Vec<BigUint>,
+        backend: Backend,
+        fold: bool,
+        out: &mut Vec<Vec<BigUint>>,
+    ) {
+        match polys {
+            [] => {}
+            [_] => out.push(acc),
+            _ => {
+                let (left, right) = polys.split_at(polys.len() / 2);
+                let (lp, rp) = if fold {
+                    (fold_products(left, backend), fold_products(right, backend))
+                } else {
+                    (
+                        poly::product_tree_with(left, 1, backend),
+                        poly::product_tree_with(right, 1, backend),
+                    )
+                };
+                descent(left, poly::mul_with(&acc, &rp, backend), backend, fold, out);
+                descent(
+                    right,
+                    poly::mul_with(&acc, &lp, backend),
+                    backend,
+                    fold,
+                    out,
+                );
+            }
+        }
+    }
+
+    fn descent_ms(polys: &[Vec<BigUint>], backend: Backend, fold: bool) -> f64 {
+        let refs: Vec<&[BigUint]> = polys.iter().map(|p| p.as_slice()).collect();
+        time_ms(|| {
+            let mut out = Vec::with_capacity(refs.len());
+            descent(&refs, vec![BigUint::one()], backend, fold, &mut out);
+            assert_eq!(out.len(), refs.len());
+        })
+    }
+
+    fn subsystem_ms(polys: &[Vec<BigUint>], threads: usize) -> f64 {
+        let refs: Vec<&[BigUint]> = polys.iter().map(|p| p.as_slice()).collect();
+        time_ms(|| {
+            // The shared form is what the compiled engines consume:
+            // equal factors hold one environment allocation.
+            let envs = poly::leave_one_out_products_shared(&refs, &[BigUint::one()], threads);
+            assert_eq!(envs.len(), refs.len());
+        })
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // Correctness guard before timing anything: the shipped subsystem
+    // must be bit-identical to the pre-subsystem descent, across
+    // backends and thread caps.
+    {
+        let polys = group_polys(256);
+        let refs: Vec<&[BigUint]> = polys.iter().map(|p| p.as_slice()).collect();
+        let mut want = Vec::new();
+        descent(
+            &refs,
+            vec![BigUint::one()],
+            Backend::Schoolbook,
+            true,
+            &mut want,
+        );
+        for backend in [Backend::Karatsuba, Backend::Ntt] {
+            let mut got = Vec::new();
+            descent(&refs, vec![BigUint::one()], backend, false, &mut got);
+            assert_eq!(got, want, "{backend:?} descent");
+        }
+        for threads in [1usize, 4] {
+            assert_eq!(
+                poly::leave_one_out_products(&refs, &[BigUint::one()], threads),
+                want,
+                "subsystem with {threads} threads"
+            );
+        }
+    }
+
+    let samples = if quick { 1 } else { 3 };
+    let mut rows: Vec<String> = Vec::new();
+    for &m in &[256usize, 1024, 4096] {
+        let polys = group_polys(m);
+        let mut baseline = None;
+        for algorithm in [
+            "schoolbook_descent",
+            "karatsuba_descent",
+            "ntt_descent",
+            "subsystem",
+        ] {
+            let skip = match algorithm {
+                // The old algorithm's rows cost tens of seconds at
+                // m = 4096 (forced NTT: minutes — always skipped).
+                "schoolbook_descent" | "karatsuba_descent" => quick && m >= 4096,
+                "ntt_descent" => m >= 4096,
+                _ => false,
+            };
+            let med = if skip {
+                None
+            } else {
+                let n = if m >= 4096 { 1 } else { samples };
+                let run = || match algorithm {
+                    "schoolbook_descent" => descent_ms(&polys, Backend::Schoolbook, true),
+                    "karatsuba_descent" => descent_ms(&polys, Backend::Karatsuba, false),
+                    "ntt_descent" => descent_ms(&polys, Backend::Ntt, false),
+                    _ => subsystem_ms(&polys, 1),
+                };
+                Some(median((0..n).map(|_| run()).collect()))
+            };
+            if algorithm == "schoolbook_descent" {
+                baseline = med;
+            }
+            let speedup = match (baseline, med) {
+                (Some(b), Some(x)) => Some(b / x),
+                _ => None,
+            };
+            eprintln!(
+                "poly m = {m:>5} {algorithm:>20}: {} | vs baseline {}",
+                med.map_or("skipped".to_string(), |x| format!("{x:>10.3} ms")),
+                speedup.map_or("—".to_string(), |s| format!("{s:.1}×")),
+            );
+            rows.push(format!(
+                "    {{\"m\": {m}, \"n_polys\": {}, \"algorithm\": \"{algorithm}\", \
+                 \"sequential_median_ms\": {}, \"speedup_vs_schoolbook_descent\": {}}}",
+                m / 4,
+                med.map_or("null".to_string(), |x| format!("{x:.3}")),
+                speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+            ));
+        }
+    }
+
+    let mut scaling_rows: Vec<String> = Vec::new();
+    let scaling_ms: &[usize] = if quick { &[1024] } else { &[1024, 4096] };
+    let thread_caps: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    for &m in scaling_ms {
+        let polys = group_polys(m);
+        let mut base = None;
+        for &threads in thread_caps {
+            let med = median(
+                (0..samples)
+                    .map(|_| subsystem_ms(&polys, threads))
+                    .collect(),
+            );
+            let base_ms = *base.get_or_insert(med);
+            eprintln!(
+                "poly m = {m:>5} threads = {threads}: {med:>10.3} ms | speedup vs 1 thread {:.2}×",
+                base_ms / med
+            );
+            scaling_rows.push(format!(
+                "    {{\"m\": {m}, \"threads\": {threads}, \"median_ms\": {med:.3}, \
+                 \"speedup_vs_one_thread\": {:.2}}}",
+                base_ms / med
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"cqshap-bench-poly/v1\",\n  \
+         \"workload\": \"leave-one-out environments over m/4 degree-4 unsat polynomials\",\n  \
+         \"baseline\": \"schoolbook_descent (pre-subsystem engine algorithm)\",\n  \
+         \"mode\": \"{}\",\n  \"samples\": {samples},\n  \"host_cores\": {host_cores},\n  \
+         \"results\": [\n{}\n  ],\n  \"thread_scaling\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        rows.join(",\n"),
+        scaling_rows.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write poly bench");
     println!("wrote {out_path}");
 }
 

@@ -486,15 +486,19 @@ impl AggregateEngines {
             let mut prepared = Vec::with_capacity(group.candidates.len());
             for c in group.candidates {
                 let engine = match group.resolved {
-                    ResolvedStrategy::Hierarchical => {
-                        CandidateEngine::Direct(CompiledCount::compile(db, &c.query)?)
-                    }
+                    ResolvedStrategy::Hierarchical => CandidateEngine::Direct(
+                        CompiledCount::compile_with_threads(db, &c.query, options.threads)?,
+                    ),
                     ResolvedStrategy::ExoShap => {
                         let outcome = exoshap::rewrite(db, &c.query, options.tuple_budget)?;
                         if outcome.always_false {
                             CandidateEngine::AlwaysFalse
                         } else {
-                            let engine = CompiledCount::compile(&outcome.db, &outcome.query)?;
+                            let engine = CompiledCount::compile_with_threads(
+                                &outcome.db,
+                                &outcome.query,
+                                options.threads,
+                            )?;
                             CandidateEngine::Rewritten {
                                 db: Box::new(outcome.db),
                                 engine,
@@ -530,13 +534,15 @@ impl AggregateEngines {
                 ResolvedStrategy::Hierarchical | ResolvedStrategy::ExoShap => {
                     for c in candidates {
                         match &c.engine {
-                            CandidateEngine::Direct(engine) => {
-                                weighted_add(&mut acc, &c.weight, engine_values(db, engine, facts)?)
-                            }
+                            CandidateEngine::Direct(engine) => weighted_add(
+                                &mut acc,
+                                &c.weight,
+                                engine_values(db, engine, facts, options.threads)?,
+                            ),
                             CandidateEngine::Rewritten { db: rw_db, engine } => weighted_add(
                                 &mut acc,
                                 &c.weight,
-                                engine_values(rw_db, engine, facts)?,
+                                engine_values(rw_db, engine, facts, options.threads)?,
                             ),
                             CandidateEngine::AlwaysFalse => {}
                             CandidateEngine::PerFact => unreachable!("tractable group"),
@@ -544,7 +550,7 @@ impl AggregateEngines {
                     }
                 }
                 ResolvedStrategy::BruteForce | ResolvedStrategy::Permutations => {
-                    let values = crate::parallel::par_map(facts.len(), |i| {
+                    let values = crate::parallel::par_map_with(options.threads, facts.len(), |i| {
                         let mut v = BigRational::zero();
                         for c in candidates {
                             let cv = candidate_value(db, *resolved, &c.query, facts[i], options)?;

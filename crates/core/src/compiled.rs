@@ -43,8 +43,11 @@
 //! groups' polynomials*: a single-group change is a factor swap, served
 //! by one exact polynomial division and one short convolution per
 //! environment — `O(|group| · m)` small-coefficient work — rather than
-//! re-running the divide-and-conquer product tree (the sequential
-//! `O(m² log n)` large-coefficient stage that dominates compilation).
+//! re-running the divide-and-conquer product tree (the
+//! large-coefficient stage that dominates compilation; compile runs it
+//! through [`cqshap_numeric::poly`]'s scoped-thread trees with
+//! size-dispatched Karatsuba/NTT convolution, and the junk binomial
+//! factors are `O(n)` Pascal shifts).
 //! Only the touched group's counting recursion is re-run; the weight
 //! correlations (embarrassingly parallel, shared with compile) are then
 //! refreshed against the new `k!·(m−1−k)!` numerators. Structural
@@ -61,15 +64,14 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use cqshap_db::{ConstId, Database, FactId, FactMask, RelId};
-use cqshap_numeric::{BigInt, BigRational, BigUint, FactorialTable};
+use cqshap_numeric::{poly, BigInt, BigRational, BigUint, BinomialCache, FactorialTable};
 use cqshap_query::{ConjunctiveQuery, Term};
 
 use crate::error::CoreError;
-use crate::parallel::par_map;
+use crate::parallel::par_map_with;
 use crate::satcount::{
-    binom_vec, complement_counts, connected_components, convolve, find_root_var, rec,
-    resolve_query, root_candidates, root_group_scopes, scope_endo_count, MaskedDb, PAtom,
-    ResolvedQuery,
+    complement_counts, connected_components, convolve, find_root_var, rec, resolve_query,
+    root_candidates, root_group_scopes, scope_endo_count, MaskedDb, PAtom, ResolvedQuery,
 };
 
 /// One in-place database change, as seen by a compiled engine.
@@ -216,6 +218,14 @@ pub struct CompiledCount {
     /// count vectors of the reduction: the per-fact recount runs once
     /// per isomorphism class and role instead of once per fact.
     pair_cache: PairCache,
+    /// Worker cap for the parallel product trees and weight
+    /// correlations (`0` = all available cores) — plumbed from
+    /// [`crate::ShapleyOptions::threads`].
+    threads: usize,
+    /// Shared Pascal rows: every free/junk recount and every junk
+    /// binomial factor reads `[C(n, k)]_k` from here instead of
+    /// rebuilding the row.
+    binoms: BinomialCache,
 }
 
 /// Cache key: a group's canonical form plus the masked fact's role
@@ -282,16 +292,33 @@ fn resolution_fingerprint(db: &Database, q: &ConjunctiveQuery) -> Vec<(bool, boo
 }
 
 impl CompiledCount {
-    /// Compiles `q` against `db`.
+    /// Compiles `q` against `db` with the default thread budget (all
+    /// available cores).
     ///
     /// # Errors
     /// The same structural errors as
     /// [`crate::satcount::count_sat_hierarchical`]:
     /// [`CoreError::NotSelfJoinFree`] / [`CoreError::NotHierarchical`].
     pub fn compile(db: &Database, q: &ConjunctiveQuery) -> Result<Self, CoreError> {
+        Self::compile_with_threads(db, q, 0)
+    }
+
+    /// [`CompiledCount::compile`] with an explicit worker cap for the
+    /// parallel product trees and weight correlations (`0` = all
+    /// available cores). The cap sticks to the engine: maintenance and
+    /// recount paths reuse it.
+    ///
+    /// # Errors
+    /// As [`CompiledCount::compile`].
+    pub fn compile_with_threads(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
         let m = db.endo_count();
         let table = FactorialTable::new(m);
         let fingerprint = resolution_fingerprint(db, q);
+        let binoms = BinomialCache::new();
         let view = MaskedDb::new(db, FactMask::None);
         let (atoms, rels, scopes) = match resolve_query(db, q)? {
             ResolvedQuery::Unsatisfiable => {
@@ -310,6 +337,8 @@ impl CompiledCount {
                     buckets: 1,
                     reduce_cache: Mutex::new(HashMap::new()),
                     pair_cache: Mutex::new(HashMap::new()),
+                    threads,
+                    binoms,
                 });
             }
             ResolvedQuery::Atoms {
@@ -392,8 +421,8 @@ impl CompiledCount {
                 }
             }
             let unsat_refs: Vec<&[BigUint]> = groups.iter().map(|g| g.unsat.as_slice()).collect();
-            let unsat_all = product(&unsat_refs);
-            let comp_unsat = convolve(&unsat_all, &binom_vec(junk_endo));
+            let unsat_all = poly::product_tree(&unsat_refs, threads);
+            let comp_unsat = convolve(&unsat_all, &binoms.row(junk_endo));
             let sat = complement_counts(&comp_unsat, endo);
             components.push(Component {
                 atoms: sub_atoms,
@@ -415,8 +444,9 @@ impl CompiledCount {
         let free_endo = m - components.iter().map(|c| c.endo).sum::<usize>();
 
         // Group-level leave-one-out environments, computed once by the
-        // divide-and-conquer product tree and *cached* (updates maintain
-        // them by factor swaps instead of re-running the tree).
+        // work-stealing divide-and-conquer product tree and *cached*
+        // (updates maintain them by factor swaps instead of re-running
+        // the tree).
         for comp in &mut components {
             if let CompKind::Rooted {
                 junk_endo, groups, ..
@@ -424,16 +454,17 @@ impl CompiledCount {
             {
                 let unsat_refs: Vec<&[BigUint]> =
                     groups.iter().map(|g| g.unsat.as_slice()).collect();
-                let genv = leave_one_out(&unsat_refs, binom_vec(*junk_endo));
-                // Isomorphic groups (equal `unsat`) have equal
-                // environments: share one allocation so update-time
-                // factor swaps patch each distinct polynomial once.
-                let mut shared: HashMap<Vec<BigUint>, Arc<Vec<BigUint>>> = HashMap::new();
+                // Isomorphic groups (equal `unsat`) share one `Arc`'d
+                // environment straight out of the subsystem, so
+                // update-time factor swaps patch each distinct
+                // polynomial once.
+                let genv = poly::leave_one_out_products_shared(
+                    &unsat_refs,
+                    &binoms.row(*junk_endo),
+                    threads,
+                );
                 for (group, env) in groups.iter_mut().zip(genv) {
-                    group.genv = shared
-                        .entry(group.unsat.clone())
-                        .or_insert_with(|| Arc::new(env))
-                        .clone();
+                    group.genv = env;
                 }
             }
         }
@@ -464,6 +495,8 @@ impl CompiledCount {
             buckets: next,
             reduce_cache: Mutex::new(HashMap::new()),
             pair_cache: Mutex::new(HashMap::new()),
+            threads,
+            binoms,
         };
         compiled.refresh_weights();
         Ok(compiled)
@@ -480,8 +513,8 @@ impl CompiledCount {
         self.pair_cache.lock().expect("cache lock").clear();
         let m = self.m;
         let sats: Vec<&[BigUint]> = self.components.iter().map(|c| c.sat.as_slice()).collect();
-        self.all_sat = product(&sats);
-        self.total = convolve(&self.all_sat, &binom_vec(self.free_endo));
+        self.all_sat = poly::product_tree(&sats, self.threads);
+        self.total = convolve(&self.all_sat, &self.binoms.row(self.free_endo));
         debug_assert_eq!(self.total.len(), m + 1);
 
         // The Shapley weight numerators w[k] = k!·(m−1−k)!.
@@ -492,9 +525,10 @@ impl CompiledCount {
         // Component-level leave-one-out environments and their weight
         // correlations. Components are bounded by the query's atom
         // count, so this stage is cheap next to the group-level work.
-        let envs = leave_one_out(&sats, binom_vec(self.free_endo));
+        let envs =
+            poly::leave_one_out_products(&sats, &self.binoms.row(self.free_endo), self.threads);
         let comp_endos: Vec<usize> = self.components.iter().map(|c| c.endo).collect();
-        let comp_weights = par_map(self.components.len(), |i| {
+        let comp_weights = par_map_with(self.threads, self.components.len(), |i| {
             correlate(&w, &envs[i], comp_endos[i])
         });
         for ((comp, env), weight) in self.components.iter_mut().zip(envs).zip(comp_weights) {
@@ -524,7 +558,7 @@ impl CompiledCount {
                     }
                 }
                 let groups_ref: &Vec<RootGroup> = groups;
-                let rep_weights = par_map(reps.len(), |r| {
+                let rep_weights = par_map_with(self.threads, reps.len(), |r| {
                     let g = &groups_ref[reps[r]];
                     correlate(&comp.weight, &g.genv, g.endo)
                 });
@@ -601,6 +635,7 @@ impl CompiledCount {
     /// every environment, so nothing can be recovered incrementally).
     fn recount_group(&mut self, db: &Database, ci: usize, gi: usize) -> Result<bool, CoreError> {
         let view = MaskedDb::new(db, FactMask::None);
+        let binoms = &self.binoms;
         let comp = &mut self.components[ci];
         let (new_endo, comp_unsat) = {
             let CompKind::Rooted {
@@ -620,7 +655,7 @@ impl CompiledCount {
             if unsat_old.iter().all(|c| c.is_zero()) {
                 return Ok(false);
             }
-            let Some(quotient) = exact_div_poly(unsat_all, &unsat_old) else {
+            let Some(quotient) = poly::exact_div(unsat_all, &unsat_old) else {
                 return Ok(false);
             };
             *unsat_all = convolve(&quotient, &unsat_new);
@@ -635,7 +670,7 @@ impl CompiledCount {
                     h.genv = done.clone();
                     continue;
                 }
-                let Some(quotient) = exact_div_poly(&h.genv, &unsat_old) else {
+                let Some(quotient) = poly::exact_div(&h.genv, &unsat_old) else {
                     return Ok(false);
                 };
                 let swapped = Arc::new(convolve(&quotient, &unsat_new));
@@ -644,7 +679,7 @@ impl CompiledCount {
             }
             (
                 groups.iter().map(|g| g.endo).sum::<usize>() + *junk_endo,
-                convolve(unsat_all, &binom_vec(*junk_endo)),
+                convolve(unsat_all, &binoms.row(*junk_endo)),
             )
         };
         comp.endo = new_endo;
@@ -663,8 +698,11 @@ impl CompiledCount {
 
     /// Shifts a component's junk-binomial factor by ±1 endogenous fact:
     /// `binom(j+1) = binom(j) ⊛ [1, 1]` (Pascal), so every group
-    /// environment gains or sheds one `[1, 1]` factor.
+    /// environment gains or sheds one `[1, 1]` factor — `O(n)` Pascal
+    /// shifts ([`poly::pascal_up`] / [`poly::pascal_down`]) instead of
+    /// generic convolution/division.
     fn shift_junk(&mut self, ci: usize, grow: bool) -> bool {
+        let binoms = &self.binoms;
         let comp = &mut self.components[ci];
         let (new_endo, comp_unsat) = {
             let CompKind::Rooted {
@@ -675,7 +713,6 @@ impl CompiledCount {
             else {
                 unreachable!("junk lives in rooted components");
             };
-            let one_one = [BigUint::one(), BigUint::one()];
             let mut patched: HashMap<*const Vec<BigUint>, Arc<Vec<BigUint>>> = HashMap::new();
             if grow {
                 *junk_endo += 1;
@@ -684,7 +721,7 @@ impl CompiledCount {
                         g.genv = done.clone();
                         continue;
                     }
-                    let grown = Arc::new(convolve(&g.genv, &one_one));
+                    let grown = Arc::new(poly::pascal_up(&g.genv));
                     patched.insert(Arc::as_ptr(&g.genv), grown.clone());
                     g.genv = grown;
                 }
@@ -695,7 +732,7 @@ impl CompiledCount {
                         g.genv = done.clone();
                         continue;
                     }
-                    let Some(quotient) = exact_div_poly(&g.genv, &one_one) else {
+                    let Some(quotient) = poly::pascal_down(&g.genv) else {
                         return false;
                     };
                     let shrunk = Arc::new(quotient);
@@ -706,7 +743,7 @@ impl CompiledCount {
             let grouped: usize = groups.iter().map(|g| g.endo).sum();
             (
                 grouped + *junk_endo,
-                convolve(unsat_all, &binom_vec(*junk_endo)),
+                convolve(unsat_all, &binoms.row(*junk_endo)),
             )
         };
         comp.endo = new_endo;
@@ -996,7 +1033,7 @@ impl CompiledCount {
         }
         match self.locs.get(&f) {
             None => {
-                let v = convolve(&self.all_sat, &binom_vec(self.free_endo - 1));
+                let v = convolve(&self.all_sat, &self.binoms.row(self.free_endo - 1));
                 Ok((v.clone(), v))
             }
             Some(&Loc::Junk { comp }) => {
@@ -1009,7 +1046,7 @@ impl CompiledCount {
                 else {
                     unreachable!("junk loc points at a rooted component");
                 };
-                let comp_unsat = convolve(unsat_all, &binom_vec(junk_endo - 1));
+                let comp_unsat = convolve(unsat_all, &self.binoms.row(junk_endo - 1));
                 let comp_sat = complement_counts(&comp_unsat, c.endo - 1);
                 let v = convolve(&c.env, &comp_sat);
                 Ok((v.clone(), v))
@@ -1094,39 +1131,6 @@ impl CompiledCount {
     }
 }
 
-/// `⊛` over all polynomials (the empty product is `[1]`).
-fn product(polys: &[&[BigUint]]) -> Vec<BigUint> {
-    let mut acc = vec![BigUint::one()];
-    for p in polys {
-        acc = convolve(&acc, p);
-    }
-    acc
-}
-
-/// For each `i`, `seed ⊛ ⊛_{j≠i} polys[j]`, computed divide-and-conquer
-/// in `O(L² log n)` total coefficient work (`L` = summed degree) —
-/// the prefix/suffix product tree without materializing `n` quadratic
-/// pairings.
-fn leave_one_out(polys: &[&[BigUint]], seed: Vec<BigUint>) -> Vec<Vec<BigUint>> {
-    let mut out = Vec::with_capacity(polys.len());
-    fill_leave_one_out(polys, seed, &mut out);
-    out
-}
-
-fn fill_leave_one_out(polys: &[&[BigUint]], acc: Vec<BigUint>, out: &mut Vec<Vec<BigUint>>) {
-    match polys {
-        [] => {}
-        [_] => out.push(acc),
-        _ => {
-            let (left, right) = polys.split_at(polys.len() / 2);
-            let left_product = product(left);
-            let right_product = product(right);
-            fill_leave_one_out(left, convolve(&acc, &right_product), out);
-            fill_leave_one_out(right, convolve(&acc, &left_product), out);
-        }
-    }
-}
-
 /// The weight correlation `out[j] = Σ_t weights[j+t] · env[t]` for
 /// `j = 0..out_len`. Contracting a difference vector against `out` is
 /// the same as convolving it with `env` first and weighting afterwards.
@@ -1142,51 +1146,6 @@ fn correlate(weights: &[BigUint], env: &[BigUint], out_len: usize) -> Vec<BigUin
             acc
         })
         .collect()
-}
-
-/// Exact polynomial division `num / den` over nonnegative integer
-/// coefficient vectors (coefficient index = degree). Returns `None`
-/// when `den` is zero or does not divide `num` exactly — callers treat
-/// that as "fall back to a full recompile".
-pub(crate) fn exact_div_poly(num: &[BigUint], den: &[BigUint]) -> Option<Vec<BigUint>> {
-    let s = den.iter().position(|c| !c.is_zero())?;
-    if num.iter().all(|c| c.is_zero()) {
-        // 0 / den — only well-defined with the right length.
-        if num.len() >= den.len() {
-            return Some(vec![BigUint::zero(); num.len() - den.len() + 1]);
-        }
-        return None;
-    }
-    if num.len() < den.len() || num[..s].iter().any(|c| !c.is_zero()) {
-        return None;
-    }
-    let shifted = &num[s..];
-    let d = &den[s..];
-    let d0 = &d[0];
-    let q_len = num.len() - den.len() + 1;
-    let mut q = vec![BigUint::zero(); q_len];
-    for k in 0..shifted.len() {
-        // shifted[k] must equal Σ_i q[i] · d[k−i]; for k < q_len the
-        // i = k term carries the unknown q[k], solved against d[0].
-        let mut acc = BigUint::zero();
-        let lo = (k + 1).saturating_sub(d.len());
-        for i in lo..k.min(q_len) {
-            if !q[i].is_zero() && !d[k - i].is_zero() {
-                acc += &(&q[i] * &d[k - i]);
-            }
-        }
-        if k < q_len {
-            let rem = shifted[k].checked_sub(&acc)?;
-            let (quot, r) = rem.div_rem(d0);
-            if !r.is_zero() {
-                return None;
-            }
-            q[k] = quot;
-        } else if shifted[k] != acc {
-            return None;
-        }
-    }
-    Some(q)
 }
 
 #[cfg(test)]
@@ -1377,23 +1336,24 @@ mod tests {
     }
 
     #[test]
-    fn exact_poly_division_round_trips() {
-        let a: Vec<BigUint> = [1u64, 4, 6, 4, 1]
-            .iter()
-            .map(|&x| BigUint::from_u64(x))
-            .collect();
-        let b: Vec<BigUint> = [1u64, 2, 1].iter().map(|&x| BigUint::from_u64(x)).collect();
-        assert_eq!(exact_div_poly(&a, &b).unwrap(), b);
-        // Leading-zero divisor (a shifted factor).
-        let shifted: Vec<BigUint> = [0u64, 1, 1].iter().map(|&x| BigUint::from_u64(x)).collect();
-        let prod = convolve(&shifted, &b);
-        assert_eq!(exact_div_poly(&prod, &shifted).unwrap(), b);
-        // Non-divisor → None.
-        let c: Vec<BigUint> = [1u64, 3].iter().map(|&x| BigUint::from_u64(x)).collect();
-        assert!(exact_div_poly(&a, &c).is_none());
-        // Zero divisor → None.
-        let z = vec![BigUint::zero(); 2];
-        assert!(exact_div_poly(&a, &z).is_none());
+    fn explicit_thread_caps_change_nothing() {
+        // The worker cap steers the parallel trees only — results are
+        // bit-identical across caps.
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let reference = CompiledCount::compile(&db, &q1).unwrap();
+        for threads in [1usize, 2, 4] {
+            let capped = CompiledCount::compile_with_threads(&db, &q1, threads).unwrap();
+            assert_eq!(capped.total_counts(), reference.total_counts());
+            for &f in db.endo_facts() {
+                assert_eq!(
+                    capped.value(&db, f).unwrap(),
+                    reference.value(&db, f).unwrap(),
+                    "{} with {threads} threads",
+                    db.render_fact(f)
+                );
+            }
+        }
     }
 
     #[test]

@@ -136,12 +136,26 @@ impl CompiledUnionCount {
     /// leaves the compiled fragment (the message names the intersection),
     /// plus anything [`CompiledCount::compile`] raises.
     pub fn compile(db: &Database, u: &UnionQuery) -> Result<Self, CoreError> {
+        Self::compile_with_threads(db, u, 0)
+    }
+
+    /// [`CompiledUnionCount::compile`] with an explicit worker cap for
+    /// each subset engine's parallel product trees (`0` = all available
+    /// cores); the cap sticks across maintenance.
+    ///
+    /// # Errors
+    /// As [`CompiledUnionCount::compile`].
+    pub fn compile_with_threads(
+        db: &Database,
+        u: &UnionQuery,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
         let mut terms = Vec::new();
         for (negative, label, q) in Self::subset_conjunctions(u)? {
             Self::check_tractable(&label, &q)?;
             terms.push(SignedTerm {
                 negative,
-                engine: CompiledCount::compile(db, &q)?,
+                engine: CompiledCount::compile_with_threads(db, &q, threads)?,
             });
         }
         Ok(CompiledUnionCount {

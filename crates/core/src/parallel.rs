@@ -1,15 +1,17 @@
 //! The one scoped-thread fan-out used by the report paths and the
 //! compile-stage weight correlations.
 
-/// Maps `f` over `0..n` across worker threads (capped at 16 and the
-/// available parallelism), preserving order. Falls back to a plain
-/// sequential map for trivial sizes.
-pub(crate) fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1))
-        .min(16);
+/// Maps `f` over `0..n` across worker threads, preserving order, with
+/// an explicit worker cap: `threads == 0` means "all available cores,
+/// capped at 16", any other value pins the fan-out — the knob behind
+/// [`crate::ShapleyOptions::threads`]. Falls back to a plain sequential
+/// map for trivial sizes.
+pub(crate) fn par_map_with<T: Send>(
+    threads: usize,
+    n: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let threads = resolve_thread_cap(threads).min(n.max(1));
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -31,6 +33,14 @@ pub(crate) fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T
     out.into_iter().flatten().collect()
 }
 
+/// Resolves a requested thread count: `0` → available parallelism,
+/// capped at 16. Delegates to [`cqshap_numeric::poly::resolve_threads`]
+/// so the policy cannot drift between the core fan-outs and the
+/// numeric product trees.
+pub(crate) fn resolve_thread_cap(threads: usize) -> usize {
+    cqshap_numeric::poly::resolve_threads(threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,9 +49,23 @@ mod tests {
     fn preserves_order_and_covers_every_index() {
         for n in [0usize, 1, 2, 17, 100] {
             assert_eq!(
-                par_map(n, |i| i * 2),
+                par_map_with(0, n, |i| i * 2),
                 (0..n).map(|i| i * 2).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn explicit_thread_caps_preserve_results() {
+        for threads in [0usize, 1, 2, 5] {
+            for n in [0usize, 1, 17] {
+                assert_eq!(
+                    par_map_with(threads, n, |i| i + 1),
+                    (0..n).map(|i| i + 1).collect::<Vec<_>>()
+                );
+            }
+        }
+        assert_eq!(resolve_thread_cap(3), 3);
+        assert!(resolve_thread_cap(0) >= 1);
     }
 }

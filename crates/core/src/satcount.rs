@@ -289,20 +289,10 @@ pub(crate) fn binom_vec(n: usize) -> Vec<BigUint> {
 }
 
 /// Convolution: `out[k] = Σ_i a[i]·b[k-i]` — composing counts over
-/// disjoint fact sets.
+/// disjoint fact sets. Dispatches through [`cqshap_numeric::poly`], so
+/// long operands get Karatsuba / multi-prime NTT transparently.
 pub(crate) fn convolve(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
-    let mut out = vec![BigUint::zero(); a.len() + b.len() - 1];
-    for (i, x) in a.iter().enumerate() {
-        if x.is_zero() {
-            continue;
-        }
-        for (j, y) in b.iter().enumerate() {
-            if !y.is_zero() {
-                out[i + j] += &(x * y);
-            }
-        }
-    }
-    out
+    cqshap_numeric::poly::mul(a, b)
 }
 
 // ---------------------------------------------------------------------

@@ -166,15 +166,19 @@ fn build_state(
             let complexity = classify_with_exo(q, &exo_relation_names(db));
             let resolved = resolve_strategy(db, q, options)?;
             let state = match resolved {
-                ResolvedStrategy::Hierarchical => {
-                    EngineState::CqCompiled(CompiledCount::compile(db, q)?)
-                }
+                ResolvedStrategy::Hierarchical => EngineState::CqCompiled(
+                    CompiledCount::compile_with_threads(db, q, options.threads)?,
+                ),
                 ResolvedStrategy::ExoShap => {
                     let outcome = exoshap::rewrite(db, q, options.tuple_budget)?;
                     if outcome.always_false {
                         EngineState::CqAlwaysFalse
                     } else {
-                        let engine = CompiledCount::compile(&outcome.db, &outcome.query)?;
+                        let engine = CompiledCount::compile_with_threads(
+                            &outcome.db,
+                            &outcome.query,
+                            options.threads,
+                        )?;
                         EngineState::CqRewritten {
                             db: Box::new(outcome.db),
                             engine,
@@ -191,7 +195,11 @@ fn build_state(
             let (resolved, state) = match resolve_union_route(db, u, options)? {
                 UnionRoute::Compiled => (
                     ResolvedStrategy::Hierarchical,
-                    EngineState::UnionCompiled(CompiledUnionCount::compile(db, u)?),
+                    EngineState::UnionCompiled(CompiledUnionCount::compile_with_threads(
+                        db,
+                        u,
+                        options.threads,
+                    )?),
                 ),
                 UnionRoute::ExoShap(terms) => {
                     let compiled = terms
@@ -400,12 +408,14 @@ impl ShapleySession {
     pub fn values(&self, facts: &[FactId]) -> Result<Vec<BigRational>, CoreError> {
         self.check_not_poisoned()?;
         match (&self.spec, &self.state) {
-            (_, EngineState::CqCompiled(engine)) => engine_values(&self.db, engine, facts),
+            (_, EngineState::CqCompiled(engine)) => {
+                engine_values(&self.db, engine, facts, self.options.threads)
+            }
             (_, EngineState::CqRewritten { db, engine }) => {
                 for &f in facts {
                     self.check_endogenous(f)?;
                 }
-                engine_values(db, engine, facts)
+                engine_values(db, engine, facts, self.options.threads)
             }
             (_, EngineState::CqAlwaysFalse) => {
                 for &f in facts {
@@ -417,7 +427,9 @@ impl ShapleySession {
                 let resolved = self.resolved.expect("per-fact state has a resolution");
                 per_fact_values(&self.db, q, facts, resolved, &self.options, false)
             }
-            (_, EngineState::UnionCompiled(engine)) => engine_values(&self.db, engine, facts),
+            (_, EngineState::UnionCompiled(engine)) => {
+                engine_values(&self.db, engine, facts, self.options.threads)
+            }
             (_, EngineState::UnionExoShap(terms)) => {
                 for &f in facts {
                     self.check_endogenous(f)?;
@@ -428,7 +440,7 @@ impl ShapleySession {
                 union_brute_values(&self.db, u, facts, &self.options)
             }
             (QuerySpec::Union(u), EngineState::UnionPermutations) => {
-                crate::parallel::par_map(facts.len(), |i| {
+                crate::parallel::par_map_with(self.options.threads, facts.len(), |i| {
                     shapley_by_permutations(
                         &self.db,
                         AnyQuery::Union(u),
@@ -476,15 +488,18 @@ impl ShapleySession {
         // per-fact rationals instead costs a gcd per entry.
         let report = match &self.state {
             EngineState::CqCompiled(engine) => {
-                let (values, total) = engine_report_values(&self.db, engine, &facts)?;
+                let (values, total) =
+                    engine_report_values(&self.db, engine, &facts, self.options.threads)?;
                 assemble_report_with_total(&self.db, values, total, expected)
             }
             EngineState::CqRewritten { db, engine } => {
-                let (values, total) = engine_report_values(db, engine, &facts)?;
+                let (values, total) =
+                    engine_report_values(db, engine, &facts, self.options.threads)?;
                 assemble_report_with_total(&self.db, values, total, expected)
             }
             EngineState::UnionCompiled(engine) => {
-                let (values, total) = engine_report_values(&self.db, engine, &facts)?;
+                let (values, total) =
+                    engine_report_values(&self.db, engine, &facts, self.options.threads)?;
                 assemble_report_with_total(&self.db, values, total, expected)
             }
             EngineState::UnionExoShap(terms) => {

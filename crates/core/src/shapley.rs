@@ -59,8 +59,9 @@ pub enum Strategy {
 ///
 /// ```
 /// use cqshap_core::{ShapleyOptions, Strategy};
-/// let opts = ShapleyOptions::auto().tuple_budget(1_000_000);
+/// let opts = ShapleyOptions::auto().tuple_budget(1_000_000).threads(4);
 /// assert_eq!(opts.strategy, Strategy::Auto);
+/// assert_eq!(opts.threads, 4);
 /// let brute = ShapleyOptions::with_strategy(Strategy::BruteForceSubsets)
 ///     .brute_force_limit(20);
 /// assert_eq!(brute.brute_force_limit, 20);
@@ -76,6 +77,12 @@ pub struct ShapleyOptions {
     pub permutation_limit: usize,
     /// Materialization budget for the `ExoShap` rewriting.
     pub tuple_budget: usize,
+    /// Worker cap for every thread fan-out — the compile-stage product
+    /// trees, weight correlations, and report recounts. `0` (the
+    /// default) means "all available cores"; any other value pins the
+    /// count, which is what `--threads N` on the CLI and the
+    /// `bench-report` scaling rows rely on.
+    pub threads: usize,
 }
 
 impl ShapleyOptions {
@@ -112,6 +119,13 @@ impl ShapleyOptions {
         self.tuple_budget = budget;
         self
     }
+
+    /// Caps every thread fan-out at `threads` workers (`0` = all
+    /// available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 impl Default for ShapleyOptions {
@@ -121,6 +135,7 @@ impl Default for ShapleyOptions {
             brute_force_limit: BruteForceCounter::DEFAULT_LIMIT,
             permutation_limit: 9,
             tuple_budget: cqshap_db::complement::DEFAULT_TUPLE_BUDGET,
+            threads: 0,
         }
     }
 }
@@ -288,7 +303,7 @@ pub fn shapley_report_union_per_fact(
                     .into_iter()
                     .map(|(negative, _, q)| (negative, q))
                     .collect();
-            crate::parallel::par_map(facts.len(), |i| {
+            crate::parallel::par_map_with(options.threads, facts.len(), |i| {
                 let mut acc = BigRational::zero();
                 for (negative, q) in &subsets {
                     let v =
@@ -305,14 +320,16 @@ pub fn shapley_report_union_per_fact(
                 .into_iter()
                 .map(|(negative, outcome, _)| (negative, outcome))
                 .collect();
-            exoshap_union_per_fact_values(&outcomes, facts)?
+            exoshap_union_per_fact_values(&outcomes, facts, options.threads)?
         }
         UnionRoute::BruteForce => union_brute_values(db, u, facts, options)?,
-        UnionRoute::Permutations => crate::parallel::par_map(facts.len(), |i| {
-            shapley_by_permutations(db, AnyQuery::Union(u), facts[i], options.permutation_limit)
-        })
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()?,
+        UnionRoute::Permutations => {
+            crate::parallel::par_map_with(options.threads, facts.len(), |i| {
+                shapley_by_permutations(db, AnyQuery::Union(u), facts[i], options.permutation_limit)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+        }
     };
     Ok(assemble_report(db, values, union_efficiency_target(db, u)))
 }
@@ -323,8 +340,9 @@ pub fn shapley_report_union_per_fact(
 pub(crate) fn exoshap_union_per_fact_values(
     terms: &[(bool, exoshap::RewriteOutcome)],
     facts: &[FactId],
+    threads: usize,
 ) -> Result<Vec<BigRational>, CoreError> {
-    crate::parallel::par_map(facts.len(), |i| {
+    crate::parallel::par_map_with(threads, facts.len(), |i| {
         let mut acc = BigRational::zero();
         for (negative, outcome) in terms {
             let v = shapley_via_counts(
@@ -362,11 +380,12 @@ pub(crate) enum UnionRoute {
 /// Compiles the batched engine of every `ExoShap` union term.
 fn compile_exoshap_terms(
     terms: Vec<(bool, exoshap::RewriteOutcome)>,
+    threads: usize,
 ) -> Result<Vec<(bool, exoshap::RewriteOutcome, CompiledCount)>, CoreError> {
     terms
         .into_iter()
         .map(|(negative, outcome)| {
-            let engine = CompiledCount::compile(&outcome.db, &outcome.query)?;
+            let engine = CompiledCount::compile_with_threads(&outcome.db, &outcome.query, threads)?;
             Ok((negative, outcome, engine))
         })
         .collect()
@@ -401,12 +420,13 @@ pub(crate) fn resolve_union_route(
         }
         Strategy::ExoShap => Ok(UnionRoute::ExoShap(compile_exoshap_terms(
             exoshap_union_terms(db, u, options.tuple_budget)?,
+            options.threads,
         )?)),
         Strategy::Auto => match check_union_tractable(u) {
             Ok(()) => Ok(UnionRoute::Compiled),
             Err(e) if compiled_union_inapplicable(&e) => {
                 if let Ok(terms) = exoshap_union_terms(db, u, options.tuple_budget) {
-                    if let Ok(compiled) = compile_exoshap_terms(terms) {
+                    if let Ok(compiled) = compile_exoshap_terms(terms, options.threads) {
                         return Ok(UnionRoute::ExoShap(compiled));
                     }
                 }
@@ -465,9 +485,11 @@ pub(crate) fn union_brute_values(
     facts: &[FactId],
     options: &ShapleyOptions,
 ) -> Result<Vec<BigRational>, CoreError> {
-    crate::parallel::par_map(facts.len(), |i| union_brute_value(db, u, facts[i], options))
-        .into_iter()
-        .collect()
+    crate::parallel::par_map_with(options.threads, facts.len(), |i| {
+        union_brute_value(db, u, facts[i], options)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// The `ExoShap` rewriting applied per subset conjunction: the signed,
@@ -799,8 +821,9 @@ pub(crate) fn engine_values(
     db: &Database,
     compiled: &dyn BatchedEngine,
     facts: &[FactId],
+    threads: usize,
 ) -> Result<Vec<BigRational>, CoreError> {
-    Ok(engine_numerator_values(db, compiled, facts)?.0)
+    Ok(engine_numerator_values(db, compiled, facts, threads)?.0)
 }
 
 /// [`engine_values`] plus the exact value total, accumulated over the
@@ -811,8 +834,9 @@ pub(crate) fn engine_report_values(
     db: &Database,
     compiled: &dyn BatchedEngine,
     facts: &[FactId],
+    threads: usize,
 ) -> Result<(Vec<BigRational>, BigRational), CoreError> {
-    let (values, total) = engine_numerator_values(db, compiled, facts)?;
+    let (values, total) = engine_numerator_values(db, compiled, facts, threads)?;
     Ok((values, compiled.normalize(total)))
 }
 
@@ -820,17 +844,14 @@ fn engine_numerator_values(
     db: &Database,
     compiled: &dyn BatchedEngine,
     facts: &[FactId],
+    threads: usize,
 ) -> Result<(Vec<BigRational>, BigInt), CoreError> {
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); compiled.buckets(db)];
     for (i, &f) in facts.iter().enumerate() {
         buckets[compiled.bucket_of(db, f)].push(i);
     }
     buckets.retain(|b| !b.is_empty());
-    let lanes = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(buckets.len().max(1))
-        .min(16);
+    let lanes = crate::parallel::resolve_thread_cap(threads).min(buckets.len().max(1));
     // Largest-first greedy assignment of whole buckets to worker lanes.
     buckets.sort_by_key(|b| std::cmp::Reverse(b.len()));
     let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); lanes];
@@ -840,7 +861,7 @@ fn engine_numerator_values(
         loads[t] += bucket.len();
         assignments[t].extend(bucket);
     }
-    let computed = crate::parallel::par_map(assignments.len(), |t| {
+    let computed = crate::parallel::par_map_with(threads, assignments.len(), |t| {
         assignments[t]
             .iter()
             .map(|&i| {
@@ -927,7 +948,7 @@ pub(crate) fn per_fact_values(
         }
     };
     let oracle_ref: &dyn SatCountOracle = oracle.as_ref();
-    crate::parallel::par_map(facts.len(), |i| {
+    crate::parallel::par_map_with(options.threads, facts.len(), |i| {
         let f = facts[i];
         match resolved {
             ResolvedStrategy::Permutations => {

@@ -179,7 +179,9 @@ impl BigUint {
 
     /// Calls `f` with the (normalized) little-endian limbs of `self`.
     /// Small values borrow a stack buffer; no allocation happens.
-    fn with_limbs<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
+    /// Crate-internal: the polynomial NTT reduces coefficients modulo
+    /// many primes straight off the limbs.
+    pub(crate) fn with_limbs<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
         match &self.repr {
             Repr::Small(v) => {
                 let buf = [*v as u64, (*v >> 64) as u64];

@@ -6,6 +6,9 @@
 //! every inner loop of the exact pipeline. [`FactorialTable`] amortizes
 //! the factorials for a whole computation.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use crate::bigint::BigInt;
 use crate::biguint::BigUint;
 use crate::rational::BigRational;
@@ -35,6 +38,44 @@ pub fn binomial(n: usize, k: usize) -> BigUint {
         debug_assert_eq!(rem, 0, "binomial partial products divide exactly");
     }
     acc
+}
+
+/// A cache of whole Pascal rows `[C(n, 0), …, C(n, n)]`, shared across
+/// threads behind `Arc`s.
+///
+/// The counting engines consume binomial rows constantly — every free
+/// or junk recount convolves against one — and rebuilding a row costs
+/// `O(n)` exact divisions per *call*. The cache builds each row once
+/// (incrementally, `C(n, k+1) = C(n, k)·(n−k)/(k+1)`) and hands out
+/// shared references.
+#[derive(Debug, Default)]
+pub struct BinomialCache {
+    rows: Mutex<HashMap<usize, Arc<Vec<BigUint>>>>,
+}
+
+impl BinomialCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The row `[C(n, 0), …, C(n, n)]`, computed on first use.
+    pub fn row(&self, n: usize) -> Arc<Vec<BigUint>> {
+        let mut rows = self.rows.lock().expect("binomial cache lock");
+        rows.entry(n)
+            .or_insert_with(|| {
+                let mut row = Vec::with_capacity(n + 1);
+                row.push(BigUint::one());
+                for k in 0..n {
+                    let mut next = row[k].mul_u64((n - k) as u64);
+                    let rem = next.div_rem_u64_assign((k + 1) as u64);
+                    debug_assert_eq!(rem, 0, "Pascal row entries divide exactly");
+                    row.push(next);
+                }
+                Arc::new(row)
+            })
+            .clone()
+    }
 }
 
 /// The primes `≤ n`, by Eratosthenes.
@@ -264,6 +305,20 @@ mod tests {
         for n in 0..30usize {
             let sum = (0..=n).fold(BigUint::zero(), |acc, k| acc + binomial(n, k));
             assert_eq!(sum, BigUint::one() << n);
+        }
+    }
+
+    #[test]
+    fn binomial_cache_rows_match_free_function() {
+        let cache = BinomialCache::new();
+        for n in [0usize, 1, 5, 40] {
+            let row = cache.row(n);
+            assert_eq!(row.len(), n + 1);
+            for (k, c) in row.iter().enumerate() {
+                assert_eq!(*c, binomial(n, k), "C({n}, {k})");
+            }
+            // Second lookup shares the same allocation.
+            assert!(Arc::ptr_eq(&row, &cache.row(n)));
         }
     }
 

@@ -12,22 +12,33 @@
 //! * [`BigInt`] — signed integers,
 //! * [`BigRational`] — normalized rationals,
 //! * [`FactorialTable`] and [`binomial`] — exact combinatorics,
+//! * [`poly`] — fast polynomial arithmetic over `BigUint` coefficient
+//!   vectors: shape-dispatched multiplication (schoolbook below
+//!   [`poly::KARATSUBA_MIN`] = 24 coefficients, then a work model
+//!   choosing between schoolbook, Karatsuba, and a multi-prime NTT
+//!   with CRT reconstruction), exact division, Pascal `[1, 1]` shifts,
+//!   and parallel product / leave-one-out trees — the convolution
+//!   subsystem behind the counting engines' `m ≥ 4096` regime,
 //! * [`linalg`] — exact Gaussian elimination over the rationals, used to
 //!   solve the linear-equation system of Lemma B.3.
 //!
-//! The implementation is deliberately simple (schoolbook multiplication,
-//! shift–subtract division, binary GCD): the magnitudes arising in the
-//! reproduction are a few thousand bits, where asymptotically fancy
-//! algorithms would not pay for themselves.
+//! Scalar integer arithmetic stays simple (values `< 2^128` are stored
+//! inline; larger ones use schoolbook limb multiplication,
+//! shift–subtract division, binary GCD): individual magnitudes are a
+//! few thousand bits, where the wins live in the *polynomial* layer —
+//! [`poly`]'s sub-quadratic convolutions over whole coefficient
+//! vectors — rather than in any single big-integer product.
 
 pub mod bigint;
 pub mod biguint;
 pub mod combinatorics;
 pub mod linalg;
+pub mod poly;
 pub mod rational;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
-pub use combinatorics::{binomial, factorial, FactorialTable};
+pub use combinatorics::{binomial, factorial, BinomialCache, FactorialTable};
 pub use linalg::RationalMatrix;
+pub use poly::Poly;
 pub use rational::BigRational;

@@ -1,0 +1,1182 @@
+//! Fast polynomial arithmetic over [`BigUint`] coefficient vectors —
+//! the convolution subsystem behind the counting engines.
+//!
+//! Every hierarchical Shapley computation reduces to products of
+//! *count polynomials*: vectors `v` where `v[k]` counts the
+//! `k`-subsets with some property, and composing counts over disjoint
+//! fact sets is exactly polynomial multiplication. At small `m` the
+//! schoolbook `O(n²)` product is unbeatable; the `m ≥ 4096` regime is
+//! dominated by products of polynomials with thousands of coefficients
+//! of thousands of bits each, where it is hopeless. This module
+//! provides:
+//!
+//! * [`mul`] — size-dispatched multiplication: schoolbook for tiny
+//!   operands, [Karatsuba](mul_with) in a middle band, and a
+//!   multi-prime NTT (number-theoretic transform) over 62-bit primes
+//!   with CRT reconstruction of the big coefficients for large ones.
+//!   All backends are exact and produce identical vectors.
+//! * [`exact_div`] — exact polynomial division (the factor-swap
+//!   primitive of incremental engine maintenance).
+//! * [`pascal_up`] / [`pascal_down`] — `O(n)` multiplication/division
+//!   by the Pascal factor `[1, 1]` (binomial shifts of junk facts).
+//! * [`product_tree`] / [`leave_one_out_products`] — divide-and-conquer
+//!   trees over many factors, fanning the independent subtree products
+//!   out across scoped threads.
+//! * [`Poly`] — a thin owned wrapper when a value type is more
+//!   convenient than slices.
+//!
+//! ## Backend dispatch
+//!
+//! [`mul`] picks the backend from the operand *shapes* — lengths and
+//! maximal coefficient bit lengths:
+//!
+//! * `min(len) <` [`KARATSUBA_MIN`] (= 24): schoolbook,
+//!   unconditionally — the quadratic loop with no overhead wins
+//!   outright on short operands, and it skips zero coefficients.
+//! * otherwise a coarse work model compares the three candidates and
+//!   picks the cheapest (`estimate` in the source):
+//!   - schoolbook ≈ `la·lb·wa·wb` word multiplications
+//!     (`w` = coefficient width in limbs),
+//!   - Karatsuba ≈ `4·⌈max/min⌉·min^1.585·wa·wb` (balanced blocks of
+//!     `O(n^1.585)` coefficient products),
+//!   - NTT ≈ transforms `4·t·n·log n` + limb reductions
+//!     `10·t·(la·wa + lb·wb)` + Garner CRT `t²·out`, where
+//!     `t = ⌈bits/62⌉ + 1` is the prime count.
+//!
+//!   The model is what routes the *asymmetric* products of the
+//!   leave-one-out descent (a long, huge-coefficient accumulator times
+//!   a short, small-coefficient factor) back to schoolbook — a pure
+//!   length threshold picks the NTT there and loses an order of
+//!   magnitude, because the prime count is driven by the big side
+//!   while schoolbook's cost shrinks with the small side.
+//!
+//! The NTT backend reduces the coefficients modulo `t` NTT-friendly
+//! primes (`p = k·2^22 + 1 > 2^62`, generated once and cached
+//! process-wide), convolves each residue vector in `O(n log n)` via
+//! Montgomery arithmetic, and reconstructs the exact big coefficients
+//! with Garner's mixed-radix CRT. The prime count adapts to the actual
+//! coefficient magnitudes, so small-coefficient products near a
+//! product tree's leaves stay cheap. Products whose result exceeds
+//! `2^22` coefficients never dispatch to the NTT (no such polynomial
+//! arises below `m ≈ 4` million).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::biguint::BigUint;
+
+/// Below this `min(len)` the schoolbook loop wins outright and the
+/// work model is not even consulted.
+pub const KARATSUBA_MIN: usize = 24;
+
+/// The 2-adicity of the generated NTT primes (`p ≡ 1 mod 2^22`):
+/// transforms up to `2^22` points, i.e. results up to ~4M coefficients.
+const MAX_TWO_ADICITY: u32 = 22;
+
+/// An explicit multiplication backend (benchmarks and tests; normal
+/// callers use [`mul`], which dispatches automatically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Dispatch by operand shape (the default).
+    Auto,
+    /// Force the quadratic schoolbook loop.
+    Schoolbook,
+    /// Force Karatsuba (with the schoolbook base case).
+    Karatsuba,
+    /// Force the multi-prime NTT.
+    Ntt,
+}
+
+// ---------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------
+
+/// The product of two coefficient vectors (`out[k] = Σ_i a[i]·b[k-i]`,
+/// length `a.len() + b.len() − 1`), backend-dispatched by shape.
+/// Zero-length inputs yield the all-zero vector of the conventional
+/// length, matching the schoolbook loop.
+pub fn mul(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+    mul_with(a, b, Backend::Auto)
+}
+
+/// [`mul`] through an explicit [`Backend`].
+pub fn mul_with(a: &[BigUint], b: &[BigUint], backend: Backend) -> Vec<BigUint> {
+    if a.is_empty() || b.is_empty() {
+        return vec![BigUint::zero(); (a.len() + b.len()).saturating_sub(1)];
+    }
+    match backend {
+        Backend::Schoolbook => mul_schoolbook(a, b),
+        Backend::Karatsuba => mul_karatsuba(a, b),
+        Backend::Ntt => mul_ntt(a, b),
+        Backend::Auto => match estimate(a, b) {
+            Backend::Karatsuba => mul_karatsuba(a, b),
+            Backend::Ntt => mul_ntt(a, b),
+            _ => mul_schoolbook(a, b),
+        },
+    }
+}
+
+/// The work-model dispatch behind [`Backend::Auto`] — see the module
+/// docs for the three cost formulas.
+fn estimate(a: &[BigUint], b: &[BigUint]) -> Backend {
+    let (la, lb) = (a.len(), b.len());
+    let small = la.min(lb);
+    if small < KARATSUBA_MIN {
+        return Backend::Schoolbook;
+    }
+    let out_len = la + lb - 1;
+    let bits_a = max_bits(a);
+    let bits_b = max_bits(b);
+    let (wa, wb) = ((bits_a / 64 + 1) as f64, (bits_b / 64 + 1) as f64);
+    let school = la as f64 * lb as f64 * wa * wb;
+    let blocks = (la.max(lb) as f64 / small as f64).ceil();
+    let kara = 4.0 * blocks * (small as f64).powf(1.585) * wa * wb;
+    let ntt = if out_len > 1 << MAX_TWO_ADICITY {
+        f64::INFINITY
+    } else {
+        let bits = bits_a + bits_b + (usize::BITS - small.leading_zeros()) as usize;
+        let t = (bits / 62 + 1) as f64;
+        let n = out_len.next_power_of_two() as f64;
+        4.0 * t * n * n.log2()
+            + 10.0 * t * (la as f64 * wa + lb as f64 * wb)
+            + t * t * out_len as f64
+    };
+    if ntt <= school && ntt <= kara {
+        Backend::Ntt
+    } else if kara < school {
+        Backend::Karatsuba
+    } else {
+        Backend::Schoolbook
+    }
+}
+
+/// Exact polynomial division `num / den` over nonnegative integer
+/// coefficient vectors (coefficient index = degree). Returns `None`
+/// when `den` is zero or does not divide `num` exactly — engine callers
+/// treat that as "fall back to a full recompile".
+pub fn exact_div(num: &[BigUint], den: &[BigUint]) -> Option<Vec<BigUint>> {
+    let s = den.iter().position(|c| !c.is_zero())?;
+    if num.iter().all(|c| c.is_zero()) {
+        // 0 / den — only well-defined with the right length.
+        if num.len() >= den.len() {
+            return Some(vec![BigUint::zero(); num.len() - den.len() + 1]);
+        }
+        return None;
+    }
+    if num.len() < den.len() || num[..s].iter().any(|c| !c.is_zero()) {
+        return None;
+    }
+    let shifted = &num[s..];
+    let d = &den[s..];
+    let d0 = &d[0];
+    let q_len = num.len() - den.len() + 1;
+    let mut q = vec![BigUint::zero(); q_len];
+    for k in 0..shifted.len() {
+        // shifted[k] must equal Σ_i q[i] · d[k−i]; for k < q_len the
+        // i = k term carries the unknown q[k], solved against d[0].
+        let mut acc = BigUint::zero();
+        let lo = (k + 1).saturating_sub(d.len());
+        for i in lo..k.min(q_len) {
+            if !q[i].is_zero() && !d[k - i].is_zero() {
+                acc += &(&q[i] * &d[k - i]);
+            }
+        }
+        if k < q_len {
+            let rem = shifted[k].checked_sub(&acc)?;
+            let (quot, r) = rem.div_rem(d0);
+            if !r.is_zero() {
+                return None;
+            }
+            q[k] = quot;
+        } else if shifted[k] != acc {
+            return None;
+        }
+    }
+    Some(q)
+}
+
+/// `a ⊛ [1, 1]` in `O(n)` additions (Pascal's rule: growing a binomial
+/// factor by one free fact).
+pub fn pascal_up(a: &[BigUint]) -> Vec<BigUint> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    out.push(a[0].clone());
+    for w in a.windows(2) {
+        out.push(&w[0] + &w[1]);
+    }
+    out.push(a[a.len() - 1].clone());
+    out
+}
+
+/// `a / [1, 1]` in `O(n)` subtractions, or `None` when `[1, 1]` does
+/// not divide `a` exactly — bit-identical to
+/// [`exact_div`]`(a, [1, 1])`.
+pub fn pascal_down(a: &[BigUint]) -> Option<Vec<BigUint>> {
+    if a.len() < 2 {
+        return None;
+    }
+    let mut q = Vec::with_capacity(a.len() - 1);
+    q.push(a[0].clone());
+    for c in &a[1..a.len() - 1] {
+        let prev = q.last().expect("nonempty");
+        q.push(c.checked_sub(prev)?);
+    }
+    if a[a.len() - 1] != *q.last().expect("len >= 1") {
+        return None;
+    }
+    Some(q)
+}
+
+/// `⊛` over all polynomials (the empty product is `[1]`), computed as a
+/// balanced divide-and-conquer tree with the independent subtrees
+/// fanned out across up to `threads` scoped threads (`0` = all
+/// available cores).
+pub fn product_tree(polys: &[&[BigUint]], threads: usize) -> Vec<BigUint> {
+    product_tree_with(polys, threads, Backend::Auto)
+}
+
+/// [`product_tree`] through an explicit [`Backend`].
+pub fn product_tree_with(polys: &[&[BigUint]], threads: usize, backend: Backend) -> Vec<BigUint> {
+    tree_product(polys, resolve_threads(threads), backend)
+}
+
+/// For each `i`, `seed ⊛ ⊛_{j≠i} polys[j]` — the engines'
+/// leave-one-out environments.
+///
+/// The classic prefix/suffix descent pays `O(L² log n)` coefficient
+/// work (`L` = summed degree), dominated by long accumulator × short
+/// sibling products no convolution backend can speed up. This
+/// computes the *total* product once (parallel tree, fast backends)
+/// and recovers each environment by one exact division,
+/// `env_i = (seed ⊛ total) / polys[i]` — `O(L·deg_i)` per *distinct*
+/// factor, with equal factors computed once. Inputs containing an
+/// all-zero or empty polynomial fall back to the descent (a zero
+/// factor cannot be divided out); either path returns bit-identical
+/// vectors. Distinct divisions and tree subproducts fan out across up
+/// to `threads` scoped threads (`0` = all available cores).
+pub fn leave_one_out_products(
+    polys: &[&[BigUint]],
+    seed: &[BigUint],
+    threads: usize,
+) -> Vec<Vec<BigUint>> {
+    leave_one_out_products_with(polys, seed, threads, Backend::Auto)
+}
+
+/// [`leave_one_out_products`] through an explicit [`Backend`].
+pub fn leave_one_out_products_with(
+    polys: &[&[BigUint]],
+    seed: &[BigUint],
+    threads: usize,
+    backend: Backend,
+) -> Vec<Vec<BigUint>> {
+    leave_one_out_impl(polys, seed, resolve_threads(threads), backend)
+        .into_iter()
+        .map(|env| match std::sync::Arc::try_unwrap(env) {
+            Ok(v) => v,
+            Err(shared) => shared.as_ref().clone(),
+        })
+        .collect()
+}
+
+/// [`leave_one_out_products`] with duplicate environments *shared*:
+/// equal input polynomials yield the same `Arc` (their environments
+/// coincide), so uniform workloads hold one allocation per distinct
+/// factor instead of `n` copies — what the compiled engines cache.
+pub fn leave_one_out_products_shared(
+    polys: &[&[BigUint]],
+    seed: &[BigUint],
+    threads: usize,
+) -> Vec<std::sync::Arc<Vec<BigUint>>> {
+    leave_one_out_impl(polys, seed, resolve_threads(threads), Backend::Auto)
+}
+
+/// An owned polynomial over [`BigUint`] coefficients (index = degree),
+/// wrapping the slice-level functions of this module for callers that
+/// prefer a value type.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    coeffs: Vec<BigUint>,
+}
+
+impl Poly {
+    /// The constant polynomial `1` — the multiplicative identity.
+    pub fn one() -> Self {
+        Poly {
+            coeffs: vec![BigUint::one()],
+        }
+    }
+
+    /// Wraps a coefficient vector (index = degree; kept verbatim,
+    /// including trailing zeros — count vectors carry their length).
+    pub fn from_coeffs(coeffs: Vec<BigUint>) -> Self {
+        Poly { coeffs }
+    }
+
+    /// The coefficients, index = degree.
+    pub fn coeffs(&self) -> &[BigUint] {
+        &self.coeffs
+    }
+
+    /// Unwraps into the coefficient vector.
+    pub fn into_coeffs(self) -> Vec<BigUint> {
+        self.coeffs
+    }
+
+    /// Number of stored coefficients (degree bound + 1).
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Is the coefficient vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// `self · other`, backend-dispatched (see [`mul`]).
+    pub fn mul(&self, other: &Poly) -> Poly {
+        Poly::from_coeffs(mul(&self.coeffs, &other.coeffs))
+    }
+
+    /// Exact division (see [`exact_div`]).
+    pub fn exact_div(&self, den: &Poly) -> Option<Poly> {
+        exact_div(&self.coeffs, &den.coeffs).map(Poly::from_coeffs)
+    }
+
+    /// `self ⊛ [1, 1]` (see [`pascal_up`]).
+    pub fn pascal_up(&self) -> Poly {
+        Poly::from_coeffs(pascal_up(&self.coeffs))
+    }
+
+    /// `self / [1, 1]` (see [`pascal_down`]).
+    pub fn pascal_down(&self) -> Option<Poly> {
+        pascal_down(&self.coeffs).map(Poly::from_coeffs)
+    }
+}
+
+impl From<Vec<BigUint>> for Poly {
+    fn from(coeffs: Vec<BigUint>) -> Self {
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl From<Poly> for Vec<BigUint> {
+    fn from(p: Poly) -> Self {
+        p.into_coeffs()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schoolbook and Karatsuba
+// ---------------------------------------------------------------------
+
+fn mul_schoolbook(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+    let mut out = vec![BigUint::zero(); a.len() + b.len() - 1];
+    for (i, x) in a.iter().enumerate() {
+        if x.is_zero() {
+            continue;
+        }
+        for (j, y) in b.iter().enumerate() {
+            if !y.is_zero() {
+                out[i + j] += &(x * y);
+            }
+        }
+    }
+    out
+}
+
+/// Pointwise `acc[offset..] += add`.
+fn add_at(acc: &mut [BigUint], offset: usize, add: &[BigUint]) {
+    for (slot, v) in acc[offset..].iter_mut().zip(add) {
+        *slot += v;
+    }
+}
+
+/// Pointwise `acc[offset..] -= sub` (never underflows for Karatsuba's
+/// middle term: the cross products are a superset of the outer ones).
+fn sub_at(acc: &mut [BigUint], offset: usize, sub: &[BigUint]) {
+    for (slot, v) in acc[offset..].iter_mut().zip(sub) {
+        *slot -= v;
+    }
+}
+
+/// Pointwise sum of two coefficient slices (length = the longer one).
+fn add_polys(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = long.to_vec();
+    add_at(&mut out, 0, short);
+    out
+}
+
+fn mul_karatsuba(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+    if a.len().min(b.len()) < KARATSUBA_MIN {
+        return mul_schoolbook(a, b);
+    }
+    let split = a.len().max(b.len()).div_ceil(2);
+    let mut out = vec![BigUint::zero(); a.len() + b.len() - 1];
+    if b.len() <= split {
+        // Unbalanced: split `a` only; b sees both halves directly.
+        let lo = mul_karatsuba(&a[..split], b);
+        let hi = mul_karatsuba(&a[split..], b);
+        add_at(&mut out, 0, &lo);
+        add_at(&mut out, split, &hi);
+        return out;
+    }
+    if a.len() <= split {
+        let lo = mul_karatsuba(a, &b[..split]);
+        let hi = mul_karatsuba(a, &b[split..]);
+        add_at(&mut out, 0, &lo);
+        add_at(&mut out, split, &hi);
+        return out;
+    }
+    let (a0, a1) = a.split_at(split);
+    let (b0, b1) = b.split_at(split);
+    let z0 = mul_karatsuba(a0, b0);
+    let z2 = mul_karatsuba(a1, b1);
+    // z1 = (a0 + a1)(b0 + b1) − z0 − z2: with nonnegative coefficients
+    // the mixed product dominates both pointwise, so plain `-` is safe.
+    let mut z1 = mul_karatsuba(&add_polys(a0, a1), &add_polys(b0, b1));
+    sub_at(&mut z1, 0, &z0);
+    sub_at(&mut z1, 0, &z2);
+    add_at(&mut out, 0, &z0);
+    add_at(&mut out, split, &z1);
+    add_at(&mut out, 2 * split, &z2);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Montgomery arithmetic over generated NTT primes
+// ---------------------------------------------------------------------
+
+/// One NTT-friendly prime `p = k·2^22 + 1` (`2^62 < p < 2^63`) with its
+/// Montgomery constants and a root of unity of order `2^22`.
+#[derive(Debug, Clone, Copy)]
+struct NttPrime {
+    p: u64,
+    /// `-p^{-1} mod 2^64` (the Montgomery reduction factor).
+    neg_inv: u64,
+    /// `2^64 mod p` — the Montgomery form of `1`.
+    r1: u64,
+    /// `2^128 mod p` — converts into Montgomery form.
+    r2: u64,
+    /// A root of unity of order exactly `2^22`, plain form.
+    two_adic_root: u64,
+}
+
+/// `a·b mod p` via `u128` (setup paths only; hot loops use Montgomery).
+fn mulmod(a: u64, b: u64, p: u64) -> u64 {
+    ((a as u128 * b as u128) % p as u128) as u64
+}
+
+fn powmod(mut base: u64, mut exp: u64, p: u64) -> u64 {
+    base %= p;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, p);
+        }
+        base = mulmod(base, base, p);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin for `u64` (the first twelve prime bases
+/// decide primality for every 64-bit integer).
+fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let s = (n - 1).trailing_zeros();
+    let d = (n - 1) >> s;
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl NttPrime {
+    fn new(p: u64) -> NttPrime {
+        // p^{-1} mod 2^64 by Newton iteration (p is odd).
+        let mut inv = p;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(p.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(p.wrapping_mul(inv), 1);
+        let r1 = (((1u128 << 64) % p as u128) & u64::MAX as u128) as u64;
+        let r2 = mulmod(r1, r1, p);
+        // A root of order exactly 2^22: g^((p-1)/2^22) for the first
+        // base g whose image does not collapse into the index-2
+        // subgroup (checked via the half-order power).
+        let odd = (p - 1) >> MAX_TWO_ADICITY;
+        let mut root = 0u64;
+        for g in 2u64.. {
+            let w = powmod(g, odd, p);
+            if powmod(w, 1 << (MAX_TWO_ADICITY - 1), p) != 1 {
+                root = w;
+                break;
+            }
+        }
+        NttPrime {
+            p,
+            neg_inv: inv.wrapping_neg(),
+            r1,
+            r2,
+            two_adic_root: root,
+        }
+    }
+
+    /// Montgomery product: for `a, b < p` returns `a·b·2^{-64} mod p`.
+    /// One plain factor and one Montgomery-form factor therefore yield
+    /// a plain product — the trick the CRT evaluation leans on.
+    #[inline]
+    fn mont_mul(&self, a: u64, b: u64) -> u64 {
+        let t = a as u128 * b as u128;
+        let m = (t as u64).wrapping_mul(self.neg_inv);
+        let u = ((t + m as u128 * self.p as u128) >> 64) as u64;
+        if u >= self.p {
+            u - self.p
+        } else {
+            u
+        }
+    }
+
+    /// Into Montgomery form: `x·2^64 mod p`.
+    #[inline]
+    fn encode(&self, x: u64) -> u64 {
+        self.mont_mul(x, self.r2)
+    }
+
+    /// Out of Montgomery form.
+    #[inline]
+    fn decode(&self, x: u64) -> u64 {
+        self.mont_mul(x, 1)
+    }
+
+    #[inline]
+    fn add_mod(&self, a: u64, b: u64) -> u64 {
+        let s = a + b; // both < p < 2^63: no overflow
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    #[inline]
+    fn sub_mod(&self, a: u64, b: u64) -> u64 {
+        if a >= b {
+            a - b
+        } else {
+            a + self.p - b
+        }
+    }
+
+    /// `c mod p` straight off the limbs: Horner over base `2^64`, with
+    /// the scale factor folded into a Montgomery product per limb
+    /// (`r2` *is* the Montgomery form of `2^64`). Several times faster
+    /// than a `u128` division per limb, and the limb reduction is the
+    /// NTT's second-biggest cost on big-coefficient inputs.
+    fn reduce(&self, c: &BigUint) -> u64 {
+        c.with_limbs(|limbs| {
+            let mut acc = 0u64;
+            for &limb in limbs.iter().rev() {
+                // limb < 2^64 < 4p: two conditional subtracts reduce it.
+                let mut r = limb;
+                if r >= self.p << 1 {
+                    r -= self.p << 1;
+                }
+                if r >= self.p {
+                    r -= self.p;
+                }
+                acc = self.add_mod(self.mont_mul(acc, self.r2), r);
+            }
+            acc
+        })
+    }
+
+    /// Montgomery-form power.
+    fn mont_pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        let mut acc = self.r1;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mont_mul(acc, base);
+            }
+            base = self.mont_mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+/// The process-wide cache of generated NTT primes, grown on demand by
+/// scanning `p = k·2^22 + 1` for `k` descending from the top of the
+/// 63-bit range (so every prime exceeds `2^62` and carries ≥ 62 bits
+/// of CRT capacity).
+struct PrimePool {
+    primes: Vec<NttPrime>,
+    next_k: u64,
+}
+
+fn ntt_primes(count: usize) -> Vec<NttPrime> {
+    static POOL: OnceLock<Mutex<PrimePool>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| {
+        Mutex::new(PrimePool {
+            primes: Vec::new(),
+            next_k: (1u64 << 41) - 1,
+        })
+    });
+    let mut pool = pool.lock().expect("prime pool lock");
+    while pool.primes.len() < count {
+        let k = pool.next_k;
+        assert!(k >= 1 << 40, "NTT prime pool exhausted");
+        pool.next_k -= 1;
+        let p = (k << MAX_TWO_ADICITY) | 1;
+        if is_prime_u64(p) {
+            let prime = NttPrime::new(p);
+            pool.primes.push(prime);
+        }
+    }
+    pool.primes[..count].to_vec()
+}
+
+// ---------------------------------------------------------------------
+// The multi-prime NTT backend
+// ---------------------------------------------------------------------
+
+/// In-place radix-2 NTT of `a` (Montgomery form) with `w` a
+/// Montgomery-form root of unity of order `a.len()`.
+fn ntt_in_place(a: &mut [u64], w: u64, pr: &NttPrime) {
+    let n = a.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let mut len = 2usize;
+    while len <= n {
+        let wlen = pr.mont_pow(w, (n / len) as u64);
+        for block in a.chunks_mut(len) {
+            let (lo, hi) = block.split_at_mut(len / 2);
+            let mut tw = pr.r1; // Montgomery 1
+            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *x;
+                let v = pr.mont_mul(*y, tw);
+                *x = pr.add_mod(u, v);
+                *y = pr.sub_mod(u, v);
+                tw = pr.mont_mul(tw, wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// The residue vector of `poly` modulo `pr.p`, in Montgomery form,
+/// zero-padded to `n`.
+fn residues_mont(poly: &[BigUint], n: usize, pr: &NttPrime) -> Vec<u64> {
+    let mut out = vec![0u64; n];
+    for (slot, c) in out.iter_mut().zip(poly) {
+        if !c.is_zero() {
+            *slot = pr.encode(pr.reduce(c));
+        }
+    }
+    out
+}
+
+/// One prime's convolution: `NTT⁻¹(NTT(a) ⊙ NTT(b))`, returned as
+/// plain (non-Montgomery) residues truncated to `out_len`.
+fn convolve_mod(a: &[BigUint], b: &[BigUint], out_len: usize, pr: &NttPrime) -> Vec<u64> {
+    let n = out_len.next_power_of_two();
+    debug_assert!(n.trailing_zeros() <= MAX_TWO_ADICITY);
+    let w = pr.encode(pr.two_adic_root);
+    let w = pr.mont_pow(w, 1u64 << (MAX_TWO_ADICITY - n.trailing_zeros()));
+    let mut fa = residues_mont(a, n, pr);
+    if n == 1 {
+        // Degenerate single-point transform: a plain product.
+        let fb = residues_mont(b, n, pr);
+        return vec![pr.decode(pr.mont_mul(fa[0], fb[0]))];
+    }
+    let mut fb = residues_mont(b, n, pr);
+    ntt_in_place(&mut fa, w, pr);
+    ntt_in_place(&mut fb, w, pr);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = pr.mont_mul(*x, *y);
+    }
+    let w_inv = pr.mont_pow(w, (n - 1) as u64); // w has order n
+    ntt_in_place(&mut fa, w_inv, pr);
+    let n_inv = pr.mont_pow(pr.encode(n as u64), pr.p - 2);
+    fa.truncate(out_len);
+    for x in fa.iter_mut() {
+        // Collapses the n-scaling and the Montgomery factor in one go.
+        *x = pr.decode(pr.mont_mul(*x, n_inv));
+    }
+    fa
+}
+
+/// The largest coefficient bit length in `poly`.
+fn max_bits(poly: &[BigUint]) -> usize {
+    poly.iter().map(BigUint::bit_len).max().unwrap_or(0)
+}
+
+fn mul_ntt(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+    let out_len = a.len() + b.len() - 1;
+    assert!(
+        out_len <= 1 << MAX_TWO_ADICITY,
+        "NTT result length {out_len} exceeds the 2^{MAX_TWO_ADICITY} transform bound"
+    );
+    // Every output coefficient is a sum of ≤ min(len) products, so its
+    // bit length is bounded by the operand maxima plus the sum's log.
+    let sum_terms = a.len().min(b.len());
+    let need_bits = max_bits(a) + max_bits(b) + (usize::BITS - sum_terms.leading_zeros()) as usize;
+    let t = need_bits / 62 + 1; // every prime exceeds 2^62
+    let primes = ntt_primes(t);
+    let residues: Vec<Vec<u64>> = primes
+        .iter()
+        .map(|pr| convolve_mod(a, b, out_len, pr))
+        .collect();
+
+    // Garner's mixed-radix CRT. Precomputed per prime i: the previous
+    // primes in Montgomery form (one Montgomery factor per product
+    // keeps the running value in the plain domain) and the inverse of
+    // their product.
+    let p_mont: Vec<Vec<u64>> = primes
+        .iter()
+        .enumerate()
+        .map(|(i, pr)| primes[..i].iter().map(|q| pr.encode(q.p % pr.p)).collect())
+        .collect();
+    let prod_inv_mont: Vec<u64> = primes
+        .iter()
+        .enumerate()
+        .map(|(i, pr)| {
+            let mut prod = pr.r1; // Montgomery 1
+            for q in &primes[..i] {
+                prod = pr.mont_mul(prod, pr.encode(q.p % pr.p));
+            }
+            // prod^{-1}·R stays in Montgomery form, so multiplying a
+            // plain value by it yields a plain result.
+            pr.mont_pow(prod, pr.p - 2)
+        })
+        .collect();
+
+    let mut digits = vec![0u64; t];
+    (0..out_len)
+        .map(|c| {
+            // Mixed-radix digits: digits[i] reconstructs the value mod
+            // p_i given the digits below it.
+            for i in 0..t {
+                let pr = &primes[i];
+                let mut acc = 0u64;
+                for j in (0..i).rev() {
+                    let d = digits[j];
+                    let d = if d >= pr.p { d - pr.p } else { d };
+                    acc = pr.add_mod(pr.mont_mul(acc, p_mont[i][j]), d);
+                }
+                let diff = pr.sub_mod(residues[i][c], acc);
+                digits[i] = pr.mont_mul(diff, prod_inv_mont[i]);
+            }
+            // Horner evaluation x = v₀ + p₀(v₁ + p₁(v₂ + …)).
+            let mut x = BigUint::from_u64(digits[t - 1]);
+            for j in (0..t.saturating_sub(1)).rev() {
+                x.mul_u64_assign(primes[j].p);
+                x += &BigUint::from_u64(digits[j]);
+            }
+            x
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Parallel trees
+// ---------------------------------------------------------------------
+
+/// Resolves a requested worker cap: `0` means "all available cores,
+/// capped at 16", anything else is taken verbatim. The single source
+/// of the policy — `cqshap-core`'s fan-outs delegate here so
+/// `--threads 0` means the same width in every stage.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(16)
+    } else {
+        threads
+    }
+}
+
+/// Total coefficient count — the recursion only forks when both halves
+/// carry enough work to amortize a thread spawn.
+fn work_size(polys: &[&[BigUint]]) -> usize {
+    polys.iter().map(|p| p.len()).sum()
+}
+
+const PARALLEL_MIN_COEFFS: usize = 128;
+
+fn tree_product(polys: &[&[BigUint]], threads: usize, backend: Backend) -> Vec<BigUint> {
+    match polys {
+        [] => vec![BigUint::one()],
+        [p] => p.to_vec(),
+        _ => {
+            let (left, right) = polys.split_at(polys.len() / 2);
+            let (lp, rp) = join_halves(
+                threads,
+                work_size(polys),
+                || tree_product(left, threads - threads / 2, backend),
+                || tree_product(right, threads / 2, backend),
+            );
+            mul_with(&lp, &rp, backend)
+        }
+    }
+}
+
+fn leave_one_out_impl(
+    polys: &[&[BigUint]],
+    seed: &[BigUint],
+    threads: usize,
+    backend: Backend,
+) -> Vec<std::sync::Arc<Vec<BigUint>>> {
+    use std::sync::Arc;
+    match polys {
+        [] => return Vec::new(),
+        [_] => return vec![Arc::new(seed.to_vec())],
+        _ => {}
+    }
+    // A zero factor cannot be divided back out of the (zero) total:
+    // the descent handles it, and it never arises from the engines
+    // (all-zero unsatisfying counts are guarded upstream).
+    let divisible = polys
+        .iter()
+        .all(|p| !p.is_empty() && p.iter().any(|c| !c.is_zero()));
+    if divisible {
+        // One representative per distinct polynomial: equal factors
+        // have equal environments.
+        let mut class_of = vec![0usize; polys.len()];
+        let mut reps: Vec<usize> = Vec::new();
+        {
+            let mut seen: HashMap<&[BigUint], usize> = HashMap::new();
+            for (i, p) in polys.iter().enumerate() {
+                let next = reps.len();
+                let c = *seen.entry(p).or_insert(next);
+                if c == next {
+                    reps.push(i);
+                }
+                class_of[i] = c;
+            }
+        }
+        let total = tree_product(polys, threads, backend);
+        let full = mul_with(seed, &total, backend);
+        let rep_envs = par_map_chunks(threads, reps.len(), |r| exact_div(&full, polys[reps[r]]));
+        if rep_envs.iter().all(Option::is_some) {
+            let rep_envs: Vec<Arc<Vec<BigUint>>> = rep_envs
+                .into_iter()
+                .map(|env| Arc::new(env.expect("checked Some")))
+                .collect();
+            return class_of.into_iter().map(|c| rep_envs[c].clone()).collect();
+        }
+        // Unreachable for exact inputs, but the descent is always
+        // correct — prefer a slow answer to a panic.
+    }
+    fill_leave_one_out(polys, seed.to_vec(), threads, backend)
+        .into_iter()
+        .map(Arc::new)
+        .collect()
+}
+
+/// Maps `f` over `0..n` across up to `threads` scoped worker threads,
+/// preserving order (sequential when the budget or size is trivial).
+fn par_map_chunks<T: Send>(threads: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                let f = &f;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("poly worker panicked"))
+            .collect()
+    })
+}
+
+fn fill_leave_one_out(
+    polys: &[&[BigUint]],
+    acc: Vec<BigUint>,
+    threads: usize,
+    backend: Backend,
+) -> Vec<Vec<BigUint>> {
+    match polys {
+        [] => Vec::new(),
+        [_] => vec![acc],
+        _ => {
+            let (left, right) = polys.split_at(polys.len() / 2);
+            let size = work_size(polys);
+            let (left_product, right_product) = join_halves(
+                threads,
+                size,
+                || tree_product(left, threads - threads / 2, backend),
+                || tree_product(right, threads / 2, backend),
+            );
+            let (mut lo, ro) = join_halves(
+                threads,
+                size,
+                || {
+                    fill_leave_one_out(
+                        left,
+                        mul_with(&acc, &right_product, backend),
+                        threads - threads / 2,
+                        backend,
+                    )
+                },
+                || {
+                    fill_leave_one_out(
+                        right,
+                        mul_with(&acc, &left_product, backend),
+                        threads / 2,
+                        backend,
+                    )
+                },
+            );
+            lo.extend(ro);
+            lo
+        }
+    }
+}
+
+/// Runs the two closures — on this thread sequentially, or with the
+/// second forked onto a scoped thread when the budget and the workload
+/// justify it.
+fn join_halves<A: Send, B: Send>(
+    threads: usize,
+    size: usize,
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+) -> (A, B) {
+    if threads > 1 && size >= PARALLEL_MIN_COEFFS {
+        std::thread::scope(|s| {
+            let hb = s.spawn(fb);
+            let a = fa();
+            (a, hb.join().expect("poly tree worker panicked"))
+        })
+    } else {
+        (fa(), fb())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[u64]) -> Vec<BigUint> {
+        xs.iter().map(|&x| BigUint::from_u64(x)).collect()
+    }
+
+    #[test]
+    fn small_products_agree_across_backends() {
+        let a = v(&[1, 2, 3]);
+        let b = v(&[4, 0, 5, 6]);
+        let want = mul_schoolbook(&a, &b);
+        for backend in [Backend::Auto, Backend::Karatsuba, Backend::Ntt] {
+            assert_eq!(mul_with(&a, &b, backend), want, "{backend:?}");
+        }
+        assert_eq!(want, v(&[4, 8, 17, 16, 27, 18]));
+    }
+
+    #[test]
+    fn empty_and_identity_edges() {
+        let a = v(&[3, 7]);
+        assert_eq!(mul(&a, &[BigUint::one()]), a);
+        assert_eq!(mul(&[], &a), vec![BigUint::zero(); 1]);
+        assert_eq!(mul(&a, &[]), vec![BigUint::zero(); 1]);
+        let z = vec![BigUint::zero(); 4];
+        assert_eq!(mul_with(&z, &a, Backend::Ntt), vec![BigUint::zero(); 5]);
+    }
+
+    #[test]
+    fn larger_sizes_agree_across_backends() {
+        // Deterministic pseudo-random coefficients crossing the
+        // KARATSUBA_MIN and NTT_MIN thresholds.
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (la, lb) in [(25, 25), (70, 70), (70, 25), (64, 100), (1, 80)] {
+            let a: Vec<BigUint> = (0..la).map(|_| BigUint::from_u64(next() >> 20)).collect();
+            let b: Vec<BigUint> = (0..lb).map(|_| BigUint::from_u64(next() >> 20)).collect();
+            let want = mul_schoolbook(&a, &b);
+            assert_eq!(mul_with(&a, &b, Backend::Karatsuba), want, "kara {la}x{lb}");
+            assert_eq!(mul_with(&a, &b, Backend::Ntt), want, "ntt {la}x{lb}");
+            assert_eq!(mul(&a, &b), want, "auto {la}x{lb}");
+        }
+    }
+
+    #[test]
+    fn ntt_handles_coefficients_beyond_u128() {
+        // > 2^128 coefficients force more CRT primes than a u128 fits.
+        let big = (BigUint::one() << 200) + BigUint::from_u64(12345);
+        let a = vec![big.clone(), BigUint::one() << 131, BigUint::from_u64(7)];
+        let b = vec![BigUint::from_u64(3), big.clone()];
+        let want = mul_schoolbook(&a, &b);
+        assert_eq!(mul_with(&a, &b, Backend::Ntt), want);
+        assert!(want.iter().any(|c| c.bit_len() > 256));
+    }
+
+    #[test]
+    fn generated_primes_have_the_advertised_shape() {
+        for pr in ntt_primes(3) {
+            assert!(pr.p > 1 << 62 && pr.p < 1 << 63);
+            assert_eq!((pr.p - 1) % (1 << MAX_TWO_ADICITY), 0);
+            assert!(is_prime_u64(pr.p));
+            // The stored root has order exactly 2^22.
+            assert_eq!(powmod(pr.two_adic_root, 1 << MAX_TWO_ADICITY, pr.p), 1);
+            assert_ne!(
+                powmod(pr.two_adic_root, 1 << (MAX_TWO_ADICITY - 1), pr.p),
+                1
+            );
+            // Montgomery round trip.
+            assert_eq!(pr.decode(pr.encode(123456789)), 123456789);
+        }
+    }
+
+    #[test]
+    fn pascal_shifts_match_generic_paths() {
+        let one_one = v(&[1, 1]);
+        let a = v(&[2, 0, 5, 1]);
+        let up = pascal_up(&a);
+        assert_eq!(up, mul_schoolbook(&a, &one_one));
+        assert_eq!(pascal_down(&up), Some(a.clone()));
+        assert_eq!(pascal_down(&up), exact_div(&up, &one_one));
+        // Non-divisible input: both paths refuse.
+        let bad = v(&[1, 1, 1]);
+        assert_eq!(pascal_down(&bad), None);
+        assert_eq!(exact_div(&bad, &one_one), None);
+        // Degenerate lengths.
+        assert_eq!(pascal_down(&v(&[5])), None);
+        assert_eq!(pascal_up(&[]), Vec::<BigUint>::new());
+    }
+
+    #[test]
+    fn exact_division_round_trips() {
+        let a = v(&[1, 4, 6, 4, 1]);
+        let b = v(&[1, 2, 1]);
+        assert_eq!(exact_div(&a, &b).unwrap(), b);
+        // Leading-zero divisor (a shifted factor).
+        let shifted = v(&[0, 1, 1]);
+        let prod = mul(&shifted, &b);
+        assert_eq!(exact_div(&prod, &shifted).unwrap(), b);
+        // Non-divisor → None.
+        assert!(exact_div(&a, &v(&[1, 3])).is_none());
+        // Zero divisor → None.
+        assert!(exact_div(&a, &vec![BigUint::zero(); 2]).is_none());
+        // Zero numerator keeps the conventional length.
+        let z = vec![BigUint::zero(); 5];
+        assert_eq!(exact_div(&z, &b).unwrap(), vec![BigUint::zero(); 3]);
+    }
+
+    #[test]
+    fn product_tree_and_leave_one_out_match_naive() {
+        let polys = [v(&[1, 3]), v(&[2, 1, 1]), v(&[1, 0, 4]), v(&[5])];
+        let refs: Vec<&[BigUint]> = polys.iter().map(|p| p.as_slice()).collect();
+        let naive = refs
+            .iter()
+            .fold(vec![BigUint::one()], |acc, p| mul_schoolbook(&acc, p));
+        for threads in [1, 2, 4] {
+            assert_eq!(product_tree(&refs, threads), naive);
+        }
+        assert_eq!(product_tree(&[], 1), vec![BigUint::one()]);
+        let seed = v(&[1, 2, 1]);
+        let envs = leave_one_out_products(&refs, &seed, 2);
+        assert_eq!(envs.len(), refs.len());
+        for (i, env) in envs.iter().enumerate() {
+            let mut want = seed.clone();
+            for (j, p) in refs.iter().enumerate() {
+                if j != i {
+                    want = mul_schoolbook(&want, p);
+                }
+            }
+            assert_eq!(env, &want, "environment {i}");
+        }
+    }
+
+    #[test]
+    fn leave_one_out_shares_equal_factors_and_survives_zeros() {
+        // Equal factors: one Arc per distinct polynomial.
+        let p = v(&[1, 2, 1]);
+        let q = v(&[1, 3]);
+        let polys = [p.clone(), q.clone(), p.clone()];
+        let refs: Vec<&[BigUint]> = polys.iter().map(|x| x.as_slice()).collect();
+        let shared = leave_one_out_products_shared(&refs, &v(&[1, 1]), 1);
+        assert!(std::sync::Arc::ptr_eq(&shared[0], &shared[2]));
+        assert!(!std::sync::Arc::ptr_eq(&shared[0], &shared[1]));
+        let plain = leave_one_out_products(&refs, &v(&[1, 1]), 1);
+        for (a, b) in shared.iter().zip(&plain) {
+            assert_eq!(a.as_ref(), b);
+        }
+        // A zero factor forces the descent fallback; results (values
+        // and lengths) must match the naive reference exactly.
+        let zero = vec![BigUint::zero(); 3];
+        let with_zero = [p.clone(), zero.clone(), q.clone()];
+        let refs: Vec<&[BigUint]> = with_zero.iter().map(|x| x.as_slice()).collect();
+        let envs = leave_one_out_products(&refs, &v(&[1]), 2);
+        for (i, env) in envs.iter().enumerate() {
+            let mut want = v(&[1]);
+            for (j, r) in refs.iter().enumerate() {
+                if j != i {
+                    want = mul_schoolbook(&want, r);
+                }
+            }
+            assert_eq!(env, &want, "environment {i} with a zero factor");
+        }
+    }
+
+    #[test]
+    fn poly_wrapper_round_trips() {
+        let p = Poly::from_coeffs(v(&[1, 2]));
+        let q = p.mul(&p);
+        assert_eq!(q.coeffs(), &v(&[1, 4, 4])[..]);
+        assert_eq!(q.exact_div(&p).unwrap(), p);
+        assert_eq!(p.pascal_up().pascal_down().unwrap(), p);
+        assert_eq!(Poly::one().len(), 1);
+        assert!(!Poly::one().is_empty());
+        let coeffs: Vec<BigUint> = q.clone().into();
+        assert_eq!(Poly::from(coeffs), q);
+    }
+}

@@ -33,7 +33,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cqshap classify  \"<query>\" [--exo R1,R2]
   cqshap shapley   <db-file> \"<query>\" [--fact \"R(a, b)\"] [--strategy auto|hierarchical|exoshap|brute|permutations]
-  cqshap report    <db-file> \"<query>\" [--strategy ...] [--agg count|sum:VAR]
+                   [--threads N]
+  cqshap report    <db-file> \"<query>\" [--strategy ...] [--agg count|sum:VAR] [--threads N]
                    (the query may be a UCQ: rules separated by `;` or newlines;
                     with --agg it must project the aggregate's head variables)
   cqshap relevance <db-file> \"<query>\" --fact \"R(a, b)\"
@@ -48,6 +49,7 @@ struct Options {
     strategy: Option<String>,
     default_p: Option<String>,
     agg: Option<String>,
+    threads: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -58,6 +60,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         strategy: None,
         default_p: None,
         agg: None,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -72,6 +75,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--strategy" => out.strategy = Some(grab("--strategy")?),
             "--default-p" => out.default_p = Some(grab("--default-p")?),
             "--agg" => out.agg = Some(grab("--agg")?),
+            "--threads" => out.threads = Some(grab("--threads")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
         }
@@ -91,6 +95,16 @@ fn parse_aggregate(spec: &str) -> Result<AggregateFunction, String> {
                 "bad aggregate spec {spec:?} (expected `count` or `sum:VAR`)"
             )),
         },
+    }
+}
+
+/// Parses `--threads N` (`0` = all available cores, the default).
+fn parse_threads(spec: Option<&str>) -> Result<usize, String> {
+    match spec {
+        None => Ok(0),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("--threads must be a nonnegative integer, got {s:?}")),
     }
 }
 
@@ -179,7 +193,8 @@ fn cmd_shapley(opts: &Options) -> Result<(), String> {
     let db = load_db(db_path)?;
     let q = parse_cq(query).map_err(|e| e.to_string())?;
     let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
-    let options = ShapleyOptions::with_strategy(strategy);
+    let options =
+        ShapleyOptions::with_strategy(strategy).threads(parse_threads(opts.threads.as_deref())?);
     // One prepared session serves both the single-fact and the
     // all-facts form, so they can never route differently.
     let session =
@@ -239,7 +254,8 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
     };
     let db = load_db(db_path)?;
     let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
-    let options = ShapleyOptions::with_strategy(strategy);
+    let options =
+        ShapleyOptions::with_strategy(strategy).threads(parse_threads(opts.threads.as_deref())?);
     let t0 = std::time::Instant::now();
     let session = if let Some(spec) = &opts.agg {
         let agg = parse_aggregate(spec)?;
@@ -388,6 +404,17 @@ mod tests {
         assert_eq!(parse_strategy("auto").unwrap(), Strategy::Auto);
         assert_eq!(parse_strategy("exoshap").unwrap(), Strategy::ExoShap);
         assert!(parse_strategy("wat").is_err());
+    }
+
+    #[test]
+    fn threads_parsing() {
+        assert_eq!(parse_threads(None).unwrap(), 0);
+        assert_eq!(parse_threads(Some("0")).unwrap(), 0);
+        assert_eq!(parse_threads(Some("8")).unwrap(), 8);
+        assert!(parse_threads(Some("many")).is_err());
+        assert!(parse_threads(Some("-1")).is_err());
+        let o = parse_options(&strs(&["db.txt", "q() :- R(x)", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads.as_deref(), Some("4"));
     }
 
     #[test]
