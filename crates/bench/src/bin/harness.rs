@@ -26,6 +26,12 @@
 //! root-group-shaped polynomials at `m ∈ {256, 1024, 4096}`, schoolbook
 //! vs Karatsuba vs NTT sequentially plus thread-scaling rows for the
 //! parallel tree, written to `BENCH_poly.json`.
+//!
+//! `bench-report --probdb` measures the unified probability path — the
+//! compiled engine instantiated at the tuple-independent probability
+//! domain, maintained incrementally across updates — against the seed
+//! lifted-inference traversal re-run from scratch per answer, and
+//! writes `BENCH_probdb.json`.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -172,6 +178,7 @@ fn bench_report(args: &[String]) {
     let ucq = args.iter().any(|a| a == "--ucq");
     let aggregate = args.iter().any(|a| a == "--aggregate");
     let poly = args.iter().any(|a| a == "--poly");
+    let probdb = args.iter().any(|a| a == "--probdb");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -182,6 +189,8 @@ fn bench_report(args: &[String]) {
                 "BENCH_session.json".to_string()
             } else if poly {
                 "BENCH_poly.json".to_string()
+            } else if probdb {
+                "BENCH_probdb.json".to_string()
             } else if ucq || aggregate {
                 "BENCH_ucq.json".to_string()
             } else {
@@ -192,6 +201,10 @@ fn bench_report(args: &[String]) {
     let samples = if quick { 3 } else { 5 };
     if poly {
         bench_poly(quick, &out_path);
+        return;
+    }
+    if probdb {
+        bench_probdb(quick, &out_path);
         return;
     }
     if session {
@@ -396,6 +409,156 @@ fn bench_session(quick: bool, out_path: &str) {
         rows.join(",\n"),
     );
     std::fs::write(out_path, &json).expect("write session bench");
+    println!("wrote {out_path}");
+}
+
+/// The `--probdb` mode of `bench-report`: the unified probability path
+/// against the seed lifted-inference traversal, on the probabilistic
+/// analogue of the all-facts report — `Pr[D ⊨ q]` plus the expected
+/// marginal `Pr[q | f present] − Pr[q | f absent]` of every endogenous
+/// fact. The unified sample compiles one
+/// [`cqshap_core::CompiledProbability`] engine
+/// and serves all `m` marginals from its cached leave-one-out
+/// environments (compile included in the timed total); the seed sample
+/// answers the same report by re-running the `oracle_probability`
+/// traversal from scratch per conditioning — `2m + 1` full traversals,
+/// forcing a fact by pinning its probability to 1 or 0. Probabilities
+/// are exact dyadic rationals cycled over `Dn`, so every measured
+/// answer doubles as a correctness check: wherever both paths run,
+/// their `BigRational` results must be bit-identical.
+///
+/// The seed path is always skipped at `m = 4096` (2m + 1 traversals
+/// cost minutes there — exactly the regime the unified path opens) and
+/// in quick mode at `m = 1024`; quick mode (CI) drops the `m = 4096`
+/// row entirely (its unified report alone costs ~40 s).
+fn bench_probdb(quick: bool, out_path: &str) {
+    use cqshap_core::{
+        probability_by_enumeration, CompiledProbability, EngineUpdate, FactProbabilities,
+    };
+    use cqshap_db::Provenance;
+    use cqshap_probdb::lifted::oracle_probability;
+
+    const DYADIC: &[(i64, i64)] = &[(1, 2), (1, 4), (3, 4), (1, 8), (5, 8), (7, 8)];
+    fn probs_for(db: &Database) -> FactProbabilities {
+        let mut probs = FactProbabilities::uniform(BigRational::from_i64_ratio(1, 2));
+        for (i, &f) in db.endo_facts().iter().enumerate() {
+            let (n, d) = DYADIC[i % DYADIC.len()];
+            probs.set(f, BigRational::from_i64_ratio(n, d));
+        }
+        probs
+    }
+
+    let q1 = queries::q1();
+
+    // Correctness guard before timing anything: on the running example
+    // (small enough to enumerate worlds), the unified engine, the seed
+    // oracle, and brute-force enumeration agree bit for bit.
+    {
+        let db = figure_1_database();
+        let probs = probs_for(&db);
+        let engine = CompiledProbability::compile(&db, &q1, probs.clone()).expect("hierarchical");
+        let oracle = oracle_probability(&db, &probs, &q1).expect("hierarchical");
+        assert_eq!(engine.probability(), &oracle, "unified vs seed oracle");
+        let enumerated = probability_by_enumeration(&db, AnyQuery::Cq(&q1), &probs, None, 20)
+            .expect("small enough");
+        assert_eq!(engine.probability(), &enumerated, "unified vs enumeration");
+    }
+
+    let mut rows: Vec<String> = Vec::new();
+    let sizes: &[usize] = if quick {
+        &[64, 256, 1024]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    for &m in sizes {
+        let db = cqshap_workloads::report_benchmark_db(m);
+        assert_eq!(db.endo_count(), m);
+        let probs = probs_for(&db);
+
+        // Unified path: one compile, then every answer from the cached
+        // environments. The incremental-maintenance contract is checked
+        // with one provenance flip and its inverse before timing.
+        {
+            let mut engine =
+                CompiledProbability::compile(&db, &q1, probs.clone()).expect("hierarchical");
+            let mut mdb = db.clone();
+            let f = db.endo_facts()[0];
+            for p in [Provenance::Exogenous, Provenance::Endogenous] {
+                mdb.set_fact_provenance(f, p).expect("live fact");
+                let maintained = engine
+                    .update(&mdb, EngineUpdate::ProvenanceFlipped(f))
+                    .expect("hierarchical");
+                assert!(maintained, "provenance flips must be maintained in place");
+            }
+            assert_eq!(
+                engine.probability(),
+                &oracle_probability(&db, &probs, &q1).expect("hierarchical"),
+                "maintained engine vs seed oracle after flip round-trip"
+            );
+        }
+        let mut total = BigRational::zero();
+        let mut marginals: Vec<BigRational> = Vec::with_capacity(m);
+        let t0 = Instant::now();
+        let engine = CompiledProbability::compile(&db, &q1, probs.clone()).expect("hierarchical");
+        let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        total += engine.probability();
+        for &f in db.endo_facts() {
+            marginals.push(engine.expected_marginal(&db, f).expect("endogenous"));
+        }
+        let answers_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let unified = compile_ms + answers_ms;
+
+        // Seed path: the same report, every conditioning a fresh full
+        // traversal (forced presence/absence = probability pinned 1/0).
+        let seed = if m >= 4096 || (quick && m >= 1024) {
+            None
+        } else {
+            let t2 = Instant::now();
+            let pr = oracle_probability(&db, &probs, &q1).expect("hierarchical");
+            assert_eq!(pr, total, "seed vs unified Pr[D ⊨ q]");
+            for (i, &f) in db.endo_facts().iter().enumerate() {
+                let mut forced = probs.clone();
+                forced.set(f, BigRational::one());
+                let present = oracle_probability(&db, &forced, &q1).expect("hierarchical");
+                forced.set(f, BigRational::zero());
+                let absent = oracle_probability(&db, &forced, &q1).expect("hierarchical");
+                assert_eq!(
+                    present - absent,
+                    marginals[i],
+                    "seed vs unified marginal of fact {i}"
+                );
+            }
+            Some(t2.elapsed().as_secs_f64() * 1e3)
+        };
+        let speedup = seed.map(|s| s / unified);
+        eprintln!(
+            "probdb m = {m:>5}: compile {compile_ms:>10.3} ms | unified report {unified:>10.3} ms \
+             | seed report {} | speedup {}",
+            seed.map_or("skipped".to_string(), |s| format!("{s:.3} ms")),
+            speedup.map_or("—".to_string(), |x| format!("{x:.1}×")),
+        );
+        rows.push(format!(
+            "    {{\"m\": {m}, \"compile_ms\": {compile_ms:.3}, \
+             \"unified_report_ms\": {unified:.3}, \"seed_report_ms\": {}, \
+             \"speedup\": {}}}",
+            seed.map_or("null".to_string(), |s| format!("{s:.3}")),
+            speedup.map_or("null".to_string(), |x| format!("{x:.2}")),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"cqshap-bench-probdb/v1\",\n  \"query\": \"{}\",\n  \
+         \"workload\": \"report_benchmark_db\",\n  \
+         \"probabilities\": \"dyadic cycle {:?} over Dn\",\n  \
+         \"report\": \"Pr[D \\u22a8 q] plus expected marginal of every endogenous fact\",\n  \
+         \"seed_path\": \"cqshap_probdb::lifted::oracle_probability, 2m + 1 traversals\",\n  \
+         \"mode\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        q1,
+        DYADIC,
+        if quick { "quick" } else { "full" },
+        rows.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write probdb bench");
     println!("wrote {out_path}");
 }
 

@@ -64,14 +64,15 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use cqshap_db::{ConstId, Database, FactId, FactMask, RelId};
-use cqshap_numeric::{poly, BigInt, BigRational, BigUint, BinomialCache, FactorialTable};
+use cqshap_numeric::{BigInt, BigRational, BigUint, FactorialTable};
 use cqshap_query::{ConjunctiveQuery, Term};
 
+use crate::domain::{eval_rec, CountingDomain, EvalDomain, FactProbabilities, ProbabilityDomain};
 use crate::error::CoreError;
 use crate::parallel::par_map_with;
 use crate::satcount::{
-    complement_counts, connected_components, convolve, find_root_var, rec, resolve_query,
-    root_candidates, root_group_scopes, scope_endo_count, MaskedDb, PAtom, ResolvedQuery,
+    connected_components, find_root_var, resolve_query, root_candidates, root_group_scopes,
+    scope_endo_count, MaskedDb, PAtom, ResolvedQuery,
 };
 
 /// One in-place database change, as seen by a compiled engine.
@@ -113,8 +114,9 @@ enum Loc {
 }
 
 /// One root-value group of a connected component: the sub-query with
-/// the root substituted, its fact scopes, and its cached polynomials.
-struct RootGroup {
+/// the root substituted, its fact scopes, and its cached values in the
+/// engine's evaluation domain (`V = D::Value`).
+struct RootGroup<V> {
     /// The root value of the group.
     value: ConstId,
     /// Endogenous facts in the group.
@@ -123,40 +125,39 @@ struct RootGroup {
     atoms: Vec<PAtom>,
     /// Per-atom scopes restricted to this root value.
     scopes: Vec<Vec<FactId>>,
-    /// Unsatisfying counts `[C(endo,j) − sat_j]` on the unmodified db.
-    unsat: Vec<BigUint>,
-    /// The leave-one-out environment `binom(junk) ⊛ ⊛_{h≠g} unsat_h` —
+    /// The group's unsatisfying value `complement(sat, endo)` on the
+    /// unmodified db (counting: `[C(endo,j) − sat_j]`; probability:
+    /// `1 − P_c`).
+    unsat: V,
+    /// The leave-one-out environment `free(junk) ⊛ ⊛_{h≠g} unsat_h` —
     /// cached so updates can maintain it by factor swaps. Isomorphic
-    /// groups (equal `unsat`) share one allocation, so a swap patches
-    /// each *distinct* environment once.
-    genv: Arc<Vec<BigUint>>,
-    /// `W2[j] = Σ_t W_comp[j+t] · genv[t]`. Contracting the group's
-    /// masked difference vector with `W2` yields the Shapley numerator
-    /// directly.
-    weight: Vec<BigUint>,
+    /// groups (equal `unsat`) may share one allocation, so a swap
+    /// patches each *distinct* environment once.
+    genv: Arc<V>,
     /// Canonical form of the group's atoms and scope facts (constants
     /// renamed by first occurrence, endogeneity flags included): groups
-    /// with equal forms are isomorphic, so their per-fact masked
-    /// recounts coincide role-for-role and share one cache entry.
+    /// with equal forms are isomorphic, so their counting recounts
+    /// coincide role-for-role and share one cache entry (probabilities
+    /// do *not* — see [`EvalDomain::canon_determines_value`]).
     canon: Arc<Vec<u32>>,
 }
 
 /// The shape of one connected component.
-enum CompKind {
-    /// Entirely ground: recounted wholesale (a single binomial).
+enum CompKind<V> {
+    /// Entirely ground: recounted wholesale (a single base-case fold).
     Ground,
     /// Connected with a root variable: one [`RootGroup`] per root value
     /// with full positive support.
     Rooted {
         junk_endo: usize,
-        /// `⊛_g unsat_g` — shared by all junk-fact count queries.
-        unsat_all: Vec<BigUint>,
-        groups: Vec<RootGroup>,
+        /// `⊛_g unsat_g` — shared by all junk-fact value queries.
+        unsat_all: V,
+        groups: Vec<RootGroup<V>>,
     },
 }
 
-/// A connected component of the query with its cached polynomials.
-struct Component {
+/// A connected component of the query with its cached values.
+struct Component<V> {
     /// The component's atom patterns (before root substitution).
     atoms: Vec<PAtom>,
     /// The relation of each atom (for locating updated facts).
@@ -167,48 +168,74 @@ struct Component {
     root: Option<u32>,
     /// Endogenous facts in the component's scopes.
     endo: usize,
-    /// Satisfying counts on the unmodified database (length `endo+1`).
-    sat: Vec<BigUint>,
-    /// `⊛_{j≠i} sat_j ⊛ binom(free)` — everything outside the component.
-    env: Vec<BigUint>,
-    /// `W[j] = Σ_t w[j+t] · env[t]` with `w[k] = k!(m−1−k)!`.
-    weight: Vec<BigUint>,
-    kind: CompKind,
+    /// Satisfying value on the unmodified database.
+    sat: V,
+    /// `⊛_{j≠i} sat_j ⊛ free(free_endo)` — everything outside the
+    /// component.
+    env: V,
+    kind: CompKind<V>,
 }
 
-/// Where an updated fact landed during [`CompiledCount::update`].
+/// Where an updated fact landed during [`CompiledEngine::update`].
 enum Placement {
     Free,
     Component { comp: usize, atom: usize },
 }
 
-/// A `(db, query)` pair compiled for batched all-facts Shapley
-/// computation. Shared immutably across report worker threads; does
-/// not borrow the database — query-time methods take `&Database`, and
-/// [`CompiledCount::update`] maintains the caches across in-place
-/// database updates.
-pub struct CompiledCount {
+/// A `(db, query)` pair compiled through Lemma 3.2's recursion into
+/// resolution / scope / component / root-group structure, with every
+/// cached value generic over the [`EvalDomain`]. This is the shared
+/// kernel behind [`CompiledCount`] (exact Shapley counting) and
+/// [`CompiledProbability`] (tuple-independent lifted inference): one
+/// compile, incremental maintenance, per-fact masked re-evaluation —
+/// the arithmetic is the only thing that differs.
+struct CompiledEngine<D: EvalDomain> {
+    dom: D,
     /// The compiled query (kept for update-time re-resolution checks).
     query: ConjunctiveQuery,
     /// Which atoms resolved (relation known, constants known) — any
     /// drift here after an update forces a recompile.
     fingerprint: Vec<(bool, bool)>,
     m: usize,
-    table: FactorialTable,
-    /// `false` iff some positive atom can never match: all counts zero.
+    /// `false` iff some positive atom can never match: the zero value.
     satisfiable: bool,
-    /// `[|Sat(D,q,k)|]` for the unmodified database (length `m+1`).
-    total: Vec<BigUint>,
+    /// The full-database value (counting: `[|Sat(D,q,k)|]`, length
+    /// `m+1`; probability: `Pr[q]`).
+    total: D::Value,
     /// Endogenous facts outside every atom scope.
     free_endo: usize,
-    /// `⊛_i sat_i` over all components (without the free binomial).
-    all_sat: Vec<BigUint>,
-    components: Vec<Component>,
+    /// `⊛_i sat_i` over all components (without the free factor).
+    all_sat: D::Value,
+    components: Vec<Component<D::Value>>,
     locs: HashMap<FactId, Loc>,
     /// Per-component offset of its groups' bucket ids (see
-    /// [`CompiledCount::bucket_of`]).
+    /// [`CompiledEngine::bucket_of`]).
     group_bucket_base: Vec<usize>,
     buckets: usize,
+    /// Worker cap for the parallel product trees (`0` = all available
+    /// cores) — plumbed from [`crate::ShapleyOptions::threads`].
+    threads: usize,
+}
+
+/// A `(db, query)` pair compiled for batched all-facts Shapley
+/// computation: the domain-generic engine instantiated at the exact
+/// counting domain, plus the Shapley-specific machinery (the
+/// `k!·(m−1−k)!` weight correlations, the factorial table, and the
+/// reduction/recount memos). Shared immutably across report worker
+/// threads; does not borrow the database — query-time methods take
+/// `&Database`, and [`CompiledCount::update`] maintains the caches
+/// across in-place database updates.
+pub struct CompiledCount {
+    eng: CompiledEngine<CountingDomain>,
+    table: FactorialTable,
+    /// Per-component `W[j] = Σ_t w[j+t] · env[t]` with
+    /// `w[k] = k!(m−1−k)!`.
+    comp_weights: Vec<Vec<BigUint>>,
+    /// Per-component, per-group `W2[j] = Σ_t W_comp[j+t] · genv[t]`.
+    /// Contracting the group's masked difference vector with `W2`
+    /// yields the Shapley numerator directly. Ground components hold an
+    /// empty inner vector.
+    group_weights: Vec<Vec<Vec<BigUint>>>,
     /// Numerator → reduced value memo: facts of isomorphic root groups
     /// share their Shapley numerator, so the factorial-denominator
     /// reduction runs once per *distinct* numerator per (db, m) state.
@@ -218,14 +245,18 @@ pub struct CompiledCount {
     /// count vectors of the reduction: the per-fact recount runs once
     /// per isomorphism class and role instead of once per fact.
     pair_cache: PairCache,
-    /// Worker cap for the parallel product trees and weight
-    /// correlations (`0` = all available cores) — plumbed from
-    /// [`crate::ShapleyOptions::threads`].
-    threads: usize,
-    /// Shared Pascal rows: every free/junk recount and every junk
-    /// binomial factor reads `[C(n, k)]_k` from here instead of
-    /// rebuilding the row.
-    binoms: BinomialCache,
+}
+
+/// Lifted inference for a tuple-independent probabilistic database,
+/// served from the *same* compiled structure as [`CompiledCount`]: the
+/// domain-generic engine instantiated at the exact-rational probability
+/// domain. `Pr[q]` is the engine's cached total; conditionals
+/// `Pr[q | f present/absent]` are per-fact masked re-evaluations; and
+/// [`CompiledProbability::update`] maintains the compile across
+/// database updates exactly like the counting engine (a declined
+/// update means the caller recompiles).
+pub struct CompiledProbability {
+    eng: CompiledEngine<ProbabilityDomain>,
 }
 
 /// Cache key: a group's canonical form plus the masked fact's role
@@ -291,54 +322,41 @@ fn resolution_fingerprint(db: &Database, q: &ConjunctiveQuery) -> Vec<(bool, boo
         .collect()
 }
 
-impl CompiledCount {
-    /// Compiles `q` against `db` with the default thread budget (all
-    /// available cores).
+impl<D: EvalDomain> CompiledEngine<D> {
+    /// Compiles `q` against `db` in domain `dom` with a worker cap for
+    /// the parallel product trees (`0` = all available cores).
     ///
-    /// # Errors
-    /// The same structural errors as
-    /// [`crate::satcount::count_sat_hierarchical`]:
-    /// [`CoreError::NotSelfJoinFree`] / [`CoreError::NotHierarchical`].
-    pub fn compile(db: &Database, q: &ConjunctiveQuery) -> Result<Self, CoreError> {
-        Self::compile_with_threads(db, q, 0)
-    }
-
-    /// [`CompiledCount::compile`] with an explicit worker cap for the
-    /// parallel product trees and weight correlations (`0` = all
-    /// available cores). The cap sticks to the engine: maintenance and
-    /// recount paths reuse it.
-    ///
-    /// # Errors
-    /// As [`CompiledCount::compile`].
-    pub fn compile_with_threads(
+    /// Root groups with equal canonical forms are isomorphic; when the
+    /// domain's values are canon-determined (counting), the recursion
+    /// runs once per isomorphism class and the result is shared across
+    /// the class instead of being recomputed per group.
+    fn compile(
         db: &Database,
         q: &ConjunctiveQuery,
         threads: usize,
+        dom: D,
     ) -> Result<Self, CoreError> {
         let m = db.endo_count();
-        let table = FactorialTable::new(m);
         let fingerprint = resolution_fingerprint(db, q);
-        let binoms = BinomialCache::new();
         let view = MaskedDb::new(db, FactMask::None);
         let (atoms, rels, scopes) = match resolve_query(db, q)? {
             ResolvedQuery::Unsatisfiable => {
-                return Ok(CompiledCount {
+                let total = dom.zero(m);
+                let all_sat = dom.one();
+                return Ok(CompiledEngine {
+                    dom,
                     query: q.clone(),
                     fingerprint,
                     m,
-                    table,
                     satisfiable: false,
-                    total: vec![BigUint::zero(); m + 1],
+                    total,
                     free_endo: m,
-                    all_sat: vec![BigUint::one()],
+                    all_sat,
                     components: Vec::new(),
                     locs: HashMap::new(),
                     group_bucket_base: Vec::new(),
                     buckets: 1,
-                    reduce_cache: Mutex::new(HashMap::new()),
-                    pair_cache: Mutex::new(HashMap::new()),
                     threads,
-                    binoms,
                 });
             }
             ResolvedQuery::Atoms {
@@ -348,8 +366,11 @@ impl CompiledCount {
             } => (atoms, rels, scopes),
         };
 
-        let mut components: Vec<Component> = Vec::new();
+        let mut components: Vec<Component<D::Value>> = Vec::new();
         let mut locs: HashMap<FactId, Loc> = HashMap::new();
+        // Per-isomorphism-class memo of the group recursion (only
+        // consulted when the domain's values are canon-determined).
+        let mut class_sat: HashMap<Vec<u32>, D::Value> = HashMap::new();
         for idxs in connected_components(&atoms) {
             let ci = components.len();
             let sub_atoms: Vec<PAtom> = idxs.iter().map(|&i| atoms[i].clone()).collect();
@@ -357,7 +378,7 @@ impl CompiledCount {
             let sub_scopes: Vec<Vec<FactId>> = idxs.iter().map(|&i| scopes[i].clone()).collect();
             let endo = scope_endo_count(view, &sub_scopes);
             if sub_atoms.iter().all(|a| !a.has_vars()) {
-                let sat = rec(view, &sub_atoms, &sub_scopes)?;
+                let sat = eval_rec(&dom, view, &sub_atoms, &sub_scopes)?;
                 for &f in sub_scopes.iter().flatten() {
                     if view.is_endo(f) {
                         locs.insert(f, Loc::Ground { comp: ci });
@@ -370,8 +391,7 @@ impl CompiledCount {
                     root: None,
                     endo,
                     sat,
-                    env: Vec::new(),
-                    weight: Vec::new(),
+                    env: dom.one(),
                     kind: CompKind::Ground,
                 });
                 continue;
@@ -383,13 +403,25 @@ impl CompiledCount {
                 )
             })?;
             let candidates = root_candidates(view, root, &sub_atoms, &sub_scopes)?;
-            let mut groups: Vec<RootGroup> = Vec::new();
+            let mut groups: Vec<RootGroup<D::Value>> = Vec::new();
             let mut grouped_endo = 0usize;
             for &c in &candidates {
                 let g_atoms: Vec<PAtom> = sub_atoms.iter().map(|a| a.substitute(root, c)).collect();
                 let g_scopes = root_group_scopes(view, root, c, &sub_atoms, &sub_scopes);
                 let g_endo = scope_endo_count(view, &g_scopes);
-                let sat_c = rec(view, &g_atoms, &g_scopes)?;
+                let canon = Arc::new(canonical_form(db, &g_atoms, &g_scopes));
+                let sat_c = if dom.canon_determines_value() {
+                    match class_sat.get(canon.as_ref()) {
+                        Some(v) => v.clone(),
+                        None => {
+                            let v = eval_rec(&dom, view, &g_atoms, &g_scopes)?;
+                            class_sat.insert(canon.as_ref().clone(), v.clone());
+                            v
+                        }
+                    }
+                } else {
+                    eval_rec(&dom, view, &g_atoms, &g_scopes)?
+                };
                 for &f in g_scopes.iter().flatten() {
                     if view.is_endo(f) {
                         locs.insert(
@@ -402,15 +434,14 @@ impl CompiledCount {
                     }
                 }
                 grouped_endo += g_endo;
-                let canon = Arc::new(canonical_form(db, &g_atoms, &g_scopes));
+                let unsat = dom.complement(&sat_c, g_endo);
                 groups.push(RootGroup {
                     value: c,
                     endo: g_endo,
                     atoms: g_atoms,
                     scopes: g_scopes,
-                    unsat: complement_counts(&sat_c, g_endo),
-                    genv: Arc::new(Vec::new()),
-                    weight: Vec::new(),
+                    unsat,
+                    genv: Arc::new(dom.one()),
                     canon,
                 });
             }
@@ -420,10 +451,10 @@ impl CompiledCount {
                     locs.entry(f).or_insert(Loc::Junk { comp: ci });
                 }
             }
-            let unsat_refs: Vec<&[BigUint]> = groups.iter().map(|g| g.unsat.as_slice()).collect();
-            let unsat_all = poly::product_tree(&unsat_refs, threads);
-            let comp_unsat = convolve(&unsat_all, &binoms.row(junk_endo));
-            let sat = complement_counts(&comp_unsat, endo);
+            let unsat_refs: Vec<&D::Value> = groups.iter().map(|g| &g.unsat).collect();
+            let unsat_all = dom.product(&unsat_refs, threads);
+            let comp_unsat = dom.combine(&unsat_all, &dom.free(junk_endo));
+            let sat = dom.complement(&comp_unsat, endo);
             components.push(Component {
                 atoms: sub_atoms,
                 rels: sub_rels,
@@ -431,8 +462,7 @@ impl CompiledCount {
                 root: Some(root),
                 endo,
                 sat,
-                env: Vec::new(),
-                weight: Vec::new(),
+                env: dom.one(),
                 kind: CompKind::Rooted {
                     junk_endo,
                     unsat_all,
@@ -452,17 +482,12 @@ impl CompiledCount {
                 junk_endo, groups, ..
             } = &mut comp.kind
             {
-                let unsat_refs: Vec<&[BigUint]> =
-                    groups.iter().map(|g| g.unsat.as_slice()).collect();
-                // Isomorphic groups (equal `unsat`) share one `Arc`'d
-                // environment straight out of the subsystem, so
-                // update-time factor swaps patch each distinct
-                // polynomial once.
-                let genv = poly::leave_one_out_products_shared(
-                    &unsat_refs,
-                    &binoms.row(*junk_endo),
-                    threads,
-                );
+                let unsat_refs: Vec<&D::Value> = groups.iter().map(|g| &g.unsat).collect();
+                // Isomorphic groups (equal `unsat`) may share one
+                // `Arc`'d environment straight out of the subsystem, so
+                // update-time factor swaps patch each distinct value
+                // once.
+                let genv = dom.leave_one_out_shared(&unsat_refs, &dom.free(*junk_endo), threads);
                 for (group, env) in groups.iter_mut().zip(genv) {
                     group.genv = env;
                 }
@@ -480,92 +505,47 @@ impl CompiledCount {
             }
         }
 
-        let mut compiled = CompiledCount {
+        // Placeholders; `refresh_envs` computes the real values.
+        let total = dom.one();
+        let all_sat = dom.one();
+        let mut engine = CompiledEngine {
+            dom,
             query: q.clone(),
             fingerprint,
             m,
-            table,
             satisfiable: true,
-            total: Vec::new(),
+            total,
             free_endo,
-            all_sat: Vec::new(),
+            all_sat,
             components,
             locs,
             group_bucket_base,
             buckets: next,
-            reduce_cache: Mutex::new(HashMap::new()),
-            pair_cache: Mutex::new(HashMap::new()),
             threads,
-            binoms,
         };
-        compiled.refresh_weights();
-        Ok(compiled)
+        engine.refresh_envs();
+        Ok(engine)
     }
 
-    /// Recomputes everything downstream of the per-group polynomials:
-    /// the component/total counts, the cross-component environments,
-    /// and all weight correlations against `w[k] = k!·(m−1−k)!`.
-    /// Shared by [`CompiledCount::compile`] and
-    /// [`CompiledCount::update`]; the expensive part (the per-group
-    /// correlations) fans out across threads.
-    fn refresh_weights(&mut self) {
-        self.reduce_cache.lock().expect("cache lock").clear();
-        self.pair_cache.lock().expect("cache lock").clear();
-        let m = self.m;
-        let sats: Vec<&[BigUint]> = self.components.iter().map(|c| c.sat.as_slice()).collect();
-        self.all_sat = poly::product_tree(&sats, self.threads);
-        self.total = convolve(&self.all_sat, &self.binoms.row(self.free_endo));
-        debug_assert_eq!(self.total.len(), m + 1);
+    /// Recomputes everything downstream of the per-group values: the
+    /// component/total values and the cross-component leave-one-out
+    /// environments. Shared by [`CompiledEngine::compile`] and
+    /// [`CompiledEngine::update`].
+    fn refresh_envs(&mut self) {
+        let sats: Vec<&D::Value> = self.components.iter().map(|c| &c.sat).collect();
+        self.all_sat = self.dom.product(&sats, self.threads);
+        self.total = self
+            .dom
+            .combine(&self.all_sat, &self.dom.free(self.free_endo));
 
-        // The Shapley weight numerators w[k] = k!·(m−1−k)!.
-        let w: Vec<BigUint> = (0..m)
-            .map(|k| self.table.shapley_weight_numerator(m, k))
-            .collect();
-
-        // Component-level leave-one-out environments and their weight
-        // correlations. Components are bounded by the query's atom
-        // count, so this stage is cheap next to the group-level work.
-        let envs =
-            poly::leave_one_out_products(&sats, &self.binoms.row(self.free_endo), self.threads);
-        let comp_endos: Vec<usize> = self.components.iter().map(|c| c.endo).collect();
-        let comp_weights = par_map_with(self.threads, self.components.len(), |i| {
-            correlate(&w, &envs[i], comp_endos[i])
-        });
-        for ((comp, env), weight) in self.components.iter_mut().zip(envs).zip(comp_weights) {
+        // Component-level leave-one-out environments. Components are
+        // bounded by the query's atom count, so this stage is cheap
+        // next to the group-level work.
+        let envs = self
+            .dom
+            .leave_one_out(&sats, &self.dom.free(self.free_endo), self.threads);
+        for (comp, env) in self.components.iter_mut().zip(envs) {
             comp.env = env;
-            comp.weight = weight;
-        }
-        for comp in &mut self.components {
-            if let CompKind::Rooted { groups, .. } = &mut comp.kind {
-                // Groups with equal `unsat` polynomials are isomorphic:
-                // their leave-one-out environments (products over the
-                // *other* groups) and weight correlations coincide, so
-                // one representative correlation serves the whole
-                // class. Uniform workloads (many structurally identical
-                // groups) collapse to a handful of correlations.
-                let n = groups.len();
-                let mut class_of = vec![0usize; n];
-                let mut reps: Vec<usize> = Vec::new();
-                {
-                    let mut seen: HashMap<&[BigUint], usize> = HashMap::new();
-                    for (g, group) in groups.iter().enumerate() {
-                        let next = reps.len();
-                        let c = *seen.entry(group.unsat.as_slice()).or_insert(next);
-                        if c == next {
-                            reps.push(g);
-                        }
-                        class_of[g] = c;
-                    }
-                }
-                let groups_ref: &Vec<RootGroup> = groups;
-                let rep_weights = par_map_with(self.threads, reps.len(), |r| {
-                    let g = &groups_ref[reps[r]];
-                    correlate(&comp.weight, &g.genv, g.endo)
-                });
-                for (g, group) in groups.iter_mut().enumerate() {
-                    group.weight = rep_weights[class_of[g]].clone();
-                }
-            }
         }
     }
 
@@ -573,25 +553,24 @@ impl CompiledCount {
     /// (the database must already be mutated). Returns `Ok(false)` when
     /// the change shifts the compiled *structure* — an atom resolving
     /// differently, a root group appearing or dying, a degenerate
-    /// always-satisfied group — in which case the caller must
-    /// [`CompiledCount::compile`] afresh; results after a successful
-    /// update are bit-identical to that fresh compile.
+    /// always-satisfied group — in which case the caller must compile
+    /// afresh; results after a successful update are bit-identical to
+    /// that fresh compile.
     ///
     /// # Errors
-    /// Anything the counting recursion raises while re-counting the
+    /// Anything the evaluation recursion raises while re-evaluating the
     /// touched root group.
-    pub fn update(&mut self, db: &Database, change: EngineUpdate) -> Result<bool, CoreError> {
+    fn update(&mut self, db: &Database, change: EngineUpdate) -> Result<bool, CoreError> {
         if resolution_fingerprint(db, &self.query) != self.fingerprint {
             return Ok(false);
         }
         let f = change.fact();
         if !self.satisfiable {
             // Still unsatisfiable (the fingerprint pinned the unknown
-            // positive atom): only the zero-count shell tracks m.
+            // positive atom): only the zero-value shell tracks m.
             if self.m != db.endo_count() {
                 self.m = db.endo_count();
-                self.table = FactorialTable::new(self.m);
-                self.total = vec![BigUint::zero(); self.m + 1];
+                self.total = self.dom.zero(self.m);
                 self.free_endo = self.m;
             }
             return Ok(true);
@@ -605,12 +584,9 @@ impl CompiledCount {
         if !ok {
             return Ok(false);
         }
-        if self.m != db.endo_count() {
-            self.m = db.endo_count();
-            self.table = FactorialTable::new(self.m);
-        }
+        self.m = db.endo_count();
         self.free_endo = self.m - self.components.iter().map(|c| c.endo).sum::<usize>();
-        self.refresh_weights();
+        self.refresh_envs();
         Ok(true)
     }
 
@@ -628,14 +604,14 @@ impl CompiledCount {
         Placement::Free
     }
 
-    /// Re-runs the counting recursion for one root group and swaps the
-    /// updated `unsat` factor into every cached environment of the
+    /// Re-runs the evaluation recursion for one root group and swaps
+    /// the updated `unsat` factor into every cached environment of the
     /// component. Returns `false` when the swap is impossible (the old
     /// factor was identically zero: an always-satisfied group zeroed
     /// every environment, so nothing can be recovered incrementally).
     fn recount_group(&mut self, db: &Database, ci: usize, gi: usize) -> Result<bool, CoreError> {
         let view = MaskedDb::new(db, FactMask::None);
-        let binoms = &self.binoms;
+        let dom = &self.dom;
         let comp = &mut self.components[ci];
         let (new_endo, comp_unsat) = {
             let CompKind::Rooted {
@@ -649,19 +625,19 @@ impl CompiledCount {
             let g = &mut groups[gi];
             g.endo = scope_endo_count(view, &g.scopes);
             g.canon = Arc::new(canonical_form(db, &g.atoms, &g.scopes));
-            let sat_c = rec(view, &g.atoms, &g.scopes)?;
-            let unsat_new = complement_counts(&sat_c, g.endo);
+            let sat_c = eval_rec(dom, view, &g.atoms, &g.scopes)?;
+            let unsat_new = dom.complement(&sat_c, g.endo);
             let unsat_old = std::mem::replace(&mut g.unsat, unsat_new.clone());
-            if unsat_old.iter().all(|c| c.is_zero()) {
+            if dom.is_zero(&unsat_old) {
                 return Ok(false);
             }
-            let Some(quotient) = poly::exact_div(unsat_all, &unsat_old) else {
+            let Some(quotient) = dom.try_divide(unsat_all, &unsat_old) else {
                 return Ok(false);
             };
-            *unsat_all = convolve(&quotient, &unsat_new);
+            *unsat_all = dom.combine(&quotient, &unsat_new);
             // Swap the updated factor into every *distinct* environment
             // (shared Arcs make the per-group pass a pointer lookup).
-            let mut patched: HashMap<*const Vec<BigUint>, Arc<Vec<BigUint>>> = HashMap::new();
+            let mut patched: HashMap<*const D::Value, Arc<D::Value>> = HashMap::new();
             for (hi, h) in groups.iter_mut().enumerate() {
                 if hi == gi {
                     continue;
@@ -670,20 +646,20 @@ impl CompiledCount {
                     h.genv = done.clone();
                     continue;
                 }
-                let Some(quotient) = poly::exact_div(&h.genv, &unsat_old) else {
+                let Some(quotient) = dom.try_divide(&h.genv, &unsat_old) else {
                     return Ok(false);
                 };
-                let swapped = Arc::new(convolve(&quotient, &unsat_new));
+                let swapped = Arc::new(dom.combine(&quotient, &unsat_new));
                 patched.insert(Arc::as_ptr(&h.genv), swapped.clone());
                 h.genv = swapped;
             }
             (
                 groups.iter().map(|g| g.endo).sum::<usize>() + *junk_endo,
-                convolve(unsat_all, &binoms.row(*junk_endo)),
+                dom.combine(unsat_all, &dom.free(*junk_endo)),
             )
         };
         comp.endo = new_endo;
-        comp.sat = complement_counts(&comp_unsat, new_endo);
+        comp.sat = self.dom.complement(&comp_unsat, new_endo);
         Ok(true)
     }
 
@@ -692,17 +668,18 @@ impl CompiledCount {
         let view = MaskedDb::new(db, FactMask::None);
         let comp = &mut self.components[ci];
         comp.endo = scope_endo_count(view, &comp.scopes);
-        comp.sat = rec(view, &comp.atoms, &comp.scopes)?;
+        comp.sat = eval_rec(&self.dom, view, &comp.atoms, &comp.scopes)?;
         Ok(())
     }
 
-    /// Shifts a component's junk-binomial factor by ±1 endogenous fact:
-    /// `binom(j+1) = binom(j) ⊛ [1, 1]` (Pascal), so every group
-    /// environment gains or sheds one `[1, 1]` factor — `O(n)` Pascal
-    /// shifts ([`poly::pascal_up`] / [`poly::pascal_down`]) instead of
-    /// generic convolution/division.
+    /// Shifts a component's junk factor by ±1 endogenous fact:
+    /// `free(j+1) = free(j) ⊛ free(1)`, so every group environment
+    /// gains or sheds one `free(1)` factor —
+    /// [`EvalDomain::push_free`] / [`EvalDomain::pop_free`] (`O(n)`
+    /// Pascal shifts for counting, no-ops for probabilities) instead of
+    /// generic combination/division.
     fn shift_junk(&mut self, ci: usize, grow: bool) -> bool {
-        let binoms = &self.binoms;
+        let dom = &self.dom;
         let comp = &mut self.components[ci];
         let (new_endo, comp_unsat) = {
             let CompKind::Rooted {
@@ -713,7 +690,7 @@ impl CompiledCount {
             else {
                 unreachable!("junk lives in rooted components");
             };
-            let mut patched: HashMap<*const Vec<BigUint>, Arc<Vec<BigUint>>> = HashMap::new();
+            let mut patched: HashMap<*const D::Value, Arc<D::Value>> = HashMap::new();
             if grow {
                 *junk_endo += 1;
                 for g in groups.iter_mut() {
@@ -721,7 +698,7 @@ impl CompiledCount {
                         g.genv = done.clone();
                         continue;
                     }
-                    let grown = Arc::new(poly::pascal_up(&g.genv));
+                    let grown = Arc::new(dom.push_free(&g.genv));
                     patched.insert(Arc::as_ptr(&g.genv), grown.clone());
                     g.genv = grown;
                 }
@@ -732,7 +709,7 @@ impl CompiledCount {
                         g.genv = done.clone();
                         continue;
                     }
-                    let Some(quotient) = poly::pascal_down(&g.genv) else {
+                    let Some(quotient) = dom.pop_free(&g.genv) else {
                         return false;
                     };
                     let shrunk = Arc::new(quotient);
@@ -743,11 +720,11 @@ impl CompiledCount {
             let grouped: usize = groups.iter().map(|g| g.endo).sum();
             (
                 grouped + *junk_endo,
-                convolve(unsat_all, &binoms.row(*junk_endo)),
+                dom.combine(unsat_all, &dom.free(*junk_endo)),
             )
         };
         comp.endo = new_endo;
-        comp.sat = complement_counts(&comp_unsat, new_endo);
+        comp.sat = self.dom.complement(&comp_unsat, new_endo);
         true
     }
 
@@ -911,25 +888,9 @@ impl CompiledCount {
         }
     }
 
-    /// `|Dn|` of the compiled database.
-    pub fn endo_count(&self) -> usize {
-        self.m
-    }
-
-    /// The compiled query.
-    pub fn query(&self) -> &ConjunctiveQuery {
-        &self.query
-    }
-
-    /// `[|Sat(D,q,k)|]_{k=0..m}` for the unmodified database — what
-    /// [`crate::satcount::count_sat_hierarchical`] computes.
-    pub fn total_counts(&self) -> &[BigUint] {
-        &self.total
-    }
-
-    /// Is `f`'s Shapley value known to be zero without any recounting?
+    /// Is `f`'s influence known to be zero without any re-evaluation?
     /// (True for facts outside every atom scope and for junk facts.)
-    pub fn is_structurally_null(&self, f: FactId) -> bool {
+    fn is_structurally_null(&self, f: FactId) -> bool {
         !self.satisfiable || matches!(self.locs.get(&f), None | Some(Loc::Junk { .. }))
     }
 
@@ -937,7 +898,7 @@ impl CompiledCount {
     /// structurally-null facts map to bucket 0, and every root group
     /// (resp. ground component) gets its own bucket. Chunking a report's
     /// fan-out by bucket keeps each group's work on one thread.
-    pub fn bucket_of(&self, f: FactId) -> usize {
+    fn bucket_of(&self, f: FactId) -> usize {
         if !self.satisfiable {
             return 0;
         }
@@ -948,9 +909,282 @@ impl CompiledCount {
         }
     }
 
+    /// The masked value pair of `f` — the full-query value of `D ∖ {f}`
+    /// and of `D` with `f` exogenized (counting: the `(N_k, N⁺_k)`
+    /// count vectors of the reduction, each of length `m`; probability:
+    /// the conditionals `Pr[q | f absent]` / `Pr[q | f present]`).
+    /// Equals what the per-fact oracles compute on the materialized
+    /// modified databases.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    fn value_pair(&self, db: &Database, f: FactId) -> Result<(D::Value, D::Value), CoreError> {
+        self.check_endogenous(db, f)?;
+        if !self.satisfiable {
+            let z = self.dom.zero(self.m - 1);
+            return Ok((z.clone(), z));
+        }
+        match self.locs.get(&f) {
+            None => {
+                let v = self
+                    .dom
+                    .combine(&self.all_sat, &self.dom.free(self.free_endo - 1));
+                Ok((v.clone(), v))
+            }
+            Some(&Loc::Junk { comp }) => {
+                let c = &self.components[comp];
+                let CompKind::Rooted {
+                    junk_endo,
+                    unsat_all,
+                    ..
+                } = &c.kind
+                else {
+                    unreachable!("junk loc points at a rooted component");
+                };
+                let comp_unsat = self.dom.combine(unsat_all, &self.dom.free(junk_endo - 1));
+                let comp_sat = self.dom.complement(&comp_unsat, c.endo - 1);
+                let v = self.dom.combine(&c.env, &comp_sat);
+                Ok((v.clone(), v))
+            }
+            Some(&Loc::Ground { comp }) => {
+                let c = &self.components[comp];
+                let (sat_minus, sat_plus) = self.masked_sat_pair(db, &c.atoms, &c.scopes, f)?;
+                Ok((
+                    self.dom.combine(&c.env, &sat_minus),
+                    self.dom.combine(&c.env, &sat_plus),
+                ))
+            }
+            Some(&Loc::Grouped { comp, group }) => {
+                let (sat_minus, sat_plus) = {
+                    let CompKind::Rooted { groups, .. } = &self.components[comp].kind else {
+                        unreachable!("grouped loc points at a rooted component");
+                    };
+                    let g = &groups[group];
+                    self.masked_sat_pair(db, &g.atoms, &g.scopes, f)?
+                };
+                Ok(self.lift_group_pair(comp, group, (sat_minus, sat_plus)))
+            }
+        }
+    }
+
+    /// Lifts a group-local masked pair to full-query values through the
+    /// group's environment and the component's environment.
+    fn lift_group_pair(
+        &self,
+        ci: usize,
+        gi: usize,
+        pair: (D::Value, D::Value),
+    ) -> (D::Value, D::Value) {
+        let c = &self.components[ci];
+        let CompKind::Rooted { groups, .. } = &c.kind else {
+            unreachable!("lift_group_pair targets rooted components");
+        };
+        let g = &groups[gi];
+        let lift = |sat: &D::Value| {
+            let unsat = self.dom.complement(sat, g.endo - 1);
+            let comp_unsat = self.dom.combine(&g.genv, &unsat);
+            let comp_sat = self.dom.complement(&comp_unsat, c.endo - 1);
+            self.dom.combine(&c.env, &comp_sat)
+        };
+        (lift(&pair.0), lift(&pair.1))
+    }
+
+    /// Runs the group/component recursion under the two per-fact masks:
+    /// returns `(sat with f removed, sat with f exogenized)` (for
+    /// counting, both of length `endo` — the group's endogenous count
+    /// drops by one).
+    fn masked_sat_pair(
+        &self,
+        db: &Database,
+        atoms: &[PAtom],
+        scopes: &[Vec<FactId>],
+        f: FactId,
+    ) -> Result<(D::Value, D::Value), CoreError> {
+        let removed: Vec<Vec<FactId>> = scopes
+            .iter()
+            .map(|s| s.iter().copied().filter(|&x| x != f).collect())
+            .collect();
+        let sat_minus = eval_rec(
+            &self.dom,
+            MaskedDb::new(db, FactMask::Removed(f)),
+            atoms,
+            &removed,
+        )?;
+        let sat_plus = eval_rec(
+            &self.dom,
+            MaskedDb::new(db, FactMask::Exogenous(f)),
+            atoms,
+            scopes,
+        )?;
+        Ok((sat_minus, sat_plus))
+    }
+
+    fn check_endogenous(&self, db: &Database, f: FactId) -> Result<(), CoreError> {
+        if db.endo_index(f).is_none() {
+            return Err(CoreError::FactNotEndogenous {
+                fact: db.render_fact(f),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl CompiledCount {
+    /// Compiles `q` against `db` with the default thread budget (all
+    /// available cores).
+    ///
+    /// # Errors
+    /// The same structural errors as
+    /// [`crate::satcount::count_sat_hierarchical`]:
+    /// [`CoreError::NotSelfJoinFree`] / [`CoreError::NotHierarchical`].
+    pub fn compile(db: &Database, q: &ConjunctiveQuery) -> Result<Self, CoreError> {
+        Self::compile_with_threads(db, q, 0)
+    }
+
+    /// [`CompiledCount::compile`] with an explicit worker cap for the
+    /// parallel product trees and weight correlations (`0` = all
+    /// available cores). The cap sticks to the engine: maintenance and
+    /// recount paths reuse it.
+    ///
+    /// # Errors
+    /// As [`CompiledCount::compile`].
+    pub fn compile_with_threads(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
+        let eng = CompiledEngine::compile(db, q, threads, CountingDomain::new())?;
+        let table = FactorialTable::new(eng.m);
+        let mut compiled = CompiledCount {
+            eng,
+            table,
+            comp_weights: Vec::new(),
+            group_weights: Vec::new(),
+            reduce_cache: Mutex::new(HashMap::new()),
+            pair_cache: Mutex::new(HashMap::new()),
+        };
+        compiled.refresh_weights();
+        Ok(compiled)
+    }
+
+    /// Recomputes the weight correlations against `w[k] = k!·(m−1−k)!`
+    /// from the engine's refreshed environments. Shared by
+    /// [`CompiledCount::compile`] and [`CompiledCount::update`]; the
+    /// expensive part (the per-group correlations) fans out across
+    /// threads.
+    fn refresh_weights(&mut self) {
+        self.reduce_cache.lock().expect("cache lock").clear();
+        self.pair_cache.lock().expect("cache lock").clear();
+        if !self.eng.satisfiable {
+            self.comp_weights.clear();
+            self.group_weights.clear();
+            return;
+        }
+        let m = self.eng.m;
+        let threads = self.eng.threads;
+
+        // The Shapley weight numerators w[k] = k!·(m−1−k)!.
+        let w: Vec<BigUint> = (0..m)
+            .map(|k| self.table.shapley_weight_numerator(m, k))
+            .collect();
+
+        let comps = &self.eng.components;
+        self.comp_weights = par_map_with(threads, comps.len(), |i| {
+            correlate(&w, &comps[i].env, comps[i].endo)
+        });
+        let comp_weights = &self.comp_weights;
+        self.group_weights = comps
+            .iter()
+            .enumerate()
+            .map(|(ci, comp)| match &comp.kind {
+                CompKind::Ground => Vec::new(),
+                CompKind::Rooted { groups, .. } => {
+                    // Groups with equal `unsat` polynomials are
+                    // isomorphic: their leave-one-out environments
+                    // (products over the *other* groups) and weight
+                    // correlations coincide, so one representative
+                    // correlation serves the whole class. Uniform
+                    // workloads (many structurally identical groups)
+                    // collapse to a handful of correlations.
+                    let n = groups.len();
+                    let mut class_of = vec![0usize; n];
+                    let mut reps: Vec<usize> = Vec::new();
+                    {
+                        let mut seen: HashMap<&[BigUint], usize> = HashMap::new();
+                        for (g, group) in groups.iter().enumerate() {
+                            let next = reps.len();
+                            let c = *seen.entry(group.unsat.as_slice()).or_insert(next);
+                            if c == next {
+                                reps.push(g);
+                            }
+                            class_of[g] = c;
+                        }
+                    }
+                    let rep_weights = par_map_with(threads, reps.len(), |r| {
+                        let g = &groups[reps[r]];
+                        correlate(&comp_weights[ci], &g.genv, g.endo)
+                    });
+                    (0..n).map(|g| rep_weights[class_of[g]].clone()).collect()
+                }
+            })
+            .collect();
+    }
+
+    /// Patches the compiled caches after one in-place database update
+    /// (the database must already be mutated). Returns `Ok(false)` when
+    /// the change shifts the compiled *structure* — an atom resolving
+    /// differently, a root group appearing or dying, a degenerate
+    /// always-satisfied group — in which case the caller must
+    /// [`CompiledCount::compile`] afresh; results after a successful
+    /// update are bit-identical to that fresh compile.
+    ///
+    /// # Errors
+    /// Anything the counting recursion raises while re-counting the
+    /// touched root group.
+    pub fn update(&mut self, db: &Database, change: EngineUpdate) -> Result<bool, CoreError> {
+        if !self.eng.update(db, change)? {
+            return Ok(false);
+        }
+        if self.table.max_n() != self.eng.m {
+            self.table = FactorialTable::new(self.eng.m);
+        }
+        self.refresh_weights();
+        Ok(true)
+    }
+
+    /// `|Dn|` of the compiled database.
+    pub fn endo_count(&self) -> usize {
+        self.eng.m
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.eng.query
+    }
+
+    /// `[|Sat(D,q,k)|]_{k=0..m}` for the unmodified database — what
+    /// [`crate::satcount::count_sat_hierarchical`] computes.
+    pub fn total_counts(&self) -> &[BigUint] {
+        &self.eng.total
+    }
+
+    /// Is `f`'s Shapley value known to be zero without any recounting?
+    /// (True for facts outside every atom scope and for junk facts.)
+    pub fn is_structurally_null(&self, f: FactId) -> bool {
+        self.eng.is_structurally_null(f)
+    }
+
+    /// An opaque bucket id grouping facts that share recount state: all
+    /// structurally-null facts map to bucket 0, and every root group
+    /// (resp. ground component) gets its own bucket. Chunking a report's
+    /// fan-out by bucket keeps each group's work on one thread.
+    pub fn bucket_of(&self, f: FactId) -> usize {
+        self.eng.bucket_of(f)
+    }
+
     /// Total number of bucket ids (all in `0..buckets()`).
     pub fn buckets(&self) -> usize {
-        self.buckets
+        self.eng.buckets
     }
 
     /// The exact Shapley value of `f`.
@@ -970,24 +1204,25 @@ impl CompiledCount {
     /// # Errors
     /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
     pub fn shapley_numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError> {
-        self.check_endogenous(db, f)?;
+        self.eng.check_endogenous(db, f)?;
         if self.is_structurally_null(f) {
             return Ok(BigInt::zero());
         }
-        let (weight, (sat_minus, sat_plus)) = match *self.locs.get(&f).expect("checked non-null") {
-            Loc::Ground { comp } => {
-                let c = &self.components[comp];
-                (&c.weight, self.masked_sat_pair(db, &c.atoms, &c.scopes, f)?)
-            }
-            Loc::Grouped { comp, group } => {
-                let CompKind::Rooted { groups, .. } = &self.components[comp].kind else {
-                    unreachable!("grouped loc points at a rooted component");
-                };
-                let g = &groups[group];
-                (&g.weight, self.cached_group_pair(db, g, f)?)
-            }
-            Loc::Junk { .. } => unreachable!("junk is structurally null"),
-        };
+        let (weight, (sat_minus, sat_plus)) =
+            match *self.eng.locs.get(&f).expect("checked non-null") {
+                Loc::Ground { comp } => {
+                    let c = &self.eng.components[comp];
+                    (
+                        &self.comp_weights[comp],
+                        self.eng.masked_sat_pair(db, &c.atoms, &c.scopes, f)?,
+                    )
+                }
+                Loc::Grouped { comp, group } => (
+                    &self.group_weights[comp][group],
+                    self.cached_group_pair(db, comp, group, f)?,
+                ),
+                Loc::Junk { .. } => unreachable!("junk is structurally null"),
+            };
         debug_assert_eq!(sat_minus.len(), sat_plus.len());
         debug_assert_eq!(weight.len(), sat_plus.len());
         let mut num = BigInt::zero();
@@ -1006,7 +1241,7 @@ impl CompiledCount {
         if let Some(v) = self.reduce_cache.lock().expect("cache lock").get(&num) {
             return v.clone();
         }
-        let reduced = self.table.reduce_over_factorial(num.clone(), self.m);
+        let reduced = self.table.reduce_over_factorial(num.clone(), self.eng.m);
         self.reduce_cache
             .lock()
             .expect("cache lock")
@@ -1026,64 +1261,25 @@ impl CompiledCount {
         db: &Database,
         f: FactId,
     ) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
-        self.check_endogenous(db, f)?;
-        if !self.satisfiable {
-            let zeros = vec![BigUint::zero(); self.m];
-            return Ok((zeros.clone(), zeros));
-        }
-        match self.locs.get(&f) {
-            None => {
-                let v = convolve(&self.all_sat, &self.binoms.row(self.free_endo - 1));
-                Ok((v.clone(), v))
-            }
-            Some(&Loc::Junk { comp }) => {
-                let c = &self.components[comp];
-                let CompKind::Rooted {
-                    junk_endo,
-                    unsat_all,
-                    ..
-                } = &c.kind
-                else {
-                    unreachable!("junk loc points at a rooted component");
-                };
-                let comp_unsat = convolve(unsat_all, &self.binoms.row(junk_endo - 1));
-                let comp_sat = complement_counts(&comp_unsat, c.endo - 1);
-                let v = convolve(&c.env, &comp_sat);
-                Ok((v.clone(), v))
-            }
-            Some(&Loc::Ground { comp }) => {
-                let c = &self.components[comp];
-                let (sat_minus, sat_plus) = self.masked_sat_pair(db, &c.atoms, &c.scopes, f)?;
-                Ok((convolve(&c.env, &sat_minus), convolve(&c.env, &sat_plus)))
-            }
-            Some(&Loc::Grouped { comp, group }) => {
-                let c = &self.components[comp];
-                let CompKind::Rooted { groups, .. } = &c.kind else {
-                    unreachable!();
-                };
-                let g = &groups[group];
-                let (sat_minus, sat_plus) = self.masked_sat_pair(db, &g.atoms, &g.scopes, f)?;
-                let pair = [sat_minus, sat_plus].map(|sat| {
-                    let unsat = complement_counts(&sat, g.endo - 1);
-                    let comp_unsat = convolve(&g.genv, &unsat);
-                    let comp_sat = complement_counts(&comp_unsat, c.endo - 1);
-                    convolve(&c.env, &comp_sat)
-                });
-                let [n_minus, n_plus] = pair;
-                Ok((n_minus, n_plus))
-            }
-        }
+        self.eng.value_pair(db, f)
     }
 
-    /// [`CompiledCount::masked_sat_pair`] for a grouped fact, memoized
+    /// [`CompiledEngine::masked_sat_pair`] for a grouped fact, memoized
     /// by `(group isomorphism class, role of f)`: uniform workloads
-    /// recount one representative per class instead of every fact.
+    /// recount one representative per class instead of every fact. The
+    /// memo is sound because counting values are canon-determined —
+    /// probability evaluation must not (and does not) use it.
     fn cached_group_pair(
         &self,
         db: &Database,
-        g: &RootGroup,
+        ci: usize,
+        gi: usize,
         f: FactId,
     ) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
+        let CompKind::Rooted { groups, .. } = &self.eng.components[ci].kind else {
+            unreachable!("grouped loc points at a rooted component");
+        };
+        let g = &groups[gi];
         let role = g
             .scopes
             .iter()
@@ -1094,40 +1290,106 @@ impl CompiledCount {
         if let Some(pair) = self.pair_cache.lock().expect("cache lock").get(&key) {
             return Ok(pair.clone());
         }
-        let pair = self.masked_sat_pair(db, &g.atoms, &g.scopes, f)?;
+        let pair = self.eng.masked_sat_pair(db, &g.atoms, &g.scopes, f)?;
         self.pair_cache
             .lock()
             .expect("cache lock")
             .insert(key, pair.clone());
         Ok(pair)
     }
+}
 
-    /// Runs the group/component recursion under the two per-fact masks:
-    /// returns `(sat with f removed, sat with f exogenized)`, both of
-    /// length `endo` (the group's endogenous count drops by one).
-    fn masked_sat_pair(
-        &self,
+impl CompiledProbability {
+    /// Compiles `q` against `db` for lifted inference at `probs`, with
+    /// the default thread budget.
+    ///
+    /// # Errors
+    /// The same structural errors as [`CompiledCount::compile`].
+    pub fn compile(
         db: &Database,
-        atoms: &[PAtom],
-        scopes: &[Vec<FactId>],
-        f: FactId,
-    ) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
-        let removed: Vec<Vec<FactId>> = scopes
-            .iter()
-            .map(|s| s.iter().copied().filter(|&x| x != f).collect())
-            .collect();
-        let sat_minus = rec(MaskedDb::new(db, FactMask::Removed(f)), atoms, &removed)?;
-        let sat_plus = rec(MaskedDb::new(db, FactMask::Exogenous(f)), atoms, scopes)?;
-        Ok((sat_minus, sat_plus))
+        q: &ConjunctiveQuery,
+        probs: FactProbabilities,
+    ) -> Result<Self, CoreError> {
+        Self::compile_with_threads(db, q, probs, 0)
     }
 
-    fn check_endogenous(&self, db: &Database, f: FactId) -> Result<(), CoreError> {
-        if db.endo_index(f).is_none() {
-            return Err(CoreError::FactNotEndogenous {
-                fact: db.render_fact(f),
-            });
-        }
-        Ok(())
+    /// [`CompiledProbability::compile`] with an explicit worker cap.
+    ///
+    /// # Errors
+    /// As [`CompiledProbability::compile`].
+    pub fn compile_with_threads(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        probs: FactProbabilities,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
+        Ok(CompiledProbability {
+            eng: CompiledEngine::compile(db, q, threads, ProbabilityDomain::new(probs))?,
+        })
+    }
+
+    /// `Pr[q]` under the compiled per-fact probabilities — served from
+    /// the cache, no traversal.
+    pub fn probability(&self) -> &BigRational {
+        &self.eng.total
+    }
+
+    /// The per-fact probabilities the engine was compiled at.
+    pub fn probabilities(&self) -> &FactProbabilities {
+        self.eng.dom.probabilities()
+    }
+
+    /// `|Dn|` of the compiled database.
+    pub fn endo_count(&self) -> usize {
+        self.eng.m
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.eng.query
+    }
+
+    /// Is `f`'s presence irrelevant to `Pr[q]` by structure alone?
+    pub fn is_structurally_null(&self, f: FactId) -> bool {
+        self.eng.is_structurally_null(f)
+    }
+
+    /// The conditionals `(Pr[q | f absent], Pr[q | f present])`, by
+    /// masked re-evaluation of `f`'s root group only.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    pub fn conditioned_pair(
+        &self,
+        db: &Database,
+        f: FactId,
+    ) -> Result<(BigRational, BigRational), CoreError> {
+        self.eng.value_pair(db, f)
+    }
+
+    /// The expected influence of `f` on the query answer:
+    /// `Pr[q | f present] − Pr[q | f absent]` — the probabilistic
+    /// analogue of the Shapley reduction's masked difference.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    pub fn expected_marginal(&self, db: &Database, f: FactId) -> Result<BigRational, CoreError> {
+        let (absent, present) = self.eng.value_pair(db, f)?;
+        Ok(present - absent)
+    }
+
+    /// Patches the compiled caches after one in-place database update —
+    /// identical contract to [`CompiledCount::update`]: `Ok(false)`
+    /// means the structure shifted and the caller must compile afresh.
+    /// A fact inserted while the engine is live evaluates at the
+    /// compiled default probability until the caller rebuilds with an
+    /// override.
+    ///
+    /// # Errors
+    /// Anything the evaluation recursion raises while re-evaluating the
+    /// touched root group.
+    pub fn update(&mut self, db: &Database, change: EngineUpdate) -> Result<bool, CoreError> {
+        self.eng.update(db, change)
     }
 }
 
@@ -1439,6 +1701,161 @@ mod tests {
             compiled.value(&db, f).unwrap(),
             fresh.value(&db, f).unwrap()
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Probability-domain instantiation
+    // -----------------------------------------------------------------
+
+    fn rat(p: i64, q: i64) -> BigRational {
+        BigRational::from_i64_ratio(p, q)
+    }
+
+    /// The probability-cycle fixture mirrors `cqshap-probdb`'s tests.
+    fn cycled_probs(db: &Database) -> FactProbabilities {
+        let cycle = [
+            rat(1, 10),
+            rat(3, 10),
+            rat(1, 2),
+            rat(7, 10),
+            rat(9, 10),
+            rat(1, 4),
+            rat(3, 4),
+            rat(3, 5),
+        ];
+        let mut probs = FactProbabilities::uniform(rat(1, 2));
+        for (i, &f) in db.endo_facts().iter().enumerate() {
+            probs.set(f, cycle[i % cycle.len()].clone());
+        }
+        probs
+    }
+
+    #[test]
+    fn probability_engine_matches_enumeration_across_shapes() {
+        let db = university();
+        let probs = cycled_probs(&db);
+        for text in [
+            "q() :- Stud(x), !TA(x), Reg(x, y)",
+            "q() :- Reg(x, y)",
+            "q() :- Stud(x), !TA(x)",
+            "q() :- Stud(x), TA(x), Reg(x, y)",
+            "q() :- TA('Adam'), !Reg('Ben', 'OS')",
+            "q() :- TA(x), Course(y, 'CS')",
+            "q() :- Reg(x, 'OS'), !TA(x)",
+            "q() :- Stud(x), !TA(x), Reg(x, y), Adv(z, x)",
+            "q() :- !TA('Nobody')",
+            "q() :- Ghost(x)",
+            "q() :- !Ghost('x'), TA('Adam')",
+        ] {
+            let q = parse_cq(text).unwrap();
+            let engine = CompiledProbability::compile(&db, &q, probs.clone()).unwrap();
+            let brute =
+                crate::domain::probability_by_enumeration(&db, AnyQuery::Cq(&q), &probs, None, 26)
+                    .unwrap();
+            assert_eq!(engine.probability(), &brute, "{text}");
+            for &f in db.endo_facts() {
+                let (absent, present) = engine.conditioned_pair(&db, f).unwrap();
+                let want_absent = crate::domain::probability_by_enumeration(
+                    &db,
+                    AnyQuery::Cq(&q),
+                    &probs,
+                    Some((f, false)),
+                    26,
+                )
+                .unwrap();
+                let want_present = crate::domain::probability_by_enumeration(
+                    &db,
+                    AnyQuery::Cq(&q),
+                    &probs,
+                    Some((f, true)),
+                    26,
+                )
+                .unwrap();
+                assert_eq!(absent, want_absent, "{} absent {text}", db.render_fact(f));
+                assert_eq!(
+                    present,
+                    want_present,
+                    "{} present {text}",
+                    db.render_fact(f)
+                );
+                assert_eq!(
+                    engine.expected_marginal(&db, f).unwrap(),
+                    want_present - want_absent,
+                    "{} marginal {text}",
+                    db.render_fact(f)
+                );
+            }
+        }
+    }
+
+    /// A maintained probability engine must agree bit-identically with a
+    /// fresh compile of the updated database at the same probabilities.
+    fn assert_prob_update_matches_fresh(
+        db: &Database,
+        engine: &mut CompiledProbability,
+        q: &ConjunctiveQuery,
+        change: EngineUpdate,
+    ) {
+        let probs = engine.probabilities().clone();
+        if !engine.update(db, change).unwrap() {
+            *engine = CompiledProbability::compile(db, q, probs.clone()).unwrap();
+        }
+        let fresh = CompiledProbability::compile(db, q, probs).unwrap();
+        assert_eq!(
+            engine.probability(),
+            fresh.probability(),
+            "Pr[q] after {change:?} for {q}"
+        );
+        for &f in db.endo_facts() {
+            assert_eq!(
+                engine.conditioned_pair(db, f).unwrap(),
+                fresh.conditioned_pair(db, f).unwrap(),
+                "{} after {change:?} for {q}",
+                db.render_fact(f)
+            );
+        }
+    }
+
+    #[test]
+    fn probability_updates_match_fresh_compiles() {
+        let mut db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let mut engine = CompiledProbability::compile(&db, &q1, cycled_probs(&db)).unwrap();
+
+        // Insert into an existing root group (evaluates at the default
+        // probability until the caller rebuilds with an override).
+        let f = db.add_endo("Reg", &["Adam", "DB"]).unwrap();
+        assert_prob_update_matches_fresh(&db, &mut engine, &q1, EngineUpdate::Inserted(f));
+        // Exogenize a grouped fact: its probability pins to 1.
+        let ben = db.find_fact("TA", &["Ben"]).unwrap();
+        db.set_fact_provenance(ben, Provenance::Exogenous).unwrap();
+        assert_prob_update_matches_fresh(
+            &db,
+            &mut engine,
+            &q1,
+            EngineUpdate::ProvenanceFlipped(ben),
+        );
+        db.set_fact_provenance(ben, Provenance::Endogenous).unwrap();
+        assert_prob_update_matches_fresh(
+            &db,
+            &mut engine,
+            &q1,
+            EngineUpdate::ProvenanceFlipped(ben),
+        );
+        // Retraction with surviving group support.
+        db.retract_fact(f).unwrap();
+        assert_prob_update_matches_fresh(&db, &mut engine, &q1, EngineUpdate::Retracted(f));
+        // Free and junk facts.
+        let free = db.add_endo("Unrelated", &["z"]).unwrap();
+        assert_prob_update_matches_fresh(&db, &mut engine, &q1, EngineUpdate::Inserted(free));
+        let junk = db.add_endo("TA", &["Nadia"]).unwrap();
+        assert_prob_update_matches_fresh(&db, &mut engine, &q1, EngineUpdate::Inserted(junk));
+        // Structural change: a brand-new root group declines maintenance.
+        db.add_exo("Stud", &["Eve"]).unwrap();
+        let eve_stud = db.find_fact("Stud", &["Eve"]).unwrap();
+        assert_prob_update_matches_fresh(&db, &mut engine, &q1, EngineUpdate::Inserted(eve_stud));
+        let eve_reg = db.add_endo("Reg", &["Eve", "OS"]).unwrap();
+        assert!(!engine.update(&db, EngineUpdate::Inserted(eve_reg)).unwrap());
     }
 
     #[test]

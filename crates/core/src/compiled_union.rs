@@ -15,8 +15,8 @@
 //! Shapley(D, U, f) = Σ_S (−1)^{|S|+1} · Shapley(D, ⋀_{i∈S} qᵢ, f).
 //! ```
 //!
-//! [`CompiledUnionCount`] therefore compiles one [`CompiledCount`] per
-//! non-empty subset of disjuncts — each conjunction built by
+//! [`CompiledUnionCount`] therefore compiles [`CompiledCount`] engines
+//! for the non-empty subsets of disjuncts — each conjunction built by
 //! [`cqshap_query::conjoin_disjuncts`] with variables renamed apart —
 //! and answers every fact by the signed sum of the subset engines'
 //! masked recounts. Contradictory conjunctions (a ground atom asserted
@@ -25,6 +25,16 @@
 //! self-join or a non-hierarchical join structure) abort compilation
 //! with [`CoreError::IntractableIntersection`] naming the offending
 //! intersection, so strategy routing can fall back or report precisely.
+//!
+//! Distinct subsets routinely conjoin to the *same* query — a disjunct
+//! absorbed by another (shared ground atoms merge) makes `S` and
+//! `S ∪ {i}` collide, and structurally repeated disjuncts collide
+//! wholesale. Compiling each collision class once, the engines are
+//! keyed by a canonical form of the conjunction and carry the *net*
+//! signed coefficient `Σ_S (−1)^{|S|+1}` of their class; classes whose
+//! coefficients cancel to zero are dropped before compilation. The
+//! signed sum over `2^d − 1` subsets thus runs over (often far) fewer
+//! compiled engines without changing a single term of the identity.
 //!
 //! Everything stays exact: each engine's value is a reduced rational
 //! over `m!`, and the signed sum is exact rational arithmetic, so the
@@ -37,18 +47,58 @@ use cqshap_db::{Database, FactId};
 use cqshap_numeric::{BigInt, BigRational};
 use cqshap_query::{
     conjoin_disjuncts, is_hierarchical, self_join_witness, subset_label, ConjunctiveQuery,
-    DisjunctConjunction, UnionQuery,
+    DisjunctConjunction, Term as QueryTerm, UnionQuery,
 };
 
 use crate::compiled::{CompiledCount, EngineUpdate};
 use crate::error::CoreError;
 
-/// One signed inclusion–exclusion term: the compiled engine of a subset
-/// conjunction and the sign of its contribution.
+/// One signed inclusion–exclusion term: the compiled engine shared by a
+/// class of structurally identical subset conjunctions, with the class's
+/// net signed coefficient.
 struct SignedTerm {
-    /// `true` for even subsets (they *subtract*).
-    negative: bool,
+    /// `Σ_S (−1)^{|S|+1}` over the subsets whose conjunctions share this
+    /// engine's canonical form. Never zero — cancelled classes are
+    /// dropped before compilation.
+    coeff: i64,
     engine: CompiledCount,
+}
+
+/// A term of [`canonical_key`]: constants verbatim, variables by rank of
+/// first occurrence over the canonically ordered atoms.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum CanonTerm {
+    Var(u32),
+    Const(String),
+}
+
+/// A structural canonical form for a *self-join-free* conjunction: atoms
+/// sorted by `(negated, relation)` — unique, since no relation repeats —
+/// with variables renamed by first occurrence over that order. Two
+/// subset conjunctions with equal keys count exactly the same worlds
+/// (they differ only in query name and variable names), so one compiled
+/// engine serves both.
+fn canonical_key(q: &ConjunctiveQuery) -> Vec<(bool, String, Vec<CanonTerm>)> {
+    let mut atoms: Vec<_> = q.atoms().iter().collect();
+    atoms.sort_by_key(|a| (a.negated, a.relation.clone()));
+    let mut rank: HashMap<u32, u32> = HashMap::new();
+    atoms
+        .into_iter()
+        .map(|a| {
+            let terms = a
+                .terms
+                .iter()
+                .map(|t| match t {
+                    QueryTerm::Const(c) => CanonTerm::Const(c.clone()),
+                    QueryTerm::Var(v) => {
+                        let next = rank.len() as u32;
+                        CanonTerm::Var(*rank.entry(v.0).or_insert(next))
+                    }
+                })
+                .collect();
+            (a.negated, a.relation.clone(), terms)
+        })
+        .collect()
 }
 
 /// A `(db, union)` pair compiled for batched all-facts Shapley
@@ -150,11 +200,31 @@ impl CompiledUnionCount {
         u: &UnionQuery,
         threads: usize,
     ) -> Result<Self, CoreError> {
-        let mut terms = Vec::new();
+        // Bucket the subset conjunctions by canonical form first: one
+        // engine per class, weighted by the class's net coefficient.
+        // Tractability is checked per subset so the error still names
+        // the offending intersection, not its class representative.
+        let mut classes: HashMap<Vec<(bool, String, Vec<CanonTerm>)>, usize> = HashMap::new();
+        let mut pending: Vec<(i64, ConjunctiveQuery)> = Vec::new();
         for (negative, label, q) in Self::subset_conjunctions(u)? {
             Self::check_tractable(&label, &q)?;
+            let sign = if negative { -1 } else { 1 };
+            let next = pending.len();
+            match classes.entry(canonical_key(&q)) {
+                std::collections::hash_map::Entry::Occupied(e) => pending[*e.get()].0 += sign,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(next);
+                    pending.push((sign, q));
+                }
+            }
+        }
+        let mut terms = Vec::new();
+        for (coeff, q) in pending {
+            if coeff == 0 {
+                continue;
+            }
             terms.push(SignedTerm {
-                negative,
+                coeff,
                 engine: CompiledCount::compile_with_threads(db, &q, threads)?,
             });
         }
@@ -198,8 +268,9 @@ impl CompiledUnionCount {
         })
     }
 
-    /// Number of compiled inclusion–exclusion terms (satisfiable subset
-    /// conjunctions).
+    /// Number of compiled inclusion–exclusion terms: satisfiable subset
+    /// conjunctions after merging structurally identical ones and
+    /// dropping classes whose signed coefficients cancel.
     pub fn term_count(&self) -> usize {
         self.terms.len()
     }
@@ -247,10 +318,8 @@ impl CompiledUnionCount {
         let mut acc = BigInt::zero();
         for t in &self.terms {
             let n = t.engine.shapley_numerator(db, f)?;
-            if t.negative {
-                acc -= &n;
-            } else {
-                acc += &n;
+            if !n.is_zero() {
+                acc += &(n * BigInt::from_i64(t.coeff));
             }
         }
         Ok(acc)
@@ -327,6 +396,31 @@ mod tests {
         ] {
             agrees_with_brute_force(&db, &parse_ucq(text).unwrap());
         }
+    }
+
+    #[test]
+    fn absorbed_disjuncts_share_engines() {
+        let db = Database::parse("endo R(a)\nendo S(b)\nendo T(c)\n").unwrap();
+        // q2 absorbs q1's atom, so {2} and {1,2} conjoin to the same
+        // query with opposite signs: the class cancels and only {1}
+        // survives — one engine for three subsets.
+        let u = parse_ucq("q1() :- R('a'); q2() :- R('a'), S('b')").unwrap();
+        assert_eq!(
+            CompiledUnionCount::subset_conjunctions(&u).unwrap().len(),
+            3
+        );
+        let compiled = CompiledUnionCount::compile(&db, &u).unwrap();
+        assert_eq!(compiled.term_count(), 1);
+        agrees_with_brute_force(&db, &u);
+        // Structurally repeated disjuncts (same shape up to renaming)
+        // collapse wholesale: {1}, {2} and {1,2}·(−1)... the pairwise
+        // conjunction R(x) ∧ R(x') would self-join, so use ground atoms.
+        let v = parse_ucq("q1() :- R('a'), !T('c'); q2() :- R('a'), !T('c')").unwrap();
+        let compiled = CompiledUnionCount::compile(&db, &v).unwrap();
+        // All three subsets conjoin to R('a') ∧ ¬T('c'); net 1 − ... =
+        // +1 +1 −1 = 1 → a single engine with coefficient one.
+        assert_eq!(compiled.term_count(), 1);
+        agrees_with_brute_force(&db, &v);
     }
 
     #[test]

@@ -1,0 +1,792 @@
+//! The **evaluation domain** abstraction: one recursion, many answers.
+//!
+//! Lemma 3.2's `CntSat` recursion and lifted inference over
+//! tuple-independent probabilistic databases have *exactly* the same
+//! shape — ground products, independent-component products, and a
+//! root-variable decomposition whose disjunction is evaluated through
+//! the complement. "When is Shapley Value Computation a Matter of
+//! Counting?" (arXiv 2312.14529) makes the correspondence precise: both
+//! are evaluations of the same satisfying-subset structure in different
+//! semirings-with-complement.
+//!
+//! [`EvalDomain`] captures the handful of operations the recursion
+//! actually needs (identity, combination over disjoint fact sets,
+//! per-atom ground contributions, complementation, exact division for
+//! incremental factor swaps). Two instances are provided:
+//!
+//! * [`CountingDomain`] — the existing exact counting domain. Values
+//!   are size-indexed coalition-count polynomials `[|Sat(D,q,k)|]_k`
+//!   over [`BigUint`]; combination is convolution (dispatched through
+//!   [`cqshap_numeric::poly`]'s Karatsuba/NTT subsystem), a set of `n`
+//!   free facts contributes the binomial row `[C(n,k)]_k`, and
+//!   complementation is `C(n,k) − v[k]`. Bit-identical to the
+//!   previously hard-wired arithmetic.
+//! * [`ProbabilityDomain`] — the tuple-independent probability domain.
+//!   Values are exact [`BigRational`] probabilities; combination is
+//!   multiplication, free facts contribute `1`, and complementation is
+//!   `1 − p`. Evaluating the *same* compiled structure in this domain
+//!   yields `Pr[q]` under per-fact probabilities — lifted inference
+//!   served by the counting engine's compile (see
+//!   [`crate::compiled::CompiledProbability`]).
+//!
+//! The generic recursion (`eval_rec`) is the single implementation
+//! behind [`crate::satcount::count_sat_hierarchical`] and the compiled
+//! engines; the hard-wired `BigUint` paths of earlier revisions are
+//! gone.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cqshap_db::{Database, FactId, FactMask, World};
+use cqshap_numeric::{poly, BigRational, BigUint, BinomialCache};
+
+use crate::anyquery::AnyQuery;
+use crate::error::CoreError;
+use crate::satcount::{
+    complement_counts, connected_components, find_root_var, resolve_query, root_candidates,
+    root_group_scopes, scope_endo_count, MaskedDb, PAtom, ResolvedQuery,
+};
+
+/// The value algebra of the `CntSat`/lifted-inference recursion.
+///
+/// A domain assigns a *value* to every (sub-)query-over-scoped-facts
+/// instance and explains how values compose:
+///
+/// * [`one`](EvalDomain::one) / [`combine`](EvalDomain::combine) — the
+///   value of an empty conjunction and the composition over *disjoint*
+///   endogenous fact sets (counting: convolution; probability:
+///   product — independence of tuple events).
+/// * [`present`](EvalDomain::present) / [`absent`](EvalDomain::absent)
+///   — the ground atom contributions: the value of "this fact must be
+///   in the coalition/world" and "must not be".
+/// * [`free`](EvalDomain::free) — the value of `n` unconstrained
+///   endogenous facts (counting: `[C(n,k)]_k`; probability: `1`).
+/// * [`complement`](EvalDomain::complement) — negation over `endo`
+///   endogenous facts, turning unsatisfying values into satisfying
+///   ones (counting: `C(endo,k) − v[k]`; probability: `1 − p`).
+/// * [`try_divide`](EvalDomain::try_divide) — exact division, the
+///   enabler of incremental maintenance: swapping one factor of a
+///   cached product is division by the old factor and combination with
+///   the new one. `None` signals the swap is impossible (zero factor)
+///   and the caller must rebuild.
+///
+/// The remaining methods are performance hooks with sound defaults;
+/// [`CountingDomain`] overrides them with the parallel product-tree /
+/// Pascal-shift fast paths of the `poly` subsystem.
+pub trait EvalDomain: Sync {
+    /// The value type: coalition-count polynomials for counting, exact
+    /// probabilities for the tuple-independent domain.
+    type Value: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static;
+
+    /// The multiplicative identity (empty conjunction over no facts).
+    fn one(&self) -> Self::Value;
+
+    /// The annihilating zero, shaped for `endo` endogenous facts
+    /// (counting: `endo + 1` zero coefficients; probability: `0`).
+    fn zero(&self, endo: usize) -> Self::Value;
+
+    /// Is `v` the zero value (no satisfying coalition at any size)?
+    fn is_zero(&self, v: &Self::Value) -> bool;
+
+    /// Composition over disjoint endogenous fact sets.
+    fn combine(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// The value of `n` unconstrained ("free") endogenous facts.
+    fn free(&self, n: usize) -> Self::Value;
+
+    /// Negation over `endo` endogenous facts: the value of "not `v`".
+    fn complement(&self, v: &Self::Value, endo: usize) -> Self::Value;
+
+    /// Ground contribution of a positive atom matched by fact `f`
+    /// (`endo` = is the fact endogenous under the current view).
+    fn present(&self, f: FactId, endo: bool) -> Self::Value;
+
+    /// Ground contribution of a negative atom matched by fact `f`.
+    fn absent(&self, f: FactId, endo: bool) -> Self::Value;
+
+    /// Exact division: `Some(q)` with `combine(q, den) == num`, or
+    /// `None` when `den` cannot be divided out (it is zero, or the
+    /// division is not exact).
+    fn try_divide(&self, num: &Self::Value, den: &Self::Value) -> Option<Self::Value>;
+
+    /// `⊛ factors` — the product of many values.
+    fn product(&self, factors: &[&Self::Value], threads: usize) -> Self::Value {
+        let _ = threads;
+        let mut acc = self.one();
+        for f in factors {
+            acc = self.combine(&acc, f);
+        }
+        acc
+    }
+
+    /// For each `i`: `seed ⊛ ⊛_{j≠i} factors[j]` — the leave-one-out
+    /// environments used by the per-fact recount paths.
+    fn leave_one_out(
+        &self,
+        factors: &[&Self::Value],
+        seed: &Self::Value,
+        threads: usize,
+    ) -> Vec<Self::Value> {
+        let _ = threads;
+        let n = factors.len();
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(seed.clone());
+        for i in 0..n {
+            let next = self.combine(&prefix[i], factors[i]);
+            prefix.push(next);
+        }
+        let mut suffix = vec![self.one(); n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = self.combine(&suffix[i + 1], factors[i]);
+        }
+        (0..n)
+            .map(|i| self.combine(&prefix[i], &suffix[i + 1]))
+            .collect()
+    }
+
+    /// [`EvalDomain::leave_one_out`] behind shared pointers: equal
+    /// environments may share one allocation, so incremental factor
+    /// swaps can patch each *distinct* value once.
+    fn leave_one_out_shared(
+        &self,
+        factors: &[&Self::Value],
+        seed: &Self::Value,
+        threads: usize,
+    ) -> Vec<Arc<Self::Value>> {
+        self.leave_one_out(factors, seed, threads)
+            .into_iter()
+            .map(Arc::new)
+            .collect()
+    }
+
+    /// `v` with one more free endogenous fact: `combine(v, free(1))`.
+    fn push_free(&self, v: &Self::Value) -> Self::Value {
+        self.combine(v, &self.free(1))
+    }
+
+    /// Inverse of [`EvalDomain::push_free`], when it exists.
+    fn pop_free(&self, v: &Self::Value) -> Option<Self::Value> {
+        self.try_divide(v, &self.free(1))
+    }
+
+    /// Do isomorphic fact groups (equal canonical forms: constants
+    /// renamed, endogeneity preserved) have equal values? True for
+    /// counting — the recursion cannot tell renamed constants apart —
+    /// but **false** for probabilities, where each fact carries its own
+    /// parameter. Gates the per-isomorphism-class compile and recount
+    /// memoizations.
+    fn canon_determines_value(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counting domain
+// ---------------------------------------------------------------------
+
+/// The exact counting domain: values are the size-indexed coalition
+/// count vectors `[|Sat(D,q,k)|]_{k=0..endo}` of Lemma 3.2, over
+/// [`BigUint`]. Owns a [`BinomialCache`] so the binomial rows consumed
+/// by [`EvalDomain::free`] are shared across the engine's lifetime.
+#[derive(Debug, Default)]
+pub struct CountingDomain {
+    binoms: BinomialCache,
+}
+
+impl CountingDomain {
+    /// A counting domain with an empty binomial cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvalDomain for CountingDomain {
+    type Value = Vec<BigUint>;
+
+    fn one(&self) -> Vec<BigUint> {
+        vec![BigUint::one()]
+    }
+
+    fn zero(&self, endo: usize) -> Vec<BigUint> {
+        vec![BigUint::zero(); endo + 1]
+    }
+
+    fn is_zero(&self, v: &Vec<BigUint>) -> bool {
+        v.iter().all(|c| c.is_zero())
+    }
+
+    fn combine(&self, a: &Vec<BigUint>, b: &Vec<BigUint>) -> Vec<BigUint> {
+        poly::mul(a, b)
+    }
+
+    fn free(&self, n: usize) -> Vec<BigUint> {
+        self.binoms.row(n).as_ref().clone()
+    }
+
+    fn complement(&self, v: &Vec<BigUint>, endo: usize) -> Vec<BigUint> {
+        complement_counts(v, endo)
+    }
+
+    fn present(&self, _f: FactId, endo: bool) -> Vec<BigUint> {
+        if endo {
+            vec![BigUint::zero(), BigUint::one()]
+        } else {
+            vec![BigUint::one()]
+        }
+    }
+
+    fn absent(&self, _f: FactId, endo: bool) -> Vec<BigUint> {
+        if endo {
+            vec![BigUint::one(), BigUint::zero()]
+        } else {
+            // A negative atom matched by an exogenous fact can never be
+            // satisfied: the zero of the fold.
+            vec![BigUint::zero()]
+        }
+    }
+
+    fn try_divide(&self, num: &Vec<BigUint>, den: &Vec<BigUint>) -> Option<Vec<BigUint>> {
+        poly::exact_div(num, den)
+    }
+
+    fn product(&self, factors: &[&Vec<BigUint>], threads: usize) -> Vec<BigUint> {
+        let refs: Vec<&[BigUint]> = factors.iter().map(|f| f.as_slice()).collect();
+        poly::product_tree(&refs, threads)
+    }
+
+    fn leave_one_out(
+        &self,
+        factors: &[&Vec<BigUint>],
+        seed: &Vec<BigUint>,
+        threads: usize,
+    ) -> Vec<Vec<BigUint>> {
+        let refs: Vec<&[BigUint]> = factors.iter().map(|f| f.as_slice()).collect();
+        poly::leave_one_out_products(&refs, seed, threads)
+    }
+
+    fn leave_one_out_shared(
+        &self,
+        factors: &[&Vec<BigUint>],
+        seed: &Vec<BigUint>,
+        threads: usize,
+    ) -> Vec<Arc<Vec<BigUint>>> {
+        let refs: Vec<&[BigUint]> = factors.iter().map(|f| f.as_slice()).collect();
+        poly::leave_one_out_products_shared(&refs, seed, threads)
+    }
+
+    fn push_free(&self, v: &Vec<BigUint>) -> Vec<BigUint> {
+        poly::pascal_up(v)
+    }
+
+    fn pop_free(&self, v: &Vec<BigUint>) -> Option<Vec<BigUint>> {
+        poly::pascal_down(v)
+    }
+
+    fn canon_determines_value(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Probability domain
+// ---------------------------------------------------------------------
+
+/// Per-fact probabilities of a tuple-independent probabilistic
+/// database: a default for every endogenous fact plus sparse per-fact
+/// overrides. Exogenous facts are certain (probability `1`) by
+/// construction — the evaluation consults the endogeneity flag, not
+/// this map, for them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactProbabilities {
+    default: BigRational,
+    overrides: HashMap<FactId, BigRational>,
+}
+
+impl FactProbabilities {
+    /// Every endogenous fact present with probability `default`.
+    ///
+    /// # Panics
+    /// Panics when `default ∉ [0, 1]` — validate with
+    /// [`FactProbabilities::is_valid`] first at API boundaries.
+    pub fn uniform(default: BigRational) -> Self {
+        assert!(
+            Self::is_valid(&default),
+            "probability {default} outside [0, 1]"
+        );
+        FactProbabilities {
+            default,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Is `p` a probability (`0 ≤ p ≤ 1`)?
+    pub fn is_valid(p: &BigRational) -> bool {
+        !p.is_negative() && *p <= BigRational::one()
+    }
+
+    /// The probability of fact `f`.
+    pub fn get(&self, f: FactId) -> &BigRational {
+        self.overrides.get(&f).unwrap_or(&self.default)
+    }
+
+    /// Overrides the probability of fact `f`.
+    ///
+    /// # Panics
+    /// Panics when `p ∉ [0, 1]`.
+    pub fn set(&mut self, f: FactId, p: BigRational) {
+        assert!(Self::is_valid(&p), "probability {p} outside [0, 1]");
+        self.overrides.insert(f, p);
+    }
+
+    /// Drops `f`'s override, reverting it to the default.
+    pub fn clear(&mut self, f: FactId) {
+        self.overrides.remove(&f);
+    }
+
+    /// The default probability.
+    pub fn default_probability(&self) -> &BigRational {
+        &self.default
+    }
+
+    /// Replaces the default probability (overrides are kept).
+    ///
+    /// # Panics
+    /// Panics when `p ∉ [0, 1]`.
+    pub fn set_default(&mut self, p: BigRational) {
+        assert!(Self::is_valid(&p), "probability {p} outside [0, 1]");
+        self.default = p;
+    }
+}
+
+///// The tuple-independent probability domain: values are exact
+/// [`BigRational`] probabilities `Pr[q]`, evaluated at the per-fact
+/// probabilities it owns. Evaluating the counting engine's compiled
+/// structure in this domain *is* lifted inference — same recursion,
+/// scalar arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbabilityDomain {
+    probs: FactProbabilities,
+}
+
+impl ProbabilityDomain {
+    /// A domain evaluating at `probs`.
+    pub fn new(probs: FactProbabilities) -> Self {
+        ProbabilityDomain { probs }
+    }
+
+    /// The per-fact probabilities.
+    pub fn probabilities(&self) -> &FactProbabilities {
+        &self.probs
+    }
+}
+
+impl EvalDomain for ProbabilityDomain {
+    type Value = BigRational;
+
+    fn one(&self) -> BigRational {
+        BigRational::one()
+    }
+
+    fn zero(&self, _endo: usize) -> BigRational {
+        BigRational::zero()
+    }
+
+    fn is_zero(&self, v: &BigRational) -> bool {
+        v.is_zero()
+    }
+
+    fn combine(&self, a: &BigRational, b: &BigRational) -> BigRational {
+        a * b
+    }
+
+    fn free(&self, _n: usize) -> BigRational {
+        // Unconstrained facts marginalize out: Σ_worlds Π p = 1.
+        BigRational::one()
+    }
+
+    fn complement(&self, v: &BigRational, _endo: usize) -> BigRational {
+        BigRational::one() - v
+    }
+
+    fn present(&self, f: FactId, endo: bool) -> BigRational {
+        if endo {
+            self.probs.get(f).clone()
+        } else {
+            BigRational::one()
+        }
+    }
+
+    fn absent(&self, f: FactId, endo: bool) -> BigRational {
+        if endo {
+            BigRational::one() - self.probs.get(f)
+        } else {
+            BigRational::zero()
+        }
+    }
+
+    fn try_divide(&self, num: &BigRational, den: &BigRational) -> Option<BigRational> {
+        if den.is_zero() {
+            None
+        } else {
+            Some(num / den)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The generic recursion
+// ---------------------------------------------------------------------
+
+/// The `CntSat` / lifted-inference recursion (Lemma 3.2), generic over
+/// the evaluation domain. Invariant: every fact in `scopes[i]` matches
+/// `atoms[i]`'s pattern, is admitted by the view's mask, and relations
+/// across atoms are distinct.
+pub(crate) fn eval_rec<D: EvalDomain>(
+    dom: &D,
+    view: MaskedDb<'_>,
+    atoms: &[PAtom],
+    scopes: &[Vec<FactId>],
+) -> Result<D::Value, CoreError> {
+    debug_assert_eq!(atoms.len(), scopes.len());
+    let total_endo = scope_endo_count(view, scopes);
+
+    // Case 1: fully ground — fold the per-atom contributions.
+    if atoms.iter().all(|a| !a.has_vars()) {
+        let mut acc = dom.one();
+        for (atom, scope) in atoms.iter().zip(scopes) {
+            debug_assert!(scope.len() <= 1, "ground pattern matches at most one fact");
+            let factor = match (atom.negated, scope.first()) {
+                // A positive atom with no matching fact is unsatisfiable.
+                (false, None) => dom.zero(0),
+                (false, Some(&f)) => dom.present(f, view.is_endo(f)),
+                // A negative atom with no matching fact always holds.
+                (true, None) => continue,
+                (true, Some(&f)) => dom.absent(f, view.is_endo(f)),
+            };
+            acc = dom.combine(&acc, &factor);
+        }
+        return Ok(acc);
+    }
+
+    // Case 2: disconnected components compose over disjoint fact sets.
+    let components = connected_components(atoms);
+    if components.len() > 1 {
+        let mut acc = dom.one();
+        for comp in components {
+            let sub_atoms: Vec<PAtom> = comp.iter().map(|&i| atoms[i].clone()).collect();
+            let sub_scopes: Vec<Vec<FactId>> = comp.iter().map(|&i| scopes[i].clone()).collect();
+            let sub = eval_rec(dom, view, &sub_atoms, &sub_scopes)?;
+            acc = dom.combine(&acc, &sub);
+        }
+        return Ok(acc);
+    }
+
+    // Case 3: connected with variables → decompose over the root
+    // variable; the *unsatisfying* values factor over root groups.
+    let root = find_root_var(atoms).ok_or_else(|| {
+        CoreError::Unsupported(
+            "no root variable in a connected sub-query: the query is not hierarchical".into(),
+        )
+    })?;
+    let candidates = root_candidates(view, root, atoms, scopes)?;
+
+    let mut unsat = dom.one();
+    let mut grouped_endo = 0usize;
+    for &c in &candidates {
+        let sub_atoms: Vec<PAtom> = atoms.iter().map(|a| a.substitute(root, c)).collect();
+        let sub_scopes: Vec<Vec<FactId>> = root_group_scopes(view, root, c, atoms, scopes);
+        let group_endo = scope_endo_count(view, &sub_scopes);
+        grouped_endo += group_endo;
+        let sat_c = eval_rec(dom, view, &sub_atoms, &sub_scopes)?;
+        let unsat_c = dom.complement(&sat_c, group_endo);
+        unsat = dom.combine(&unsat, &unsat_c);
+    }
+    let junk = total_endo - grouped_endo;
+    unsat = dom.combine(&unsat, &dom.free(junk));
+    Ok(dom.complement(&unsat, total_endo))
+}
+
+/// Evaluates a full query under a mask: resolution, the recursion over
+/// the scoped atoms, and the free-fact factor. The generic analogue of
+/// [`crate::satcount::count_sat_hierarchical_masked`] (which is now a
+/// wrapper instantiating this at [`CountingDomain`]).
+pub(crate) fn eval_query_masked<D: EvalDomain>(
+    dom: &D,
+    db: &Database,
+    q: &cqshap_query::ConjunctiveQuery,
+    mask: FactMask,
+) -> Result<D::Value, CoreError> {
+    // Reject dangling ids up front, matching the error behavior of the
+    // materializing oracles.
+    if let Some(f) = mask.target() {
+        if f.index() >= db.fact_count() {
+            return Err(CoreError::Db(cqshap_db::DbError::UnknownFact { id: f.0 }));
+        }
+    }
+    let view = MaskedDb::new(db, mask);
+    let m = mask.endo_count(db);
+    let (atoms, mut scopes) = match resolve_query(db, q)? {
+        ResolvedQuery::Unsatisfiable => return Ok(dom.zero(m)),
+        ResolvedQuery::Atoms { atoms, scopes, .. } => (atoms, scopes),
+    };
+    if atoms.is_empty() {
+        // Every atom was a dropped (vacuous) negation: q is a tautology.
+        return Ok(dom.free(m));
+    }
+    if let FactMask::Removed(f) = mask {
+        for scope in &mut scopes {
+            scope.retain(|&fid| fid != f);
+        }
+    }
+    let scoped_endo = scope_endo_count(view, &scopes);
+    let free_endo = m
+        .checked_sub(scoped_endo)
+        .expect("scoped endogenous facts are disjoint across sjf atoms");
+    let core = eval_rec(dom, view, &atoms, &scopes)?;
+    Ok(dom.combine(&core, &dom.free(free_endo)))
+}
+
+// ---------------------------------------------------------------------
+// Brute-force probability (test oracle / fallback)
+// ---------------------------------------------------------------------
+
+/// `Pr[q]` by explicit enumeration of all `2^|Dn|` worlds, in exact
+/// rational arithmetic. `forced` pins one endogenous fact's bit, so
+/// conditional probabilities `Pr[q | f present/absent]` enumerate half
+/// the worlds. The ground-truth oracle for the lifted path and the
+/// fallback for queries outside the compiled fragment.
+///
+/// # Errors
+///// [`CoreError::TooManyEndogenousFacts`] beyond `limit` world bits.
+pub fn probability_by_enumeration(
+    db: &Database,
+    q: AnyQuery<'_>,
+    probs: &FactProbabilities,
+    forced: Option<(FactId, bool)>,
+    limit: usize,
+) -> Result<BigRational, CoreError> {
+    let m = db.endo_count();
+    let forced = match forced {
+        None => None,
+        Some((f, value)) => {
+            let pos = db
+                .endo_index(f)
+                .ok_or_else(|| CoreError::FactNotEndogenous {
+                    fact: db.render_fact(f),
+                })?;
+            Some((pos, value))
+        }
+    };
+    let bits = m - usize::from(forced.is_some());
+    if bits > limit {
+        return Err(CoreError::TooManyEndogenousFacts { count: bits, limit });
+    }
+    let compiled = q.compile(db);
+    // Per-position presence/absence weights (exogenous facts are
+    // certain and never appear among the world bits).
+    let endo = db.endo_facts();
+    let p_in: Vec<BigRational> = endo.iter().map(|&f| probs.get(f).clone()).collect();
+    let p_out: Vec<BigRational> = p_in.iter().map(|p| BigRational::one() - p).collect();
+    let expand = |e: u64| -> u64 {
+        match forced {
+            None => e,
+            Some((pos, value)) => {
+                let low = e & ((1u64 << pos) - 1);
+                let high = (e >> pos) << (pos + 1);
+                low | high | (u64::from(value) << pos)
+            }
+        }
+    };
+    let mut total = BigRational::zero();
+    let mut world = World::empty(db);
+    for e in 0..(1u64 << bits) {
+        let w = expand(e);
+        world.assign_mask(w);
+        if !compiled.satisfied(db, &world) {
+            continue;
+        }
+        let mut weight = BigRational::one();
+        for (i, (pi, po)) in p_in.iter().zip(&p_out).enumerate() {
+            if let Some((pos, _)) = forced {
+                if i == pos {
+                    continue; // conditioned on, not weighted
+                }
+            }
+            weight = weight * if w >> i & 1 == 1 { pi } else { po };
+            if weight.is_zero() {
+                break;
+            }
+        }
+        total += &weight;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqshap_query::parse_cq;
+
+    fn rat(p: i64, q: i64) -> BigRational {
+        BigRational::from_i64_ratio(p, q)
+    }
+
+    fn university() -> Database {
+        Database::parse(
+            "exo Stud(Adam)\nexo Stud(Ben)\nexo Stud(Caroline)\nexo Stud(David)\n\
+             endo TA(Adam)\nendo TA(Ben)\nendo TA(David)\n\
+             exo Course(OS, EE)\nexo Course(IC, EE)\nexo Course(DB, CS)\nexo Course(AI, CS)\n\
+             endo Reg(Adam, OS)\nendo Reg(Adam, AI)\nendo Reg(Ben, OS)\n\
+             endo Reg(Caroline, DB)\nendo Reg(Caroline, IC)\n\
+             exo Adv(Michael, Adam)\nexo Adv(Michael, Ben)\nexo Adv(Naomi, Caroline)\n\
+             exo Adv(Michael, David)\n",
+        )
+        .unwrap()
+    }
+
+    /// The probability-cycle fixture mirrors `cqshap-probdb`'s tests.
+    fn cycled_probs(db: &Database) -> FactProbabilities {
+        let cycle = [
+            rat(1, 10),
+            rat(3, 10),
+            rat(1, 2),
+            rat(7, 10),
+            rat(9, 10),
+            rat(1, 4),
+            rat(3, 4),
+            rat(3, 5),
+        ];
+        let mut probs = FactProbabilities::uniform(rat(1, 2));
+        for (i, &f) in db.endo_facts().iter().enumerate() {
+            probs.set(f, cycle[i % cycle.len()].clone());
+        }
+        probs
+    }
+
+    #[test]
+    fn counting_instance_matches_hardwired_counter() {
+        let db = university();
+        let dom = CountingDomain::new();
+        for text in [
+            "q() :- Stud(x), !TA(x), Reg(x, y)",
+            "q() :- Reg(x, y)",
+            "q() :- TA('Adam'), !Reg('Ben', 'OS')",
+            "q() :- TA(x), Course(y, 'CS')",
+            "q() :- !TA('Nobody')",
+            "q() :- Ghost(x)",
+        ] {
+            let q = parse_cq(text).unwrap();
+            let generic = eval_query_masked(&dom, &db, &q, FactMask::None).unwrap();
+            let wired = crate::satcount::count_sat_hierarchical(&db, &q).unwrap();
+            assert_eq!(generic, wired, "{text}");
+        }
+    }
+
+    #[test]
+    fn probability_instance_matches_enumeration() {
+        let db = university();
+        let probs = cycled_probs(&db);
+        let dom = ProbabilityDomain::new(probs.clone());
+        for text in [
+            "q() :- Stud(x), !TA(x), Reg(x, y)",
+            "q() :- Reg(x, y)",
+            "q() :- Stud(x), !TA(x)",
+            "q() :- TA('Adam'), !Reg('Ben', 'OS')",
+            "q() :- TA(x), Course(y, 'CS')",
+            "q() :- !TA('Nobody')",
+            "q() :- Ghost(x)",
+            "q() :- !Stud('Adam')",
+        ] {
+            let q = parse_cq(text).unwrap();
+            let lifted = eval_query_masked(&dom, &db, &q, FactMask::None).unwrap();
+            let brute =
+                probability_by_enumeration(&db, AnyQuery::Cq(&q), &probs, None, 26).unwrap();
+            assert_eq!(lifted, brute, "{text}");
+        }
+    }
+
+    #[test]
+    fn masked_probabilities_are_conditionals() {
+        let db = university();
+        let probs = cycled_probs(&db);
+        let dom = ProbabilityDomain::new(probs.clone());
+        let q = parse_cq("q() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        for &f in db.endo_facts() {
+            let plus = eval_query_masked(&dom, &db, &q, FactMask::Exogenous(f)).unwrap();
+            let minus = eval_query_masked(&dom, &db, &q, FactMask::Removed(f)).unwrap();
+            let want_plus =
+                probability_by_enumeration(&db, AnyQuery::Cq(&q), &probs, Some((f, true)), 26)
+                    .unwrap();
+            let want_minus =
+                probability_by_enumeration(&db, AnyQuery::Cq(&q), &probs, Some((f, false)), 26)
+                    .unwrap();
+            assert_eq!(plus, want_plus, "{} present", db.render_fact(f));
+            assert_eq!(minus, want_minus, "{} absent", db.render_fact(f));
+        }
+    }
+
+    #[test]
+    fn tautology_and_unsatisfiable_probabilities() {
+        let db = university();
+        let dom = ProbabilityDomain::new(FactProbabilities::uniform(rat(1, 3)));
+        let taut = parse_cq("q() :- !Ghost('x')").unwrap();
+        assert_eq!(
+            eval_query_masked(&dom, &db, &taut, FactMask::None).unwrap(),
+            BigRational::one()
+        );
+        let unsat = parse_cq("q() :- Ghost(x)").unwrap();
+        assert_eq!(
+            eval_query_masked(&dom, &db, &unsat, FactMask::None).unwrap(),
+            BigRational::zero()
+        );
+    }
+
+    #[test]
+    fn probabilities_validate_range() {
+        assert!(FactProbabilities::is_valid(&rat(1, 2)));
+        assert!(FactProbabilities::is_valid(&BigRational::zero()));
+        assert!(FactProbabilities::is_valid(&BigRational::one()));
+        assert!(!FactProbabilities::is_valid(&rat(3, 2)));
+        assert!(!FactProbabilities::is_valid(&rat(-1, 2)));
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let db = university();
+        let probs = FactProbabilities::uniform(rat(1, 2));
+        let q = parse_cq("q() :- Reg(x, y)").unwrap();
+        assert!(matches!(
+            probability_by_enumeration(&db, AnyQuery::Cq(&q), &probs, None, 4),
+            Err(CoreError::TooManyEndogenousFacts { .. })
+        ));
+    }
+
+    #[test]
+    fn domain_division_supports_factor_swaps() {
+        let cdom = CountingDomain::new();
+        let a = vec![BigUint::one(), BigUint::from_u64(2)];
+        let b = vec![BigUint::one(), BigUint::one(), BigUint::zero()];
+        let prod = cdom.combine(&a, &b);
+        assert_eq!(cdom.try_divide(&prod, &a), Some(b.clone()));
+        assert!(cdom.try_divide(&prod, &cdom.zero(1)).is_none());
+        let pdom = ProbabilityDomain::new(FactProbabilities::uniform(rat(1, 2)));
+        let x = rat(3, 7);
+        let y = rat(2, 5);
+        let prod = pdom.combine(&x, &y);
+        assert_eq!(pdom.try_divide(&prod, &x), Some(y));
+        assert!(pdom.try_divide(&prod, &BigRational::zero()).is_none());
+    }
+
+    #[test]
+    fn push_pop_free_round_trips() {
+        let cdom = CountingDomain::new();
+        let v = vec![BigUint::from_u64(3), BigUint::from_u64(5)];
+        let up = cdom.push_free(&v);
+        assert_eq!(up, cdom.combine(&v, &cdom.free(1)));
+        assert_eq!(cdom.pop_free(&up), Some(v));
+        let pdom = ProbabilityDomain::new(FactProbabilities::uniform(rat(1, 2)));
+        let p = rat(2, 3);
+        assert_eq!(pdom.push_free(&p), p);
+        assert_eq!(pdom.pop_free(&p), Some(p.clone()));
+    }
+}

@@ -34,6 +34,7 @@ pub mod anyquery;
 pub mod approx;
 pub mod compiled;
 pub mod compiled_union;
+pub mod domain;
 pub mod error;
 pub mod exoshap;
 pub mod gap;
@@ -44,8 +45,11 @@ pub mod session;
 pub mod shapley;
 
 pub use anyquery::AnyQuery;
-pub use compiled::{CompiledCount, EngineUpdate};
+pub use compiled::{CompiledCount, CompiledProbability, EngineUpdate};
 pub use compiled_union::CompiledUnionCount;
+pub use domain::{
+    probability_by_enumeration, CountingDomain, EvalDomain, FactProbabilities, ProbabilityDomain,
+};
 pub use error::CoreError;
 pub use exoshap::{rewrite, RewriteOutcome};
 pub use satcount::{

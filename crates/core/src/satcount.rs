@@ -280,22 +280,6 @@ pub(crate) fn resolve_query(
 }
 
 // ---------------------------------------------------------------------
-// Vector helpers
-// ---------------------------------------------------------------------
-
-/// `[C(n,0), …, C(n,n)]`.
-pub(crate) fn binom_vec(n: usize) -> Vec<BigUint> {
-    (0..=n).map(|k| binomial(n, k)).collect()
-}
-
-/// Convolution: `out[k] = Σ_i a[i]·b[k-i]` — composing counts over
-/// disjoint fact sets. Dispatches through [`cqshap_numeric::poly`], so
-/// long operands get Karatsuba / multi-prime NTT transparently.
-pub(crate) fn convolve(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
-    cqshap_numeric::poly::mul(a, b)
-}
-
-// ---------------------------------------------------------------------
 // The hierarchical counter (CntSat, Lemma 3.2)
 // ---------------------------------------------------------------------
 
@@ -342,34 +326,7 @@ pub fn count_sat_hierarchical_masked(
     q: &ConjunctiveQuery,
     mask: FactMask,
 ) -> Result<Vec<BigUint>, CoreError> {
-    // Reject dangling ids up front, matching the error behavior of the
-    // materializing default impl and the brute-force oracle.
-    if let Some(f) = mask.target() {
-        if f.index() >= db.fact_count() {
-            return Err(CoreError::Db(cqshap_db::DbError::UnknownFact { id: f.0 }));
-        }
-    }
-    let view = MaskedDb::new(db, mask);
-    let m = mask.endo_count(db);
-    let (atoms, mut scopes) = match resolve_query(db, q)? {
-        ResolvedQuery::Unsatisfiable => return Ok(vec![BigUint::zero(); m + 1]),
-        ResolvedQuery::Atoms { atoms, scopes, .. } => (atoms, scopes),
-    };
-    if atoms.is_empty() {
-        // Every atom was a dropped (vacuous) negation: q is a tautology.
-        return Ok(binom_vec(m));
-    }
-    if let FactMask::Removed(f) = mask {
-        for scope in &mut scopes {
-            scope.retain(|&fid| fid != f);
-        }
-    }
-    let scoped_endo = scope_endo_count(view, &scopes);
-    let free_endo = m
-        .checked_sub(scoped_endo)
-        .expect("scoped endogenous facts are disjoint across sjf atoms");
-    let core = rec(view, &atoms, &scopes)?;
-    Ok(convolve(&core, &binom_vec(free_endo)))
+    crate::domain::eval_query_masked(&crate::domain::CountingDomain::new(), db, q, mask)
 }
 
 pub(crate) fn scope_endo_count(view: MaskedDb<'_>, scopes: &[Vec<FactId>]) -> usize {
@@ -378,63 +335,6 @@ pub(crate) fn scope_endo_count(view: MaskedDb<'_>, scopes: &[Vec<FactId>]) -> us
         .flatten()
         .filter(|&&f| view.is_endo(f))
         .count()
-}
-
-/// Recursive CntSat. Invariant: every fact in `scopes[i]` matches
-/// `atoms[i]`'s pattern, is admitted by the view's mask, and relations
-/// across atoms are distinct.
-pub(crate) fn rec(
-    view: MaskedDb<'_>,
-    atoms: &[PAtom],
-    scopes: &[Vec<FactId>],
-) -> Result<Vec<BigUint>, CoreError> {
-    debug_assert_eq!(atoms.len(), scopes.len());
-    let total_endo = scope_endo_count(view, scopes);
-
-    // Case 1: fully ground.
-    if atoms.iter().all(|a| !a.has_vars()) {
-        return Ok(base_case(view, atoms, scopes, total_endo));
-    }
-
-    // Case 2: split into connected components (shared variables).
-    let components = connected_components(atoms);
-    if components.len() > 1 {
-        let mut acc = vec![BigUint::one()];
-        for comp in components {
-            let sub_atoms: Vec<PAtom> = comp.iter().map(|&i| atoms[i].clone()).collect();
-            let sub_scopes: Vec<Vec<FactId>> = comp.iter().map(|&i| scopes[i].clone()).collect();
-            let sub = rec(view, &sub_atoms, &sub_scopes)?;
-            acc = convolve(&acc, &sub);
-        }
-        debug_assert_eq!(acc.len(), total_endo + 1);
-        return Ok(acc);
-    }
-
-    // Case 3: connected, at least one variable → root variable exists.
-    let root = find_root_var(atoms).ok_or_else(|| {
-        CoreError::Unsupported(
-            "no root variable in a connected sub-query: the query is not hierarchical".into(),
-        )
-    })?;
-
-    let candidates = root_candidates(view, root, atoms, scopes)?;
-
-    let mut unsat = vec![BigUint::one()];
-    let mut grouped_endo = 0usize;
-    for &c in &candidates {
-        let sub_atoms: Vec<PAtom> = atoms.iter().map(|a| a.substitute(root, c)).collect();
-        let sub_scopes: Vec<Vec<FactId>> = root_group_scopes(view, root, c, atoms, scopes);
-        let group_endo = scope_endo_count(view, &sub_scopes);
-        grouped_endo += group_endo;
-        let sat_c = rec(view, &sub_atoms, &sub_scopes)?;
-        debug_assert_eq!(sat_c.len(), group_endo + 1);
-        let unsat_c = complement_counts(&sat_c, group_endo);
-        unsat = convolve(&unsat, &unsat_c);
-    }
-    let junk = total_endo - grouped_endo;
-    unsat = convolve(&unsat, &binom_vec(junk));
-    debug_assert_eq!(unsat.len(), total_endo + 1);
-    Ok(complement_counts(&unsat, total_endo))
 }
 
 /// `[C(n,k) - v[k]]_k` — flipping between satisfying and unsatisfying
@@ -499,50 +399,6 @@ pub(crate) fn root_group_scopes(
                 .copied()
                 .filter(|&f| atom.value_of(root, view.db.fact(f).tuple.values()) == c)
                 .collect()
-        })
-        .collect()
-}
-
-/// Ground base case (the Lemma 3.2 modification): the subset must
-/// contain every endogenous positive-atom fact, avoid every endogenous
-/// negative-atom fact, and fail outright when a positive fact is absent
-/// or a negative fact is exogenous.
-fn base_case(
-    view: MaskedDb<'_>,
-    atoms: &[PAtom],
-    scopes: &[Vec<FactId>],
-    total_endo: usize,
-) -> Vec<BigUint> {
-    let zeros = || vec![BigUint::zero(); total_endo + 1];
-    let mut required = 0usize;
-    let mut forbidden = 0usize;
-    for (atom, scope) in atoms.iter().zip(scopes) {
-        debug_assert!(scope.len() <= 1, "ground pattern matches at most one fact");
-        match (atom.negated, scope.first()) {
-            (false, None) => return zeros(),
-            (false, Some(&f)) => {
-                if view.is_endo(f) {
-                    required += 1;
-                }
-            }
-            (true, None) => {}
-            (true, Some(&f)) => {
-                if view.is_endo(f) {
-                    forbidden += 1;
-                } else {
-                    return zeros();
-                }
-            }
-        }
-    }
-    let free = total_endo - required - forbidden;
-    (0..=total_endo)
-        .map(|k| {
-            if k < required || k > required + free {
-                BigUint::zero()
-            } else {
-                binomial(free, k - required)
-            }
         })
         .collect()
 }

@@ -63,8 +63,9 @@ use cqshap_query::{classify_with_exo, ConjunctiveQuery, ExactComplexity, UnionQu
 use crate::aggregates::{aggregate_efficiency_target, AggregateEngines, AggregateFunction};
 use crate::anyquery::AnyQuery;
 use crate::approx::{shapley_additive_approx, ApproxShapley, SampleParams};
-use crate::compiled::{CompiledCount, EngineUpdate};
+use crate::compiled::{CompiledCount, CompiledProbability, EngineUpdate};
 use crate::compiled_union::CompiledUnionCount;
+use crate::domain::{probability_by_enumeration, FactProbabilities};
 use crate::error::CoreError;
 use crate::exoshap;
 use crate::satcount::BruteForceCounter;
@@ -121,6 +122,35 @@ enum EngineState {
     Poisoned(String),
 }
 
+/// The lazily built probabilistic state behind a session — the same
+/// compiled structures as [`EngineState`], instantiated at the
+/// probability domain (see [`ShapleySession::probability`]).
+enum ProbState {
+    /// Nothing built yet, or invalidated by an update the engine could
+    /// not absorb / a probability change: the next probabilistic read
+    /// rebuilds through the routing ladder.
+    NotBuilt,
+    /// Hierarchical CQ¬: the compiled probability engine on the session
+    /// database, incrementally maintained across updates.
+    Cq(CompiledProbability),
+    /// `ExoShap` CQ¬: the engine against the rewritten database (the
+    /// rewriting preserves `q(Dx ∪ E)` for every `E ⊆ Dn`, hence the
+    /// whole distribution over worlds).
+    Rewritten {
+        db: Box<Database>,
+        engine: CompiledProbability,
+    },
+    /// The rewriting proved the query always false: `Pr[q] = 0`.
+    AlwaysFalse,
+    /// UCQ¬ through signed inclusion–exclusion probability engines, one
+    /// per satisfiable subset conjunction.
+    Union(Vec<(bool, CompiledProbability)>),
+    /// World enumeration within [`ShapleyOptions::brute_force_limit`].
+    Brute,
+    /// No probabilistic route for this session (e.g. aggregates).
+    Unsupported(String),
+}
+
 /// Update counters of a session.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
@@ -141,6 +171,8 @@ pub struct ShapleySession {
     resolved: Option<ResolvedStrategy>,
     complexity: Option<ExactComplexity>,
     state: EngineState,
+    probs: FactProbabilities,
+    prob: ProbState,
     stats: SessionStats,
 }
 
@@ -286,6 +318,8 @@ impl ShapleySession {
             resolved,
             complexity,
             state,
+            probs: FactProbabilities::uniform(BigRational::from_i64_ratio(1, 2)),
+            prob: ProbState::NotBuilt,
             stats: SessionStats::default(),
         })
     }
@@ -546,6 +580,225 @@ impl ShapleySession {
         }
     }
 
+    /// The per-fact probabilities probabilistic reads evaluate at.
+    /// Endogenous facts without an override use the default probability
+    /// (`1/2` until [`ShapleySession::set_default_probability`] changes
+    /// it); exogenous facts are always present.
+    pub fn probabilities(&self) -> &FactProbabilities {
+        &self.probs
+    }
+
+    /// Sets `f`'s presence probability for probabilistic reads and
+    /// invalidates the cached probability engine (the Shapley state is
+    /// untouched — probabilities never affect Shapley values).
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`;
+    /// [`CoreError::Unsupported`] outside `[0, 1]`.
+    pub fn set_probability(&mut self, f: FactId, p: BigRational) -> Result<(), CoreError> {
+        self.check_endogenous(f)?;
+        check_probability(&p)?;
+        self.probs.set(f, p);
+        self.prob = ProbState::NotBuilt;
+        Ok(())
+    }
+
+    /// Sets the probability used by endogenous facts without an
+    /// override, invalidating the cached probability engine.
+    ///
+    /// # Errors
+    /// [`CoreError::Unsupported`] outside `[0, 1]`.
+    pub fn set_default_probability(&mut self, p: BigRational) -> Result<(), CoreError> {
+        check_probability(&p)?;
+        self.probs.set_default(p);
+        self.prob = ProbState::NotBuilt;
+        Ok(())
+    }
+
+    /// `Pr[q]` when the endogenous facts are independently present with
+    /// the session's probabilities (a tuple-independent probabilistic
+    /// database over `Dn`, with `Dx` certain).
+    ///
+    /// Served from the same compiled resolution/scope/component
+    /// structures as the Shapley paths, instantiated at the probability
+    /// domain and cached across calls; updates applied through the
+    /// session maintain the cache incrementally where the engine
+    /// supports it. Queries outside the compiled fragment route through
+    /// the `ExoShap` rewriting and, failing that, exact world
+    /// enumeration within [`ShapleyOptions::brute_force_limit`].
+    ///
+    /// # Errors
+    /// [`CoreError::Unsupported`] for aggregate sessions;
+    /// [`CoreError::TooManyEndogenousFacts`] when only enumeration
+    /// applies and `|Dn|` exceeds the limit.
+    pub fn probability(&mut self) -> Result<BigRational, CoreError> {
+        self.ensure_prob_state()?;
+        match &self.prob {
+            ProbState::Cq(engine) => Ok(engine.probability().clone()),
+            ProbState::Rewritten { engine, .. } => Ok(engine.probability().clone()),
+            ProbState::AlwaysFalse => Ok(BigRational::zero()),
+            ProbState::Union(terms) => {
+                let mut acc = BigRational::zero();
+                for (negative, engine) in terms {
+                    if *negative {
+                        acc -= engine.probability();
+                    } else {
+                        acc += engine.probability();
+                    }
+                }
+                Ok(acc)
+            }
+            ProbState::Brute => probability_by_enumeration(
+                &self.db,
+                self.spec_query(),
+                &self.probs,
+                None,
+                self.options.brute_force_limit,
+            ),
+            ProbState::Unsupported(reason) => Err(CoreError::Unsupported(reason.clone())),
+            ProbState::NotBuilt => unreachable!("ensured above"),
+        }
+    }
+
+    /// The expected marginal contribution of `f` under the session's
+    /// probabilities: `Pr[q | f present] − Pr[q | f absent]`. This is
+    /// the probabilistic analogue of the Shapley reduction's masked
+    /// difference — and the Shapley value itself when every coalition
+    /// size is weighted by the uniform permutation measure instead.
+    ///
+    /// # Errors
+    /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`, plus everything
+    /// [`ShapleySession::probability`] raises.
+    pub fn expected_shapley(&mut self, f: FactId) -> Result<BigRational, CoreError> {
+        self.check_endogenous(f)?;
+        self.ensure_prob_state()?;
+        match &self.prob {
+            ProbState::Cq(engine) => engine.expected_marginal(&self.db, f),
+            ProbState::Rewritten { db, engine } => engine.expected_marginal(db, f),
+            ProbState::AlwaysFalse => Ok(BigRational::zero()),
+            ProbState::Union(terms) => {
+                // Conditionals obey the same inclusion–exclusion as the
+                // totals, and the difference is linear in them.
+                let mut acc = BigRational::zero();
+                for (negative, engine) in terms {
+                    let marginal = engine.expected_marginal(&self.db, f)?;
+                    if *negative {
+                        acc -= &marginal;
+                    } else {
+                        acc += &marginal;
+                    }
+                }
+                Ok(acc)
+            }
+            ProbState::Brute => {
+                let present = probability_by_enumeration(
+                    &self.db,
+                    self.spec_query(),
+                    &self.probs,
+                    Some((f, true)),
+                    self.options.brute_force_limit,
+                )?;
+                let absent = probability_by_enumeration(
+                    &self.db,
+                    self.spec_query(),
+                    &self.probs,
+                    Some((f, false)),
+                    self.options.brute_force_limit,
+                )?;
+                Ok(present - absent)
+            }
+            ProbState::Unsupported(reason) => Err(CoreError::Unsupported(reason.clone())),
+            ProbState::NotBuilt => unreachable!("ensured above"),
+        }
+    }
+
+    /// The session's query as an [`AnyQuery`] (Boolean specs only).
+    fn spec_query(&self) -> AnyQuery<'_> {
+        match &self.spec {
+            QuerySpec::Cq(q) => AnyQuery::Cq(q),
+            QuerySpec::Union(u) => AnyQuery::Union(u),
+            QuerySpec::Aggregate { .. } => {
+                unreachable!("aggregate specs route to ProbState::Unsupported")
+            }
+        }
+    }
+
+    /// Builds the probability state if no usable one is cached.
+    fn ensure_prob_state(&mut self) -> Result<(), CoreError> {
+        if matches!(self.prob, ProbState::NotBuilt) {
+            self.prob = self.build_prob_state()?;
+        }
+        Ok(())
+    }
+
+    /// The probabilistic routing ladder: the compiled engine on the
+    /// session database, the `ExoShap` rewriting, then exact world
+    /// enumeration. Structural ineligibility falls through; genuine
+    /// evaluation errors propagate.
+    fn build_prob_state(&self) -> Result<ProbState, CoreError> {
+        let threads = self.options.threads;
+        match &self.spec {
+            QuerySpec::Cq(q) => {
+                match CompiledProbability::compile_with_threads(
+                    &self.db,
+                    q,
+                    self.probs.clone(),
+                    threads,
+                ) {
+                    Ok(engine) => return Ok(ProbState::Cq(engine)),
+                    Err(CoreError::NotHierarchical { .. })
+                    | Err(CoreError::NotSelfJoinFree { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+                if let Ok(outcome) = exoshap::rewrite(&self.db, q, self.options.tuple_budget) {
+                    if outcome.always_false {
+                        return Ok(ProbState::AlwaysFalse);
+                    }
+                    if let Ok(engine) = CompiledProbability::compile_with_threads(
+                        &outcome.db,
+                        &outcome.query,
+                        self.probs.clone(),
+                        threads,
+                    ) {
+                        return Ok(ProbState::Rewritten {
+                            db: Box::new(outcome.db),
+                            engine,
+                        });
+                    }
+                }
+                Ok(ProbState::Brute)
+            }
+            QuerySpec::Union(u) => {
+                let Ok(conjunctions) = CompiledUnionCount::subset_conjunctions(u) else {
+                    return Ok(ProbState::Brute);
+                };
+                let mut terms = Vec::with_capacity(conjunctions.len());
+                for (negative, label, q) in conjunctions {
+                    if CompiledUnionCount::check_tractable(&label, &q).is_err() {
+                        return Ok(ProbState::Brute);
+                    }
+                    match CompiledProbability::compile_with_threads(
+                        &self.db,
+                        &q,
+                        self.probs.clone(),
+                        threads,
+                    ) {
+                        Ok(engine) => terms.push((negative, engine)),
+                        Err(CoreError::NotHierarchical { .. })
+                        | Err(CoreError::NotSelfJoinFree { .. }) => return Ok(ProbState::Brute),
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(ProbState::Union(terms))
+            }
+            QuerySpec::Aggregate { .. } => Ok(ProbState::Unsupported(
+                "probabilistic evaluation covers Boolean queries; aggregate sessions serve \
+                 exact Shapley values only"
+                    .into(),
+            )),
+        }
+    }
+
     /// Inserts a fact into the session's database and maintains the
     /// engine. Returns the new fact id.
     ///
@@ -602,6 +855,35 @@ impl ShapleySession {
     /// re-prepare otherwise.
     fn after_update(&mut self, change: EngineUpdate) -> Result<(), CoreError> {
         self.stats.updates += 1;
+        // Maintain the cached probability engine first; states it cannot
+        // absorb degrade to lazily rebuilt (never to stale answers).
+        self.prob = match std::mem::replace(&mut self.prob, ProbState::NotBuilt) {
+            ProbState::Cq(mut engine) => match engine.update(&self.db, change) {
+                Ok(true) => ProbState::Cq(engine),
+                _ => ProbState::NotBuilt,
+            },
+            ProbState::Union(terms) => {
+                let mut kept = Vec::with_capacity(terms.len());
+                let mut all_maintained = true;
+                for (negative, mut engine) in terms {
+                    match engine.update(&self.db, change) {
+                        Ok(true) => kept.push((negative, engine)),
+                        _ => {
+                            all_maintained = false;
+                            break;
+                        }
+                    }
+                }
+                if all_maintained {
+                    ProbState::Union(kept)
+                } else {
+                    ProbState::NotBuilt
+                }
+            }
+            // Rewritten, always-false, and brute states depend on the
+            // database globally: rebuild on demand.
+            _ => ProbState::NotBuilt,
+        };
         let maintained = match &mut self.state {
             EngineState::CqCompiled(engine) => engine.update(&self.db, change),
             EngineState::UnionCompiled(engine) => engine.update(&self.db, change),
@@ -643,6 +925,17 @@ impl ShapleySession {
             }
         }
     }
+}
+
+/// Probabilities live in `[0, 1]`; sessions reject instead of panicking
+/// like [`FactProbabilities::set`] does.
+fn check_probability(p: &BigRational) -> Result<(), CoreError> {
+    if p.is_negative() || p > &BigRational::one() {
+        return Err(CoreError::Unsupported(format!(
+            "probability {p} is outside [0, 1]"
+        )));
+    }
+    Ok(())
 }
 
 /// The signed numerator sum of the `ExoShap` union terms for one fact
@@ -911,6 +1204,163 @@ mod tests {
         let ids: Vec<FactId> = session.database().fact_ids().collect();
         session.retract_fact(ids[ids.len() - 1]).unwrap();
         assert!(session.value(f).is_ok());
+    }
+
+    fn rat(p: i64, q: i64) -> BigRational {
+        BigRational::from_i64_ratio(p, q)
+    }
+
+    #[test]
+    fn session_probability_matches_enumeration() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &ShapleyOptions::auto()).unwrap();
+        let adam = db.find_fact("TA", &["Adam"]).unwrap();
+        session.set_probability(adam, rat(1, 10)).unwrap();
+        session.set_default_probability(rat(2, 5)).unwrap();
+        let want =
+            probability_by_enumeration(&db, AnyQuery::Cq(&q1), session.probabilities(), None, 26)
+                .unwrap();
+        assert_eq!(session.probability().unwrap(), want);
+        // Expected marginals agree with forced enumeration too.
+        for &f in db.endo_facts() {
+            let present = probability_by_enumeration(
+                &db,
+                AnyQuery::Cq(&q1),
+                session.probabilities(),
+                Some((f, true)),
+                26,
+            )
+            .unwrap();
+            let absent = probability_by_enumeration(
+                &db,
+                AnyQuery::Cq(&q1),
+                session.probabilities(),
+                Some((f, false)),
+                26,
+            )
+            .unwrap();
+            assert_eq!(
+                session.expected_shapley(f).unwrap(),
+                present - absent,
+                "{}",
+                db.render_fact(f)
+            );
+        }
+    }
+
+    #[test]
+    fn union_session_probability_matches_enumeration() {
+        let db = Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\nendo Reg(a, c1)\nendo Reg(b, c2)\n\
+             exo Lab(l1)\nendo Asst(l1, a)\nendo Closed(l1)\n",
+        )
+        .unwrap();
+        let u = parse_ucq(
+            "q1() :- Stud(x), !TA(x), Reg(x, y)\n\
+             q2() :- Lab(l), Asst(l, a), !Closed(l)\n",
+        )
+        .unwrap();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Union(&u), &ShapleyOptions::auto()).unwrap();
+        session.set_default_probability(rat(3, 10)).unwrap();
+        let want =
+            probability_by_enumeration(&db, AnyQuery::Union(&u), session.probabilities(), None, 26)
+                .unwrap();
+        assert_eq!(session.probability().unwrap(), want);
+        let asst = db.find_fact("Asst", &["l1", "a"]).unwrap();
+        let present = probability_by_enumeration(
+            &db,
+            AnyQuery::Union(&u),
+            session.probabilities(),
+            Some((asst, true)),
+            26,
+        )
+        .unwrap();
+        let absent = probability_by_enumeration(
+            &db,
+            AnyQuery::Union(&u),
+            session.probabilities(),
+            Some((asst, false)),
+            26,
+        )
+        .unwrap();
+        assert_eq!(session.expected_shapley(asst).unwrap(), present - absent);
+    }
+
+    #[test]
+    fn session_probability_survives_updates() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &ShapleyOptions::auto()).unwrap();
+        session.set_default_probability(rat(1, 4)).unwrap();
+        let _ = session.probability().unwrap();
+        // Drive the same update mix the Shapley maintenance tests use
+        // and pin the maintained probability against a fresh prepare.
+        let f = session
+            .insert_fact("Reg", &["Ben", "AI"], Provenance::Endogenous)
+            .unwrap();
+        let ben = session.database().find_fact("TA", &["Ben"]).unwrap();
+        session.set_exogenous(ben, true).unwrap();
+        session.retract_fact(f).unwrap();
+        session.set_exogenous(ben, false).unwrap();
+        let got = session.probability().unwrap();
+        let mut fresh = ShapleySession::prepare(
+            session.database(),
+            AnyQuery::Cq(&q1),
+            &ShapleyOptions::auto(),
+        )
+        .unwrap();
+        fresh.set_default_probability(rat(1, 4)).unwrap();
+        assert_eq!(got, fresh.probability().unwrap());
+        for &f in session.database().endo_facts().to_vec().iter() {
+            assert_eq!(
+                session.expected_shapley(f).unwrap(),
+                fresh.expected_shapley(f).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn non_hierarchical_session_probability_routes_to_enumeration() {
+        // A self-join leaves the compiled fragment and ExoShap: the
+        // ladder lands on exact enumeration.
+        let db = Database::parse("endo R(a, b)\nendo R(b, a)\nendo R(a, c)\n").unwrap();
+        let q = parse_cq("q() :- R(x, y), R(y, x)").unwrap();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q), &ShapleyOptions::auto()).unwrap();
+        let want =
+            probability_by_enumeration(&db, AnyQuery::Cq(&q), session.probabilities(), None, 26)
+                .unwrap();
+        assert_eq!(session.probability().unwrap(), want);
+    }
+
+    #[test]
+    fn probability_rejects_bad_inputs() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &ShapleyOptions::auto()).unwrap();
+        assert!(session.set_default_probability(rat(3, 2)).is_err());
+        assert!(session.set_default_probability(rat(-1, 2)).is_err());
+        let stud = db.find_fact("Stud", &["Adam"]).unwrap();
+        assert!(matches!(
+            session.set_probability(stud, rat(1, 2)),
+            Err(CoreError::FactNotEndogenous { .. })
+        ));
+        // Aggregate sessions have no probabilistic semantics.
+        let qa = parse_cq("q(y) :- Reg(x, y)").unwrap();
+        let mut agg = ShapleySession::prepare_aggregate(
+            &db,
+            &qa,
+            AggregateFunction::Count,
+            &ShapleyOptions::auto(),
+        )
+        .unwrap();
+        assert!(matches!(agg.probability(), Err(CoreError::Unsupported(_))));
     }
 
     #[test]

@@ -152,6 +152,44 @@ impl BigRational {
         }
     }
 
+    /// The *exact* rational value of a finite `f64`.
+    ///
+    /// Every finite double is a dyadic rational `±mantissa · 2^exp`, so
+    /// the conversion is lossless: `from_f64(v).unwrap().to_f64() == v`.
+    /// Returns `None` for NaN and the infinities. This is the bridge
+    /// between user-facing `f64` probabilities and the exact
+    /// [`BigRational`] arithmetic of the probability evaluation domain.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Self::zero());
+        }
+        let bits = v.to_bits();
+        let negative = bits >> 63 == 1;
+        let exp_bits = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // IEEE 754 binary64: normal values carry an implicit leading
+        // bit; subnormals do not and share the minimum exponent.
+        let (mantissa, exp) = if exp_bits == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        let mag = BigUint::from_u64(mantissa);
+        let (num_mag, den) = if exp >= 0 {
+            (&mag << exp as usize, BigUint::one())
+        } else {
+            (mag, BigUint::one() << (-exp) as usize)
+        };
+        let sign = if negative { Sign::Minus } else { Sign::Plus };
+        Some(Self::from_parts(
+            BigInt::from_sign_magnitude(sign, num_mag),
+            den,
+        ))
+    }
+
     /// Nearest `f64`.
     pub fn to_f64(&self) -> f64 {
         if self.is_zero() {
@@ -436,6 +474,31 @@ mod tests {
         );
         let approx = v.to_f64();
         assert!(approx > 0.0 && approx < 2f64.powi(-120), "{approx}");
+    }
+
+    #[test]
+    fn from_f64_is_exact() {
+        assert_eq!(BigRational::from_f64(0.0), Some(BigRational::zero()));
+        assert_eq!(BigRational::from_f64(1.0), Some(BigRational::one()));
+        assert_eq!(BigRational::from_f64(0.5), Some(rat(1, 2)));
+        assert_eq!(BigRational::from_f64(-0.75), Some(rat(-3, 4)));
+        assert_eq!(BigRational::from_f64(3.0), Some(rat(3, 1)));
+        assert_eq!(BigRational::from_f64(f64::NAN), None);
+        assert_eq!(BigRational::from_f64(f64::INFINITY), None);
+        // Round-trips exactly, including non-dyadic-looking literals
+        // (0.1 is really 3602879701896397/2^55) and extreme magnitudes.
+        for v in [
+            0.1,
+            0.3,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            123456.789,
+        ] {
+            let r = BigRational::from_f64(v).unwrap();
+            assert_eq!(r.to_f64(), v, "{v}");
+        }
     }
 
     #[test]

@@ -7,38 +7,50 @@
 //! polynomial exactly when the query has no non-hierarchical path, via
 //! the same `ExoShap` rewriting used for Shapley values.
 //!
+//! Evaluation routes through [`cqshap_core::CompiledProbability`] — the
+//! compiled engine's resolution/scope/component/root-group pipeline
+//! instantiated at the probability domain — so probabilistic inference
+//! and Shapley counting share one compiled structure. The crate's
+//! original hand-rolled traversal survives only as the reference oracle
+//! in [`lifted`]. Arithmetic is exact rational throughout; the `f64`
+//! methods are thin conversion shims over the exact ones.
+//!
 //! This crate provides:
 //!
 //! * [`ProbDatabase`] — a [`Database`] whose endogenous facts carry
 //!   marginal probabilities (exogenous facts are deterministic);
-//! * [`ProbDatabase::query_probability`] — lifted inference for
-//!   hierarchical self-join-free CQ¬s, mirroring the structure of the
-//!   `CntSat` recursion (independent products over components and root
-//!   values);
+//! * [`ProbDatabase::query_probability`] /
+//!   [`ProbDatabase::query_probability_exact`] — lifted inference for
+//!   hierarchical self-join-free CQ¬s through the compiled engine;
 //! * [`ProbDatabase::query_probability_with_rewriting`] — the Theorem
-//!   4.10 pipeline: `ExoShap`-rewrite, then lifted inference;
+//!   4.10 pipeline: `ExoShap`-rewrite, then compiled inference;
 //! * [`ProbDatabase::query_probability_enumerated`] — explicit
 //!   possible-world enumeration, the ground truth for tests.
 
-use cqshap_core::{exoshap, CoreError};
-use cqshap_db::{Database, FactId, World};
-use cqshap_engine::{satisfies_compiled, CompiledQuery};
-use cqshap_query::{has_self_join, is_hierarchical, ConjunctiveQuery, Term};
+use cqshap_core::{
+    exoshap, probability_by_enumeration, AnyQuery, CompiledProbability, CoreError,
+    FactProbabilities,
+};
+use cqshap_db::{Database, FactId};
+use cqshap_numeric::BigRational;
+use cqshap_query::ConjunctiveQuery;
 
-mod lifted;
-
-use crate::lifted::{LiftedAtom, LiftedTerm};
+pub mod lifted;
 
 /// A tuple-independent probabilistic database.
 ///
 /// Endogenous facts of the wrapped [`Database`] are probabilistic;
 /// exogenous facts (and hence all facts of declared exogenous relations)
-/// are deterministic with probability 1.
+/// are deterministic with probability 1. Probabilities are stored as
+/// exact rationals — the `f64` accessors convert losslessly on the way
+/// in ([`cqshap_numeric::BigRational::from_f64`] is exact for every
+/// finite double) and round only on the way out.
 #[derive(Debug, Clone)]
 pub struct ProbDatabase {
     db: Database,
-    /// Probability per fact id; exogenous entries are fixed at 1.
-    probs: Vec<f64>,
+    /// Per-fact probabilities of the endogenous facts (exogenous facts
+    /// never consult this — they are deterministic by provenance).
+    probs: FactProbabilities,
 }
 
 impl ProbDatabase {
@@ -47,17 +59,17 @@ impl ProbDatabase {
     /// # Panics
     /// Panics unless `0.0 <= default_p <= 1.0`.
     pub fn new(db: Database, default_p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&default_p), "probability out of range");
-        let probs = db
-            .fact_ids()
-            .map(|f| {
-                if db.fact(f).provenance.is_endogenous() {
-                    default_p
-                } else {
-                    1.0
-                }
-            })
-            .collect();
+        let default = BigRational::from_f64(default_p)
+            .filter(FactProbabilities::is_valid)
+            .expect("probability out of range");
+        ProbDatabase {
+            db,
+            probs: FactProbabilities::uniform(default),
+        }
+    }
+
+    /// Wraps `db` with explicit exact probabilities.
+    pub fn with_probabilities(db: Database, probs: FactProbabilities) -> Self {
         ProbDatabase { db, probs }
     }
 
@@ -66,18 +78,45 @@ impl ProbDatabase {
         &self.db
     }
 
-    /// The probability of fact `f`.
-    pub fn prob(&self, f: FactId) -> f64 {
-        self.probs[f.index()]
+    /// The exact per-fact probabilities (endogenous facts only — see
+    /// [`ProbDatabase::prob`] for the provenance-aware view).
+    pub fn probabilities(&self) -> &FactProbabilities {
+        &self.probs
     }
 
-    /// Sets the probability of an endogenous fact.
+    /// The probability of fact `f`, rounded to `f64`.
+    pub fn prob(&self, f: FactId) -> f64 {
+        self.prob_exact(f).to_f64()
+    }
+
+    /// The exact probability of fact `f` (1 for deterministic facts).
+    pub fn prob_exact(&self, f: FactId) -> BigRational {
+        if self.db.endo_index(f).is_some() {
+            self.probs.get(f).clone()
+        } else {
+            BigRational::one()
+        }
+    }
+
+    /// Sets the probability of an endogenous fact (exact dyadic
+    /// conversion of `p`).
     ///
     /// # Errors
     /// [`CoreError::FactNotEndogenous`] for deterministic facts;
     /// [`CoreError::Unsupported`] for out-of-range probabilities.
     pub fn set_prob(&mut self, f: FactId, p: f64) -> Result<(), CoreError> {
-        if !(0.0..=1.0).contains(&p) {
+        let exact = BigRational::from_f64(p).ok_or_else(|| {
+            CoreError::Unsupported(format!("probability {p} is not a finite number"))
+        })?;
+        self.set_prob_exact(f, exact)
+    }
+
+    /// Sets the exact probability of an endogenous fact.
+    ///
+    /// # Errors
+    /// As [`ProbDatabase::set_prob`].
+    pub fn set_prob_exact(&mut self, f: FactId, p: BigRational) -> Result<(), CoreError> {
+        if !FactProbabilities::is_valid(&p) {
             return Err(CoreError::Unsupported(format!(
                 "probability {p} out of [0,1]"
             )));
@@ -87,76 +126,33 @@ impl ProbDatabase {
                 fact: self.db.render_fact(f),
             });
         }
-        self.probs[f.index()] = p;
+        self.probs.set(f, p);
         Ok(())
     }
 
     /// `Pr[D ⊨ q]` by lifted inference — polynomial time, for
     /// hierarchical self-join-free CQ¬s (Fink & Olteanu's tractable
-    /// class, extended to CQ¬ exactly as in Lemma 3.2).
+    /// class, extended to CQ¬ exactly as in Lemma 3.2). Runs through the
+    /// compiled engine shared with Shapley counting.
     ///
     /// # Errors
     /// [`CoreError::NotHierarchical`] / [`CoreError::NotSelfJoinFree`].
     pub fn query_probability(&self, q: &ConjunctiveQuery) -> Result<f64, CoreError> {
-        if has_self_join(q) {
-            return Err(CoreError::NotSelfJoinFree {
-                query: q.to_string(),
-            });
-        }
-        if !is_hierarchical(q) {
-            return Err(CoreError::NotHierarchical {
-                query: q.to_string(),
-            });
-        }
-        let mut atoms: Vec<LiftedAtom> = Vec::new();
-        let mut scopes: Vec<Vec<FactId>> = Vec::new();
-        for atom in q.atoms() {
-            let rel = self.db.schema().id(&atom.relation);
-            let mut unknown = false;
-            let terms: Vec<LiftedTerm> = atom
-                .terms
-                .iter()
-                .map(|t| match t {
-                    Term::Var(v) => LiftedTerm::Var(v.0),
-                    Term::Const(name) => match self.db.interner().get(name) {
-                        Some(c) => LiftedTerm::Const(c),
-                        None => {
-                            unknown = true;
-                            LiftedTerm::Var(u32::MAX)
-                        }
-                    },
-                })
-                .collect();
-            if rel.is_none() || unknown {
-                if atom.negated {
-                    continue; // the negated fact can never exist
-                }
-                return Ok(0.0); // unsatisfiable positive atom
-            }
-            let a = LiftedAtom {
-                negated: atom.negated,
-                terms,
-            };
-            let rel = rel.expect("checked");
-            let scope: Vec<FactId> = self
-                .db
-                .relation_facts(rel)
-                .iter()
-                .copied()
-                .filter(|&f| a.matches(self.db.fact(f).tuple.values()))
-                .collect();
-            atoms.push(a);
-            scopes.push(scope);
-        }
-        if atoms.is_empty() {
-            return Ok(1.0); // all atoms were vacuous negations
-        }
-        Ok(lifted::probability(&self.db, &self.probs, &atoms, &scopes))
+        Ok(self.query_probability_exact(q)?.to_f64())
+    }
+
+    /// [`ProbDatabase::query_probability`] in exact rational arithmetic.
+    ///
+    /// # Errors
+    /// As [`ProbDatabase::query_probability`].
+    pub fn query_probability_exact(&self, q: &ConjunctiveQuery) -> Result<BigRational, CoreError> {
+        let engine = CompiledProbability::compile(&self.db, q, self.probs.clone())?;
+        Ok(engine.probability().clone())
     }
 
     /// `Pr[D ⊨ q]` under Theorem 4.10: rewrite away the deterministic
-    /// relations (`ExoShap`), then run lifted inference on the resulting
-    /// hierarchical query. Applicable whenever `q` has no
+    /// relations (`ExoShap`), then run compiled inference on the
+    /// resulting hierarchical query. Applicable whenever `q` has no
     /// non-hierarchical path with respect to the declared exogenous
     /// (deterministic) relations.
     pub fn query_probability_with_rewriting(
@@ -164,20 +160,30 @@ impl ProbDatabase {
         q: &ConjunctiveQuery,
         tuple_budget: usize,
     ) -> Result<f64, CoreError> {
+        Ok(self
+            .query_probability_with_rewriting_exact(q, tuple_budget)?
+            .to_f64())
+    }
+
+    /// [`ProbDatabase::query_probability_with_rewriting`] in exact
+    /// rational arithmetic.
+    ///
+    /// # Errors
+    /// As [`ProbDatabase::query_probability_with_rewriting`].
+    pub fn query_probability_with_rewriting_exact(
+        &self,
+        q: &ConjunctiveQuery,
+        tuple_budget: usize,
+    ) -> Result<BigRational, CoreError> {
         let outcome = exoshap::rewrite(&self.db, q, tuple_budget)?;
         if outcome.always_false {
-            return Ok(0.0);
+            return Ok(BigRational::zero());
         }
-        // Fact ids are preserved by the rewriting; fresh facts are
-        // exogenous (deterministic), so extending the probability vector
-        // with 1s is exact.
-        let mut probs = self.probs.clone();
-        probs.resize(outcome.db.fact_count(), 1.0);
-        let rewritten = ProbDatabase {
-            db: outcome.db,
-            probs,
-        };
-        rewritten.query_probability(&outcome.query)
+        // Fact ids are preserved by the rewriting, and every fresh fact
+        // is exogenous (deterministic), so the probability assignment
+        // carries over unchanged: the endogenous set is the same.
+        let engine = CompiledProbability::compile(&outcome.db, &outcome.query, self.probs.clone())?;
+        Ok(engine.probability().clone())
     }
 
     /// `Pr[D ⊨ q]` by explicit possible-world enumeration over the
@@ -191,47 +197,20 @@ impl ProbDatabase {
         q: &ConjunctiveQuery,
         limit: usize,
     ) -> Result<f64, CoreError> {
-        let uncertain: Vec<FactId> = self
-            .db
-            .endo_facts()
-            .iter()
-            .copied()
-            .filter(|&f| self.prob(f) < 1.0)
-            .collect();
-        if uncertain.len() > limit {
-            return Err(CoreError::TooManyEndogenousFacts {
-                count: uncertain.len(),
-                limit,
-            });
-        }
-        let certain: Vec<FactId> = self
-            .db
-            .endo_facts()
-            .iter()
-            .copied()
-            .filter(|&f| self.prob(f) >= 1.0)
-            .collect();
-        let compiled = CompiledQuery::compile(&self.db, q);
-        let mut total = 0.0f64;
-        for mask in 0u64..(1u64 << uncertain.len()) {
-            let mut world = World::empty(&self.db);
-            for &f in &certain {
-                world.insert(&self.db, f);
-            }
-            let mut weight = 1.0f64;
-            for (bit, &f) in uncertain.iter().enumerate() {
-                if mask & (1 << bit) != 0 {
-                    world.insert(&self.db, f);
-                    weight *= self.prob(f);
-                } else {
-                    weight *= 1.0 - self.prob(f);
-                }
-            }
-            if weight > 0.0 && satisfies_compiled(&self.db, &world, &compiled) {
-                total += weight;
-            }
-        }
-        Ok(total)
+        Ok(self.query_probability_enumerated_exact(q, limit)?.to_f64())
+    }
+
+    /// [`ProbDatabase::query_probability_enumerated`] in exact rational
+    /// arithmetic.
+    ///
+    /// # Errors
+    /// As [`ProbDatabase::query_probability_enumerated`].
+    pub fn query_probability_enumerated_exact(
+        &self,
+        q: &ConjunctiveQuery,
+        limit: usize,
+    ) -> Result<BigRational, CoreError> {
+        probability_by_enumeration(&self.db, AnyQuery::Cq(q), &self.probs, None, limit)
     }
 }
 
@@ -284,12 +263,13 @@ mod tests {
             "q() :- TA(x), Course(y, 'CS')",
         ] {
             let q = cqshap_query::parse_cq(text).unwrap();
-            let fast = pdb.query_probability(&q).unwrap();
-            let slow = pdb.query_probability_enumerated(&q, 20).unwrap();
-            assert!(
-                close(fast, slow),
-                "{text}: lifted {fast} vs enumerated {slow}"
-            );
+            // Unified path ≡ enumeration ≡ seed oracle, bit-identically.
+            let fast = pdb.query_probability_exact(&q).unwrap();
+            let slow = pdb.query_probability_enumerated_exact(&q, 20).unwrap();
+            assert_eq!(fast, slow, "{text}: unified vs enumerated");
+            let oracle =
+                lifted::oracle_probability(pdb.database(), pdb.probabilities(), &q).unwrap();
+            assert_eq!(fast, oracle, "{text}: unified vs seed oracle");
         }
     }
 
@@ -307,9 +287,9 @@ mod tests {
         // Reg(Caroline, DB) certain and Caroline is never a TA → P = 1.
         assert!(close(pdb.query_probability(&q).unwrap(), 1.0));
         let q2 = cqshap_query::parse_cq("q() :- TA(x), Reg(x, 'AI')").unwrap();
-        let fast = pdb.query_probability(&q2).unwrap();
-        let slow = pdb.query_probability_enumerated(&q2, 20).unwrap();
-        assert!(close(fast, slow));
+        let fast = pdb.query_probability_exact(&q2).unwrap();
+        let slow = pdb.query_probability_enumerated_exact(&q2, 20).unwrap();
+        assert_eq!(fast, slow);
     }
 
     #[test]
@@ -366,6 +346,8 @@ mod tests {
         assert!(pdb.set_prob(ta, 0.25).is_ok());
         assert!(close(pdb.prob(ta), 0.25));
         assert!(close(pdb.prob(exo), 1.0));
+        // f64 probabilities convert exactly: 0.25 is dyadic.
+        assert_eq!(pdb.prob_exact(ta), BigRational::from_i64_ratio(1, 4));
     }
 
     #[test]
@@ -375,5 +357,13 @@ mod tests {
         assert!(close(pdb.query_probability(&q).unwrap(), 0.0));
         let q2 = cqshap_query::parse_cq("q() :- !Ghost('a')").unwrap();
         assert!(close(pdb.query_probability(&q2).unwrap(), 1.0));
+        // The seed oracle agrees on the degenerate shapes too.
+        for text in ["q() :- Ghost(x)", "q() :- !Ghost('a')"] {
+            let q = cqshap_query::parse_cq(text).unwrap();
+            assert_eq!(
+                pdb.query_probability_exact(&q).unwrap(),
+                lifted::oracle_probability(pdb.database(), pdb.probabilities(), &q).unwrap(),
+            );
+        }
     }
 }

@@ -1,11 +1,21 @@
-//! Lifted inference for hierarchical self-join-free CQ¬s.
+//! The seed lifted-inference traversal, retained as a reference oracle.
 //!
-//! The recursion mirrors `CntSat` (Lemma 3.2), with probabilities in
-//! place of counts: independence of tuple events makes component
-//! probabilities multiply, and the disjunction over root-variable values
-//! becomes `1 − Π (1 − P_c)` over disjoint fact groups.
+//! Production evaluation routes through
+//! [`cqshap_core::CompiledProbability`] — the compiled
+//! resolution/scope/component/root-group pipeline instantiated at the
+//! probability domain — so this module no longer backs
+//! [`crate::ProbDatabase::query_probability`]. It survives as an
+//! *independent implementation of the same recursion* (`CntSat` with
+//! probabilities in place of counts: component probabilities multiply,
+//! the disjunction over root values becomes `1 − Π (1 − P_c)`), used by
+//! the proptests to pin the unified path and by the bench harness as the
+//! uncompiled baseline. Arithmetic is exact [`BigRational`], so oracle
+//! comparisons are bit-identical, not epsilon-close.
 
+use cqshap_core::{CoreError, FactProbabilities};
 use cqshap_db::{ConstId, Database, FactId};
+use cqshap_numeric::BigRational;
+use cqshap_query::{has_self_join, is_hierarchical, ConjunctiveQuery, Term};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum LiftedTerm {
@@ -87,23 +97,108 @@ impl LiftedAtom {
     }
 }
 
+/// `Pr[D ⊨ q]` by the seed traversal: atom resolution against the
+/// database, then the uncompiled lifted-inference recursion. Exogenous
+/// facts are deterministic; endogenous facts draw from `probs`.
+///
+/// # Errors
+/// [`CoreError::NotSelfJoinFree`] / [`CoreError::NotHierarchical`] when
+/// the structural preconditions fail, exactly like the compiled path.
+pub fn oracle_probability(
+    db: &Database,
+    probs: &FactProbabilities,
+    q: &ConjunctiveQuery,
+) -> Result<BigRational, CoreError> {
+    if has_self_join(q) {
+        return Err(CoreError::NotSelfJoinFree {
+            query: q.to_string(),
+        });
+    }
+    if !is_hierarchical(q) {
+        return Err(CoreError::NotHierarchical {
+            query: q.to_string(),
+        });
+    }
+    let mut atoms: Vec<LiftedAtom> = Vec::new();
+    let mut scopes: Vec<Vec<FactId>> = Vec::new();
+    for atom in q.atoms() {
+        let rel = db.schema().id(&atom.relation);
+        let mut unknown = false;
+        let terms: Vec<LiftedTerm> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => LiftedTerm::Var(v.0),
+                Term::Const(name) => match db.interner().get(name) {
+                    Some(c) => LiftedTerm::Const(c),
+                    None => {
+                        unknown = true;
+                        LiftedTerm::Var(u32::MAX)
+                    }
+                },
+            })
+            .collect();
+        if rel.is_none() || unknown {
+            if atom.negated {
+                continue; // the negated fact can never exist
+            }
+            return Ok(BigRational::zero()); // unsatisfiable positive atom
+        }
+        let a = LiftedAtom {
+            negated: atom.negated,
+            terms,
+        };
+        let rel = rel.expect("checked");
+        let scope: Vec<FactId> = db
+            .relation_facts(rel)
+            .iter()
+            .copied()
+            .filter(|&f| a.matches(db.fact(f).tuple.values()))
+            .collect();
+        atoms.push(a);
+        scopes.push(scope);
+    }
+    if atoms.is_empty() {
+        return Ok(BigRational::one()); // all atoms were vacuous negations
+    }
+    // Dense per-fact presence probabilities (deterministic facts at 1).
+    let dense: Vec<BigRational> = db
+        .fact_ids()
+        .map(|f| {
+            if db.endo_index(f).is_some() {
+                probs.get(f).clone()
+            } else {
+                BigRational::one()
+            }
+        })
+        .collect();
+    Ok(probability(db, &dense, &atoms, &scopes))
+}
+
 /// `Pr[q satisfied]` for pattern-filtered scopes (every fact in
 /// `scopes[i]` matches `atoms[i]`).
-pub(crate) fn probability(
+fn probability(
     db: &Database,
-    probs: &[f64],
+    probs: &[BigRational],
     atoms: &[LiftedAtom],
     scopes: &[Vec<FactId>],
-) -> f64 {
+) -> BigRational {
     // Ground base case.
     if atoms.iter().all(|a| !a.has_vars()) {
-        let mut p = 1.0f64;
+        let mut p = BigRational::one();
         for (atom, scope) in atoms.iter().zip(scopes) {
             debug_assert!(scope.len() <= 1);
-            let present = scope.first().map_or(0.0, |&f| probs[f.index()]);
-            p *= if atom.negated { 1.0 - present } else { present };
-            if p == 0.0 {
-                return 0.0;
+            let present = scope
+                .first()
+                .map_or(BigRational::zero(), |&f| probs[f.index()].clone());
+            let factor = if atom.negated {
+                BigRational::one() - &present
+            } else {
+                present
+            };
+            p = p * &factor;
+            if p.is_zero() {
+                return p;
             }
         }
         return p;
@@ -112,13 +207,13 @@ pub(crate) fn probability(
     // Disconnected components multiply.
     let comps = components(atoms);
     if comps.len() > 1 {
-        let mut p = 1.0f64;
+        let mut p = BigRational::one();
         for comp in comps {
             let sub_atoms: Vec<LiftedAtom> = comp.iter().map(|&i| atoms[i].clone()).collect();
             let sub_scopes: Vec<Vec<FactId>> = comp.iter().map(|&i| scopes[i].clone()).collect();
-            p *= probability(db, probs, &sub_atoms, &sub_scopes);
-            if p == 0.0 {
-                return 0.0;
+            p = p * &probability(db, probs, &sub_atoms, &sub_scopes);
+            if p.is_zero() {
+                return p;
             }
         }
         return p;
@@ -146,7 +241,7 @@ pub(crate) fn probability(
         });
     }
     let candidates = candidates.expect("connected sub-query has a positive atom");
-    let mut p_unsat = 1.0f64;
+    let mut p_unsat = BigRational::one();
     for c in candidates {
         let sub_atoms: Vec<LiftedAtom> = atoms.iter().map(|a| a.substitute(root, c)).collect();
         let sub_scopes: Vec<Vec<FactId>> = atoms
@@ -161,12 +256,12 @@ pub(crate) fn probability(
             })
             .collect();
         let p_c = probability(db, probs, &sub_atoms, &sub_scopes);
-        p_unsat *= 1.0 - p_c;
-        if p_unsat == 0.0 {
-            return 1.0;
+        p_unsat = p_unsat * &(BigRational::one() - &p_c);
+        if p_unsat.is_zero() {
+            return BigRational::one();
         }
     }
-    1.0 - p_unsat
+    BigRational::one() - &p_unsat
 }
 
 fn components(atoms: &[LiftedAtom]) -> Vec<Vec<usize>> {

@@ -73,16 +73,17 @@ pub mod prelude {
         aggregates::{aggregate_report, aggregate_shapley, aggregate_value, AggregateFunction},
         approx::{required_samples, shapley_additive_approx, shapley_sampled, SampleParams},
         gap::{build_gap_family, expected_gap_value, section_5_1_example},
+        probability_by_enumeration,
         relevance::{
             brute_force_relevance, is_negatively_relevant, is_positively_relevant, is_relevant,
             shapley_is_zero,
         },
         rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact,
         shapley_report_union, shapley_report_union_per_fact, shapley_value, shapley_value_union,
-        shapley_via_counts, AnyQuery, BruteForceCounter, CompiledCount, CompiledUnionCount,
-        CoreError, EngineUpdate, HierarchicalCounter, ReportStats, ResolvedStrategy,
-        SatCountOracle, SessionStats, ShapleyEntry, ShapleyOptions, ShapleyReport, ShapleySession,
-        Strategy,
+        shapley_via_counts, AnyQuery, BruteForceCounter, CompiledCount, CompiledProbability,
+        CompiledUnionCount, CoreError, EngineUpdate, FactProbabilities, HierarchicalCounter,
+        ReportStats, ResolvedStrategy, SatCountOracle, SessionStats, ShapleyEntry, ShapleyOptions,
+        ShapleyReport, ShapleySession, Strategy,
     };
     pub use cqshap_db::{Database, FactId, FactMask, Provenance, World};
     pub use cqshap_numeric::{BigInt, BigRational, BigUint};

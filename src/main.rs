@@ -4,6 +4,7 @@
 //! cqshap classify  "q() :- R(x), S(x, y), !T(y)" [--exo S,T]
 //! cqshap shapley   <db-file> "<query>" [--fact "Reg(Adam, OS)"] [--strategy auto|hierarchical|exoshap|brute|permutations]
 //! cqshap relevance <db-file> "<query>" --fact "TA(Adam)"
+//! cqshap prob      <db-file> "<query>" [--default-p 0.5] [--fact "R(a, b)"] [--threads N]
 //! cqshap probability <db-file> "<query>" [--default-p 0.5]
 //! cqshap satcount  <db-file> "<query>"
 //! ```
@@ -38,6 +39,10 @@ const USAGE: &str = "usage:
                    (the query may be a UCQ: rules separated by `;` or newlines;
                     with --agg it must project the aggregate's head variables)
   cqshap relevance <db-file> \"<query>\" --fact \"R(a, b)\"
+  cqshap prob      <db-file> \"<query>\" [--default-p 0.5] [--fact \"R(a, b)\"] [--threads N]
+                   (exact tuple-independent probability from the session's
+                    compiled engine; --fact prints the expected marginal;
+                    the query may be a UCQ)
   cqshap probability <db-file> \"<query>\" [--default-p 0.5]
   cqshap satcount  <db-file> \"<query>\"";
 
@@ -153,6 +158,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "shapley" => cmd_shapley(&opts),
         "report" => cmd_report(&opts),
         "relevance" => cmd_relevance(&opts),
+        "prob" => cmd_prob(&opts),
         "probability" => cmd_probability(&opts),
         "satcount" => cmd_satcount(&opts),
         other => Err(format!("unknown command {other:?}")),
@@ -311,6 +317,64 @@ fn cmd_relevance(opts: &Options) -> Result<(), String> {
     println!("positively relevant: {pos}");
     println!("negatively relevant: {neg}");
     println!("Shapley value zero:  {}", !(pos || neg));
+    Ok(())
+}
+
+/// Exact tuple-independent probability (and expected Shapley marginals)
+/// served from a prepared session's compiled engine — the same compile
+/// that answers Shapley values and satisfaction counts.
+fn cmd_prob(opts: &Options) -> Result<(), String> {
+    let [db_path, query] = opts.positional.as_slice() else {
+        return Err("prob needs a database file and a query".into());
+    };
+    let p: f64 = opts
+        .default_p
+        .as_deref()
+        .unwrap_or("0.5")
+        .parse()
+        .map_err(|_| "--default-p must be a number".to_string())?;
+    let p = BigRational::from_f64(p)
+        .filter(FactProbabilities::is_valid)
+        .ok_or("--default-p must lie in [0, 1]")?;
+    let db = load_db(db_path)?;
+    let options = ShapleyOptions::auto().threads(parse_threads(opts.threads.as_deref())?);
+    // Same UCQ-with-fallback idiom as `report`: multi-rule queries route
+    // through inclusion–exclusion, headed rules through the CQ¬ path.
+    let mut session = match parse_ucq(query) {
+        Ok(u) if u.disjuncts().len() > 1 => {
+            ShapleySession::prepare(&db, AnyQuery::Union(&u), &options)
+        }
+        Ok(u) => ShapleySession::prepare(&db, AnyQuery::Cq(&u.disjuncts()[0]), &options),
+        Err(_) => {
+            let q = parse_cq(query).map_err(|e| e.to_string())?;
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q), &options)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    session
+        .set_default_probability(p.clone())
+        .map_err(|e| e.to_string())?;
+    match &opts.fact {
+        Some(spec) => {
+            let f = find_fact(&db, spec)?;
+            let v = session.expected_shapley(f).map_err(|e| e.to_string())?;
+            println!(
+                "E[marginal of {}] = {} ≈ {:+.9}",
+                db.render_fact(f),
+                v,
+                v.to_f64()
+            );
+        }
+        None => {
+            let pr = session.probability().map_err(|e| e.to_string())?;
+            println!(
+                "Pr[D ⊨ q] = {} ≈ {:.9}  (endogenous facts present with p = {} by default)",
+                pr,
+                pr.to_f64(),
+                p
+            );
+        }
+    }
     Ok(())
 }
 
