@@ -32,6 +32,12 @@
 //! domain, maintained incrementally across updates — against the seed
 //! lifted-inference traversal re-run from scratch per answer, and
 //! writes `BENCH_probdb.json`.
+//!
+//! `bench-report --anytime` measures the anytime tier and the
+//! degradation ladder: time-to-±ε of the stratified sampler at
+//! `m ∈ {256, 1024}`, the deadline-hit rate of the exact report under
+//! tight wall-clock budgets, and the tier `report_tiered` settles on
+//! per query class, written to `BENCH_anytime.json`.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -40,7 +46,8 @@ use cqshap_bench::Table;
 use cqshap_core::aggregates::{
     aggregate_report, aggregate_shapley, aggregate_value, AggregateFunction,
 };
-use cqshap_core::approx::{required_samples, shapley_sampled};
+use cqshap_core::approx::{required_samples, shapley_sampled, AnytimeParams};
+use cqshap_core::budget::Budget;
 use cqshap_core::gap::section_5_1_example;
 use cqshap_core::relevance::{
     brute_force_relevance, is_negatively_relevant, is_positively_relevant,
@@ -48,7 +55,8 @@ use cqshap_core::relevance::{
 use cqshap_core::{
     rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact,
     shapley_report_union, shapley_report_union_per_fact, shapley_value, shapley_via_counts,
-    AnyQuery, BruteForceCounter, ShapleyOptions, ShapleySession, Strategy,
+    AnyQuery, BruteForceCounter, CoreError, ShapleyOptions, ShapleySession, Strategy, TierPolicy,
+    TieredAnswer,
 };
 use cqshap_db::{Database, World};
 use cqshap_gadgets::coloring::{coloring_to_3p2n, to_224};
@@ -179,6 +187,7 @@ fn bench_report(args: &[String]) {
     let aggregate = args.iter().any(|a| a == "--aggregate");
     let poly = args.iter().any(|a| a == "--poly");
     let probdb = args.iter().any(|a| a == "--probdb");
+    let anytime = args.iter().any(|a| a == "--anytime");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -191,6 +200,8 @@ fn bench_report(args: &[String]) {
                 "BENCH_poly.json".to_string()
             } else if probdb {
                 "BENCH_probdb.json".to_string()
+            } else if anytime {
+                "BENCH_anytime.json".to_string()
             } else if ucq || aggregate {
                 "BENCH_ucq.json".to_string()
             } else {
@@ -205,6 +216,10 @@ fn bench_report(args: &[String]) {
     }
     if probdb {
         bench_probdb(quick, &out_path);
+        return;
+    }
+    if anytime {
+        bench_anytime(quick, &out_path);
         return;
     }
     if session {
@@ -293,6 +308,197 @@ fn bench_report(args: &[String]) {
         json_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench report");
+    println!("wrote {out_path}");
+}
+
+/// A non-hierarchical instance (path `x–y` between `R(x)` and `T(y)`)
+/// with `m` endogenous facts: every exact tier rejects it, so only the
+/// degraded tiers of the ladder answer.
+fn hard_benchmark_db(m: usize) -> Database {
+    assert!(m >= 3 && m % 2 == 1, "needs an odd m ≥ 3, got {m}");
+    let mut db = Database::new();
+    for i in 0..m / 2 {
+        db.add_endo("R", &[&format!("a{i}")]).expect("distinct");
+        db.add_endo("S", &[&format!("a{i}"), "u"])
+            .expect("distinct");
+    }
+    db.add_endo("T", &["u"]).expect("distinct");
+    db
+}
+
+/// The `--anytime` mode of `bench-report`: the anytime tier and the
+/// degradation ladder. Three measurements per `m ∈ {256, 1024}`:
+///
+/// 1. time-to-±ε of the anytime sampler (per-fact CLT intervals) on a
+///    hierarchical and a non-hierarchical workload, with draw counts,
+///    convergence, and the widest interval actually achieved;
+/// 2. deadline-hit rate of the *exact* report under wall-clock budgets
+///    of 5 ms and 50 ms (how often `DeadlineExceeded` surfaces instead
+///    of a hang);
+/// 3. the tier `report_tiered` settles on per query class — exact for
+///    the hierarchical query, sampled for the intractable one, WSMS
+///    when the budget is too tight for sampling to converge.
+fn bench_anytime(quick: bool, out_path: &str) {
+    let q1 = queries::q1();
+    let hard_q = parse_cq("q() :- R(x), S(x, y), T(y)").expect("parses");
+    let epsilon = if quick { 0.15 } else { 0.05 };
+    let delta = 0.05;
+    let budget_ms: u64 = if quick { 2_000 } else { 10_000 };
+
+    // 1. The anytime sampler: wall-clock to ±ε (or to the budget).
+    let mut anytime_rows: Vec<String> = Vec::new();
+    for &m in &[256usize, 1024] {
+        let classes: [(&str, Database, &cqshap_query::ConjunctiveQuery); 2] = [
+            (
+                "hierarchical",
+                cqshap_workloads::report_benchmark_db(m),
+                &q1,
+            ),
+            ("non-hierarchical", hard_benchmark_db(m + 1), &hard_q),
+        ];
+        for (class, db, q) in classes {
+            let options = opts().budget(Budget::wall_ms(budget_ms));
+            let mut session = ShapleySession::prepare_with_fallback(&db, AnyQuery::Cq(q), &options)
+                .expect("fallback prepare always yields a session here");
+            let params = AnytimeParams {
+                epsilon,
+                delta,
+                ..AnytimeParams::default()
+            };
+            let report = session.anytime(&params).expect("anytime runs");
+            let widest = report
+                .entries
+                .iter()
+                .map(|e| e.half_width)
+                .fold(0.0f64, f64::max);
+            eprintln!(
+                "anytime m = {m:>5} {class:<17}: {:>9.1} ms, {:>8} draws, converged {}, \
+                 deadline_hit {}, widest ±{widest:.4}",
+                report.elapsed.as_secs_f64() * 1e3,
+                report.spent_samples,
+                report.converged,
+                report.deadline_hit,
+            );
+            anytime_rows.push(format!(
+                "    {{\"m\": {m}, \"class\": \"{class}\", \"facts\": {}, \
+                 \"time_to_eps_ms\": {:.3}, \"draws\": {}, \"converged\": {}, \
+                 \"deadline_hit\": {}, \"widest_half_width\": {widest:.5}}}",
+                db.endo_count(),
+                report.elapsed.as_secs_f64() * 1e3,
+                report.spent_samples,
+                report.converged,
+                report.deadline_hit,
+            ));
+        }
+    }
+
+    // 2. Deadline-hit rate of the exact report under tight budgets.
+    let mut deadline_rows: Vec<String> = Vec::new();
+    let trials = if quick { 3 } else { 5 };
+    for &m in &[256usize, 1024] {
+        let db = cqshap_workloads::report_benchmark_db(m);
+        for &deadline in &[5u64, 50] {
+            let options = opts().budget(Budget::wall_ms(deadline));
+            let mut hits = 0usize;
+            let mut elapsed = Vec::new();
+            for _ in 0..trials {
+                let session =
+                    ShapleySession::prepare_with_fallback(&db, AnyQuery::Cq(&q1), &options)
+                        .expect("fallback prepare always yields a session here");
+                elapsed.push(time_ms(|| match session.report() {
+                    Ok(_) => {}
+                    Err(CoreError::DeadlineExceeded { .. }) | Err(CoreError::Unsupported(_)) => {
+                        hits += 1;
+                    }
+                    Err(e) => panic!("unexpected exact-report error: {e}"),
+                }));
+            }
+            let rate = hits as f64 / trials as f64;
+            eprintln!(
+                "deadline m = {m:>5}, {deadline:>3} ms: hit rate {rate:.2} \
+                 (median return {:.3} ms)",
+                median(elapsed.clone()),
+            );
+            deadline_rows.push(format!(
+                "    {{\"m\": {m}, \"deadline_ms\": {deadline}, \"trials\": {trials}, \
+                 \"hit_rate\": {rate:.2}, \"median_return_ms\": {:.3}}}",
+                median(elapsed),
+            ));
+        }
+    }
+
+    // 3. The ladder: which tier answers each query class.
+    let mut ladder_rows: Vec<String> = Vec::new();
+    let m = 256usize;
+    let ladder_cases: [(
+        &str,
+        Database,
+        &cqshap_query::ConjunctiveQuery,
+        TierPolicy,
+        u64,
+    ); 3] = [
+        (
+            "hierarchical",
+            cqshap_workloads::report_benchmark_db(m),
+            &q1,
+            TierPolicy {
+                epsilon,
+                ..TierPolicy::default()
+            },
+            budget_ms,
+        ),
+        (
+            "non-hierarchical",
+            hard_benchmark_db(m + 1),
+            &hard_q,
+            TierPolicy {
+                epsilon,
+                ..TierPolicy::default()
+            },
+            budget_ms,
+        ),
+        // ε far below what the budget can refine to: the sampled tier
+        // returns unconverged and the ladder lands on WSMS.
+        (
+            "non-hierarchical, starved",
+            hard_benchmark_db(m + 1),
+            &hard_q,
+            TierPolicy {
+                epsilon: 0.001,
+                ..TierPolicy::default()
+            },
+            250,
+        ),
+    ];
+    for (class, db, q, policy, ms) in ladder_cases {
+        let options = opts().budget(Budget::wall_ms(ms));
+        let mut session = ShapleySession::prepare_with_fallback(&db, AnyQuery::Cq(q), &options)
+            .expect("fallback prepare always yields a session here");
+        let t = Instant::now();
+        let answer = session.report_tiered(&policy).expect("ladder answers");
+        let elapsed = t.elapsed().as_secs_f64() * 1e3;
+        let tier = match &answer {
+            TieredAnswer::Exact(_) => "exact",
+            TieredAnswer::Sampled(_) => "sampled",
+            TieredAnswer::Wsms(_) => "wsms",
+        };
+        eprintln!("ladder m = {m:>5} {class:<26}: {tier} in {elapsed:.1} ms");
+        ladder_rows.push(format!(
+            "    {{\"m\": {m}, \"class\": \"{class}\", \"budget_ms\": {ms}, \
+             \"tier\": \"{tier}\", \"elapsed_ms\": {elapsed:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"cqshap-bench-anytime/v1\",\n  \"mode\": \"{}\",\n  \
+         \"epsilon\": {epsilon},\n  \"delta\": {delta},\n  \"budget_ms\": {budget_ms},\n  \
+         \"anytime\": [\n{}\n  ],\n  \"deadline\": [\n{}\n  ],\n  \"ladder\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        anytime_rows.join(",\n"),
+        deadline_rows.join(",\n"),
+        ladder_rows.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write anytime bench");
     println!("wrote {out_path}");
 }
 
@@ -1171,7 +1377,7 @@ fn e6() {
         "within ε",
     ]);
     for (eps, delta) in [(0.2, 0.05), (0.1, 0.05), (0.05, 0.01), (0.02, 0.01)] {
-        let samples = required_samples(eps, delta);
+        let samples = required_samples(eps, delta).expect("ε, δ in range");
         let mut max_err = 0f64;
         for entry in &exact.entries {
             let est = shapley_sampled(&db, AnyQuery::Cq(&q1), entry.fact, samples, 31337, 0)
@@ -1190,7 +1396,7 @@ fn e6() {
 
     // Multiplicative failure on the gap family.
     println!("\nmultiplicative failure on the Theorem 5.1 family (ε = 0.05, δ = 0.01):");
-    let samples = required_samples(0.05, 0.01);
+    let samples = required_samples(0.05, 0.01).expect("ε, δ in range");
     let mut t2 = Table::new(&["n", "true value", "estimate", "relative error"]);
     for n in [2usize, 6, 10, 14] {
         let (q, inst) = section_5_1_example(n);

@@ -41,13 +41,14 @@ use cqshap_numeric::{BigInt, BigRational};
 use cqshap_query::{ConjunctiveQuery, QueryBuilder, Term, Var};
 
 use crate::anyquery::AnyQuery;
+use crate::budget::{self, CancelToken};
 use crate::compiled::CompiledCount;
 use crate::error::CoreError;
 use crate::exoshap;
 use crate::satcount::{BruteForceCounter, HierarchicalCounter};
 use crate::shapley::{
-    engine_values, resolve_strategy, shapley_by_permutations, shapley_via_counts, ReportStats,
-    ResolvedStrategy, ShapleyOptions, ShapleyReport,
+    engine_values, resolve_strategy, shapley_by_permutations_cancel, shapley_via_counts,
+    ReportStats, ResolvedStrategy, ShapleyOptions, ShapleyReport,
 };
 
 /// The supported aggregate functions.
@@ -384,6 +385,7 @@ pub(crate) fn candidate_value(
     query: &ConjunctiveQuery,
     f: FactId,
     options: &ShapleyOptions,
+    cancel: Option<&CancelToken>,
 ) -> Result<BigRational, CoreError> {
     match resolved {
         ResolvedStrategy::Hierarchical => {
@@ -401,17 +403,21 @@ pub(crate) fn candidate_value(
                 &HierarchicalCounter,
             )
         }
-        ResolvedStrategy::BruteForce => shapley_via_counts(
+        ResolvedStrategy::BruteForce => {
+            let counter = BruteForceCounter::with_limit(options.brute_force_limit);
+            let counter = match cancel {
+                Some(token) => counter.with_cancel(token.clone()),
+                None => counter,
+            };
+            shapley_via_counts(db, AnyQuery::Cq(query), f, &counter)
+        }
+        ResolvedStrategy::Permutations => shapley_by_permutations_cancel(
             db,
             AnyQuery::Cq(query),
             f,
-            &BruteForceCounter {
-                limit: options.brute_force_limit,
-            },
+            options.permutation_limit,
+            cancel,
         ),
-        ResolvedStrategy::Permutations => {
-            shapley_by_permutations(db, AnyQuery::Cq(query), f, options.permutation_limit)
-        }
     }
 }
 
@@ -430,10 +436,16 @@ pub fn aggregate_shapley(
     options: &ShapleyOptions,
 ) -> Result<BigRational, CoreError> {
     let plan = AggregatePlan::prepare(db, q, agg, options)?;
+    // One armed token for the whole call: the deadline bounds the sum
+    // over candidates, not each candidate.
+    let cancel = options.cancel_token();
     let mut acc = BigRational::zero();
     for group in &plan.groups {
         for c in &group.candidates {
-            let v = candidate_value(db, group.resolved, &c.query, f, options)?;
+            if let Some(token) = &cancel {
+                budget::check(token, "aggregate")?;
+            }
+            let v = candidate_value(db, group.resolved, &c.query, f, options, cancel.as_ref())?;
             acc += &(&c.weight * &v);
         }
     }
@@ -478,27 +490,33 @@ impl AggregateEngines {
         q: &ConjunctiveQuery,
         agg: &AggregateFunction,
         options: &ShapleyOptions,
+        cancel: Option<&CancelToken>,
     ) -> Result<Self, CoreError> {
+        let compile = |target: &Database, query: &ConjunctiveQuery| match cancel {
+            Some(token) => {
+                CompiledCount::compile_with_cancel(target, query, options.threads, token.clone())
+            }
+            None => CompiledCount::compile_with_threads(target, query, options.threads),
+        };
         let plan = AggregatePlan::prepare(db, q, agg, options)?;
         let stats = plan.stats();
         let mut groups = Vec::with_capacity(plan.groups.len());
         for group in plan.groups {
             let mut prepared = Vec::with_capacity(group.candidates.len());
             for c in group.candidates {
+                if let Some(token) = cancel {
+                    budget::check_partial(token, "aggregate-prepare", Some(prepared.len()))?;
+                }
                 let engine = match group.resolved {
-                    ResolvedStrategy::Hierarchical => CandidateEngine::Direct(
-                        CompiledCount::compile_with_threads(db, &c.query, options.threads)?,
-                    ),
+                    ResolvedStrategy::Hierarchical => {
+                        CandidateEngine::Direct(compile(db, &c.query)?)
+                    }
                     ResolvedStrategy::ExoShap => {
                         let outcome = exoshap::rewrite(db, &c.query, options.tuple_budget)?;
                         if outcome.always_false {
                             CandidateEngine::AlwaysFalse
                         } else {
-                            let engine = CompiledCount::compile_with_threads(
-                                &outcome.db,
-                                &outcome.query,
-                                options.threads,
-                            )?;
+                            let engine = compile(&outcome.db, &outcome.query)?;
                             CandidateEngine::Rewritten {
                                 db: Box::new(outcome.db),
                                 engine,
@@ -527,12 +545,16 @@ impl AggregateEngines {
         db: &Database,
         facts: &[FactId],
         options: &ShapleyOptions,
+        cancel: Option<&CancelToken>,
     ) -> Result<Vec<BigRational>, CoreError> {
         let mut acc = vec![BigRational::zero(); facts.len()];
         for (resolved, candidates) in &self.groups {
             match resolved {
                 ResolvedStrategy::Hierarchical | ResolvedStrategy::ExoShap => {
                     for c in candidates {
+                        if let Some(token) = cancel {
+                            budget::check(token, "aggregate")?;
+                        }
                         match &c.engine {
                             CandidateEngine::Direct(engine) => weighted_add(
                                 &mut acc,
@@ -553,7 +575,9 @@ impl AggregateEngines {
                     let values = crate::parallel::par_map_with(options.threads, facts.len(), |i| {
                         let mut v = BigRational::zero();
                         for c in candidates {
-                            let cv = candidate_value(db, *resolved, &c.query, facts[i], options)?;
+                            let cv = candidate_value(
+                                db, *resolved, &c.query, facts[i], options, cancel,
+                            )?;
                             v += &(&c.weight * &cv);
                         }
                         Ok::<BigRational, CoreError>(v)

@@ -1,0 +1,41 @@
+//! Deadline/budget plumbing for the exact engines.
+//!
+//! The resource types themselves ([`Budget`], [`CancelToken`]) live in
+//! `cqshap-numeric` so the polynomial kernels can poll the same token
+//! the engines arm; this module re-exports them and provides the one
+//! core-side convention: converting a tripped token into
+//! [`CoreError::DeadlineExceeded`] with a named pipeline phase.
+//!
+//! Every long-running loop in the crate calls the crate-private
+//! `check` (or the batched-progress variant `check_partial`) at
+//! group/convolution granularity. The cancelled kernels may have produced placeholder
+//! values (see `cqshap_numeric::poly`'s `*_cancel` functions) — the
+//! sticky flag guarantees a checkpoint *after* any placeholder
+//! production fails before the placeholder can escape an engine.
+
+pub use cqshap_numeric::cancel::{Budget, CancelToken};
+
+use crate::error::CoreError;
+
+/// Converts a tripped `token` into [`CoreError::DeadlineExceeded`];
+/// `Ok(())` while the budget holds.
+pub(crate) fn check(token: &CancelToken, phase: &str) -> Result<(), CoreError> {
+    check_partial(token, phase, None)
+}
+
+/// [`check`] for batched phases: `partial` reports how many per-fact
+/// answers were already completed when the budget tripped.
+pub(crate) fn check_partial(
+    token: &CancelToken,
+    phase: &str,
+    partial: Option<usize>,
+) -> Result<(), CoreError> {
+    if token.should_stop() {
+        return Err(CoreError::DeadlineExceeded {
+            phase: phase.to_string(),
+            elapsed: token.elapsed(),
+            partial,
+        });
+    }
+    Ok(())
+}

@@ -67,6 +67,7 @@ use cqshap_db::{ConstId, Database, FactId, FactMask, RelId};
 use cqshap_numeric::{BigInt, BigRational, BigUint, FactorialTable};
 use cqshap_query::{ConjunctiveQuery, Term};
 
+use crate::budget::{self, CancelToken};
 use crate::domain::{eval_rec, CountingDomain, EvalDomain, FactProbabilities, ProbabilityDomain};
 use crate::error::CoreError;
 use crate::parallel::par_map_with;
@@ -524,6 +525,11 @@ impl<D: EvalDomain> CompiledEngine<D> {
             threads,
         };
         engine.refresh_envs();
+        // The cancelled polynomial kernels return placeholders and trip
+        // the sticky flag; this checkpoint keeps them from escaping.
+        if let Some(token) = engine.dom.cancel_token() {
+            budget::check(token, "compile")?;
+        }
         Ok(engine)
     }
 
@@ -587,6 +593,9 @@ impl<D: EvalDomain> CompiledEngine<D> {
         self.m = db.endo_count();
         self.free_endo = self.m - self.components.iter().map(|c| c.endo).sum::<usize>();
         self.refresh_envs();
+        if let Some(token) = self.dom.cancel_token() {
+            budget::check(token, "update")?;
+        }
         Ok(true)
     }
 
@@ -1053,7 +1062,32 @@ impl CompiledCount {
         q: &ConjunctiveQuery,
         threads: usize,
     ) -> Result<Self, CoreError> {
-        let eng = CompiledEngine::compile(db, q, threads, CountingDomain::new())?;
+        Self::compile_with_domain(db, q, threads, CountingDomain::new())
+    }
+
+    /// [`CompiledCount::compile_with_threads`] polling `cancel` from
+    /// the counting recursion and the polynomial kernels: a tripped
+    /// budget aborts the compile with [`CoreError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    /// As [`CompiledCount::compile`], plus
+    /// [`CoreError::DeadlineExceeded`].
+    pub fn compile_with_cancel(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        threads: usize,
+        cancel: CancelToken,
+    ) -> Result<Self, CoreError> {
+        Self::compile_with_domain(db, q, threads, CountingDomain::with_cancel(cancel))
+    }
+
+    fn compile_with_domain(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        threads: usize,
+        dom: CountingDomain,
+    ) -> Result<Self, CoreError> {
+        let eng = CompiledEngine::compile(db, q, threads, dom)?;
         let table = FactorialTable::new(eng.m);
         let mut compiled = CompiledCount {
             eng,
@@ -1325,6 +1359,29 @@ impl CompiledProbability {
     ) -> Result<Self, CoreError> {
         Ok(CompiledProbability {
             eng: CompiledEngine::compile(db, q, threads, ProbabilityDomain::new(probs))?,
+        })
+    }
+
+    /// [`CompiledProbability::compile_with_threads`] polling `cancel`
+    /// from the lifted-inference recursion.
+    ///
+    /// # Errors
+    /// As [`CompiledProbability::compile`], plus
+    /// [`CoreError::DeadlineExceeded`].
+    pub fn compile_with_cancel(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        probs: FactProbabilities,
+        threads: usize,
+        cancel: CancelToken,
+    ) -> Result<Self, CoreError> {
+        Ok(CompiledProbability {
+            eng: CompiledEngine::compile(
+                db,
+                q,
+                threads,
+                ProbabilityDomain::with_cancel(probs, cancel),
+            )?,
         })
     }
 

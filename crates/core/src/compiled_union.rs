@@ -50,6 +50,7 @@ use cqshap_query::{
     DisjunctConjunction, Term as QueryTerm, UnionQuery,
 };
 
+use crate::budget::{self, CancelToken};
 use crate::compiled::{CompiledCount, EngineUpdate};
 use crate::error::CoreError;
 
@@ -200,6 +201,32 @@ impl CompiledUnionCount {
         u: &UnionQuery,
         threads: usize,
     ) -> Result<Self, CoreError> {
+        Self::compile_impl(db, u, threads, None)
+    }
+
+    /// [`CompiledUnionCount::compile_with_threads`] polling `cancel`
+    /// between (and inside) the per-class subset compiles: a tripped
+    /// budget aborts with [`CoreError::DeadlineExceeded`] whose
+    /// `partial` reports how many subset engines had compiled.
+    ///
+    /// # Errors
+    /// As [`CompiledUnionCount::compile`], plus
+    /// [`CoreError::DeadlineExceeded`].
+    pub fn compile_with_cancel(
+        db: &Database,
+        u: &UnionQuery,
+        threads: usize,
+        cancel: CancelToken,
+    ) -> Result<Self, CoreError> {
+        Self::compile_impl(db, u, threads, Some(cancel))
+    }
+
+    fn compile_impl(
+        db: &Database,
+        u: &UnionQuery,
+        threads: usize,
+        cancel: Option<CancelToken>,
+    ) -> Result<Self, CoreError> {
         // Bucket the subset conjunctions by canonical form first: one
         // engine per class, weighted by the class's net coefficient.
         // Tractability is checked per subset so the error still names
@@ -223,10 +250,14 @@ impl CompiledUnionCount {
             if coeff == 0 {
                 continue;
             }
-            terms.push(SignedTerm {
-                coeff,
-                engine: CompiledCount::compile_with_threads(db, &q, threads)?,
-            });
+            let engine = match &cancel {
+                Some(token) => {
+                    budget::check_partial(token, "union-compile", Some(terms.len()))?;
+                    CompiledCount::compile_with_cancel(db, &q, threads, token.clone())?
+                }
+                None => CompiledCount::compile_with_threads(db, &q, threads)?,
+            };
+            terms.push(SignedTerm { coeff, engine });
         }
         Ok(CompiledUnionCount {
             terms,

@@ -38,7 +38,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cqshap_db::{Database, FactId, FactMask, World};
-use cqshap_numeric::{poly, BigRational, BigUint, BinomialCache};
+use cqshap_numeric::{poly, BigRational, BigUint, BinomialCache, CancelToken};
 
 use crate::anyquery::AnyQuery;
 use crate::error::CoreError;
@@ -178,6 +178,28 @@ pub trait EvalDomain: Sync {
     fn canon_determines_value(&self) -> bool {
         false
     }
+
+    /// The cooperative cancellation token the domain's evaluation
+    /// polls, if the engine armed one (see [`crate::Budget`]). The
+    /// recursion and the engines checkpoint through it; the provided
+    /// domains also hand it to the polynomial kernels.
+    fn cancel_token(&self) -> Option<&CancelToken> {
+        None
+    }
+
+    /// Charges one work unit against the armed budget and converts a
+    /// tripped token into [`CoreError::DeadlineExceeded`] for `phase`.
+    /// A no-op for budget-free domains.
+    fn checkpoint(&self, phase: &str) -> Result<(), CoreError> {
+        match self.cancel_token() {
+            Some(token) if token.charge(1) => Err(CoreError::DeadlineExceeded {
+                phase: phase.to_string(),
+                elapsed: token.elapsed(),
+                partial: None,
+            }),
+            _ => Ok(()),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -191,12 +213,22 @@ pub trait EvalDomain: Sync {
 #[derive(Debug, Default)]
 pub struct CountingDomain {
     binoms: BinomialCache,
+    cancel: Option<CancelToken>,
 }
 
 impl CountingDomain {
     /// A counting domain with an empty binomial cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A counting domain polling `cancel` from the recursion and the
+    /// polynomial kernels.
+    pub fn with_cancel(cancel: CancelToken) -> Self {
+        CountingDomain {
+            binoms: BinomialCache::default(),
+            cancel: Some(cancel),
+        }
     }
 }
 
@@ -224,6 +256,13 @@ impl EvalDomain for CountingDomain {
     }
 
     fn complement(&self, v: &Vec<BigUint>, endo: usize) -> Vec<BigUint> {
+        // A cancelled polynomial kernel hands back placeholder counts
+        // that may exceed C(n, k); `complement_counts` would underflow
+        // on them. The flag is sticky and the engine checkpoints before
+        // returning, so a shaped placeholder is all that is needed here.
+        if self.cancel.as_ref().is_some_and(|t| t.should_stop()) {
+            return vec![BigUint::zero(); endo + 1];
+        }
         complement_counts(v, endo)
     }
 
@@ -251,7 +290,10 @@ impl EvalDomain for CountingDomain {
 
     fn product(&self, factors: &[&Vec<BigUint>], threads: usize) -> Vec<BigUint> {
         let refs: Vec<&[BigUint]> = factors.iter().map(|f| f.as_slice()).collect();
-        poly::product_tree(&refs, threads)
+        match &self.cancel {
+            Some(token) => poly::product_tree_cancel(&refs, threads, token),
+            None => poly::product_tree(&refs, threads),
+        }
     }
 
     fn leave_one_out(
@@ -271,7 +313,10 @@ impl EvalDomain for CountingDomain {
         threads: usize,
     ) -> Vec<Arc<Vec<BigUint>>> {
         let refs: Vec<&[BigUint]> = factors.iter().map(|f| f.as_slice()).collect();
-        poly::leave_one_out_products_shared(&refs, seed, threads)
+        match &self.cancel {
+            Some(token) => poly::leave_one_out_products_shared_cancel(&refs, seed, threads, token),
+            None => poly::leave_one_out_products_shared(&refs, seed, threads),
+        }
     }
 
     fn push_free(&self, v: &Vec<BigUint>) -> Vec<BigUint> {
@@ -284,6 +329,10 @@ impl EvalDomain for CountingDomain {
 
     fn canon_determines_value(&self) -> bool {
         true
+    }
+
+    fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 }
 
@@ -363,15 +412,36 @@ impl FactProbabilities {
 /// probabilities it owns. Evaluating the counting engine's compiled
 /// structure in this domain *is* lifted inference — same recursion,
 /// scalar arithmetic.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ProbabilityDomain {
     probs: FactProbabilities,
+    cancel: Option<CancelToken>,
+}
+
+impl PartialEq for ProbabilityDomain {
+    /// Equality of the evaluation parameters only — the cancellation
+    /// token is an execution-control handle, not part of the value.
+    fn eq(&self, other: &Self) -> bool {
+        self.probs == other.probs
+    }
 }
 
 impl ProbabilityDomain {
     /// A domain evaluating at `probs`.
     pub fn new(probs: FactProbabilities) -> Self {
-        ProbabilityDomain { probs }
+        ProbabilityDomain {
+            probs,
+            cancel: None,
+        }
+    }
+
+    /// A domain evaluating at `probs` that polls `cancel` from the
+    /// recursion.
+    pub fn with_cancel(probs: FactProbabilities, cancel: CancelToken) -> Self {
+        ProbabilityDomain {
+            probs,
+            cancel: Some(cancel),
+        }
     }
 
     /// The per-fact probabilities.
@@ -431,6 +501,10 @@ impl EvalDomain for ProbabilityDomain {
             Some(num / den)
         }
     }
+
+    fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -448,6 +522,7 @@ pub(crate) fn eval_rec<D: EvalDomain>(
     scopes: &[Vec<FactId>],
 ) -> Result<D::Value, CoreError> {
     debug_assert_eq!(atoms.len(), scopes.len());
+    dom.checkpoint("evaluate")?;
     let total_endo = scope_endo_count(view, scopes);
 
     // Case 1: fully ground — fold the per-atom contributions.
@@ -565,6 +640,20 @@ pub fn probability_by_enumeration(
     forced: Option<(FactId, bool)>,
     limit: usize,
 ) -> Result<BigRational, CoreError> {
+    probability_by_enumeration_cancel(db, q, probs, forced, limit, None)
+}
+
+/// [`probability_by_enumeration`] polling a [`CancelToken`] every few
+/// thousand worlds; a tripped budget returns
+/// [`CoreError::DeadlineExceeded`] with phase `probability`.
+pub fn probability_by_enumeration_cancel(
+    db: &Database,
+    q: AnyQuery<'_>,
+    probs: &FactProbabilities,
+    forced: Option<(FactId, bool)>,
+    limit: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<BigRational, CoreError> {
     let m = db.endo_count();
     let forced = match forced {
         None => None,
@@ -600,6 +689,17 @@ pub fn probability_by_enumeration(
     let mut total = BigRational::zero();
     let mut world = World::empty(db);
     for e in 0..(1u64 << bits) {
+        if e & 0xFFF == 0 {
+            if let Some(token) = cancel {
+                if token.charge(1) {
+                    return Err(CoreError::DeadlineExceeded {
+                        phase: "probability".to_string(),
+                        elapsed: token.elapsed(),
+                        partial: None,
+                    });
+                }
+            }
+        }
         let w = expand(e);
         world.assign_mask(w);
         if !compiled.satisfied(db, &world) {

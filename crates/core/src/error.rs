@@ -59,6 +59,21 @@ pub enum CoreError {
     /// must be satisfiable, constant-free, positively connected, and
     /// contain a negated atom).
     GapConstruction(String),
+    /// A caller-supplied [`crate::Budget`] ran out before the exact
+    /// computation finished. The work already done is consistent — the
+    /// caller can retry with a bigger budget, or degrade to the sampled
+    /// or WSMS tier (see `ShapleySession::report_tiered`).
+    DeadlineExceeded {
+        /// Which phase of the pipeline hit the budget (e.g. `compile`,
+        /// `evaluate`, `report`, `brute-force`, `permutations`).
+        phase: String,
+        /// Wall-clock time spent when the budget tripped.
+        elapsed: std::time::Duration,
+        /// How many per-fact answers were completed before the trip,
+        /// for batched phases that make partial progress (`None` when
+        /// the phase has no per-item granularity).
+        partial: Option<usize>,
+    },
     /// Propagated database error.
     Db(DbError),
     /// Propagated query error.
@@ -98,6 +113,21 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::GapConstruction(msg) => write!(f, "gap construction: {msg}"),
+            CoreError::DeadlineExceeded {
+                phase,
+                elapsed,
+                partial,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded in the {phase} phase after {:.1} ms",
+                    elapsed.as_secs_f64() * 1e3
+                )?;
+                if let Some(done) = partial {
+                    write!(f, " ({done} fact(s) completed)")?;
+                }
+                Ok(())
+            }
             CoreError::Db(e) => write!(f, "database error: {e}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),

@@ -26,12 +26,20 @@
 //! * [`session`] — [`session::ShapleySession`], the prepared, updatable
 //!   engine handle unifying CQ¬ / UCQ¬ / aggregate computation with
 //!   incremental maintenance across database updates;
+//! * [`budget`] — deadlines and cooperative cancellation
+//!   ([`Budget`] / [`CancelToken`] /
+//!   [`CoreError::DeadlineExceeded`]) for the `FP^{#P}`-hard regime,
+//!   with [`wsms`] (weighted sums of minimal supports, a tractable
+//!   responsibility measure) and [`approx`]'s anytime sampler forming
+//!   the graceful-degradation ladder behind
+//!   [`session::ShapleySession::report_tiered`];
 //! * [`gap`] — the Theorem 5.1 construction showing the gap property
 //!   fails for every natural CQ¬ with negation.
 
 pub mod aggregates;
 pub mod anyquery;
 pub mod approx;
+pub mod budget;
 pub mod compiled;
 pub mod compiled_union;
 pub mod domain;
@@ -43,12 +51,16 @@ pub mod relevance;
 pub mod satcount;
 pub mod session;
 pub mod shapley;
+pub mod wsms;
 
 pub use anyquery::AnyQuery;
+pub use approx::{AnytimeParams, AnytimeReport, FactEstimate};
+pub use budget::{Budget, CancelToken};
 pub use compiled::{CompiledCount, CompiledProbability, EngineUpdate};
 pub use compiled_union::CompiledUnionCount;
 pub use domain::{
-    probability_by_enumeration, CountingDomain, EvalDomain, FactProbabilities, ProbabilityDomain,
+    probability_by_enumeration, probability_by_enumeration_cancel, CountingDomain, EvalDomain,
+    FactProbabilities, ProbabilityDomain,
 };
 pub use error::CoreError;
 pub use exoshap::{rewrite, RewriteOutcome};
@@ -56,9 +68,10 @@ pub use satcount::{
     count_sat_hierarchical, count_sat_hierarchical_masked, BruteForceCounter, HierarchicalCounter,
     SatCountOracle,
 };
-pub use session::{SessionStats, ShapleySession};
+pub use session::{SessionStats, ShapleySession, TierPolicy, TieredAnswer};
 pub use shapley::{
     shapley_by_permutations, shapley_report, shapley_report_per_fact, shapley_report_union,
     shapley_report_union_per_fact, shapley_value, shapley_value_union, shapley_via_counts,
     ReportStats, ResolvedStrategy, ShapleyEntry, ShapleyOptions, ShapleyReport, Strategy,
 };
+pub use wsms::{WsmsEntry, WsmsReport, WsmsWeight};

@@ -33,6 +33,7 @@ use cqshap_numeric::{binomial, BigUint};
 use cqshap_query::{has_self_join, is_hierarchical, ConjunctiveQuery, Term};
 
 use crate::anyquery::AnyQuery;
+use crate::budget::{self, CancelToken};
 use crate::error::CoreError;
 
 /// Anything that can compute the full vector
@@ -455,10 +456,12 @@ pub(crate) fn find_root_var(atoms: &[PAtom]) -> Option<u32> {
 /// parallelized across threads for larger universes. Masked counts skip
 /// the masked fact's bit entirely, halving the world count on top of
 /// avoiding the database clone.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BruteForceCounter {
     /// Maximum `|Dn|` accepted (default [`BruteForceCounter::DEFAULT_LIMIT`]).
-    pub limit: usize,
+    limit: usize,
+    /// Cooperative cancellation token polled every few thousand worlds.
+    cancel: Option<CancelToken>,
 }
 
 impl BruteForceCounter {
@@ -467,9 +470,29 @@ impl BruteForceCounter {
 
     /// A counter with the default limit.
     pub fn new() -> Self {
+        Self::with_limit(Self::DEFAULT_LIMIT)
+    }
+
+    /// A counter accepting up to `limit` world bits.
+    pub fn with_limit(limit: usize) -> Self {
         BruteForceCounter {
-            limit: Self::DEFAULT_LIMIT,
+            limit,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative cancellation token: enumeration polls it
+    /// every `4096` worlds and a tripped budget aborts with
+    /// [`CoreError::DeadlineExceeded`] (phase `brute-force`).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The configured `|Dn|` cap.
+    pub fn limit(&self) -> usize {
+        self.limit
     }
 
     /// Enumerates worlds whose bit at `forced_pos` (if any) is pinned to
@@ -516,10 +539,14 @@ impl BruteForceCounter {
                 let expand = &expand;
                 let lo = t as u64 * chunk;
                 let hi = (lo + chunk).min(total);
+                let cancel = self.cancel.as_ref();
                 handles.push(s.spawn(move || {
                     let mut counts = vec![0u64; bits + 1];
                     let mut world = World::empty(db);
                     for e in lo..hi {
+                        if e & 0xFFF == 0 && cancel.is_some_and(|c| c.charge(1)) {
+                            break;
+                        }
                         world.assign_mask(expand(e));
                         if compiled.satisfied(db, &world) {
                             counts[e.count_ones() as usize] += 1;
@@ -533,6 +560,9 @@ impl BruteForceCounter {
                 .map(|h| h.join().expect("worker panicked"))
                 .collect();
         });
+        if let Some(token) = &self.cancel {
+            budget::check(token, "brute-force")?;
+        }
         let mut out = vec![BigUint::zero(); bits + 1];
         for counts in per_thread {
             for (k, c) in counts.into_iter().enumerate() {
@@ -797,7 +827,7 @@ mod tests {
             db.add_endo("R", &[&format!("c{i}")]).unwrap();
         }
         let q = parse_cq("q() :- R(x)").unwrap();
-        let small = BruteForceCounter { limit: 4 };
+        let small = BruteForceCounter::with_limit(4);
         assert!(matches!(
             small.counts(&db, AnyQuery::Cq(&q)),
             Err(CoreError::TooManyEndogenousFacts { count: 5, limit: 4 })

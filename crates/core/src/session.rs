@@ -62,21 +62,28 @@ use cqshap_query::{classify_with_exo, ConjunctiveQuery, ExactComplexity, UnionQu
 
 use crate::aggregates::{aggregate_efficiency_target, AggregateEngines, AggregateFunction};
 use crate::anyquery::AnyQuery;
-use crate::approx::{shapley_additive_approx, ApproxShapley, SampleParams};
+use crate::approx::{
+    shapley_additive_approx, shapley_anytime, AnytimeParams, AnytimeReport, AnytimeState,
+    ApproxShapley, SampleParams,
+};
+use crate::budget::CancelToken;
 use crate::compiled::{CompiledCount, CompiledProbability, EngineUpdate};
 use crate::compiled_union::CompiledUnionCount;
-use crate::domain::{probability_by_enumeration, FactProbabilities};
+use crate::domain::{probability_by_enumeration_cancel, FactProbabilities};
 use crate::error::CoreError;
 use crate::exoshap;
 use crate::satcount::BruteForceCounter;
 use crate::shapley::{
     assemble_report, assemble_report_with_total, efficiency_target, engine_report_values,
-    engine_values, per_fact_values, resolve_strategy, resolve_union_route, shapley_by_permutations,
-    shapley_via_counts, union_brute_value, union_brute_values, union_efficiency_target,
-    zero_report, ResolvedStrategy, ShapleyOptions, ShapleyReport, UnionRoute,
+    engine_values, per_fact_values, resolve_strategy, resolve_union_route,
+    shapley_by_permutations_cancel, shapley_via_counts, union_brute_value, union_brute_values,
+    union_efficiency_target, zero_report, ResolvedStrategy, ShapleyOptions, ShapleyReport,
+    UnionRoute,
 };
+use crate::wsms::{wsms_report, WsmsReport, WsmsWeight};
 
 /// The prepared query of a session.
+#[derive(Clone)]
 enum QuerySpec {
     Cq(ConjunctiveQuery),
     Union(UnionQuery),
@@ -120,6 +127,11 @@ enum EngineState {
     /// A failed post-update rebuild left no usable engine; reads
     /// surface the stored reason until a successful update re-prepares.
     Poisoned(String),
+    /// No exact engine was ever prepared — the query is out of the
+    /// exact tiers' reach (see
+    /// [`ShapleySession::prepare_with_fallback`]); only the degraded
+    /// tiers serve. Stores the prepare-time reason.
+    ExactUnavailable(String),
 }
 
 /// The lazily built probabilistic state behind a session — the same
@@ -160,6 +172,74 @@ pub struct SessionStats {
     pub incremental_updates: usize,
     /// Updates that forced a full engine recompile.
     pub full_recompiles: usize,
+    /// Failed updates whose database mutation was rolled back (the
+    /// session kept serving from the pre-update state).
+    pub rolled_back: usize,
+}
+
+/// Which answer tiers [`ShapleySession::report_tiered`] may degrade to
+/// when the exact engines run out of budget (or out of tractability).
+///
+/// The ladder is `Exact → Sampled(ε, δ) → WSMS`: exact values whenever
+/// the budget allows, the anytime permutation sampler with CLT
+/// confidence intervals next, and the tractable weighted-sums-of-
+/// minimal-supports measure ([`crate::wsms`]) as the always-terminating
+/// floor.
+#[derive(Debug, Clone)]
+pub struct TierPolicy {
+    /// Allow degrading to the anytime sampler.
+    pub allow_sampled: bool,
+    /// Allow degrading to the WSMS measure.
+    pub allow_wsms: bool,
+    /// Target half-width of the sampled tier's confidence intervals.
+    pub epsilon: f64,
+    /// Per-fact miscoverage of the sampled tier (`1 − δ` confidence).
+    pub delta: f64,
+    /// Seed for the sampled tier.
+    pub seed: u64,
+    /// Weighting of the WSMS tier.
+    pub wsms_weight: WsmsWeight,
+}
+
+impl Default for TierPolicy {
+    fn default() -> Self {
+        TierPolicy {
+            allow_sampled: true,
+            allow_wsms: true,
+            epsilon: 0.05,
+            delta: 0.05,
+            seed: 0x5eed,
+            wsms_weight: WsmsWeight::SizeInverse,
+        }
+    }
+}
+
+/// The answer [`ShapleySession::report_tiered`] settled on, tagged by
+/// the tier that produced it.
+#[derive(Debug, Clone)]
+pub enum TieredAnswer {
+    /// The exact report finished within the budget.
+    Exact(ShapleyReport),
+    /// Exact ran out of budget (or tractability); the anytime sampler's
+    /// interval estimates, possibly resumed from an earlier call.
+    Sampled(AnytimeReport),
+    /// The tractable WSMS responsibility measure — a different (but
+    /// order-meaningful) attribution, never a Shapley estimate.
+    Wsms(WsmsReport),
+}
+
+/// May the ladder absorb this exact-tier failure by degrading, rather
+/// than propagate it as a genuine input error?
+fn tier_degradable(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::DeadlineExceeded { .. }
+            | CoreError::TooManyEndogenousFacts { .. }
+            | CoreError::HasNonHierarchicalPath { .. }
+            | CoreError::NotHierarchical { .. }
+            | CoreError::NotSelfJoinFree { .. }
+            | CoreError::IntractableIntersection { .. }
+    )
 }
 
 /// A prepared, updatable engine handle unifying CQ¬ / UCQ¬ / aggregate
@@ -174,6 +254,15 @@ pub struct ShapleySession {
     probs: FactProbabilities,
     prob: ProbState,
     stats: SessionStats,
+    /// The session's one cancellation token (`Some` iff the options
+    /// carry a limited budget), re-armed at every public entry point so
+    /// the deadline always measures the current call. Compiled engines
+    /// hold clones and poll it from their evaluation recursions.
+    cancel: Option<CancelToken>,
+    /// Resumable anytime-sampler state: a second
+    /// [`ShapleySession::anytime`] call tightens the same estimates.
+    /// Invalidated by every successful database update.
+    anytime: Option<AnytimeState>,
 }
 
 fn exo_relation_names(db: &Database) -> HashSet<String> {
@@ -181,10 +270,14 @@ fn exo_relation_names(db: &Database) -> HashSet<String> {
 }
 
 /// Resolves the strategy and builds the compiled state for one spec.
+/// When `cancel` is present, every compiled engine is armed with a
+/// clone of the token (so its recounts poll the session budget) and the
+/// compile phases themselves are deadline-bounded.
 fn build_state(
     db: &Database,
     spec: &QuerySpec,
     options: &ShapleyOptions,
+    cancel: Option<&CancelToken>,
 ) -> Result<
     (
         Option<ResolvedStrategy>,
@@ -193,24 +286,22 @@ fn build_state(
     ),
     CoreError,
 > {
+    let compile_count = |db: &Database, q: &ConjunctiveQuery| match cancel {
+        Some(token) => CompiledCount::compile_with_cancel(db, q, options.threads, token.clone()),
+        None => CompiledCount::compile_with_threads(db, q, options.threads),
+    };
     match spec {
         QuerySpec::Cq(q) => {
             let complexity = classify_with_exo(q, &exo_relation_names(db));
             let resolved = resolve_strategy(db, q, options)?;
             let state = match resolved {
-                ResolvedStrategy::Hierarchical => EngineState::CqCompiled(
-                    CompiledCount::compile_with_threads(db, q, options.threads)?,
-                ),
+                ResolvedStrategy::Hierarchical => EngineState::CqCompiled(compile_count(db, q)?),
                 ResolvedStrategy::ExoShap => {
                     let outcome = exoshap::rewrite(db, q, options.tuple_budget)?;
                     if outcome.always_false {
                         EngineState::CqAlwaysFalse
                     } else {
-                        let engine = CompiledCount::compile_with_threads(
-                            &outcome.db,
-                            &outcome.query,
-                            options.threads,
-                        )?;
+                        let engine = compile_count(&outcome.db, &outcome.query)?;
                         EngineState::CqRewritten {
                             db: Box::new(outcome.db),
                             engine,
@@ -224,14 +315,18 @@ fn build_state(
             Ok((Some(resolved), Some(complexity), state))
         }
         QuerySpec::Union(u) => {
-            let (resolved, state) = match resolve_union_route(db, u, options)? {
+            let (resolved, state) = match resolve_union_route(db, u, options, cancel)? {
                 UnionRoute::Compiled => (
                     ResolvedStrategy::Hierarchical,
-                    EngineState::UnionCompiled(CompiledUnionCount::compile_with_threads(
-                        db,
-                        u,
-                        options.threads,
-                    )?),
+                    EngineState::UnionCompiled(match cancel {
+                        Some(token) => CompiledUnionCount::compile_with_cancel(
+                            db,
+                            u,
+                            options.threads,
+                            token.clone(),
+                        )?,
+                        None => CompiledUnionCount::compile_with_threads(db, u, options.threads)?,
+                    }),
                 ),
                 UnionRoute::ExoShap(terms) => {
                     let compiled = terms
@@ -257,7 +352,7 @@ fn build_state(
         }
         QuerySpec::Aggregate { query, agg } => {
             let complexity = classify_with_exo(query, &exo_relation_names(db));
-            let engines = AggregateEngines::prepare(db, query, agg, options)?;
+            let engines = AggregateEngines::prepare(db, query, agg, options, cancel)?;
             Ok((None, Some(complexity), EngineState::Aggregate(engines)))
         }
     }
@@ -281,6 +376,54 @@ impl ShapleySession {
             AnyQuery::Union(u) => QuerySpec::Union(u.clone()),
         };
         Self::from_spec(db.clone(), spec, *options)
+    }
+
+    /// [`ShapleySession::prepare`], except a *degradable* failure — a
+    /// tripped budget, an intractability rejection — yields a session
+    /// without an exact engine instead of an error. Exact reads
+    /// ([`value`](Self::value), [`report`](Self::report)) then fail
+    /// fast with the stored reason, while
+    /// [`report_tiered`](Self::report_tiered),
+    /// [`anytime`](Self::anytime) and [`wsms`](Self::wsms) still serve;
+    /// updates keep applying (each retries a full prepare, upgrading
+    /// the session to exact the moment one succeeds). Genuine input
+    /// errors propagate exactly as in [`prepare`](Self::prepare).
+    ///
+    /// # Errors
+    /// Non-degradable prepare failures (arity clashes, malformed
+    /// queries, database errors).
+    pub fn prepare_with_fallback(
+        db: &Database,
+        query: AnyQuery<'_>,
+        options: &ShapleyOptions,
+    ) -> Result<Self, CoreError> {
+        let spec = match query {
+            AnyQuery::Cq(q) => QuerySpec::Cq(q.clone()),
+            AnyQuery::Union(u) => QuerySpec::Union(u.clone()),
+        };
+        match Self::from_spec(db.clone(), spec.clone(), *options) {
+            Ok(session) => Ok(session),
+            Err(e) if tier_degradable(&e) => {
+                let complexity = match &spec {
+                    QuerySpec::Cq(q) => Some(classify_with_exo(q, &exo_relation_names(db))),
+                    _ => None,
+                };
+                Ok(ShapleySession {
+                    db: db.clone(),
+                    options: *options,
+                    spec,
+                    resolved: None,
+                    complexity,
+                    state: EngineState::ExactUnavailable(e.to_string()),
+                    probs: FactProbabilities::uniform(BigRational::from_i64_ratio(1, 2)),
+                    prob: ProbState::NotBuilt,
+                    stats: SessionStats::default(),
+                    cancel: options.cancel_token(),
+                    anytime: None,
+                })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Prepares a session for an aggregate query: one shared
@@ -310,7 +453,8 @@ impl ShapleySession {
         spec: QuerySpec,
         options: ShapleyOptions,
     ) -> Result<Self, CoreError> {
-        let (resolved, complexity, state) = build_state(&db, &spec, &options)?;
+        let cancel = options.cancel_token();
+        let (resolved, complexity, state) = build_state(&db, &spec, &options, cancel.as_ref())?;
         Ok(ShapleySession {
             db,
             options,
@@ -321,7 +465,27 @@ impl ShapleySession {
             probs: FactProbabilities::uniform(BigRational::from_i64_ratio(1, 2)),
             prob: ProbState::NotBuilt,
             stats: SessionStats::default(),
+            cancel,
+            anytime: None,
         })
+    }
+
+    /// Restarts the session budget for one public call: every deadline
+    /// measures the call it bounds, not the session's age.
+    fn rearm(&self) {
+        if let Some(token) = &self.cancel {
+            token.rearm(self.options.budget.wall, self.options.budget.work);
+        }
+    }
+
+    /// The brute-force oracle wired to the session's token (the free
+    /// functions arm a fresh per-call token instead).
+    fn brute_oracle(&self) -> BruteForceCounter {
+        let counter = BruteForceCounter::with_limit(self.options.brute_force_limit);
+        match &self.cancel {
+            Some(token) => counter.with_cancel(token.clone()),
+            None => counter,
+        }
     }
 
     /// The session's database (the prepared copy, including any updates
@@ -368,11 +532,73 @@ impl ShapleySession {
     fn check_not_poisoned(&self) -> Result<(), CoreError> {
         if let EngineState::Poisoned(reason) = &self.state {
             return Err(CoreError::Unsupported(format!(
-                "the session engine could not be rebuilt after an update ({reason}); apply a further \
-                 update that restores a preparable state"
+                "the session engine could not be rebuilt after an update ({reason}); call \
+                 recover() to rebuild from the retained database, or apply a further update that \
+                 restores a preparable state"
             )));
         }
         Ok(())
+    }
+
+    fn check_exact_available(&self) -> Result<(), CoreError> {
+        if let EngineState::ExactUnavailable(reason) = &self.state {
+            return Err(CoreError::Unsupported(format!(
+                "no exact engine was prepared ({reason}); serve this session through \
+                 report_tiered(), anytime(), or wsms()"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Is the session poisoned (no usable engine after a failed
+    /// rebuild)? [`ShapleySession::recover`] clears the condition.
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self.state, EngineState::Poisoned(_))
+    }
+
+    /// Does the session lack an exact engine (prepared via
+    /// [`ShapleySession::prepare_with_fallback`] on an intractable or
+    /// over-budget query)? Degraded tiers still serve.
+    pub fn is_exact_unavailable(&self) -> bool {
+        matches!(self.state, EngineState::ExactUnavailable(_))
+    }
+
+    /// Rebuilds the engine from the session's retained database,
+    /// clearing a [`Poisoned`](Self::is_poisoned) state. A no-op on
+    /// healthy sessions. On failure the session stays poisoned (with
+    /// the new failure as the stored reason) and the error propagates —
+    /// `recover` can be retried, e.g. after raising the budget via a
+    /// fresh prepare.
+    ///
+    /// # Errors
+    /// Anything strategy resolution and engine compilation raise.
+    pub fn recover(&mut self) -> Result<(), CoreError> {
+        if !self.is_poisoned() {
+            return Ok(());
+        }
+        self.rearm();
+        match build_state(&self.db, &self.spec, &self.options, self.cancel.as_ref()) {
+            Ok((resolved, complexity, state)) => {
+                self.resolved = resolved;
+                self.complexity = complexity;
+                self.state = state;
+                self.prob = ProbState::NotBuilt;
+                Ok(())
+            }
+            Err(e) => {
+                self.state = EngineState::Poisoned(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Test hook: forces the session into the poisoned state so
+    /// recovery paths can be exercised without constructing a genuine
+    /// mid-maintenance failure.
+    #[doc(hidden)]
+    pub fn poison_for_tests(&mut self, reason: &str) {
+        self.resolved = None;
+        self.state = EngineState::Poisoned(reason.to_string());
     }
 
     /// The exact Shapley value of `f`, served from the prepared engine.
@@ -382,6 +608,8 @@ impl ShapleySession {
     /// per-fact fallback strategies raise.
     pub fn value(&self, f: FactId) -> Result<BigRational, CoreError> {
         self.check_not_poisoned()?;
+        self.check_exact_available()?;
+        self.rearm();
         match (&self.spec, &self.state) {
             (_, EngineState::CqCompiled(engine)) => engine.value(&self.db, f),
             (_, EngineState::CqRewritten { db, engine }) => {
@@ -393,39 +621,39 @@ impl ShapleySession {
                 Ok(BigRational::zero())
             }
             (QuerySpec::Cq(q), EngineState::CqPerFact) => match self.resolved {
-                Some(ResolvedStrategy::Permutations) => shapley_by_permutations(
+                Some(ResolvedStrategy::Permutations) => shapley_by_permutations_cancel(
                     &self.db,
                     AnyQuery::Cq(q),
                     f,
                     self.options.permutation_limit,
+                    self.cancel.as_ref(),
                 ),
-                _ => shapley_via_counts(
-                    &self.db,
-                    AnyQuery::Cq(q),
-                    f,
-                    &BruteForceCounter {
-                        limit: self.options.brute_force_limit,
-                    },
-                ),
+                _ => shapley_via_counts(&self.db, AnyQuery::Cq(q), f, &self.brute_oracle()),
             },
             (_, EngineState::UnionCompiled(engine)) => engine.value(&self.db, f),
             (_, EngineState::UnionExoShap(terms)) => {
                 self.check_endogenous(f)?;
-                Ok(exo_union_normalize(terms, exo_union_numerator(terms, f)?))
+                Ok(exo_union_normalize(
+                    terms,
+                    exo_union_numerator(terms, f, self.cancel.as_ref())?,
+                ))
             }
             (QuerySpec::Union(u), EngineState::UnionBrute) => {
                 union_brute_value(&self.db, u, f, &self.options)
             }
-            (QuerySpec::Union(u), EngineState::UnionPermutations) => shapley_by_permutations(
-                &self.db,
-                AnyQuery::Union(u),
-                f,
-                self.options.permutation_limit,
-            ),
+            (QuerySpec::Union(u), EngineState::UnionPermutations) => {
+                shapley_by_permutations_cancel(
+                    &self.db,
+                    AnyQuery::Union(u),
+                    f,
+                    self.options.permutation_limit,
+                    self.cancel.as_ref(),
+                )
+            }
             (_, EngineState::Aggregate(engines)) => {
                 self.check_endogenous(f)?;
                 Ok(engines
-                    .values(&self.db, &[f], &self.options)?
+                    .values(&self.db, &[f], &self.options, self.cancel.as_ref())?
                     .pop()
                     .expect("one fact requested"))
             }
@@ -441,6 +669,14 @@ impl ShapleySession {
     /// As [`ShapleySession::value`], for any fact of the slice.
     pub fn values(&self, facts: &[FactId]) -> Result<Vec<BigRational>, CoreError> {
         self.check_not_poisoned()?;
+        self.check_exact_available()?;
+        self.rearm();
+        self.values_armed(facts)
+    }
+
+    /// [`ShapleySession::values`] without re-arming the budget, for
+    /// internal callers that already armed it for a larger phase.
+    fn values_armed(&self, facts: &[FactId]) -> Result<Vec<BigRational>, CoreError> {
         match (&self.spec, &self.state) {
             (_, EngineState::CqCompiled(engine)) => {
                 engine_values(&self.db, engine, facts, self.options.threads)
@@ -468,18 +704,20 @@ impl ShapleySession {
                 for &f in facts {
                     self.check_endogenous(f)?;
                 }
-                Ok(exo_union_values(terms, facts)?.0)
+                Ok(exo_union_values(terms, facts, self.cancel.as_ref())?.0)
             }
             (QuerySpec::Union(u), EngineState::UnionBrute) => {
                 union_brute_values(&self.db, u, facts, &self.options)
             }
             (QuerySpec::Union(u), EngineState::UnionPermutations) => {
+                let cancel = &self.cancel;
                 crate::parallel::par_map_with(self.options.threads, facts.len(), |i| {
-                    shapley_by_permutations(
+                    shapley_by_permutations_cancel(
                         &self.db,
                         AnyQuery::Union(u),
                         facts[i],
                         self.options.permutation_limit,
+                        cancel.as_ref(),
                     )
                 })
                 .into_iter()
@@ -489,7 +727,7 @@ impl ShapleySession {
                 for &f in facts {
                     self.check_endogenous(f)?;
                 }
-                engines.values(&self.db, facts, &self.options)
+                engines.values(&self.db, facts, &self.options, self.cancel.as_ref())
             }
             _ => unreachable!("spec and state are built together"),
         }
@@ -503,6 +741,8 @@ impl ShapleySession {
     /// As [`ShapleySession::values`].
     pub fn report(&self) -> Result<ShapleyReport, CoreError> {
         self.check_not_poisoned()?;
+        self.check_exact_available()?;
+        self.rearm();
         if matches!(self.state, EngineState::CqAlwaysFalse) {
             return Ok(zero_report(&self.db));
         }
@@ -537,10 +777,10 @@ impl ShapleySession {
                 assemble_report_with_total(&self.db, values, total, expected)
             }
             EngineState::UnionExoShap(terms) => {
-                let (values, total) = exo_union_values(terms, &facts)?;
+                let (values, total) = exo_union_values(terms, &facts, self.cancel.as_ref())?;
                 assemble_report_with_total(&self.db, values, total, expected)
             }
-            _ => assemble_report(&self.db, self.values(&facts)?, expected),
+            _ => assemble_report(&self.db, self.values_armed(&facts)?, expected),
         };
         Ok(match &self.state {
             EngineState::Aggregate(engines) => report.with_stats(engines.stats),
@@ -578,6 +818,112 @@ impl ShapleySession {
                     .into(),
             )),
         }
+    }
+
+    /// The anytime estimator: stratified permutation sampling with CLT
+    /// confidence intervals for *every* endogenous fact, refined
+    /// widest-interval-first until each reaches `±ε` at confidence
+    /// `1 − δ` — or until the session budget trips, in which case the
+    /// partial (still valid, just wider) intervals are returned with
+    /// [`AnytimeReport::deadline_hit`] set rather than an error.
+    ///
+    /// The sampler state is retained: a second call resumes the same
+    /// strata and tightens the same estimates instead of starting over.
+    /// Database updates applied through the session invalidate the
+    /// state.
+    ///
+    /// # Errors
+    /// [`CoreError::Unsupported`] for aggregate sessions or invalid
+    /// `ε` / `δ`.
+    pub fn anytime(&mut self, params: &AnytimeParams) -> Result<AnytimeReport, CoreError> {
+        if matches!(self.spec, QuerySpec::Aggregate { .. }) {
+            return Err(CoreError::Unsupported(
+                "the anytime sampler estimates Boolean queries; aggregate sessions serve exact \
+                 values"
+                    .into(),
+            ));
+        }
+        self.rearm();
+        let query = match &self.spec {
+            QuerySpec::Cq(q) => AnyQuery::Cq(q),
+            QuerySpec::Union(u) => AnyQuery::Union(u),
+            QuerySpec::Aggregate { .. } => unreachable!("rejected above"),
+        };
+        shapley_anytime(
+            &self.db,
+            query,
+            params,
+            self.cancel.as_ref(),
+            &mut self.anytime,
+        )
+    }
+
+    /// The weighted-sums-of-minimal-supports responsibility measure of
+    /// every endogenous fact — the tractable floor of the degradation
+    /// ladder (see [`crate::wsms`]). Not a Shapley estimate: a
+    /// different attribution whose *ordering* information survives when
+    /// no Shapley tier fits the budget.
+    ///
+    /// # Errors
+    /// [`CoreError::Unsupported`] for aggregate sessions;
+    /// [`CoreError::DeadlineExceeded`] if even support enumeration
+    /// trips the budget.
+    pub fn wsms(&self, weight: WsmsWeight) -> Result<WsmsReport, CoreError> {
+        self.rearm();
+        match &self.spec {
+            QuerySpec::Cq(q) => {
+                wsms_report(&self.db, AnyQuery::Cq(q), weight, self.cancel.as_ref())
+            }
+            QuerySpec::Union(u) => {
+                wsms_report(&self.db, AnyQuery::Union(u), weight, self.cancel.as_ref())
+            }
+            QuerySpec::Aggregate { .. } => Err(CoreError::Unsupported(
+                "WSMS scores Boolean queries; aggregate sessions serve exact values".into(),
+            )),
+        }
+    }
+
+    /// The degradation ladder: the exact report if it finishes within
+    /// the budget, else the anytime sampler's interval estimates, else
+    /// the tractable WSMS measure — each tier consulted only if
+    /// `policy` allows it, each re-armed with the full session budget.
+    /// Genuine input errors (an unknown fact, a malformed query)
+    /// propagate instead of degrading; only budget and tractability
+    /// failures descend the ladder.
+    ///
+    /// # Errors
+    /// The exact tier's error when the policy allows no degradation,
+    /// plus anything the allowed tiers raise themselves.
+    pub fn report_tiered(&mut self, policy: &TierPolicy) -> Result<TieredAnswer, CoreError> {
+        let exact_unavailable = matches!(self.state, EngineState::ExactUnavailable(_));
+        let exact_err = match self.report() {
+            Ok(report) => return Ok(TieredAnswer::Exact(report)),
+            Err(e) => e,
+        };
+        if (!exact_unavailable && !tier_degradable(&exact_err))
+            || !(policy.allow_sampled || policy.allow_wsms)
+        {
+            return Err(exact_err);
+        }
+        if policy.allow_sampled {
+            let params = AnytimeParams {
+                epsilon: policy.epsilon,
+                delta: policy.delta,
+                seed: policy.seed,
+                ..AnytimeParams::default()
+            };
+            match self.anytime(&params) {
+                // A converged report answers the request; a partial one
+                // only if no further tier may take over.
+                Ok(report) if report.converged || !policy.allow_wsms => {
+                    return Ok(TieredAnswer::Sampled(report));
+                }
+                Ok(_) => {}
+                Err(e) if tier_degradable(&e) && policy.allow_wsms => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(TieredAnswer::Wsms(self.wsms(policy.wsms_weight)?))
     }
 
     /// The per-fact probabilities probabilistic reads evaluate at.
@@ -632,6 +978,7 @@ impl ShapleySession {
     /// [`CoreError::TooManyEndogenousFacts`] when only enumeration
     /// applies and `|Dn|` exceeds the limit.
     pub fn probability(&mut self) -> Result<BigRational, CoreError> {
+        self.rearm();
         self.ensure_prob_state()?;
         match &self.prob {
             ProbState::Cq(engine) => Ok(engine.probability().clone()),
@@ -648,12 +995,13 @@ impl ShapleySession {
                 }
                 Ok(acc)
             }
-            ProbState::Brute => probability_by_enumeration(
+            ProbState::Brute => probability_by_enumeration_cancel(
                 &self.db,
                 self.spec_query(),
                 &self.probs,
                 None,
                 self.options.brute_force_limit,
+                self.cancel.as_ref(),
             ),
             ProbState::Unsupported(reason) => Err(CoreError::Unsupported(reason.clone())),
             ProbState::NotBuilt => unreachable!("ensured above"),
@@ -671,6 +1019,7 @@ impl ShapleySession {
     /// [`ShapleySession::probability`] raises.
     pub fn expected_shapley(&mut self, f: FactId) -> Result<BigRational, CoreError> {
         self.check_endogenous(f)?;
+        self.rearm();
         self.ensure_prob_state()?;
         match &self.prob {
             ProbState::Cq(engine) => engine.expected_marginal(&self.db, f),
@@ -691,19 +1040,21 @@ impl ShapleySession {
                 Ok(acc)
             }
             ProbState::Brute => {
-                let present = probability_by_enumeration(
+                let present = probability_by_enumeration_cancel(
                     &self.db,
                     self.spec_query(),
                     &self.probs,
                     Some((f, true)),
                     self.options.brute_force_limit,
+                    self.cancel.as_ref(),
                 )?;
-                let absent = probability_by_enumeration(
+                let absent = probability_by_enumeration_cancel(
                     &self.db,
                     self.spec_query(),
                     &self.probs,
                     Some((f, false)),
                     self.options.brute_force_limit,
+                    self.cancel.as_ref(),
                 )?;
                 Ok(present - absent)
             }
@@ -737,14 +1088,19 @@ impl ShapleySession {
     /// evaluation errors propagate.
     fn build_prob_state(&self) -> Result<ProbState, CoreError> {
         let threads = self.options.threads;
+        let compile_prob = |db: &Database, q: &ConjunctiveQuery| match &self.cancel {
+            Some(token) => CompiledProbability::compile_with_cancel(
+                db,
+                q,
+                self.probs.clone(),
+                threads,
+                token.clone(),
+            ),
+            None => CompiledProbability::compile_with_threads(db, q, self.probs.clone(), threads),
+        };
         match &self.spec {
             QuerySpec::Cq(q) => {
-                match CompiledProbability::compile_with_threads(
-                    &self.db,
-                    q,
-                    self.probs.clone(),
-                    threads,
-                ) {
+                match compile_prob(&self.db, q) {
                     Ok(engine) => return Ok(ProbState::Cq(engine)),
                     Err(CoreError::NotHierarchical { .. })
                     | Err(CoreError::NotSelfJoinFree { .. }) => {}
@@ -754,12 +1110,7 @@ impl ShapleySession {
                     if outcome.always_false {
                         return Ok(ProbState::AlwaysFalse);
                     }
-                    if let Ok(engine) = CompiledProbability::compile_with_threads(
-                        &outcome.db,
-                        &outcome.query,
-                        self.probs.clone(),
-                        threads,
-                    ) {
+                    if let Ok(engine) = compile_prob(&outcome.db, &outcome.query) {
                         return Ok(ProbState::Rewritten {
                             db: Box::new(outcome.db),
                             engine,
@@ -777,12 +1128,7 @@ impl ShapleySession {
                     if CompiledUnionCount::check_tractable(&label, &q).is_err() {
                         return Ok(ProbState::Brute);
                     }
-                    match CompiledProbability::compile_with_threads(
-                        &self.db,
-                        &q,
-                        self.probs.clone(),
-                        threads,
-                    ) {
+                    match compile_prob(&self.db, &q) {
                         Ok(engine) => terms.push((negative, engine)),
                         Err(CoreError::NotHierarchical { .. })
                         | Err(CoreError::NotSelfJoinFree { .. }) => return Ok(ProbState::Brute),
@@ -802,6 +1148,11 @@ impl ShapleySession {
     /// Inserts a fact into the session's database and maintains the
     /// engine. Returns the new fact id.
     ///
+    /// When engine maintenance (or the fallback recompile) fails, the
+    /// database mutation is rolled back and the session keeps serving
+    /// the pre-update state — the error reports a *rejected* update,
+    /// never a session that diverged from its engine.
+    ///
     /// # Errors
     /// Database errors (arity mismatch, duplicates, exogenous-relation
     /// violations), plus anything engine maintenance raises.
@@ -811,25 +1162,31 @@ impl ShapleySession {
         constants: &[&str],
         provenance: Provenance,
     ) -> Result<FactId, CoreError> {
+        self.rearm();
+        let snapshot = self.db.clone();
         let f = self.db.insert(relation, constants, provenance)?;
-        self.after_update(EngineUpdate::Inserted(f))?;
+        self.after_update(EngineUpdate::Inserted(f), snapshot)?;
         Ok(f)
     }
 
     /// Retracts a fact in place (ids of all other facts stay stable)
-    /// and maintains the engine.
+    /// and maintains the engine. Failed maintenance rolls the retraction
+    /// back (see [`ShapleySession::insert_fact`]).
     ///
     /// # Errors
     /// [`DbError::UnknownFact`] on dangling ids, plus anything engine
     /// maintenance raises.
     pub fn retract_fact(&mut self, f: FactId) -> Result<(), CoreError> {
+        self.rearm();
+        let snapshot = self.db.clone();
         self.db.retract_fact(f)?;
-        self.after_update(EngineUpdate::Retracted(f))
+        self.after_update(EngineUpdate::Retracted(f), snapshot)
     }
 
     /// Flips a fact between endogenous and exogenous and maintains the
     /// engine. A no-op when the fact already has the requested
-    /// provenance.
+    /// provenance; failed maintenance rolls the flip back (see
+    /// [`ShapleySession::insert_fact`]).
     ///
     /// # Errors
     /// [`DbError::UnknownFact`] / [`DbError::ExogenousViolation`], plus
@@ -846,15 +1203,18 @@ impl ShapleySession {
         if self.db.fact(f).provenance == target {
             return Ok(());
         }
+        self.rearm();
+        let snapshot = self.db.clone();
         self.db.set_fact_provenance(f, target)?;
-        self.after_update(EngineUpdate::ProvenanceFlipped(f))
+        self.after_update(EngineUpdate::ProvenanceFlipped(f), snapshot)
     }
 
     /// Routes one applied database change into the engine: incremental
     /// maintenance where the compiled state supports it, a full
-    /// re-prepare otherwise.
-    fn after_update(&mut self, change: EngineUpdate) -> Result<(), CoreError> {
-        self.stats.updates += 1;
+    /// re-prepare otherwise. `snapshot` is the pre-update database; any
+    /// failure restores it and rebuilds, so the session's database and
+    /// engine never diverge.
+    fn after_update(&mut self, change: EngineUpdate, snapshot: Database) -> Result<(), CoreError> {
         // Maintain the cached probability engine first; states it cannot
         // absorb degrade to lazily rebuilt (never to stale answers).
         self.prob = match std::mem::replace(&mut self.prob, ProbState::NotBuilt) {
@@ -896,34 +1256,82 @@ impl ShapleySession {
             Ok(m) => m,
             Err(e) => {
                 // The engine may be half-patched (the recount errored
-                // mid-swap): never serve from it again.
-                self.resolved = None;
-                self.state = EngineState::Poisoned(e.to_string());
-                return Err(e);
+                // mid-swap): roll the database back and rebuild from the
+                // restored copy instead of serving from it again.
+                return Err(self.roll_back(snapshot, e));
             }
         };
         if maintained {
+            self.stats.updates += 1;
             self.stats.incremental_updates += 1;
+            self.anytime = None;
             return Ok(());
         }
-        self.stats.full_recompiles += 1;
-        match build_state(&self.db, &self.spec, &self.options) {
+        match build_state(&self.db, &self.spec, &self.options, self.cancel.as_ref()) {
             Ok((resolved, complexity, state)) => {
                 self.resolved = resolved;
                 self.complexity = complexity;
                 self.state = state;
+                self.stats.updates += 1;
+                self.stats.full_recompiles += 1;
+                self.anytime = None;
                 Ok(())
             }
+            // A session already serving degraded tiers keeps the update
+            // and stays degraded when the rebuild fails for the same
+            // kind of reason — a fallback session must absorb updates to
+            // the very instances whose exact preparation fails.
+            Err(e)
+                if tier_degradable(&e)
+                    && matches!(self.state, EngineState::ExactUnavailable(_)) =>
+            {
+                self.state = EngineState::ExactUnavailable(e.to_string());
+                self.stats.updates += 1;
+                self.anytime = None;
+                Ok(())
+            }
+            // The update pushed the input outside every strategy's
+            // reach (or past the budget): reject it wholesale.
+            Err(e) => Err(self.roll_back(snapshot, e)),
+        }
+    }
+
+    /// Restores the pre-update database and rebuilds the engine from
+    /// it, so a failed update is *rejected* rather than poisoning the
+    /// session. The restored database was preparable a moment ago, so
+    /// the rebuild virtually always succeeds; if it does not (e.g. the
+    /// budget tripped again), the session is poisoned — with the
+    /// database still restored — until [`ShapleySession::recover`].
+    /// Returns the error to surface for the rejected update.
+    fn roll_back(&mut self, snapshot: Database, cause: CoreError) -> CoreError {
+        self.db = snapshot;
+        self.prob = ProbState::NotBuilt;
+        self.stats.rolled_back += 1;
+        // The failure may have tripped the (sticky) session token; the
+        // restoration rebuild deserves a fresh budget of its own.
+        self.rearm();
+        match build_state(&self.db, &self.spec, &self.options, self.cancel.as_ref()) {
+            Ok((resolved, complexity, state)) => {
+                self.resolved = resolved;
+                self.complexity = complexity;
+                self.state = state;
+            }
+            // A fallback session never had an exact engine to lose: a
+            // degradable rebuild failure leaves it serving its degraded
+            // tiers from the restored database.
+            Err(e)
+                if tier_degradable(&e)
+                    && matches!(self.state, EngineState::ExactUnavailable(_)) =>
+            {
+                self.resolved = None;
+                self.state = EngineState::ExactUnavailable(e.to_string());
+            }
             Err(e) => {
-                // The database is updated but no engine serves it (e.g.
-                // the update pushed the input outside the resolved
-                // strategy's reach). Poison the state so reads fail
-                // loudly instead of answering from a stale engine.
                 self.resolved = None;
                 self.state = EngineState::Poisoned(e.to_string());
-                Err(e)
             }
         }
+        cause
     }
 }
 
@@ -941,9 +1349,16 @@ fn check_probability(p: &BigRational) -> Result<(), CoreError> {
 /// The signed numerator sum of the `ExoShap` union terms for one fact
 /// (every rewritten database keeps the original `Dn`, so all terms
 /// share the denominator `m!`).
-fn exo_union_numerator(terms: &[ExoTerm], f: FactId) -> Result<BigInt, CoreError> {
+fn exo_union_numerator(
+    terms: &[ExoTerm],
+    f: FactId,
+    cancel: Option<&CancelToken>,
+) -> Result<BigInt, CoreError> {
     let mut acc = BigInt::zero();
     for t in terms {
+        if let Some(token) = cancel {
+            crate::budget::check(token, "union-terms")?;
+        }
         let n = t.engine.shapley_numerator(&t.db, f)?;
         if t.negative {
             acc -= &n;
@@ -962,15 +1377,20 @@ fn exo_union_normalize(terms: &[ExoTerm], num: BigInt) -> BigRational {
 }
 
 /// Per-fact values and the exact total for the `ExoShap` union state,
-/// all accumulated in the shared numerator domain.
+/// all accumulated in the shared numerator domain. A tripped budget
+/// reports how many facts completed.
 fn exo_union_values(
     terms: &[ExoTerm],
     facts: &[FactId],
+    cancel: Option<&CancelToken>,
 ) -> Result<(Vec<BigRational>, BigRational), CoreError> {
     let mut total = BigInt::zero();
     let mut values = Vec::with_capacity(facts.len());
     for &f in facts {
-        let num = exo_union_numerator(terms, f)?;
+        if let Some(token) = cancel {
+            crate::budget::check_partial(token, "union-terms", Some(values.len()))?;
+        }
+        let num = exo_union_numerator(terms, f, cancel)?;
         total += &num;
         values.push(exo_union_normalize(terms, num));
     }
@@ -980,6 +1400,7 @@ fn exo_union_values(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::probability_by_enumeration;
     use crate::shapley::Strategy;
     use cqshap_query::{parse_cq, parse_ucq};
 
@@ -1181,10 +1602,11 @@ mod tests {
     }
 
     #[test]
-    fn failed_rebuild_poisons_the_session() {
+    fn failed_rebuild_rolls_back_the_update() {
         // A self-join routes Auto to brute force; pushing |Dn| past the
-        // limit makes the post-update rebuild fail, and reads must
-        // error instead of serving stale answers.
+        // limit makes the post-update rebuild fail. The session rejects
+        // the update wholesale: the database mutation is rolled back
+        // and reads keep serving the pre-update state.
         let mut db = Database::new();
         for i in 0..3 {
             db.add_endo("R", &[&format!("a{i}"), &format!("b{i}")])
@@ -1194,16 +1616,127 @@ mod tests {
         let opts = ShapleyOptions::auto().brute_force_limit(3);
         let mut session = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &opts).unwrap();
         let f = session.database().endo_facts()[0];
-        assert!(session.value(f).is_ok());
+        let before = session.value(f).unwrap();
         let err = session
             .insert_fact("R", &["c", "d"], Provenance::Endogenous)
             .unwrap_err();
         assert!(matches!(err, CoreError::TooManyEndogenousFacts { .. }));
+        // Rolled back: same fact count, same answers, healthy session.
+        assert!(!session.is_poisoned());
+        assert_eq!(session.database().endo_count(), 3);
+        assert_eq!(session.value(f).unwrap(), before);
+        assert_eq!(session.stats().rolled_back, 1);
+        assert_eq!(session.stats().updates, 0);
+        // And the session still accepts updates that fit the strategy.
+        session.retract_fact(f).unwrap();
+        assert_eq!(session.database().endo_count(), 2);
+    }
+
+    #[test]
+    fn poisoned_sessions_recover_in_place() {
+        let db = university();
+        let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &ShapleyOptions::auto()).unwrap();
+        let adam = db.find_fact("TA", &["Adam"]).unwrap();
+        let before = session.value(adam).unwrap();
+        session.poison_for_tests("synthetic maintenance failure");
+        assert!(session.is_poisoned());
+        assert!(matches!(
+            session.value(adam),
+            Err(CoreError::Unsupported(_))
+        ));
+        assert!(matches!(session.report(), Err(CoreError::Unsupported(_))));
+        // recover() rebuilds from the retained database: answers are
+        // bit-identical to the pre-poisoning state.
+        session.recover().unwrap();
+        assert!(!session.is_poisoned());
+        assert_eq!(session.value(adam).unwrap(), before);
+        assert_eq!(session.strategy(), Some(ResolvedStrategy::Hierarchical));
+        // recover() on a healthy session is a no-op.
+        session.recover().unwrap();
+        assert_eq!(session.value(adam).unwrap(), before);
+    }
+
+    /// A non-hierarchical instance (path x–y between R(x) and T(y))
+    /// with `m` endogenous facts: every exact tier rejects it once `m`
+    /// exceeds the brute-force limit.
+    fn hard_instance(m: usize) -> Database {
+        let mut db = Database::new();
+        for i in 0..m / 2 {
+            db.add_endo("R", &[&format!("a{i}")]).unwrap();
+            db.add_endo("S", &[&format!("a{i}"), "u"]).unwrap();
+        }
+        db.add_endo("T", &["u"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn fallback_sessions_serve_degraded_tiers_only() {
+        let db = hard_instance(8);
+        let q = parse_cq("q() :- R(x), S(x, y), T(y)").unwrap();
+        let opts = ShapleyOptions::auto().brute_force_limit(4);
+        // The plain constructor rejects the instance outright…
+        assert!(ShapleySession::prepare(&db, AnyQuery::Cq(&q), &opts).is_err());
+        // …the fallback constructor hands back a degraded session.
+        let mut session =
+            ShapleySession::prepare_with_fallback(&db, AnyQuery::Cq(&q), &opts).unwrap();
+        assert!(session.is_exact_unavailable());
+        assert!(!session.is_poisoned());
+        let f = session.database().endo_facts()[0];
         assert!(matches!(session.value(f), Err(CoreError::Unsupported(_))));
-        // Retracting back under the limit restores a working engine.
-        let ids: Vec<FactId> = session.database().fact_ids().collect();
-        session.retract_fact(ids[ids.len() - 1]).unwrap();
-        assert!(session.value(f).is_ok());
+        assert!(matches!(session.report(), Err(CoreError::Unsupported(_))));
+        // The degraded tiers answer: the ladder lands on a sampled (or
+        // WSMS) report, and both degraded reads work directly.
+        let answer = session.report_tiered(&TierPolicy::default()).unwrap();
+        assert!(!matches!(answer, TieredAnswer::Exact(_)));
+        let anytime = session
+            .anytime(&AnytimeParams {
+                epsilon: 0.25,
+                ..AnytimeParams::default()
+            })
+            .unwrap();
+        assert_eq!(anytime.entries.len(), session.database().endo_count());
+        assert!(
+            session
+                .wsms(WsmsWeight::SizeInverse)
+                .unwrap()
+                .minimal_supports
+                > 0
+        );
+    }
+
+    #[test]
+    fn fallback_sessions_absorb_updates_and_upgrade_when_possible() {
+        let db = hard_instance(8);
+        let q = parse_cq("q() :- R(x), S(x, y), T(y)").unwrap();
+        let opts = ShapleyOptions::auto().brute_force_limit(4);
+        let mut session =
+            ShapleySession::prepare_with_fallback(&db, AnyQuery::Cq(&q), &opts).unwrap();
+        // An update on a still-intractable instance is kept, not rolled
+        // back: the session stays degraded and keeps serving.
+        session
+            .insert_fact("R", &["extra"], Provenance::Endogenous)
+            .unwrap();
+        assert!(session.is_exact_unavailable());
+        assert_eq!(session.database().endo_count(), 10);
+        assert_eq!(session.stats().updates, 1);
+        assert_eq!(session.stats().rolled_back, 0);
+        assert!(session.report_tiered(&TierPolicy::default()).is_ok());
+        // Retracting below the brute-force limit re-prepares an exact
+        // engine: the session upgrades out of the degraded state.
+        let facts: Vec<FactId> = session.database().endo_facts().to_vec();
+        for &f in &facts[..6] {
+            session.retract_fact(f).unwrap();
+        }
+        assert!(!session.is_exact_unavailable());
+        let report = session.report().unwrap();
+        assert!(report.efficiency_holds());
+        // And the exact tier now answers the ladder's first rung.
+        assert!(matches!(
+            session.report_tiered(&TierPolicy::default()).unwrap(),
+            TieredAnswer::Exact(_)
+        ));
     }
 
     fn rat(p: i64, q: i64) -> BigRational {

@@ -26,6 +26,7 @@ use cqshap_query::{
 };
 
 use crate::anyquery::AnyQuery;
+use crate::budget::{Budget, CancelToken};
 use crate::compiled::CompiledCount;
 use crate::compiled_union::CompiledUnionCount;
 use crate::error::CoreError;
@@ -83,6 +84,12 @@ pub struct ShapleyOptions {
     /// count, which is what `--threads N` on the CLI and the
     /// `bench-report` scaling rows rely on.
     pub threads: usize,
+    /// Wall-clock / work-unit budget for exact computation. The
+    /// default ([`Budget::UNLIMITED`]) never trips; any cap makes the
+    /// long-running phases poll a shared [`crate::CancelToken`] and
+    /// return [`CoreError::DeadlineExceeded`] instead of running to
+    /// completion.
+    pub budget: Budget,
 }
 
 impl ShapleyOptions {
@@ -126,6 +133,33 @@ impl ShapleyOptions {
         self.threads = threads;
         self
     }
+
+    /// Sets the computation budget (deadline and/or work-unit cap).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Convenience: a wall-clock deadline of `ms` milliseconds.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.budget = Budget::wall_ms(ms);
+        self
+    }
+
+    /// A fresh armed token for this call when the budget is limited.
+    pub(crate) fn cancel_token(&self) -> Option<CancelToken> {
+        (!self.budget.is_unlimited()).then(|| self.budget.token())
+    }
+
+    /// The brute-force oracle honoring `brute_force_limit` and, when the
+    /// budget is limited, polling a fresh token armed for this call.
+    pub(crate) fn brute_oracle(&self) -> BruteForceCounter {
+        let counter = BruteForceCounter::with_limit(self.brute_force_limit);
+        match self.cancel_token() {
+            Some(token) => counter.with_cancel(token),
+            None => counter,
+        }
+    }
 }
 
 impl Default for ShapleyOptions {
@@ -136,6 +170,7 @@ impl Default for ShapleyOptions {
             permutation_limit: 9,
             tuple_budget: cqshap_db::complement::DEFAULT_TUPLE_BUDGET,
             threads: 0,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -188,6 +223,23 @@ pub fn shapley_by_permutations(
     f: FactId,
     limit: usize,
 ) -> Result<BigRational, CoreError> {
+    shapley_by_permutations_cancel(db, q, f, limit, None)
+}
+
+/// [`shapley_by_permutations`] polling a [`CancelToken`] every `1024`
+/// permutations; a tripped budget returns
+/// [`CoreError::DeadlineExceeded`] with phase `permutations`.
+///
+/// # Errors
+/// As [`shapley_by_permutations`], plus
+/// [`CoreError::DeadlineExceeded`].
+pub fn shapley_by_permutations_cancel(
+    db: &Database,
+    q: AnyQuery<'_>,
+    f: FactId,
+    limit: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<BigRational, CoreError> {
     let pos = db
         .endo_index(f)
         .ok_or_else(|| CoreError::FactNotEndogenous {
@@ -200,7 +252,12 @@ pub fn shapley_by_permutations(
     let compiled = q.compile(db);
     let mut order: Vec<usize> = (0..m).collect();
     let mut total = BigInt::zero();
+    let mut visited: u64 = 0;
     permute(&mut order, 0, &mut |perm| {
+        visited += 1;
+        if visited & 0x3FF == 0 && cancel.is_some_and(|c| c.charge(1)) {
+            return false;
+        }
         let mut world = World::empty(db);
         for &p in perm {
             if p == pos {
@@ -212,21 +269,30 @@ pub fn shapley_by_permutations(
         world.insert(db, f);
         let after = compiled.satisfied(db, &world);
         total += &BigInt::from_i64(after as i64 - before as i64);
+        true
     });
+    if let Some(token) = cancel {
+        crate::budget::check(token, "permutations")?;
+    }
     let table = FactorialTable::new(m);
     Ok(BigRational::from_int(total) / BigRational::from(table.factorial(m).clone()))
 }
 
-fn permute(order: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+/// Visits every permutation in place; the visitor returns `false` to
+/// abort the enumeration (cooperative cancellation).
+fn permute(order: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize]) -> bool) -> bool {
     if k == order.len() {
-        visit(order);
-        return;
+        return visit(order);
     }
     for i in k..order.len() {
         order.swap(k, i);
-        permute(order, k + 1, visit);
+        let keep_going = permute(order, k + 1, visit);
         order.swap(k, i);
+        if !keep_going {
+            return false;
+        }
     }
+    true
 }
 
 /// Computes `Shapley(D, q, f)` for a CQ¬ using `options.strategy`.
@@ -296,7 +362,8 @@ pub fn shapley_report_union_per_fact(
     options: &ShapleyOptions,
 ) -> Result<ShapleyReport, CoreError> {
     let facts = db.endo_facts();
-    let values = match resolve_union_route(db, u, options)? {
+    let cancel = options.cancel_token();
+    let values = match resolve_union_route(db, u, options, cancel.as_ref())? {
         UnionRoute::Compiled => {
             let subsets: Vec<(bool, ConjunctiveQuery)> =
                 CompiledUnionCount::subset_conjunctions(u)?
@@ -324,8 +391,15 @@ pub fn shapley_report_union_per_fact(
         }
         UnionRoute::BruteForce => union_brute_values(db, u, facts, options)?,
         UnionRoute::Permutations => {
+            let cancel = &cancel;
             crate::parallel::par_map_with(options.threads, facts.len(), |i| {
-                shapley_by_permutations(db, AnyQuery::Union(u), facts[i], options.permutation_limit)
+                shapley_by_permutations_cancel(
+                    db,
+                    AnyQuery::Union(u),
+                    facts[i],
+                    options.permutation_limit,
+                    cancel.as_ref(),
+                )
             })
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?
@@ -381,11 +455,20 @@ pub(crate) enum UnionRoute {
 fn compile_exoshap_terms(
     terms: Vec<(bool, exoshap::RewriteOutcome)>,
     threads: usize,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<(bool, exoshap::RewriteOutcome, CompiledCount)>, CoreError> {
     terms
         .into_iter()
         .map(|(negative, outcome)| {
-            let engine = CompiledCount::compile_with_threads(&outcome.db, &outcome.query, threads)?;
+            let engine = match cancel {
+                Some(token) => CompiledCount::compile_with_cancel(
+                    &outcome.db,
+                    &outcome.query,
+                    threads,
+                    token.clone(),
+                )?,
+                None => CompiledCount::compile_with_threads(&outcome.db, &outcome.query, threads)?,
+            };
             Ok((negative, outcome, engine))
         })
         .collect()
@@ -410,6 +493,7 @@ pub(crate) fn resolve_union_route(
     db: &Database,
     u: &UnionQuery,
     options: &ShapleyOptions,
+    cancel: Option<&CancelToken>,
 ) -> Result<UnionRoute, CoreError> {
     match options.strategy {
         Strategy::BruteForcePermutations => Ok(UnionRoute::Permutations),
@@ -421,13 +505,18 @@ pub(crate) fn resolve_union_route(
         Strategy::ExoShap => Ok(UnionRoute::ExoShap(compile_exoshap_terms(
             exoshap_union_terms(db, u, options.tuple_budget)?,
             options.threads,
+            cancel,
         )?)),
         Strategy::Auto => match check_union_tractable(u) {
             Ok(()) => Ok(UnionRoute::Compiled),
             Err(e) if compiled_union_inapplicable(&e) => {
                 if let Ok(terms) = exoshap_union_terms(db, u, options.tuple_budget) {
-                    if let Ok(compiled) = compile_exoshap_terms(terms, options.threads) {
-                        return Ok(UnionRoute::ExoShap(compiled));
+                    match compile_exoshap_terms(terms, options.threads, cancel) {
+                        Ok(compiled) => return Ok(UnionRoute::ExoShap(compiled)),
+                        // A tripped deadline must surface, not silently
+                        // downgrade the route to brute force.
+                        Err(d @ CoreError::DeadlineExceeded { .. }) => return Err(d),
+                        Err(_) => {}
                     }
                 }
                 if db.endo_count() <= options.brute_force_limit {
@@ -469,14 +558,7 @@ pub(crate) fn union_brute_value(
     f: FactId,
     options: &ShapleyOptions,
 ) -> Result<BigRational, CoreError> {
-    shapley_via_counts(
-        db,
-        AnyQuery::Union(u),
-        f,
-        &BruteForceCounter {
-            limit: options.brute_force_limit,
-        },
-    )
+    shapley_via_counts(db, AnyQuery::Union(u), f, &options.brute_oracle())
 }
 
 pub(crate) fn union_brute_values(
@@ -861,23 +943,44 @@ fn engine_numerator_values(
         loads[t] += bucket.len();
         assignments[t].extend(bucket);
     }
+    // Lanes return their completed prefix alongside any error so a
+    // tripped deadline can report how many facts finished.
     let computed = crate::parallel::par_map_with(threads, assignments.len(), |t| {
-        assignments[t]
-            .iter()
-            .map(|&i| {
-                let num = compiled.numerator(db, facts[i])?;
-                let value = compiled.normalize(num.clone());
-                Ok::<_, CoreError>((i, num, value))
-            })
-            .collect::<Result<Vec<_>, _>>()
+        let mut done = Vec::new();
+        for &i in &assignments[t] {
+            match compiled.numerator(db, facts[i]) {
+                Ok(num) => {
+                    let value = compiled.normalize(num.clone());
+                    done.push((i, num, value));
+                }
+                Err(e) => return (done, Some(e)),
+            }
+        }
+        (done, None)
     });
     let mut values: Vec<Option<BigRational>> = vec![None; facts.len()];
     let mut total = BigInt::zero();
-    for part in computed {
-        for (i, num, v) in part? {
+    let mut completed = 0usize;
+    let mut failure: Option<CoreError> = None;
+    for (part, err) in computed {
+        for (i, num, v) in part {
             total += &num;
             values[i] = Some(v);
+            completed += 1;
         }
+        if failure.is_none() {
+            failure = err;
+        }
+    }
+    if let Some(e) = failure {
+        return Err(match e {
+            CoreError::DeadlineExceeded { phase, elapsed, .. } => CoreError::DeadlineExceeded {
+                phase,
+                elapsed,
+                partial: Some(completed),
+            },
+            other => other,
+        });
     }
     Ok((
         values
@@ -939,21 +1042,31 @@ pub(crate) fn per_fact_values(
     options: &ShapleyOptions,
     materialize: bool,
 ) -> Result<Vec<BigRational>, CoreError> {
+    // One armed token shared by every worker lane: the deadline bounds
+    // the whole report, not each fact.
+    let cancel = options.cancel_token();
     let oracle: Box<dyn SatCountOracle> = match resolved {
         ResolvedStrategy::Hierarchical | ResolvedStrategy::ExoShap => Box::new(HierarchicalCounter),
         ResolvedStrategy::BruteForce | ResolvedStrategy::Permutations => {
-            Box::new(BruteForceCounter {
-                limit: options.brute_force_limit,
+            let counter = BruteForceCounter::with_limit(options.brute_force_limit);
+            Box::new(match &cancel {
+                Some(token) => counter.with_cancel(token.clone()),
+                None => counter,
             })
         }
     };
     let oracle_ref: &dyn SatCountOracle = oracle.as_ref();
+    let cancel_ref = cancel.as_ref();
     crate::parallel::par_map_with(options.threads, facts.len(), |i| {
         let f = facts[i];
         match resolved {
-            ResolvedStrategy::Permutations => {
-                shapley_by_permutations(eff_db, AnyQuery::Cq(eff_q), f, options.permutation_limit)
-            }
+            ResolvedStrategy::Permutations => shapley_by_permutations_cancel(
+                eff_db,
+                AnyQuery::Cq(eff_q),
+                f,
+                options.permutation_limit,
+                cancel_ref,
+            ),
             _ if materialize => shapley_via_materialized_counts(eff_db, eff_q, f, oracle_ref),
             _ => shapley_via_counts(eff_db, AnyQuery::Cq(eff_q), f, oracle_ref),
         }

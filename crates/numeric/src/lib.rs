@@ -31,6 +31,7 @@
 
 pub mod bigint;
 pub mod biguint;
+pub mod cancel;
 pub mod combinatorics;
 pub mod linalg;
 pub mod poly;
@@ -38,6 +39,7 @@ pub mod rational;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
+pub use cancel::{Budget, CancelToken};
 pub use combinatorics::{binomial, factorial, BinomialCache, FactorialTable};
 pub use linalg::RationalMatrix;
 pub use poly::Poly;

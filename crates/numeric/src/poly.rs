@@ -64,6 +64,7 @@ use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use crate::biguint::BigUint;
+use crate::cancel::CancelToken;
 
 /// Below this `min(len)` the schoolbook loop wins outright and the
 /// work model is not even consulted.
@@ -101,16 +102,30 @@ pub fn mul(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
 
 /// [`mul`] through an explicit [`Backend`].
 pub fn mul_with(a: &[BigUint], b: &[BigUint], backend: Backend) -> Vec<BigUint> {
+    mul_impl(a, b, backend, None)
+}
+
+/// [`mul_with`] with an optional cooperative [`CancelToken`]: a tripped
+/// token makes the NTT backend skip its remaining prime passes and
+/// return a placeholder of the conventional length. Callers must check
+/// the token before trusting the result — the flag is sticky, so one
+/// check after the whole computation suffices.
+fn mul_impl(
+    a: &[BigUint],
+    b: &[BigUint],
+    backend: Backend,
+    cancel: Option<&CancelToken>,
+) -> Vec<BigUint> {
     if a.is_empty() || b.is_empty() {
         return vec![BigUint::zero(); (a.len() + b.len()).saturating_sub(1)];
     }
     match backend {
         Backend::Schoolbook => mul_schoolbook(a, b),
         Backend::Karatsuba => mul_karatsuba(a, b),
-        Backend::Ntt => mul_ntt(a, b),
+        Backend::Ntt => mul_ntt(a, b, cancel),
         Backend::Auto => match estimate(a, b) {
             Backend::Karatsuba => mul_karatsuba(a, b),
-            Backend::Ntt => mul_ntt(a, b),
+            Backend::Ntt => mul_ntt(a, b, cancel),
             _ => mul_schoolbook(a, b),
         },
     }
@@ -239,7 +254,20 @@ pub fn product_tree(polys: &[&[BigUint]], threads: usize) -> Vec<BigUint> {
 
 /// [`product_tree`] through an explicit [`Backend`].
 pub fn product_tree_with(polys: &[&[BigUint]], threads: usize, backend: Backend) -> Vec<BigUint> {
-    tree_product(polys, resolve_threads(threads), backend)
+    tree_product(polys, resolve_threads(threads), backend, None)
+}
+
+/// [`product_tree`] with a cooperative [`CancelToken`] checked at every
+/// tree node (and inside the NTT backend's prime passes). A tripped
+/// token short-circuits the remaining combines and returns a
+/// placeholder; the caller must check the token before using the
+/// result (the flag is sticky).
+pub fn product_tree_cancel(
+    polys: &[&[BigUint]],
+    threads: usize,
+    cancel: &CancelToken,
+) -> Vec<BigUint> {
+    tree_product(polys, resolve_threads(threads), Backend::Auto, Some(cancel))
 }
 
 /// For each `i`, `seed ⊛ ⊛_{j≠i} polys[j]` — the engines'
@@ -271,7 +299,7 @@ pub fn leave_one_out_products_with(
     threads: usize,
     backend: Backend,
 ) -> Vec<Vec<BigUint>> {
-    leave_one_out_impl(polys, seed, resolve_threads(threads), backend)
+    leave_one_out_impl(polys, seed, resolve_threads(threads), backend, None)
         .into_iter()
         .map(|env| match std::sync::Arc::try_unwrap(env) {
             Ok(v) => v,
@@ -289,7 +317,26 @@ pub fn leave_one_out_products_shared(
     seed: &[BigUint],
     threads: usize,
 ) -> Vec<std::sync::Arc<Vec<BigUint>>> {
-    leave_one_out_impl(polys, seed, resolve_threads(threads), Backend::Auto)
+    leave_one_out_impl(polys, seed, resolve_threads(threads), Backend::Auto, None)
+}
+
+/// [`leave_one_out_products_shared`] with a cooperative [`CancelToken`]
+/// checked through the product tree and the per-factor divisions. Same
+/// contract as [`product_tree_cancel`]: check the token before using
+/// the result.
+pub fn leave_one_out_products_shared_cancel(
+    polys: &[&[BigUint]],
+    seed: &[BigUint],
+    threads: usize,
+    cancel: &CancelToken,
+) -> Vec<std::sync::Arc<Vec<BigUint>>> {
+    leave_one_out_impl(
+        polys,
+        seed,
+        resolve_threads(threads),
+        Backend::Auto,
+        Some(cancel),
+    )
 }
 
 /// An owned polynomial over [`BigUint`] coefficients (index = degree),
@@ -746,7 +793,7 @@ fn max_bits(poly: &[BigUint]) -> usize {
     poly.iter().map(BigUint::bit_len).max().unwrap_or(0)
 }
 
-fn mul_ntt(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+fn mul_ntt(a: &[BigUint], b: &[BigUint], cancel: Option<&CancelToken>) -> Vec<BigUint> {
     let out_len = a.len() + b.len() - 1;
     assert!(
         out_len <= 1 << MAX_TWO_ADICITY,
@@ -758,10 +805,16 @@ fn mul_ntt(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
     let need_bits = max_bits(a) + max_bits(b) + (usize::BITS - sum_terms.leading_zeros()) as usize;
     let t = need_bits / 62 + 1; // every prime exceeds 2^62
     let primes = ntt_primes(t);
-    let residues: Vec<Vec<u64>> = primes
-        .iter()
-        .map(|pr| convolve_mod(a, b, out_len, pr))
-        .collect();
+    let mut residues: Vec<Vec<u64>> = Vec::with_capacity(t);
+    for pr in &primes {
+        // One checkpoint per prime pass: a tripped token abandons the
+        // remaining transforms and returns an all-zero placeholder of
+        // the conventional length (callers re-check the sticky flag).
+        if cancel.is_some_and(|c| c.charge(1)) {
+            return vec![BigUint::zero(); out_len];
+        }
+        residues.push(convolve_mod(a, b, out_len, pr));
+    }
 
     // Garner's mixed-radix CRT. Precomputed per prime i: the previous
     // primes in Montgomery form (one Montgomery factor per product
@@ -840,19 +893,34 @@ fn work_size(polys: &[&[BigUint]]) -> usize {
 
 const PARALLEL_MIN_COEFFS: usize = 128;
 
-fn tree_product(polys: &[&[BigUint]], threads: usize, backend: Backend) -> Vec<BigUint> {
+fn tree_product(
+    polys: &[&[BigUint]],
+    threads: usize,
+    backend: Backend,
+    cancel: Option<&CancelToken>,
+) -> Vec<BigUint> {
     match polys {
         [] => vec![BigUint::one()],
         [p] => p.to_vec(),
         _ => {
+            // One charge per internal node: the tree has O(n) nodes, so
+            // the checkpoint overhead stays far below the convolution
+            // work it bounds. A tripped token collapses the remaining
+            // subtrees to `[1]` placeholders (the caller re-checks the
+            // sticky flag before using the product).
+            if let Some(c) = cancel {
+                if c.charge(1) {
+                    return vec![BigUint::one()];
+                }
+            }
             let (left, right) = polys.split_at(polys.len() / 2);
             let (lp, rp) = join_halves(
                 threads,
                 work_size(polys),
-                || tree_product(left, threads - threads / 2, backend),
-                || tree_product(right, threads / 2, backend),
+                || tree_product(left, threads - threads / 2, backend, cancel),
+                || tree_product(right, threads / 2, backend, cancel),
             );
-            mul_with(&lp, &rp, backend)
+            mul_impl(&lp, &rp, backend, cancel)
         }
     }
 }
@@ -862,6 +930,7 @@ fn leave_one_out_impl(
     seed: &[BigUint],
     threads: usize,
     backend: Backend,
+    cancel: Option<&CancelToken>,
 ) -> Vec<std::sync::Arc<Vec<BigUint>>> {
     use std::sync::Arc;
     match polys {
@@ -891,8 +960,14 @@ fn leave_one_out_impl(
                 class_of[i] = c;
             }
         }
-        let total = tree_product(polys, threads, backend);
+        let total = tree_product(polys, threads, backend, cancel);
         let full = mul_with(seed, &total, backend);
+        if cancel.is_some_and(|c| c.charge(1)) {
+            // Don't run the per-factor divisions against a placeholder
+            // product; hand back right-shaped placeholder environments.
+            let env = Arc::new(seed.to_vec());
+            return vec![env; polys.len()];
+        }
         let rep_envs = par_map_chunks(threads, reps.len(), |r| exact_div(&full, polys[reps[r]]));
         if rep_envs.iter().all(Option::is_some) {
             let rep_envs: Vec<Arc<Vec<BigUint>>> = rep_envs
@@ -904,7 +979,7 @@ fn leave_one_out_impl(
         // Unreachable for exact inputs, but the descent is always
         // correct — prefer a slow answer to a panic.
     }
-    fill_leave_one_out(polys, seed.to_vec(), threads, backend)
+    fill_leave_one_out(polys, seed.to_vec(), threads, backend, cancel)
         .into_iter()
         .map(Arc::new)
         .collect()
@@ -939,18 +1014,24 @@ fn fill_leave_one_out(
     acc: Vec<BigUint>,
     threads: usize,
     backend: Backend,
+    cancel: Option<&CancelToken>,
 ) -> Vec<Vec<BigUint>> {
     match polys {
         [] => Vec::new(),
         [_] => vec![acc],
         _ => {
+            if let Some(c) = cancel {
+                if c.charge(1) {
+                    return vec![acc; polys.len()];
+                }
+            }
             let (left, right) = polys.split_at(polys.len() / 2);
             let size = work_size(polys);
             let (left_product, right_product) = join_halves(
                 threads,
                 size,
-                || tree_product(left, threads - threads / 2, backend),
-                || tree_product(right, threads / 2, backend),
+                || tree_product(left, threads - threads / 2, backend, cancel),
+                || tree_product(right, threads / 2, backend, cancel),
             );
             let (mut lo, ro) = join_halves(
                 threads,
@@ -958,17 +1039,19 @@ fn fill_leave_one_out(
                 || {
                     fill_leave_one_out(
                         left,
-                        mul_with(&acc, &right_product, backend),
+                        mul_impl(&acc, &right_product, backend, cancel),
                         threads - threads / 2,
                         backend,
+                        cancel,
                     )
                 },
                 || {
                     fill_leave_one_out(
                         right,
-                        mul_with(&acc, &left_product, backend),
+                        mul_impl(&acc, &left_product, backend, cancel),
                         threads / 2,
                         backend,
+                        cancel,
                     )
                 },
             );
@@ -1165,6 +1248,25 @@ mod tests {
             }
             assert_eq!(env, &want, "environment {i} with a zero factor");
         }
+    }
+
+    #[test]
+    fn cancelled_trees_return_placeholders_and_trip_the_token() {
+        use crate::cancel::CancelToken;
+        let polys: Vec<Vec<BigUint>> = (0..16).map(|i| v(&[1, i + 1])).collect();
+        let refs: Vec<&[BigUint]> = polys.iter().map(|p| p.as_slice()).collect();
+
+        let live = CancelToken::unlimited();
+        let want = product_tree(&refs, 1);
+        assert_eq!(product_tree_cancel(&refs, 1, &live), want);
+        assert!(!live.should_stop());
+
+        let tripped = CancelToken::unlimited();
+        tripped.cancel();
+        let _ = product_tree_cancel(&refs, 1, &tripped);
+        assert!(tripped.should_stop(), "the flag stays sticky");
+        let envs = leave_one_out_products_shared_cancel(&refs, &v(&[1]), 1, &tripped);
+        assert_eq!(envs.len(), refs.len(), "placeholders keep the shape");
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // useless multiplicatively on the gap family.
     let eps = 0.05;
     let delta = 0.01;
-    let samples = required_samples(eps, delta);
+    let samples = required_samples(eps, delta)?;
     println!("\n== Additive sampler: ε = {eps}, δ = {delta} → {samples} samples ==");
     let (q8, inst8) = section_5_1_example(8);
     let est = shapley_sampled(&inst8.db, AnyQuery::Cq(&q8), inst8.f0, samples, 7, 0)?;

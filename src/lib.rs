@@ -71,7 +71,11 @@ pub use cqshap_workloads as workloads;
 pub mod prelude {
     pub use cqshap_core::{
         aggregates::{aggregate_report, aggregate_shapley, aggregate_value, AggregateFunction},
-        approx::{required_samples, shapley_additive_approx, shapley_sampled, SampleParams},
+        approx::{
+            required_samples, shapley_additive_approx, shapley_anytime, shapley_sampled,
+            AnytimeParams, AnytimeReport, AnytimeState, FactEstimate, SampleParams,
+        },
+        budget::{Budget, CancelToken},
         gap::{build_gap_family, expected_gap_value, section_5_1_example},
         probability_by_enumeration,
         relevance::{
@@ -80,10 +84,12 @@ pub mod prelude {
         },
         rewrite, shapley_by_permutations, shapley_report, shapley_report_per_fact,
         shapley_report_union, shapley_report_union_per_fact, shapley_value, shapley_value_union,
-        shapley_via_counts, AnyQuery, BruteForceCounter, CompiledCount, CompiledProbability,
-        CompiledUnionCount, CoreError, EngineUpdate, FactProbabilities, HierarchicalCounter,
-        ReportStats, ResolvedStrategy, SatCountOracle, SessionStats, ShapleyEntry, ShapleyOptions,
-        ShapleyReport, ShapleySession, Strategy,
+        shapley_via_counts,
+        wsms::{wsms_report, WsmsEntry, WsmsReport, WsmsWeight},
+        AnyQuery, BruteForceCounter, CompiledCount, CompiledProbability, CompiledUnionCount,
+        CoreError, EngineUpdate, FactProbabilities, HierarchicalCounter, ReportStats,
+        ResolvedStrategy, SatCountOracle, SessionStats, ShapleyEntry, ShapleyOptions,
+        ShapleyReport, ShapleySession, Strategy, TierPolicy, TieredAnswer,
     };
     pub use cqshap_db::{Database, FactId, FactMask, Provenance, World};
     pub use cqshap_numeric::{BigInt, BigRational, BigUint};

@@ -34,10 +34,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cqshap classify  \"<query>\" [--exo R1,R2]
   cqshap shapley   <db-file> \"<query>\" [--fact \"R(a, b)\"] [--strategy auto|hierarchical|exoshap|brute|permutations]
-                   [--threads N]
+                   [--threads N] [--deadline-ms N]
   cqshap report    <db-file> \"<query>\" [--strategy ...] [--agg count|sum:VAR] [--threads N]
+                   [--deadline-ms N] [--tier] [--epsilon E]
                    (the query may be a UCQ: rules separated by `;` or newlines;
-                    with --agg it must project the aggregate's head variables)
+                    with --agg it must project the aggregate's head variables;
+                    --deadline-ms bounds the exact computation, failing with
+                    `deadline exceeded` instead of hanging; --tier degrades to
+                    an anytime sampling estimate (target ±E, default 0.05) or
+                    a minimal-supports attribution when exact answering is
+                    refused or over budget)
   cqshap relevance <db-file> \"<query>\" --fact \"R(a, b)\"
   cqshap prob      <db-file> \"<query>\" [--default-p 0.5] [--fact \"R(a, b)\"] [--threads N]
                    (exact tuple-independent probability from the session's
@@ -55,6 +61,9 @@ struct Options {
     default_p: Option<String>,
     agg: Option<String>,
     threads: Option<String>,
+    deadline_ms: Option<String>,
+    tier: bool,
+    epsilon: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -66,6 +75,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         default_p: None,
         agg: None,
         threads: None,
+        deadline_ms: None,
+        tier: false,
+        epsilon: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -81,11 +93,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--default-p" => out.default_p = Some(grab("--default-p")?),
             "--agg" => out.agg = Some(grab("--agg")?),
             "--threads" => out.threads = Some(grab("--threads")?),
+            "--deadline-ms" => out.deadline_ms = Some(grab("--deadline-ms")?),
+            "--tier" => out.tier = true,
+            "--epsilon" => out.epsilon = Some(grab("--epsilon")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
         }
     }
     Ok(out)
+}
+
+/// Parses `--deadline-ms N` into a [`Budget`] (unlimited by default).
+fn parse_budget(spec: Option<&str>) -> Result<Budget, String> {
+    match spec {
+        None => Ok(Budget::UNLIMITED),
+        Some(s) => s
+            .parse()
+            .map(Budget::wall_ms)
+            .map_err(|_| format!("--deadline-ms must be a nonnegative integer, got {s:?}")),
+    }
+}
+
+/// Parses `--epsilon E` (target half-width of the sampling tier).
+fn parse_epsilon(spec: Option<&str>) -> Result<f64, String> {
+    match spec {
+        None => Ok(0.05),
+        Some(s) => match s.parse::<f64>() {
+            Ok(e) if e > 0.0 && e < 1.0 => Ok(e),
+            _ => Err(format!("--epsilon must lie in (0, 1), got {s:?}")),
+        },
+    }
 }
 
 /// Parses `count` or `sum:VAR` into an aggregate function.
@@ -199,8 +236,9 @@ fn cmd_shapley(opts: &Options) -> Result<(), String> {
     let db = load_db(db_path)?;
     let q = parse_cq(query).map_err(|e| e.to_string())?;
     let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
-    let options =
-        ShapleyOptions::with_strategy(strategy).threads(parse_threads(opts.threads.as_deref())?);
+    let options = ShapleyOptions::with_strategy(strategy)
+        .threads(parse_threads(opts.threads.as_deref())?)
+        .budget(parse_budget(opts.deadline_ms.as_deref())?);
     // One prepared session serves both the single-fact and the
     // all-facts form, so they can never route differently.
     let session =
@@ -260,8 +298,9 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
     };
     let db = load_db(db_path)?;
     let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("auto"))?;
-    let options =
-        ShapleyOptions::with_strategy(strategy).threads(parse_threads(opts.threads.as_deref())?);
+    let options = ShapleyOptions::with_strategy(strategy)
+        .threads(parse_threads(opts.threads.as_deref())?)
+        .budget(parse_budget(opts.deadline_ms.as_deref())?);
     let t0 = std::time::Instant::now();
     let session = if let Some(spec) = &opts.agg {
         let agg = parse_aggregate(spec)?;
@@ -270,19 +309,57 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
     } else {
         // A UCQ¬ parse also accepts single Boolean rules; queries with a
         // head (which unions reject) fall back to the single-CQ¬ path.
-        let prepared = match parse_ucq(query) {
-            Ok(u) if u.disjuncts().len() > 1 => {
-                ShapleySession::prepare(&db, AnyQuery::Union(&u), &options)
+        // With --tier, a query the exact engines reject at prepare time
+        // still gets a session: the degraded tiers serve it.
+        let prepare = |db: &Database, q: AnyQuery<'_>, options: &ShapleyOptions| {
+            if opts.tier {
+                ShapleySession::prepare_with_fallback(db, q, options)
+            } else {
+                ShapleySession::prepare(db, q, options)
             }
-            Ok(u) => ShapleySession::prepare(&db, AnyQuery::Cq(&u.disjuncts()[0]), &options),
+        };
+        let prepared = match parse_ucq(query) {
+            Ok(u) if u.disjuncts().len() > 1 => prepare(&db, AnyQuery::Union(&u), &options),
+            Ok(u) => prepare(&db, AnyQuery::Cq(&u.disjuncts()[0]), &options),
             Err(_) => {
                 let q = parse_cq(query).map_err(|e| e.to_string())?;
-                ShapleySession::prepare(&db, AnyQuery::Cq(&q), &options)
+                prepare(&db, AnyQuery::Cq(&q), &options)
             }
         };
         prepared.map_err(|e| e.to_string())?
     };
     let prepared_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if opts.tier {
+        let mut session = session;
+        let policy = TierPolicy {
+            epsilon: parse_epsilon(opts.epsilon.as_deref())?,
+            ..TierPolicy::default()
+        };
+        let answer = session.report_tiered(&policy).map_err(|e| e.to_string())?;
+        let elapsed = t0.elapsed();
+        match &answer {
+            TieredAnswer::Exact(report) => {
+                print_report(report);
+                println!("tier: exact");
+            }
+            TieredAnswer::Sampled(report) => {
+                print_anytime(report);
+                println!(
+                    "tier: sampled (target ±{}, δ = {})",
+                    policy.epsilon, policy.delta
+                );
+            }
+            TieredAnswer::Wsms(report) => {
+                print_wsms(report);
+                println!("tier: minimal supports (not a Shapley estimate)");
+            }
+        }
+        println!(
+            "answered in {:.3} ms (prepare {prepared_ms:.3} ms)",
+            elapsed.as_secs_f64() * 1e3
+        );
+        return Ok(());
+    }
     let report = session.report().map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
     print_report(&report);
@@ -301,6 +378,48 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
         elapsed.as_secs_f64() * 1e3
     );
     Ok(())
+}
+
+/// Prints an anytime sampling report: estimates with their confidence
+/// intervals, plus convergence and budget diagnostics.
+fn print_anytime(report: &AnytimeReport) {
+    for entry in &report.entries {
+        println!(
+            "{:<32} {:+.6} ± {:.6}{}",
+            entry.rendered,
+            entry.estimate,
+            entry.half_width,
+            if entry.converged { "" } else { "  (wide)" }
+        );
+    }
+    println!(
+        "{} draws this call; {}{}",
+        report.spent_samples,
+        if report.converged {
+            "all intervals within ±ε"
+        } else {
+            "some intervals wider than ±ε"
+        },
+        if report.deadline_hit {
+            " — budget tripped"
+        } else {
+            ""
+        },
+    );
+}
+
+/// Prints a WSMS report: per-fact minimal-support scores.
+fn print_wsms(report: &WsmsReport) {
+    for entry in &report.entries {
+        println!(
+            "{:<32} {:>12} ≈ {:+.6}  ({} minimal supports)",
+            entry.rendered,
+            entry.score.to_string(),
+            entry.score.to_f64(),
+            entry.supports
+        );
+    }
+    println!("{} minimal supports in total", report.minimal_supports);
 }
 
 fn cmd_relevance(opts: &Options) -> Result<(), String> {
@@ -337,7 +456,9 @@ fn cmd_prob(opts: &Options) -> Result<(), String> {
         .filter(FactProbabilities::is_valid)
         .ok_or("--default-p must lie in [0, 1]")?;
     let db = load_db(db_path)?;
-    let options = ShapleyOptions::auto().threads(parse_threads(opts.threads.as_deref())?);
+    let options = ShapleyOptions::auto()
+        .threads(parse_threads(opts.threads.as_deref())?)
+        .budget(parse_budget(opts.deadline_ms.as_deref())?);
     // Same UCQ-with-fallback idiom as `report`: multi-rule queries route
     // through inclusion–exclusion, headed rules through the CQ¬ path.
     let mut session = match parse_ucq(query) {
@@ -479,6 +600,30 @@ mod tests {
         assert!(parse_threads(Some("-1")).is_err());
         let o = parse_options(&strs(&["db.txt", "q() :- R(x)", "--threads", "4"])).unwrap();
         assert_eq!(o.threads.as_deref(), Some("4"));
+    }
+
+    #[test]
+    fn budget_and_epsilon_parsing() {
+        assert!(parse_budget(None).unwrap().is_unlimited());
+        assert!(!parse_budget(Some("50")).unwrap().is_unlimited());
+        assert!(parse_budget(Some("soon")).is_err());
+        assert_eq!(parse_epsilon(None).unwrap(), 0.05);
+        assert_eq!(parse_epsilon(Some("0.1")).unwrap(), 0.1);
+        assert!(parse_epsilon(Some("0")).is_err());
+        assert!(parse_epsilon(Some("1.5")).is_err());
+        let o = parse_options(&strs(&[
+            "db.txt",
+            "q() :- R(x)",
+            "--deadline-ms",
+            "50",
+            "--tier",
+            "--epsilon",
+            "0.1",
+        ]))
+        .unwrap();
+        assert_eq!(o.deadline_ms.as_deref(), Some("50"));
+        assert!(o.tier);
+        assert_eq!(o.epsilon.as_deref(), Some("0.1"));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Integration tests for the anytime answer tier: deadlines on the
+//! exact engines, the degradation ladder, the anytime sampler's
+//! interval guarantees, and the WSMS floor.
+//!
+//! The #P-hard regime of the paper (non-hierarchical CQ¬s, Theorem 3.1)
+//! is exactly where these paths matter: exact computation cannot be
+//! fast, so it must be *interruptible*, and the session must still
+//! produce a principled answer.
+
+use cqshap::prelude::*;
+
+/// A non-hierarchical instance (path `x–y` between `R(x)` and `T(y)`)
+/// with `pairs` R/S pairs plus one `T` fact: `2·pairs + 1` endogenous
+/// facts, rejected by the hierarchical and `ExoShap` strategies.
+fn hard_instance(pairs: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..pairs {
+        db.add_endo("R", &[&format!("a{i}")]).unwrap();
+        db.add_endo("S", &[&format!("a{i}"), "u"]).unwrap();
+    }
+    db.add_endo("T", &["u"]).unwrap();
+    db
+}
+
+fn hard_query() -> ConjunctiveQuery {
+    parse_cq("q() :- R(x), S(x, y), T(y)").unwrap()
+}
+
+#[test]
+fn hard_instance_under_deadline_returns_deadline_exceeded() {
+    // m = 25 routes Auto to brute force (2^25 worlds per root — hours
+    // of work); a 50 ms budget must surface DeadlineExceeded promptly
+    // instead of hanging.
+    let db = hard_instance(12);
+    let q = hard_query();
+    let options = ShapleyOptions::auto().budget(Budget::wall_ms(50));
+    let session = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &options).unwrap();
+    let t0 = std::time::Instant::now();
+    let err = session.report().unwrap_err();
+    assert!(
+        matches!(err, CoreError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got: {err}"
+    );
+    // Prompt means the same order of magnitude as the deadline, not the
+    // hours the full enumeration would take.
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(10),
+        "deadline took {:?} to surface",
+        t0.elapsed()
+    );
+    // The session is not poisoned by a tripped read: the next
+    // (degraded) read still serves.
+    assert!(!session.is_poisoned());
+}
+
+#[test]
+fn ladder_degrades_instead_of_erroring_under_a_deadline() {
+    let db = hard_instance(12);
+    let q = hard_query();
+    let options = ShapleyOptions::auto().budget(Budget::wall_ms(50));
+    let mut session = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &options).unwrap();
+    let answer = session.report_tiered(&TierPolicy::default()).unwrap();
+    assert!(
+        !matches!(answer, TieredAnswer::Exact(_)),
+        "the exact tier cannot finish 2^25 worlds in 50 ms"
+    );
+}
+
+#[test]
+fn ladder_survives_prepare_time_rejection() {
+    // m = 31 exceeds the brute-force limit: every exact strategy
+    // rejects the instance at *prepare* time. The fallback constructor
+    // still yields a session, and the ladder answers through the
+    // degraded tiers.
+    let db = hard_instance(15);
+    let q = hard_query();
+    let options = ShapleyOptions::auto();
+    assert!(ShapleySession::prepare(&db, AnyQuery::Cq(&q), &options).is_err());
+    let mut session =
+        ShapleySession::prepare_with_fallback(&db, AnyQuery::Cq(&q), &options).unwrap();
+    assert!(session.is_exact_unavailable());
+    let policy = TierPolicy {
+        epsilon: 0.2,
+        ..TierPolicy::default()
+    };
+    match session.report_tiered(&policy).unwrap() {
+        TieredAnswer::Exact(_) => panic!("no exact engine exists for this session"),
+        TieredAnswer::Sampled(report) => {
+            assert_eq!(report.entries.len(), db.endo_count());
+            assert!(report.converged);
+        }
+        TieredAnswer::Wsms(report) => assert!(report.minimal_supports > 0),
+    }
+}
+
+#[test]
+fn anytime_intervals_contain_exact_values_on_tractable_instances() {
+    // Cross-check against the exact engine on the paper's running
+    // example. δ = 0.002 leaves real headroom for the sequential
+    // stopping rule's coverage erosion.
+    let db = cqshap::workloads::figure_1_database();
+    let q1 = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+    let exact = shapley_report(&db, &q1, &ShapleyOptions::default()).unwrap();
+    let mut state = None;
+    let report = shapley_anytime(
+        &db,
+        AnyQuery::Cq(&q1),
+        &AnytimeParams {
+            epsilon: 0.04,
+            delta: 0.002,
+            ..AnytimeParams::default()
+        },
+        None,
+        &mut state,
+    )
+    .unwrap();
+    assert!(report.converged);
+    for est in &report.entries {
+        let truth = exact.entry(est.fact).unwrap().value.to_f64();
+        assert!(
+            (est.estimate - truth).abs() <= est.half_width,
+            "{}: exact {truth:.4} outside {:.4} ± {:.4}",
+            est.rendered,
+            est.estimate,
+            est.half_width
+        );
+    }
+}
+
+#[test]
+fn wsms_floor_matches_the_minimal_support_definition() {
+    // q() :- R(x) over two endogenous R facts: the minimal supports are
+    // exactly {R(a)} and {R(b)}, each of size 1, so both weightings
+    // score each fact 1.
+    let mut db = Database::new();
+    let a = db.add_endo("R", &["a"]).unwrap();
+    let b = db.add_endo("R", &["b"]).unwrap();
+    let q = parse_cq("q() :- R(x)").unwrap();
+    for weight in [WsmsWeight::Uniform, WsmsWeight::SizeInverse] {
+        let report = wsms_report(&db, AnyQuery::Cq(&q), weight, None).unwrap();
+        assert_eq!(report.minimal_supports, 2);
+        for f in [a, b] {
+            let entry = report.entry(f).unwrap();
+            assert_eq!(entry.supports, 1);
+            assert_eq!(entry.score, BigRational::from_i64_ratio(1, 1));
+        }
+    }
+
+    // The hard query's instance: the minimal supports are the triples
+    // {R(ai), S(ai, u), T(u)} — one per pair, each of size 3.
+    let db = hard_instance(4);
+    let report = wsms_report(
+        &db,
+        AnyQuery::Cq(&hard_query()),
+        WsmsWeight::SizeInverse,
+        None,
+    )
+    .unwrap();
+    assert_eq!(report.minimal_supports, 4);
+    let t = db.find_fact("T", &["u"]).unwrap();
+    // T(u) is in every minimal support; each contributes 1/3.
+    let entry = report.entry(t).unwrap();
+    assert_eq!(entry.supports, 4);
+    assert_eq!(entry.score, BigRational::from_i64_ratio(4, 3));
+}
+
+#[test]
+fn sampled_estimates_propagate_errors_instead_of_panicking() {
+    // ε, δ outside (0, 1) are input errors, not assertion failures.
+    assert!(required_samples(0.0, 0.01).is_err());
+    assert!(required_samples(0.05, 1.0).is_err());
+    assert!(required_samples(-0.2, 0.5).is_err());
+    assert!(required_samples(0.05, 0.01).is_ok());
+}

@@ -172,6 +172,74 @@ proptest! {
         }
     }
 
+    /// A session whose engine failed (poisoned) recovers in place:
+    /// after `recover()` every value is bit-identical to a session
+    /// freshly prepared on the same database.
+    #[test]
+    fn recovered_sessions_match_fresh_prepare(
+        qi in 0..CQS.len(),
+        mix in 0usize..3,
+        seed in 0u64..4000,
+    ) {
+        let q = parse_cq(CQS[qi]).unwrap();
+        let exo: Vec<String> = EXO_MIXES[mix].iter().map(|s| s.to_string()).collect();
+        let cfg = RandomDbConfig {
+            domain: 3,
+            facts_per_relation: 3,
+            seed,
+            exogenous_relations: exo,
+            ..Default::default()
+        };
+        let db = cfg.generate(&q);
+        prop_assume!(db.endo_count() >= 1 && db.endo_count() <= 12);
+        let opts = ShapleyOptions::auto();
+        let mut session = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &opts).unwrap();
+        session.poison_for_tests("synthetic maintenance failure");
+        prop_assert!(session.is_poisoned());
+        prop_assert!(session.report().is_err());
+        session.recover().unwrap();
+        prop_assert!(!session.is_poisoned());
+        assert_matches_fresh(&session, AnyQuery::Cq(&q), &opts);
+    }
+
+    /// A rejected update (the post-update rebuild fails) rolls the
+    /// database back completely: same facts, same provenance, same
+    /// values, and the session keeps serving.
+    #[test]
+    fn rolled_back_updates_leave_the_database_unchanged(
+        seed in 0u64..4000,
+    ) {
+        // The self-join routes Auto to brute force; capping the limit
+        // at the current fact count makes any endogenous insert fail
+        // its rebuild.
+        let q = parse_cq("q() :- C(x, y), C(y, x)").unwrap();
+        let cfg = RandomDbConfig {
+            domain: 3,
+            facts_per_relation: 3,
+            seed,
+            ..Default::default()
+        };
+        let db = cfg.generate(&q);
+        prop_assume!(db.endo_count() >= 1 && db.endo_count() <= 10);
+        let opts = ShapleyOptions::auto().brute_force_limit(db.endo_count());
+        let mut session = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &opts).unwrap();
+        let before_db = session.database().to_string();
+        let before = session.report().unwrap();
+        let err = session
+            .insert_fact("C", &["fresh", "fresh"], Provenance::Endogenous)
+            .unwrap_err();
+        prop_assert!(matches!(err, CoreError::TooManyEndogenousFacts { .. }));
+        // Bit-identical database and answers; a healthy session.
+        prop_assert_eq!(session.database().to_string(), before_db);
+        prop_assert!(!session.is_poisoned());
+        prop_assert_eq!(session.stats().rolled_back, 1);
+        prop_assert_eq!(session.stats().updates, 0);
+        let after = session.report().unwrap();
+        for (x, y) in before.entries.iter().zip(&after.entries) {
+            prop_assert_eq!(&x.value, &y.value, "{}", &x.rendered);
+        }
+    }
+
     /// The efficiency axiom holds for aggregate sessions after updates
     /// (aggregates re-prepare: candidates themselves shift).
     #[test]
