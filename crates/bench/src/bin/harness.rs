@@ -39,6 +39,10 @@
 //! tight wall-clock budgets, and the tier `report_tiered` settles on
 //! per query class, written to `BENCH_anytime.json`.
 
+// Experiment harness binary: its whole job is timing, so the
+// `no-wall-clock` discipline does not apply (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -881,7 +885,7 @@ fn bench_poly(quick: bool, out_path: &str) {
         })
     }
 
-    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let host_cores = cqshap_numeric::poly::resolve_threads(0);
 
     // Correctness guard before timing anything: the shipped subsystem
     // must be bit-identical to the pre-subsystem descent, across

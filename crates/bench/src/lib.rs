@@ -4,6 +4,9 @@
 //! `DESIGN.md` / `EXPERIMENTS.md`; the `benches/` directory holds the
 //! matching Criterion timing benchmarks.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod table;
 
 pub use table::Table;

@@ -26,6 +26,7 @@
 //! valid, just wider) intervals instead of an error; and the
 //! [`AnytimeState`] is resumable — a second call tightens the same
 //! estimates rather than starting over.
+// cqshap-lint: allow-file(no-panic-index) -- samplers index permutation and tally arrays sized to m in the same scope
 
 use std::time::Duration;
 
@@ -150,73 +151,58 @@ pub fn shapley_sampled(
         })?;
     let m = db.endo_count();
     let compiled = q.compile(db);
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(16)
-    } else {
-        threads
-    };
-    let threads = threads.min(samples.max(1) as usize).max(1);
-    let per_thread = samples / threads as u64;
-    let remainder = samples % threads as u64;
-    let mut tallies: Vec<std::thread::Result<(i64, u64, u64)>> = Vec::new();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let compiled = &compiled;
-            let n = per_thread + u64::from((t as u64) < remainder);
-            let thread_seed = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
-            handles.push(s.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(thread_seed);
-                let mut order: Vec<usize> = (0..m).collect();
-                let mut sum = 0i64;
-                let (mut pos, mut neg) = (0u64, 0u64);
-                for _ in 0..n {
-                    order.shuffle(&mut rng);
-                    let mut world = World::empty(db);
-                    for &p in &order {
-                        if p == target {
-                            break;
-                        }
-                        world.insert(db, db.endo_facts()[p]);
-                    }
-                    let before = compiled.satisfied(db, &world);
-                    world.insert(db, f);
-                    let after = compiled.satisfied(db, &world);
-                    match (before, after) {
-                        (false, true) => {
-                            sum += 1;
-                            pos += 1;
-                        }
-                        (true, false) => {
-                            sum -= 1;
-                            neg += 1;
-                        }
-                        _ => {}
-                    }
+    // Fan out through the sanctioned `parallel` module so the
+    // `ShapleyOptions::threads` cap applies; the `try` variant keeps a
+    // worker panic on this side of the scope as a typed error.
+    let workers = crate::parallel::resolve_thread_cap(threads)
+        .min(samples.max(1) as usize)
+        .max(1);
+    let per_thread = samples / workers as u64;
+    let remainder = samples % workers as u64;
+    let tallies = crate::parallel::try_par_map_with(workers, workers, |t| {
+        let n = per_thread + u64::from((t as u64) < remainder);
+        let thread_seed = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
+        let mut rng = StdRng::seed_from_u64(thread_seed);
+        let mut order: Vec<usize> = (0..m).collect();
+        let mut sum = 0i64;
+        let (mut pos, mut neg) = (0u64, 0u64);
+        for _ in 0..n {
+            order.shuffle(&mut rng);
+            let mut world = World::empty(db);
+            for &p in &order {
+                if p == target {
+                    break;
                 }
-                (sum, pos, neg)
-            }));
+                world.insert(db, db.endo_facts()[p]);
+            }
+            let before = compiled.satisfied(db, &world);
+            world.insert(db, f);
+            let after = compiled.satisfied(db, &world);
+            match (before, after) {
+                (false, true) => {
+                    sum += 1;
+                    pos += 1;
+                }
+                (true, false) => {
+                    sum -= 1;
+                    neg += 1;
+                }
+                _ => {}
+            }
         }
-        tallies = handles.into_iter().map(|h| h.join()).collect();
-    });
+        (sum, pos, neg)
+    })
+    .map_err(|payload| {
+        CoreError::Unsupported(format!(
+            "a permutation-sampler worker panicked: {}",
+            panic_text(payload.as_ref())
+        ))
+    })?;
     let (mut sum, mut positive_flips, mut negative_flips) = (0i64, 0u64, 0u64);
-    for tally in tallies {
-        match tally {
-            Ok((s, p, n)) => {
-                sum += s;
-                positive_flips += p;
-                negative_flips += n;
-            }
-            Err(payload) => {
-                return Err(CoreError::Unsupported(format!(
-                    "a permutation-sampler worker panicked: {}",
-                    panic_text(payload.as_ref())
-                )));
-            }
-        }
+    for (s, p, n) in tallies {
+        sum += s;
+        positive_flips += p;
+        negative_flips += n;
     }
     Ok(ApproxShapley {
         estimate: if samples == 0 {
@@ -524,7 +510,7 @@ pub fn shapley_anytime(
     state_slot: &mut Option<AnytimeState>,
 ) -> Result<AnytimeReport, CoreError> {
     check_epsilon_delta(params.epsilon, params.delta)?;
-    let started = std::time::Instant::now();
+    let started = crate::budget::Stopwatch::start();
     let m = db.endo_count();
     let z = inverse_normal_cdf(1.0 - params.delta / 2.0);
     if m == 0 {
@@ -541,6 +527,7 @@ pub fn shapley_anytime(
     if !state_slot.as_ref().is_some_and(|s| s.matches(db)) {
         *state_slot = Some(AnytimeState::fresh(db));
     }
+    // cqshap-lint: allow(no-panic) -- the slot was filled with Some immediately above
     let state = state_slot.as_mut().expect("installed above");
     let compiled = q.compile(db);
     let strata = state.strata.clone();

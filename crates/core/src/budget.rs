@@ -13,7 +13,7 @@
 //! sticky flag guarantees a checkpoint *after* any placeholder
 //! production fails before the placeholder can escape an engine.
 
-pub use cqshap_numeric::cancel::{Budget, CancelToken};
+pub use cqshap_numeric::cancel::{Budget, CancelToken, Stopwatch};
 
 use crate::error::CoreError;
 

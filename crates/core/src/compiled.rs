@@ -59,6 +59,7 @@
 //! denominator `m!` and normalized once, and every maintained
 //! polynomial is recomputed exactly (division of exact factors), so a
 //! maintained engine agrees bit-for-bit with a freshly compiled one.
+// cqshap-lint: allow-file(no-panic-index) -- counting kernels index component scopes and weight tables sized in the same function
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -270,6 +271,7 @@ type PairCache = Mutex<HashMap<PairKey, (Vec<BigUint>, Vec<BigUint>)>>;
 /// fact's endogeneity recorded. Equal forms ⟹ the groups are related
 /// by a constant-and-fact bijection that the counting recursion cannot
 /// distinguish.
+// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over a component's atoms for hashing
 fn canonical_form(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Vec<u32> {
     use crate::satcount::PTerm;
     let mut rename: HashMap<ConstId, u32> = HashMap::new();
@@ -537,6 +539,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
     /// component/total values and the cross-component leave-one-out
     /// environments. Shared by [`CompiledEngine::compile`] and
     /// [`CompiledEngine::update`].
+    // cqshap-lint: allow(cancellation-poll) -- bounded by one environment rebuild; the update and report drivers checkpoint around each rebuild
     fn refresh_envs(&mut self) {
         let sats: Vec<&D::Value> = self.components.iter().map(|c| &c.sat).collect();
         self.all_sat = self.dom.product(&sats, self.threads);
@@ -601,6 +604,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
 
     /// Which component/atom (if any) matches fact `f`'s pattern.
     /// Self-join-freeness makes the match unique.
+    // cqshap-lint: allow(cancellation-poll) -- bounded: scans the component list once per fact placement
     fn place(&self, db: &Database, f: FactId) -> Placement {
         let fact = db.fact(f);
         for (ci, comp) in self.components.iter().enumerate() {
@@ -618,6 +622,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
     /// component. Returns `false` when the swap is impossible (the old
     /// factor was identically zero: an always-satisfied group zeroed
     /// every environment, so nothing can be recovered incrementally).
+    // cqshap-lint: allow(cancellation-poll) -- bounded: recounts one group's scope; the update driver checkpoints per update
     fn recount_group(&mut self, db: &Database, ci: usize, gi: usize) -> Result<bool, CoreError> {
         let view = MaskedDb::new(db, FactMask::None);
         let dom = &self.dom;
@@ -629,6 +634,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
                 groups,
             } = &mut comp.kind
             else {
+                // cqshap-lint: allow(no-panic) -- structural invariant: recount_group only targets components rooted at compile time
                 unreachable!("recount_group targets rooted components");
             };
             let g = &mut groups[gi];
@@ -687,6 +693,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
     /// [`EvalDomain::push_free`] / [`EvalDomain::pop_free`] (`O(n)`
     /// Pascal shifts for counting, no-ops for probabilities) instead of
     /// generic combination/division.
+    // cqshap-lint: allow(cancellation-poll) -- bounded: constant passes over one component's weights
     fn shift_junk(&mut self, ci: usize, grow: bool) -> bool {
         let dom = &self.dom;
         let comp = &mut self.components[ci];
@@ -697,6 +704,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
                 groups,
             } = &mut comp.kind
             else {
+                // cqshap-lint: allow(no-panic) -- structural invariant: junk groups exist only inside rooted components
                 unreachable!("junk lives in rooted components");
             };
             let mut patched: HashMap<*const D::Value, Arc<D::Value>> = HashMap::new();
@@ -747,9 +755,11 @@ impl<D: EvalDomain> CompiledEngine<D> {
         f: FactId,
     ) -> (ConstId, Option<usize>) {
         let comp = &self.components[ci];
+        // cqshap-lint: allow(no-panic) -- structural invariant: grouped components have their root assigned at compile time
         let root = comp.root.expect("rooted component");
         let value = comp.atoms[ai].value_of(root, db.fact(f).tuple.values());
         let CompKind::Rooted { groups, .. } = &comp.kind else {
+            // cqshap-lint: allow(no-panic) -- structural invariant: grouped components have their root assigned at compile time
             unreachable!("rooted component");
         };
         (value, groups.iter().position(|g| g.value == value))
@@ -774,6 +784,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
                 let comp = &mut self.components[ci];
                 comp.scopes[ai].push(f);
                 let CompKind::Rooted { groups, .. } = &mut comp.kind else {
+                    // cqshap-lint: allow(no-panic) -- structural invariant: grouped components have their root assigned at compile time
                     unreachable!("rooted component");
                 };
                 groups[gi].scopes[ai].push(f);
@@ -793,6 +804,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
                 // other positive atom already has a fact with this root
                 // value, a brand-new root group forms — recompile.
                 let comp = &self.components[ci];
+                // cqshap-lint: allow(no-panic) -- structural invariant: grouped components have their root assigned at compile time
                 let root = comp.root.expect("rooted component");
                 let supported =
                     comp.atoms
@@ -836,6 +848,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
             Some(gi) => {
                 let dies = {
                     let CompKind::Rooted { groups, .. } = &mut self.components[ci].kind else {
+                        // cqshap-lint: allow(no-panic) -- structural invariant: grouped components have their root assigned at compile time
                         unreachable!("rooted component");
                     };
                     let g = &mut groups[gi];
@@ -948,6 +961,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
                     ..
                 } = &c.kind
                 else {
+                    // cqshap-lint: allow(no-panic) -- structural invariant: junk locs always point at rooted components
                     unreachable!("junk loc points at a rooted component");
                 };
                 let comp_unsat = self.dom.combine(unsat_all, &self.dom.free(junk_endo - 1));
@@ -966,6 +980,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
             Some(&Loc::Grouped { comp, group }) => {
                 let (sat_minus, sat_plus) = {
                     let CompKind::Rooted { groups, .. } = &self.components[comp].kind else {
+                        // cqshap-lint: allow(no-panic) -- structural invariant: grouped locs always point at rooted components
                         unreachable!("grouped loc points at a rooted component");
                     };
                     let g = &groups[group];
@@ -986,6 +1001,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
     ) -> (D::Value, D::Value) {
         let c = &self.components[ci];
         let CompKind::Rooted { groups, .. } = &c.kind else {
+            // cqshap-lint: allow(no-panic) -- structural invariant: lift_group_pair targets grouped, hence rooted, components
             unreachable!("lift_group_pair targets rooted components");
         };
         let g = &groups[gi];
@@ -1106,9 +1122,16 @@ impl CompiledCount {
     /// [`CompiledCount::compile`] and [`CompiledCount::update`]; the
     /// expensive part (the per-group correlations) fans out across
     /// threads.
+    // cqshap-lint: allow(cancellation-poll) -- bounded: clears two caches and rebuilds per-component weights once
     fn refresh_weights(&mut self) {
-        self.reduce_cache.lock().expect("cache lock").clear();
-        self.pair_cache.lock().expect("cache lock").clear();
+        self.reduce_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.pair_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
         if !self.eng.satisfiable {
             self.comp_weights.clear();
             self.group_weights.clear();
@@ -1237,12 +1260,14 @@ impl CompiledCount {
     ///
     /// # Errors
     /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
+    // cqshap-lint: allow(cancellation-poll) -- bounded: walks one fact's component scopes; per-fact drivers checkpoint between facts
     pub fn shapley_numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError> {
         self.eng.check_endogenous(db, f)?;
         if self.is_structurally_null(f) {
             return Ok(BigInt::zero());
         }
         let (weight, (sat_minus, sat_plus)) =
+            // cqshap-lint: allow(no-panic) -- the structurally-null check above guarantees f is in the loc map
             match *self.eng.locs.get(&f).expect("checked non-null") {
                 Loc::Ground { comp } => {
                     let c = &self.eng.components[comp];
@@ -1255,6 +1280,7 @@ impl CompiledCount {
                     &self.group_weights[comp][group],
                     self.cached_group_pair(db, comp, group, f)?,
                 ),
+                // cqshap-lint: allow(no-panic) -- junk facts are structurally null and were returned above
                 Loc::Junk { .. } => unreachable!("junk is structurally null"),
             };
         debug_assert_eq!(sat_minus.len(), sat_plus.len());
@@ -1272,13 +1298,18 @@ impl CompiledCount {
     /// `num / m!` in lowest terms, memoized per distinct numerator
     /// (facts of isomorphic root groups share theirs).
     pub fn normalize_numerator(&self, num: BigInt) -> BigRational {
-        if let Some(v) = self.reduce_cache.lock().expect("cache lock").get(&num) {
+        if let Some(v) = self
+            .reduce_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&num)
+        {
             return v.clone();
         }
         let reduced = self.table.reduce_over_factorial(num.clone(), self.eng.m);
         self.reduce_cache
             .lock()
-            .expect("cache lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(num, reduced.clone());
         reduced
     }
@@ -1311,6 +1342,7 @@ impl CompiledCount {
         f: FactId,
     ) -> Result<(Vec<BigUint>, Vec<BigUint>), CoreError> {
         let CompKind::Rooted { groups, .. } = &self.eng.components[ci].kind else {
+            // cqshap-lint: allow(no-panic) -- structural invariant: grouped locs always point at rooted components
             unreachable!("grouped loc points at a rooted component");
         };
         let g = &groups[gi];
@@ -1319,15 +1351,21 @@ impl CompiledCount {
             .iter()
             .enumerate()
             .find_map(|(ai, scope)| scope.iter().position(|&x| x == f).map(|pos| (ai, pos)))
+            // cqshap-lint: allow(no-panic) -- a grouped fact appears in its own component scope by construction
             .expect("grouped fact sits in one scope");
         let key = (g.canon.clone(), role.0, role.1);
-        if let Some(pair) = self.pair_cache.lock().expect("cache lock").get(&key) {
+        if let Some(pair) = self
+            .pair_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             return Ok(pair.clone());
         }
         let pair = self.eng.masked_sat_pair(db, &g.atoms, &g.scopes, f)?;
         self.pair_cache
             .lock()
-            .expect("cache lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, pair.clone());
         Ok(pair)
     }
@@ -1453,6 +1491,7 @@ impl CompiledProbability {
 /// The weight correlation `out[j] = Σ_t weights[j+t] · env[t]` for
 /// `j = 0..out_len`. Contracting a difference vector against `out` is
 /// the same as convolving it with `env` first and weighting afterwards.
+// cqshap-lint: allow(cancellation-poll) -- bounded: one correlation per reduction step, bracketed by the driver's per-step checkpoints
 fn correlate(weights: &[BigUint], env: &[BigUint], out_len: usize) -> Vec<BigUint> {
     (0..out_len)
         .map(|j| {

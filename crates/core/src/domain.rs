@@ -33,6 +33,7 @@
 //! behind [`crate::satcount::count_sat_hierarchical`] and the compiled
 //! engines; the hard-wired `BigUint` paths of earlier revisions are
 //! gone.
+// cqshap-lint: allow-file(no-panic-index) -- evaluation tables are indexed by positions assigned at compile
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -110,6 +111,7 @@ pub trait EvalDomain: Sync {
     fn try_divide(&self, num: &Self::Value, den: &Self::Value) -> Option<Self::Value>;
 
     /// `⊛ factors` — the product of many values.
+    // cqshap-lint: allow(cancellation-poll) -- bounded: scalar-domain fold; the polynomial domain routes through the numeric trees
     fn product(&self, factors: &[&Self::Value], threads: usize) -> Self::Value {
         let _ = threads;
         let mut acc = self.one();
@@ -121,6 +123,7 @@ pub trait EvalDomain: Sync {
 
     /// For each `i`: `seed ⊛ ⊛_{j≠i} factors[j]` — the leave-one-out
     /// environments used by the per-fact recount paths.
+    // cqshap-lint: allow(cancellation-poll) -- bounded: scalar-domain prefix/suffix pass; the polynomial domain routes through the numeric trees
     fn leave_one_out(
         &self,
         factors: &[&Self::Value],
@@ -515,6 +518,7 @@ impl EvalDomain for ProbabilityDomain {
 /// the evaluation domain. Invariant: every fact in `scopes[i]` matches
 /// `atoms[i]`'s pattern, is admitted by the view's mask, and relations
 /// across atoms are distinct.
+// cqshap-lint: allow(cancellation-poll) -- one query evaluation over the masked view; the counting drivers charge the token per evaluation
 pub(crate) fn eval_rec<D: EvalDomain>(
     dom: &D,
     view: MaskedDb<'_>,
@@ -585,6 +589,7 @@ pub(crate) fn eval_rec<D: EvalDomain>(
 /// the scoped atoms, and the free-fact factor. The generic analogue of
 /// [`crate::satcount::count_sat_hierarchical_masked`] (which is now a
 /// wrapper instantiating this at [`CountingDomain`]).
+// cqshap-lint: allow(cancellation-poll) -- one query evaluation over the masked view; the counting drivers charge the token per evaluation
 pub(crate) fn eval_query_masked<D: EvalDomain>(
     dom: &D,
     db: &Database,
@@ -616,6 +621,7 @@ pub(crate) fn eval_query_masked<D: EvalDomain>(
     let scoped_endo = scope_endo_count(view, &scopes);
     let free_endo = m
         .checked_sub(scoped_endo)
+        // cqshap-lint: allow(no-panic) -- sjf scopes partition the endogenous facts, so the insert cannot collide
         .expect("scoped endogenous facts are disjoint across sjf atoms");
     let core = eval_rec(dom, view, &atoms, &scopes)?;
     Ok(dom.combine(&core, &dom.free(free_endo)))

@@ -36,6 +36,9 @@
 //! * [`gap`] — the Theorem 5.1 construction showing the gap property
 //!   fails for every natural CQ¬ with negation.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod aggregates;
 pub mod anyquery;
 pub mod approx;

@@ -93,6 +93,7 @@ fn negative_hits(
                     exists = false;
                     break;
                 }
+                // cqshap-lint: allow(no-panic-index) -- assignment is sized to the query's variable count and v is a compiled variable id
                 CompiledTerm::Var(v) => match assignment[*v as usize] {
                     Some(c) => vals.push(c),
                     None => {
@@ -267,6 +268,7 @@ pub fn brute_force_relevance(
         let mut world = World::empty(db);
         for (bit, &p) in others.iter().enumerate() {
             if mask & (1 << bit) != 0 {
+                // cqshap-lint: allow(no-panic-index) -- p enumerates positions of the endo-fact list itself
                 world.insert(db, db.endo_facts()[p]);
             }
         }

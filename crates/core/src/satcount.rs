@@ -27,6 +27,7 @@
 //! [`BruteForceCounter`] enumerates all `2^|Dn|` worlds and serves as the
 //! oracle for the provably `FP^{#P}`-hard queries (at small scale) and as
 //! the ground truth in tests.
+// cqshap-lint: allow-file(no-panic-index) -- world enumeration indexes count arrays sized bits+1 up front
 
 use cqshap_db::{ConstId, Database, FactId, FactMask, World};
 use cqshap_numeric::{binomial, BigUint};
@@ -138,6 +139,7 @@ impl PAtom {
                 return val;
             }
         }
+        // cqshap-lint: allow(no-panic) -- callers scan variables collected from this atom's own terms
         unreachable!("variable {v} does not occur in atom");
     }
 
@@ -249,6 +251,7 @@ pub(crate) fn resolve_query(
             }
             return Ok(ResolvedQuery::Unsatisfiable);
         }
+        // cqshap-lint: allow(no-panic) -- the guard above returns early unless a relation matched
         let rel = rel.expect("checked above");
         if db.schema().arity(rel) != terms.len() {
             return Err(CoreError::Unsupported(format!(
@@ -346,6 +349,7 @@ pub(crate) fn complement_counts(v: &[BigUint], n: usize) -> Vec<BigUint> {
         .map(|k| {
             binomial(n, k)
                 .checked_sub(&v[k])
+                // cqshap-lint: allow(no-panic) -- the running count is bounded by C(n, k) by construction
                 .expect("count bounded by C(n, k)")
         })
         .collect()
@@ -462,6 +466,9 @@ pub struct BruteForceCounter {
     limit: usize,
     /// Cooperative cancellation token polled every few thousand worlds.
     cancel: Option<CancelToken>,
+    /// Worker cap for the enumeration fan-out (`0` = all cores, capped
+    /// at 16 — the [`crate::ShapleyOptions::threads`] convention).
+    threads: usize,
 }
 
 impl BruteForceCounter {
@@ -478,7 +485,17 @@ impl BruteForceCounter {
         BruteForceCounter {
             limit,
             cancel: None,
+            threads: 0,
         }
+    }
+
+    /// Caps the enumeration fan-out (`0` = all cores, capped at 16) —
+    /// the same convention as [`crate::ShapleyOptions::threads`], which
+    /// the brute-force oracle path plumbs through here.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Attaches a cooperative cancellation token: enumeration polls it
@@ -512,11 +529,10 @@ impl BruteForceCounter {
         }
         let compiled = q.compile(db);
         let total: u64 = 1u64 << bits;
-        let threads = if bits >= 18 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(16)
+        // Small universes stay sequential; larger ones fan out through
+        // the sanctioned `parallel` module so the thread cap applies.
+        let workers = if bits >= 18 {
+            crate::parallel::resolve_thread_cap(self.threads).min(total.max(1) as usize)
         } else {
             1
         };
@@ -530,35 +546,23 @@ impl BruteForceCounter {
                 }
             }
         };
-        let chunk = total.div_ceil(threads as u64);
-        let mut per_thread: Vec<Vec<u64>> = Vec::new();
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let compiled = &compiled;
-                let expand = &expand;
-                let lo = t as u64 * chunk;
-                let hi = (lo + chunk).min(total);
-                let cancel = self.cancel.as_ref();
-                handles.push(s.spawn(move || {
-                    let mut counts = vec![0u64; bits + 1];
-                    let mut world = World::empty(db);
-                    for e in lo..hi {
-                        if e & 0xFFF == 0 && cancel.is_some_and(|c| c.charge(1)) {
-                            break;
-                        }
-                        world.assign_mask(expand(e));
-                        if compiled.satisfied(db, &world) {
-                            counts[e.count_ones() as usize] += 1;
-                        }
-                    }
-                    counts
-                }));
+        let chunk = total.div_ceil(workers as u64);
+        let cancel = self.cancel.as_ref();
+        let per_thread: Vec<Vec<u64>> = crate::parallel::par_map_with(workers, workers, |t| {
+            let lo = t as u64 * chunk;
+            let hi = (lo + chunk).min(total);
+            let mut counts = vec![0u64; bits + 1];
+            let mut world = World::empty(db);
+            for e in lo..hi {
+                if e & 0xFFF == 0 && cancel.is_some_and(|c| c.charge(1)) {
+                    break;
+                }
+                world.assign_mask(expand(e));
+                if compiled.satisfied(db, &world) {
+                    counts[e.count_ones() as usize] += 1;
+                }
             }
-            per_thread = handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect();
+            counts
         });
         if let Some(token) = &self.cancel {
             budget::check(token, "brute-force")?;

@@ -655,8 +655,10 @@ impl ShapleySession {
                 Ok(engines
                     .values(&self.db, &[f], &self.options, self.cancel.as_ref())?
                     .pop()
+                    // cqshap-lint: allow(no-panic) -- the spec requested exactly one fact, so exactly one row exists
                     .expect("one fact requested"))
             }
+            // cqshap-lint: allow(no-panic) -- spec and state are built together; mismatched variants cannot arise
             _ => unreachable!("spec and state are built together"),
         }
     }
@@ -694,6 +696,7 @@ impl ShapleySession {
                 Ok(vec![BigRational::zero(); facts.len()])
             }
             (QuerySpec::Cq(q), EngineState::CqPerFact) => {
+                // cqshap-lint: allow(no-panic) -- per-fact state records its resolution when built
                 let resolved = self.resolved.expect("per-fact state has a resolution");
                 per_fact_values(&self.db, q, facts, resolved, &self.options, false)
             }
@@ -715,6 +718,7 @@ impl ShapleySession {
                     shapley_by_permutations_cancel(
                         &self.db,
                         AnyQuery::Union(u),
+                        // cqshap-lint: allow(no-panic-index) -- i ranges over facts.len() in the enclosing loop
                         facts[i],
                         self.options.permutation_limit,
                         cancel.as_ref(),
@@ -729,6 +733,7 @@ impl ShapleySession {
                 }
                 engines.values(&self.db, facts, &self.options, self.cancel.as_ref())
             }
+            // cqshap-lint: allow(no-panic) -- spec and state are built together; mismatched variants cannot arise
             _ => unreachable!("spec and state are built together"),
         }
     }
@@ -847,6 +852,7 @@ impl ShapleySession {
         let query = match &self.spec {
             QuerySpec::Cq(q) => AnyQuery::Cq(q),
             QuerySpec::Union(u) => AnyQuery::Union(u),
+            // cqshap-lint: allow(no-panic) -- aggregate specs were rejected by the guard above
             QuerySpec::Aggregate { .. } => unreachable!("rejected above"),
         };
         shapley_anytime(
@@ -1004,6 +1010,7 @@ impl ShapleySession {
                 self.cancel.as_ref(),
             ),
             ProbState::Unsupported(reason) => Err(CoreError::Unsupported(reason.clone())),
+            // cqshap-lint: allow(no-panic) -- the ensure call above installed the built state
             ProbState::NotBuilt => unreachable!("ensured above"),
         }
     }
@@ -1059,6 +1066,7 @@ impl ShapleySession {
                 Ok(present - absent)
             }
             ProbState::Unsupported(reason) => Err(CoreError::Unsupported(reason.clone())),
+            // cqshap-lint: allow(no-panic) -- the ensure call above installed the built state
             ProbState::NotBuilt => unreachable!("ensured above"),
         }
     }
@@ -1069,6 +1077,7 @@ impl ShapleySession {
             QuerySpec::Cq(q) => AnyQuery::Cq(q),
             QuerySpec::Union(u) => AnyQuery::Union(u),
             QuerySpec::Aggregate { .. } => {
+                // cqshap-lint: allow(no-panic) -- aggregate specs route to ProbState::Unsupported at build time
                 unreachable!("aggregate specs route to ProbState::Unsupported")
             }
         }

@@ -37,6 +37,7 @@
 //! skips the hierarchy and self-join-freeness preconditions of the exact
 //! engines: WSMS is the tier that must work on precisely the queries
 //! they refuse.
+// cqshap-lint: allow-file(no-panic-index) -- support enumeration indexes within masks sized by the query
 
 use std::collections::BTreeSet;
 
@@ -134,6 +135,7 @@ pub fn wsms_report(
         for &f in s {
             let i = db
                 .endo_index(f)
+                // cqshap-lint: allow(no-panic) -- supports are built from endogenous facts only
                 .expect("supports consist of endogenous facts");
             scores[i] += &w;
             counts[i] += 1;
@@ -200,6 +202,7 @@ fn resolve_disjunct(
             }
             return Ok(None);
         }
+        // cqshap-lint: allow(no-panic) -- the guard above returns early unless a relation matched
         let rel = rel.expect("checked above");
         if db.schema().arity(rel) != terms.len() {
             return Err(CoreError::Unsupported(format!(

@@ -1,4 +1,5 @@
 //! The database: facts with an endogenous/exogenous partition.
+// cqshap-lint: allow-file(no-panic-index) -- fact and relation tables are indexed by ids this database issued
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -128,6 +129,7 @@ impl Database {
                 fact: self.render(rel, &tuple),
             });
         }
+        // cqshap-lint: allow(no-panic) -- documented capacity limit: the fact id space is u32
         let id = FactId(u32::try_from(self.facts.len()).expect("too many facts"));
         self.tuple_index.insert((rel, tuple.clone()), id);
         self.by_relation[rel.index()].push(id);
@@ -224,12 +226,14 @@ impl Database {
         let pos = self
             .endo_pos
             .remove(&f)
+            // cqshap-lint: allow(no-panic) -- endo_pos tracks every endogenous fact from insertion
             .expect("endogenous fact has a position");
         self.endo.remove(pos);
         for later in &self.endo[pos..] {
             *self
                 .endo_pos
                 .get_mut(later)
+                // cqshap-lint: allow(no-panic) -- endo_pos tracks every endogenous fact from insertion
                 .expect("endogenous fact has a position") -= 1;
         }
     }
@@ -263,9 +267,24 @@ impl Database {
     /// The fact with id `id`.
     ///
     /// # Panics
-    /// Panics on out-of-range ids.
+    /// Panics on out-of-range ids — ids from *this* database are always
+    /// in range, so this is the right entry point for internal callers.
+    /// Code handling ids from user input should prefer
+    /// [`Database::try_fact`].
     pub fn fact(&self, id: FactId) -> &Fact {
+        // cqshap-lint: allow(no-panic-index) -- documented panic: a dangling id here is a caller bug; user-input paths go through try_fact
         &self.facts[id.index()]
+    }
+
+    /// The fact with id `id`, or [`DbError::UnknownFact`] when the id
+    /// was never issued by this database (e.g. it arrived from user
+    /// input or from a different database). Retracted facts still
+    /// resolve — their tombstones keep the id space stable; check
+    /// [`Database::is_retracted`] separately when liveness matters.
+    pub fn try_fact(&self, id: FactId) -> Result<&Fact, DbError> {
+        self.facts
+            .get(id.index())
+            .ok_or(DbError::UnknownFact { id: id.0 })
     }
 
     /// Total number of fact ids ever issued (the id-space bound;

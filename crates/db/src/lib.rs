@@ -22,6 +22,9 @@
 //!   the `ExoShap` rewriting and several hardness proofs);
 //! * a line-oriented text format for databases (`Database::parse`).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bitset;
 pub mod complement;
 pub mod database;

@@ -45,12 +45,15 @@ impl FactMask {
 
     /// Is `f` endogenous under the mask? (Removed or exogenized facts
     /// are not, nor are facts retracted in place; everything else
-    /// follows the stored provenance.)
+    /// follows the stored provenance.) Dangling ids — possible when `f`
+    /// arrived from user input — are simply not endogenous, never a
+    /// panic.
     pub fn is_endogenous(&self, db: &Database, f: FactId) -> bool {
         if self.target() == Some(f) || db.is_retracted(f) {
             return false;
         }
-        db.fact(f).provenance.is_endogenous()
+        db.try_fact(f)
+            .is_ok_and(|fact| fact.provenance.is_endogenous())
     }
 
     /// `|Dn|` of the masked database.
@@ -105,6 +108,20 @@ mod tests {
         assert!(!ex.is_endogenous(&d, ra));
         assert!(ex.is_endogenous(&d, rb));
         assert_eq!(ex.endo_count(&d), 1);
+    }
+
+    #[test]
+    fn dangling_ids_are_not_endogenous_instead_of_panicking() {
+        let d = db();
+        let dangling = FactId(d.fact_count() as u32 + 7);
+        for m in [
+            FactMask::None,
+            FactMask::Removed(dangling),
+            FactMask::Exogenous(dangling),
+        ] {
+            assert!(!m.is_endogenous(&d, dangling));
+            assert!(d.try_fact(dangling).is_err());
+        }
     }
 
     #[test]

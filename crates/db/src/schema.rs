@@ -46,6 +46,7 @@ impl Schema {
     /// [`DbError::ArityMismatch`] when `name` exists with another arity.
     pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelId, DbError> {
         if let Some(&id) = self.by_name.get(name) {
+            // cqshap-lint: allow(no-panic-index) -- by_name stores only ids issued by this schema
             let existing = &self.relations[id.index()];
             if existing.arity != arity {
                 return Err(DbError::ArityMismatch {
@@ -56,6 +57,7 @@ impl Schema {
             }
             return Ok(id);
         }
+        // cqshap-lint: allow(no-panic) -- documented capacity limit: the relation id space is u32
         let id = RelId(u32::try_from(self.relations.len()).expect("too many relations"));
         self.relations.push(RelationDef {
             name: name.to_string(),
@@ -75,6 +77,7 @@ impl Schema {
     /// # Panics
     /// Panics if `rel` does not belong to this schema.
     pub fn def(&self, rel: RelId) -> &RelationDef {
+        // cqshap-lint: allow(no-panic-index) -- documented panic: def requires an id issued by this schema
         &self.relations[rel.index()]
     }
 

@@ -47,6 +47,7 @@ impl World {
     /// # Panics
     /// Panics if `id` is not endogenous in `db`.
     pub fn insert(&mut self, db: &Database, id: FactId) -> bool {
+        // cqshap-lint: allow(no-panic) -- documented precondition: World members are endogenous facts
         let pos = db.endo_index(id).expect("fact is not endogenous");
         self.bits.insert(pos)
     }
@@ -56,6 +57,7 @@ impl World {
     /// # Panics
     /// Panics if `id` is not endogenous in `db`.
     pub fn remove(&mut self, db: &Database, id: FactId) -> bool {
+        // cqshap-lint: allow(no-panic) -- documented precondition: World members are endogenous facts
         let pos = db.endo_index(id).expect("fact is not endogenous");
         self.bits.remove(pos)
     }
@@ -83,6 +85,7 @@ impl World {
 
     /// Iterates the member fact ids in endogenous order.
     pub fn iter_facts<'a>(&'a self, db: &'a Database) -> impl Iterator<Item = FactId> + 'a {
+        // cqshap-lint: allow(no-panic-index) -- bit positions come from the world's own bitset, sized by endo_count
         self.bits.iter().map(move |pos| db.endo_facts()[pos])
     }
 

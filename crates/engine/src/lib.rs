@@ -15,6 +15,9 @@
 //!   and interner once, reusable across many worlds (brute force and
 //!   Monte-Carlo sampling evaluate thousands of worlds per query).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod compile;
 pub mod eval;
 

@@ -20,6 +20,9 @@
 //!   queries (triplet version) and non-hierarchical-path queries (the
 //!   Theorem 4.3 hardness side).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bipartite;
 pub mod cnf;
 pub mod coloring;

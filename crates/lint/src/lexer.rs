@@ -1,0 +1,432 @@
+//! A small, total Rust lexer.
+//!
+//! The rules in this crate are lexical: they must never mistake a
+//! `panic!` inside a string literal, a doc comment, or a raw string for
+//! library code. This lexer therefore handles exactly the token shapes
+//! that can hide text — line and (nested) block comments, string /
+//! raw-string / byte-string / char literals, lifetimes, raw
+//! identifiers — and treats everything else as identifiers, numbers, or
+//! single-character punctuation.
+//!
+//! The lexer is *total*: every byte sequence tokenizes without error
+//! (unterminated literals extend to end of input), and the produced
+//! tokens partition the input exactly — `src[t.start..t.end]`
+//! concatenated over all tokens reproduces the source byte-for-byte, a
+//! property pinned by the `lexer_props` proptest suite.
+
+/// The classification of one source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines, carriage returns.
+    Whitespace,
+    /// `// …` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */`, nested, possibly unterminated.
+    BlockComment,
+    /// `"…"`, `b"…"` — escape-aware, possibly unterminated.
+    Str,
+    /// `r"…"` / `r#"…"#` / `br##"…"##` with any hash depth.
+    RawStr,
+    /// `'x'`, `b'x'`, `'\u{1F600}'`.
+    Char,
+    /// `'static`, `'a` — a quote followed by an identifier with no
+    /// closing quote.
+    Lifetime,
+    /// Identifiers and keywords, including raw identifiers (`r#match`)
+    /// and any non-ASCII ident characters.
+    Ident,
+    /// Numeric literals (integer, float, hex, suffixed).
+    Number,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token: a classified byte span plus its 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Span classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src` completely (see the [module docs](self) for the
+/// guarantees).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always advance");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances one whole UTF-8 character (so a token never ends inside
+    /// a multi-byte character).
+    fn bump_char(&mut self) {
+        self.bump();
+        while self.peek(0).is_some_and(|b| b & 0xC0 == 0x80) {
+            self.pos += 1;
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.src[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while self
+                    .peek(0)
+                    .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
+                {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|c| c != b'\n') {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump();
+                self.bump();
+                let mut depth = 1usize;
+                while depth > 0 && self.pos < self.src.len() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        self.bump();
+                        self.bump();
+                        depth += 1;
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        self.bump();
+                        self.bump();
+                        depth -= 1;
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'r' if self.raw_string_ahead(1) => {
+                self.bump(); // r
+                self.raw_string_body()
+            }
+            b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                self.bump(); // b
+                self.bump(); // r
+                self.raw_string_body()
+            }
+            b'b' if self.peek(1) == Some(b'"') => {
+                self.bump();
+                self.string_body()
+            }
+            b'b' if self.peek(1) == Some(b'\'') => {
+                self.bump();
+                self.char_body();
+                TokenKind::Char
+            }
+            b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#keyword.
+                self.bump();
+                self.bump();
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            b'"' => self.string_body(),
+            b'\'' => {
+                // Lifetime vs char literal: a quote followed by an
+                // identifier run is a lifetime unless the run is a
+                // single ident char closed by another quote ('a').
+                if self.peek(1).is_some_and(is_ident_start) && self.peek(1) != Some(b'\\') {
+                    let mut j = 2;
+                    while self.peek(j).is_some_and(is_ident_continue) {
+                        j += 1;
+                    }
+                    if self.peek(j) != Some(b'\'') {
+                        for _ in 0..j {
+                            self.bump();
+                        }
+                        return TokenKind::Lifetime;
+                    }
+                }
+                self.char_body();
+                TokenKind::Char
+            }
+            _ if is_ident_start(b) => {
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                // A fractional part: `.` followed by a digit (so `0..n`
+                // range syntax keeps its dots as punctuation).
+                if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                }
+                TokenKind::Number
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Is a raw-string opener (`#*"`) next, starting `ahead` bytes in?
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut j = ahead;
+        while self.peek(j) == Some(b'#') {
+            j += 1;
+        }
+        j > ahead && self.peek(j) == Some(b'"') || self.peek(ahead) == Some(b'"')
+    }
+
+    /// Consumes `#*" … "#*` (the leading `r`/`br` already consumed).
+    fn raw_string_body(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        debug_assert_eq!(self.peek(0), Some(b'"'));
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    self.bump();
+                    let mut closed = 0usize;
+                    while closed < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        closed += 1;
+                    }
+                    if closed == hashes {
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    /// Consumes `" … "` with escapes (the opening position at a `"`).
+    fn string_body(&mut self) -> TokenKind {
+        debug_assert_eq!(self.peek(0), Some(b'"'));
+        self.bump();
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Consumes `' … '` with escapes (position at the opening `'`).
+    fn char_body(&mut self) {
+        debug_assert_eq!(self.peek(0), Some(b'\''));
+        self.bump();
+        match self.peek(0) {
+            None => return,
+            Some(b'\\') => {
+                self.bump();
+                if self.peek(0) == Some(b'u') {
+                    // \u{…}
+                    self.bump();
+                    if self.peek(0) == Some(b'{') {
+                        while self.peek(0).is_some_and(|c| c != b'}' && c != b'\'') {
+                            self.bump();
+                        }
+                        if self.peek(0) == Some(b'}') {
+                            self.bump();
+                        }
+                    }
+                } else if self.peek(0).is_some() {
+                    self.bump_char();
+                }
+            }
+            Some(_) => self.bump_char(),
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn round_trip(src: &str) {
+        let tokens = lex(src);
+        let mut rebuilt = String::new();
+        let mut cursor = 0usize;
+        for t in &tokens {
+            assert_eq!(t.start, cursor, "tokens must be contiguous in {src:?}");
+            rebuilt.push_str(t.text(src));
+            cursor = t.end;
+        }
+        assert_eq!(cursor, src.len(), "tokens must cover {src:?}");
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"// panic! in a comment
+let s = "panic!(\"no\")"; /* unwrap() /* nested */ */
+let r = r#"expect("nope")"#;
+"##;
+        round_trip(src);
+        let idents: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        round_trip(src);
+        let k = kinds(src);
+        assert!(k.contains(&TokenKind::Lifetime));
+        assert!(k.contains(&TokenKind::Char));
+        round_trip(r"let c = '\''; let u = '\u{1F600}'; let l: &'static str = s;");
+        let src2 = r"let c = '\''; let l = &'static str;";
+        let k2: Vec<_> = lex(src2)
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokenKind::Char | TokenKind::Lifetime))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(k2, [TokenKind::Char, TokenKind::Lifetime]);
+    }
+
+    #[test]
+    fn raw_identifiers_and_raw_strings() {
+        let src = r###"let r#match = br##"raw "# inside"##; let y = r"plain";"###;
+        round_trip(src);
+        let raws: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(raws, [r###"br##"raw "# inside"##"###, r#"r"plain""#]);
+        assert!(lex(src)
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "r#match"));
+    }
+
+    #[test]
+    fn numbers_keep_range_dots() {
+        let src = "for i in 0..n { let x = 1.5e3 + 0xFFu64; }";
+        round_trip(src);
+        let puncts = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text(src) == ".")
+            .count();
+        assert_eq!(puncts, 2, "0..n keeps both dots as punctuation");
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b\"open"] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n  c";
+        let lines: Vec<u32> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+}

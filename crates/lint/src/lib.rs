@@ -1,0 +1,91 @@
+//! `cqshap-lint` — the workspace invariant checker.
+//!
+//! The engine carries three cross-cutting contracts that ordinary
+//! compilation cannot enforce: the anytime tier's promise that every
+//! long-running exact path polls its `Budget`/`CancelToken`, the
+//! session's promise that failures surface as typed errors instead of
+//! panics mid-patch, and the thread-cap discipline that routes every
+//! fan-out through `parallel::par_map_with`. This crate checks those
+//! contracts mechanically: a small total Rust [lexer], an
+//! item/block [scanner] that attributes code to test vs
+//! library context, reasoned suppression pragmas ([pragma]), and five
+//! [rules] scoped by [workspace] policy:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `no-panic` | engine-crate library code never panics |
+//! | `cancellation-poll` | exact-path loops poll cancellation |
+//! | `thread-discipline` | threads only via the sanctioned fan-outs |
+//! | `no-wall-clock` | clock reads only in the deadline modules |
+//! | `error-hygiene` | typed errors, no `Box<dyn Error>` / `Err(format!…)` |
+//!
+//! Run `cargo run -p cqshap-lint` from the workspace root; it prints
+//! `file:line` findings, writes `LINT_report.json`, and exits nonzero
+//! on any unsuppressed violation. See the README's "Static analysis"
+//! section for the suppression pragma syntax.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;
+
+pub use report::{Finding, Report, Suppressed};
+pub use workspace::{lint_source, lint_workspace};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors from driving the linter itself (not findings).
+#[derive(Debug)]
+pub enum LintError {
+    /// A file or directory could not be read or written.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `--root` does not contain a `Cargo.toml`.
+    NotAWorkspace {
+        /// The rejected root.
+        root: PathBuf,
+    },
+}
+
+impl LintError {
+    fn io(path: &std::path::Path, source: std::io::Error) -> LintError {
+        LintError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            LintError::NotAWorkspace { root } => {
+                write!(
+                    f,
+                    "{} has no Cargo.toml — run from the workspace root or pass --root",
+                    root.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            LintError::NotAWorkspace { .. } => None,
+        }
+    }
+}

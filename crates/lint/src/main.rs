@@ -1,0 +1,80 @@
+//! The `cqshap-lint` binary: lint the workspace, print findings, write
+//! `LINT_report.json`, exit nonzero on violations.
+//!
+//! ```text
+//! cargo run -p cqshap-lint [-- --root DIR] [--json PATH] [--quiet]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cqshap_lint::{lint_workspace, LintError};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("cqshap-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, LintError> {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                if let Some(v) = args.next() {
+                    root = PathBuf::from(v);
+                }
+            }
+            "--json" => json = args.next().map(PathBuf::from),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "cqshap-lint: workspace invariant checker\n\n\
+                     USAGE: cqshap-lint [--root DIR] [--json PATH] [--quiet]\n\n\
+                     Checks panic-freedom, cancellation-safety, thread discipline,\n\
+                     wall-clock centralization, and error hygiene. Writes LINT_report.json\n\
+                     (override with --json) and exits 1 on unsuppressed findings."
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => {
+                eprintln!("cqshap-lint: unknown argument `{other}` (see --help)");
+                return Ok(ExitCode::from(2));
+            }
+        }
+    }
+
+    let report = lint_workspace(&root)?;
+    let json_path = json.unwrap_or_else(|| root.join("LINT_report.json"));
+    std::fs::write(&json_path, report.to_json()).map_err(|e| LintError::Io {
+        path: json_path.clone(),
+        source: e,
+    })?;
+
+    if !quiet {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "cqshap-lint: {} file(s), {} finding(s), {} suppressed (report: {})",
+            report.files.len(),
+            report.findings.len(),
+            report.suppressed.len(),
+            json_path.display()
+        );
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,185 @@
+//! Finding and report types, plus the machine-readable JSON encoding.
+
+use std::fmt;
+
+/// Rule name: panic-free library code in the engine crates.
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// Rule name: the indexing leg of the `no-panic` family (`expr[i]`
+/// panics out of bounds). A separate pragma name so index-heavy kernel
+/// files can be exempted file-wide without also silencing
+/// `unwrap`/`expect`/`panic!` findings there.
+pub const RULE_NO_PANIC_INDEX: &str = "no-panic-index";
+/// Rule name: loops in the exact-path files must poll cancellation.
+pub const RULE_CANCELLATION_POLL: &str = "cancellation-poll";
+/// Rule name: threads are spawned only by the sanctioned fan-outs.
+pub const RULE_THREAD_DISCIPLINE: &str = "thread-discipline";
+/// Rule name: wall-clock reads only inside the deadline modules.
+pub const RULE_NO_WALL_CLOCK: &str = "no-wall-clock";
+/// Rule name: typed errors only — no `Box<dyn Error>` / `Err(format!…)`.
+pub const RULE_ERROR_HYGIENE: &str = "error-hygiene";
+/// Meta rule: a malformed suppression pragma.
+pub const RULE_BAD_PRAGMA: &str = "bad-pragma";
+/// Meta rule: a pragma that suppressed nothing.
+pub const RULE_UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// Every rule name the pragma parser accepts.
+pub const KNOWN_RULES: &[&str] = &[
+    RULE_NO_PANIC,
+    RULE_NO_PANIC_INDEX,
+    RULE_CANCELLATION_POLL,
+    RULE_THREAD_DISCIPLINE,
+    RULE_NO_WALL_CLOCK,
+    RULE_ERROR_HYGIENE,
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule's name.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A finding that was silenced by a pragma, kept for the report.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The pragma's mandatory reason.
+    pub reason: String,
+}
+
+/// The whole run's outcome.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned, workspace-relative.
+    pub files: Vec<String>,
+    /// Unsuppressed findings — any entry here fails the run.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by reasoned pragmas.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// Did the workspace pass (no live findings)?
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The `LINT_report.json` encoding (hand-rolled: the workspace has
+    /// no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"finding_count\": {},\n  \"suppressed_count\": {},\n",
+            self.files.len(),
+            self.findings.len(),
+            self.suppressed.len()
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"suppressed\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"reason\": {}}}",
+                json_str(&s.finding.rule),
+                json_str(&s.finding.file),
+                s.finding.line,
+                json_str(&s.finding.message),
+                json_str(&s.reason)
+            ));
+        }
+        out.push_str(if self.suppressed.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes that can occur in paths,
+/// messages, and reasons.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report::default();
+        r.files.push("a.rs".into());
+        r.findings.push(Finding {
+            rule: RULE_NO_PANIC.into(),
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            message: "call to `panic!` with \"quotes\"".into(),
+        });
+        r.suppressed.push(Suppressed {
+            finding: Finding {
+                rule: RULE_NO_WALL_CLOCK.into(),
+                file: "b.rs".into(),
+                line: 9,
+                message: "m".into(),
+            },
+            reason: "line1\nline2".into(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"finding_count\": 1"));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,397 @@
+//! The rule implementations.
+//!
+//! Every rule is a pure function over one file's [`FileCtx`]: lexical
+//! pattern matching over the significant (non-trivia) tokens, with
+//! test-only regions exempt. Which rules run on which files is decided
+//! by [`crate::workspace`]; the rules themselves only know how to spot
+//! their construct.
+
+use crate::lexer::TokenKind;
+use crate::report::{
+    Finding, RULE_CANCELLATION_POLL, RULE_ERROR_HYGIENE, RULE_NO_PANIC, RULE_NO_PANIC_INDEX,
+    RULE_NO_WALL_CLOCK, RULE_THREAD_DISCIPLINE,
+};
+use crate::scanner::FileMap;
+
+/// One file prepared for rule evaluation.
+pub struct FileCtx<'s> {
+    /// Source text.
+    pub src: &'s str,
+    /// Workspace-relative path, forward slashes.
+    pub path: &'s str,
+    /// Structural map (tokens, test ranges, fns).
+    pub map: &'s FileMap,
+    /// Indices into `map.tokens` of the significant tokens.
+    pub sig: &'s [usize],
+}
+
+impl FileCtx<'_> {
+    fn tok(&self, k: usize) -> &crate::lexer::Token {
+        &self.map.tokens[self.sig[k]]
+    }
+
+    fn text(&self, k: usize) -> &str {
+        self.tok(k).text(self.src)
+    }
+
+    fn is(&self, k: usize, kind: TokenKind, text: &str) -> bool {
+        k < self.sig.len() && self.tok(k).kind == kind && self.text(k) == text
+    }
+
+    fn finding(&self, rule: &str, k: usize, message: String) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: self.path.to_string(),
+            line: self.tok(k).line,
+            message,
+        }
+    }
+}
+
+/// Keywords that may directly precede a `[` that is *not* an index
+/// expression (array literals, slice patterns, array types).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "yield",
+];
+
+/// **no-panic** — library code of the engine crates must not contain
+/// `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros,
+/// `.unwrap()` / `.expect(…)` calls, or `[…]` index expressions (which
+/// panic out of bounds). Test code is exempt.
+pub fn no_panic(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for k in 0..ctx.sig.len() {
+        let t = ctx.tok(k);
+        if ctx.map.in_test(t.start) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let w = ctx.text(k);
+                if matches!(w, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && ctx.is(k + 1, TokenKind::Punct, "!")
+                {
+                    out.push(ctx.finding(
+                        RULE_NO_PANIC,
+                        k,
+                        format!("`{w}!` in library code — return a typed error instead"),
+                    ));
+                }
+                if matches!(w, "unwrap" | "expect")
+                    && k > 0
+                    && ctx.is(k - 1, TokenKind::Punct, ".")
+                    && ctx.is(k + 1, TokenKind::Punct, "(")
+                {
+                    out.push(ctx.finding(
+                        RULE_NO_PANIC,
+                        k,
+                        format!("`.{w}(…)` in library code — propagate the error or prove the invariant with a pragma"),
+                    ));
+                }
+            }
+            TokenKind::Punct if ctx.text(k) == "[" && k > 0 => {
+                let prev = ctx.tok(k - 1);
+                let indexable = match prev.kind {
+                    TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&ctx.text(k - 1)),
+                    TokenKind::Punct => matches!(ctx.text(k - 1), ")" | "]"),
+                    _ => false,
+                };
+                // `[` must be adjacent to the indexed expression — a
+                // gap means an array literal/type on a new line.
+                if indexable && prev.end == t.start {
+                    out.push(ctx.finding(
+                        RULE_NO_PANIC_INDEX,
+                        k,
+                        "`[…]` index expression can panic — use `get`/`get_mut` or prove bounds with a pragma".to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Identifier evidence that a function participates in cooperative
+/// cancellation: it polls, charges, or threads a token/budget through.
+fn is_poll_evidence(word: &str) -> bool {
+    word == "check"
+        || word == "check_partial"
+        || word == "charge"
+        || word == "budget"
+        || word == "token"
+        || word == "should_stop"
+        || word.to_ascii_lowercase().contains("cancel")
+}
+
+/// **cancellation-poll** — in the designated exact-path files, every
+/// non-test `fn` whose body contains a loop must show cancellation
+/// evidence (a `budget::check` / `token.charge` call, or a token passed
+/// down to a `*_cancel` kernel). Bodies of *nested* fns are excluded
+/// from the enclosing fn's scan — each fn answers for itself.
+pub fn cancellation_poll(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, f) in ctx.map.fns.iter().enumerate() {
+        if ctx.map.in_test(f.sig_start) {
+            continue;
+        }
+        let nested: Vec<(usize, usize)> = ctx
+            .map
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(j, g)| *j != i && g.sig_start > f.body_start && g.body_end <= f.body_end)
+            .map(|(_, g)| (g.body_start, g.body_end))
+            .collect();
+        let mut has_loop = false;
+        let mut has_evidence = false;
+        for k in 0..ctx.sig.len() {
+            let t = ctx.tok(k);
+            if t.start < f.sig_start || t.start >= f.body_end {
+                continue;
+            }
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let w = ctx.text(k);
+            let in_nested = nested.iter().any(|&(s, e)| t.start >= s && t.start < e);
+            if !in_nested && t.start >= f.body_start && matches!(w, "for" | "while" | "loop") {
+                has_loop = true;
+            }
+            if !in_nested && is_poll_evidence(w) {
+                has_evidence = true;
+            }
+        }
+        if has_loop && !has_evidence {
+            out.push(Finding {
+                rule: RULE_CANCELLATION_POLL.to_string(),
+                file: ctx.path.to_string(),
+                line: f.line,
+                message: format!(
+                    "fn `{}` loops without polling cancellation — call `budget::check`/`token.charge` or justify with a pragma",
+                    f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// **thread-discipline** — `thread::spawn` / `thread::scope` /
+/// `available_parallelism` appear only in the sanctioned fan-out
+/// modules, so `ShapleyOptions::threads` caps every worker pool.
+pub fn thread_discipline(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for k in 0..ctx.sig.len() {
+        let t = ctx.tok(k);
+        if t.kind != TokenKind::Ident || ctx.map.in_test(t.start) {
+            continue;
+        }
+        let w = ctx.text(k);
+        if matches!(w, "spawn" | "scope")
+            && k >= 3
+            && ctx.is(k - 1, TokenKind::Punct, ":")
+            && ctx.is(k - 2, TokenKind::Punct, ":")
+            && ctx.is(k - 3, TokenKind::Ident, "thread")
+        {
+            out.push(ctx.finding(
+                RULE_THREAD_DISCIPLINE,
+                k,
+                format!(
+                    "direct `thread::{w}` — route the fan-out through `parallel::par_map_with` so the thread cap applies"
+                ),
+            ));
+        }
+        if w == "available_parallelism" {
+            out.push(ctx.finding(
+                RULE_THREAD_DISCIPLINE,
+                k,
+                "direct `available_parallelism` probe — use `parallel::resolve_thread_cap` / `poly::resolve_threads`"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// **no-wall-clock** — `Instant::now` / `SystemTime::now` only inside
+/// the deadline modules (`cancel.rs` / `budget.rs`), so time is read in
+/// exactly one place and every deadline flows through `Budget`.
+pub fn no_wall_clock(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for k in 0..ctx.sig.len() {
+        let t = ctx.tok(k);
+        if t.kind != TokenKind::Ident || ctx.map.in_test(t.start) {
+            continue;
+        }
+        let w = ctx.text(k);
+        if matches!(w, "Instant" | "SystemTime")
+            && ctx.is(k + 1, TokenKind::Punct, ":")
+            && ctx.is(k + 2, TokenKind::Punct, ":")
+            && ctx.is(k + 3, TokenKind::Ident, "now")
+        {
+            out.push(ctx.finding(
+                RULE_NO_WALL_CLOCK,
+                k,
+                format!(
+                    "`{w}::now()` outside the deadline modules — use `cancel::Stopwatch` or a `Budget` so clock reads stay centralized"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// **error-hygiene** — first-party library code returns typed errors:
+/// no `Box<dyn … Error …>` and no stringly `Err(format!(…))`.
+pub fn error_hygiene(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for k in 0..ctx.sig.len() {
+        let t = ctx.tok(k);
+        if t.kind != TokenKind::Ident || ctx.map.in_test(t.start) {
+            continue;
+        }
+        let w = ctx.text(k);
+        if w == "Box"
+            && ctx.is(k + 1, TokenKind::Punct, "<")
+            && ctx.is(k + 2, TokenKind::Ident, "dyn")
+        {
+            // Scan a few tokens for an `…Error` ident before the `>`.
+            let mut j = k + 3;
+            while j < ctx.sig.len() && j < k + 12 {
+                if ctx.is(j, TokenKind::Punct, ">") {
+                    break;
+                }
+                if ctx.tok(j).kind == TokenKind::Ident && ctx.text(j).ends_with("Error") {
+                    out.push(ctx.finding(
+                        RULE_ERROR_HYGIENE,
+                        k,
+                        "`Box<dyn Error>` erases the error type — use the crate's typed error enum"
+                            .to_string(),
+                    ));
+                    break;
+                }
+                j += 1;
+            }
+        }
+        if w == "Err"
+            && ctx.is(k + 1, TokenKind::Punct, "(")
+            && ctx.is(k + 2, TokenKind::Ident, "format")
+            && ctx.is(k + 3, TokenKind::Punct, "!")
+        {
+            out.push(
+                ctx.finding(
+                    RULE_ERROR_HYGIENE,
+                    k,
+                    "stringly `Err(format!(…))` — wrap the message in a typed error variant"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scanner::FileMap;
+
+    fn ctx_run(src: &str, rule: fn(&FileCtx<'_>) -> Vec<Finding>) -> Vec<Finding> {
+        let map = FileMap::build(src, lex(src));
+        let sig: Vec<usize> = map
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let ctx = FileCtx {
+            src,
+            path: "crates/core/src/x.rs",
+            map: &map,
+            sig: &sig,
+        };
+        rule(&ctx)
+    }
+
+    #[test]
+    fn no_panic_catches_the_constructs() {
+        let src = "fn f(v: &[u8]) -> u8 { let x = v[0]; opt.unwrap(); res.expect(\"msg\"); panic!(\"boom\"); unreachable!() }";
+        let found = ctx_run(src, no_panic);
+        let rules: Vec<&str> = found.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(found.len(), 5, "{rules:?}");
+    }
+
+    #[test]
+    fn no_panic_skips_literals_comments_and_patterns() {
+        let src = r#"
+// panic! here is fine
+fn f() {
+    let s = "panic! and x.unwrap() in a string";
+    let arr = [1, 2, 3];
+    let [a, b] = pair;
+    let t: [u8; 2] = [0; 2];
+    for i in [1, 2] {}
+    g(&mut [0u8; 4]);
+}
+"#;
+        assert!(ctx_run(src, no_panic).is_empty());
+    }
+
+    #[test]
+    fn no_panic_ignores_unwrap_or_variants() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.expect_err(\"e\"); }";
+        // `expect_err` still panics but is a different method name; the
+        // rule names exactly the constructs from the contract.
+        assert!(ctx_run(src, no_panic)
+            .iter()
+            .all(|f| !f.message.contains("unwrap_or")));
+    }
+
+    #[test]
+    fn cancellation_poll_needs_loop_and_evidence() {
+        let flagged = "fn hot(xs: &[u8]) { for x in xs { work(x); } }";
+        assert_eq!(ctx_run(flagged, cancellation_poll).len(), 1);
+        let polling = "fn hot(xs: &[u8], token: &CancelToken) { for x in xs { if token.charge(1) { return; } } }";
+        assert!(ctx_run(polling, cancellation_poll).is_empty());
+        let loopless = "fn cold(x: u8) -> u8 { x + 1 }";
+        assert!(ctx_run(loopless, cancellation_poll).is_empty());
+        let nested = "fn outer() { fn inner() { loop {} } inner(); }";
+        // The loop belongs to `inner`; only `inner` is flagged.
+        let f = ctx_run(nested, cancellation_poll);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`inner`"));
+    }
+
+    #[test]
+    fn thread_discipline_catches_spawn_scope_probe() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); thread::spawn(|| {}); let n = std::thread::available_parallelism(); }";
+        assert_eq!(ctx_run(src, thread_discipline).len(), 3);
+    }
+
+    #[test]
+    fn wall_clock_and_error_hygiene() {
+        let src = "fn f() -> Result<(), Box<dyn std::error::Error>> { let t = Instant::now(); let u = std::time::SystemTime::now(); Err(format!(\"bad {t:?} {u:?}\"))?; Ok(()) }";
+        assert_eq!(ctx_run(src, no_wall_clock).len(), 2);
+        assert_eq!(ctx_run(src, error_hygiene).len(), 2);
+        let clean =
+            "fn f() -> Result<(), CoreError> { Err(CoreError::Unsupported(format!(\"x\"))) }";
+        assert!(ctx_run(clean, error_hygiene).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { v[0].unwrap(); panic!(); } }";
+        assert!(ctx_run(src, no_panic).is_empty());
+    }
+}

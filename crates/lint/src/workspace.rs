@@ -1,0 +1,296 @@
+//! Workspace walking, rule scoping, and suppression application.
+//!
+//! This module owns the policy: which first-party files exist, which
+//! rules apply where, and how pragmas silence findings. The scope table
+//! mirrors the engine's architecture contracts — see the README's
+//! "Static analysis" section for the same table in prose.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokenKind};
+use crate::pragma::{self, Pragma, PragmaScope};
+use crate::report::{Finding, Report, Suppressed, KNOWN_RULES, RULE_UNUSED_SUPPRESSION};
+use crate::rules::{self, FileCtx};
+use crate::scanner::FileMap;
+use crate::LintError;
+
+/// Crates whose *library* code must be panic-free (`no-panic`).
+const NO_PANIC_CRATES: &[&str] = &["core", "db", "numeric", "probdb"];
+
+/// Files whose loops must poll cancellation (`cancellation-poll`).
+const CANCEL_FILES: &[&str] = &[
+    "crates/core/src/compiled.rs",
+    "crates/core/src/compiled_union.rs",
+    "crates/core/src/domain.rs",
+    "crates/core/src/aggregates.rs",
+    "crates/numeric/src/poly.rs",
+];
+
+/// The sanctioned fan-out modules (`thread-discipline` exempt).
+const THREAD_FILES: &[&str] = &["crates/core/src/parallel.rs", "crates/numeric/src/poly.rs"];
+
+/// The deadline modules (`no-wall-clock` exempt).
+const CLOCK_FILES: &[&str] = &["crates/numeric/src/cancel.rs", "crates/core/src/budget.rs"];
+
+/// Crates whose library code may not read the wall clock elsewhere.
+/// `bench` and `workloads` are measurement/generator code and binaries
+/// print timings to humans — both are outside the deadline contract.
+const CLOCK_CRATES: &[&str] = &[
+    "core", "db", "numeric", "probdb", "query", "engine", "gadgets", "lint",
+];
+
+/// One discovered source file.
+struct SourceFile {
+    /// Absolute path on disk.
+    abs: PathBuf,
+    /// Workspace-relative path with forward slashes.
+    rel: String,
+    /// Short crate directory name (`core`, `db`, …; `""` for the root
+    /// `cqshap` package).
+    krate: String,
+    /// Binary target (`main.rs` or under `src/bin/`)?
+    is_binary: bool,
+}
+
+/// Lints the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`).
+pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(LintError::NotAWorkspace {
+            root: root.to_path_buf(),
+        });
+    }
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), root, "", &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| LintError::io(&crates_dir, e))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            if entry.is_dir() {
+                let name = entry
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                collect_rs(&entry.join("src"), root, &name, &mut files)?;
+            }
+        }
+    }
+
+    let mut report = Report::default();
+    for file in &files {
+        let src = fs::read_to_string(&file.abs).map_err(|e| LintError::io(&file.abs, e))?;
+        let outcome = lint_source(&file.rel, &file.krate, file.is_binary, &src);
+        report.files.push(file.rel.clone());
+        report.findings.extend(outcome.findings);
+        report.suppressed.extend(outcome.suppressed);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted, deterministic).
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    krate: &str,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| LintError::io(dir, e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, krate, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let is_binary = rel.ends_with("/main.rs") || rel.contains("/src/bin/");
+            out.push(SourceFile {
+                abs: path,
+                rel,
+                krate: krate.to_string(),
+                is_binary,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The per-file lint outcome (findings already split by suppression).
+pub struct FileOutcome {
+    /// Live findings.
+    pub findings: Vec<Finding>,
+    /// Pragma-silenced findings with their reasons.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Lints one file's source text as if it lived at `rel` in crate
+/// `krate` (short name, `""` for the root package). This is the
+/// fixture-test entry point; [`lint_workspace`] calls it per file.
+pub fn lint_source(rel: &str, krate: &str, is_binary: bool, src: &str) -> FileOutcome {
+    let map = FileMap::build(src, lex(src));
+    let sig: Vec<usize> = map
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let ctx = FileCtx {
+        src,
+        path: rel,
+        map: &map,
+        sig: &sig,
+    };
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if NO_PANIC_CRATES.contains(&krate) && !is_binary {
+        raw.extend(rules::no_panic(&ctx));
+    }
+    if CANCEL_FILES.contains(&rel) {
+        raw.extend(rules::cancellation_poll(&ctx));
+    }
+    if !THREAD_FILES.contains(&rel) {
+        raw.extend(rules::thread_discipline(&ctx));
+    }
+    if CLOCK_CRATES.contains(&krate) && !is_binary && !CLOCK_FILES.contains(&rel) {
+        raw.extend(rules::no_wall_clock(&ctx));
+    }
+    if !is_binary {
+        raw.extend(rules::error_hygiene(&ctx));
+    }
+
+    let (mut pragmas, mut findings) = pragma::collect(src, &map.tokens, rel, KNOWN_RULES);
+    let mut suppressed = Vec::new();
+    for f in raw {
+        match matching_pragma(&mut pragmas, &f) {
+            Some(reason) => suppressed.push(Suppressed { finding: f, reason }),
+            None => findings.push(f),
+        }
+    }
+    for p in &pragmas {
+        if !p.used {
+            findings.push(Finding {
+                rule: RULE_UNUSED_SUPPRESSION.to_string(),
+                file: rel.to_string(),
+                line: p.line,
+                message: format!(
+                    "pragma allows `{}` but suppressed nothing — remove it",
+                    p.rules.join(", ")
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    FileOutcome {
+        findings,
+        suppressed,
+    }
+}
+
+/// Finds a pragma covering `f`, marks it used, and returns its reason.
+/// Site pragmas (exact line or line above) win over file pragmas.
+fn matching_pragma(pragmas: &mut [Pragma], f: &Finding) -> Option<String> {
+    let site = pragmas.iter_mut().find(|p| {
+        p.scope == PragmaScope::Site
+            && p.rules.iter().any(|r| r == &f.rule)
+            && (f.line == p.line || f.line == p.line + 1)
+    });
+    let p = match site {
+        Some(p) => p,
+        None => pragmas
+            .iter_mut()
+            .find(|p| p.scope == PragmaScope::File && p.rules.iter().any(|r| r == &f.rule))?,
+    };
+    p.used = true;
+    Some(p.reason.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_pragma_suppresses_and_is_used() {
+        let src = "fn f() {\n    // cqshap-lint: allow(no-panic) -- invariant: map key inserted above\n    let x = m.get(k).unwrap();\n}\n";
+        let out = lint_source("crates/core/src/x.rs", "core", false, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed.len(), 1);
+        assert!(out.suppressed[0].reason.contains("invariant"));
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "fn f() { let x = v[i]; } // cqshap-lint: allow(no-panic-index) -- i < len by loop bound\n";
+        let out = lint_source("crates/db/src/x.rs", "db", false, src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn file_pragma_suppresses_everywhere_and_unused_is_flagged() {
+        let src = "// cqshap-lint: allow-file(no-panic-index) -- limb kernels are bounds-guarded\nfn f() { v[0]; }\nfn g() { w[1]; }\n";
+        let out = lint_source("crates/numeric/src/x.rs", "numeric", false, src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed.len(), 2);
+
+        let unused = "// cqshap-lint: allow-file(no-panic-index) -- nothing here\nfn f() {}\n";
+        let out = lint_source("crates/numeric/src/x.rs", "numeric", false, unused);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, RULE_UNUSED_SUPPRESSION);
+    }
+
+    #[test]
+    fn scoping_respects_crate_and_binary() {
+        let panics = "fn f() { x.unwrap(); }";
+        // Engine crate: flagged.
+        assert_eq!(
+            lint_source("crates/core/src/x.rs", "core", false, panics)
+                .findings
+                .len(),
+            1
+        );
+        // Non-engine crate: no-panic does not apply.
+        assert!(lint_source("crates/query/src/x.rs", "query", false, panics)
+            .findings
+            .is_empty());
+        // Wall clock in a binary: exempt.
+        let clock = "fn main() { let t = std::time::Instant::now(); }";
+        assert!(lint_source("src/main.rs", "", true, clock)
+            .findings
+            .is_empty());
+        // Wall clock in engine lib code: flagged.
+        assert_eq!(
+            lint_source("crates/engine/src/x.rs", "engine", false, clock)
+                .findings
+                .len(),
+            1
+        );
+        // The deadline module itself: exempt.
+        assert!(
+            lint_source("crates/numeric/src/cancel.rs", "numeric", false, clock)
+                .findings
+                .is_empty()
+        );
+    }
+}

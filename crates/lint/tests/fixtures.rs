@@ -1,0 +1,263 @@
+//! Drives [`cqshap_lint::lint_source`] over the fixture corpus: for
+//! every rule, a positive fixture (seeded violations must be caught), a
+//! suppressed fixture (reasoned pragmas must silence them without
+//! leaving `unused-suppression` residue), and a test-exempt fixture
+//! (the same constructs inside `#[cfg(test)]` are ignored). The meta
+//! rules (`bad-pragma`, `unused-suppression`) and the binary-target
+//! exemptions get their own cases.
+
+use std::path::Path;
+
+use cqshap_lint::{lint_source, Finding, Suppressed};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints `name` as if it were library code of the `core` crate at a
+/// path where all generally-scoped rules apply.
+fn lint_as_core(name: &str) -> (Vec<Finding>, Vec<Suppressed>) {
+    let out = lint_source("crates/core/src/fixture.rs", "core", false, &fixture(name));
+    (out.findings, out.suppressed)
+}
+
+/// Lints `name` at an exact-path file, where `cancellation-poll` runs.
+fn lint_as_cancel_file(name: &str) -> (Vec<Finding>, Vec<Suppressed>) {
+    let out = lint_source("crates/core/src/domain.rs", "core", false, &fixture(name));
+    (out.findings, out.suppressed)
+}
+
+/// Lints `name` as `workloads` library code: outside the panic-free and
+/// clock-disciplined crates, so only `thread-discipline`,
+/// `error-hygiene`, and the meta rules run.
+fn lint_as_workloads(name: &str) -> (Vec<Finding>, Vec<Suppressed>) {
+    let out = lint_source(
+        "crates/workloads/src/fixture.rs",
+        "workloads",
+        false,
+        &fixture(name),
+    );
+    (out.findings, out.suppressed)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn no_panic_positive_is_caught() {
+    let (findings, suppressed) = lint_as_core("no_panic_positive.rs");
+    assert!(suppressed.is_empty());
+    let mut rules = rules_of(&findings);
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        [
+            "no-panic",
+            "no-panic",
+            "no-panic",
+            "no-panic",
+            "no-panic-index"
+        ],
+        "{findings:?}"
+    );
+    // Findings carry 1-based lines pointing at the construct.
+    assert!(findings.iter().all(|f| f.line >= 6 && f.line <= 13));
+}
+
+#[test]
+fn no_panic_suppressions_silence_without_residue() {
+    let (findings, suppressed) = lint_as_core("no_panic_suppressed.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed.len(), 3, "{suppressed:?}");
+    assert!(suppressed.iter().all(|s| !s.reason.is_empty()));
+    assert!(suppressed
+        .iter()
+        .any(|s| s.finding.rule == "no-panic-index"));
+}
+
+#[test]
+fn no_panic_test_code_is_exempt() {
+    let (findings, suppressed) = lint_as_core("no_panic_test_exempt.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn no_panic_does_not_apply_to_binaries() {
+    let out = lint_source(
+        "crates/core/src/main.rs",
+        "core",
+        true,
+        &fixture("no_panic_positive.rs"),
+    );
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn cancellation_poll_positive_is_caught() {
+    let (findings, suppressed) = lint_as_cancel_file("cancellation_poll_positive.rs");
+    assert!(suppressed.is_empty());
+    assert_eq!(rules_of(&findings), ["cancellation-poll"], "{findings:?}");
+    assert!(
+        findings[0].message.contains("hot_loop"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn cancellation_poll_suppression_works() {
+    let (findings, suppressed) = lint_as_cancel_file("cancellation_poll_suppressed.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed.len(), 1);
+}
+
+#[test]
+fn cancellation_poll_test_code_is_exempt() {
+    let (findings, suppressed) = lint_as_cancel_file("cancellation_poll_test_exempt.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn cancellation_poll_does_not_run_outside_exact_path_files() {
+    let (findings, _) = lint_as_core("cancellation_poll_positive.rs");
+    assert!(
+        !rules_of(&findings).contains(&"cancellation-poll"),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn thread_discipline_positive_is_caught() {
+    let (findings, suppressed) = lint_as_workloads("thread_discipline_positive.rs");
+    assert!(suppressed.is_empty());
+    assert_eq!(
+        rules_of(&findings),
+        ["thread-discipline", "thread-discipline"],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn thread_discipline_applies_to_binaries_too() {
+    let out = lint_source(
+        "crates/workloads/src/bin/gen.rs",
+        "workloads",
+        true,
+        &fixture("thread_discipline_positive.rs"),
+    );
+    assert_eq!(out.findings.len(), 2, "{:?}", out.findings);
+}
+
+#[test]
+fn thread_discipline_suppression_works() {
+    let (findings, suppressed) = lint_as_workloads("thread_discipline_suppressed.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed.len(), 2);
+}
+
+#[test]
+fn thread_discipline_test_code_is_exempt() {
+    let (findings, suppressed) = lint_as_workloads("thread_discipline_test_exempt.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn thread_discipline_is_off_in_sanctioned_modules() {
+    let out = lint_source(
+        "crates/core/src/parallel.rs",
+        "core",
+        false,
+        &fixture("thread_discipline_positive.rs"),
+    );
+    assert!(
+        !rules_of(&out.findings).contains(&"thread-discipline"),
+        "{:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn no_wall_clock_positive_is_caught() {
+    let (findings, suppressed) = lint_as_core("no_wall_clock_positive.rs");
+    assert!(suppressed.is_empty());
+    assert_eq!(
+        rules_of(&findings),
+        ["no-wall-clock", "no-wall-clock"],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn no_wall_clock_suppression_works() {
+    let (findings, suppressed) = lint_as_core("no_wall_clock_suppressed.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed.len(), 2);
+}
+
+#[test]
+fn no_wall_clock_test_code_is_exempt() {
+    let (findings, suppressed) = lint_as_core("no_wall_clock_test_exempt.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn no_wall_clock_is_off_in_deadline_modules() {
+    let out = lint_source(
+        "crates/numeric/src/cancel.rs",
+        "numeric",
+        false,
+        &fixture("no_wall_clock_positive.rs"),
+    );
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn error_hygiene_positive_is_caught() {
+    let (findings, suppressed) = lint_as_workloads("error_hygiene_positive.rs");
+    assert!(suppressed.is_empty());
+    assert_eq!(
+        rules_of(&findings),
+        ["error-hygiene", "error-hygiene"],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn error_hygiene_suppression_works() {
+    let (findings, suppressed) = lint_as_workloads("error_hygiene_suppressed.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed.len(), 2);
+}
+
+#[test]
+fn error_hygiene_test_code_is_exempt() {
+    let (findings, suppressed) = lint_as_workloads("error_hygiene_test_exempt.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn malformed_pragmas_are_findings() {
+    let (findings, suppressed) = lint_as_workloads("bad_pragma.rs");
+    assert!(suppressed.is_empty());
+    assert_eq!(
+        rules_of(&findings),
+        ["bad-pragma", "bad-pragma", "bad-pragma"],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn stale_suppressions_are_findings() {
+    let (findings, suppressed) = lint_as_core("unused_suppression.rs");
+    assert!(suppressed.is_empty());
+    assert_eq!(rules_of(&findings), ["unused-suppression"], "{findings:?}");
+}

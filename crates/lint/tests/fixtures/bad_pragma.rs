@@ -1,0 +1,11 @@
+//! Fixture: malformed pragmas are findings themselves.
+//! Expected: 3 × `bad-pragma` (missing reason, unknown rule, wrong verb).
+
+// cqshap-lint: allow(no-panic)
+fn missing_reason() {}
+
+// cqshap-lint: allow(made-up-rule) -- a reason does not rescue an unknown rule
+fn unknown_rule() {}
+
+// cqshap-lint: disallow(no-panic) -- there is no disallow verb
+fn wrong_verb() {}

@@ -1,0 +1,26 @@
+//! Fixture: in an exact-path file, a loop without cancellation
+//! evidence is flagged; a polling loop is not.
+//! Expected: 1 × `cancellation-poll` (on `hot_loop`).
+
+fn hot_loop(xs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for x in xs {
+        acc = acc.wrapping_add(*x);
+    }
+    acc
+}
+
+fn polled(xs: &[u64], token: &CancelToken) -> u64 {
+    let mut acc = 0u64;
+    for x in xs {
+        if token.charge(1) {
+            break;
+        }
+        acc = acc.wrapping_add(*x);
+    }
+    acc
+}
+
+fn loopless(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}

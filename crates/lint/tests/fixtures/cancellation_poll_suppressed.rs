@@ -1,0 +1,11 @@
+//! Fixture: the unpolled loop carries a reasoned pragma.
+//! Expected: 0 findings, 1 suppressed.
+
+// cqshap-lint: allow(cancellation-poll) -- fixture: the loop is bounded by the arity, at most 8 iterations
+fn hot_loop(xs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for x in xs {
+        acc = acc.wrapping_add(*x);
+    }
+    acc
+}

@@ -1,0 +1,14 @@
+//! Fixture: test fns may loop without polling cancellation.
+//! Expected: 0 findings, 0 suppressed.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn loops_freely() {
+        let mut acc = 0u64;
+        for x in 0..1000u64 {
+            acc = acc.wrapping_add(x);
+        }
+        assert!(acc > 0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: type-erased and stringly errors in library code.
+//! Expected: 2 × `error-hygiene`.
+
+fn fallible(flag: bool) -> Result<(), Box<dyn std::error::Error>> {
+    if flag {
+        return Err(format!("bad flag {flag}").into());
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Fixture: the same shapes, justified.
+//! Expected: 0 findings, 2 suppressed.
+
+// cqshap-lint: allow(error-hygiene) -- fixture: public API frozen on Box<dyn Error> for compatibility
+fn fallible(flag: bool) -> Result<(), Box<dyn std::error::Error>> {
+    if flag {
+        // cqshap-lint: allow(error-hygiene) -- fixture: message-only error at an outermost boundary
+        return Err(format!("bad flag {flag}").into());
+    }
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Fixture: tests may use throwaway error types.
+//! Expected: 0 findings, 0 suppressed.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stringly_errors_in_tests() -> Result<(), Box<dyn std::error::Error>> {
+        if false {
+            return Err(format!("never").into());
+        }
+        Ok(())
+    }
+}

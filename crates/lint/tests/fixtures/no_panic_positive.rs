@@ -1,0 +1,13 @@
+//! Fixture: every `no-panic` construct, in library context, unsuppressed.
+//! Expected: 4 × `no-panic` (unwrap, expect, panic!, unreachable!) and
+//! 1 × `no-panic-index` (`v[0]`).
+
+fn lib(v: &[u8], opt: Option<u8>, res: Result<u8, ()>) -> u8 {
+    let first = v[0];
+    let a = opt.unwrap();
+    let b = res.expect("must be Ok");
+    if first > a + b {
+        panic!("boom");
+    }
+    unreachable!()
+}

@@ -1,0 +1,11 @@
+//! Fixture: the same constructs, each silenced by a reasoned pragma.
+//! Expected: 0 findings, 3 suppressed (1 file-scope index, 2 site).
+// cqshap-lint: allow-file(no-panic-index) -- fixture: indexes are bounds-checked by the caller
+
+fn lib(v: &[u8], opt: Option<u8>, res: Result<u8, ()>) -> u8 {
+    let first = v[0];
+    // cqshap-lint: allow(no-panic) -- fixture: the option is always Some by construction
+    let a = opt.unwrap();
+    let b = res.expect("must"); // cqshap-lint: allow(no-panic) -- fixture: trailing-comment pragma form
+    first + a + b
+}

@@ -1,0 +1,18 @@
+//! Fixture: test code may panic freely; only library code is checked.
+//! Expected: 0 findings, 0 suppressed.
+
+/// The library part stays clean.
+pub fn lib(x: u8) -> u8 {
+    x.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_panics_freely() {
+        let v = [1u8];
+        assert_eq!(v[0], 1);
+        Some(1).unwrap();
+        Err::<u8, _>(()).expect("fine in tests");
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: wall-clock reads outside the deadline modules.
+//! Expected: 2 × `no-wall-clock`.
+
+fn timed(work: impl Fn()) -> u128 {
+    let t0 = std::time::Instant::now();
+    let _stamp = std::time::SystemTime::now();
+    work();
+    t0.elapsed().as_nanos()
+}

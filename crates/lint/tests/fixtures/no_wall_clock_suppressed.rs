@@ -1,0 +1,12 @@
+//! Fixture: each clock read carries its own site pragma on the line
+//! directly above (site pragmas cover their own line and the next).
+//! Expected: 0 findings, 2 suppressed.
+
+fn timed(work: impl Fn()) -> u128 {
+    // cqshap-lint: allow(no-wall-clock) -- fixture: measurement code, not a deadline
+    let t0 = std::time::Instant::now();
+    work();
+    // cqshap-lint: allow(no-wall-clock) -- fixture: measurement code, not a deadline
+    let _stamp = std::time::SystemTime::now();
+    t0.elapsed().as_nanos()
+}

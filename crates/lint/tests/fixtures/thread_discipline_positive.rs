@@ -1,0 +1,11 @@
+//! Fixture: direct threading outside the sanctioned fan-out modules.
+//! Expected: 2 × `thread-discipline` (`thread::scope`,
+//! `available_parallelism`); the closure-local `s.spawn` is not a
+//! `thread::spawn` path and is not flagged.
+
+fn fan_out(n: usize) -> usize {
+    std::thread::scope(|s| {
+        s.spawn(move || n + 1);
+    });
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}

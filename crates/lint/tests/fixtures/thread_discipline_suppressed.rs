@@ -1,0 +1,11 @@
+//! Fixture: the same fan-out, justified site by site.
+//! Expected: 0 findings, 2 suppressed.
+
+fn fan_out(n: usize) -> usize {
+    // cqshap-lint: allow(thread-discipline) -- fixture: pretend this is a sanctioned fan-out
+    std::thread::scope(|s| {
+        s.spawn(move || n + 1);
+    });
+    // cqshap-lint: allow(thread-discipline) -- fixture: pretend this is the one sanctioned probe
+    std::thread::available_parallelism().map_or(1, |c| c.get())
+}

@@ -1,0 +1,13 @@
+//! Fixture: tests may thread directly (they exercise the pools).
+//! Expected: 0 findings, 0 suppressed.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_in_tests() {
+        std::thread::scope(|s| {
+            s.spawn(|| 1 + 1);
+        });
+        let _ = std::thread::available_parallelism();
+    }
+}

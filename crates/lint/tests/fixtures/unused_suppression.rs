@@ -1,0 +1,8 @@
+//! Fixture: a pragma that silences nothing is itself a finding, so
+//! stale exemptions cannot accumulate.
+//! Expected: 1 × `unused-suppression`.
+
+// cqshap-lint: allow-file(no-wall-clock) -- fixture: nothing here reads the clock any more
+fn clean(x: u8) -> u8 {
+    x.saturating_add(1)
+}

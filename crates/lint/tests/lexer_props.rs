@@ -1,0 +1,117 @@
+//! Property tests pinning the lexer's totality guarantees (see the
+//! `lexer` module docs): every input tokenizes, the tokens partition
+//! the input byte-for-byte in order, token boundaries never split a
+//! UTF-8 character, and text inside comments and string literals never
+//! leaks out as identifier tokens the rules could mistake for code.
+
+use cqshap_lint::lexer::{lex, Token, TokenKind};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Fragments chosen to stress every tricky lexer state: quote and hash
+/// openers/closers, escapes, comment delimiters (nested and
+/// unterminated), lifetimes vs chars, raw identifiers, multi-byte
+/// UTF-8, and the panic-words the rules search for.
+const FRAGMENTS: &[&str] = &[
+    "\"", "'", "\\", "#", "r", "b", "br", "r#", "r#\"", "\"#", "//", "/*", "*/", "\n", " ", "\t",
+    "\r\n", "panic", "unwrap", "!", ".", "(", ")", "[", "]", "::", "0", "1.5", "0x1F", "..",
+    "ident", "r#match", "'a", "'x'", "b'\\n'", "é", "🦀", "\u{80}", "0..n", "1e9", "_",
+];
+
+/// A soup of fragments: adversarial but always valid UTF-8.
+fn arb_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..FRAGMENTS.len(), 0..40)
+        .prop_map(|picks| picks.into_iter().map(|i| FRAGMENTS[i]).collect::<String>())
+}
+
+/// Fully arbitrary characters (no fragment structure at all).
+fn arb_chars() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u32>(), 0..60).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(|c| char::from_u32(c % 0x110000))
+            .collect::<String>()
+    })
+}
+
+/// Asserts the partition guarantee for `src`, returning the tokens.
+fn check_partition(src: &str) -> Result<Vec<Token>, TestCaseError> {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    for t in &tokens {
+        prop_assert_eq!(t.start, cursor, "gap/overlap at {} in {:?}", t.start, src);
+        prop_assert!(t.end > t.start, "empty token in {:?}", src);
+        prop_assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "token boundary splits a UTF-8 char in {:?}",
+            src
+        );
+        cursor = t.end;
+    }
+    prop_assert_eq!(cursor, src.len(), "tokens do not cover {:?}", src);
+    Ok(tokens)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Round trip: concatenating token texts reproduces any fragment
+    /// soup byte-for-byte, and line numbers never decrease.
+    #[test]
+    fn fragment_soup_round_trips(src in arb_soup()) {
+        let tokens = check_partition(&src)?;
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(&rebuilt, &src);
+        let mut last_line = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= last_line, "line went backwards in {:?}", src);
+            last_line = t.line;
+        }
+    }
+
+    /// The same partition guarantee for completely arbitrary text.
+    #[test]
+    fn arbitrary_text_round_trips(src in arb_chars()) {
+        let tokens = check_partition(&src)?;
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(&rebuilt, &src);
+    }
+
+    /// A line comment absorbs everything to the newline: no soup
+    /// (newlines stripped) can smuggle identifier tokens out of one.
+    #[test]
+    fn line_comments_absorb_their_line(soup in arb_soup()) {
+        let body: String = soup.chars().filter(|&c| c != '\n' && c != '\r').collect();
+        let src = format!("// {body}\nafter");
+        let tokens = check_partition(&src)?;
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(&src))
+            .collect();
+        prop_assert_eq!(idents, vec!["after"], "comment leaked tokens: {:?}", src);
+    }
+
+    /// A string literal hides panic-words from the rules: wrapping an
+    /// escaped soup in quotes yields one Str token plus the `after`
+    /// identifier, never an `unwrap`/`panic` ident.
+    #[test]
+    fn string_literals_hide_their_content(soup in arb_soup()) {
+        let escaped: String = soup
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        let src = format!("\"{escaped}\" after");
+        let tokens = check_partition(&src)?;
+        prop_assert_eq!(tokens[0].kind, TokenKind::Str, "{:?}", src);
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(&src))
+            .collect();
+        prop_assert_eq!(idents, vec!["after"], "literal leaked tokens: {:?}", src);
+    }
+}

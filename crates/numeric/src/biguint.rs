@@ -14,6 +14,7 @@
 //! schoolbook multiplication via `u128` partial products, shift–subtract
 //! division, Stein's binary GCD. Every constructor normalizes, so the
 //! representation is canonical and the derived `Eq`/`Hash` are sound.
+// cqshap-lint: allow-file(no-panic-index) -- limb kernels index within lengths computed in the same expression
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -223,6 +224,7 @@ impl BigUint {
     pub fn bit_len(&self) -> usize {
         match &self.repr {
             Repr::Small(v) => 128 - v.leading_zeros() as usize,
+            // cqshap-lint: allow(no-panic) -- Repr::Large is nonempty by representation invariant
             Repr::Large(l) => l.len() * 64 - l.last().expect("nonempty").leading_zeros() as usize,
         }
     }
@@ -249,6 +251,7 @@ impl BigUint {
                         return Some(i * 64 + x.trailing_zeros() as usize);
                     }
                 }
+                // cqshap-lint: allow(no-panic) -- Repr::Large is nonzero by representation invariant
                 unreachable!("Large is nonzero by invariant")
             }
         }
@@ -541,7 +544,9 @@ impl BigUint {
         }
         let mut a = self.clone();
         let mut b = other.clone();
+        // cqshap-lint: allow(no-panic) -- both operands were checked nonzero at the top of gcd
         let za = a.trailing_zeros().expect("nonzero");
+        // cqshap-lint: allow(no-panic) -- both operands were checked nonzero at the top of gcd
         let zb = b.trailing_zeros().expect("nonzero");
         let k = za.min(zb);
         a = a.shr_bits(za);
@@ -551,10 +556,12 @@ impl BigUint {
             if a > b {
                 std::mem::swap(&mut a, &mut b);
             }
+            // cqshap-lint: allow(no-panic) -- the branch above orders a <= b before subtracting
             b = b.checked_sub(&a).expect("b >= a");
             if b.is_zero() {
                 return a.shl_bits(k);
             }
+            // cqshap-lint: allow(no-panic) -- b stays nonzero inside the loop
             b = b.shr_bits(b.trailing_zeros().expect("nonzero"));
         }
     }
@@ -648,6 +655,7 @@ impl Sub<&BigUint> for &BigUint {
     type Output = BigUint;
     fn sub(self, rhs: &BigUint) -> BigUint {
         self.checked_sub(rhs)
+            // cqshap-lint: allow(no-panic) -- documented panic: Sub mirrors std unsigned underflow; checked_sub is the fallible path
             .expect("BigUint subtraction underflow")
     }
 }
@@ -776,8 +784,10 @@ impl FromStr for BigUint {
         let mut out = BigUint::zero();
         for chunk in s.as_bytes().chunks(19) {
             let part: u64 = std::str::from_utf8(chunk)
+                // cqshap-lint: allow(no-panic) -- the radix loop feeds only ascii digits here
                 .expect("ascii digits")
                 .parse()
+                // cqshap-lint: allow(no-panic) -- 19 decimal digits always fit in a u64
                 .expect("chunk of <=19 digits fits u64");
             out.mul_u64_assign(10u64.pow(chunk.len() as u32));
             out += &BigUint::from_u64(part);

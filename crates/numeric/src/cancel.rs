@@ -22,9 +22,34 @@ use std::time::{Duration, Instant};
 
 /// Nanoseconds since the process-wide epoch (first use). Monotonic, and
 /// comfortably outlives any session: `u64` nanoseconds cover ~584 years.
+// The deadline module owns the one sanctioned wall-clock read.
+#[allow(clippy::disallowed_methods)]
 fn now_ns() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// An elapsed-time measurement anchored to the same process-wide
+/// monotonic epoch as the deadline machinery. This is the sanctioned
+/// way for library code to measure durations — the `no-wall-clock`
+/// lint rule confines `Instant::now` to the deadline modules, so
+/// callers that merely want an `elapsed` reading (the anytime sampler,
+/// progress reporting) start a `Stopwatch` instead.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start_ns: u64,
+}
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Stopwatch { start_ns: now_ns() }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(now_ns().saturating_sub(self.start_ns))
+    }
 }
 
 /// Sentinel for "no deadline" / "no work cap".

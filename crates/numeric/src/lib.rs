@@ -29,18 +29,23 @@
 //! [`poly`]'s sub-quadratic convolutions over whole coefficient
 //! vectors — rather than in any single big-integer product.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bigint;
 pub mod biguint;
 pub mod cancel;
 pub mod combinatorics;
+pub mod error;
 pub mod linalg;
 pub mod poly;
 pub mod rational;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
-pub use cancel::{Budget, CancelToken};
+pub use cancel::{Budget, CancelToken, Stopwatch};
 pub use combinatorics::{binomial, factorial, BinomialCache, FactorialTable};
+pub use error::NumericError;
 pub use linalg::RationalMatrix;
 pub use poly::Poly;
 pub use rational::BigRational;

@@ -6,6 +6,7 @@
 //! must be solved *exactly* — the unknowns are integers recovered from
 //! rationals — so we implement fraction-free-enough Gaussian elimination
 //! with full pivoting over [`BigRational`].
+// cqshap-lint: allow-file(no-panic-index) -- elimination indexes within the matrix dimensions it validated
 
 use crate::rational::BigRational;
 
@@ -23,7 +24,12 @@ pub enum LinalgError {
     /// The system matrix is singular (no unique solution).
     Singular,
     /// Dimension mismatch between operands.
-    DimensionMismatch { expected: usize, got: usize },
+    DimensionMismatch {
+        /// The dimension the operation required.
+        expected: usize,
+        /// The dimension it was given.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for LinalgError {

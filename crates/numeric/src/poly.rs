@@ -59,12 +59,14 @@
 //! product tree's leaves stay cheap. Products whose result exceeds
 //! `2^22` coefficients never dispatch to the NTT (no such polynomial
 //! arises below `m ≈ 4` million).
+// cqshap-lint: allow-file(no-panic-index) -- convolution kernels index by loop bounds derived from operand lengths
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use crate::biguint::BigUint;
 use crate::cancel::CancelToken;
+use crate::error::NumericError;
 
 /// Below this `min(len)` the schoolbook loop wins outright and the
 /// work model is not even consulted.
@@ -100,9 +102,37 @@ pub fn mul(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
     mul_with(a, b, Backend::Auto)
 }
 
-/// [`mul`] through an explicit [`Backend`].
+/// [`mul`] through an explicit [`Backend`]. Infallible: when the NTT
+/// backend refuses the input (transform bound, prime supply) the
+/// product is computed by Karatsuba instead — bit-identical, just
+/// slower. Use [`try_mul_with`] to observe the refusal as an error.
 pub fn mul_with(a: &[BigUint], b: &[BigUint], backend: Backend) -> Vec<BigUint> {
     mul_impl(a, b, backend, None)
+}
+
+/// [`mul_with`] without the silent fallback: an explicit
+/// [`Backend::Ntt`] request that the NTT cannot honor — result longer
+/// than the `2^22` transform bound, or (theoretically) prime-pool
+/// exhaustion — comes back as a [`NumericError`] instead of being
+/// rerouted through Karatsuba.
+///
+/// # Errors
+/// [`NumericError::NttLengthExceeded`] /
+/// [`NumericError::PrimePoolExhausted`] under [`Backend::Ntt`]; the
+/// other backends (including [`Backend::Auto`], whose work model never
+/// selects an out-of-bounds NTT) are total.
+pub fn try_mul_with(
+    a: &[BigUint],
+    b: &[BigUint],
+    backend: Backend,
+) -> Result<Vec<BigUint>, NumericError> {
+    if a.is_empty() || b.is_empty() {
+        return Ok(vec![BigUint::zero(); (a.len() + b.len()).saturating_sub(1)]);
+    }
+    match backend {
+        Backend::Ntt => try_mul_ntt(a, b, None),
+        other => Ok(mul_with(a, b, other)),
+    }
 }
 
 /// [`mul_with`] with an optional cooperative [`CancelToken`]: a tripped
@@ -169,6 +199,7 @@ fn estimate(a: &[BigUint], b: &[BigUint]) -> Backend {
 /// coefficient vectors (coefficient index = degree). Returns `None`
 /// when `den` is zero or does not divide `num` exactly — engine callers
 /// treat that as "fall back to a full recompile".
+// cqshap-lint: allow(cancellation-poll) -- bounded: one long-division pass; tree callers poll per node
 pub fn exact_div(num: &[BigUint], den: &[BigUint]) -> Option<Vec<BigUint>> {
     let s = den.iter().position(|c| !c.is_zero())?;
     if num.iter().all(|c| c.is_zero()) {
@@ -212,6 +243,7 @@ pub fn exact_div(num: &[BigUint], den: &[BigUint]) -> Option<Vec<BigUint>> {
 
 /// `a ⊛ [1, 1]` in `O(n)` additions (Pascal's rule: growing a binomial
 /// factor by one free fact).
+// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over the coefficient vector
 pub fn pascal_up(a: &[BigUint]) -> Vec<BigUint> {
     if a.is_empty() {
         return Vec::new();
@@ -228,19 +260,21 @@ pub fn pascal_up(a: &[BigUint]) -> Vec<BigUint> {
 /// `a / [1, 1]` in `O(n)` subtractions, or `None` when `[1, 1]` does
 /// not divide `a` exactly — bit-identical to
 /// [`exact_div`]`(a, [1, 1])`.
+// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over the coefficient vector
 pub fn pascal_down(a: &[BigUint]) -> Option<Vec<BigUint>> {
-    if a.len() < 2 {
-        return None;
-    }
+    let (first, rest) = a.split_first()?;
+    let (last, mid) = rest.split_last()?;
     let mut q = Vec::with_capacity(a.len() - 1);
-    q.push(a[0].clone());
-    for c in &a[1..a.len() - 1] {
-        let prev = q.last().expect("nonempty");
-        q.push(c.checked_sub(prev)?);
+    let mut prev = first.clone();
+    for c in mid {
+        let next = c.checked_sub(&prev)?;
+        q.push(prev);
+        prev = next;
     }
-    if a[a.len() - 1] != *q.last().expect("len >= 1") {
+    if *last != prev {
         return None;
     }
+    q.push(prev);
     Some(q)
 }
 
@@ -418,6 +452,7 @@ impl From<Poly> for Vec<BigUint> {
 // Schoolbook and Karatsuba
 // ---------------------------------------------------------------------
 
+// cqshap-lint: allow(cancellation-poll) -- bounded: one convolution pass; the dispatching callers poll between convolutions
 fn mul_schoolbook(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
     let mut out = vec![BigUint::zero(); a.len() + b.len() - 1];
     for (i, x) in a.iter().enumerate() {
@@ -434,6 +469,7 @@ fn mul_schoolbook(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
 }
 
 /// Pointwise `acc[offset..] += add`.
+// cqshap-lint: allow(cancellation-poll) -- bounded: single pass over one Karatsuba block
 fn add_at(acc: &mut [BigUint], offset: usize, add: &[BigUint]) {
     for (slot, v) in acc[offset..].iter_mut().zip(add) {
         *slot += v;
@@ -442,6 +478,7 @@ fn add_at(acc: &mut [BigUint], offset: usize, add: &[BigUint]) {
 
 /// Pointwise `acc[offset..] -= sub` (never underflows for Karatsuba's
 /// middle term: the cross products are a superset of the outer ones).
+// cqshap-lint: allow(cancellation-poll) -- bounded: single pass over one Karatsuba block
 fn sub_at(acc: &mut [BigUint], offset: usize, sub: &[BigUint]) {
     for (slot, v) in acc[offset..].iter_mut().zip(sub) {
         *slot -= v;
@@ -516,6 +553,7 @@ fn mulmod(a: u64, b: u64, p: u64) -> u64 {
     ((a as u128 * b as u128) % p as u128) as u64
 }
 
+// cqshap-lint: allow(cancellation-poll) -- bounded: at most 64 squarings
 fn powmod(mut base: u64, mut exp: u64, p: u64) -> u64 {
     base %= p;
     let mut acc = 1u64;
@@ -531,6 +569,7 @@ fn powmod(mut base: u64, mut exp: u64, p: u64) -> u64 {
 
 /// Deterministic Miller–Rabin for `u64` (the first twelve prime bases
 /// decide primality for every 64-bit integer).
+// cqshap-lint: allow(cancellation-poll) -- bounded: Miller-Rabin over a fixed witness set
 fn is_prime_u64(n: u64) -> bool {
     if n < 2 {
         return false;
@@ -562,6 +601,7 @@ fn is_prime_u64(n: u64) -> bool {
 }
 
 impl NttPrime {
+    // cqshap-lint: allow(cancellation-poll) -- bounded: fixed iteration counts for one prime's constants
     fn new(p: u64) -> NttPrime {
         // p^{-1} mod 2^64 by Newton iteration (p is odd).
         let mut inv = p;
@@ -643,6 +683,7 @@ impl NttPrime {
     /// (`r2` *is* the Montgomery form of `2^64`). Several times faster
     /// than a `u128` division per limb, and the limb reduction is the
     /// NTT's second-biggest cost on big-coefficient inputs.
+    // cqshap-lint: allow(cancellation-poll) -- bounded: one pass over a coefficient's limbs
     fn reduce(&self, c: &BigUint) -> u64 {
         c.with_limbs(|limbs| {
             let mut acc = 0u64;
@@ -662,6 +703,7 @@ impl NttPrime {
     }
 
     /// Montgomery-form power.
+    // cqshap-lint: allow(cancellation-poll) -- bounded: at most 64 squarings
     fn mont_pow(&self, mut base: u64, mut exp: u64) -> u64 {
         let mut acc = self.r1;
         while exp > 0 {
@@ -684,7 +726,8 @@ struct PrimePool {
     next_k: u64,
 }
 
-fn ntt_primes(count: usize) -> Vec<NttPrime> {
+// cqshap-lint: allow(cancellation-poll) -- bounded in practice: the scan yields a prime every few hundred candidates and the pool is cached process-wide
+fn ntt_primes(count: usize) -> Result<Vec<NttPrime>, NumericError> {
     static POOL: OnceLock<Mutex<PrimePool>> = OnceLock::new();
     let pool = POOL.get_or_init(|| {
         Mutex::new(PrimePool {
@@ -692,10 +735,18 @@ fn ntt_primes(count: usize) -> Vec<NttPrime> {
             next_k: (1u64 << 41) - 1,
         })
     });
-    let mut pool = pool.lock().expect("prime pool lock");
+    // A poisoned lock means some worker panicked mid-scan; the pool is
+    // append-only and every stored prime was fully constructed, so the
+    // data is still coherent — recover the guard and keep going.
+    let mut pool = pool.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
     while pool.primes.len() < count {
         let k = pool.next_k;
-        assert!(k >= 1 << 40, "NTT prime pool exhausted");
+        if k < 1 << 40 {
+            return Err(NumericError::PrimePoolExhausted {
+                requested: count,
+                available: pool.primes.len(),
+            });
+        }
         pool.next_k -= 1;
         let p = (k << MAX_TWO_ADICITY) | 1;
         if is_prime_u64(p) {
@@ -703,7 +754,7 @@ fn ntt_primes(count: usize) -> Vec<NttPrime> {
             pool.primes.push(prime);
         }
     }
-    pool.primes[..count].to_vec()
+    Ok(pool.primes[..count].to_vec())
 }
 
 // ---------------------------------------------------------------------
@@ -712,6 +763,7 @@ fn ntt_primes(count: usize) -> Vec<NttPrime> {
 
 /// In-place radix-2 NTT of `a` (Montgomery form) with `w` a
 /// Montgomery-form root of unity of order `a.len()`.
+// cqshap-lint: allow(cancellation-poll) -- bounded: O(n log n) butterflies for one prime pass; mul polls per pass
 fn ntt_in_place(a: &mut [u64], w: u64, pr: &NttPrime) {
     let n = a.len();
     debug_assert!(n.is_power_of_two());
@@ -748,6 +800,7 @@ fn ntt_in_place(a: &mut [u64], w: u64, pr: &NttPrime) {
 
 /// The residue vector of `poly` modulo `pr.p`, in Montgomery form,
 /// zero-padded to `n`.
+// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over the polynomial per prime
 fn residues_mont(poly: &[BigUint], n: usize, pr: &NttPrime) -> Vec<u64> {
     let mut out = vec![0u64; n];
     for (slot, c) in out.iter_mut().zip(poly) {
@@ -760,6 +813,7 @@ fn residues_mont(poly: &[BigUint], n: usize, pr: &NttPrime) -> Vec<u64> {
 
 /// One prime's convolution: `NTT⁻¹(NTT(a) ⊙ NTT(b))`, returned as
 /// plain (non-Montgomery) residues truncated to `out_len`.
+// cqshap-lint: allow(cancellation-poll) -- bounded: three transforms for one prime pass; the prime loop polls per pass
 fn convolve_mod(a: &[BigUint], b: &[BigUint], out_len: usize, pr: &NttPrime) -> Vec<u64> {
     let n = out_len.next_power_of_two();
     debug_assert!(n.trailing_zeros() <= MAX_TWO_ADICITY);
@@ -793,25 +847,41 @@ fn max_bits(poly: &[BigUint]) -> usize {
     poly.iter().map(BigUint::bit_len).max().unwrap_or(0)
 }
 
+/// [`try_mul_ntt`] with the refusals absorbed: an input the NTT cannot
+/// handle is rerouted through Karatsuba, keeping the [`Backend::Ntt`]
+/// dispatch arm total.
 fn mul_ntt(a: &[BigUint], b: &[BigUint], cancel: Option<&CancelToken>) -> Vec<BigUint> {
+    match try_mul_ntt(a, b, cancel) {
+        Ok(out) => out,
+        Err(_) => mul_karatsuba(a, b),
+    }
+}
+
+fn try_mul_ntt(
+    a: &[BigUint],
+    b: &[BigUint],
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<BigUint>, NumericError> {
     let out_len = a.len() + b.len() - 1;
-    assert!(
-        out_len <= 1 << MAX_TWO_ADICITY,
-        "NTT result length {out_len} exceeds the 2^{MAX_TWO_ADICITY} transform bound"
-    );
+    if out_len > 1 << MAX_TWO_ADICITY {
+        return Err(NumericError::NttLengthExceeded {
+            out_len,
+            max_len: 1 << MAX_TWO_ADICITY,
+        });
+    }
     // Every output coefficient is a sum of ≤ min(len) products, so its
     // bit length is bounded by the operand maxima plus the sum's log.
     let sum_terms = a.len().min(b.len());
     let need_bits = max_bits(a) + max_bits(b) + (usize::BITS - sum_terms.leading_zeros()) as usize;
     let t = need_bits / 62 + 1; // every prime exceeds 2^62
-    let primes = ntt_primes(t);
+    let primes = ntt_primes(t)?;
     let mut residues: Vec<Vec<u64>> = Vec::with_capacity(t);
     for pr in &primes {
         // One checkpoint per prime pass: a tripped token abandons the
         // remaining transforms and returns an all-zero placeholder of
         // the conventional length (callers re-check the sticky flag).
         if cancel.is_some_and(|c| c.charge(1)) {
-            return vec![BigUint::zero(); out_len];
+            return Ok(vec![BigUint::zero(); out_len]);
         }
         residues.push(convolve_mod(a, b, out_len, pr));
     }
@@ -840,7 +910,7 @@ fn mul_ntt(a: &[BigUint], b: &[BigUint], cancel: Option<&CancelToken>) -> Vec<Bi
         .collect();
 
     let mut digits = vec![0u64; t];
-    (0..out_len)
+    Ok((0..out_len)
         .map(|c| {
             // Mixed-radix digits: digits[i] reconstructs the value mod
             // p_i given the digits below it.
@@ -863,7 +933,7 @@ fn mul_ntt(a: &[BigUint], b: &[BigUint], cancel: Option<&CancelToken>) -> Vec<Bi
             }
             x
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------
@@ -874,6 +944,8 @@ fn mul_ntt(a: &[BigUint], b: &[BigUint], cancel: Option<&CancelToken>) -> Vec<Bi
 /// capped at 16", anything else is taken verbatim. The single source
 /// of the policy — `cqshap-core`'s fan-outs delegate here so
 /// `--threads 0` means the same width in every stage.
+// The one sanctioned `available_parallelism` probe (see clippy.toml).
+#[allow(clippy::disallowed_methods)]
 pub fn resolve_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism()
@@ -969,11 +1041,8 @@ fn leave_one_out_impl(
             return vec![env; polys.len()];
         }
         let rep_envs = par_map_chunks(threads, reps.len(), |r| exact_div(&full, polys[reps[r]]));
-        if rep_envs.iter().all(Option::is_some) {
-            let rep_envs: Vec<Arc<Vec<BigUint>>> = rep_envs
-                .into_iter()
-                .map(|env| Arc::new(env.expect("checked Some")))
-                .collect();
+        if let Some(envs) = rep_envs.into_iter().collect::<Option<Vec<Vec<BigUint>>>>() {
+            let rep_envs: Vec<Arc<Vec<BigUint>>> = envs.into_iter().map(Arc::new).collect();
             return class_of.into_iter().map(|c| rep_envs[c].clone()).collect();
         }
         // Unreachable for exact inputs, but the descent is always
@@ -987,6 +1056,8 @@ fn leave_one_out_impl(
 
 /// Maps `f` over `0..n` across up to `threads` scoped worker threads,
 /// preserving order (sequential when the budget or size is trivial).
+// A sanctioned fan-out module (see clippy.toml / thread-discipline).
+#[allow(clippy::disallowed_methods)]
 fn par_map_chunks<T: Send>(threads: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
@@ -1004,7 +1075,12 @@ fn par_map_chunks<T: Send>(threads: usize, n: usize, f: impl Fn(usize) -> T + Sy
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("poly worker panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(chunk) => chunk,
+                // A worker panic is a bug in `f`; re-raise it with its
+                // original payload rather than a second-hand message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -1064,6 +1140,8 @@ fn fill_leave_one_out(
 /// Runs the two closures — on this thread sequentially, or with the
 /// second forked onto a scoped thread when the budget and the workload
 /// justify it.
+// A sanctioned fan-out module (see clippy.toml / thread-discipline).
+#[allow(clippy::disallowed_methods)]
 fn join_halves<A: Send, B: Send>(
     threads: usize,
     size: usize,
@@ -1074,7 +1152,11 @@ fn join_halves<A: Send, B: Send>(
         std::thread::scope(|s| {
             let hb = s.spawn(fb);
             let a = fa();
-            (a, hb.join().expect("poly tree worker panicked"))
+            match hb.join() {
+                Ok(b) => (a, b),
+                // Re-raise a worker panic with its original payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         })
     } else {
         (fa(), fb())
@@ -1084,6 +1166,48 @@ fn join_halves<A: Send, B: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn oversized_ntt_is_a_typed_error_not_a_panic() {
+        // out_len = 2^22 + 1 exceeds the transform bound by one.
+        let a = vec![BigUint::zero(); 1 << MAX_TWO_ADICITY];
+        let b = vec![BigUint::zero(); 2];
+        match try_mul_with(&a, &b, Backend::Ntt) {
+            Err(NumericError::NttLengthExceeded { out_len, max_len }) => {
+                assert_eq!(out_len, (1 << MAX_TWO_ADICITY) + 1);
+                assert_eq!(max_len, 1 << MAX_TWO_ADICITY);
+            }
+            other => panic!("expected NttLengthExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infallible_ntt_entry_falls_back_instead_of_panicking() {
+        // The same oversized request through the infallible entry point
+        // reroutes to Karatsuba; zero inputs keep the fallback cheap.
+        let a = vec![BigUint::zero(); 1 << MAX_TWO_ADICITY];
+        let b = vec![BigUint::zero(); 2];
+        let out = mul_with(&a, &b, Backend::Ntt);
+        assert_eq!(out.len(), (1 << MAX_TWO_ADICITY) + 1);
+        assert!(out.iter().all(BigUint::is_zero));
+    }
+
+    #[test]
+    fn try_mul_matches_mul_in_bounds() {
+        let a: Vec<BigUint> = (1..40u64).map(BigUint::from_u64).collect();
+        let b: Vec<BigUint> = (3..50u64).map(BigUint::from_u64).collect();
+        for backend in [
+            Backend::Auto,
+            Backend::Schoolbook,
+            Backend::Karatsuba,
+            Backend::Ntt,
+        ] {
+            assert_eq!(
+                try_mul_with(&a, &b, backend).expect("in-bounds product"),
+                mul_with(&a, &b, backend)
+            );
+        }
+    }
 
     fn v(xs: &[u64]) -> Vec<BigUint> {
         xs.iter().map(|&x| BigUint::from_u64(x)).collect()
@@ -1144,7 +1268,7 @@ mod tests {
 
     #[test]
     fn generated_primes_have_the_advertised_shape() {
-        for pr in ntt_primes(3) {
+        for pr in ntt_primes(3).expect("pool has at least 3 primes") {
             assert!(pr.p > 1 << 62 && pr.p < 1 << 63);
             assert_eq!((pr.p - 1) % (1 << MAX_TWO_ADICITY), 0);
             assert!(is_prime_u64(pr.p));

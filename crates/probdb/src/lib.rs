@@ -27,6 +27,9 @@
 //! * [`ProbDatabase::query_probability_enumerated`] — explicit
 //!   possible-world enumeration, the ground truth for tests.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use cqshap_core::{
     exoshap, probability_by_enumeration, AnyQuery, CompiledProbability, CoreError,
     FactProbabilities,
@@ -61,6 +64,7 @@ impl ProbDatabase {
     pub fn new(db: Database, default_p: f64) -> Self {
         let default = BigRational::from_f64(default_p)
             .filter(FactProbabilities::is_valid)
+            // cqshap-lint: allow(no-panic) -- documented panic: the constructor rejects out-of-range probabilities
             .expect("probability out of range");
         ProbDatabase {
             db,

@@ -20,6 +20,9 @@
 //! * a classifier mapping a query to the complexity of its exact Shapley
 //!   computation under the paper's dichotomies.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod analysis;
 pub mod ast;
 pub mod classify;

@@ -14,6 +14,9 @@
 //! * [`formulas`] — random CNF formulas in the fragments the relevance
 //!   reductions need.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod academic;
 pub mod exports;
 pub mod formulas;

@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         .generate();
         let p = ProbDatabase::new(big, 0.4);
-        let t0 = std::time::Instant::now();
+        let t0 = cqshap::prelude::Stopwatch::start();
         let pr = p.query_probability_with_rewriting(&q, 10_000_000)?;
         println!("  {authors:>5} authors: Pr = {pr:.6}  ({:?})", t0.elapsed());
     }

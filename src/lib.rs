@@ -58,6 +58,9 @@
 //! assert_eq!(session.stats().incremental_updates, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use cqshap_core as core;
 pub use cqshap_db as db;
 pub use cqshap_engine as engine;
@@ -75,7 +78,7 @@ pub mod prelude {
             required_samples, shapley_additive_approx, shapley_anytime, shapley_sampled,
             AnytimeParams, AnytimeReport, AnytimeState, FactEstimate, SampleParams,
         },
-        budget::{Budget, CancelToken},
+        budget::{Budget, CancelToken, Stopwatch},
         gap::{build_gap_family, expected_gap_value, section_5_1_example},
         probability_by_enumeration,
         relevance::{

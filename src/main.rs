@@ -13,6 +13,10 @@
 //! `exo S(c)`, `exorel Pub`); queries use the datalog syntax of
 //! `cqshap-query`. See `README.md`.
 
+// Binary front end: user-facing timing output is exempt from the
+// `no-wall-clock` discipline (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::HashSet;
 use std::process::ExitCode;
 

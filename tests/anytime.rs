@@ -35,7 +35,7 @@ fn hard_instance_under_deadline_returns_deadline_exceeded() {
     let q = hard_query();
     let options = ShapleyOptions::auto().budget(Budget::wall_ms(50));
     let session = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &options).unwrap();
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let err = session.report().unwrap_err();
     assert!(
         matches!(err, CoreError::DeadlineExceeded { .. }),

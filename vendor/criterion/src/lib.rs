@@ -8,6 +8,10 @@
 //! per-iteration minimum / mean / maximum. No statistical analysis, HTML
 //! reports, or baseline comparisons — swap in real criterion for those.
 
+// Vendored third-party stand-in: a benchmarking library is timing by
+// definition, so the workspace wall-clock discipline does not apply.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
