@@ -101,7 +101,6 @@ impl AggregateFunction {
 /// so database constants whose names collide with parser syntax (a name
 /// like `'CS'`, quote characters included) substitute and re-resolve to
 /// exactly the same [`ConstId`].
-// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over the head terms of a single aggregate query
 fn substitute_head(
     db: &Database,
     q: &ConjunctiveQuery,
@@ -156,7 +155,6 @@ pub fn candidate_answers(db: &Database, q: &ConjunctiveQuery) -> Vec<Vec<ConstId
 
 /// The aggregate's value over one world (for efficiency checks and
 /// end-to-end tests).
-// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over a single group's matched tuples
 pub fn aggregate_value(
     db: &Database,
     world: &World,
@@ -242,7 +240,6 @@ const RELEVANCE_PRUNE_LIMIT: usize = 16;
 ///    residuals, zero Shapley coincides with irrelevance (Section 5.2),
 ///    so [`crate::relevance::is_relevant`] over the scoped endogenous
 ///    facts decides zeroness exactly.
-// cqshap-lint: allow(cancellation-poll) -- bounded: scans one candidate's matching facts; the aggregate driver checkpoints per candidate
 fn candidate_is_zero(db: &Database, qa: &ConjunctiveQuery) -> bool {
     // Endogenous facts matching some atom pattern — the only facts that
     // can influence the residual's answer. Unlike the counting layer's
@@ -318,7 +315,6 @@ fn candidate_is_zero(db: &Database, qa: &ConjunctiveQuery) -> bool {
 }
 
 impl AggregatePlan {
-    // cqshap-lint: allow(cancellation-poll) -- bounded: one compile-time pass over the query's atoms and groups
     pub(crate) fn prepare(
         db: &Database,
         q: &ConjunctiveQuery,
@@ -630,7 +626,6 @@ pub fn aggregate_report(
 }
 
 /// `acc[i] += weight · values[i]`.
-// cqshap-lint: allow(cancellation-poll) -- bounded: one zip over a coefficient vector of length at most m+1
 fn weighted_add(acc: &mut [BigRational], weight: &BigRational, values: Vec<BigRational>) {
     for (a, v) in acc.iter_mut().zip(values) {
         if !v.is_zero() {

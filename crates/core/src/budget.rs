@@ -23,8 +23,10 @@ pub(crate) fn check(token: &CancelToken, phase: &str) -> Result<(), CoreError> {
     check_partial(token, phase, None)
 }
 
-/// [`check`] for batched phases: `partial` reports how many per-fact
-/// answers were already completed when the budget tripped.
+/// [`check`] for batched phases: `partial` reports how many per-item
+/// units were already completed when the budget tripped. Callers that
+/// hold the finished answers attach them afterwards with
+/// [`CoreError::with_partial_answers`].
 pub(crate) fn check_partial(
     token: &CancelToken,
     phase: &str,
@@ -34,7 +36,10 @@ pub(crate) fn check_partial(
         return Err(CoreError::DeadlineExceeded {
             phase: phase.to_string(),
             elapsed: token.elapsed(),
-            partial,
+            partial: partial.map(|completed| crate::error::PartialProgress {
+                completed,
+                answers: Vec::new(),
+            }),
         });
     }
     Ok(())

@@ -271,7 +271,6 @@ type PairCache = Mutex<HashMap<PairKey, (Vec<BigUint>, Vec<BigUint>)>>;
 /// fact's endogeneity recorded. Equal forms ⟹ the groups are related
 /// by a constant-and-fact bijection that the counting recursion cannot
 /// distinguish.
-// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over a component's atoms for hashing
 fn canonical_form(db: &Database, atoms: &[PAtom], scopes: &[Vec<FactId>]) -> Vec<u32> {
     use crate::satcount::PTerm;
     let mut rename: HashMap<ConstId, u32> = HashMap::new();
@@ -539,7 +538,6 @@ impl<D: EvalDomain> CompiledEngine<D> {
     /// component/total values and the cross-component leave-one-out
     /// environments. Shared by [`CompiledEngine::compile`] and
     /// [`CompiledEngine::update`].
-    // cqshap-lint: allow(cancellation-poll) -- bounded by one environment rebuild; the update and report drivers checkpoint around each rebuild
     fn refresh_envs(&mut self) {
         let sats: Vec<&D::Value> = self.components.iter().map(|c| &c.sat).collect();
         self.all_sat = self.dom.product(&sats, self.threads);
@@ -604,7 +602,6 @@ impl<D: EvalDomain> CompiledEngine<D> {
 
     /// Which component/atom (if any) matches fact `f`'s pattern.
     /// Self-join-freeness makes the match unique.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: scans the component list once per fact placement
     fn place(&self, db: &Database, f: FactId) -> Placement {
         let fact = db.fact(f);
         for (ci, comp) in self.components.iter().enumerate() {
@@ -622,7 +619,6 @@ impl<D: EvalDomain> CompiledEngine<D> {
     /// component. Returns `false` when the swap is impossible (the old
     /// factor was identically zero: an always-satisfied group zeroed
     /// every environment, so nothing can be recovered incrementally).
-    // cqshap-lint: allow(cancellation-poll) -- bounded: recounts one group's scope; the update driver checkpoints per update
     fn recount_group(&mut self, db: &Database, ci: usize, gi: usize) -> Result<bool, CoreError> {
         let view = MaskedDb::new(db, FactMask::None);
         let dom = &self.dom;
@@ -693,7 +689,6 @@ impl<D: EvalDomain> CompiledEngine<D> {
     /// [`EvalDomain::push_free`] / [`EvalDomain::pop_free`] (`O(n)`
     /// Pascal shifts for counting, no-ops for probabilities) instead of
     /// generic combination/division.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: constant passes over one component's weights
     fn shift_junk(&mut self, ci: usize, grow: bool) -> bool {
         let dom = &self.dom;
         let comp = &mut self.components[ci];
@@ -1122,7 +1117,6 @@ impl CompiledCount {
     /// [`CompiledCount::compile`] and [`CompiledCount::update`]; the
     /// expensive part (the per-group correlations) fans out across
     /// threads.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: clears two caches and rebuilds per-component weights once
     fn refresh_weights(&mut self) {
         self.reduce_cache
             .lock()
@@ -1260,7 +1254,6 @@ impl CompiledCount {
     ///
     /// # Errors
     /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: walks one fact's component scopes; per-fact drivers checkpoint between facts
     pub fn shapley_numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError> {
         self.eng.check_endogenous(db, f)?;
         if self.is_structurally_null(f) {
@@ -1491,7 +1484,6 @@ impl CompiledProbability {
 /// The weight correlation `out[j] = Σ_t weights[j+t] · env[t]` for
 /// `j = 0..out_len`. Contracting a difference vector against `out` is
 /// the same as convolving it with `env` first and weighting afterwards.
-// cqshap-lint: allow(cancellation-poll) -- bounded: one correlation per reduction step, bracketed by the driver's per-step checkpoints
 fn correlate(weights: &[BigUint], env: &[BigUint], out_len: usize) -> Vec<BigUint> {
     (0..out_len)
         .map(|j| {

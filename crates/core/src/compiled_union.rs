@@ -128,7 +128,6 @@ impl CompiledUnionCount {
     /// # Errors
     /// [`CoreError::Unsupported`] beyond [`Self::MAX_DISJUNCTS`]
     /// disjuncts, [`CoreError::Query`] if a conjunction fails to build.
-    // cqshap-lint: allow(cancellation-poll) -- compile-time enumeration over the union's terms, sized by the query text, not the database
     pub(crate) fn subset_conjunctions(
         u: &UnionQuery,
     ) -> Result<Vec<(bool, String, ConjunctiveQuery)>, CoreError> {
@@ -274,7 +273,6 @@ impl CompiledUnionCount {
     ///
     /// # Errors
     /// Anything [`CompiledCount::update`] raises.
-    // cqshap-lint: allow(cancellation-poll) -- the loop spans the term engines, whose update paths carry their own checkpoints
     pub fn update(&mut self, db: &Database, change: EngineUpdate) -> Result<bool, CoreError> {
         for t in &mut self.terms {
             if !t.engine.update(db, change)? {
@@ -288,7 +286,6 @@ impl CompiledUnionCount {
     /// Combined bucket layout: facts sharing every subset engine's
     /// bucket share recount state across the whole signed sum, so the
     /// report fan-out keeps them on one thread.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: one pass over the endogenous facts, computed once and cached
     fn bucket_index(&self, db: &Database) -> &(HashMap<FactId, usize>, usize) {
         self.bucket_index.get_or_init(|| {
             let mut key_ids: HashMap<Vec<usize>, usize> = HashMap::new();
@@ -344,7 +341,6 @@ impl CompiledUnionCount {
     ///
     /// # Errors
     /// [`CoreError::FactNotEndogenous`] if `f ∉ Dn`.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: combines per-term numerators; the term engines poll internally
     pub fn shapley_numerator(&self, db: &Database, f: FactId) -> Result<BigInt, CoreError> {
         if db.endo_index(f).is_none() {
             return Err(CoreError::FactNotEndogenous {

@@ -111,7 +111,6 @@ pub trait EvalDomain: Sync {
     fn try_divide(&self, num: &Self::Value, den: &Self::Value) -> Option<Self::Value>;
 
     /// `⊛ factors` — the product of many values.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: scalar-domain fold; the polynomial domain routes through the numeric trees
     fn product(&self, factors: &[&Self::Value], threads: usize) -> Self::Value {
         let _ = threads;
         let mut acc = self.one();
@@ -123,7 +122,6 @@ pub trait EvalDomain: Sync {
 
     /// For each `i`: `seed ⊛ ⊛_{j≠i} factors[j]` — the leave-one-out
     /// environments used by the per-fact recount paths.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: scalar-domain prefix/suffix pass; the polynomial domain routes through the numeric trees
     fn leave_one_out(
         &self,
         factors: &[&Self::Value],
@@ -518,7 +516,6 @@ impl EvalDomain for ProbabilityDomain {
 /// the evaluation domain. Invariant: every fact in `scopes[i]` matches
 /// `atoms[i]`'s pattern, is admitted by the view's mask, and relations
 /// across atoms are distinct.
-// cqshap-lint: allow(cancellation-poll) -- one query evaluation over the masked view; the counting drivers charge the token per evaluation
 pub(crate) fn eval_rec<D: EvalDomain>(
     dom: &D,
     view: MaskedDb<'_>,
@@ -589,7 +586,6 @@ pub(crate) fn eval_rec<D: EvalDomain>(
 /// the scoped atoms, and the free-fact factor. The generic analogue of
 /// [`crate::satcount::count_sat_hierarchical_masked`] (which is now a
 /// wrapper instantiating this at [`CountingDomain`]).
-// cqshap-lint: allow(cancellation-poll) -- one query evaluation over the masked view; the counting drivers charge the token per evaluation
 pub(crate) fn eval_query_masked<D: EvalDomain>(
     dom: &D,
     db: &Database,

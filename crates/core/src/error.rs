@@ -3,7 +3,25 @@
 use std::fmt;
 
 use cqshap_db::DbError;
+use cqshap_numeric::BigRational;
 use cqshap_query::QueryError;
+
+/// Progress a batched phase salvaged before its budget tripped.
+///
+/// Batched engines finish one fact at a time, so a deadline mid-batch
+/// leaves real, exact answers behind. They ride along on
+/// [`CoreError::DeadlineExceeded`] so a caller can keep them (seed a
+/// retry, report the finished facts) instead of recomputing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartialProgress {
+    /// How many per-item units (facts, union terms, candidate engines)
+    /// completed before the trip.
+    pub completed: usize,
+    /// The completed per-fact answers themselves, as `(fact index,
+    /// Shapley value)` pairs — empty for phases whose units are not
+    /// per-fact answers (compilation, plan preparation).
+    pub answers: Vec<(usize, BigRational)>,
+}
 
 /// Errors raised by the Shapley computation pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,10 +87,10 @@ pub enum CoreError {
         phase: String,
         /// Wall-clock time spent when the budget tripped.
         elapsed: std::time::Duration,
-        /// How many per-fact answers were completed before the trip,
-        /// for batched phases that make partial progress (`None` when
-        /// the phase has no per-item granularity).
-        partial: Option<usize>,
+        /// What the batched phase completed before the trip, including
+        /// the finished per-fact answers themselves (`None` when the
+        /// phase has no per-item granularity).
+        partial: Option<PartialProgress>,
     },
     /// Propagated database error.
     Db(DbError),
@@ -80,6 +98,32 @@ pub enum CoreError {
     Query(QueryError),
     /// Anything else (internal invariants, unsupported combinations).
     Unsupported(String),
+}
+
+impl CoreError {
+    /// Attaches salvaged per-fact `answers` to a
+    /// [`CoreError::DeadlineExceeded`]; every other error passes
+    /// through untouched.
+    #[must_use]
+    pub fn with_partial_answers(self, answers: Vec<(usize, BigRational)>) -> CoreError {
+        match self {
+            CoreError::DeadlineExceeded {
+                phase,
+                elapsed,
+                partial,
+            } => {
+                let mut p = partial.unwrap_or_default();
+                p.completed = p.completed.max(answers.len());
+                p.answers = answers;
+                CoreError::DeadlineExceeded {
+                    phase,
+                    elapsed,
+                    partial: Some(p),
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -123,8 +167,12 @@ impl fmt::Display for CoreError {
                     "deadline exceeded in the {phase} phase after {:.1} ms",
                     elapsed.as_secs_f64() * 1e3
                 )?;
-                if let Some(done) = partial {
-                    write!(f, " ({done} fact(s) completed)")?;
+                if let Some(p) = partial {
+                    write!(f, " ({} fact(s) completed", p.completed)?;
+                    if !p.answers.is_empty() {
+                        write!(f, ", {} answer(s) retained", p.answers.len())?;
+                    }
+                    write!(f, ")")?;
                 }
                 Ok(())
             }

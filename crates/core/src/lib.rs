@@ -65,7 +65,7 @@ pub use domain::{
     probability_by_enumeration, probability_by_enumeration_cancel, CountingDomain, EvalDomain,
     FactProbabilities, ProbabilityDomain,
 };
-pub use error::CoreError;
+pub use error::{CoreError, PartialProgress};
 pub use exoshap::{rewrite, RewriteOutcome};
 pub use satcount::{
     count_sat_hierarchical, count_sat_hierarchical_masked, BruteForceCounter, HierarchicalCounter,

@@ -1397,9 +1397,14 @@ fn exo_union_values(
     let mut values = Vec::with_capacity(facts.len());
     for &f in facts {
         if let Some(token) = cancel {
-            crate::budget::check_partial(token, "union-terms", Some(values.len()))?;
+            crate::budget::check_partial(token, "union-terms", Some(values.len())).map_err(
+                |e| e.with_partial_answers(values.iter().cloned().enumerate().collect()),
+            )?;
         }
-        let num = exo_union_numerator(terms, f, cancel)?;
+        // The kernels inside the numerator poll the same token — a trip
+        // mid-fact must also carry the facts already finished.
+        let num = exo_union_numerator(terms, f, cancel)
+            .map_err(|e| e.with_partial_answers(values.iter().cloned().enumerate().collect()))?;
         total += &num;
         values.push(exo_union_normalize(terms, num));
     }
@@ -1450,6 +1455,93 @@ mod tests {
         let batch = session.values(&slice).unwrap();
         assert_eq!(batch[0], session.value(slice[0]).unwrap());
         assert_eq!(batch[1], session.value(slice[1]).unwrap());
+    }
+
+    #[test]
+    fn tripped_union_budget_surfaces_completed_answers() {
+        // A work-unit budget trips deterministically; some cap lands
+        // mid-batch, and the DeadlineExceeded it raises must carry the
+        // facts that *did* finish — exact answers, not just a count.
+        let db = Database::parse(
+            "exo Stud(a)\nexo Stud(b)\n\
+             endo TA(a)\nendo Reg(a, c1)\nendo Reg(b, c2)\n\
+             endo T(t0)\n",
+        )
+        .unwrap();
+        let u = parse_ucq("q1() :- Stud(x), !TA(x), Reg(x, y)\nq2() :- T(z)\n").unwrap();
+        let opts = ShapleyOptions::with_strategy(Strategy::ExoShap);
+        let full = ShapleySession::prepare(&db, AnyQuery::Union(&u), &opts).unwrap();
+        let exact = full.report().unwrap();
+        let facts: Vec<FactId> = db.endo_facts().to_vec();
+        let mut salvaged = false;
+        for cap in 1..10_000u64 {
+            let capped = ShapleyOptions::with_strategy(Strategy::ExoShap)
+                .budget(crate::Budget::work_units(cap));
+            let Ok(session) = ShapleySession::prepare(&db, AnyQuery::Union(&u), &capped) else {
+                continue; // the cap tripped during compilation
+            };
+            match session.values(&facts) {
+                Ok(values) => {
+                    // Budget large enough — and the capped values agree
+                    // with the unlimited session's.
+                    for (i, v) in values.iter().enumerate() {
+                        assert_eq!(v, &exact.entry(facts[i]).unwrap().value);
+                    }
+                    break;
+                }
+                Err(CoreError::DeadlineExceeded {
+                    partial: Some(p), ..
+                }) => {
+                    assert_eq!(p.answers.len(), p.completed);
+                    for (i, v) in &p.answers {
+                        assert_eq!(v, &exact.entry(facts[*i]).unwrap().value);
+                    }
+                    if !p.answers.is_empty() {
+                        salvaged = true;
+                    }
+                }
+                Err(CoreError::DeadlineExceeded { partial: None, .. }) => {}
+                Err(other) => panic!("unexpected error under cap {cap}: {other:?}"),
+            }
+        }
+        assert!(salvaged, "no work cap tripped mid-batch with answers");
+    }
+
+    #[test]
+    fn tripped_compiled_budget_surfaces_completed_answers() {
+        // Same contract on the batched compiled-engine lanes: whatever
+        // lanes finished before the trip rides along on the error.
+        let db = university();
+        let q = parse_cq("q1() :- Stud(x), !TA(x), Reg(x, y)").unwrap();
+        let opts = ShapleyOptions::with_strategy(Strategy::Hierarchical);
+        let full = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &opts).unwrap();
+        let exact = full.report().unwrap();
+        let facts: Vec<FactId> = db.endo_facts().to_vec();
+        let mut salvaged = false;
+        for cap in 1..10_000u64 {
+            let capped = ShapleyOptions::with_strategy(Strategy::Hierarchical)
+                .budget(crate::Budget::work_units(cap));
+            let Ok(session) = ShapleySession::prepare(&db, AnyQuery::Cq(&q), &capped) else {
+                continue;
+            };
+            match session.values(&facts) {
+                Ok(_) => break,
+                Err(CoreError::DeadlineExceeded {
+                    partial: Some(p), ..
+                }) => {
+                    assert_eq!(p.answers.len(), p.completed);
+                    for (i, v) in &p.answers {
+                        assert_eq!(v, &exact.entry(facts[*i]).unwrap().value);
+                    }
+                    if !p.answers.is_empty() {
+                        salvaged = true;
+                    }
+                }
+                Err(CoreError::DeadlineExceeded { partial: None, .. }) => {}
+                Err(other) => panic!("unexpected error under cap {cap}: {other:?}"),
+            }
+        }
+        assert!(salvaged, "no work cap tripped mid-batch with answers");
     }
 
     #[test]

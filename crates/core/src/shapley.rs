@@ -977,14 +977,15 @@ fn engine_numerator_values(
         }
     }
     if let Some(e) = failure {
-        return Err(match e {
-            CoreError::DeadlineExceeded { phase, elapsed, .. } => CoreError::DeadlineExceeded {
-                phase,
-                elapsed,
-                partial: Some(completed),
-            },
-            other => other,
-        });
+        // Salvage the finished answers: the lanes that completed hold
+        // exact values the caller should not have to recompute.
+        let answers: Vec<(usize, BigRational)> = values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.clone().map(|v| (i, v)))
+            .collect();
+        debug_assert_eq!(answers.len(), completed);
+        return Err(e.with_partial_answers(answers));
     }
     Ok((
         values

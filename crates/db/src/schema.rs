@@ -111,6 +111,7 @@ impl Schema {
 
     /// Mints a fresh relation name with the given prefix, distinct from
     /// every declared relation (used by the `ExoShap` rewriting).
+    // cqshap-lint: allow(cancellation-reachability) -- bounded: terminates at the first unused suffix, at most |relations|+1 probes
     pub fn fresh_name(&self, prefix: &str) -> String {
         let mut i = 0u64;
         loop {

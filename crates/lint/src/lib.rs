@@ -6,36 +6,50 @@
 //! session's promise that failures surface as typed errors instead of
 //! panics mid-patch, and the thread-cap discipline that routes every
 //! fan-out through `parallel::par_map_with`. This crate checks those
-//! contracts mechanically: a small total Rust [lexer], an
-//! item/block [scanner] that attributes code to test vs
-//! library context, reasoned suppression pragmas ([pragma]), and five
-//! [rules] scoped by [workspace] policy:
+//! contracts mechanically, in three passes: a small total Rust
+//! [lexer] plus item/block [scanner] feed the per-file lexical
+//! [rules]; an item [parser] extracts every fn with its calls, loops,
+//! and lock acquisitions; and the workspace call [graph] built from
+//! those items runs the interprocedural [graph_rules], with reasoned
+//! suppression pragmas ([pragma]) and scope policy ([workspace]) on
+//! top.
 //!
-//! | rule | contract |
-//! |------|----------|
-//! | `no-panic` | engine-crate library code never panics |
-//! | `cancellation-poll` | exact-path loops poll cancellation |
-//! | `thread-discipline` | threads only via the sanctioned fan-outs |
-//! | `no-wall-clock` | clock reads only in the deadline modules |
-//! | `error-hygiene` | typed errors, no `Box<dyn Error>` / `Err(format!…)` |
+//! | rule | layer | contract |
+//! |------|-------|----------|
+//! | `no-panic` | lexical | engine-crate library code never panics |
+//! | `thread-discipline` | lexical | threads only via the sanctioned fan-outs |
+//! | `no-wall-clock` | lexical | clock reads only in the deadline modules |
+//! | `error-hygiene` | lexical | typed errors, no `Box<dyn Error>` / `Err(format!…)` |
+//! | `transitive-no-panic` | graph | public APIs are panic-free iff everything they reach is; dead panic sites are demoted |
+//! | `cancellation-reachability` | graph | every loop reachable from a `Budget`/`CancelToken` entry polls, directly or via a callee |
+//! | `lock-order` | graph | lock acquisitions admit a global order: no cycles, no lock held across a thread fan-out |
+//! | `suppression-debt` | graph | pragmas the graph proves redundant are flagged; the count ratchets against a committed baseline |
 //!
 //! Run `cargo run -p cqshap-lint` from the workspace root; it prints
-//! `file:line` findings, writes `LINT_report.json`, and exits nonzero
-//! on any unsuppressed violation. See the README's "Static analysis"
-//! section for the suppression pragma syntax.
+//! `file:line` findings, writes `LINT_report.json` /
+//! `GRAPH_report.json` / `GRAPH.dot`, enforces the suppression
+//! ratchet (`crates/lint/suppression-baseline.txt`), and exits nonzero
+//! on any unsuppressed violation. `--rule NAME --explain` prints the
+//! call-graph path behind each finding. See the README's "Static
+//! analysis" section for the suppression pragma syntax.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod graph;
+pub mod graph_rules;
 pub mod lexer;
+pub mod parser;
 pub mod pragma;
 pub mod report;
 pub mod rules;
 pub mod scanner;
 pub mod workspace;
 
-pub use report::{Finding, Report, Suppressed};
-pub use workspace::{lint_source, lint_workspace};
+pub use report::{Demoted, Explanation, Finding, Report, Suppressed, SuppressionDebt};
+pub use workspace::{
+    lint_files, lint_source, lint_workspace, lint_workspace_timed, FileSpec, WorkspaceOutcome,
+};
 
 use std::fmt;
 use std::path::PathBuf;

@@ -17,20 +17,49 @@ pub const RULE_THREAD_DISCIPLINE: &str = "thread-discipline";
 pub const RULE_NO_WALL_CLOCK: &str = "no-wall-clock";
 /// Rule name: typed errors only — no `Box<dyn Error>` / `Err(format!…)`.
 pub const RULE_ERROR_HYGIENE: &str = "error-hygiene";
+/// Graph rule: public engine APIs are panic-free through the whole
+/// call graph (subsumes per-site `no-panic` reasoning where the graph
+/// proves a site unreachable).
+pub const RULE_TRANSITIVE_NO_PANIC: &str = "transitive-no-panic";
+/// Graph rule: every loop reachable from a `Budget`/`CancelToken`
+/// entry point polls cancellation (replaces the `cancellation-poll`
+/// file-list heuristic; the old name remains a pragma alias).
+pub const RULE_CANCELLATION_REACHABILITY: &str = "cancellation-reachability";
+/// Graph rule: lock acquisitions follow one global order and no lock
+/// is held across a thread fan-out.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
 /// Meta rule: a malformed suppression pragma.
 pub const RULE_BAD_PRAGMA: &str = "bad-pragma";
 /// Meta rule: a pragma that suppressed nothing.
 pub const RULE_UNUSED_SUPPRESSION: &str = "unused-suppression";
 
-/// Every rule name the pragma parser accepts.
+/// Every rule name the pragma parser accepts. `cancellation-poll` and
+/// `cancellation-reachability` are aliases at matching time.
 pub const KNOWN_RULES: &[&str] = &[
     RULE_NO_PANIC,
     RULE_NO_PANIC_INDEX,
     RULE_CANCELLATION_POLL,
+    RULE_CANCELLATION_REACHABILITY,
     RULE_THREAD_DISCIPLINE,
     RULE_NO_WALL_CLOCK,
     RULE_ERROR_HYGIENE,
+    RULE_TRANSITIVE_NO_PANIC,
+    RULE_LOCK_ORDER,
 ];
+
+/// Do a finding rule and a pragma rule name match? Exact match, plus
+/// the `cancellation-poll` ↔ `cancellation-reachability` alias so PR 8
+/// pragmas keep working under the graph rule that replaced their rule.
+pub fn rules_match(finding_rule: &str, pragma_rule: &str) -> bool {
+    fn canon(r: &str) -> &str {
+        if r == RULE_CANCELLATION_POLL {
+            RULE_CANCELLATION_REACHABILITY
+        } else {
+            r
+        }
+    }
+    canon(finding_rule) == canon(pragma_rule)
+}
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +93,45 @@ pub struct Suppressed {
     pub reason: String,
 }
 
+/// A raw lexical finding the call graph *demoted*: the graph proved
+/// the site safe, so it is neither a finding nor a suppression.
+#[derive(Debug, Clone)]
+pub struct Demoted {
+    /// The demoted finding.
+    pub finding: Finding,
+    /// The graph's proof sketch.
+    pub why: String,
+}
+
+/// A call-graph path attached to a finding for `--explain`.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The explained finding's rule.
+    pub rule: String,
+    /// Its file.
+    pub file: String,
+    /// Its line.
+    pub line: u32,
+    /// Qualified fn names, entry point first, offending fn last (for
+    /// `lock-order`, the acquisition chain instead).
+    pub path: Vec<String>,
+}
+
+/// The `suppression-debt` numbers the ratchet gate enforces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuppressionDebt {
+    /// The committed baseline (from `suppression-baseline.txt`), when
+    /// one was loaded.
+    pub baseline: Option<usize>,
+    /// Live suppression count this run.
+    pub current: usize,
+    /// Raw findings the graph demoted (proved safe) this run.
+    pub demoted: usize,
+    /// Pragmas the graph proved redundant (reported as
+    /// `unused-suppression`).
+    pub redundant: usize,
+}
+
 /// The whole run's outcome.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -73,6 +141,16 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Findings silenced by reasoned pragmas.
     pub suppressed: Vec<Suppressed>,
+    /// Findings the call graph demoted (proved safe).
+    pub demoted: Vec<Demoted>,
+    /// Call-graph paths for `--explain` (covers live and suppressed
+    /// graph-rule findings and reachable panic sites).
+    pub explanations: Vec<Explanation>,
+    /// The suppression-ratchet numbers.
+    pub debt: SuppressionDebt,
+    /// Per-rule wall time in microseconds, measured by the binary (the
+    /// library never reads the clock — that is one of its own rules).
+    pub rule_timings: Vec<(String, u64)>,
 }
 
 impl Report {
@@ -82,15 +160,35 @@ impl Report {
     }
 
     /// The `LINT_report.json` encoding (hand-rolled: the workspace has
-    /// no serde).
+    /// no serde). Schema version 2: version 1 plus the graph-rule
+    /// additions (`suppression_debt`, `demoted`, `rule_timings_us`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str("  \"schema_version\": 2,\n");
         out.push_str(&format!(
-            "  \"files_scanned\": {},\n  \"finding_count\": {},\n  \"suppressed_count\": {},\n",
+            "  \"files_scanned\": {},\n  \"finding_count\": {},\n  \"suppressed_count\": {},\n  \"demoted_count\": {},\n",
             self.files.len(),
             self.findings.len(),
-            self.suppressed.len()
+            self.suppressed.len(),
+            self.demoted.len()
         ));
+        out.push_str(&format!(
+            "  \"suppression_debt\": {{\"baseline\": {}, \"current\": {}, \"demoted\": {}, \"redundant\": {}}},\n",
+            self.debt
+                .baseline
+                .map_or("null".to_string(), |b| b.to_string()),
+            self.debt.current,
+            self.debt.demoted,
+            self.debt.redundant
+        ));
+        out.push_str("  \"rule_timings_us\": {");
+        for (i, (rule, us)) in self.rule_timings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_str(rule), us));
+        }
+        out.push_str("},\n");
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -124,6 +222,24 @@ impl Report {
             ));
         }
         out.push_str(if self.suppressed.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"demoted\": [");
+        for (i, d) in self.demoted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"why\": {}}}",
+                json_str(&d.finding.rule),
+                json_str(&d.finding.file),
+                d.finding.line,
+                json_str(&d.why)
+            ));
+        }
+        out.push_str(if self.demoted.is_empty() {
             "]\n"
         } else {
             "\n  ]\n"
@@ -135,7 +251,7 @@ impl Report {
 
 /// JSON string literal with the escapes that can occur in paths,
 /// messages, and reasons.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

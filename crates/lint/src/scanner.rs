@@ -218,6 +218,11 @@ fn find_fns(src: &str, tokens: &[Token], sig: &[usize]) -> Vec<FnInfo> {
         if name_tok.kind != TokenKind::Ident {
             continue;
         }
+        // `fn fn …` (garbage input): the second `fn` may open a real
+        // item, so do not also claim it as this one's name.
+        if text(src, name_tok) == "fn" {
+            continue;
+        }
         let mut depth = 0i64;
         let mut j = k + 2;
         let mut open = None;

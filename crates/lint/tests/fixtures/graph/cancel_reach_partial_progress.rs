@@ -1,0 +1,18 @@
+/// The batched-engine shape: one per-fact answer per trip around the
+/// loop, the budget polled between facts, and on a deadline trip the
+/// completed answers surfaced on the error instead of being dropped.
+pub fn batched(facts: &[u64], budget: &Budget) -> Result<Vec<u64>, CoreError> {
+    let mut values = Vec::new();
+    for fact in facts {
+        if let Err(e) = budget.check_partial(Some(values.len())) {
+            let answers = values.iter().cloned().enumerate().collect();
+            return Err(e.with_partial_answers(answers));
+        }
+        values.push(per_fact(*fact));
+    }
+    Ok(values)
+}
+
+fn per_fact(fact: u64) -> u64 {
+    fact
+}

@@ -1,0 +1,18 @@
+pub fn lib_code() -> u64 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    fn entry(budget: &Budget) -> u64 {
+        hot()
+    }
+
+    fn hot() -> u64 {
+        let mut acc = 0;
+        for i in 0..4 {
+            acc += i;
+        }
+        acc
+    }
+}

@@ -1,0 +1,16 @@
+pub fn entry(budget: &Budget) -> u64 {
+    budget.check(1);
+    let mut acc = 0;
+    for i in 0..4 {
+        acc += work(i);
+    }
+    acc
+}
+
+fn work(i: u64) -> u64 {
+    twice(i)
+}
+
+fn twice(i: u64) -> u64 {
+    i + i
+}

@@ -1,0 +1,20 @@
+pub struct Pool {
+    slots: Mutex<u8>,
+}
+
+impl Pool {
+    pub fn acquire(&self) -> u64 {
+        let g = self.slots.lock();
+        drop(g);
+        work_units()
+    }
+}
+
+fn work_units() -> u64 {
+    let f = helper;
+    f()
+}
+
+fn helper() -> u64 {
+    3
+}

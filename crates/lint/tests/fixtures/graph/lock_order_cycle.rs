@@ -1,0 +1,18 @@
+pub struct Pair {
+    a: Mutex<u8>,
+    b: Mutex<u8>,
+}
+
+impl Pair {
+    pub fn ab(&self) {
+        let g = self.a.lock();
+        self.b.lock();
+        drop(g);
+    }
+
+    pub fn ba(&self) {
+        let g = self.b.lock();
+        self.a.lock();
+        drop(g);
+    }
+}

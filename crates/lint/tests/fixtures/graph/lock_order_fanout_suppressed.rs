@@ -1,0 +1,14 @@
+pub struct Pool {
+    slots: Mutex<u8>,
+}
+
+impl Pool {
+    pub fn fan(&self) {
+        // cqshap-lint: allow(lock-order) -- scope body only reads thread-local state
+        let g = self.slots.lock();
+        std::thread::scope(|s| {
+            let _ = s;
+        });
+        drop(g);
+    }
+}

@@ -1,0 +1,20 @@
+pub fn lib_code() -> u64 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    struct Pool {
+        slots: Mutex<u8>,
+    }
+
+    impl Pool {
+        fn fan(&self) {
+            let g = self.slots.lock();
+            std::thread::scope(|s| {
+                let _ = s;
+            });
+            drop(g);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+pub fn api() -> u8 {
+    0
+}
+
+fn dead() -> u8 {
+    maybe().unwrap()
+}
+
+fn maybe() -> Option<u8> {
+    None
+}

@@ -1,0 +1,11 @@
+pub fn api() -> u8 {
+    risky()
+}
+
+fn risky() -> u8 {
+    maybe().unwrap()
+}
+
+fn maybe() -> Option<u8> {
+    None
+}

@@ -1,0 +1,221 @@
+//! Drives [`cqshap_lint::lint_files`] — the full interprocedural
+//! pipeline — over the graph fixture corpus: for each graph rule a
+//! positive fixture (the violation must be found, with a call-graph
+//! explanation), a suppressed fixture (a reasoned pragma silences it
+//! without `unused-suppression` residue), and a test-exempt fixture
+//! (the same constructs inside `#[cfg(test)]` are ignored). A golden
+//! test pins the `GRAPH_report.json` rendering of a small fixture
+//! workspace byte for byte.
+
+use std::path::{Path, PathBuf};
+
+use cqshap_lint::{lint_files, FileSpec, WorkspaceOutcome};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/graph")
+        .join(name)
+}
+
+fn fixture(name: &str) -> String {
+    let path = fixture_path(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Runs the whole pipeline over in-memory fixture files, no timing.
+fn run(files: &[(&str, &str, &str)]) -> WorkspaceOutcome {
+    let specs: Vec<FileSpec> = files
+        .iter()
+        .map(|(rel, krate, name)| FileSpec {
+            rel: rel.to_string(),
+            krate: krate.to_string(),
+            is_binary: false,
+            src: fixture(name),
+        })
+        .collect();
+    lint_files(&specs, &mut || 0)
+}
+
+/// One core-crate library file at a generic path (all graph rules run;
+/// `parallel.rs` is used for the fan-out fixtures so the lexical
+/// `thread-discipline` rule stays out of the way).
+fn run_core(name: &str) -> WorkspaceOutcome {
+    run(&[("crates/core/src/fixture.rs", "core", name)])
+}
+
+fn run_parallel(name: &str) -> WorkspaceOutcome {
+    run(&[("crates/core/src/parallel.rs", "core", name)])
+}
+
+// ---- cancellation-reachability ------------------------------------
+
+#[test]
+fn cancellation_positive_is_found_with_path() {
+    let out = run_core("cancel_reach_positive.rs");
+    let r = &out.report;
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.rule, "cancellation-reachability");
+    // Anchored at the `fn hot` line, loop line in the message.
+    assert_eq!(f.line, 5, "{f:?}");
+    assert!(f.message.contains("`core::fixture::hot`"), "{f:?}");
+    assert!(f.message.contains("entry"), "{f:?}");
+    let ex = r
+        .explanations
+        .iter()
+        .find(|e| e.rule == "cancellation-reachability")
+        .expect("explanation");
+    assert_eq!(ex.path, ["core::fixture::entry", "core::fixture::hot"]);
+}
+
+#[test]
+fn cancellation_pragma_suppresses_without_residue() {
+    let out = run_core("cancel_reach_suppressed.rs");
+    let r = &out.report;
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed.len(), 1, "{:?}", r.suppressed);
+    assert_eq!(r.suppressed[0].finding.rule, "cancellation-reachability");
+    assert!(r.suppressed[0].reason.contains("bounded"));
+}
+
+#[test]
+fn cancellation_test_code_is_exempt() {
+    let out = run_core("cancel_reach_test_exempt.rs");
+    assert!(out.report.findings.is_empty(), "{:?}", out.report.findings);
+}
+
+#[test]
+fn cancellation_partial_progress_pattern_is_proven() {
+    // The batched-engine shape (poll between facts, surface completed
+    // answers on the deadline error) is exactly what the rule wants:
+    // its loop is covered, so the file lints clean with zero findings
+    // and the section reports full coverage.
+    let out = run_core("cancel_reach_partial_progress.rs");
+    assert!(out.report.findings.is_empty(), "{:?}", out.report.findings);
+    let (_, cr) = out
+        .sections
+        .iter()
+        .find(|(k, _)| *k == "cancellation_reachability")
+        .expect("section");
+    assert!(cr.contains("\"uncovered_loops\": 0"), "{cr}");
+    assert!(cr.contains("\"covered_loops\": 1"), "{cr}");
+    assert!(cr.contains("\"entry_points\": 1"), "{cr}");
+}
+
+// ---- lock-order ---------------------------------------------------
+
+#[test]
+fn lock_cycle_is_found() {
+    let out = run_parallel("lock_order_cycle.rs");
+    let r = &out.report;
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == "lock-order" && f.message.contains("cycle")),
+        "{:?}",
+        r.findings
+    );
+    let (_, lo) = out
+        .sections
+        .iter()
+        .find(|(k, _)| *k == "lock_order")
+        .expect("section");
+    assert!(lo.contains("\"locks\": 2"), "{lo}");
+    assert!(!lo.contains("\"cycles\": 0"), "{lo}");
+}
+
+#[test]
+fn lock_held_across_fanout_is_found() {
+    let out = run_parallel("lock_order_fanout_positive.rs");
+    let f = out
+        .report
+        .findings
+        .iter()
+        .find(|f| f.rule == "lock-order")
+        .unwrap_or_else(|| panic!("{:?}", out.report.findings));
+    // Anchored at the acquisition line so a pragma there can cover it.
+    assert_eq!(f.line, 7, "{f:?}");
+    assert!(f.message.contains("fan-out"), "{f:?}");
+}
+
+#[test]
+fn lock_fanout_pragma_suppresses_without_residue() {
+    let out = run_parallel("lock_order_fanout_suppressed.rs");
+    let r = &out.report;
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed.len(), 1, "{:?}", r.suppressed);
+    assert_eq!(r.suppressed[0].finding.rule, "lock-order");
+}
+
+#[test]
+fn lock_sites_in_test_code_are_exempt() {
+    let out = run_parallel("lock_order_test_exempt.rs");
+    assert!(out.report.findings.is_empty(), "{:?}", out.report.findings);
+}
+
+// ---- transitive-no-panic ------------------------------------------
+
+#[test]
+fn unreachable_panic_site_is_demoted_not_reported() {
+    let out = run_core("tnp_demoted.rs");
+    let r = &out.report;
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.demoted.len(), 1, "{:?}", r.demoted);
+    assert_eq!(r.demoted[0].finding.rule, "no-panic");
+    assert!(r.demoted[0].why.contains("unreachable"), "{:?}", r.demoted);
+    assert_eq!(r.debt.demoted, 1);
+    // Every public root certifies panic-free.
+    let (_, tnp) = out
+        .sections
+        .iter()
+        .find(|(k, _)| *k == "transitive_no_panic")
+        .expect("section");
+    assert!(tnp.contains("\"status\": \"panic-free\""), "{tnp}");
+    assert!(!tnp.contains("modulo-pragmas"), "{tnp}");
+}
+
+#[test]
+fn reachable_panic_site_stays_live_with_path() {
+    let out = run_core("tnp_reachable.rs");
+    let r = &out.report;
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    assert_eq!(r.findings[0].rule, "no-panic");
+    let ex = r
+        .explanations
+        .iter()
+        .find(|e| e.rule == "no-panic")
+        .expect("explanation");
+    assert_eq!(ex.path, ["core::fixture::api", "core::fixture::risky"]);
+    let (_, tnp) = out
+        .sections
+        .iter()
+        .find(|(k, _)| *k == "transitive_no_panic")
+        .expect("section");
+    assert!(tnp.contains("panic-free-modulo-pragmas"), "{tnp}");
+}
+
+// ---- golden graph -------------------------------------------------
+
+/// Pins the `GRAPH_report.json` rendering (nodes, edges with their
+/// `approx` precision flags, lock table, rule sections) of a two-file
+/// fixture workspace byte for byte. Regenerate deliberately with
+/// `UPDATE_GOLDEN=1 cargo test -p cqshap-lint --test graph_fixtures`.
+#[test]
+fn golden_graph_report_is_stable() {
+    let out = run(&[
+        ("crates/core/src/fixture_api.rs", "core", "golden_api.rs"),
+        ("crates/core/src/fixture_pool.rs", "core", "golden_pool.rs"),
+    ]);
+    assert!(out.report.findings.is_empty(), "{:?}", out.report.findings);
+    let json = out.graph.to_json(&out.sections);
+    let path = fixture_path("golden_graph.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &json).unwrap();
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {} ({e}) — run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        json, want,
+        "GRAPH_report.json drifted — if intentional, rerun with UPDATE_GOLDEN=1"
+    );
+}

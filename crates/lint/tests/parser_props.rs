@@ -1,0 +1,144 @@
+//! Property tests pinning the item parser to the lexer/scanner layer
+//! beneath it: `parse` is total on arbitrary input, finds *exactly* the
+//! fns the scanner's `FileMap` finds (same order, byte-exact spans —
+//! no item dropped, none invented), and every fact it attributes to a
+//! fn (calls, loops, locks) lies inside that fn's body span.
+
+use cqshap_lint::lexer::lex;
+use cqshap_lint::parser::{parse, parse_source};
+use cqshap_lint::scanner::FileMap;
+use proptest::prelude::*;
+
+/// Fragments bibliographically biased toward item structure: fn/impl/
+/// mod headers, bodies, braces in strings and comments, lock types,
+/// loops, and call/path syntax — the shapes the parser attributes.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { ",
+    "pub fn g(b: &Budget) -> u32 { ",
+    "fn h(token: &CancelToken) { ",
+    "impl Widget { ",
+    "impl Display for Widget { ",
+    "mod m { ",
+    "#[cfg(test)]\nmod tests { ",
+    "#[test]\nfn t() { ",
+    "}",
+    "} ",
+    "{ ",
+    ";",
+    "loop { ",
+    "for i in 0..9 { ",
+    "while x { ",
+    "self.a.lock();",
+    "POOL.get_or_init(|| 0);",
+    "cache.read();",
+    "let g = m.lock();",
+    "drop(g);",
+    "a: Mutex<u8>,",
+    "static P: OnceLock<u8> = OnceLock::new();",
+    "budget::check(token)?;",
+    "x.unwrap()",
+    "helper(1, 2)",
+    "path::to::thing()",
+    "Widget::new()",
+    "let fptr: fn(u8) -> u8 = id;",
+    "// } fn fake() { \n",
+    "/* fn also_fake() { */",
+    "\"} fn in_string() {\"",
+    "'{'",
+    "r#\"raw } fn \"#",
+    "fn",
+    "fn (",
+    "struct S;",
+    "pub(crate) fn private_vis() { ",
+    "match x { _ => {} }",
+    "|c| c + 1",
+    "Some(3)",
+    "\n",
+    " ",
+];
+
+fn arb_item_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..FRAGMENTS.len(), 0..60)
+        .prop_map(|picks| picks.into_iter().map(|i| FRAGMENTS[i]).collect::<String>())
+}
+
+fn arb_chars() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u32>(), 0..80).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(|c| char::from_u32(c % 0x110000))
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser finds exactly the scanner's fns: same count, same
+    /// order, and byte-exact `sig_start`/`body_start`/`body_end` spans
+    /// with matching names and lines. Any drift here would silently
+    /// detach graph facts from the spans the lexical rules report on.
+    #[test]
+    fn parser_items_pin_scanner_fns(src in arb_item_soup()) {
+        let map = FileMap::build(&src, lex(&src));
+        let parsed = parse(&src, &map);
+        prop_assert_eq!(
+            parsed.fns.len(),
+            map.fns.len(),
+            "item count diverged on {:?}",
+            src
+        );
+        for (item, info) in parsed.fns.iter().zip(&map.fns) {
+            prop_assert_eq!(&item.name, &info.name, "name diverged in {:?}", src);
+            prop_assert_eq!(item.sig_start, info.sig_start, "sig_start in {:?}", src);
+            prop_assert_eq!(item.body_start, info.body_start, "body_start in {:?}", src);
+            prop_assert_eq!(item.body_end, info.body_end, "body_end in {:?}", src);
+            prop_assert_eq!(item.line, info.line, "line in {:?}", src);
+        }
+    }
+
+    /// Every fact a fn carries lies inside its own body span, and the
+    /// body span sits inside the file: the graph never attributes a
+    /// call, loop, or lock acquisition to the wrong item.
+    #[test]
+    fn fn_facts_stay_inside_their_body(src in arb_item_soup()) {
+        let parsed = parse_source(&src);
+        for f in &parsed.fns {
+            prop_assert!(f.sig_start <= f.body_start && f.body_start < f.body_end);
+            prop_assert!(f.body_end <= src.len());
+            for c in &f.calls {
+                prop_assert!(
+                    c.offset > f.body_start && c.offset < f.body_end,
+                    "call at {} escapes fn `{}` [{}, {}) in {:?}",
+                    c.offset, f.name, f.body_start, f.body_end, src
+                );
+            }
+            for l in &f.loops {
+                prop_assert!(
+                    l.offset > f.body_start && l.offset < f.body_end,
+                    "loop at {} escapes fn `{}` in {:?}",
+                    l.offset, f.name, src
+                );
+            }
+            for s in &f.locks {
+                prop_assert!(
+                    s.offset > f.body_start && s.offset < f.body_end,
+                    "lock site at {} escapes fn `{}` in {:?}",
+                    s.offset, f.name, src
+                );
+                prop_assert!(
+                    s.extent_end > s.offset && s.extent_end <= f.body_end,
+                    "guard extent [{}, {}) escapes fn `{}` in {:?}",
+                    s.offset, s.extent_end, f.name, src
+                );
+            }
+        }
+    }
+
+    /// Totality: like the lexer and scanner beneath it, the parser must
+    /// accept completely arbitrary text without panicking.
+    #[test]
+    fn parser_is_total_on_arbitrary_text(src in arb_chars()) {
+        let _ = parse_source(&src);
+    }
+}

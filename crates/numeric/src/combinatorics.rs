@@ -83,6 +83,7 @@ impl BinomialCache {
 }
 
 /// The primes `≤ n`, by Eratosthenes.
+// cqshap-lint: allow(cancellation-reachability) -- bounded: sieve over 2..=n, n is the small factorial argument
 fn primes_up_to(n: usize) -> Vec<u64> {
     if n < 2 {
         return Vec::new();
@@ -104,6 +105,7 @@ fn primes_up_to(n: usize) -> Vec<u64> {
 }
 
 /// Legendre's formula: `v_p(n!) = Σ_i ⌊n/pⁱ⌋`.
+// cqshap-lint: allow(cancellation-reachability) -- bounded: at most log_p(n) divisions
 fn factorial_valuation(n: usize, p: u64) -> usize {
     let mut e = 0usize;
     let mut q = n as u64 / p;

@@ -199,7 +199,6 @@ fn estimate(a: &[BigUint], b: &[BigUint]) -> Backend {
 /// coefficient vectors (coefficient index = degree). Returns `None`
 /// when `den` is zero or does not divide `num` exactly — engine callers
 /// treat that as "fall back to a full recompile".
-// cqshap-lint: allow(cancellation-poll) -- bounded: one long-division pass; tree callers poll per node
 pub fn exact_div(num: &[BigUint], den: &[BigUint]) -> Option<Vec<BigUint>> {
     let s = den.iter().position(|c| !c.is_zero())?;
     if num.iter().all(|c| c.is_zero()) {
@@ -243,7 +242,6 @@ pub fn exact_div(num: &[BigUint], den: &[BigUint]) -> Option<Vec<BigUint>> {
 
 /// `a ⊛ [1, 1]` in `O(n)` additions (Pascal's rule: growing a binomial
 /// factor by one free fact).
-// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over the coefficient vector
 pub fn pascal_up(a: &[BigUint]) -> Vec<BigUint> {
     if a.is_empty() {
         return Vec::new();
@@ -260,7 +258,6 @@ pub fn pascal_up(a: &[BigUint]) -> Vec<BigUint> {
 /// `a / [1, 1]` in `O(n)` subtractions, or `None` when `[1, 1]` does
 /// not divide `a` exactly — bit-identical to
 /// [`exact_div`]`(a, [1, 1])`.
-// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over the coefficient vector
 pub fn pascal_down(a: &[BigUint]) -> Option<Vec<BigUint>> {
     let (first, rest) = a.split_first()?;
     let (last, mid) = rest.split_last()?;
@@ -452,7 +449,6 @@ impl From<Poly> for Vec<BigUint> {
 // Schoolbook and Karatsuba
 // ---------------------------------------------------------------------
 
-// cqshap-lint: allow(cancellation-poll) -- bounded: one convolution pass; the dispatching callers poll between convolutions
 fn mul_schoolbook(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
     let mut out = vec![BigUint::zero(); a.len() + b.len() - 1];
     for (i, x) in a.iter().enumerate() {
@@ -469,7 +465,6 @@ fn mul_schoolbook(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
 }
 
 /// Pointwise `acc[offset..] += add`.
-// cqshap-lint: allow(cancellation-poll) -- bounded: single pass over one Karatsuba block
 fn add_at(acc: &mut [BigUint], offset: usize, add: &[BigUint]) {
     for (slot, v) in acc[offset..].iter_mut().zip(add) {
         *slot += v;
@@ -478,7 +473,6 @@ fn add_at(acc: &mut [BigUint], offset: usize, add: &[BigUint]) {
 
 /// Pointwise `acc[offset..] -= sub` (never underflows for Karatsuba's
 /// middle term: the cross products are a superset of the outer ones).
-// cqshap-lint: allow(cancellation-poll) -- bounded: single pass over one Karatsuba block
 fn sub_at(acc: &mut [BigUint], offset: usize, sub: &[BigUint]) {
     for (slot, v) in acc[offset..].iter_mut().zip(sub) {
         *slot -= v;
@@ -569,7 +563,6 @@ fn powmod(mut base: u64, mut exp: u64, p: u64) -> u64 {
 
 /// Deterministic Miller–Rabin for `u64` (the first twelve prime bases
 /// decide primality for every 64-bit integer).
-// cqshap-lint: allow(cancellation-poll) -- bounded: Miller-Rabin over a fixed witness set
 fn is_prime_u64(n: u64) -> bool {
     if n < 2 {
         return false;
@@ -683,7 +676,6 @@ impl NttPrime {
     /// (`r2` *is* the Montgomery form of `2^64`). Several times faster
     /// than a `u128` division per limb, and the limb reduction is the
     /// NTT's second-biggest cost on big-coefficient inputs.
-    // cqshap-lint: allow(cancellation-poll) -- bounded: one pass over a coefficient's limbs
     fn reduce(&self, c: &BigUint) -> u64 {
         c.with_limbs(|limbs| {
             let mut acc = 0u64;
@@ -726,7 +718,6 @@ struct PrimePool {
     next_k: u64,
 }
 
-// cqshap-lint: allow(cancellation-poll) -- bounded in practice: the scan yields a prime every few hundred candidates and the pool is cached process-wide
 fn ntt_primes(count: usize) -> Result<Vec<NttPrime>, NumericError> {
     static POOL: OnceLock<Mutex<PrimePool>> = OnceLock::new();
     let pool = POOL.get_or_init(|| {
@@ -763,7 +754,6 @@ fn ntt_primes(count: usize) -> Result<Vec<NttPrime>, NumericError> {
 
 /// In-place radix-2 NTT of `a` (Montgomery form) with `w` a
 /// Montgomery-form root of unity of order `a.len()`.
-// cqshap-lint: allow(cancellation-poll) -- bounded: O(n log n) butterflies for one prime pass; mul polls per pass
 fn ntt_in_place(a: &mut [u64], w: u64, pr: &NttPrime) {
     let n = a.len();
     debug_assert!(n.is_power_of_two());
@@ -800,7 +790,6 @@ fn ntt_in_place(a: &mut [u64], w: u64, pr: &NttPrime) {
 
 /// The residue vector of `poly` modulo `pr.p`, in Montgomery form,
 /// zero-padded to `n`.
-// cqshap-lint: allow(cancellation-poll) -- bounded: one pass over the polynomial per prime
 fn residues_mont(poly: &[BigUint], n: usize, pr: &NttPrime) -> Vec<u64> {
     let mut out = vec![0u64; n];
     for (slot, c) in out.iter_mut().zip(poly) {
@@ -813,7 +802,6 @@ fn residues_mont(poly: &[BigUint], n: usize, pr: &NttPrime) -> Vec<u64> {
 
 /// One prime's convolution: `NTT⁻¹(NTT(a) ⊙ NTT(b))`, returned as
 /// plain (non-Montgomery) residues truncated to `out_len`.
-// cqshap-lint: allow(cancellation-poll) -- bounded: three transforms for one prime pass; the prime loop polls per pass
 fn convolve_mod(a: &[BigUint], b: &[BigUint], out_len: usize, pr: &NttPrime) -> Vec<u64> {
     let n = out_len.next_power_of_two();
     debug_assert!(n.trailing_zeros() <= MAX_TWO_ADICITY);
