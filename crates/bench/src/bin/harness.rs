@@ -38,6 +38,16 @@
 //! `m ∈ {256, 1024}`, the deadline-hit rate of the exact report under
 //! tight wall-clock budgets, and the tier `report_tiered` settles on
 //! per query class, written to `BENCH_anytime.json`.
+//!
+//! `bench-report --trace` installs the `cqshap-obs` trace recorder and
+//! runs an instrumented pass per `m ∈ {64, 256, 1024}` — the batched
+//! report, one incremental update + re-report, and the degradation
+//! ladder on a non-hierarchical instance — writing one
+//! `cqshap-trace/v1` window per size into `TRACE_report.json`.
+//!
+//! Every emitted JSON header carries `host_cores` (the parallelism the
+//! host exposes) and `thread_cap` (the effective cap this run used), so
+//! perf artifacts from different machines stay comparable.
 
 // Experiment harness binary: its whole job is timing, so the
 // `no-wall-clock` discipline does not apply (see clippy.toml).
@@ -178,6 +188,15 @@ fn time_ms(mut run: impl FnMut()) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
 }
 
+/// The hardware-context fragment every `BENCH_*.json` header carries:
+/// `host_cores` is the parallelism the host exposes, `thread_cap` the
+/// effective cap this run used (the harness always runs with the
+/// automatic cap — benches take no `--threads` flag).
+fn host_meta_json() -> String {
+    let host_cores = cqshap_numeric::poly::resolve_threads(0);
+    format!("\"host_cores\": {host_cores},\n  \"thread_cap\": {host_cores}")
+}
+
 /// Times the batched [`shapley_report`] against the seed per-fact path
 /// ([`shapley_report_per_fact`]) on the deterministic university
 /// workload at `m ∈ {64, 256, 1024, 4096}` endogenous facts, and
@@ -192,6 +211,7 @@ fn bench_report(args: &[String]) {
     let poly = args.iter().any(|a| a == "--poly");
     let probdb = args.iter().any(|a| a == "--probdb");
     let anytime = args.iter().any(|a| a == "--anytime");
+    let traced = args.iter().any(|a| a == "--trace");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -206,6 +226,8 @@ fn bench_report(args: &[String]) {
                 "BENCH_probdb.json".to_string()
             } else if anytime {
                 "BENCH_anytime.json".to_string()
+            } else if traced {
+                "TRACE_report.json".to_string()
             } else if ucq || aggregate {
                 "BENCH_ucq.json".to_string()
             } else {
@@ -214,6 +236,10 @@ fn bench_report(args: &[String]) {
         });
     let session = args.iter().any(|a| a == "--session");
     let samples = if quick { 3 } else { 5 };
+    if traced {
+        bench_trace(&out_path);
+        return;
+    }
     if poly {
         bench_poly(quick, &out_path);
         return;
@@ -305,10 +331,11 @@ fn bench_report(args: &[String]) {
     let json = format!(
         "{{\n  \"schema\": \"cqshap-bench-report/v1\",\n  \"query\": \"{}\",\n  \
          \"workload\": \"report_benchmark_db\",\n  \"mode\": \"{}\",\n  \
-         \"samples\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"samples\": {},\n  {},\n  \"results\": [\n{}\n  ]\n}}\n",
         q1,
         if quick { "quick" } else { "full" },
         samples,
+        host_meta_json(),
         json_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench report");
@@ -328,6 +355,68 @@ fn hard_benchmark_db(m: usize) -> Database {
     }
     db.add_endo("T", &["u"]).expect("distinct");
     db
+}
+
+/// The `--trace` mode of `bench-report`: one instrumented pass per
+/// `m ∈ {64, 256, 1024}`, each collected into its own `cqshap-trace/v1`
+/// window. Every pass exercises the full vocabulary the trace schema
+/// documents: the batched report on the hierarchical workload (prepare
+/// sub-phases, per-root-group compile/recount spans, poly backend
+/// dispatch, cache hit/miss counters), one provenance flip plus
+/// re-report (update spans, recount-cache reuse), and the degradation
+/// ladder on a non-hierarchical instance under a wall-clock budget
+/// (anytime sampler strata histograms, tier answer/demote events).
+fn bench_trace(out_path: &str) {
+    let trace = cqshap_obs::install_trace().expect("no recorder installed before bench_trace");
+    let host_cores = cqshap_numeric::poly::resolve_threads(0);
+    let meta = cqshap_obs::TraceMeta {
+        host_cores,
+        thread_cap: host_cores,
+    };
+    let q1 = queries::q1();
+    let hard_q = parse_cq("q() :- R(x), S(x, y), T(y)").expect("parses");
+    let mut runs: Vec<String> = Vec::new();
+    for &m in &[64usize, 256, 1024] {
+        trace.clear();
+        let db = cqshap_workloads::report_benchmark_db(m);
+        let options = opts();
+        let mut session =
+            ShapleySession::prepare(&db, AnyQuery::Cq(&q1), &options).expect("hierarchical");
+        let r = session.report().expect("hierarchical");
+        assert!(r.efficiency_holds());
+        // One provenance flip + re-report, so incremental update spans
+        // and recount-cache reuse land in the window too.
+        let f = db.endo_facts()[0];
+        session.set_exogenous(f, true).expect("live fact");
+        let r = session.report().expect("hierarchical");
+        assert!(r.efficiency_holds());
+        // The degradation ladder on a non-hierarchical instance: the
+        // exact tier demotes, the sampler records its strata, and the
+        // answering tier emits its event.
+        let hard_db = hard_benchmark_db(m + 1);
+        let budget = opts().budget(Budget::wall_ms(2_000));
+        let mut hard =
+            ShapleySession::prepare_with_fallback(&hard_db, AnyQuery::Cq(&hard_q), &budget)
+                .expect("fallback prepare always yields a session here");
+        let policy = TierPolicy {
+            epsilon: 0.2,
+            ..TierPolicy::default()
+        };
+        hard.report_tiered(&policy).expect("ladder answers");
+        let window = trace.to_json(&meta);
+        eprintln!("trace m = {m:>5}: {} bytes of trace window", window.len());
+        runs.push(format!("    {{\"m\": {m}, \"trace\": {window}}}"));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"cqshap-trace-report/v1\",\n  \"query\": \"{}\",\n  \
+         \"workloads\": [\"report_benchmark_db\", \"hard_benchmark_db\"],\n  \
+         {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        q1,
+        host_meta_json(),
+        runs.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write trace report");
+    println!("wrote {out_path}");
 }
 
 /// The `--anytime` mode of `bench-report`: the anytime tier and the
@@ -495,9 +584,10 @@ fn bench_anytime(quick: bool, out_path: &str) {
 
     let json = format!(
         "{{\n  \"schema\": \"cqshap-bench-anytime/v1\",\n  \"mode\": \"{}\",\n  \
-         \"epsilon\": {epsilon},\n  \"delta\": {delta},\n  \"budget_ms\": {budget_ms},\n  \
+         \"epsilon\": {epsilon},\n  \"delta\": {delta},\n  \"budget_ms\": {budget_ms},\n  {},\n  \
          \"anytime\": [\n{}\n  ],\n  \"deadline\": [\n{}\n  ],\n  \"ladder\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
+        host_meta_json(),
         anytime_rows.join(",\n"),
         deadline_rows.join(",\n"),
         ladder_rows.join(",\n"),
@@ -613,9 +703,10 @@ fn bench_session(quick: bool, out_path: &str) {
         "{{\n  \"schema\": \"cqshap-bench-session/v1\",\n  \"query\": \"{}\",\n  \
          \"workload\": \"report_benchmark_db\",\n  \
          \"update\": \"set_exogenous flip on one grouped fact\",\n  \
-         \"mode\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"mode\": \"{}\",\n  {},\n  \"results\": [\n{}\n  ]\n}}\n",
         q1,
         if quick { "quick" } else { "full" },
+        host_meta_json(),
         rows.join(",\n"),
     );
     std::fs::write(out_path, &json).expect("write session bench");
@@ -762,10 +853,11 @@ fn bench_probdb(quick: bool, out_path: &str) {
          \"probabilities\": \"dyadic cycle {:?} over Dn\",\n  \
          \"report\": \"Pr[D \\u22a8 q] plus expected marginal of every endogenous fact\",\n  \
          \"seed_path\": \"cqshap_probdb::lifted::oracle_probability, 2m + 1 traversals\",\n  \
-         \"mode\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"mode\": \"{}\",\n  {},\n  \"results\": [\n{}\n  ]\n}}\n",
         q1,
         DYADIC,
         if quick { "quick" } else { "full" },
+        host_meta_json(),
         rows.join(",\n"),
     );
     std::fs::write(out_path, &json).expect("write probdb bench");
@@ -885,8 +977,6 @@ fn bench_poly(quick: bool, out_path: &str) {
         })
     }
 
-    let host_cores = cqshap_numeric::poly::resolve_threads(0);
-
     // Correctness guard before timing anything: the shipped subsystem
     // must be bit-identical to the pre-subsystem descent, across
     // backends and thread caps.
@@ -996,9 +1086,10 @@ fn bench_poly(quick: bool, out_path: &str) {
         "{{\n  \"schema\": \"cqshap-bench-poly/v1\",\n  \
          \"workload\": \"leave-one-out environments over m/4 degree-4 unsat polynomials\",\n  \
          \"baseline\": \"schoolbook_descent (pre-subsystem engine algorithm)\",\n  \
-         \"mode\": \"{}\",\n  \"samples\": {samples},\n  \"host_cores\": {host_cores},\n  \
+         \"mode\": \"{}\",\n  \"samples\": {samples},\n  {},\n  \
          \"results\": [\n{}\n  ],\n  \"thread_scaling\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
+        host_meta_json(),
         rows.join(",\n"),
         scaling_rows.join(",\n"),
     );
@@ -1137,11 +1228,12 @@ fn bench_union_aggregate(ucq: bool, aggregate: bool, quick: bool, samples: usize
         "{{\n  \"schema\": \"cqshap-bench-ucq/v1\",\n  \
          \"union_query\": \"{}\",\n  \"aggregate_query\": \"{}\",\n  \
          \"workloads\": [\"union_benchmark_db\", \"report_benchmark_db\"],\n  \
-         \"mode\": \"{}\",\n  \"samples\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"mode\": \"{}\",\n  \"samples\": {},\n  {},\n  \"results\": [\n{}\n  ]\n}}\n",
         queries::union_benchmark().to_string().replace('\n', "; "),
         queries::per_course_count(),
         if quick { "quick" } else { "full" },
         samples,
+        host_meta_json(),
         rows.join(",\n"),
     );
     std::fs::write(out_path, &json).expect("write bench report");

@@ -39,6 +39,7 @@ use std::collections::{BTreeSet, HashMap};
 use cqshap_db::{ConstId, Database, FactId, World};
 use cqshap_engine::{answers, for_each_positive_homomorphism, CompiledQuery, FactScope};
 use cqshap_numeric::{BigInt, BigRational};
+use cqshap_obs::{phase as obs_phase, Counter, Span};
 use cqshap_query::{ConjunctiveQuery, QueryBuilder, Term, Var};
 
 use crate::anyquery::AnyQuery;
@@ -186,11 +187,15 @@ pub(crate) struct ShapeGroup {
 /// provably-zero candidates pruned up front.
 pub(crate) struct AggregatePlan {
     pub(crate) groups: Vec<ShapeGroup>,
-    /// Candidates with nonzero weight before pruning.
-    pub(crate) candidates_total: usize,
+    /// Candidates with nonzero weight before pruning — an obs counter,
+    /// so the tally is locally readable (for [`ReportStats`]) *and*
+    /// forwarded to the installed recorder under
+    /// `aggregate.candidates`.
+    pub(crate) candidates_total: Counter,
     /// Candidates skipped because their value vector is identically
     /// zero (no endogenous support, or every supported fact irrelevant).
-    pub(crate) candidates_pruned: usize,
+    /// Reported under `aggregate.pruned`.
+    pub(crate) candidates_pruned: Counter,
 }
 
 /// One atom of a [`ShapeKey`]: relation, polarity, and per-position
@@ -329,17 +334,17 @@ impl AggregatePlan {
         }
         let mut keys: HashMap<ShapeKey, usize> = HashMap::new();
         let mut groups: Vec<(ConjunctiveQuery, Vec<Candidate>)> = Vec::new();
-        let mut candidates_total = 0usize;
-        let mut candidates_pruned = 0usize;
+        let candidates_total = Counter::new(obs_phase::CTR_AGG_CANDIDATES);
+        let candidates_pruned = Counter::new(obs_phase::CTR_AGG_PRUNED);
         for a in candidate_answers(db, q) {
             let weight = agg.weight(db, q, &a)?;
             if weight.is_zero() {
                 continue;
             }
-            candidates_total += 1;
+            candidates_total.incr();
             let qa = substitute_head(db, q, &a)?;
             if candidate_is_zero(db, &qa) {
-                candidates_pruned += 1;
+                candidates_pruned.incr();
                 continue;
             }
             let next = groups.len();
@@ -369,11 +374,12 @@ impl AggregatePlan {
         })
     }
 
-    /// The pruning counters as report stats.
+    /// The pruning counters as report stats — a view over the same obs
+    /// counters the trace aggregates, so there is one stats mechanism.
     pub(crate) fn stats(&self) -> ReportStats {
         ReportStats {
-            aggregate_candidates: self.candidates_total,
-            pruned_candidates: self.candidates_pruned,
+            aggregate_candidates: self.candidates_total.get() as usize,
+            pruned_candidates: self.candidates_pruned.get() as usize,
         }
     }
 }
@@ -445,7 +451,7 @@ pub fn aggregate_shapley(
     for group in &plan.groups {
         for c in &group.candidates {
             if let Some(token) = &cancel {
-                budget::check(token, "aggregate")?;
+                budget::check(token, cqshap_obs::phase::AGGREGATE)?;
             }
             let v = candidate_value(db, group.resolved, &c.query, f, options, cancel.as_ref())?;
             acc += &(&c.weight * &v);
@@ -494,6 +500,7 @@ impl AggregateEngines {
         options: &ShapleyOptions,
         cancel: Option<&CancelToken>,
     ) -> Result<Self, CoreError> {
+        let _span = Span::enter(obs_phase::AGGREGATE_PREPARE);
         let compile = |target: &Database, query: &ConjunctiveQuery| match cancel {
             Some(token) => {
                 CompiledCount::compile_with_cancel(target, query, options.threads, token.clone())
@@ -507,7 +514,11 @@ impl AggregateEngines {
             let mut prepared = Vec::with_capacity(group.candidates.len());
             for c in group.candidates {
                 if let Some(token) = cancel {
-                    budget::check_partial(token, "aggregate-prepare", Some(prepared.len()))?;
+                    budget::check_partial(
+                        token,
+                        cqshap_obs::phase::AGGREGATE_PREPARE,
+                        Some(prepared.len()),
+                    )?;
                 }
                 let engine = match group.resolved {
                     ResolvedStrategy::Hierarchical => {
@@ -555,7 +566,7 @@ impl AggregateEngines {
                 ResolvedStrategy::Hierarchical | ResolvedStrategy::ExoShap => {
                     for c in candidates {
                         if let Some(token) = cancel {
-                            budget::check(token, "aggregate")?;
+                            budget::check(token, cqshap_obs::phase::AGGREGATE)?;
                         }
                         match &c.engine {
                             CandidateEngine::Direct(engine) => weighted_add(

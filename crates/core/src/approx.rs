@@ -31,6 +31,7 @@
 use std::time::Duration;
 
 use cqshap_db::{Database, FactId, World};
+use cqshap_obs::{phase as obs_phase, Histogram, Span};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -491,6 +492,11 @@ fn draw_marginal(
     after as i64 - before as i64
 }
 
+// Sampler-exit distributions: how the draws spread over the strata and
+// how tight the per-fact intervals ended up (ppm of the unit range).
+static STRATUM_DRAWS: Histogram = Histogram::new(obs_phase::HIST_ANYTIME_STRATUM_DRAWS);
+static HALF_WIDTH_PPM: Histogram = Histogram::new(obs_phase::HIST_ANYTIME_HALF_WIDTH_PPM);
+
 /// Anytime interval estimation of every endogenous fact's Shapley
 /// value (see the [module docs](self)). `state` is resumed when it
 /// matches the database's current endogenous facts and reset
@@ -509,6 +515,7 @@ pub fn shapley_anytime(
     cancel: Option<&CancelToken>,
     state_slot: &mut Option<AnytimeState>,
 ) -> Result<AnytimeReport, CoreError> {
+    let _span = Span::enter(obs_phase::ANYTIME);
     check_epsilon_delta(params.epsilon, params.delta)?;
     let started = crate::budget::Stopwatch::start();
     let m = db.endo_count();
@@ -543,6 +550,7 @@ pub fn shapley_anytime(
     // Phase 1: bootstrap every stratum to two draws, so every variance
     // is a sample variance (interleaved fact-major so an early trip
     // still spreads draws across facts).
+    let bootstrap_span = Span::enter(obs_phase::ANYTIME_BOOTSTRAP);
     'bootstrap: for round in 0..2u64 {
         for target in 0..m {
             if state.stats[target].iter().all(|s| s.n > round) {
@@ -569,9 +577,12 @@ pub fn shapley_anytime(
         }
     }
 
+    drop(bootstrap_span);
+
     // Phase 2: refine the widest unconverged interval, one batch at a
     // time, spending each batch on the stratum contributing the most
     // variance (weighted Neyman-style allocation, greedily).
+    let refine_span = Span::enter(obs_phase::ANYTIME_REFINE);
     while !deadline_hit {
         let mut widest: Option<(usize, f64)> = None;
         for target in 0..m {
@@ -615,6 +626,21 @@ pub fn shapley_anytime(
         }
     }
 
+    drop(refine_span);
+
+    // Sampler-exit observability: cumulative draws per stratum and the
+    // final interval widths, recorded once per call.
+    if cqshap_obs::enabled() {
+        (0..strata.len()).for_each(|si| {
+            let draws: u64 = state
+                .stats
+                .iter()
+                .map(|cells| cells.get(si).map_or(0, |c| c.n))
+                .sum();
+            STRATUM_DRAWS.record(draws);
+        });
+    }
+
     let mut entries = Vec::with_capacity(m);
     let mut converged = true;
     for target in 0..m {
@@ -622,6 +648,9 @@ pub fn shapley_anytime(
         let fact = state.facts[target];
         let done = half_width <= params.epsilon;
         converged &= done;
+        if cqshap_obs::enabled() {
+            HALF_WIDTH_PPM.record((half_width * 1e6) as u64);
+        }
         entries.push(FactEstimate {
             fact,
             rendered: db.render_fact(fact),

@@ -12,6 +12,11 @@
 //! values (see `cqshap_numeric::poly`'s `*_cancel` functions) — the
 //! sticky flag guarantees a checkpoint *after* any placeholder
 //! production fails before the placeholder can escape an engine.
+//!
+//! Phase labels are the `&'static str` keys of [`cqshap_obs::phase`],
+//! so a `DeadlineExceeded { phase }` error and the observability spans
+//! name the same moment identically, and every trip emits a
+//! `deadline.trip` event to the installed recorder.
 
 pub use cqshap_numeric::cancel::{Budget, CancelToken, Stopwatch};
 
@@ -19,7 +24,7 @@ use crate::error::CoreError;
 
 /// Converts a tripped `token` into [`CoreError::DeadlineExceeded`];
 /// `Ok(())` while the budget holds.
-pub(crate) fn check(token: &CancelToken, phase: &str) -> Result<(), CoreError> {
+pub(crate) fn check(token: &CancelToken, phase: &'static str) -> Result<(), CoreError> {
     check_partial(token, phase, None)
 }
 
@@ -29,10 +34,11 @@ pub(crate) fn check(token: &CancelToken, phase: &str) -> Result<(), CoreError> {
 /// [`CoreError::with_partial_answers`].
 pub(crate) fn check_partial(
     token: &CancelToken,
-    phase: &str,
+    phase: &'static str,
     partial: Option<usize>,
 ) -> Result<(), CoreError> {
     if token.should_stop() {
+        cqshap_obs::event(cqshap_obs::phase::EV_DEADLINE_TRIP, phase);
         return Err(CoreError::DeadlineExceeded {
             phase: phase.to_string(),
             elapsed: token.elapsed(),

@@ -66,6 +66,7 @@ use std::sync::{Arc, Mutex};
 
 use cqshap_db::{ConstId, Database, FactId, FactMask, RelId};
 use cqshap_numeric::{BigInt, BigRational, BigUint, FactorialTable};
+use cqshap_obs::{phase as obs_phase, Counter, Span};
 use cqshap_query::{ConjunctiveQuery, Term};
 
 use crate::budget::{self, CancelToken};
@@ -76,6 +77,14 @@ use crate::satcount::{
     connected_components, find_root_var, resolve_query, root_candidates, root_group_scopes,
     scope_endo_count, MaskedDb, PAtom, ResolvedQuery,
 };
+
+// Cache-effectiveness counters: the iso-class memo of the compile
+// recursion and the masked-recount memo of the report path. Locally
+// readable for tests, forwarded to the installed recorder when tracing.
+static CLASS_MEMO_HIT: Counter = Counter::new(obs_phase::CTR_CLASS_MEMO_HIT);
+static CLASS_MEMO_MISS: Counter = Counter::new(obs_phase::CTR_CLASS_MEMO_MISS);
+static RECOUNT_CACHE_HIT: Counter = Counter::new(obs_phase::CTR_RECOUNT_CACHE_HIT);
+static RECOUNT_CACHE_MISS: Counter = Counter::new(obs_phase::CTR_RECOUNT_CACHE_MISS);
 
 /// One in-place database change, as seen by a compiled engine.
 ///
@@ -408,14 +417,19 @@ impl<D: EvalDomain> CompiledEngine<D> {
             let mut groups: Vec<RootGroup<D::Value>> = Vec::new();
             let mut grouped_endo = 0usize;
             for &c in &candidates {
+                let _group_span = Span::enter(obs_phase::COMPILE);
                 let g_atoms: Vec<PAtom> = sub_atoms.iter().map(|a| a.substitute(root, c)).collect();
                 let g_scopes = root_group_scopes(view, root, c, &sub_atoms, &sub_scopes);
                 let g_endo = scope_endo_count(view, &g_scopes);
                 let canon = Arc::new(canonical_form(db, &g_atoms, &g_scopes));
                 let sat_c = if dom.canon_determines_value() {
                     match class_sat.get(canon.as_ref()) {
-                        Some(v) => v.clone(),
+                        Some(v) => {
+                            CLASS_MEMO_HIT.incr();
+                            v.clone()
+                        }
                         None => {
+                            CLASS_MEMO_MISS.incr();
                             let v = eval_rec(&dom, view, &g_atoms, &g_scopes)?;
                             class_sat.insert(canon.as_ref().clone(), v.clone());
                             v
@@ -529,7 +543,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
         // The cancelled polynomial kernels return placeholders and trip
         // the sticky flag; this checkpoint keeps them from escaping.
         if let Some(token) = engine.dom.cancel_token() {
-            budget::check(token, "compile")?;
+            budget::check(token, cqshap_obs::phase::COMPILE)?;
         }
         Ok(engine)
     }
@@ -568,6 +582,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
     /// Anything the evaluation recursion raises while re-evaluating the
     /// touched root group.
     fn update(&mut self, db: &Database, change: EngineUpdate) -> Result<bool, CoreError> {
+        let _span = Span::enter(obs_phase::UPDATE);
         if resolution_fingerprint(db, &self.query) != self.fingerprint {
             return Ok(false);
         }
@@ -595,7 +610,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
         self.free_endo = self.m - self.components.iter().map(|c| c.endo).sum::<usize>();
         self.refresh_envs();
         if let Some(token) = self.dom.cancel_token() {
-            budget::check(token, "update")?;
+            budget::check(token, cqshap_obs::phase::UPDATE)?;
         }
         Ok(true)
     }
@@ -620,6 +635,7 @@ impl<D: EvalDomain> CompiledEngine<D> {
     /// factor was identically zero: an always-satisfied group zeroed
     /// every environment, so nothing can be recovered incrementally).
     fn recount_group(&mut self, db: &Database, ci: usize, gi: usize) -> Result<bool, CoreError> {
+        let _span = Span::enter(obs_phase::RECOUNT);
         let view = MaskedDb::new(db, FactMask::None);
         let dom = &self.dom;
         let comp = &mut self.components[ci];
@@ -1347,15 +1363,24 @@ impl CompiledCount {
             // cqshap-lint: allow(no-panic) -- a grouped fact appears in its own component scope by construction
             .expect("grouped fact sits in one scope");
         let key = (g.canon.clone(), role.0, role.1);
-        if let Some(pair) = self
-            .pair_cache
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
-        {
-            return Ok(pair.clone());
+        // Block-scoped lookup: the guard is a temporary dropped at the
+        // end of the block, so the miss path below runs lock-free.
+        let cached = {
+            self.pair_cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(&key)
+                .cloned()
+        };
+        if let Some(pair) = cached {
+            RECOUNT_CACHE_HIT.incr();
+            return Ok(pair);
         }
-        let pair = self.eng.masked_sat_pair(db, &g.atoms, &g.scopes, f)?;
+        RECOUNT_CACHE_MISS.incr();
+        let pair = {
+            let _span = Span::enter(obs_phase::RECOUNT);
+            self.eng.masked_sat_pair(db, &g.atoms, &g.scopes, f)?
+        };
         self.pair_cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -227,6 +227,7 @@ impl CompiledUnionCount {
         threads: usize,
         cancel: Option<CancelToken>,
     ) -> Result<Self, CoreError> {
+        let _span = cqshap_obs::Span::enter(cqshap_obs::phase::UNION_COMPILE);
         // Bucket the subset conjunctions by canonical form first: one
         // engine per class, weighted by the class's net coefficient.
         // Tractability is checked per subset so the error still names
@@ -253,7 +254,11 @@ impl CompiledUnionCount {
             }
             let engine = match &cancel {
                 Some(token) => {
-                    budget::check_partial(token, "union-compile", Some(terms.len()))?;
+                    budget::check_partial(
+                        token,
+                        cqshap_obs::phase::UNION_COMPILE,
+                        Some(terms.len()),
+                    )?;
                     CompiledCount::compile_with_cancel(db, &q, threads, token.clone())?
                 }
                 None => CompiledCount::compile_with_threads(db, &q, threads)?,

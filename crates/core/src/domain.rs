@@ -189,15 +189,19 @@ pub trait EvalDomain: Sync {
     }
 
     /// Charges one work unit against the armed budget and converts a
-    /// tripped token into [`CoreError::DeadlineExceeded`] for `phase`.
-    /// A no-op for budget-free domains.
-    fn checkpoint(&self, phase: &str) -> Result<(), CoreError> {
+    /// tripped token into [`CoreError::DeadlineExceeded`] for `phase` —
+    /// an obs phase key, so the error and the trace name the phase
+    /// identically. A no-op for budget-free domains.
+    fn checkpoint(&self, phase: &'static str) -> Result<(), CoreError> {
         match self.cancel_token() {
-            Some(token) if token.charge(1) => Err(CoreError::DeadlineExceeded {
-                phase: phase.to_string(),
-                elapsed: token.elapsed(),
-                partial: None,
-            }),
+            Some(token) if token.charge(1) => {
+                cqshap_obs::event(cqshap_obs::phase::EV_DEADLINE_TRIP, phase);
+                Err(CoreError::DeadlineExceeded {
+                    phase: phase.to_string(),
+                    elapsed: token.elapsed(),
+                    partial: None,
+                })
+            }
             _ => Ok(()),
         }
     }
@@ -523,7 +527,7 @@ pub(crate) fn eval_rec<D: EvalDomain>(
     scopes: &[Vec<FactId>],
 ) -> Result<D::Value, CoreError> {
     debug_assert_eq!(atoms.len(), scopes.len());
-    dom.checkpoint("evaluate")?;
+    dom.checkpoint(cqshap_obs::phase::EVALUATE)?;
     let total_endo = scope_endo_count(view, scopes);
 
     // Case 1: fully ground — fold the per-atom contributions.

@@ -565,7 +565,7 @@ impl BruteForceCounter {
             counts
         });
         if let Some(token) = &self.cancel {
-            budget::check(token, "brute-force")?;
+            budget::check(token, cqshap_obs::phase::BRUTE_FORCE)?;
         }
         let mut out = vec![BigUint::zero(); bits + 1];
         for counts in per_thread {

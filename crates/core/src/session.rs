@@ -242,6 +242,15 @@ fn tier_degradable(e: &CoreError) -> bool {
     )
 }
 
+/// Reports one ladder demotion to the installed recorder, naming the
+/// tier that failed and the [`CoreError`] that forced the step down.
+/// The detail string is only formatted when a recorder is installed.
+fn tier_demote_event(tier: &str, err: &CoreError) {
+    if cqshap_obs::enabled() {
+        cqshap_obs::event(cqshap_obs::phase::EV_TIER_DEMOTE, &format!("{tier}: {err}"));
+    }
+}
+
 /// A prepared, updatable engine handle unifying CQ¬ / UCQ¬ / aggregate
 /// Shapley computation behind one API. See the [module docs](self).
 pub struct ShapleySession {
@@ -292,8 +301,15 @@ fn build_state(
     };
     match spec {
         QuerySpec::Cq(q) => {
-            let complexity = classify_with_exo(q, &exo_relation_names(db));
-            let resolved = resolve_strategy(db, q, options)?;
+            let complexity = {
+                let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE_CLASSIFY);
+                classify_with_exo(q, &exo_relation_names(db))
+            };
+            let resolved = {
+                let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE_RESOLVE_STRATEGY);
+                resolve_strategy(db, q, options)?
+            };
+            let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE_COMPILE);
             let state = match resolved {
                 ResolvedStrategy::Hierarchical => EngineState::CqCompiled(compile_count(db, q)?),
                 ResolvedStrategy::ExoShap => {
@@ -315,7 +331,12 @@ fn build_state(
             Ok((Some(resolved), Some(complexity), state))
         }
         QuerySpec::Union(u) => {
-            let (resolved, state) = match resolve_union_route(db, u, options, cancel)? {
+            let route = {
+                let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE_RESOLVE_STRATEGY);
+                resolve_union_route(db, u, options, cancel)?
+            };
+            let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE_COMPILE);
+            let (resolved, state) = match route {
                 UnionRoute::Compiled => (
                     ResolvedStrategy::Hierarchical,
                     EngineState::UnionCompiled(match cancel {
@@ -351,7 +372,11 @@ fn build_state(
             Ok((Some(resolved), None, state))
         }
         QuerySpec::Aggregate { query, agg } => {
-            let complexity = classify_with_exo(query, &exo_relation_names(db));
+            let complexity = {
+                let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE_CLASSIFY);
+                classify_with_exo(query, &exo_relation_names(db))
+            };
+            let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE_COMPILE);
             let engines = AggregateEngines::prepare(db, query, agg, options, cancel)?;
             Ok((None, Some(complexity), EngineState::Aggregate(engines)))
         }
@@ -453,6 +478,7 @@ impl ShapleySession {
         spec: QuerySpec,
         options: ShapleyOptions,
     ) -> Result<Self, CoreError> {
+        let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE);
         let cancel = options.cancel_token();
         let (resolved, complexity, state) = build_state(&db, &spec, &options, cancel.as_ref())?;
         Ok(ShapleySession {
@@ -745,6 +771,7 @@ impl ShapleySession {
     /// # Errors
     /// As [`ShapleySession::values`].
     pub fn report(&self) -> Result<ShapleyReport, CoreError> {
+        let _span = cqshap_obs::Span::enter(cqshap_obs::phase::REPORT);
         self.check_not_poisoned()?;
         self.check_exact_available()?;
         self.rearm();
@@ -901,9 +928,13 @@ impl ShapleySession {
     /// The exact tier's error when the policy allows no degradation,
     /// plus anything the allowed tiers raise themselves.
     pub fn report_tiered(&mut self, policy: &TierPolicy) -> Result<TieredAnswer, CoreError> {
+        let _span = cqshap_obs::Span::enter(cqshap_obs::phase::REPORT_TIERED);
         let exact_unavailable = matches!(self.state, EngineState::ExactUnavailable(_));
         let exact_err = match self.report() {
-            Ok(report) => return Ok(TieredAnswer::Exact(report)),
+            Ok(report) => {
+                cqshap_obs::event(cqshap_obs::phase::EV_TIER_ANSWER, "exact");
+                return Ok(TieredAnswer::Exact(report));
+            }
             Err(e) => e,
         };
         if (!exact_unavailable && !tier_degradable(&exact_err))
@@ -911,6 +942,7 @@ impl ShapleySession {
         {
             return Err(exact_err);
         }
+        tier_demote_event("exact", &exact_err);
         if policy.allow_sampled {
             let params = AnytimeParams {
                 epsilon: policy.epsilon,
@@ -922,14 +954,24 @@ impl ShapleySession {
                 // A converged report answers the request; a partial one
                 // only if no further tier may take over.
                 Ok(report) if report.converged || !policy.allow_wsms => {
+                    cqshap_obs::event(cqshap_obs::phase::EV_TIER_ANSWER, "sampled");
                     return Ok(TieredAnswer::Sampled(report));
                 }
-                Ok(_) => {}
-                Err(e) if tier_degradable(&e) && policy.allow_wsms => {}
+                Ok(_) => {
+                    cqshap_obs::event(
+                        cqshap_obs::phase::EV_TIER_DEMOTE,
+                        "sampled: intervals did not converge within budget",
+                    );
+                }
+                Err(e) if tier_degradable(&e) && policy.allow_wsms => {
+                    tier_demote_event("sampled", &e);
+                }
                 Err(e) => return Err(e),
             }
         }
-        Ok(TieredAnswer::Wsms(self.wsms(policy.wsms_weight)?))
+        let wsms = self.wsms(policy.wsms_weight)?;
+        cqshap_obs::event(cqshap_obs::phase::EV_TIER_ANSWER, "wsms");
+        Ok(TieredAnswer::Wsms(wsms))
     }
 
     /// The per-fact probabilities probabilistic reads evaluate at.
@@ -1366,7 +1408,7 @@ fn exo_union_numerator(
     let mut acc = BigInt::zero();
     for t in terms {
         if let Some(token) = cancel {
-            crate::budget::check(token, "union-terms")?;
+            crate::budget::check(token, cqshap_obs::phase::UNION_TERMS)?;
         }
         let n = t.engine.shapley_numerator(&t.db, f)?;
         if t.negative {
@@ -1397,9 +1439,10 @@ fn exo_union_values(
     let mut values = Vec::with_capacity(facts.len());
     for &f in facts {
         if let Some(token) = cancel {
-            crate::budget::check_partial(token, "union-terms", Some(values.len())).map_err(
-                |e| e.with_partial_answers(values.iter().cloned().enumerate().collect()),
-            )?;
+            crate::budget::check_partial(token, cqshap_obs::phase::UNION_TERMS, Some(values.len()))
+                .map_err(|e| {
+                    e.with_partial_answers(values.iter().cloned().enumerate().collect())
+                })?;
         }
         // The kernels inside the numerator poll the same token — a trip
         // mid-fact must also carry the facts already finished.

@@ -274,7 +274,7 @@ pub fn shapley_by_permutations_cancel(
         true
     });
     if let Some(token) = cancel {
-        crate::budget::check(token, "permutations")?;
+        crate::budget::check(token, cqshap_obs::phase::PERMUTATIONS)?;
     }
     let table = FactorialTable::new(m);
     Ok(BigRational::from_int(total) / BigRational::from(table.factorial(m).clone()))

@@ -279,7 +279,7 @@ fn descend(
 ) -> Result<(), CoreError> {
     if let Some(token) = cancel {
         if token.charge(1) {
-            budget::check(token, "wsms")?;
+            budget::check(token, cqshap_obs::phase::WSMS)?;
         }
     }
     if depth == positives.len() {

@@ -37,14 +37,20 @@ const CANCEL_FILES: &[&str] = &[
 /// The sanctioned fan-out modules (`thread-discipline` exempt).
 const THREAD_FILES: &[&str] = &["crates/core/src/parallel.rs", "crates/numeric/src/poly.rs"];
 
-/// The deadline modules (`no-wall-clock` exempt).
-const CLOCK_FILES: &[&str] = &["crates/numeric/src/cancel.rs", "crates/core/src/budget.rs"];
+/// The deadline modules (`no-wall-clock` exempt). `obs::clock` is the
+/// observability layer's sanctioned monotonic clock — every span
+/// timestamp flows through it.
+const CLOCK_FILES: &[&str] = &[
+    "crates/numeric/src/cancel.rs",
+    "crates/core/src/budget.rs",
+    "crates/obs/src/clock.rs",
+];
 
 /// Crates whose library code may not read the wall clock elsewhere.
 /// `bench` and `workloads` are measurement/generator code and binaries
 /// print timings to humans — both are outside the deadline contract.
 const CLOCK_CRATES: &[&str] = &[
-    "core", "db", "numeric", "probdb", "query", "engine", "gadgets", "lint",
+    "core", "db", "numeric", "obs", "probdb", "query", "engine", "gadgets", "lint",
 ];
 
 /// One discovered source file.

@@ -64,6 +64,8 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
+use cqshap_obs::{phase, Counter, Histogram};
+
 use crate::biguint::BigUint;
 use crate::cancel::CancelToken;
 use crate::error::NumericError;
@@ -149,16 +151,32 @@ fn mul_impl(
     if a.is_empty() || b.is_empty() {
         return vec![BigUint::zero(); (a.len() + b.len()).saturating_sub(1)];
     }
-    match backend {
-        Backend::Schoolbook => mul_schoolbook(a, b),
+    let resolved = match backend {
+        Backend::Auto => estimate(a, b),
+        explicit => explicit,
+    };
+    record_dispatch(resolved, a, b);
+    match resolved {
         Backend::Karatsuba => mul_karatsuba(a, b),
         Backend::Ntt => mul_ntt(a, b, cancel),
-        Backend::Auto => match estimate(a, b) {
-            Backend::Karatsuba => mul_karatsuba(a, b),
-            Backend::Ntt => mul_ntt(a, b, cancel),
-            _ => mul_schoolbook(a, b),
-        },
+        _ => mul_schoolbook(a, b),
     }
+}
+
+/// Observability tap on the backend dispatch: one counter per backend
+/// plus a histogram of the longer operand's length, so a trace shows
+/// what the `Auto` work model actually decided across a workload.
+fn record_dispatch(resolved: Backend, a: &[BigUint], b: &[BigUint]) {
+    static SCHOOLBOOK: Counter = Counter::new(phase::CTR_POLY_SCHOOLBOOK);
+    static KARATSUBA: Counter = Counter::new(phase::CTR_POLY_KARATSUBA);
+    static NTT: Counter = Counter::new(phase::CTR_POLY_NTT);
+    static OPERAND_LEN: Histogram = Histogram::new(phase::HIST_POLY_OPERAND_LEN);
+    match resolved {
+        Backend::Karatsuba => KARATSUBA.incr(),
+        Backend::Ntt => NTT.incr(),
+        _ => SCHOOLBOOK.incr(),
+    }
+    OPERAND_LEN.record(a.len().max(b.len()) as u64);
 }
 
 /// The work-model dispatch behind [`Backend::Auto`] — see the module
@@ -745,7 +763,13 @@ fn ntt_primes(count: usize) -> Result<Vec<NttPrime>, NumericError> {
             pool.primes.push(prime);
         }
     }
-    Ok(pool.primes[..count].to_vec())
+    let primes = pool.primes[..count].to_vec();
+    // Bump the draw counter after releasing the pool lock so the obs
+    // sink's own lock is never acquired while this one is held.
+    drop(pool);
+    static PRIME_DRAWS: Counter = Counter::new(phase::CTR_NTT_PRIME_DRAWS);
+    PRIME_DRAWS.add(count as u64);
+    Ok(primes)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,178 @@
+//! Lock-free counters and log-bucketed histograms.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::recorder;
+
+/// Number of histogram buckets: one for zero, one per power-of-two
+/// magnitude of a `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A named, lock-free tally.
+///
+/// The counter always maintains its own local [`AtomicU64`], so callers
+/// can read it back via [`Counter::get`] with or without a recorder
+/// installed (this is what keeps `ShapleyReport::stats` meaningful in
+/// untraced runs). When a recorder *is* installed, every increment is
+/// also forwarded to it, where increments aggregate by key across all
+/// counter instances.
+///
+/// `new` is `const`, so counters work both as `static`s and as struct
+/// fields scoped to one plan or session.
+pub struct Counter {
+    key: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter reporting under `key`.
+    pub const fn new(key: &'static str) -> Self {
+        Counter {
+            key,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Increase the counter by `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        recorder::with(|r| r.counter(self.key, delta));
+    }
+
+    /// Increase the counter by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The local value accumulated by this instance.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The key this counter reports under.
+    pub fn key(&self) -> &'static str {
+        self.key
+    }
+}
+
+impl Clone for Counter {
+    /// Cloning snapshots the current value into a fresh atomic.
+    fn clone(&self) -> Self {
+        Counter {
+            key: self.key,
+            value: AtomicU64::new(self.get()),
+        }
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Counter")
+            .field("key", &self.key)
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+/// A named, lock-free distribution with logarithmic buckets.
+///
+/// Values land in bucket `⌈log₂(v+1)⌉`: bucket 0 holds exactly the
+/// value 0, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. Like
+/// [`Counter`], the histogram is always locally readable and forwards
+/// each observation to the installed recorder when one is present.
+pub struct Histogram {
+    key: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram reporting under `key`.
+    pub const fn new(key: &'static str) -> Self {
+        Histogram {
+            key,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Record one observation of `value`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        recorder::with(|r| r.histogram(self.key, value));
+    }
+
+    /// Total number of observations recorded locally.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The local count in bucket `index` (see the type docs for the
+    /// bucket boundaries). Out-of-range indices read as 0.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets
+            .get(index)
+            .map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+
+    /// The key this histogram reports under.
+    pub fn key(&self) -> &'static str {
+        self.key
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("key", &self.key)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// The bucket `value` lands in: 0 for 0, otherwise one plus the
+/// position of the highest set bit.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counter_is_locally_readable_without_recorder() {
+        let c = Counter::new("test.counter");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let snapshot = c.clone();
+        c.incr();
+        assert_eq!(snapshot.get(), 5);
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_counts_locally() {
+        let h = Histogram::new("test.hist");
+        h.record(0);
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(10), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The shared vocabulary of phase and metric keys.
+//!
+//! Span phases double as the `phase` labels in
+//! `CoreError::DeadlineExceeded`, so a deadline trip and the trace name
+//! the moment identically — `budget::check` takes these same
+//! `&'static str` constants. Metric keys (counters, histograms, event
+//! kinds) live here too so the `TRACE_report.json` vocabulary has one
+//! authoritative home.
+
+// ---------------------------------------------------------------------
+// Span phases (also used as deadline-check labels).
+// ---------------------------------------------------------------------
+
+/// `ShapleySession::prepare`: everything from spec to ready engines.
+pub const PREPARE: &str = "prepare";
+/// Prepare sub-phase: query classification (hierarchy / exogenous splits).
+pub const PREPARE_CLASSIFY: &str = "prepare.classify";
+/// Prepare sub-phase: choosing the evaluation strategy for the class.
+pub const PREPARE_RESOLVE_STRATEGY: &str = "prepare.resolve-strategy";
+/// Prepare sub-phase: building the compiled engines/plans.
+pub const PREPARE_COMPILE: &str = "prepare.compile";
+/// `ShapleySession::report` / `report_with`: one full Shapley report.
+pub const REPORT: &str = "report";
+/// `ShapleySession::report_tiered`: the graceful-degradation ladder.
+pub const REPORT_TIERED: &str = "report-tiered";
+
+/// Compiled-engine circuit build (per root group).
+pub const COMPILE: &str = "compile";
+/// Compiled-engine incremental update after an endogenous/exogenous flip.
+pub const UPDATE: &str = "update";
+/// Compiled-engine masked recount pass (per root group).
+pub const RECOUNT: &str = "recount";
+/// Union (UCQ) compile: per-term engines plus inclusion–exclusion setup.
+pub const UNION_COMPILE: &str = "union-compile";
+/// Union (UCQ) per-term recount enumeration.
+pub const UNION_TERMS: &str = "union-terms";
+/// Aggregate-query Shapley evaluation over the candidate groups.
+pub const AGGREGATE: &str = "aggregate";
+/// Aggregate-query preparation: candidate discovery and pruning.
+pub const AGGREGATE_PREPARE: &str = "aggregate-prepare";
+
+/// The shared evaluation recursion over an evaluation domain (the
+/// per-work-unit checkpoint label of `EvalDomain::checkpoint`).
+pub const EVALUATE: &str = "evaluate";
+/// Exact permutation-sum assembly from model counts.
+pub const PERMUTATIONS: &str = "permutations";
+/// Brute-force subset enumeration (small instances / oracle checks).
+pub const BRUTE_FORCE: &str = "brute-force";
+/// Weighted-sums-of-model-counts tier (WSMS).
+pub const WSMS: &str = "wsms";
+
+/// Anytime sampler: whole `shapley_anytime` call.
+pub const ANYTIME: &str = "anytime";
+/// Anytime sampler: the fixed bootstrap rounds.
+pub const ANYTIME_BOOTSTRAP: &str = "anytime.bootstrap";
+/// Anytime sampler: the deadline-bounded refinement loop.
+pub const ANYTIME_REFINE: &str = "anytime.refine";
+
+// ---------------------------------------------------------------------
+// Counter keys.
+// ---------------------------------------------------------------------
+
+/// `poly::mul_with` dispatched to the schoolbook backend.
+pub const CTR_POLY_SCHOOLBOOK: &str = "poly.mul.schoolbook";
+/// `poly::mul_with` dispatched to the Karatsuba backend.
+pub const CTR_POLY_KARATSUBA: &str = "poly.mul.karatsuba";
+/// `poly::mul_with` dispatched to the NTT backend.
+pub const CTR_POLY_NTT: &str = "poly.mul.ntt";
+/// Primes drawn from the shared NTT prime pool.
+pub const CTR_NTT_PRIME_DRAWS: &str = "poly.ntt.prime-pool.draws";
+
+/// Iso-class memo hits during compiled recounts.
+pub const CTR_CLASS_MEMO_HIT: &str = "compiled.class-memo.hit";
+/// Iso-class memo misses during compiled recounts.
+pub const CTR_CLASS_MEMO_MISS: &str = "compiled.class-memo.miss";
+/// Masked-recount cache hits (unchanged root groups reused).
+pub const CTR_RECOUNT_CACHE_HIT: &str = "compiled.recount-cache.hit";
+/// Masked-recount cache misses (root groups recounted).
+pub const CTR_RECOUNT_CACHE_MISS: &str = "compiled.recount-cache.miss";
+
+/// Aggregate candidate groups discovered during prepare.
+pub const CTR_AGG_CANDIDATES: &str = "aggregate.candidates";
+/// Aggregate candidate groups pruned as irrelevant.
+pub const CTR_AGG_PRUNED: &str = "aggregate.pruned";
+
+// ---------------------------------------------------------------------
+// Histogram keys.
+// ---------------------------------------------------------------------
+
+/// Operand length (max of the two factors) per `poly::mul_with` call.
+pub const HIST_POLY_OPERAND_LEN: &str = "poly.mul.operand-len";
+/// Permutation draws per stratum at anytime-sampler exit.
+pub const HIST_ANYTIME_STRATUM_DRAWS: &str = "anytime.stratum.draws";
+/// Confidence-interval half-width per fact at anytime-sampler exit,
+/// in parts-per-million of the total playing weight.
+pub const HIST_ANYTIME_HALF_WIDTH_PPM: &str = "anytime.interval.half-width-ppm";
+
+// ---------------------------------------------------------------------
+// Event kinds.
+// ---------------------------------------------------------------------
+
+/// A tier of `report_tiered` produced the answer; detail names the tier.
+pub const EV_TIER_ANSWER: &str = "tier.answer";
+/// `report_tiered` demoted past a tier; detail names the tier and the
+/// `CoreError` that forced the demotion.
+pub const EV_TIER_DEMOTE: &str = "tier.demote";
+/// `budget::check` tripped a deadline; detail names the phase.
+pub const EV_DEADLINE_TRIP: &str = "deadline.trip";

@@ -1,0 +1,139 @@
+//! The process-wide recorder sink and its install protocol.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::trace::TraceRecorder;
+
+/// A sink for observability signals.
+///
+/// Implementations must be cheap and non-blocking-ish: every call
+/// happens inline on the instrumented thread, possibly inside hot
+/// engine loops (though only when a recorder is installed — the
+/// disabled path never reaches these methods). All keys are
+/// `&'static str` so implementations may use them as map keys without
+/// copying.
+pub trait Recorder: Sync {
+    /// A phase span closed: `phase` ran from `start_ns` to `end_ns`
+    /// (obs-clock nanoseconds), nested under `parent` if any.
+    fn span(&self, phase: &'static str, parent: Option<&'static str>, start_ns: u64, end_ns: u64);
+    /// A named counter increased by `delta`.
+    fn counter(&self, key: &'static str, delta: u64);
+    /// A value observed for a named distribution.
+    fn histogram(&self, key: &'static str, value: u64);
+    /// A discrete decision or incident, with free-form detail text.
+    fn event(&self, kind: &'static str, detail: &str);
+}
+
+/// Set once a recorder is installed; every disabled-path check is a
+/// single relaxed load of this flag.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: OnceLock<&'static dyn Recorder> = OnceLock::new();
+static TRACE: OnceLock<TraceRecorder> = OnceLock::new();
+
+/// A recorder was already installed for this process.
+///
+/// Installation is first-come-first-served and permanent: the sink is
+/// handed to arbitrary threads as `&'static`, so it can never be torn
+/// down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlreadyInstalled;
+
+impl fmt::Display for AlreadyInstalled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "an observability recorder is already installed for this process"
+        )
+    }
+}
+
+impl Error for AlreadyInstalled {}
+
+/// Install `recorder` as the process-wide sink.
+///
+/// Only the first install wins; later calls return
+/// [`AlreadyInstalled`] and leave the existing sink in place. After a
+/// successful install, [`enabled`] flips to `true` and stays there for
+/// the life of the process.
+pub fn install(recorder: &'static dyn Recorder) -> Result<(), AlreadyInstalled> {
+    let mut fresh = false;
+    RECORDER.get_or_init(|| {
+        fresh = true;
+        recorder
+    });
+    if fresh {
+        ENABLED.store(true, Ordering::Release);
+        Ok(())
+    } else {
+        Err(AlreadyInstalled)
+    }
+}
+
+/// Install the built-in aggregating [`TraceRecorder`] and return it.
+///
+/// Idempotent: calling this again after it has already installed the
+/// trace recorder returns the same instance. It only fails if a
+/// *different* recorder was installed first.
+pub fn install_trace() -> Result<&'static TraceRecorder, AlreadyInstalled> {
+    let trace = TRACE.get_or_init(TraceRecorder::new);
+    match install(trace) {
+        Ok(()) => Ok(trace),
+        Err(e) => {
+            let installed = RECORDER
+                .get()
+                .is_some_and(|r| std::ptr::addr_eq(*r as *const dyn Recorder, trace));
+            if installed {
+                Ok(trace)
+            } else {
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Whether a recorder is installed. One relaxed atomic load; this is
+/// the entire cost of every obs entry point when observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Run `f` against the installed recorder, if any. Checks [`enabled`]
+/// first so the closure (and any argument formatting inside it) is
+/// never evaluated on the disabled path.
+#[inline]
+pub(crate) fn with(f: impl FnOnce(&dyn Recorder)) {
+    if enabled() {
+        if let Some(r) = RECORDER.get() {
+            f(*r);
+        }
+    }
+}
+
+/// Forward a one-off counter increment to the installed recorder.
+///
+/// For counters that also need a locally readable value, use
+/// [`Counter`](crate::Counter) instead.
+#[inline]
+pub fn counter(key: &'static str, delta: u64) {
+    with(|r| r.counter(key, delta));
+}
+
+/// Forward a one-off histogram observation to the installed recorder.
+#[inline]
+pub fn histogram(key: &'static str, value: u64) {
+    with(|r| r.histogram(key, value));
+}
+
+/// Record a discrete decision or incident.
+///
+/// `detail` is free-form text; callers that need to format it should
+/// guard the formatting behind [`enabled`] so the disabled path stays
+/// allocation-free.
+#[inline]
+pub fn event(kind: &'static str, detail: &str) {
+    with(|r| r.event(kind, detail));
+}

@@ -1,0 +1,86 @@
+//! RAII phase spans over a thread-local stack.
+
+use std::cell::RefCell;
+
+use crate::{clock, recorder};
+
+thread_local! {
+    /// Phases currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII guard timing one phase of work.
+///
+/// [`Span::enter`] pushes the phase onto a thread-local stack and reads
+/// the obs clock; dropping the guard pops it (and anything leaked above
+/// it, e.g. by `?`/early return before an inner guard was bound) and
+/// reports the closed span to the installed [`Recorder`](crate::Recorder).
+/// With no recorder installed the guard is inert: construction is a
+/// single relaxed atomic load and drop does nothing — no clock read, no
+/// stack touch, no allocation.
+///
+/// ```
+/// let _span = cqshap_obs::Span::enter(cqshap_obs::phase::PREPARE);
+/// // ... work ...
+/// // span closes when `_span` drops, even on unwind
+/// ```
+#[must_use = "a span times the scope that holds it; dropping it immediately records nothing useful"]
+pub struct Span {
+    active: Option<Active>,
+}
+
+struct Active {
+    phase: &'static str,
+    parent: Option<&'static str>,
+    depth: usize,
+    start_ns: u64,
+}
+
+impl Span {
+    /// Open a span for `phase`, nested under whatever span is currently
+    /// innermost on this thread.
+    pub fn enter(phase: &'static str) -> Self {
+        if !recorder::enabled() {
+            return Span { active: None };
+        }
+        let (parent, depth) = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            let depth = s.len();
+            s.push(phase);
+            (parent, depth)
+        });
+        Span {
+            active: Some(Active {
+                phase,
+                parent,
+                depth,
+                start_ns: clock::now_ns(),
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        // Truncating to the depth recorded at entry closes exactly this
+        // span plus any inner spans whose guards were leaked by an
+        // early return or unwind in between.
+        STACK.with(|s| s.borrow_mut().truncate(active.depth));
+        let end_ns = clock::now_ns();
+        recorder::with(|r| r.span(active.phase, active.parent, active.start_ns, end_ns));
+    }
+}
+
+/// How many spans are open on the current thread.
+pub fn span_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// The innermost open phase on the current thread, if any.
+pub fn span_current() -> Option<&'static str> {
+    STACK.with(|s| s.borrow().last().copied())
+}

@@ -1,0 +1,311 @@
+//! The built-in aggregating recorder behind `TRACE_report.json`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::metrics::HISTOGRAM_BUCKETS;
+use crate::recorder::Recorder;
+
+/// Cap on retained events per window; later events are dropped and the
+/// drop count is reported so the trace never claims completeness it
+/// does not have.
+const MAX_EVENTS: usize = 4096;
+
+/// Host metadata stamped into a serialized trace, making the
+/// "measured on an N-core container" caveat machine-readable.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceMeta {
+    /// Available parallelism of the host the trace was captured on.
+    pub host_cores: usize,
+    /// The thread cap in force (resolved; equals `host_cores` when the
+    /// cap was "auto").
+    pub thread_cap: usize,
+}
+
+#[derive(Default, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Clone, Copy)]
+struct HistAgg {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistAgg {
+    fn default() -> Self {
+        HistAgg {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+#[derive(Default)]
+struct Window {
+    spans: BTreeMap<(&'static str, Option<&'static str>), SpanAgg>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, HistAgg>,
+    events: Vec<(&'static str, String)>,
+    events_dropped: u64,
+}
+
+/// A [`Recorder`] that aggregates everything it sees into an in-memory
+/// window and serializes it as `cqshap-trace/v1` JSON.
+///
+/// Spans aggregate by `(phase, parent)` pair; counters sum by key;
+/// histograms keep log₂ buckets plus count/sum/max; events are retained
+/// verbatim up to a cap. [`TraceRecorder::clear`] resets the window so
+/// one process can capture several back-to-back traces (the harness
+/// does this per workload size). Install it process-wide with
+/// [`install_trace`](crate::install_trace).
+pub struct TraceRecorder {
+    window: Mutex<Window>,
+}
+
+impl TraceRecorder {
+    pub(crate) fn new() -> Self {
+        TraceRecorder {
+            window: Mutex::new(Window::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Window> {
+        self.window
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Reset the aggregation window to empty.
+    pub fn clear(&self) {
+        *self.lock() = Window::default();
+    }
+
+    /// The aggregated value of counter `key` in the current window.
+    pub fn counter_value(&self, key: &str) -> u64 {
+        self.lock().counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of closed spans recorded for `phase` (across parents).
+    pub fn span_count(&self, phase: &str) -> u64 {
+        let w = self.lock();
+        w.spans
+            .iter()
+            .filter(|((p, _), _)| *p == phase)
+            .map(|(_, agg)| agg.count)
+            .sum()
+    }
+
+    /// Whether an event of `kind` whose detail contains `needle` was
+    /// retained in the current window.
+    pub fn has_event(&self, kind: &str, needle: &str) -> bool {
+        self.lock()
+            .events
+            .iter()
+            .any(|(k, d)| *k == kind && d.contains(needle))
+    }
+
+    /// Serialize the current window as `cqshap-trace/v1` JSON.
+    ///
+    /// Schema (all durations in obs-clock nanoseconds):
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "cqshap-trace/v1",
+    ///   "host_cores": 1, "thread_cap": 1,
+    ///   "spans":      [{"phase": "...", "parent": "..."|null,
+    ///                   "count": 0, "total_ns": 0, "max_ns": 0}],
+    ///   "counters":   [{"key": "...", "value": 0}],
+    ///   "histograms": [{"key": "...", "count": 0, "sum": 0, "max": 0,
+    ///                   "buckets": [{"bucket": 0, "count": 0}]}],
+    ///   "events":     [{"kind": "...", "detail": "..."}],
+    ///   "events_dropped": 0
+    /// }
+    /// ```
+    pub fn to_json(&self, meta: &TraceMeta) -> String {
+        // Snapshot under the lock, format outside it.
+        let w = self.lock();
+        let spans: Vec<(&'static str, Option<&'static str>, SpanAgg)> = w
+            .spans
+            .iter()
+            .map(|(&(p, par), &agg)| (p, par, agg))
+            .collect();
+        let counters: Vec<(&'static str, u64)> = w.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        let histograms: Vec<(&'static str, HistAgg)> =
+            w.histograms.iter().map(|(&k, &agg)| (k, agg)).collect();
+        let events: Vec<(&'static str, String)> = w.events.clone();
+        let events_dropped = w.events_dropped;
+        drop(w);
+
+        let spans_json = spans
+            .iter()
+            .map(|(phase, parent, agg)| {
+                let parent_json =
+                    parent.map_or_else(|| "null".to_string(), |p| format!("\"{}\"", escape(p)));
+                format!(
+                    "    {{\"phase\": \"{}\", \"parent\": {}, \"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+                    escape(phase),
+                    parent_json,
+                    agg.count,
+                    agg.total_ns,
+                    agg.max_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let counters_json = counters
+            .iter()
+            .map(|(key, value)| {
+                format!("    {{\"key\": \"{}\", \"value\": {}}}", escape(key), value)
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let histograms_json = histograms
+            .iter()
+            .map(|(key, agg)| {
+                let buckets = agg
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &count)| count > 0)
+                    .map(|(bucket, &count)| format!("{{\"bucket\": {bucket}, \"count\": {count}}}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "    {{\"key\": \"{}\", \"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                    escape(key),
+                    agg.count,
+                    agg.sum,
+                    agg.max,
+                    buckets
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let events_json = events
+            .iter()
+            .map(|(kind, detail)| {
+                format!(
+                    "    {{\"kind\": \"{}\", \"detail\": \"{}\"}}",
+                    escape(kind),
+                    escape(detail)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+
+        format!(
+            "{{\n  \"schema\": \"cqshap-trace/v1\",\n  \"host_cores\": {},\n  \"thread_cap\": {},\n  \"spans\": [\n{}\n  ],\n  \"counters\": [\n{}\n  ],\n  \"histograms\": [\n{}\n  ],\n  \"events\": [\n{}\n  ],\n  \"events_dropped\": {}\n}}\n",
+            meta.host_cores, meta.thread_cap, spans_json, counters_json, histograms_json, events_json, events_dropped
+        )
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn span(&self, phase: &'static str, parent: Option<&'static str>, start_ns: u64, end_ns: u64) {
+        let dur = end_ns.saturating_sub(start_ns);
+        let mut w = self.lock();
+        let agg = w.spans.entry((phase, parent)).or_default();
+        agg.count += 1;
+        agg.total_ns = agg.total_ns.saturating_add(dur);
+        agg.max_ns = agg.max_ns.max(dur);
+    }
+
+    fn counter(&self, key: &'static str, delta: u64) {
+        let mut w = self.lock();
+        let slot = w.counters.entry(key).or_default();
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn histogram(&self, key: &'static str, value: u64) {
+        let mut w = self.lock();
+        let agg = w.histograms.entry(key).or_default();
+        agg.count += 1;
+        agg.sum = agg.sum.saturating_add(value);
+        agg.max = agg.max.max(value);
+        agg.buckets[crate::metrics::bucket_index(value)] += 1;
+    }
+
+    fn event(&self, kind: &'static str, detail: &str) {
+        let mut w = self.lock();
+        if w.events.len() < MAX_EVENTS {
+            w.events.push((kind, detail.to_string()));
+        } else {
+            w.events_dropped += 1;
+        }
+    }
+}
+
+/// Minimal JSON string escaping: backslash, quote, and control chars.
+fn escape(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            '"' => "\\\"".to_string(),
+            '\\' => "\\\\".to_string(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32),
+            c => c.to_string(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn window_aggregates_and_serializes() {
+        let t = TraceRecorder::new();
+        t.span("compile", Some("prepare"), 10, 110);
+        t.span("compile", Some("prepare"), 110, 160);
+        t.counter("poly.mul.ntt", 3);
+        t.counter("poly.mul.ntt", 2);
+        t.histogram("poly.mul.operand-len", 1000);
+        t.event("tier.demote", "exact -> sampled: DeadlineExceeded");
+
+        assert_eq!(t.span_count("compile"), 2);
+        assert_eq!(t.counter_value("poly.mul.ntt"), 5);
+        assert!(t.has_event("tier.demote", "DeadlineExceeded"));
+
+        let json = t.to_json(&TraceMeta {
+            host_cores: 4,
+            thread_cap: 2,
+        });
+        assert!(json.contains("\"schema\": \"cqshap-trace/v1\""));
+        assert!(json.contains("\"host_cores\": 4"));
+        assert!(json.contains("\"thread_cap\": 2"));
+        assert!(json.contains("\"phase\": \"compile\""));
+        assert!(json.contains("\"parent\": \"prepare\""));
+        assert!(json.contains("\"total_ns\": 150"));
+        assert!(json.contains("\"value\": 5"));
+        assert!(json.contains("\"bucket\": 10"));
+        assert!(json.contains("\"events_dropped\": 0"));
+
+        t.clear();
+        assert_eq!(t.span_count("compile"), 0);
+        assert_eq!(t.counter_value("poly.mul.ntt"), 0);
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let t = TraceRecorder::new();
+        (0..MAX_EVENTS + 7).for_each(|_| t.event("k", "d"));
+        let json = t.to_json(&TraceMeta {
+            host_cores: 1,
+            thread_cap: 1,
+        });
+        assert!(json.contains("\"events_dropped\": 7"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Pins the disabled-path cost contract: with no recorder installed,
+//! spans, counters, and histograms perform no heap allocation and
+//! never read the clock. Runs in its own test process (integration
+//! test binary) so no other test can install a recorder first.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cqshap_obs::{clock, phase, Counter, Histogram, Span};
+
+/// Counts every heap allocation made by the process.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+static CTR: Counter = Counter::new(phase::CTR_POLY_SCHOOLBOOK);
+static HIST: Histogram = Histogram::new(phase::HIST_POLY_OPERAND_LEN);
+
+#[test]
+fn disabled_path_does_no_allocation_and_no_clock_read() {
+    assert!(
+        !cqshap_obs::enabled(),
+        "this test binary must never install a recorder"
+    );
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let reads_before = clock::reads();
+
+    (0..10_000).for_each(|i| {
+        let _outer = Span::enter(phase::REPORT);
+        let _inner = Span::enter(phase::RECOUNT);
+        CTR.incr();
+        CTR.add(3);
+        HIST.record(i);
+        cqshap_obs::counter(phase::CTR_CLASS_MEMO_HIT, 1);
+        cqshap_obs::histogram(phase::HIST_ANYTIME_STRATUM_DRAWS, i);
+        cqshap_obs::event(phase::EV_DEADLINE_TRIP, "never formatted");
+    });
+
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let reads = clock::reads() - reads_before;
+    assert_eq!(allocs, 0, "disabled obs path allocated {allocs} times");
+    assert_eq!(reads, 0, "disabled obs path read the clock {reads} times");
+
+    // The local counter/histogram state still advanced — sessions read
+    // `ReportStats` from these values with no recorder installed.
+    assert_eq!(CTR.get(), 4 * 10_000);
+    assert_eq!(HIST.count(), 10_000);
+
+    // Disabled spans never touch the thread-local stack either.
+    assert_eq!(cqshap_obs::span_depth(), 0);
+    assert_eq!(cqshap_obs::span_current(), None);
+}

@@ -1,0 +1,80 @@
+//! Property tests for span-stack balance with the trace recorder
+//! installed: however a scope exits — normal drop, `?`/early return
+//! before an inner guard was bound, or panic unwind — the thread-local
+//! span stack returns to its entry depth. Runs in its own test process
+//! so installing the trace recorder cannot leak into the disabled-path
+//! test.
+
+use cqshap_obs::{install_trace, span_current, span_depth, Span};
+use proptest::prelude::*;
+
+/// A fixed phase vocabulary (span phases must be `&'static str`).
+static PHASES: &[&str] = &["p.a", "p.b", "p.c", "p.d", "p.e"];
+
+/// Opens one span per element, recursing under it, so a `shape` of
+/// length `n` builds a nesting chain `n` deep; returns `Err` at
+/// `fail_at` to exercise `?`-style early exits with guards still open.
+fn nest(shape: &[usize], fail_at: Option<usize>) -> Result<(), usize> {
+    let Some((&first, rest)) = shape.split_first() else {
+        return Ok(());
+    };
+    let _span = Span::enter(PHASES[first % PHASES.len()]);
+    if fail_at == Some(rest.len()) {
+        return Err(rest.len());
+    }
+    nest(rest, fail_at)
+}
+
+proptest! {
+    #[test]
+    fn nested_spans_balance(shape in prop::collection::vec(0usize..PHASES.len(), 0..24)) {
+        install_trace().expect("only the trace recorder is ever installed here");
+        let before = span_depth();
+        nest(&shape, None).expect("no failure requested");
+        prop_assert_eq!(span_depth(), before);
+        prop_assert_eq!(span_current(), None);
+    }
+
+    #[test]
+    fn early_return_restores_depth(
+        shape in prop::collection::vec(0usize..PHASES.len(), 1..24),
+        fail_at in 0usize..24,
+    ) {
+        install_trace().expect("only the trace recorder is ever installed here");
+        let before = span_depth();
+        // An `Err` bubbles out of `fail_at` nested guards via `?`-style
+        // early return; every guard above the failure point unwinds.
+        let _ = nest(&shape, Some(fail_at % shape.len()));
+        prop_assert_eq!(span_depth(), before);
+    }
+
+    #[test]
+    fn panic_unwind_restores_depth(shape in prop::collection::vec(0usize..PHASES.len(), 1..12)) {
+        install_trace().expect("only the trace recorder is ever installed here");
+        let before = span_depth();
+        let result = std::panic::catch_unwind(|| {
+            let _outer = Span::enter("unwind.outer");
+            nest(&shape, None).expect("no failure requested");
+            let _inner = Span::enter("unwind.inner");
+            panic!("unwind through open spans");
+        });
+        prop_assert!(result.is_err());
+        prop_assert_eq!(span_depth(), before);
+    }
+}
+
+#[test]
+fn leaked_inner_span_closed_by_outer_drop() {
+    install_trace().expect("only the trace recorder is ever installed here");
+    let before = span_depth();
+    {
+        let outer = Span::enter("leak.outer");
+        // A leaked guard leaves its phase on the stack; the enclosing
+        // span's drop truncates back to its own entry depth.
+        std::mem::forget(Span::enter("leak.inner"));
+        assert_eq!(span_depth(), before + 2);
+        drop(outer);
+    }
+    assert_eq!(span_depth(), before);
+    assert_eq!(span_current(), None);
+}

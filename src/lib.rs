@@ -17,6 +17,7 @@
 //! | [`gadgets`] | `cqshap-gadgets` | the paper's hardness reductions, executable |
 //! | [`workloads`] | `cqshap-workloads` | seeded synthetic scenarios |
 //! | [`numeric`] | `cqshap-numeric` | exact big-integer/rational arithmetic |
+//! | [`obs`] | `cqshap-obs` | first-party tracing, metrics, and per-phase profiling |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub use cqshap_db as db;
 pub use cqshap_engine as engine;
 pub use cqshap_gadgets as gadgets;
 pub use cqshap_numeric as numeric;
+pub use cqshap_obs as obs;
 pub use cqshap_probdb as probdb;
 pub use cqshap_query as query;
 pub use cqshap_workloads as workloads;

@@ -40,7 +40,7 @@ const USAGE: &str = "usage:
   cqshap shapley   <db-file> \"<query>\" [--fact \"R(a, b)\"] [--strategy auto|hierarchical|exoshap|brute|permutations]
                    [--threads N] [--deadline-ms N]
   cqshap report    <db-file> \"<query>\" [--strategy ...] [--agg count|sum:VAR] [--threads N]
-                   [--deadline-ms N] [--tier] [--epsilon E]
+                   [--deadline-ms N] [--tier] [--epsilon E] [--trace [--trace-out FILE]]
                    (the query may be a UCQ: rules separated by `;` or newlines;
                     with --agg it must project the aggregate's head variables;
                     --deadline-ms bounds the exact computation, failing with
@@ -50,9 +50,15 @@ const USAGE: &str = "usage:
                     refused or over budget)
   cqshap relevance <db-file> \"<query>\" --fact \"R(a, b)\"
   cqshap prob      <db-file> \"<query>\" [--default-p 0.5] [--fact \"R(a, b)\"] [--threads N]
+                   [--trace [--trace-out FILE]]
                    (exact tuple-independent probability from the session's
                     compiled engine; --fact prints the expected marginal;
                     the query may be a UCQ)
+
+  --trace collects per-phase spans, counters, and histograms during the
+  command (report, shapley, and prob) and writes a cqshap-trace/v1 JSON
+  document afterwards; --trace-out picks the path (default
+  TRACE_report.json) and implies --trace.
   cqshap probability <db-file> \"<query>\" [--default-p 0.5]
   cqshap satcount  <db-file> \"<query>\"";
 
@@ -68,6 +74,8 @@ struct Options {
     deadline_ms: Option<String>,
     tier: bool,
     epsilon: Option<String>,
+    trace: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -82,6 +90,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         deadline_ms: None,
         tier: false,
         epsilon: None,
+        trace: false,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -100,6 +110,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--deadline-ms" => out.deadline_ms = Some(grab("--deadline-ms")?),
             "--tier" => out.tier = true,
             "--epsilon" => out.epsilon = Some(grab("--epsilon")?),
+            "--trace" => out.trace = true,
+            "--trace-out" => out.trace_out = Some(grab("--trace-out")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => out.positional.push(a.clone()),
         }
@@ -194,7 +206,14 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let opts = parse_options(rest)?;
-    match command.as_str() {
+    // Install the trace recorder before any engine work so the prepare
+    // sub-phases land in the window; write the report only on success.
+    let trace = if opts.trace || opts.trace_out.is_some() {
+        Some(cqshap::obs::install_trace().map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let result = match command.as_str() {
         "classify" => cmd_classify(&opts),
         "shapley" => cmd_shapley(&opts),
         "report" => cmd_report(&opts),
@@ -203,7 +222,31 @@ fn run(args: &[String]) -> Result<(), String> {
         "probability" => cmd_probability(&opts),
         "satcount" => cmd_satcount(&opts),
         other => Err(format!("unknown command {other:?}")),
+    };
+    match trace {
+        Some(recorder) => {
+            result?;
+            write_trace(recorder, &opts)
+        }
+        None => result,
     }
+}
+
+/// Serializes the collected trace window to `--trace-out` (default
+/// `TRACE_report.json`), stamped with the host-core and thread-cap
+/// metadata the run actually used.
+fn write_trace(trace: &cqshap::obs::TraceRecorder, opts: &Options) -> Result<(), String> {
+    let host_cores = cqshap::numeric::poly::resolve_threads(0);
+    let thread_cap =
+        cqshap::numeric::poly::resolve_threads(parse_threads(opts.threads.as_deref())?);
+    let meta = cqshap::obs::TraceMeta {
+        host_cores,
+        thread_cap,
+    };
+    let path = opts.trace_out.as_deref().unwrap_or("TRACE_report.json");
+    std::fs::write(path, trace.to_json(&meta)).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("trace written to {path}");
+    Ok(())
 }
 
 fn cmd_classify(opts: &Options) -> Result<(), String> {
@@ -628,6 +671,17 @@ mod tests {
         assert_eq!(o.deadline_ms.as_deref(), Some("50"));
         assert!(o.tier);
         assert_eq!(o.epsilon.as_deref(), Some("0.1"));
+    }
+
+    #[test]
+    fn trace_parsing() {
+        let o = parse_options(&strs(&["db.txt", "q() :- R(x)", "--trace"])).unwrap();
+        assert!(o.trace);
+        assert!(o.trace_out.is_none());
+        let o = parse_options(&strs(&["db.txt", "q() :- R(x)", "--trace-out", "t.json"])).unwrap();
+        assert!(!o.trace);
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert!(parse_options(&strs(&["--trace-out"])).is_err());
     }
 
     #[test]
